@@ -1,0 +1,312 @@
+//! The continuing-exploration training loop.
+//!
+//! The paper runs a single exploration of up to 10 000 steps: the agent
+//! interacts continuously, episodes restart transparently when the
+//! environment terminates or truncates, and the whole exploration stops when
+//! the **cumulative** reward reaches a predefined maximum `R` (Algorithm 1's
+//! stop rule), when the environment signals hard termination, or at the step
+//! cap. [`train`] implements exactly that loop and records every step for
+//! the paper's Figures 2–4.
+
+use crate::agent::{TabularAgent, TabularTransition};
+use ax_gym::env::Env;
+use serde::{Deserialize, Serialize};
+use std::hash::Hash;
+
+/// Options for [`train`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainOptions {
+    /// Hard cap on total steps (the paper uses 10 000).
+    pub max_steps: u64,
+    /// Seed passed to the environment on each reset.
+    pub seed: u64,
+    /// Stop once cumulative reward reaches this value (the paper's maximum
+    /// predefined reward `R`).
+    pub reward_target: Option<f64>,
+    /// Stop the whole exploration when the environment terminates naturally
+    /// (rather than starting a new episode). The paper's DSE stops on its
+    /// terminate flag; episodic benchmarks keep this `false`.
+    pub stop_on_terminate: bool,
+}
+
+impl TrainOptions {
+    /// Options with the given step cap and defaults otherwise.
+    pub fn new(max_steps: u64) -> Self {
+        Self { max_steps, seed: 0, reward_target: None, stop_on_terminate: false }
+    }
+
+    /// Sets the environment seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the cumulative-reward stop target.
+    pub fn reward_target(mut self, target: f64) -> Self {
+        self.reward_target = Some(target);
+        self
+    }
+
+    /// Stops the exploration at the first natural termination.
+    pub fn stop_on_terminate(mut self) -> Self {
+        self.stop_on_terminate = true;
+        self
+    }
+}
+
+/// Why a training run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// The step cap was reached.
+    MaxSteps,
+    /// Cumulative reward reached the target `R`.
+    RewardTarget,
+    /// The environment terminated and `stop_on_terminate` was set.
+    Terminated,
+}
+
+/// One recorded training step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// Global step index (0-based).
+    pub step: u64,
+    /// The action taken.
+    pub action: usize,
+    /// Reward received.
+    pub reward: f64,
+    /// Cumulative reward after this step.
+    pub cumulative_reward: f64,
+    /// The environment terminated on this step.
+    pub terminated: bool,
+    /// The environment truncated on this step.
+    pub truncated: bool,
+}
+
+/// Full record of a training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainLog {
+    /// Every step, in order.
+    pub steps: Vec<StepRecord>,
+    /// Why the run stopped.
+    pub stop_reason: StopReason,
+}
+
+impl TrainLog {
+    /// Total steps taken.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` if no steps were taken.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Final cumulative reward.
+    pub fn total_reward(&self) -> f64 {
+        self.steps.last().map_or(0.0, |s| s.cumulative_reward)
+    }
+
+    /// Mean reward over consecutive bins of `bin` steps — the series of the
+    /// paper's Figure 4 ("average reward every 100 steps"). The trailing
+    /// partial bin (if any) is averaged over its actual length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is zero.
+    pub fn mean_reward_bins(&self, bin: usize) -> Vec<f64> {
+        assert!(bin > 0, "bin size must be positive");
+        self.steps
+            .chunks(bin)
+            .map(|c| c.iter().map(|s| s.reward).sum::<f64>() / c.len() as f64)
+            .collect()
+    }
+
+    /// Number of completed episodes (terminations plus truncations).
+    pub fn episodes(&self) -> usize {
+        self.steps.iter().filter(|s| s.terminated || s.truncated).count()
+    }
+}
+
+/// Runs the continuing-exploration loop of `agent` on `env`.
+///
+/// Episodes restart transparently; see [`TrainOptions`] for the stop rules.
+pub fn train<E, A>(env: &mut E, agent: &mut A, opts: &TrainOptions) -> TrainLog
+where
+    E: Env<Action = usize>,
+    E::Obs: Eq + Hash + Clone,
+    A: TabularAgent<E::Obs>,
+{
+    let mut obs = env.reset(Some(opts.seed));
+    agent.begin_episode();
+    let mut steps = Vec::new();
+    let mut cumulative = 0.0;
+    let mut stop_reason = StopReason::MaxSteps;
+
+    for step in 0..opts.max_steps {
+        let action = agent.select_action(&obs);
+        let s = env.step(&action);
+        cumulative += s.reward;
+        agent.observe(TabularTransition {
+            state: obs.clone(),
+            action,
+            reward: s.reward,
+            next_state: s.obs.clone(),
+            terminal: s.terminated,
+        });
+        steps.push(StepRecord {
+            step,
+            action,
+            reward: s.reward,
+            cumulative_reward: cumulative,
+            terminated: s.terminated,
+            truncated: s.truncated,
+        });
+
+        if let Some(target) = opts.reward_target {
+            if cumulative >= target {
+                stop_reason = StopReason::RewardTarget;
+                break;
+            }
+        }
+        if s.terminated && opts.stop_on_terminate {
+            stop_reason = StopReason::Terminated;
+            break;
+        }
+        if s.terminated || s.truncated {
+            obs = env.reset(Some(opts.seed));
+            agent.begin_episode();
+        } else {
+            obs = s.obs;
+        }
+    }
+
+    TrainLog { steps, stop_reason }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qlearning::QLearningBuilder;
+    use crate::sarsa::{ExpectedSarsaAgent, SarsaAgent};
+    use crate::schedule::Schedule;
+    use crate::policy::ExplorationPolicy;
+    use ax_gym::toy::{LineWorld, TwoArmedBandit};
+    use ax_gym::wrappers::TimeLimit;
+
+    #[test]
+    fn qlearning_solves_line_world() {
+        let mut env = TimeLimit::new(LineWorld::new(7), 60);
+        let mut agent = QLearningBuilder::new(2).gamma(0.9).seed(3).build();
+        let log = train(&mut env, &mut agent, &TrainOptions::new(6_000).seed(5));
+        assert_eq!(log.len(), 6_000);
+        // The greedy policy must walk right from every interior state.
+        for s in 0..6usize {
+            assert_eq!(agent.greedy_action(&s), 1, "state {s}");
+        }
+        assert!(log.episodes() > 50, "episodes: {}", log.episodes());
+    }
+
+    #[test]
+    fn sarsa_solves_line_world() {
+        let mut env = TimeLimit::new(LineWorld::new(5), 40);
+        let mut agent: SarsaAgent<usize> = SarsaAgent::new(
+            2,
+            Schedule::Constant(0.2),
+            0.9,
+            ExplorationPolicy::EpsilonGreedy {
+                epsilon: Schedule::Linear { start: 1.0, end: 0.05, steps: 2_000 },
+            },
+            3,
+        );
+        train(&mut env, &mut agent, &TrainOptions::new(5_000).seed(5));
+        for s in 0..4usize {
+            assert_eq!(agent.greedy_action(&s), 1, "state {s}");
+        }
+    }
+
+    #[test]
+    fn expected_sarsa_solves_line_world() {
+        let mut env = TimeLimit::new(LineWorld::new(5), 40);
+        let mut agent: ExpectedSarsaAgent<usize> = ExpectedSarsaAgent::new(
+            2,
+            Schedule::Constant(0.2),
+            0.9,
+            Schedule::Linear { start: 1.0, end: 0.05, steps: 2_000 },
+            3,
+        );
+        train(&mut env, &mut agent, &TrainOptions::new(5_000).seed(5));
+        for s in 0..4usize {
+            assert_eq!(agent.greedy_action(&s), 1, "state {s}");
+        }
+    }
+
+    #[test]
+    fn qlearning_prefers_better_bandit_arm() {
+        let mut env = TwoArmedBandit::new(0.2, 0.8);
+        let mut agent = QLearningBuilder::new(2).seed(1).build();
+        train(&mut env, &mut agent, &TrainOptions::new(3_000).seed(2));
+        assert_eq!(agent.greedy_action(&()), 1);
+    }
+
+    #[test]
+    fn reward_target_stops_early() {
+        let mut env = TimeLimit::new(LineWorld::new(3), 10);
+        let mut agent = QLearningBuilder::new(2).seed(0).build();
+        let log = train(
+            &mut env,
+            &mut agent,
+            &TrainOptions::new(100_000).seed(1).reward_target(5.0),
+        );
+        assert_eq!(log.stop_reason, StopReason::RewardTarget);
+        assert!(log.total_reward() >= 5.0);
+        assert!(log.len() < 100_000);
+    }
+
+    #[test]
+    fn stop_on_terminate_halts_at_first_goal() {
+        let mut env = LineWorld::new(3);
+        let mut agent = QLearningBuilder::new(2).seed(0).build();
+        let log = train(
+            &mut env,
+            &mut agent,
+            &TrainOptions::new(10_000).seed(1).stop_on_terminate(),
+        );
+        assert_eq!(log.stop_reason, StopReason::Terminated);
+        assert!(log.steps.last().unwrap().terminated);
+    }
+
+    #[test]
+    fn mean_reward_bins_shapes() {
+        let mut env = TimeLimit::new(LineWorld::new(3), 10);
+        let mut agent = QLearningBuilder::new(2).seed(0).build();
+        let log = train(&mut env, &mut agent, &TrainOptions::new(250).seed(1));
+        let bins = log.mean_reward_bins(100);
+        assert_eq!(bins.len(), 3); // 100 + 100 + 50
+        for b in &bins {
+            assert!(b.is_finite());
+        }
+    }
+
+    #[test]
+    fn log_cumulative_is_prefix_sum() {
+        let mut env = TimeLimit::new(LineWorld::new(4), 20);
+        let mut agent = QLearningBuilder::new(2).seed(9).build();
+        let log = train(&mut env, &mut agent, &TrainOptions::new(500).seed(1));
+        let mut acc = 0.0;
+        for s in &log.steps {
+            acc += s.reward;
+            assert!((s.cumulative_reward - acc).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn training_is_seed_reproducible() {
+        let run = || {
+            let mut env = TimeLimit::new(LineWorld::new(6), 30);
+            let mut agent = QLearningBuilder::new(2).seed(42).build();
+            train(&mut env, &mut agent, &TrainOptions::new(1_000).seed(7))
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for agents, schedules and search primitives.
+
+use ax_agents::agent::{TabularAgent, TabularTransition};
+use ax_agents::qlearning::QLearningBuilder;
+use ax_agents::qtable::QTable;
+use ax_agents::schedule::Schedule;
+use ax_agents::search::{random_search, SearchSpace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+proptest! {
+    /// Linear schedules stay within [min(start, end), max(start, end)] and
+    /// are monotone in the step.
+    #[test]
+    fn linear_schedule_bounded_monotone(
+        start in -10.0f64..10.0,
+        end in -10.0f64..10.0,
+        steps in 1u64..1_000,
+        t1 in 0u64..2_000,
+        t2 in 0u64..2_000,
+    ) {
+        let s = Schedule::Linear { start, end, steps };
+        let (lo, hi) = (start.min(end), start.max(end));
+        for t in [t1, t2] {
+            let v = s.value(t);
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "{v} outside [{lo}, {hi}]");
+        }
+        let (a, b) = (t1.min(t2), t1.max(t2));
+        let (va, vb) = (s.value(a), s.value(b));
+        if start <= end {
+            prop_assert!(vb >= va - 1e-12);
+        } else {
+            prop_assert!(vb <= va + 1e-12);
+        }
+    }
+
+    /// Exponential schedules converge to `end` and never cross it.
+    #[test]
+    fn exponential_schedule_converges(
+        start in 0.01f64..10.0,
+        end in 0.0f64..0.01,
+        decay in 0.5f64..0.999,
+    ) {
+        let s = Schedule::Exponential { start, end, decay };
+        prop_assert!((s.value(0) - start).abs() < 1e-12);
+        let far = s.value(5_000);
+        prop_assert!(far >= end - 1e-12);
+        prop_assert!((far - end).abs() < 1e-3);
+    }
+
+    /// Q-table updates move values toward the target without overshoot for
+    /// learning rates in (0, 1].
+    #[test]
+    fn q_update_contracts_towards_target(
+        initial in -50.0f64..50.0,
+        target in -50.0f64..50.0,
+        alpha in 0.01f64..1.0,
+    ) {
+        let mut q: QTable<u8> = QTable::new(2, initial);
+        q.update(&0, 0, target, |old, t| old + alpha * (t - old));
+        let v = q.value(&0, 0);
+        let before = (target - initial).abs();
+        let after = (target - v).abs();
+        prop_assert!(after <= before + 1e-12);
+        // No overshoot: the updated value stays between old and target.
+        prop_assert!(
+            (v >= initial.min(target) - 1e-12) && (v <= initial.max(target) + 1e-12)
+        );
+    }
+
+    /// Q-learning's learned value for a single repeated terminal transition
+    /// converges to the reward.
+    #[test]
+    fn q_learning_converges_on_bandit(reward in -5.0f64..5.0) {
+        let mut agent = QLearningBuilder::new(1)
+            .alpha(Schedule::Constant(0.5))
+            .build::<u8>();
+        for _ in 0..64 {
+            agent.observe(TabularTransition {
+                state: 0,
+                action: 0,
+                reward,
+                next_state: 1,
+                terminal: true,
+            });
+        }
+        prop_assert!((agent.q_table().value(&0, 0) - reward).abs() < 1e-3);
+    }
+
+    /// Random search over a quadratic bowl finds points near the optimum
+    /// with enough samples, and its best-so-far history never regresses.
+    #[test]
+    fn random_search_on_quadratic(seed in 0u64..500) {
+        struct Bowl;
+        impl SearchSpace for Bowl {
+            type Point = f64;
+            fn random_point(&mut self, rng: &mut StdRng) -> f64 {
+                rng.gen_range(-10.0..10.0)
+            }
+            fn neighbor(&mut self, p: &f64, rng: &mut StdRng) -> f64 {
+                (p + rng.gen_range(-1.0..1.0)).clamp(-10.0, 10.0)
+            }
+            fn evaluate(&mut self, p: &f64) -> f64 {
+                -(p - 3.0) * (p - 3.0)
+            }
+        }
+        let out = random_search(&mut Bowl, 300, seed);
+        prop_assert!((out.best_point - 3.0).abs() < 2.0, "best {}", out.best_point);
+        for w in out.history.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! RL agent update-rule throughput.
+
+use ax_agents::agent::{TabularAgent, TabularTransition};
+use ax_agents::policy::ExplorationPolicy;
+use ax_agents::qlearning::QLearningBuilder;
+use ax_agents::schedule::Schedule;
+use ax_agents::train::{train, TrainOptions};
+use ax_gym::toy::LineWorld;
+use ax_gym::wrappers::TimeLimit;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_qlearning_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qlearning");
+    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    group.bench_function("select+observe", |b| {
+        let mut agent = QLearningBuilder::new(16).seed(1).build::<u64>();
+        let mut s = 0u64;
+        b.iter(|| {
+            let a = agent.select_action(&s);
+            agent.observe(TabularTransition {
+                state: s,
+                action: a,
+                reward: 0.5,
+                next_state: s + 1,
+                terminal: false,
+            });
+            s = (s + 1) % 1000;
+            black_box(a)
+        })
+    });
+
+    group.bench_function("train-lineworld-1000", |b| {
+        b.iter(|| {
+            let mut env = TimeLimit::new(LineWorld::new(10), 50);
+            let mut agent = QLearningBuilder::new(2).seed(3).build();
+            black_box(train(&mut env, &mut agent, &TrainOptions::new(1_000).seed(5)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy");
+    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let q_row: Vec<f64> = (0..16).map(|i| (i as f64 * 0.37).sin()).collect();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+
+    for (name, policy) in [
+        ("eps-greedy", ExplorationPolicy::EpsilonGreedy { epsilon: Schedule::Constant(0.1) }),
+        ("softmax", ExplorationPolicy::Softmax { temperature: Schedule::Constant(0.5) }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(policy.choose(&q_row, 100, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qlearning_step, bench_policies);
+criterion_main!(benches);

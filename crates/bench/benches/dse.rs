@@ -1,0 +1,55 @@
+//! End-to-end DSE throughput: environment steps and short explorations.
+
+use ax_dse::explore::{explore_qlearning, ExploreOptions};
+use ax_dse::reward::RewardParams;
+use ax_dse::thresholds::ThresholdRule;
+use ax_dse::{DseEnv, Evaluator};
+use ax_gym::env::Env;
+use ax_operators::OperatorLibrary;
+use ax_workloads::dot::DotProduct;
+use ax_workloads::matmul::MatMul;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_env_step(c: &mut Criterion) {
+    let lib = OperatorLibrary::evoapprox();
+    let mut group = c.benchmark_group("env");
+    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(300));
+
+    // Cold steps evaluate fresh configurations; warm steps hit the cache.
+    group.bench_function("step/matmul-10-warm", |b| {
+        let ev = Evaluator::new(&MatMul::new(10), &lib, 7).unwrap();
+        let th = ThresholdRule::paper().calibrate(&ev);
+        let mut env = DseEnv::new(ev, RewardParams::new(100.0, th));
+        env.reset(None);
+        let n = env.action_count();
+        let mut i = 0usize;
+        // Warm the cache by touring all actions once.
+        for a in 0..n {
+            env.step(&a);
+        }
+        b.iter(|| {
+            i = (i + 1) % n;
+            black_box(env.step(&i))
+        })
+    });
+    group.finish();
+}
+
+fn bench_exploration(c: &mut Criterion) {
+    let lib = OperatorLibrary::evoapprox();
+    let mut group = c.benchmark_group("explore");
+    group
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_millis(500))
+        .sample_size(10);
+
+    group.bench_function("qlearning-dot8-500-steps", |b| {
+        let opts = ExploreOptions { max_steps: 500, ..Default::default() };
+        b.iter(|| black_box(explore_qlearning(&DotProduct::new(8), &lib, &opts).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_env_step, bench_exploration);
+criterion_main!(benches);

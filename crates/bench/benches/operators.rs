@@ -1,0 +1,55 @@
+//! Throughput of the approximate operator models.
+//!
+//! Not a paper experiment: these benches guard the simulation substrate's
+//! performance (the DSE executes millions of modelled operations per
+//! exploration, so a slow model family would dominate wall-clock time).
+
+use ax_operators::{BitWidth, OperatorLibrary};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_adders(c: &mut Criterion) {
+    let lib = OperatorLibrary::evoapprox();
+    let mut group = c.benchmark_group("adders");
+    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for width in [BitWidth::W8, BitWidth::W16] {
+        for entry in lib.adders(width) {
+            let model = entry.model;
+            group.bench_function(format!("{width}/{}", entry.spec.name()), |b| {
+                let mut x = 1u64;
+                b.iter(|| {
+                    // Cheap LCG keeps inputs varied without measuring an RNG.
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let a = x & width.mask();
+                    let bb = (x >> 17) & width.mask();
+                    black_box(model.add(a, bb))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_multipliers(c: &mut Criterion) {
+    let lib = OperatorLibrary::evoapprox();
+    let mut group = c.benchmark_group("multipliers");
+    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for width in [BitWidth::W8, BitWidth::W32] {
+        for entry in lib.multipliers(width) {
+            let model = entry.model;
+            group.bench_function(format!("{width}/{}", entry.spec.name()), |b| {
+                let mut x = 1u64;
+                b.iter(|| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let a = x & width.mask();
+                    let bb = (x >> 13) & width.mask();
+                    black_box(model.mul(a, bb))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adders, bench_multipliers);
+criterion_main!(benches);

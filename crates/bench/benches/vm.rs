@@ -1,0 +1,51 @@
+//! Instrumented-interpreter throughput on the paper's benchmarks.
+
+use ax_operators::{AdderId, MulId, OperatorLibrary};
+use ax_vm::exec::Binding;
+use ax_vm::instrument::VarMask;
+use ax_workloads::fir::Fir;
+use ax_workloads::matmul::MatMul;
+use ax_workloads::Workload;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_workload_execution(c: &mut Criterion) {
+    let lib = OperatorLibrary::evoapprox();
+    let mut group = c.benchmark_group("execute");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(20);
+
+    let cases: Vec<(&str, Box<dyn Workload>)> = vec![
+        ("matmul-10", Box::new(MatMul::new(10))),
+        ("fir-100", Box::new(Fir::new(100))),
+    ];
+    for (label, wl) in cases {
+        let prepared = wl.prepare(7).unwrap();
+        let precise = Binding::precise(&lib, &prepared.program).unwrap();
+        let approx = Binding::new(&lib, &prepared.program, AdderId(4), MulId(4)).unwrap();
+        let none = VarMask::none(&prepared.program);
+        let all = VarMask::all(&prepared.program);
+        let executor = prepared.executor().unwrap();
+
+        group.bench_function(format!("{label}/precise"), |b| {
+            b.iter(|| black_box(executor.run(&precise, &none).unwrap()))
+        });
+        group.bench_function(format!("{label}/approx-all"), |b| {
+            b.iter(|| black_box(executor.run(&approx, &all).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_instrumentation(c: &mut Criterion) {
+    let program = MatMul::new(10).build().unwrap();
+    let mask = VarMask::all(&program);
+    c.bench_function("instruction_flags/matmul-10", |b| {
+        b.iter(|| black_box(ax_vm::instrument::instruction_flags(&program, &mask)))
+    });
+}
+
+criterion_group!(benches, bench_workload_execution, bench_instrumentation);
+criterion_main!(benches);

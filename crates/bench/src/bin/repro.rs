@@ -1,0 +1,201 @@
+//! Regenerates every table and figure of the paper plus the ablations.
+//!
+//! ```text
+//! repro [--out DIR] [--steps N] [--seed S] <command>
+//!
+//! commands:
+//!   table1                adder characterisation (paper Table I)
+//!   table2                multiplier characterisation (paper Table II)
+//!   table3                the four explorations (paper Table III)
+//!   fig2                  MatMul 10x10 step series + trends (paper Fig. 2)
+//!   fig3                  FIR-100 step series + trends (paper Fig. 3)
+//!   fig4                  average reward per 100 steps (paper Fig. 4)
+//!   ablation-explorers    Q-learning vs random/hill-climb/SA/GA
+//!   ablation-agents       Q-learning vs SARSA/Expected-SARSA/DoubleQ/Q(lambda)
+//!   ablation-epsilon      epsilon-schedule sensitivity
+//!   ablation-thresholds   threshold-rule sensitivity
+//!   sweep                 multi-seed robustness of the explorations
+//!   all                   everything above
+//! ```
+
+use ax_bench::{ablations, figures, tables, OutputDir};
+use ax_dse::explore::AgentKind;
+use ax_dse::report::ascii_table;
+use ax_dse::sweep::sweep_seeds;
+use ax_operators::OperatorLibrary;
+use ax_workloads::fir::Fir;
+use ax_workloads::Workload;
+use ax_dse::explore::ExploreOptions;
+use ax_workloads::matmul::MatMul;
+use ax_workloads::sobel::Sobel;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    out: OutputDir,
+    steps: u64,
+    seed: u64,
+    reward: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut command = None;
+    let mut out = OutputDir::at("results");
+    let mut steps = 10_000u64;
+    let mut seed = 0u64;
+    let mut reward = ExploreOptions::default().max_reward;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                let dir = it.next().ok_or("--out needs a directory")?;
+                out = OutputDir::at(dir);
+            }
+            "--no-out" => out = OutputDir::default(),
+            "--steps" => {
+                steps = it
+                    .next()
+                    .ok_or("--steps needs a number")?
+                    .parse()
+                    .map_err(|e| format!("bad --steps: {e}"))?;
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a number")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--reward" => {
+                reward = it
+                    .next()
+                    .ok_or("--reward needs a number")?
+                    .parse()
+                    .map_err(|e| format!("bad --reward: {e}"))?;
+            }
+            "--help" | "-h" => return Err("help".into()),
+            other if command.is_none() && !other.starts_with('-') => {
+                command = Some(other.to_owned());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Args { command: command.ok_or("missing command")?, out, steps, seed, reward })
+}
+
+fn explore_opts(steps: u64, seed: u64, reward: f64) -> ExploreOptions {
+    ExploreOptions { max_steps: steps, seed, max_reward: reward, ..Default::default() }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("usage: repro [--out DIR | --no-out] [--steps N] [--seed S] <command>");
+            eprintln!(
+                "commands: table1 table2 table3 fig2 fig3 fig4 \
+                 ablation-explorers ablation-agents ablation-epsilon ablation-thresholds sweep all"
+            );
+            return if msg == "help" { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
+    };
+
+    let opts = explore_opts(args.steps, args.seed, args.reward);
+    let run = |cmd: &str| -> bool {
+        match cmd {
+            "table1" => {
+                tables::table1(&args.out);
+            }
+            "table2" => {
+                tables::table2(&args.out);
+            }
+            "table3" => {
+                tables::table3(&opts, &args.out);
+            }
+            "fig2" => {
+                figures::fig2(&opts, &args.out);
+            }
+            "fig3" => {
+                figures::fig3(&opts, &args.out);
+            }
+            "fig4" => {
+                figures::fig4(&opts, &args.out);
+            }
+            "ablation-explorers" => {
+                // Sobel's 4 608-configuration space at a sub-saturating
+                // budget separates the explorers (matmul's 576 configs are
+                // exhausted by every strategy).
+                ablations::explorer_comparison(&Sobel::new(8), args.steps.min(600), args.seed, &args.out);
+            }
+            "sweep" => {
+                let lib = OperatorLibrary::evoapprox();
+                let mut rows = Vec::new();
+                let benches: Vec<Box<dyn Workload>> =
+                    vec![Box::new(MatMul::new(10)), Box::new(Fir::new(100))];
+                for wl in &benches {
+                    let sweep_opts = explore_opts(args.steps.min(3_000), 0, args.reward);
+                    let s = sweep_seeds(wl.as_ref(), &lib, &sweep_opts, AgentKind::QLearning, 10)
+                        .expect("sweep must run");
+                    rows.push(vec![
+                        s.benchmark.clone(),
+                        format!("{}/{}", s.reached_target, s.seeds),
+                        format!("{:.0} +/- {:.0}", s.stop_step.mean, s.stop_step.std_dev),
+                        format!("{:.1} +/- {:.1}", s.solution_power.mean, s.solution_power.std_dev),
+                        format!("{:.0}%", 100.0 * s.feasible_solutions),
+                    ]);
+                }
+                println!("\nSeed-robustness sweep (10 agent seeds)");
+                println!(
+                    "{}",
+                    ascii_table(
+                        &["benchmark", "reached target", "stop step", "solution d-power", "feasible"],
+                        &rows
+                    )
+                );
+                args.out.write("sweep_seeds", &["benchmark", "reached_target", "stop_step", "solution_dpower", "feasible"], &rows);
+            }
+            "ablation-agents" => {
+                ablations::agent_comparison(&MatMul::new(10), args.steps.min(3_000), &args.out);
+            }
+            "ablation-epsilon" => {
+                ablations::epsilon_ablation(&MatMul::new(10), args.steps.min(3_000), &args.out);
+            }
+            "ablation-thresholds" => {
+                ablations::threshold_ablation(&MatMul::new(10), args.steps.min(3_000), &args.out);
+            }
+            _ => return false,
+        }
+        true
+    };
+
+    let ok = if args.command == "all" {
+        for cmd in [
+            "table1",
+            "table2",
+            "table3",
+            "fig2",
+            "fig3",
+            "fig4",
+            "ablation-explorers",
+            "ablation-agents",
+            "sweep",
+            "ablation-epsilon",
+            "ablation-thresholds",
+        ] {
+            run(cmd);
+        }
+        true
+    } else {
+        run(&args.command)
+    };
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: unknown command `{}`", args.command);
+        ExitCode::FAILURE
+    }
+}

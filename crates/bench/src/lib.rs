@@ -1,0 +1,39 @@
+//! Reproduction harness: one function per paper table/figure plus the
+//! ablation studies; the `repro` binary is a thin CLI over these.
+//!
+//! Each function prints a paper-style ASCII table to stdout and, when given
+//! an output directory, writes the raw series as CSV so the figures can be
+//! replotted. The functions return their structured results so integration
+//! tests can assert on the reproduced shapes.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablations;
+pub mod figures;
+pub mod tables;
+
+use std::path::PathBuf;
+
+/// Where CSV artefacts are written (`None` = stdout only).
+#[derive(Debug, Clone, Default)]
+pub struct OutputDir(pub Option<PathBuf>);
+
+impl OutputDir {
+    /// An output directory rooted at `path`.
+    pub fn at(path: impl Into<PathBuf>) -> Self {
+        Self(Some(path.into()))
+    }
+
+    /// Writes `rows` as `<name>.csv` if a directory is configured.
+    pub fn write(&self, name: &str, headers: &[&str], rows: &[Vec<String>]) {
+        if let Some(dir) = &self.0 {
+            let path = dir.join(format!("{name}.csv"));
+            if let Err(e) = ax_dse::report::write_csv(&path, headers, rows) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("  wrote {}", path.display());
+            }
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Post-processing of exploration traces.
+//!
+//! Everything the paper's evaluation section reports is computed here:
+//!
+//! * [`MetricSummary`] — the min / solution / max rows of Table III;
+//! * [`FigureSeries`] + [`linear_trend`] — the per-step Δpower / Δtime /
+//!   Δaccuracy curves and trend lines of Figures 2 and 3;
+//! * [`reward_curve`] — the 100-step mean-reward series of Figure 4;
+//! * [`pareto_front`] / [`hypervolume_2d`] — the multi-objective quality
+//!   measures used by the explorer-comparison ablation.
+
+use crate::config::AxConfig;
+use crate::env::StepTrace;
+use crate::evaluator::EvalMetrics;
+use serde::{Deserialize, Serialize};
+
+/// Min / solution / max of one exploration metric (one Table III block).
+///
+/// "Solution" is the value at the **last** exploration step, following the
+/// paper ("the approximation run of the last step"); min and max are the
+/// extremes observed anywhere during the exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricSummary {
+    /// Minimum observed value.
+    pub min: f64,
+    /// Value of the final configuration.
+    pub solution: f64,
+    /// Maximum observed value.
+    pub max: f64,
+}
+
+impl MetricSummary {
+    /// Summarises a series whose last element is the solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is empty.
+    pub fn from_series(series: &[f64]) -> Self {
+        assert!(!series.is_empty(), "cannot summarise an empty series");
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in series {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Self { min, solution: *series.last().unwrap(), max }
+    }
+}
+
+/// The per-step series of one exploration (Figures 2 and 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureSeries {
+    /// Δpower per step.
+    pub power: Vec<f64>,
+    /// Δtime per step.
+    pub time: Vec<f64>,
+    /// Δaccuracy per step.
+    pub accuracy: Vec<f64>,
+}
+
+impl FigureSeries {
+    /// Extracts the series from a trace.
+    pub fn from_trace(trace: &[StepTrace]) -> Self {
+        Self {
+            power: trace.iter().map(|t| t.metrics.delta_power).collect(),
+            time: trace.iter().map(|t| t.metrics.delta_time).collect(),
+            accuracy: trace.iter().map(|t| t.metrics.delta_acc).collect(),
+        }
+    }
+
+    /// Least-squares trend lines `(slope, intercept)` of the three series —
+    /// the dotted trend lines of the paper's figures.
+    pub fn trends(&self) -> [(f64, f64); 3] {
+        [
+            linear_trend(&self.power),
+            linear_trend(&self.time),
+            linear_trend(&self.accuracy),
+        ]
+    }
+}
+
+/// Least-squares line fit over `y` with `x = 0, 1, 2, ...`; returns
+/// `(slope, intercept)`.
+///
+/// # Panics
+///
+/// Panics if `y` is empty.
+pub fn linear_trend(y: &[f64]) -> (f64, f64) {
+    assert!(!y.is_empty(), "cannot fit an empty series");
+    let n = y.len() as f64;
+    if y.len() == 1 {
+        return (0.0, y[0]);
+    }
+    let mean_x = (n - 1.0) / 2.0;
+    let mean_y: f64 = y.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (i, &v) in y.iter().enumerate() {
+        let dx = i as f64 - mean_x;
+        sxx += dx * dx;
+        sxy += dx * (v - mean_y);
+    }
+    let slope = sxy / sxx;
+    (slope, mean_y - slope * mean_x)
+}
+
+/// Mean reward over consecutive bins of `bin` steps (Figure 4's series).
+///
+/// # Panics
+///
+/// Panics if `bin` is zero.
+pub fn reward_curve(trace: &[StepTrace], bin: usize) -> Vec<f64> {
+    assert!(bin > 0, "bin size must be positive");
+    trace
+        .chunks(bin)
+        .map(|c| c.iter().map(|t| t.reward).sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+/// `true` if `a` dominates `b` in the (maximise Δpower, maximise Δtime,
+/// minimise Δacc) ordering.
+fn dominates(a: &EvalMetrics, b: &EvalMetrics) -> bool {
+    let ge = a.delta_power >= b.delta_power && a.delta_time >= b.delta_time && a.delta_acc <= b.delta_acc;
+    let strict = a.delta_power > b.delta_power || a.delta_time > b.delta_time || a.delta_acc < b.delta_acc;
+    ge && strict
+}
+
+/// The non-dominated subset of evaluated configurations under the paper's
+/// three objectives (maximise power/time reductions, minimise accuracy
+/// degradation).
+pub fn pareto_front(points: &[(AxConfig, EvalMetrics)]) -> Vec<(AxConfig, EvalMetrics)> {
+    points
+        .iter()
+        .filter(|(_, m)| !points.iter().any(|(_, other)| dominates(other, m)))
+        .copied()
+        .collect()
+}
+
+/// 2-D hypervolume (area dominated between `reference` and the front) for a
+/// **maximisation** problem. Points at or below the reference in either
+/// coordinate contribute nothing.
+pub fn hypervolume_2d(points: &[(f64, f64)], reference: (f64, f64)) -> f64 {
+    let mut front: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > reference.0 && *y > reference.1)
+        .copied()
+        .collect();
+    if front.is_empty() {
+        return 0.0;
+    }
+    // Sort by x descending; sweep keeping the best y seen so far.
+    front.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    let mut hv = 0.0;
+    let mut prev_y = reference.1;
+    let mut prev_x = front[0].0;
+    for &(x, y) in &front {
+        if y > prev_y {
+            // The slab between this x and the previous x is covered up to
+            // prev_y; account it before raising the ceiling.
+            hv += (prev_x - x) * (prev_y - reference.1);
+            prev_x = x;
+            prev_y = y;
+        }
+    }
+    hv += (prev_x - reference.0) * (prev_y - reference.1);
+    hv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ax_operators::{AdderId, MulId};
+
+    fn m(power: f64, time: f64, acc: f64) -> EvalMetrics {
+        EvalMetrics {
+            delta_acc: acc,
+            delta_power: power,
+            delta_time: time,
+            signed_error: 0.0,
+            power: 0.0,
+            time_ns: 0.0,
+        }
+    }
+
+    fn cfg(i: usize) -> AxConfig {
+        AxConfig { adder: AdderId(i % 6), mul: MulId(i / 6 % 6), vars: i as u64 % 16 }
+    }
+
+    fn step(i: u64, metrics: EvalMetrics, reward: f64) -> StepTrace {
+        StepTrace { step: i, config: cfg(i as usize), metrics, reward, terminated: false }
+    }
+
+    #[test]
+    fn summary_min_solution_max() {
+        let s = MetricSummary::from_series(&[3.0, -1.0, 7.0, 2.0]);
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.solution, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_rejects_empty() {
+        MetricSummary::from_series(&[]);
+    }
+
+    #[test]
+    fn linear_trend_recovers_exact_line() {
+        let y: Vec<f64> = (0..50).map(|i| 3.0 + 0.5 * i as f64).collect();
+        let (slope, intercept) = linear_trend(&y);
+        assert!((slope - 0.5).abs() < 1e-9);
+        assert!((intercept - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_trend_flat_series() {
+        let (slope, intercept) = linear_trend(&[2.0; 10]);
+        assert!(slope.abs() < 1e-12);
+        assert!((intercept - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_trend_single_point() {
+        assert_eq!(linear_trend(&[4.2]), (0.0, 4.2));
+    }
+
+    #[test]
+    fn figure_series_and_trends() {
+        let trace: Vec<StepTrace> = (0..100)
+            .map(|i| step(i, m(i as f64, 2.0 * i as f64, 100.0 - i as f64), 1.0))
+            .collect();
+        let series = FigureSeries::from_trace(&trace);
+        assert_eq!(series.power.len(), 100);
+        let [p, t, a] = series.trends();
+        assert!((p.0 - 1.0).abs() < 1e-9);
+        assert!((t.0 - 2.0).abs() < 1e-9);
+        assert!((a.0 + 1.0).abs() < 1e-9); // decreasing accuracy series
+    }
+
+    #[test]
+    fn reward_curve_bins() {
+        let trace: Vec<StepTrace> =
+            (0..250).map(|i| step(i, m(0.0, 0.0, 0.0), if i < 100 { -1.0 } else { 1.0 })).collect();
+        let curve = reward_curve(&trace, 100);
+        assert_eq!(curve, vec![-1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn pareto_front_filters_dominated() {
+        let points = vec![
+            (cfg(0), m(10.0, 10.0, 1.0)), // dominated by the next point
+            (cfg(1), m(20.0, 20.0, 0.5)),
+            (cfg(2), m(30.0, 5.0, 2.0)),  // trade-off: keeps its place
+            (cfg(3), m(5.0, 30.0, 0.1)),  // trade-off
+        ];
+        let front = pareto_front(&points);
+        let ids: Vec<u64> = front.iter().map(|(c, _)| c.vars).collect();
+        assert!(!ids.contains(&0));
+        assert_eq!(front.len(), 3);
+    }
+
+    #[test]
+    fn pareto_keeps_duplicates_of_equal_points() {
+        let points = vec![(cfg(0), m(1.0, 1.0, 1.0)), (cfg(1), m(1.0, 1.0, 1.0))];
+        assert_eq!(pareto_front(&points).len(), 2);
+    }
+
+    #[test]
+    fn hypervolume_rectangle() {
+        // A single point (2, 3) over reference (0, 0): area 6.
+        assert!((hypervolume_2d(&[(2.0, 3.0)], (0.0, 0.0)) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_union_of_rectangles() {
+        // Points (3,1) and (1,3): union area = 3 + 3 - 1 = 5.
+        let hv = hypervolume_2d(&[(3.0, 1.0), (1.0, 3.0)], (0.0, 0.0));
+        assert!((hv - 5.0).abs() < 1e-12, "{hv}");
+    }
+
+    #[test]
+    fn hypervolume_dominated_point_adds_nothing() {
+        let base = hypervolume_2d(&[(3.0, 3.0)], (0.0, 0.0));
+        let more = hypervolume_2d(&[(3.0, 3.0), (2.0, 2.0)], (0.0, 0.0));
+        assert!((base - more).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_empty_or_below_reference() {
+        assert_eq!(hypervolume_2d(&[], (0.0, 0.0)), 0.0);
+        assert_eq!(hypervolume_2d(&[(-1.0, 5.0)], (0.0, 0.0)), 0.0);
+    }
+}

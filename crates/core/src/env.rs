@@ -1,0 +1,297 @@
+//! The DSE environment (paper Figure 1).
+//!
+//! [`DseEnv`] is the Gymnasium-style environment of the paper: at each step
+//! it receives an action (change adder / change multiplier / toggle one
+//! variable), deploys the corresponding approximate application through the
+//! instrumented interpreter, computes (Δacc, Δpower, Δtime) against the
+//! precise run and returns the Algorithm 1 reward. The observation handed
+//! to the tabular agent is the discrete configuration part of the state
+//! ([`DseState`]); the continuous Δ observations are recorded per step in
+//! the environment's [`StepTrace`] (they are functions of the configuration,
+//! so the tabular state loses no information).
+
+use crate::config::{AxConfig, SpaceDims};
+use crate::evaluator::{EvalMetrics, Evaluator};
+use crate::reward::{reward, RewardParams};
+use ax_gym::env::{Env, Step};
+use ax_gym::space::Space;
+use ax_operators::{AdderId, MulId};
+use serde::{Deserialize, Serialize};
+
+/// The hashable observation: the discrete configuration part of the paper's
+/// Equation 1 state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DseState {
+    /// Selected adder index.
+    pub adder: usize,
+    /// Selected multiplier index.
+    pub mul: usize,
+    /// Variable-selection bits.
+    pub vars: u64,
+}
+
+impl From<AxConfig> for DseState {
+    fn from(c: AxConfig) -> Self {
+        Self { adder: c.adder.0, mul: c.mul.0, vars: c.vars }
+    }
+}
+
+/// A decoded environment action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DseAction {
+    /// Select adder `i` of the width class.
+    SetAdder(usize),
+    /// Select multiplier `i` of the width class.
+    SetMultiplier(usize),
+    /// Toggle approximable variable `i`.
+    ToggleVar(u32),
+}
+
+/// One recorded environment step (configuration, observations, reward).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepTrace {
+    /// Global step index (0-based).
+    pub step: u64,
+    /// The configuration *after* applying the action.
+    pub config: AxConfig,
+    /// The observations of that configuration.
+    pub metrics: EvalMetrics,
+    /// The Algorithm 1 reward.
+    pub reward: f64,
+    /// Algorithm 1 raised the terminate flag.
+    pub terminated: bool,
+}
+
+/// The approximate-computing design-space exploration environment.
+pub struct DseEnv {
+    evaluator: Evaluator,
+    params: RewardParams,
+    config: AxConfig,
+    trace: Vec<StepTrace>,
+}
+
+impl DseEnv {
+    /// Wraps an evaluator with reward parameters.
+    pub fn new(evaluator: Evaluator, params: RewardParams) -> Self {
+        Self { evaluator, params, config: AxConfig::precise(), trace: Vec::new() }
+    }
+
+    /// The configuration-space dimensions.
+    pub fn dims(&self) -> SpaceDims {
+        self.evaluator.dims()
+    }
+
+    /// Number of discrete actions (`n_add + n_mul + n_vars`).
+    pub fn action_count(&self) -> usize {
+        self.dims().action_count()
+    }
+
+    /// Decodes a flat action index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action` is out of range.
+    pub fn decode_action(&self, action: usize) -> DseAction {
+        let d = self.dims();
+        if action < d.n_add {
+            DseAction::SetAdder(action)
+        } else if action < d.n_add + d.n_mul {
+            DseAction::SetMultiplier(action - d.n_add)
+        } else if action < d.action_count() {
+            DseAction::ToggleVar((action - d.n_add - d.n_mul) as u32)
+        } else {
+            panic!("action {action} out of range {}", d.action_count());
+        }
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> AxConfig {
+        self.config
+    }
+
+    /// The reward parameters in force.
+    pub fn params(&self) -> RewardParams {
+        self.params
+    }
+
+    /// The full step trace across all episodes of this environment.
+    pub fn trace(&self) -> &[StepTrace] {
+        &self.trace
+    }
+
+    /// The underlying evaluator.
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.evaluator
+    }
+
+    /// Consumes the environment, returning evaluator and trace.
+    pub fn into_parts(self) -> (Evaluator, Vec<StepTrace>) {
+        (self.evaluator, self.trace)
+    }
+
+    fn apply(&self, action: usize) -> AxConfig {
+        let mut next = self.config;
+        match self.decode_action(action) {
+            DseAction::SetAdder(i) => next.adder = AdderId(i),
+            DseAction::SetMultiplier(i) => next.mul = MulId(i),
+            DseAction::ToggleVar(i) => next.vars ^= 1 << i,
+        }
+        next
+    }
+}
+
+impl Env for DseEnv {
+    type Obs = DseState;
+    type Action = usize;
+
+    fn observation_space(&self) -> Space {
+        let d = self.dims();
+        Space::Tuple(vec![
+            Space::Discrete { n: d.n_add },
+            Space::Discrete { n: d.n_mul },
+            Space::MultiBinary { n: d.n_vars as usize },
+            // The Δacc / Δpower / Δtime observations of Equation 1
+            // (practically unbounded; finite bounds keep sampling total).
+            Space::uniform_box(3, -1e18, 1e18),
+        ])
+    }
+
+    fn action_space(&self) -> Space {
+        Space::Discrete { n: self.action_count() }
+    }
+
+    fn reset(&mut self, _seed: Option<u64>) -> DseState {
+        // Inputs are fixed at construction (the paper explores one benchmark
+        // instance); reset only returns to the precise configuration. The
+        // trace deliberately persists across episodes — it is the global
+        // exploration record behind Figures 2-4.
+        self.config = AxConfig::precise();
+        self.config.into()
+    }
+
+    fn step(&mut self, action: &usize) -> Step<DseState> {
+        let next = self.apply(*action);
+        let metrics = self
+            .evaluator
+            .evaluate(&next)
+            .expect("validated workload evaluation cannot fail");
+        let (r, terminate) = reward(&next, self.dims(), &metrics, &self.params);
+        self.config = next;
+        self.trace.push(StepTrace {
+            step: self.trace.len() as u64,
+            config: next,
+            metrics,
+            reward: r,
+            terminated: terminate,
+        });
+        Step { obs: next.into(), reward: r, terminated: terminate, truncated: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thresholds::ThresholdRule;
+    use ax_operators::OperatorLibrary;
+    use ax_workloads::matmul::MatMul;
+
+    fn env() -> DseEnv {
+        let lib = OperatorLibrary::evoapprox();
+        let ev = Evaluator::new(&MatMul::new(4), &lib, 3).unwrap();
+        let th = ThresholdRule::paper().calibrate(&ev);
+        DseEnv::new(ev, RewardParams::new(100.0, th))
+    }
+
+    #[test]
+    fn action_decoding_covers_all_kinds() {
+        let e = env();
+        assert_eq!(e.action_count(), 16);
+        assert_eq!(e.decode_action(0), DseAction::SetAdder(0));
+        assert_eq!(e.decode_action(5), DseAction::SetAdder(5));
+        assert_eq!(e.decode_action(6), DseAction::SetMultiplier(0));
+        assert_eq!(e.decode_action(11), DseAction::SetMultiplier(5));
+        assert_eq!(e.decode_action(12), DseAction::ToggleVar(0));
+        assert_eq!(e.decode_action(15), DseAction::ToggleVar(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_action_rejected() {
+        env().decode_action(16);
+    }
+
+    #[test]
+    fn reset_returns_precise_state() {
+        let mut e = env();
+        let s = e.reset(None);
+        assert_eq!(s, DseState { adder: 0, mul: 0, vars: 0 });
+        assert_eq!(e.config(), AxConfig::precise());
+    }
+
+    #[test]
+    fn step_applies_action_and_traces() {
+        let mut e = env();
+        e.reset(None);
+        let s = e.step(&3); // SetAdder(3)
+        assert_eq!(s.obs.adder, 3);
+        let s = e.step(&12); // ToggleVar(0)
+        assert_eq!(s.obs.vars, 1);
+        assert_eq!(e.trace().len(), 2);
+        assert_eq!(e.trace()[1].config.vars, 1);
+    }
+
+    #[test]
+    fn toggle_twice_restores() {
+        let mut e = env();
+        e.reset(None);
+        e.step(&14);
+        let s = e.step(&14);
+        assert_eq!(s.obs.vars, 0);
+    }
+
+    #[test]
+    fn precise_steps_earn_minus_one() {
+        // Changing operators without selecting variables keeps the run
+        // precise: within accuracy but zero gains -> reward -1.
+        let mut e = env();
+        e.reset(None);
+        let s = e.step(&2);
+        assert_eq!(s.reward, -1.0);
+        assert!(!s.terminated);
+    }
+
+    #[test]
+    fn trace_survives_reset() {
+        let mut e = env();
+        e.reset(None);
+        e.step(&1);
+        e.reset(None);
+        e.step(&2);
+        assert_eq!(e.trace().len(), 2);
+        assert_eq!(e.trace()[1].step, 1);
+    }
+
+    #[test]
+    fn spaces_describe_the_setup() {
+        let e = env();
+        assert_eq!(e.action_space(), Space::Discrete { n: 16 });
+        match e.observation_space() {
+            Space::Tuple(parts) => {
+                assert_eq!(parts.len(), 4);
+                assert_eq!(parts[0], Space::Discrete { n: 6 });
+                assert_eq!(parts[2], Space::MultiBinary { n: 4 });
+            }
+            other => panic!("unexpected space {other}"),
+        }
+    }
+
+    #[test]
+    fn repeated_states_reuse_cache() {
+        let mut e = env();
+        e.reset(None);
+        e.step(&12);
+        e.step(&12);
+        e.step(&12); // back to vars=1, previously evaluated
+        assert!(e.evaluator().cache_hits() >= 1);
+    }
+}

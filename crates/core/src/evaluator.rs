@@ -1,0 +1,268 @@
+//! Configuration evaluation with memoisation.
+//!
+//! Evaluating a configuration means executing the instrumented benchmark and
+//! comparing it to the precise reference: accuracy degradation (MAE,
+//! Equation 2 with |·|), power reduction and computation-time reduction.
+//! The design space is finite and the benchmark inputs are fixed, so every
+//! configuration is deterministic — [`Evaluator`] caches results and the RL
+//! loop pays for each *distinct* design exactly once (the paper's goal of
+//! "minimizing the number of designs to evaluate").
+
+use crate::config::{AxConfig, SpaceDims};
+use ax_operators::metrics::{mae, signed_mean_error};
+use ax_operators::OperatorLibrary;
+use ax_vm::exec::Binding;
+use ax_vm::instrument::VarMask;
+use ax_vm::VmError;
+use ax_workloads::{PreparedWorkload, Workload};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The observed quality/cost of one configuration, relative to the precise
+/// run (the Δ terms of the paper's Equation 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalMetrics {
+    /// Accuracy degradation: MAE between precise and approximate outputs.
+    pub delta_acc: f64,
+    /// Power reduction: `power_precise − power_approx` (mW units).
+    pub delta_power: f64,
+    /// Computation-time reduction: `time_precise − time_approx` (ns).
+    pub delta_time: f64,
+    /// Literal Equation 2 (no absolute value) — reported for completeness.
+    pub signed_error: f64,
+    /// Absolute power of the approximate run.
+    pub power: f64,
+    /// Absolute computation time of the approximate run.
+    pub time_ns: f64,
+}
+
+/// Evaluates configurations of one benchmark against its precise reference,
+/// caching by configuration.
+#[derive(Debug)]
+pub struct Evaluator {
+    prepared: PreparedWorkload,
+    lib: OperatorLibrary,
+    dims: SpaceDims,
+    precise_outputs: Vec<f64>,
+    precise_power: f64,
+    precise_time: f64,
+    cache: HashMap<AxConfig, EvalMetrics>,
+    hits: u64,
+}
+
+impl Evaluator {
+    /// Prepares `workload` with inputs from `input_seed` and runs the
+    /// precise reference.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the workload cannot be built, the library lacks operators at
+    /// the workload's widths, or the precise run fails.
+    pub fn new(
+        workload: &dyn Workload,
+        lib: &OperatorLibrary,
+        input_seed: u64,
+    ) -> Result<Self, VmError> {
+        let prepared = workload.prepare(input_seed)?;
+        let n_add = lib.adders(prepared.program.add_width()).len();
+        let n_mul = lib.multipliers(prepared.program.mul_width()).len();
+        if n_add == 0 {
+            return Err(VmError::UnsupportedWidth {
+                what: "adder",
+                width_bits: prepared.program.add_width().bits(),
+            });
+        }
+        if n_mul == 0 {
+            return Err(VmError::UnsupportedWidth {
+                what: "multiplier",
+                width_bits: prepared.program.mul_width().bits(),
+            });
+        }
+        let n_vars = VarMask::none(&prepared.program).len();
+        let reference = prepared.run_precise(lib)?;
+        let precise_outputs: Vec<f64> = reference.outputs.iter().map(|&v| v as f64).collect();
+        Ok(Self {
+            prepared,
+            lib: lib.clone(),
+            dims: SpaceDims { n_add, n_mul, n_vars },
+            precise_outputs,
+            precise_power: reference.profile.power_mw,
+            precise_time: reference.profile.time_ns,
+            cache: HashMap::new(),
+            hits: 0,
+        })
+    }
+
+    /// The configuration-space dimensions of this benchmark.
+    pub fn dims(&self) -> SpaceDims {
+        self.dims
+    }
+
+    /// The benchmark's program (e.g. for variable names).
+    pub fn program(&self) -> &ax_vm::Program {
+        &self.prepared.program
+    }
+
+    /// Power of the precise run (Σ per-op constants).
+    pub fn precise_power(&self) -> f64 {
+        self.precise_power
+    }
+
+    /// Computation time of the precise run.
+    pub fn precise_time(&self) -> f64 {
+        self.precise_time
+    }
+
+    /// Mean |output| of the precise run — the basis of the paper's accuracy
+    /// threshold (0.4 × the average output).
+    pub fn mean_abs_output(&self) -> f64 {
+        self.precise_outputs.iter().map(|v| v.abs()).sum::<f64>()
+            / self.precise_outputs.len() as f64
+    }
+
+    /// Evaluates a configuration (cached).
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors; impossible for validated workloads whose
+    /// multiplication operands are program inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is outside this benchmark's space.
+    pub fn evaluate(&mut self, config: &AxConfig) -> Result<EvalMetrics, VmError> {
+        assert!(config.is_valid(self.dims), "configuration {config} outside the space");
+        if let Some(m) = self.cache.get(config) {
+            self.hits += 1;
+            return Ok(*m);
+        }
+        let binding = Binding::new(&self.lib, &self.prepared.program, config.adder, config.mul)?;
+        let mask = VarMask::with_bits(&self.prepared.program, config.vars);
+        let outcome = self.prepared.run(&binding, &mask)?;
+        let approx: Vec<f64> = outcome.outputs.iter().map(|&v| v as f64).collect();
+        let metrics = EvalMetrics {
+            delta_acc: mae(&self.precise_outputs, &approx),
+            delta_power: self.precise_power - outcome.profile.power_mw,
+            delta_time: self.precise_time - outcome.profile.time_ns,
+            signed_error: signed_mean_error(&self.precise_outputs, &approx),
+            power: outcome.profile.power_mw,
+            time_ns: outcome.profile.time_ns,
+        };
+        self.cache.insert(*config, metrics);
+        Ok(metrics)
+    }
+
+    /// Number of *distinct* configurations executed so far.
+    pub fn distinct_evaluations(&self) -> u64 {
+        self.cache.len() as u64
+    }
+
+    /// Number of evaluations answered from the cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// All evaluated configurations with their metrics (for Pareto
+    /// analysis), in unspecified order.
+    pub fn evaluated(&self) -> Vec<(AxConfig, EvalMetrics)> {
+        self.cache.iter().map(|(c, m)| (*c, *m)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ax_operators::{AdderId, MulId};
+    use ax_workloads::dot::DotProduct;
+    use ax_workloads::matmul::MatMul;
+
+    fn evaluator() -> Evaluator {
+        let lib = OperatorLibrary::evoapprox();
+        Evaluator::new(&MatMul::new(4), &lib, 11).unwrap()
+    }
+
+    #[test]
+    fn precise_config_has_zero_deltas() {
+        let mut ev = evaluator();
+        let m = ev.evaluate(&AxConfig::precise()).unwrap();
+        assert_eq!(m.delta_acc, 0.0);
+        assert_eq!(m.delta_power, 0.0);
+        assert_eq!(m.delta_time, 0.0);
+        assert_eq!(m.signed_error, 0.0);
+        assert_eq!(m.power, ev.precise_power());
+    }
+
+    #[test]
+    fn empty_mask_with_approx_operators_still_precise() {
+        // No variables selected -> nothing routed through the approximate
+        // operators, regardless of the configured adder/multiplier.
+        let mut ev = evaluator();
+        let m = ev
+            .evaluate(&AxConfig { adder: AdderId(5), mul: MulId(5), vars: 0 })
+            .unwrap();
+        assert_eq!(m.delta_acc, 0.0);
+        assert_eq!(m.delta_power, 0.0);
+    }
+
+    #[test]
+    fn full_approximation_maximises_power_saving() {
+        let mut ev = evaluator();
+        let dims = ev.dims();
+        let full = AxConfig {
+            adder: AdderId(dims.n_add - 1),
+            mul: MulId(dims.n_mul - 1),
+            vars: (1 << dims.n_vars) - 1,
+        };
+        let m_full = ev.evaluate(&full).unwrap();
+        // Every other configuration saves at most as much power.
+        for c in AxConfig::enumerate(dims) {
+            let m = ev.evaluate(&c).unwrap();
+            assert!(m.delta_power <= m_full.delta_power + 1e-9, "{c}");
+        }
+        assert!(m_full.delta_acc > 0.0);
+    }
+
+    #[test]
+    fn cache_hits_are_counted() {
+        let mut ev = evaluator();
+        let c = AxConfig { adder: AdderId(1), mul: MulId(1), vars: 0b11 };
+        ev.evaluate(&c).unwrap();
+        assert_eq!(ev.distinct_evaluations(), 1);
+        assert_eq!(ev.cache_hits(), 0);
+        ev.evaluate(&c).unwrap();
+        assert_eq!(ev.distinct_evaluations(), 1);
+        assert_eq!(ev.cache_hits(), 1);
+    }
+
+    #[test]
+    fn dims_match_library_and_program() {
+        let ev = evaluator();
+        let dims = ev.dims();
+        assert_eq!(dims.n_add, 6);
+        assert_eq!(dims.n_mul, 6);
+        assert_eq!(dims.n_vars, 4); // a, b, prod, c
+    }
+
+    #[test]
+    fn mean_abs_output_is_positive() {
+        let ev = evaluator();
+        assert!(ev.mean_abs_output() > 0.0);
+    }
+
+    #[test]
+    fn works_for_single_output_workload() {
+        let lib = OperatorLibrary::evoapprox();
+        let mut ev = Evaluator::new(&DotProduct::new(6), &lib, 3).unwrap();
+        let m = ev
+            .evaluate(&AxConfig { adder: AdderId(4), mul: MulId(4), vars: 0b1111 })
+            .unwrap();
+        assert!(m.delta_power > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the space")]
+    fn invalid_config_rejected() {
+        let mut ev = evaluator();
+        let _ = ev.evaluate(&AxConfig { adder: AdderId(9), mul: MulId(0), vars: 0 });
+    }
+}

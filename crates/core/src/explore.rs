@@ -1,0 +1,371 @@
+//! The exploration driver: reproduces one Table III column per call.
+//!
+//! [`explore_qlearning`] builds the [`DseEnv`] for a benchmark, calibrates
+//! the thresholds from the precise run, trains a Q-learning agent under the
+//! paper's stop rules (terminate flag, cumulative-reward target `R`, 10 000
+//! step cap) and post-processes the trace into an [`ExplorationSummary`].
+
+use crate::analysis::{FigureSeries, MetricSummary};
+use crate::env::{DseEnv, DseState, StepTrace};
+use crate::evaluator::Evaluator;
+use crate::reward::RewardParams;
+use crate::thresholds::{ThresholdRule, Thresholds};
+use ax_agents::agent::TabularAgent;
+use ax_agents::double_q::DoubleQAgent;
+use ax_agents::policy::ExplorationPolicy;
+use ax_agents::qlambda::QLambdaAgent;
+use ax_agents::qlearning::QLearningBuilder;
+use ax_agents::sarsa::{ExpectedSarsaAgent, SarsaAgent};
+use ax_agents::schedule::Schedule;
+use ax_agents::train::{train, StopReason, TrainLog, TrainOptions};
+use ax_operators::OperatorLibrary;
+use ax_vm::VmError;
+use ax_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Options of one exploration run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExploreOptions {
+    /// Step cap (paper: 10 000, "selected upon trial and error").
+    pub max_steps: u64,
+    /// Agent RNG seed.
+    pub seed: u64,
+    /// Benchmark input seed.
+    pub input_seed: u64,
+    /// The paper's `R`: terminal bonus, accuracy penalty and cumulative
+    /// stop target.
+    pub max_reward: f64,
+    /// Threshold calibration rule (paper: 0.5 / 0.5 / 0.4).
+    pub rule: ThresholdRule,
+    /// Q-learning learning rate.
+    pub alpha: Schedule,
+    /// Q-learning discount factor.
+    pub gamma: f64,
+    /// ε-greedy exploration schedule.
+    pub epsilon: Schedule,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        // The paper reports neither R nor the agent's hyper-parameters; these
+        // defaults are tuned (see EXPERIMENTS.md) so the explorations show
+        // the paper's qualitative behaviour: MatMul reaches the cumulative
+        // reward target mid-exploration (paper: ~2 000 steps) while FIR
+        // struggles and exhausts the step cap.
+        Self {
+            max_steps: 10_000,
+            seed: 0,
+            input_seed: 42,
+            max_reward: 100.0,
+            rule: ThresholdRule::paper(),
+            alpha: Schedule::Constant(0.5),
+            gamma: 0.95,
+            epsilon: Schedule::Exponential { start: 0.3, end: 0.02, decay: 0.99 },
+        }
+    }
+}
+
+/// One Table III block: the summary of an exploration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplorationSummary {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Δ power consumption (mW): min / solution / max.
+    pub power: MetricSummary,
+    /// Δ computation time (ns): min / solution / max.
+    pub time: MetricSummary,
+    /// Accuracy degradation (MAE): min / solution / max.
+    pub accuracy: MetricSummary,
+    /// Adder of the final configuration (paper's "Adder Type" row).
+    pub adder_name: String,
+    /// Multiplier of the final configuration ("Multiplier Type" row).
+    pub mul_name: String,
+    /// Steps taken before the exploration stopped.
+    pub steps: u64,
+}
+
+/// Everything produced by one exploration.
+#[derive(Debug)]
+pub struct ExplorationOutcome {
+    /// Per-step environment trace (configuration, Δs, reward).
+    pub trace: Vec<StepTrace>,
+    /// Per-step agent log (actions, cumulative reward, stop reason).
+    pub log: TrainLog,
+    /// Why the exploration stopped.
+    pub stop_reason: StopReason,
+    /// The calibrated thresholds in force.
+    pub thresholds: Thresholds,
+    /// The Table III style summary.
+    pub summary: ExplorationSummary,
+    /// Distinct configurations executed (cache misses).
+    pub distinct_configs: u64,
+    /// The evaluator (retains the evaluation cache for Pareto analysis).
+    pub evaluator: Evaluator,
+}
+
+impl ExplorationOutcome {
+    /// The per-step Δ series for Figures 2 and 3.
+    pub fn figure_series(&self) -> FigureSeries {
+        FigureSeries::from_trace(&self.trace)
+    }
+}
+
+/// The learning algorithm driving an exploration.
+///
+/// The paper uses [`AgentKind::QLearning`]; the others are the ablation
+/// agents for its "improve the learning strategy" future-work direction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AgentKind {
+    /// Tabular Q-learning (the paper's agent).
+    QLearning,
+    /// On-policy SARSA(0).
+    Sarsa,
+    /// Expected SARSA.
+    ExpectedSarsa,
+    /// Double Q-learning.
+    DoubleQ,
+    /// Watkins Q(λ) with the given trace decay.
+    QLambda {
+        /// Trace decay λ ∈ [0, 1].
+        lambda: f64,
+    },
+}
+
+impl AgentKind {
+    /// Short display name for tables.
+    pub fn name(&self) -> String {
+        match self {
+            AgentKind::QLearning => "q-learning".into(),
+            AgentKind::Sarsa => "sarsa".into(),
+            AgentKind::ExpectedSarsa => "expected-sarsa".into(),
+            AgentKind::DoubleQ => "double-q".into(),
+            AgentKind::QLambda { lambda } => format!("q-lambda({lambda})"),
+        }
+    }
+}
+
+/// Runs the paper's Q-learning exploration on one benchmark.
+///
+/// # Errors
+///
+/// Fails if the benchmark cannot be built or the operator library lacks the
+/// benchmark's operand widths.
+///
+/// # Panics
+///
+/// Panics if the exploration takes no steps (`max_steps == 0`).
+pub fn explore_qlearning(
+    workload: &dyn Workload,
+    lib: &OperatorLibrary,
+    opts: &ExploreOptions,
+) -> Result<ExplorationOutcome, VmError> {
+    explore_with_agent(workload, lib, opts, AgentKind::QLearning)
+}
+
+/// Runs an exploration with any of the supported learning algorithms.
+///
+/// # Errors
+///
+/// Fails if the benchmark cannot be built or the operator library lacks the
+/// benchmark's operand widths.
+///
+/// # Panics
+///
+/// Panics if the exploration takes no steps (`max_steps == 0`).
+pub fn explore_with_agent(
+    workload: &dyn Workload,
+    lib: &OperatorLibrary,
+    opts: &ExploreOptions,
+    kind: AgentKind,
+) -> Result<ExplorationOutcome, VmError> {
+    let evaluator = Evaluator::new(workload, lib, opts.input_seed)?;
+    let thresholds = opts.rule.calibrate(&evaluator);
+    let params = RewardParams::new(opts.max_reward, thresholds);
+    let mut env = DseEnv::new(evaluator, params);
+
+    let n_actions = env.action_count();
+    let policy = ExplorationPolicy::EpsilonGreedy { epsilon: opts.epsilon };
+    let mut agent: Box<dyn TabularAgent<DseState>> = match kind {
+        AgentKind::QLearning => Box::new(
+            QLearningBuilder::new(n_actions)
+                .alpha(opts.alpha)
+                .gamma(opts.gamma)
+                .policy(policy)
+                .seed(opts.seed)
+                .build(),
+        ),
+        AgentKind::Sarsa => {
+            Box::new(SarsaAgent::new(n_actions, opts.alpha, opts.gamma, policy, opts.seed))
+        }
+        AgentKind::ExpectedSarsa => Box::new(ExpectedSarsaAgent::new(
+            n_actions,
+            opts.alpha,
+            opts.gamma,
+            opts.epsilon,
+            opts.seed,
+        )),
+        AgentKind::DoubleQ => {
+            Box::new(DoubleQAgent::new(n_actions, opts.alpha, opts.gamma, policy, opts.seed))
+        }
+        AgentKind::QLambda { lambda } => Box::new(QLambdaAgent::new(
+            n_actions,
+            opts.alpha,
+            opts.gamma,
+            lambda,
+            policy,
+            opts.seed,
+        )),
+    };
+
+    let train_opts = TrainOptions::new(opts.max_steps)
+        .seed(opts.input_seed)
+        .reward_target(opts.max_reward)
+        .stop_on_terminate();
+    let log = train(&mut env, &mut agent, &train_opts);
+    let stop_reason = log.stop_reason;
+
+    let (evaluator, trace) = env.into_parts();
+    assert!(!trace.is_empty(), "exploration took no steps");
+
+    let series = FigureSeries::from_trace(&trace);
+    let last = trace.last().unwrap();
+    let add_width = evaluator.program().add_width();
+    let mul_width = evaluator.program().mul_width();
+    let summary = ExplorationSummary {
+        benchmark: workload.name(),
+        power: MetricSummary::from_series(&series.power),
+        time: MetricSummary::from_series(&series.time),
+        accuracy: MetricSummary::from_series(&series.accuracy),
+        adder_name: lib.adder(add_width, last.config.adder).spec.name().to_owned(),
+        mul_name: lib.multiplier(mul_width, last.config.mul).spec.name().to_owned(),
+        steps: trace.len() as u64,
+    };
+
+    Ok(ExplorationOutcome {
+        distinct_configs: evaluator.distinct_evaluations(),
+        trace,
+        log,
+        stop_reason,
+        thresholds,
+        summary,
+        evaluator,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ax_workloads::dot::DotProduct;
+    use ax_workloads::matmul::MatMul;
+
+    fn lib() -> OperatorLibrary {
+        OperatorLibrary::evoapprox()
+    }
+
+    fn quick_opts(steps: u64) -> ExploreOptions {
+        ExploreOptions { max_steps: steps, ..Default::default() }
+    }
+
+    #[test]
+    fn exploration_produces_consistent_outputs() {
+        let outcome = explore_qlearning(&MatMul::new(4), &lib(), &quick_opts(400)).unwrap();
+        assert_eq!(outcome.trace.len(), outcome.log.len());
+        assert_eq!(outcome.summary.steps, outcome.trace.len() as u64);
+        assert!(outcome.summary.power.min <= outcome.summary.power.solution);
+        assert!(outcome.summary.power.solution <= outcome.summary.power.max);
+        assert!(outcome.distinct_configs >= 1);
+        // All four benchmarks use named operators from the library.
+        assert!(!outcome.summary.adder_name.is_empty());
+        assert!(!outcome.summary.mul_name.is_empty());
+    }
+
+    #[test]
+    fn exploration_is_seed_reproducible() {
+        let a = explore_qlearning(&DotProduct::new(8), &lib(), &quick_opts(300)).unwrap();
+        let b = explore_qlearning(&DotProduct::new(8), &lib(), &quick_opts(300)).unwrap();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.summary, b.summary);
+    }
+
+    #[test]
+    fn different_agent_seeds_explore_differently() {
+        let mut o1 = quick_opts(300);
+        o1.seed = 1;
+        let mut o2 = quick_opts(300);
+        o2.seed = 2;
+        let a = explore_qlearning(&DotProduct::new(8), &lib(), &o1).unwrap();
+        let b = explore_qlearning(&DotProduct::new(8), &lib(), &o2).unwrap();
+        assert_ne!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn cache_bounds_distinct_configs() {
+        let outcome = explore_qlearning(&MatMul::new(4), &lib(), &quick_opts(500)).unwrap();
+        let dims_card = 6 * 6 * 16;
+        assert!(outcome.distinct_configs <= dims_card);
+        // With 500 steps the agent revisits configurations: far fewer
+        // distinct evaluations than steps is the whole point of the cache.
+        assert!(outcome.distinct_configs <= outcome.trace.len() as u64);
+    }
+
+    #[test]
+    fn reward_target_stop_is_possible() {
+        // A generous accuracy budget and tiny R make the target reachable.
+        let mut opts = quick_opts(5_000);
+        opts.max_reward = 20.0;
+        opts.rule = ThresholdRule { power_frac: 0.05, time_frac: 0.05, acc_frac: 10.0 };
+        let outcome = explore_qlearning(&DotProduct::new(8), &lib(), &opts).unwrap();
+        assert_eq!(outcome.stop_reason, StopReason::RewardTarget);
+        assert!(outcome.trace.len() < 5_000);
+    }
+
+    #[test]
+    fn figure_series_lengths_match_trace() {
+        let outcome = explore_qlearning(&DotProduct::new(8), &lib(), &quick_opts(200)).unwrap();
+        let series = outcome.figure_series();
+        assert_eq!(series.power.len(), outcome.trace.len());
+        assert_eq!(series.accuracy.len(), outcome.trace.len());
+    }
+
+    #[test]
+    fn every_agent_kind_explores() {
+        use crate::explore::AgentKind;
+        let l = lib();
+        for kind in [
+            AgentKind::QLearning,
+            AgentKind::Sarsa,
+            AgentKind::ExpectedSarsa,
+            AgentKind::DoubleQ,
+            AgentKind::QLambda { lambda: 0.7 },
+        ] {
+            let o = explore_with_agent(&DotProduct::new(8), &l, &quick_opts(120), kind)
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            assert!(!o.trace.is_empty(), "{}", kind.name());
+            assert_eq!(o.trace.len(), o.log.len(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn agent_kinds_differ_in_behaviour() {
+        use crate::explore::AgentKind;
+        let l = lib();
+        let ql = explore_with_agent(
+            &DotProduct::new(8),
+            &l,
+            &quick_opts(300),
+            AgentKind::QLearning,
+        )
+        .unwrap();
+        let sarsa =
+            explore_with_agent(&DotProduct::new(8), &l, &quick_opts(300), AgentKind::Sarsa)
+                .unwrap();
+        assert_ne!(ql.trace, sarsa.trace);
+    }
+
+    #[test]
+    fn agent_kind_names_are_stable() {
+        use crate::explore::AgentKind;
+        assert_eq!(AgentKind::QLearning.name(), "q-learning");
+        assert_eq!(AgentKind::QLambda { lambda: 0.5 }.name(), "q-lambda(0.5)");
+    }
+}

@@ -1,0 +1,59 @@
+//! RL-based multi-objective design-space exploration of approximate
+//! computing configurations — the reproduced paper's core contribution.
+//!
+//! A **configuration** ([`config::AxConfig`]) selects one approximate adder,
+//! one approximate multiplier (from the pre-characterised
+//! [`ax_operators::OperatorLibrary`]) and a subset of program variables
+//! whose additions/multiplications run approximately. The
+//! [`env::DseEnv`] wraps a benchmark ([`ax_workloads::Workload`]) as a
+//! Gymnasium-style environment whose:
+//!
+//! * **state** is the paper's Equation 1 tuple (adder, multiplier, variable
+//!   vector, Δaccuracy, Δpower, Δtime);
+//! * **actions** change the adder, change the multiplier, or toggle one
+//!   variable;
+//! * **reward** is the paper's Algorithm 1 ([`reward`]), driven by
+//!   calibrated [`thresholds`] (power/time gains ≥ 50 % of the precise run,
+//!   accuracy loss ≤ 0.4 × the mean precise output);
+//! * evaluation runs the instrumented program through [`ax_vm`] with
+//!   memoisation ([`evaluator::Evaluator`]).
+//!
+//! [`explore`] drives a Q-learning agent through the environment
+//! (reproducing the paper's Table III and Figures 2–4), [`analysis`]
+//! post-processes traces (min/solution/max summaries, trend lines, reward
+//! bins, Pareto fronts, hypervolume) and [`search_adapter`] exposes the same
+//! problem to the classic baselines in [`ax_agents::search`].
+//!
+//! ```
+//! use ax_dse::explore::{explore_qlearning, ExploreOptions};
+//! use ax_operators::OperatorLibrary;
+//! use ax_workloads::dot::DotProduct;
+//!
+//! let lib = OperatorLibrary::evoapprox();
+//! let opts = ExploreOptions { max_steps: 300, ..Default::default() };
+//! let outcome = explore_qlearning(&DotProduct::new(8), &lib, &opts).unwrap();
+//! assert_eq!(outcome.trace.len(), outcome.log.len());
+//! assert!(outcome.summary.power.max >= outcome.summary.power.min);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod config;
+pub mod env;
+pub mod evaluator;
+pub mod explore;
+pub mod report;
+pub mod reward;
+pub mod search_adapter;
+pub mod sweep;
+pub mod thresholds;
+
+pub use config::AxConfig;
+pub use env::{DseEnv, DseState, StepTrace};
+pub use evaluator::{EvalMetrics, Evaluator};
+pub use explore::{explore_qlearning, ExplorationOutcome, ExplorationSummary, ExploreOptions};
+pub use reward::RewardParams;
+pub use sweep::{sweep_seeds, SweepStat, SweepSummary};
+pub use thresholds::{ThresholdRule, Thresholds};

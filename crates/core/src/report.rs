@@ -1,0 +1,239 @@
+//! Plain-text table rendering and CSV output.
+//!
+//! The reproduction binaries print paper-style tables to stdout and dump the
+//! raw series as CSV next to them; both formats are produced here without
+//! external dependencies.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Renders an aligned ASCII table.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+///
+/// ```
+/// let text = ax_dse::report::ascii_table(
+///     &["op", "MRED"],
+///     &[vec!["1HG".into(), "0.00".into()], vec!["6PT".into(), "0.14".into()]],
+/// );
+/// assert!(text.contains("| op  | MRED |"));
+/// ```
+pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for (i, r) in rows.iter().enumerate() {
+        assert_eq!(r.len(), headers.len(), "row {i} has {} cells, want {}", r.len(), headers.len());
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let rule = |out: &mut String| {
+        out.push('+');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('+');
+        }
+        out.push('\n');
+    };
+    rule(&mut out);
+    out.push('|');
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(out, " {h:<w$} |");
+    }
+    out.push('\n');
+    rule(&mut out);
+    for row in rows {
+        out.push('|');
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(out, " {cell:<w$} |");
+        }
+        out.push('\n');
+    }
+    rule(&mut out);
+    out
+}
+
+/// Serialises rows as CSV (comma-separated, quoted only when needed).
+pub fn csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let escape = |cell: &str| -> String {
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_owned()
+        }
+    };
+    let mut out = String::new();
+    out.push_str(&headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes CSV content to a file, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, csv(headers, rows))
+}
+
+/// Renders a numeric series as a compact ASCII line chart (the terminal
+/// stand-in for the paper's figures).
+///
+/// The series is bucketed into `width` columns (bucket mean) and drawn over
+/// `height` rows between the series' min and max. Returns an empty string
+/// for an empty series.
+///
+/// # Panics
+///
+/// Panics if `width` or `height` is zero.
+///
+/// ```
+/// let chart = ax_dse::report::ascii_chart(&[0.0, 1.0, 2.0, 3.0], 4, 2);
+/// assert_eq!(chart.lines().count(), 3); // 2 rows + axis
+/// ```
+pub fn ascii_chart(series: &[f64], width: usize, height: usize) -> String {
+    assert!(width > 0 && height > 0, "chart dimensions must be positive");
+    if series.is_empty() {
+        return String::new();
+    }
+    let cols = width.min(series.len());
+    let chunk = series.len().div_ceil(cols);
+    let buckets: Vec<f64> = series
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect();
+    let lo = buckets.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = buckets.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+
+    let mut grid = vec![vec![' '; buckets.len()]; height];
+    for (x, &v) in buckets.iter().enumerate() {
+        let level = (((v - lo) / span) * (height - 1) as f64).round() as usize;
+        grid[height - 1 - level][x] = '*';
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{hi:>10.2} |")
+        } else if i == height - 1 {
+            format!("{lo:>10.2} |")
+        } else {
+            format!("{:>10} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    let _ = write!(out, "{:>10} +{}", "", "-".repeat(buckets.len()));
+    out.push('\n');
+    out
+}
+
+/// Formats a float the way the paper's tables do: up to three decimals,
+/// trailing zeros trimmed.
+pub fn fmt_metric(v: f64) -> String {
+    let s = format!("{v:.3}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() || s == "-" {
+        "0".to_owned()
+    } else {
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = ascii_table(
+            &["name", "v"],
+            &[vec!["longer-name".into(), "1".into()], vec!["x".into(), "22".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()), "{t}");
+        assert!(t.contains("| longer-name | 1  |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn table_rejects_ragged_rows() {
+        ascii_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let c = csv(&["a", "b"], &[vec!["x,y".into(), "say \"hi\"".into()]]);
+        assert_eq!(c, "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn csv_plain_cells_unquoted() {
+        let c = csv(&["h"], &[vec!["plain".into()]]);
+        assert_eq!(c, "h\nplain\n");
+    }
+
+    #[test]
+    fn write_csv_creates_directories() {
+        let dir = std::env::temp_dir().join("axdse-report-test");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("deep/nested/out.csv");
+        write_csv(&path, &["x"], &[vec!["1".into()]]).unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "x\n1\n");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chart_has_requested_shape() {
+        let series: Vec<f64> = (0..100).map(|i| (i as f64 / 10.0).sin()).collect();
+        let chart = ascii_chart(&series, 40, 8);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 9); // 8 rows + axis
+        assert!(lines[0].contains('|'));
+        assert!(lines[8].contains('+'));
+        // One point per bucket; bucketing 100 samples into at most 40
+        // columns uses ceil(100 / ceil(100/40)) = 34 buckets.
+        let stars: usize = chart.chars().filter(|&c| c == '*').count();
+        let expected = 100usize.div_ceil(100usize.div_ceil(40));
+        assert_eq!(stars, expected);
+    }
+
+    #[test]
+    fn chart_handles_flat_and_short_series() {
+        let flat = ascii_chart(&[5.0; 10], 20, 4);
+        assert!(flat.contains('*'));
+        let short = ascii_chart(&[1.0, 2.0], 50, 3);
+        assert_eq!(short.chars().filter(|&c| c == '*').count(), 2);
+        assert_eq!(ascii_chart(&[], 10, 3), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn chart_rejects_zero_dims() {
+        ascii_chart(&[1.0], 0, 5);
+    }
+
+    #[test]
+    fn fmt_metric_trims() {
+        assert_eq!(fmt_metric(415.300), "415.3");
+        assert_eq!(fmt_metric(0.0), "0");
+        assert_eq!(fmt_metric(1552.017), "1552.017");
+        assert_eq!(fmt_metric(-90.0), "-90");
+        assert_eq!(fmt_metric(10850.855), "10850.855");
+    }
+}

@@ -1,0 +1,173 @@
+//! Multi-seed robustness sweeps.
+//!
+//! The paper reports one exploration per benchmark; this module re-runs an
+//! exploration across agent seeds and aggregates stop behaviour and solution
+//! quality, quantifying how much of the reported behaviour is luck.
+
+use crate::explore::{explore_with_agent, AgentKind, ExplorationOutcome, ExploreOptions};
+use ax_agents::train::StopReason;
+use ax_operators::OperatorLibrary;
+use ax_vm::VmError;
+use ax_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Mean / standard deviation / extremes of one sweep statistic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepStat {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator; 0 for single runs).
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl SweepStat {
+    /// Aggregates a non-empty sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn from_values(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot aggregate an empty sample");
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = if values.len() < 2 {
+            0.0
+        } else {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        };
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self { mean, std_dev: var.sqrt(), min, max }
+    }
+}
+
+/// Aggregated result of a multi-seed sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSummary {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Seeds swept.
+    pub seeds: u64,
+    /// Runs that reached the cumulative-reward target.
+    pub reached_target: u64,
+    /// Runs that hit Algorithm 1's terminate flag.
+    pub terminated: u64,
+    /// Stop-step statistics.
+    pub stop_step: SweepStat,
+    /// Solution Δpower statistics.
+    pub solution_power: SweepStat,
+    /// Solution accuracy-degradation statistics.
+    pub solution_accuracy: SweepStat,
+    /// Fraction of runs whose solution respects all three constraints.
+    pub feasible_solutions: f64,
+}
+
+/// Runs `seeds` explorations with agent seeds `0..seeds` and aggregates.
+///
+/// # Errors
+///
+/// Propagates the first exploration error.
+///
+/// # Panics
+///
+/// Panics if `seeds` is zero.
+pub fn sweep_seeds(
+    workload: &dyn Workload,
+    lib: &OperatorLibrary,
+    opts: &ExploreOptions,
+    kind: AgentKind,
+    seeds: u64,
+) -> Result<SweepSummary, VmError> {
+    assert!(seeds > 0, "need at least one seed");
+    let mut outcomes: Vec<ExplorationOutcome> = Vec::with_capacity(seeds as usize);
+    for seed in 0..seeds {
+        let run_opts = ExploreOptions { seed, ..*opts };
+        outcomes.push(explore_with_agent(workload, lib, &run_opts, kind)?);
+    }
+
+    let stop_steps: Vec<f64> = outcomes.iter().map(|o| o.summary.steps as f64).collect();
+    let powers: Vec<f64> = outcomes.iter().map(|o| o.summary.power.solution).collect();
+    let accs: Vec<f64> = outcomes.iter().map(|o| o.summary.accuracy.solution).collect();
+    let feasible = outcomes
+        .iter()
+        .filter(|o| {
+            let th = o.thresholds;
+            let m = o.trace.last().expect("non-empty trace").metrics;
+            m.delta_acc <= th.acc_th && m.delta_power >= th.power_th && m.delta_time >= th.time_th
+        })
+        .count() as f64
+        / seeds as f64;
+
+    Ok(SweepSummary {
+        benchmark: workload.name(),
+        seeds,
+        reached_target: outcomes
+            .iter()
+            .filter(|o| o.stop_reason == StopReason::RewardTarget)
+            .count() as u64,
+        terminated: outcomes
+            .iter()
+            .filter(|o| o.stop_reason == StopReason::Terminated)
+            .count() as u64,
+        stop_step: SweepStat::from_values(&stop_steps),
+        solution_power: SweepStat::from_values(&powers),
+        solution_accuracy: SweepStat::from_values(&accs),
+        feasible_solutions: feasible,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ax_workloads::dot::DotProduct;
+
+    #[test]
+    fn stat_aggregation() {
+        let s = SweepStat::from_values(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        let single = SweepStat::from_values(&[7.0]);
+        assert_eq!(single.std_dev, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn stat_rejects_empty() {
+        SweepStat::from_values(&[]);
+    }
+
+    #[test]
+    fn sweep_aggregates_across_seeds() {
+        let lib = OperatorLibrary::evoapprox();
+        let opts = ExploreOptions { max_steps: 150, ..Default::default() };
+        let s = sweep_seeds(&DotProduct::new(8), &lib, &opts, AgentKind::QLearning, 4).unwrap();
+        assert_eq!(s.seeds, 4);
+        assert!(s.stop_step.mean > 0.0 && s.stop_step.mean <= 150.0);
+        assert!(s.stop_step.min <= s.stop_step.max);
+        assert!((0.0..=1.0).contains(&s.feasible_solutions));
+        assert!(s.reached_target + s.terminated <= 4);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let lib = OperatorLibrary::evoapprox();
+        let opts = ExploreOptions { max_steps: 100, ..Default::default() };
+        let a = sweep_seeds(&DotProduct::new(8), &lib, &opts, AgentKind::QLearning, 3).unwrap();
+        let b = sweep_seeds(&DotProduct::new(8), &lib, &opts, AgentKind::QLearning, 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn sweep_rejects_zero_seeds() {
+        let lib = OperatorLibrary::evoapprox();
+        let opts = ExploreOptions::default();
+        let _ = sweep_seeds(&DotProduct::new(8), &lib, &opts, AgentKind::QLearning, 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! The environment contract.
+
+use crate::space::Space;
+
+/// Result of one environment step, following Gymnasium's API: `terminated`
+/// marks a natural episode end (the MDP reached a terminal state), while
+/// `truncated` marks an externally imposed cut-off (e.g. a
+/// [`crate::wrappers::TimeLimit`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step<O> {
+    /// Observation after the transition.
+    pub obs: O,
+    /// Scalar reward for the transition.
+    pub reward: f64,
+    /// The episode ended naturally.
+    pub terminated: bool,
+    /// The episode was cut off externally.
+    pub truncated: bool,
+}
+
+impl<O> Step<O> {
+    /// A non-terminal transition.
+    pub fn transition(obs: O, reward: f64) -> Self {
+        Self { obs, reward, terminated: false, truncated: false }
+    }
+
+    /// A naturally terminal transition.
+    pub fn terminal(obs: O, reward: f64) -> Self {
+        Self { obs, reward, terminated: true, truncated: false }
+    }
+
+    /// `true` if the episode is over for either reason.
+    pub fn done(&self) -> bool {
+        self.terminated || self.truncated
+    }
+
+    /// Maps the observation, keeping reward and flags.
+    pub fn map_obs<P>(self, f: impl FnOnce(O) -> P) -> Step<P> {
+        Step {
+            obs: f(self.obs),
+            reward: self.reward,
+            terminated: self.terminated,
+            truncated: self.truncated,
+        }
+    }
+}
+
+/// A reinforcement-learning environment.
+///
+/// Implementations define an observation type, an action type and the MDP
+/// dynamics. Deterministic seeding flows through [`Env::reset`].
+///
+/// ```
+/// use ax_gym::env::{Env, Step};
+/// use ax_gym::space::Space;
+///
+/// /// Counts up; terminates at 3.
+/// struct Counter(u32);
+///
+/// impl Env for Counter {
+///     type Obs = u32;
+///     type Action = usize;
+///
+///     fn observation_space(&self) -> Space { Space::Discrete { n: 4 } }
+///     fn action_space(&self) -> Space { Space::Discrete { n: 1 } }
+///
+///     fn reset(&mut self, _seed: Option<u64>) -> u32 {
+///         self.0 = 0;
+///         0
+///     }
+///
+///     fn step(&mut self, _action: &usize) -> Step<u32> {
+///         self.0 += 1;
+///         if self.0 >= 3 {
+///             Step::terminal(self.0, 1.0)
+///         } else {
+///             Step::transition(self.0, 0.0)
+///         }
+///     }
+/// }
+///
+/// let mut env = Counter(0);
+/// env.reset(None);
+/// assert!(!env.step(&0).done());
+/// assert!(!env.step(&0).done());
+/// assert!(env.step(&0).done());
+/// ```
+pub trait Env {
+    /// Observation type.
+    type Obs;
+    /// Action type.
+    type Action;
+
+    /// Describes the observation space.
+    fn observation_space(&self) -> Space;
+
+    /// Describes the action space.
+    fn action_space(&self) -> Space;
+
+    /// Starts a new episode, optionally reseeding the environment's
+    /// randomness, and returns the initial observation.
+    fn reset(&mut self, seed: Option<u64>) -> Self::Obs;
+
+    /// Applies an action and advances the environment one step.
+    fn step(&mut self, action: &Self::Action) -> Step<Self::Obs>;
+}
+
+/// Environments whose actions are a contiguous `0..n` range — the contract
+/// tabular agents need. Blanket-implemented for every `Env<Action = usize>`
+/// with a `Discrete` action space.
+pub trait DiscreteActionEnv: Env<Action = usize> {
+    /// Number of discrete actions.
+    fn num_actions(&self) -> usize {
+        match self.action_space() {
+            Space::Discrete { n } => n,
+            other => panic!("discrete-action env with non-discrete space {other}"),
+        }
+    }
+}
+
+impl<E: Env<Action = usize>> DiscreteActionEnv for E {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl Env for Dummy {
+        type Obs = ();
+        type Action = usize;
+        fn observation_space(&self) -> Space {
+            Space::Discrete { n: 1 }
+        }
+        fn action_space(&self) -> Space {
+            Space::Discrete { n: 5 }
+        }
+        fn reset(&mut self, _seed: Option<u64>) {}
+        fn step(&mut self, _a: &usize) -> Step<()> {
+            Step::transition((), 0.0)
+        }
+    }
+
+    #[test]
+    fn step_constructors_and_done() {
+        let t = Step::transition(1, 0.5);
+        assert!(!t.done());
+        let d = Step::terminal(2, 1.0);
+        assert!(d.done() && d.terminated && !d.truncated);
+        let mut tr = Step::transition(3, 0.0);
+        tr.truncated = true;
+        assert!(tr.done());
+    }
+
+    #[test]
+    fn map_obs_preserves_flags() {
+        let s = Step::terminal(21, 2.0).map_obs(|x| x * 2);
+        assert_eq!(s.obs, 42);
+        assert_eq!(s.reward, 2.0);
+        assert!(s.terminated);
+    }
+
+    #[test]
+    fn discrete_action_env_reports_count() {
+        assert_eq!(Dummy.num_actions(), 5);
+    }
+}

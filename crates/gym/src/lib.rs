@@ -1,0 +1,44 @@
+//! A Gymnasium-style reinforcement-learning environment framework.
+//!
+//! The reproduced paper builds its RL engine on the Python
+//! [Gymnasium](https://gymnasium.farama.org/) toolkit; this crate is the Rust
+//! equivalent the rest of the workspace programs against:
+//!
+//! * [`env::Env`] — the environment contract (`reset`/`step`, observation and
+//!   action spaces) with Gymnasium's `terminated`/`truncated` split;
+//! * [`space`] — observation/action space descriptors (`Discrete`,
+//!   `MultiBinary`, `BoxSpace`, `Tuple`) supporting seeded sampling and
+//!   containment checks;
+//! * [`wrappers`] — composable environment wrappers ([`wrappers::TimeLimit`],
+//!   [`wrappers::RecordEpisodeStatistics`], [`wrappers::MapReward`]);
+//! * [`rollout`](mod@crate::rollout) — episode runners producing
+//!   [`rollout::Trajectory`] records;
+//! * [`registry`] — a name → constructor registry for type-erased
+//!   environments;
+//! * [`toy`] — small reference environments (chain walk, two-armed bandit)
+//!   used to validate agents independently of the DSE.
+//!
+//! ```
+//! use ax_gym::env::Env;
+//! use ax_gym::toy::LineWorld;
+//! use ax_gym::wrappers::TimeLimit;
+//!
+//! let mut env = TimeLimit::new(LineWorld::new(5), 100);
+//! let _obs = env.reset(Some(7));
+//! let step = env.step(&1); // move right
+//! assert!(!step.truncated);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod env;
+pub mod registry;
+pub mod rollout;
+pub mod space;
+pub mod toy;
+pub mod wrappers;
+
+pub use env::{Env, Step};
+pub use rollout::{rollout, Trajectory, Transition};
+pub use space::{SampleValue, Space};

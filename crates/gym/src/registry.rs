@@ -1,0 +1,140 @@
+//! Name-based environment registry.
+//!
+//! Gymnasium exposes `gym.make("CartPole-v1")`; [`Registry`] is the typed
+//! Rust equivalent: environment constructors are registered under string ids
+//! and instantiated as boxed trait objects. One registry handles one
+//! observation/action type pair (e.g. the DSE registers its benchmark
+//! environments under ids like `"axdse/matmul-10"`).
+
+use crate::env::Env;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A boxed, type-erased environment.
+pub type BoxedEnv<O, A> = Box<dyn Env<Obs = O, Action = A>>;
+
+/// Error returned by [`Registry::make`] for unknown ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownEnvId {
+    id: String,
+    known: Vec<String>,
+}
+
+impl fmt::Display for UnknownEnvId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown environment id `{}` (registered: {})", self.id, self.known.join(", "))
+    }
+}
+
+impl std::error::Error for UnknownEnvId {}
+
+/// Maps environment ids to constructors.
+pub struct Registry<O, A> {
+    factories: BTreeMap<String, Box<dyn Fn() -> BoxedEnv<O, A>>>,
+}
+
+impl<O, A> Default for Registry<O, A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<O, A> Registry<O, A> {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self { factories: BTreeMap::new() }
+    }
+
+    /// Registers a constructor under `id`, replacing any previous entry.
+    pub fn register<F, E>(&mut self, id: impl Into<String>, factory: F)
+    where
+        F: Fn() -> E + 'static,
+        E: Env<Obs = O, Action = A> + 'static,
+    {
+        self.factories
+            .insert(id.into(), Box::new(move || Box::new(factory())));
+    }
+
+    /// Instantiates the environment registered under `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownEnvId`] listing the registered ids when `id` is
+    /// absent.
+    pub fn make(&self, id: &str) -> Result<BoxedEnv<O, A>, UnknownEnvId> {
+        self.factories
+            .get(id)
+            .map(|f| f())
+            .ok_or_else(|| UnknownEnvId { id: id.to_owned(), known: self.ids() })
+    }
+
+    /// Registered ids in sorted order.
+    pub fn ids(&self) -> Vec<String> {
+        self.factories.keys().cloned().collect()
+    }
+
+    /// `true` if `id` has a registered constructor.
+    pub fn contains(&self, id: &str) -> bool {
+        self.factories.contains_key(id)
+    }
+}
+
+impl<O, A> fmt::Debug for Registry<O, A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry").field("ids", &self.ids()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::LineWorld;
+
+    #[test]
+    fn register_and_make() {
+        let mut reg: Registry<usize, usize> = Registry::new();
+        reg.register("line-5", || LineWorld::new(5));
+        reg.register("line-9", || LineWorld::new(9));
+        assert!(reg.contains("line-5"));
+        let mut env = reg.make("line-9").unwrap();
+        env.reset(None);
+        assert!(!env.step(&1).done());
+        assert_eq!(reg.ids(), vec!["line-5".to_string(), "line-9".to_string()]);
+    }
+
+    #[test]
+    fn unknown_id_lists_known() {
+        let mut reg: Registry<usize, usize> = Registry::new();
+        reg.register("a", || LineWorld::new(3));
+        let err = reg.make("b").err().expect("unknown id must fail");
+        let msg = err.to_string();
+        assert!(msg.contains("`b`") && msg.contains('a'), "{msg}");
+    }
+
+    #[test]
+    fn reregistering_replaces() {
+        let mut reg: Registry<usize, usize> = Registry::new();
+        reg.register("x", || LineWorld::new(2));
+        reg.register("x", || LineWorld::new(7));
+        let env = reg.make("x").unwrap();
+        assert_eq!(env.observation_space(), crate::space::Space::Discrete { n: 7 });
+    }
+
+    #[test]
+    fn boxed_env_is_usable_through_trait() {
+        let mut reg: Registry<usize, usize> = Registry::new();
+        reg.register("line", || LineWorld::new(4));
+        let mut env = reg.make("line").unwrap();
+        env.reset(None);
+        let mut steps = 0;
+        let last = loop {
+            let s = env.step(&1);
+            steps += 1;
+            if s.done() {
+                break s.obs;
+            }
+        };
+        assert_eq!(last, 3);
+        assert_eq!(steps, 3);
+    }
+}

@@ -1,0 +1,161 @@
+//! Episode runners and trajectory records.
+
+use crate::env::{Env, Step};
+
+/// One recorded transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition<O, A> {
+    /// Observation the action was chosen from.
+    pub obs: O,
+    /// The chosen action.
+    pub action: A,
+    /// Reward received.
+    pub reward: f64,
+    /// Observation after the transition.
+    pub next_obs: O,
+    /// Natural episode end.
+    pub terminated: bool,
+    /// External cut-off.
+    pub truncated: bool,
+}
+
+/// A full episode record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory<O, A> {
+    /// The transitions, in order.
+    pub transitions: Vec<Transition<O, A>>,
+}
+
+impl<O, A> Trajectory<O, A> {
+    /// Sum of rewards over the episode.
+    pub fn total_reward(&self) -> f64 {
+        self.transitions.iter().map(|t| t.reward).sum()
+    }
+
+    /// Episode length in steps.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// `true` if no steps were taken.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// Discounted return from the first step.
+    pub fn discounted_return(&self, gamma: f64) -> f64 {
+        self.transitions
+            .iter()
+            .rev()
+            .fold(0.0, |acc, t| t.reward + gamma * acc)
+    }
+}
+
+/// Runs one episode with a stateless policy, recording every transition.
+///
+/// Stops when the environment terminates/truncates or after `max_steps`
+/// policy decisions, whichever comes first.
+///
+/// ```
+/// use ax_gym::rollout::rollout;
+/// use ax_gym::toy::LineWorld;
+///
+/// let mut env = LineWorld::new(4);
+/// let traj = rollout(&mut env, Some(1), |_obs| 1usize, 100);
+/// assert_eq!(traj.len(), 3);
+/// assert_eq!(traj.total_reward(), 1.0);
+/// ```
+pub fn rollout<E: Env>(
+    env: &mut E,
+    seed: Option<u64>,
+    mut policy: impl FnMut(&E::Obs) -> E::Action,
+    max_steps: usize,
+) -> Trajectory<E::Obs, E::Action>
+where
+    E::Obs: Clone,
+    E::Action: Clone,
+{
+    let mut obs = env.reset(seed);
+    let mut transitions = Vec::new();
+    for _ in 0..max_steps {
+        let action = policy(&obs);
+        let Step { obs: next, reward, terminated, truncated } = env.step(&action);
+        transitions.push(Transition {
+            obs: obs.clone(),
+            action,
+            reward,
+            next_obs: next.clone(),
+            terminated,
+            truncated,
+        });
+        obs = next;
+        if terminated || truncated {
+            break;
+        }
+    }
+    Trajectory { transitions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::LineWorld;
+
+    #[test]
+    fn rollout_records_full_episode() {
+        let mut env = LineWorld::new(5);
+        let traj = rollout(&mut env, None, |_| 1usize, 100);
+        assert_eq!(traj.len(), 4);
+        assert!(traj.transitions.last().unwrap().terminated);
+        assert_eq!(traj.total_reward(), 1.0);
+        assert!(!traj.is_empty());
+    }
+
+    #[test]
+    fn rollout_respects_max_steps() {
+        let mut env = LineWorld::new(100);
+        let traj = rollout(&mut env, None, |_| 0usize, 10);
+        assert_eq!(traj.len(), 10);
+        assert!(!traj.transitions.last().unwrap().done_any());
+    }
+
+    impl<O, A> Transition<O, A> {
+        fn done_any(&self) -> bool {
+            self.terminated || self.truncated
+        }
+    }
+
+    #[test]
+    fn transitions_chain_correctly() {
+        let mut env = LineWorld::new(4);
+        let traj = rollout(&mut env, None, |_| 1usize, 100);
+        for w in traj.transitions.windows(2) {
+            assert_eq!(w[0].next_obs, w[1].obs);
+        }
+    }
+
+    #[test]
+    fn discounted_return_geometric() {
+        let mut env = LineWorld::new(4);
+        let traj = rollout(&mut env, None, |_| 1usize, 100);
+        // Rewards are [0, 0, 1]; discounted return = gamma^2.
+        let g = traj.discounted_return(0.5);
+        assert!((g - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policy_sees_current_observation() {
+        let mut env = LineWorld::new(4);
+        let mut seen = Vec::new();
+        let _ = rollout(
+            &mut env,
+            None,
+            |obs| {
+                seen.push(*obs);
+                1usize
+            },
+            100,
+        );
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Observation and action space descriptors.
+//!
+//! Mirrors Gymnasium's core spaces: [`Space::Discrete`] (a finite action
+//! set), [`Space::MultiBinary`] (fixed-length bit vectors, the paper's
+//! variable-selection vector), [`Space::BoxSpace`] (bounded real vectors, the
+//! paper's Δ observations) and [`Space::Tuple`] (products of spaces, the
+//! paper's full state of Equation 1).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A value drawn from (or checked against) a [`Space`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SampleValue {
+    /// An index into a discrete set.
+    Discrete(usize),
+    /// A fixed-length bit vector.
+    MultiBinary(Vec<bool>),
+    /// A real vector.
+    Real(Vec<f64>),
+    /// A product of component values.
+    Tuple(Vec<SampleValue>),
+}
+
+/// A space of observations or actions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Space {
+    /// `{0, 1, ..., n-1}`.
+    Discrete {
+        /// Number of elements (must be ≥ 1).
+        n: usize,
+    },
+    /// `{0, 1}^n` bit vectors.
+    MultiBinary {
+        /// Vector length.
+        n: usize,
+    },
+    /// Axis-aligned box `[low_i, high_i]` per dimension.
+    BoxSpace {
+        /// Per-dimension lower bounds.
+        low: Vec<f64>,
+        /// Per-dimension upper bounds.
+        high: Vec<f64>,
+    },
+    /// Cartesian product of component spaces.
+    Tuple(Vec<Space>),
+}
+
+impl Space {
+    /// A box space with identical bounds on every dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high` or `dims == 0`.
+    pub fn uniform_box(dims: usize, low: f64, high: f64) -> Self {
+        assert!(dims > 0, "box space needs at least one dimension");
+        assert!(low <= high, "low bound {low} exceeds high bound {high}");
+        Space::BoxSpace { low: vec![low; dims], high: vec![high; dims] }
+    }
+
+    /// Draws a uniformly random element of the space.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed spaces (`Discrete { n: 0 }`, box bounds of
+    /// mismatched lengths).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SampleValue {
+        match self {
+            Space::Discrete { n } => {
+                assert!(*n > 0, "cannot sample an empty discrete space");
+                SampleValue::Discrete(rng.gen_range(0..*n))
+            }
+            Space::MultiBinary { n } => {
+                SampleValue::MultiBinary((0..*n).map(|_| rng.gen_bool(0.5)).collect())
+            }
+            Space::BoxSpace { low, high } => {
+                assert_eq!(low.len(), high.len(), "box bounds must match in length");
+                SampleValue::Real(
+                    low.iter()
+                        .zip(high)
+                        .map(|(&l, &h)| if l == h { l } else { rng.gen_range(l..=h) })
+                        .collect(),
+                )
+            }
+            Space::Tuple(parts) => {
+                SampleValue::Tuple(parts.iter().map(|s| s.sample(rng)).collect())
+            }
+        }
+    }
+
+    /// `true` if `value` is an element of this space.
+    pub fn contains(&self, value: &SampleValue) -> bool {
+        match (self, value) {
+            (Space::Discrete { n }, SampleValue::Discrete(v)) => v < n,
+            (Space::MultiBinary { n }, SampleValue::MultiBinary(bits)) => bits.len() == *n,
+            (Space::BoxSpace { low, high }, SampleValue::Real(v)) => {
+                v.len() == low.len()
+                    && v.iter()
+                        .zip(low.iter().zip(high))
+                        .all(|(x, (l, h))| x >= l && x <= h)
+            }
+            (Space::Tuple(parts), SampleValue::Tuple(vals)) => {
+                parts.len() == vals.len()
+                    && parts.iter().zip(vals).all(|(s, v)| s.contains(v))
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of elements for finite spaces, `None` for boxes.
+    pub fn cardinality(&self) -> Option<u128> {
+        match self {
+            Space::Discrete { n } => Some(*n as u128),
+            Space::MultiBinary { n } => {
+                if *n >= 128 {
+                    None
+                } else {
+                    Some(1u128 << *n)
+                }
+            }
+            Space::BoxSpace { .. } => None,
+            Space::Tuple(parts) => {
+                let mut total: u128 = 1;
+                for p in parts {
+                    total = total.checked_mul(p.cardinality()?)?;
+                }
+                Some(total)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Space::Discrete { n } => write!(f, "Discrete({n})"),
+            Space::MultiBinary { n } => write!(f, "MultiBinary({n})"),
+            Space::BoxSpace { low, .. } => write!(f, "Box({})", low.len()),
+            Space::Tuple(parts) => {
+                write!(f, "Tuple(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn discrete_samples_in_range() {
+        let s = Space::Discrete { n: 7 };
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = s.sample(&mut r);
+            assert!(s.contains(&v));
+            match v {
+                SampleValue::Discrete(x) => assert!(x < 7),
+                _ => panic!("wrong sample kind"),
+            }
+        }
+    }
+
+    #[test]
+    fn multibinary_sampling_and_containment() {
+        let s = Space::MultiBinary { n: 10 };
+        let mut r = rng();
+        let v = s.sample(&mut r);
+        assert!(s.contains(&v));
+        assert!(!s.contains(&SampleValue::MultiBinary(vec![true; 9])));
+        assert!(!s.contains(&SampleValue::Discrete(3)));
+    }
+
+    #[test]
+    fn box_bounds_respected() {
+        let s = Space::uniform_box(3, -2.0, 5.0);
+        let mut r = rng();
+        for _ in 0..100 {
+            match s.sample(&mut r) {
+                SampleValue::Real(v) => {
+                    assert!(v.iter().all(|x| (-2.0..=5.0).contains(x)));
+                }
+                _ => panic!("wrong sample kind"),
+            }
+        }
+        assert!(!s.contains(&SampleValue::Real(vec![0.0, 0.0, 9.0])));
+        assert!(s.contains(&SampleValue::Real(vec![0.0, -2.0, 5.0])));
+    }
+
+    #[test]
+    fn degenerate_box_bound_samples_constant() {
+        let s = Space::BoxSpace { low: vec![1.5], high: vec![1.5] };
+        let mut r = rng();
+        assert_eq!(s.sample(&mut r), SampleValue::Real(vec![1.5]));
+    }
+
+    #[test]
+    fn tuple_composes() {
+        let s = Space::Tuple(vec![
+            Space::Discrete { n: 6 },
+            Space::Discrete { n: 6 },
+            Space::MultiBinary { n: 4 },
+        ]);
+        let mut r = rng();
+        let v = s.sample(&mut r);
+        assert!(s.contains(&v));
+        assert_eq!(s.cardinality(), Some(6 * 6 * 16));
+    }
+
+    #[test]
+    fn cardinalities() {
+        assert_eq!(Space::Discrete { n: 12 }.cardinality(), Some(12));
+        assert_eq!(Space::MultiBinary { n: 5 }.cardinality(), Some(32));
+        assert_eq!(Space::uniform_box(2, 0.0, 1.0).cardinality(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Space::Tuple(vec![Space::Discrete { n: 3 }, Space::MultiBinary { n: 2 }]);
+        assert_eq!(s.to_string(), "Tuple(Discrete(3), MultiBinary(2))");
+    }
+
+    #[test]
+    #[should_panic(expected = "low bound")]
+    fn uniform_box_rejects_inverted_bounds() {
+        Space::uniform_box(2, 3.0, 1.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Small reference environments for validating agents.
+//!
+//! These are not part of the paper's system; they exist so the RL agents can
+//! be tested against environments with *known* optimal policies before being
+//! trusted on the DSE environment.
+
+use crate::env::{Env, Step};
+use crate::space::Space;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic chain walk: positions `0 .. n-1`, start at `0`, actions
+/// `{0: left, 1: right}`, reward `1.0` upon reaching the rightmost cell
+/// (terminal). The optimal policy is "always right" with return `1.0` and
+/// episode length `n - 1`.
+#[derive(Debug, Clone)]
+pub struct LineWorld {
+    n: usize,
+    pos: usize,
+}
+
+impl LineWorld {
+    /// A chain of `n ≥ 2` positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "line world needs at least two positions");
+        Self { n, pos: 0 }
+    }
+
+    /// Current position (mainly for tests).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+impl Env for LineWorld {
+    type Obs = usize;
+    type Action = usize;
+
+    fn observation_space(&self) -> Space {
+        Space::Discrete { n: self.n }
+    }
+
+    fn action_space(&self) -> Space {
+        Space::Discrete { n: 2 }
+    }
+
+    fn reset(&mut self, _seed: Option<u64>) -> usize {
+        self.pos = 0;
+        self.pos
+    }
+
+    fn step(&mut self, action: &usize) -> Step<usize> {
+        match action {
+            0 => self.pos = self.pos.saturating_sub(1),
+            1 => self.pos = (self.pos + 1).min(self.n - 1),
+            other => panic!("invalid action {other} for LineWorld"),
+        }
+        if self.pos == self.n - 1 {
+            Step::terminal(self.pos, 1.0)
+        } else {
+            Step::transition(self.pos, 0.0)
+        }
+    }
+}
+
+/// A two-armed Bernoulli bandit: single state, actions `{0, 1}` with win
+/// probabilities `p0` and `p1`, one step per episode. An agent that learns
+/// must end up preferring the better arm.
+#[derive(Debug, Clone)]
+pub struct TwoArmedBandit {
+    p: [f64; 2],
+    rng: StdRng,
+}
+
+impl TwoArmedBandit {
+    /// A bandit with the given win probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability is outside `[0, 1]`.
+    pub fn new(p0: f64, p1: f64) -> Self {
+        for p in [p0, p1] {
+            assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        }
+        Self { p: [p0, p1], rng: StdRng::seed_from_u64(0) }
+    }
+}
+
+impl Env for TwoArmedBandit {
+    type Obs = ();
+    type Action = usize;
+
+    fn observation_space(&self) -> Space {
+        Space::Discrete { n: 1 }
+    }
+
+    fn action_space(&self) -> Space {
+        Space::Discrete { n: 2 }
+    }
+
+    fn reset(&mut self, seed: Option<u64>) {
+        if let Some(s) = seed {
+            self.rng = StdRng::seed_from_u64(s);
+        }
+    }
+
+    fn step(&mut self, action: &usize) -> Step<()> {
+        assert!(*action < 2, "invalid action {action} for TwoArmedBandit");
+        let win = self.rng.gen_bool(self.p[*action]);
+        Step::terminal((), if win { 1.0 } else { 0.0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_world_optimal_walk() {
+        let mut env = LineWorld::new(4);
+        assert_eq!(env.reset(None), 0);
+        assert!(!env.step(&1).done());
+        assert!(!env.step(&1).done());
+        let last = env.step(&1);
+        assert!(last.terminated);
+        assert_eq!(last.reward, 1.0);
+        assert_eq!(last.obs, 3);
+    }
+
+    #[test]
+    fn line_world_left_edge_clamps() {
+        let mut env = LineWorld::new(3);
+        env.reset(None);
+        let s = env.step(&0);
+        assert_eq!(s.obs, 0);
+        assert!(!s.done());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid action")]
+    fn line_world_rejects_bad_action() {
+        let mut env = LineWorld::new(3);
+        env.reset(None);
+        env.step(&7);
+    }
+
+    #[test]
+    fn bandit_is_seed_deterministic() {
+        let mut a = TwoArmedBandit::new(0.3, 0.8);
+        let mut b = TwoArmedBandit::new(0.3, 0.8);
+        a.reset(Some(9));
+        b.reset(Some(9));
+        for _ in 0..50 {
+            assert_eq!(a.step(&1).reward, b.step(&1).reward);
+        }
+    }
+
+    #[test]
+    fn bandit_better_arm_pays_more() {
+        let mut env = TwoArmedBandit::new(0.1, 0.9);
+        env.reset(Some(4));
+        let mut sums = [0.0, 0.0];
+        for _ in 0..500 {
+            sums[0] += env.step(&0).reward;
+            sums[1] += env.step(&1).reward;
+        }
+        assert!(sums[1] > sums[0] + 100.0, "arm payouts {sums:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bandit_rejects_bad_probability() {
+        TwoArmedBandit::new(1.5, 0.2);
+    }
+}

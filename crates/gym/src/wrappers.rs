@@ -1,0 +1,262 @@
+//! Composable environment wrappers.
+//!
+//! Wrappers implement [`Env`] around another [`Env`], mirroring Gymnasium's
+//! wrapper stack. The paper's 10 000-step exploration cap is exactly a
+//! [`TimeLimit`] on the DSE environment.
+
+use crate::env::{Env, Step};
+use crate::space::Space;
+
+/// Truncates episodes after a fixed number of steps.
+///
+/// ```
+/// use ax_gym::env::Env;
+/// use ax_gym::toy::LineWorld;
+/// use ax_gym::wrappers::TimeLimit;
+///
+/// let mut env = TimeLimit::new(LineWorld::new(100), 3);
+/// env.reset(Some(0));
+/// assert!(!env.step(&0).truncated);
+/// assert!(!env.step(&0).truncated);
+/// assert!(env.step(&0).truncated); // third step hits the limit
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeLimit<E> {
+    inner: E,
+    max_steps: u64,
+    elapsed: u64,
+}
+
+impl<E> TimeLimit<E> {
+    /// Wraps `inner`, truncating episodes at `max_steps` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_steps` is zero.
+    pub fn new(inner: E, max_steps: u64) -> Self {
+        assert!(max_steps > 0, "time limit must be positive");
+        Self { inner, max_steps, elapsed: 0 }
+    }
+
+    /// Steps taken in the current episode.
+    pub fn elapsed(&self) -> u64 {
+        self.elapsed
+    }
+
+    /// Consumes the wrapper, returning the wrapped environment.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+
+    /// Shared access to the wrapped environment.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+}
+
+impl<E: Env> Env for TimeLimit<E> {
+    type Obs = E::Obs;
+    type Action = E::Action;
+
+    fn observation_space(&self) -> Space {
+        self.inner.observation_space()
+    }
+
+    fn action_space(&self) -> Space {
+        self.inner.action_space()
+    }
+
+    fn reset(&mut self, seed: Option<u64>) -> Self::Obs {
+        self.elapsed = 0;
+        self.inner.reset(seed)
+    }
+
+    fn step(&mut self, action: &Self::Action) -> Step<Self::Obs> {
+        let mut step = self.inner.step(action);
+        self.elapsed += 1;
+        if self.elapsed >= self.max_steps && !step.terminated {
+            step.truncated = true;
+        }
+        step
+    }
+}
+
+/// Statistics of completed episodes recorded by
+/// [`RecordEpisodeStatistics`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EpisodeStats {
+    /// Sum of rewards over the episode.
+    pub total_reward: f64,
+    /// Episode length in steps.
+    pub length: u64,
+}
+
+/// Records per-episode return and length, like Gymnasium's
+/// `RecordEpisodeStatistics`.
+#[derive(Debug, Clone)]
+pub struct RecordEpisodeStatistics<E> {
+    inner: E,
+    current: EpisodeStats,
+    completed: Vec<EpisodeStats>,
+}
+
+impl<E> RecordEpisodeStatistics<E> {
+    /// Wraps `inner` with statistics recording.
+    pub fn new(inner: E) -> Self {
+        Self { inner, current: EpisodeStats::default(), completed: Vec::new() }
+    }
+
+    /// Statistics of the in-progress episode.
+    pub fn current(&self) -> EpisodeStats {
+        self.current
+    }
+
+    /// Statistics of all completed episodes, oldest first.
+    pub fn completed(&self) -> &[EpisodeStats] {
+        &self.completed
+    }
+
+    /// Consumes the wrapper, returning the wrapped environment.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+}
+
+impl<E: Env> Env for RecordEpisodeStatistics<E> {
+    type Obs = E::Obs;
+    type Action = E::Action;
+
+    fn observation_space(&self) -> Space {
+        self.inner.observation_space()
+    }
+
+    fn action_space(&self) -> Space {
+        self.inner.action_space()
+    }
+
+    fn reset(&mut self, seed: Option<u64>) -> Self::Obs {
+        self.current = EpisodeStats::default();
+        self.inner.reset(seed)
+    }
+
+    fn step(&mut self, action: &Self::Action) -> Step<Self::Obs> {
+        let step = self.inner.step(action);
+        self.current.total_reward += step.reward;
+        self.current.length += 1;
+        if step.done() {
+            self.completed.push(self.current);
+            self.current = EpisodeStats::default();
+        }
+        step
+    }
+}
+
+/// Applies a function to every reward (scaling, clipping, shaping).
+#[derive(Debug, Clone)]
+pub struct MapReward<E, F> {
+    inner: E,
+    f: F,
+}
+
+impl<E, F: Fn(f64) -> f64> MapReward<E, F> {
+    /// Wraps `inner`, transforming each reward through `f`.
+    pub fn new(inner: E, f: F) -> Self {
+        Self { inner, f }
+    }
+
+    /// Consumes the wrapper, returning the wrapped environment.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+}
+
+impl<E: Env, F: Fn(f64) -> f64> Env for MapReward<E, F> {
+    type Obs = E::Obs;
+    type Action = E::Action;
+
+    fn observation_space(&self) -> Space {
+        self.inner.observation_space()
+    }
+
+    fn action_space(&self) -> Space {
+        self.inner.action_space()
+    }
+
+    fn reset(&mut self, seed: Option<u64>) -> Self::Obs {
+        self.inner.reset(seed)
+    }
+
+    fn step(&mut self, action: &Self::Action) -> Step<Self::Obs> {
+        let mut step = self.inner.step(action);
+        step.reward = (self.f)(step.reward);
+        step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::LineWorld;
+
+    #[test]
+    fn time_limit_truncates_and_resets() {
+        let mut env = TimeLimit::new(LineWorld::new(50), 4);
+        env.reset(Some(1));
+        for _ in 0..3 {
+            assert!(!env.step(&0).truncated);
+        }
+        assert!(env.step(&0).truncated);
+        assert_eq!(env.elapsed(), 4);
+        env.reset(Some(1));
+        assert_eq!(env.elapsed(), 0);
+        assert!(!env.step(&0).truncated);
+    }
+
+    #[test]
+    fn time_limit_does_not_mask_termination() {
+        // Reaching the goal on exactly the last allowed step stays
+        // `terminated`, not `truncated` (Gymnasium semantics).
+        let mut env = TimeLimit::new(LineWorld::new(3), 2);
+        env.reset(Some(1));
+        let s1 = env.step(&1);
+        assert!(!s1.done());
+        let s2 = env.step(&1);
+        assert!(s2.terminated);
+        assert!(!s2.truncated);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn time_limit_rejects_zero() {
+        TimeLimit::new(LineWorld::new(3), 0);
+    }
+
+    #[test]
+    fn statistics_accumulate_per_episode() {
+        let mut env = RecordEpisodeStatistics::new(TimeLimit::new(LineWorld::new(3), 100));
+        env.reset(Some(3));
+        // Walk right to the goal: 2 steps (0 -> 1 -> 2), reward 1.0 at the end.
+        while !env.step(&1).done() {}
+        assert_eq!(env.completed().len(), 1);
+        let ep = env.completed()[0];
+        assert_eq!(ep.length, 2);
+        assert!((ep.total_reward - 1.0).abs() < 1e-12);
+        assert_eq!(env.current(), EpisodeStats::default());
+    }
+
+    #[test]
+    fn map_reward_transforms() {
+        let mut env = MapReward::new(LineWorld::new(2), |r| 10.0 * r - 1.0);
+        env.reset(Some(1));
+        let s = env.step(&1); // one step from start reaches goal at len 2
+        assert!(s.terminated);
+        assert!((s.reward - 9.0).abs() < 1e-12); // 10·1 - 1
+    }
+
+    #[test]
+    fn wrappers_delegate_spaces() {
+        let env = TimeLimit::new(LineWorld::new(9), 5);
+        assert_eq!(env.action_space(), LineWorld::new(9).action_space());
+        assert_eq!(env.observation_space(), LineWorld::new(9).observation_space());
+    }
+}

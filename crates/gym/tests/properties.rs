@@ -1,0 +1,91 @@
+//! Property-based tests for the environment framework.
+
+use ax_gym::rollout::rollout;
+use ax_gym::space::{SampleValue, Space};
+use ax_gym::toy::LineWorld;
+use ax_gym::wrappers::{MapReward, RecordEpisodeStatistics, TimeLimit};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_space() -> impl Strategy<Value = Space> {
+    let leaf = prop_oneof![
+        (1usize..20).prop_map(|n| Space::Discrete { n }),
+        (1usize..16).prop_map(|n| Space::MultiBinary { n }),
+        (1usize..5, -100.0f64..0.0, 0.0f64..100.0)
+            .prop_map(|(d, lo, hi)| Space::uniform_box(d, lo, hi)),
+    ];
+    leaf.prop_recursive(2, 8, 3, |inner| {
+        prop::collection::vec(inner, 1..4).prop_map(Space::Tuple)
+    })
+}
+
+proptest! {
+    /// Samples of any space are contained in that space.
+    #[test]
+    fn samples_are_contained(space in arb_space(), seed in 0u64..1_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..16 {
+            let v = space.sample(&mut rng);
+            prop_assert!(space.contains(&v), "{space} does not contain its sample {v:?}");
+        }
+    }
+
+    /// Sampling is seed-deterministic.
+    #[test]
+    fn sampling_is_deterministic(space in arb_space(), seed in 0u64..1_000) {
+        let mut a = StdRng::seed_from_u64(seed);
+        let mut b = StdRng::seed_from_u64(seed);
+        prop_assert_eq!(space.sample(&mut a), space.sample(&mut b));
+    }
+
+    /// Cross-kind containment is always false for mismatched value kinds.
+    #[test]
+    fn containment_rejects_wrong_kind(n in 1usize..20, v in 0usize..40) {
+        let space = Space::Discrete { n };
+        prop_assert_eq!(space.contains(&SampleValue::Discrete(v)), v < n);
+        prop_assert!(!space.contains(&SampleValue::Real(vec![v as f64])));
+        prop_assert!(!space.contains(&SampleValue::MultiBinary(vec![true])));
+    }
+
+    /// A time limit of `k` on a non-terminating policy yields exactly `k`
+    /// steps; episode statistics agree with the rollout record.
+    #[test]
+    fn time_limit_and_statistics_agree(limit in 1u64..40, n in 3usize..30) {
+        let env = RecordEpisodeStatistics::new(TimeLimit::new(LineWorld::new(n), limit));
+        let mut env = env;
+        // Always walk left: never reaches the goal, must truncate at `limit`.
+        let traj = rollout(&mut env, None, |_| 0usize, 10_000);
+        prop_assert_eq!(traj.len() as u64, limit);
+        prop_assert!(traj.transitions.last().unwrap().truncated);
+        let stats = env.completed();
+        prop_assert_eq!(stats.len(), 1);
+        prop_assert_eq!(stats[0].length, limit);
+        prop_assert_eq!(stats[0].total_reward, traj.total_reward());
+    }
+
+    /// MapReward composes linearly with the underlying rewards.
+    #[test]
+    fn map_reward_is_linear(scale in 0.5f64..5.0, offset in -2.0f64..2.0, n in 3usize..10) {
+        let mut plain = LineWorld::new(n);
+        let plain_traj = rollout(&mut plain, None, |_| 1usize, 100);
+        let mut mapped = MapReward::new(LineWorld::new(n), move |r| scale * r + offset);
+        let mapped_traj = rollout(&mut mapped, None, |_| 1usize, 100);
+        prop_assert_eq!(plain_traj.len(), mapped_traj.len());
+        let expect = scale * plain_traj.total_reward() + offset * plain_traj.len() as f64;
+        prop_assert!((mapped_traj.total_reward() - expect).abs() < 1e-9);
+    }
+
+    /// Discounted returns interpolate between last-reward (γ=0 at the end)
+    /// and total reward (γ=1).
+    #[test]
+    fn discounted_return_bounds(n in 3usize..20) {
+        let mut env = LineWorld::new(n);
+        let traj = rollout(&mut env, None, |_| 1usize, 1_000);
+        let total = traj.total_reward();
+        let g1 = traj.discounted_return(1.0);
+        prop_assert!((g1 - total).abs() < 1e-12);
+        let g0 = traj.discounted_return(0.0);
+        prop_assert_eq!(g0, traj.transitions.first().unwrap().reward);
+    }
+}

@@ -1,0 +1,97 @@
+//! Speculative-carry (carry-cut) adder.
+//!
+//! Splits the carry chain at one position: the low `cut` bits and the upper
+//! part are added independently, and the carry crossing the cut is
+//! *speculated* from only the `window` bits directly below the cut (rather
+//! than the full chain). This is the single-cut special case of generic
+//! speculative adders such as ACA (Verma et al., DATE 2008) and GeAr
+//! (Shafique et al., DAC 2015): errors are rare (a carry must be generated
+//! below the window and propagate through it unseen) but large (`2^cut`).
+
+use crate::width::BitWidth;
+
+/// Adds `a + b` with a speculative carry at bit `cut` using a `window`-bit
+/// look-back.
+///
+/// The speculated carry is the carry-out of adding the `window`-bit slices
+/// `a[cut-window .. cut]` and `b[cut-window .. cut]` with zero carry-in. The
+/// low `cut` result bits are always exact (they are produced by a full-length
+/// low adder), so only the carry crossing the cut can be wrong.
+pub fn carry_cut(a: u64, b: u64, width: BitWidth, cut: u32, window: u32) -> u64 {
+    debug_assert!(cut >= 1 && cut < width.bits());
+    debug_assert!(window >= 1 && window <= cut);
+    let low_mask = (1u64 << cut) - 1;
+    let low_sum = (a & low_mask) + (b & low_mask);
+    let low = low_sum & low_mask;
+
+    let win_mask = (1u64 << window) - 1;
+    let wa = (a >> (cut - window)) & win_mask;
+    let wb = (b >> (cut - window)) & win_mask;
+    let speculated_carry = ((wa + wb) >> window) & 1;
+
+    let high = (a >> cut) + (b >> cut) + speculated_carry;
+    (high << cut) | low
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adders::precise;
+
+    #[test]
+    fn full_window_is_exact() {
+        // window == cut sees the entire low part, so speculation always
+        // matches the true carry.
+        for a in 0..=255u64 {
+            for b in 0..=255u64 {
+                assert_eq!(
+                    carry_cut(a, b, BitWidth::W8, 4, 4),
+                    precise(a, b, BitWidth::W8),
+                    "({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn error_is_exactly_the_cut_weight_when_wrong() {
+        // The only failure mode is a mispredicted carry: error is 0 or 2^cut.
+        let (cut, window) = (5, 2);
+        for a in 0..=255u64 {
+            for b in 0..=255u64 {
+                let e = precise(a, b, BitWidth::W8);
+                let x = carry_cut(a, b, BitWidth::W8, cut, window);
+                let d = e.abs_diff(x);
+                assert!(d == 0 || d == 1 << cut, "({a},{b}): diff {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn longer_window_never_increases_error_rate() {
+        let cut = 6;
+        let mut prev_errors = u32::MAX;
+        for window in 1..=cut {
+            let mut errors = 0;
+            for a in 0..=255u64 {
+                for b in 0..=255u64 {
+                    if carry_cut(a, b, BitWidth::W8, cut, window) != precise(a, b, BitWidth::W8) {
+                        errors += 1;
+                    }
+                }
+            }
+            assert!(errors <= prev_errors, "window={window}: {errors} > {prev_errors}");
+            prev_errors = errors;
+        }
+    }
+
+    #[test]
+    fn known_misprediction() {
+        // cut=4, window=1: carry generated at bit 0 and propagated through
+        // bits 1..3 is invisible to the 1-bit window.
+        // a = 0b0000_1111, b = 0b0000_0001: true sum 16, window sees
+        // a[3]=1, b[3]=0 -> no speculated carry -> result 0b0000_0000 | low
+        // low = (15 + 1) & 0xF = 0 -> result 0.
+        assert_eq!(carry_cut(0b1111, 0b0001, BitWidth::W8, 4, 1), 0);
+    }
+}

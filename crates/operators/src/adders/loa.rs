@@ -1,0 +1,89 @@
+//! Lower-part OR Adder (LOA).
+//!
+//! Mahdiani et al., "Bio-inspired imprecise computational blocks for efficient
+//! VLSI implementation of soft-computing applications" (TCAS-I 2010). The `k`
+//! least-significant result bits are computed as the bitwise OR of the operand
+//! bits (a single OR gate per position instead of a full adder), and the carry
+//! into the exact upper part is speculated as the AND of the most significant
+//! approximate bit pair.
+
+use crate::width::BitWidth;
+
+/// Adds `a + b` with the `k` low bits approximated by OR gates.
+///
+/// The upper `width - k` bits are added exactly with carry-in
+/// `a[k-1] & b[k-1]` (LOA's carry speculation).
+pub fn loa(a: u64, b: u64, width: BitWidth, k: u32) -> u64 {
+    debug_assert!(k >= 1 && k <= width.bits());
+    if k == width.bits() {
+        // Fully approximate: the whole sum is an OR, no carry out.
+        return a | b;
+    }
+    let low_mask = (1u64 << k) - 1;
+    let low = (a | b) & low_mask;
+    let carry_in = (a >> (k - 1)) & (b >> (k - 1)) & 1;
+    let high = (a >> k) + (b >> k) + carry_in;
+    (high << k) | low
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adders::precise;
+
+    #[test]
+    fn loa_is_exact_when_no_low_bits_set() {
+        // Operands with zeroed low parts never exercise the approximate cells.
+        for a in (0u64..=255).step_by(16) {
+            for b in (0u64..=255).step_by(16) {
+                assert_eq!(loa(a, b, BitWidth::W8, 4), precise(a, b, BitWidth::W8));
+            }
+        }
+    }
+
+    #[test]
+    fn loa_full_width_is_bitwise_or() {
+        assert_eq!(loa(0b1010, 0b0110, BitWidth::W8, 8), 0b1110);
+        assert_eq!(loa(255, 255, BitWidth::W8, 8), 255);
+    }
+
+    #[test]
+    fn known_value() {
+        // a = 0b0000_0111, b = 0b0000_0101, k = 3:
+        // low = 0b111, carry speculation = a[2] & b[2] = 1 & 1 = 1,
+        // high = 0 + 0 + 1 = 1 -> result 0b0000_1111 (exact is 12).
+        assert_eq!(loa(7, 5, BitWidth::W8, 3), 0b1111);
+    }
+
+    #[test]
+    fn error_is_bounded_by_low_part() {
+        // |approx - exact| < 2^(k+1): the OR may under-represent the low sum
+        // by at most 2^k - 1 and the speculated carry adds at most 2^k.
+        let k = 5;
+        let bound = 1u64 << (k + 1);
+        for a in 0..=255u64 {
+            for b in 0..=255u64 {
+                let e = precise(a, b, BitWidth::W8);
+                let x = loa(a, b, BitWidth::W8, k);
+                assert!(e.abs_diff(x) < bound, "({a},{b}): {e} vs {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn error_grows_with_k() {
+        // Exhaustive MAE should be monotonically non-decreasing in k.
+        let mut prev = 0.0;
+        for k in 1..=7 {
+            let mut sum = 0.0;
+            for a in 0..=255u64 {
+                for b in 0..=255u64 {
+                    sum += precise(a, b, BitWidth::W8).abs_diff(loa(a, b, BitWidth::W8, k)) as f64;
+                }
+            }
+            let mae = sum / (256.0 * 256.0);
+            assert!(mae >= prev, "MAE decreased from {prev} to {mae} at k={k}");
+            prev = mae;
+        }
+    }
+}

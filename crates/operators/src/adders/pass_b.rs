@@ -1,0 +1,90 @@
+//! Approximate mirror-adder style cell: `sum = b`, `carry = a`.
+//!
+//! The most aggressive transistor-pruned mirror adder (AMA5 in Gupta et al.,
+//! TCAD 2013) reduces the full-adder cell to wires: the sum output passes
+//! operand `b` through and the carry output passes operand `a`. Applied to the
+//! `k` least-significant positions it yields extremely low power at a large
+//! error — useful as the high-MRED end of a calibrated adder set.
+
+use crate::width::BitWidth;
+
+/// Adds `a + b` with AMA5-style pass-through cells in the `k` low positions.
+///
+/// Cell semantics per low position `i`: `sum_i = b_i`, `carry_{i+1} = a_i`.
+/// The carry into the exact upper part is therefore `a[k-1]`.
+pub fn pass_b(a: u64, b: u64, width: BitWidth, k: u32) -> u64 {
+    debug_assert!(k >= 1 && k <= width.bits());
+    let bits = width.bits();
+    // Each low sum bit copies b; the cell's carry chain degenerates to the
+    // previous position's a-bit feeding the next cell, so only a[k-1]
+    // escapes into the upper part.
+    if k == bits {
+        return b;
+    }
+    let low_mask = (1u64 << k) - 1;
+    let low = b & low_mask;
+    let carry_in = (a >> (k - 1)) & 1;
+    let high = (a >> k) + (b >> k) + carry_in;
+    (high << k) | low
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adders::precise;
+
+    #[test]
+    fn full_width_passes_b_through() {
+        assert_eq!(pass_b(123, 45, BitWidth::W8, 8), 45);
+    }
+
+    #[test]
+    fn upper_part_is_exact_plus_speculated_carry() {
+        // a = 0x80 has a[3] = 0 for k = 4, so upper add is exact.
+        assert_eq!(pass_b(0x80, 0x40, BitWidth::W8, 4), 0xC0);
+    }
+
+    #[test]
+    fn error_bound() {
+        // Low part error < 2^k (wrong constant), carry error adds <= 2^k.
+        let k = 3;
+        for a in 0..=255u64 {
+            for b in 0..=255u64 {
+                let d = precise(a, b, BitWidth::W8).abs_diff(pass_b(a, b, BitWidth::W8, k));
+                assert!(d < 1 << (k + 1), "({a},{b}): {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_when_a_low_is_zero_and_no_carry() {
+        // If a's low k bits are 0, sum_low should be b_low (correct) and the
+        // speculated carry a[k-1] = 0 matches the true carry... unless
+        // b_low + 0 overflows, which it cannot. So the result is exact.
+        let k = 4;
+        for a in (0..=255u64).step_by(16) {
+            for b in 0..=255u64 {
+                assert_eq!(
+                    pass_b(a, b, BitWidth::W8, k),
+                    precise(a, b, BitWidth::W8),
+                    "({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn has_higher_mae_than_loa_at_same_k() {
+        use crate::adders::loa;
+        let k = 4;
+        let (mut mae_p, mut mae_l) = (0.0, 0.0);
+        for a in 0..=255u64 {
+            for b in 0..=255u64 {
+                let e = precise(a, b, BitWidth::W8);
+                mae_p += e.abs_diff(pass_b(a, b, BitWidth::W8, k)) as f64;
+                mae_l += e.abs_diff(loa(a, b, BitWidth::W8, k)) as f64;
+            }
+        }
+        assert!(mae_p > mae_l, "pass_b {mae_p} should exceed loa {mae_l}");
+    }
+}

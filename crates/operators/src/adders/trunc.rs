@@ -1,0 +1,152 @@
+//! Lower-part truncation adders.
+//!
+//! The cheapest approximate adders simply do not compute the low bits at all:
+//! the low `k` result bits are tied to a constant (`0` for [`trunc`], `1` for
+//! [`set_one`]) and no carry propagates into the exact upper part. Tying to
+//! one halves the expected error magnitude because the constant sits mid-range
+//! of the dropped sum (see Gupta et al., "Low-power digital signal processing
+//! using approximate adders", TCAD 2013).
+
+use crate::width::BitWidth;
+
+/// Adds `a + b` with the `k` low result bits forced to zero.
+pub fn trunc(a: u64, b: u64, width: BitWidth, k: u32) -> u64 {
+    debug_assert!(k >= 1 && k <= width.bits());
+    if k == width.bits() {
+        return 0;
+    }
+    let high = (a >> k) + (b >> k);
+    high << k
+}
+
+/// Adds `a + b` with the `k` low result bits forced to one.
+pub fn set_one(a: u64, b: u64, width: BitWidth, k: u32) -> u64 {
+    debug_assert!(k >= 1 && k <= width.bits());
+    let low = (1u64 << k) - 1;
+    if k == width.bits() {
+        return low;
+    }
+    let high = (a >> k) + (b >> k);
+    (high << k) | low
+}
+
+/// Adds `a + b` with the `k` low result bits forced to the midpoint
+/// `2^(k-1)`.
+///
+/// Note that the dropped quantity is the low *sum* `a_low + b_low`, whose
+/// mean is `2^k - 1` — so the truly unbiased constant is [`set_one`]'s
+/// all-ones pattern, not this midpoint; `set_mid` halves [`trunc`]'s
+/// downward bias and sits between the two on MAE.
+pub fn set_mid(a: u64, b: u64, width: BitWidth, k: u32) -> u64 {
+    debug_assert!(k >= 1 && k <= width.bits());
+    let low = 1u64 << (k - 1);
+    if k == width.bits() {
+        return low;
+    }
+    let high = (a >> k) + (b >> k);
+    (high << k) | low
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adders::precise;
+
+    #[test]
+    fn trunc_zeroes_low_bits() {
+        for a in (0..=255u64).step_by(13) {
+            for b in (0..=255u64).step_by(17) {
+                let s = trunc(a, b, BitWidth::W8, 4);
+                assert_eq!(s & 0xF, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn set_one_sets_low_bits() {
+        for a in (0..=255u64).step_by(13) {
+            for b in (0..=255u64).step_by(17) {
+                let s = set_one(a, b, BitWidth::W8, 4);
+                assert_eq!(s & 0xF, 0xF);
+            }
+        }
+    }
+
+    #[test]
+    fn trunc_error_bound() {
+        // The dropped low sum is < 2^(k+1), so the error is < 2^(k+1).
+        let k = 4;
+        for a in 0..=255u64 {
+            for b in 0..=255u64 {
+                let e = precise(a, b, BitWidth::W8);
+                assert!(e.abs_diff(trunc(a, b, BitWidth::W8, k)) < (1 << (k + 1)));
+            }
+        }
+    }
+
+    #[test]
+    fn set_one_has_smaller_mae_than_trunc() {
+        let k = 5;
+        let (mut mae_t, mut mae_s) = (0.0, 0.0);
+        for a in 0..=255u64 {
+            for b in 0..=255u64 {
+                let e = precise(a, b, BitWidth::W8);
+                mae_t += e.abs_diff(trunc(a, b, BitWidth::W8, k)) as f64;
+                mae_s += e.abs_diff(set_one(a, b, BitWidth::W8, k)) as f64;
+            }
+        }
+        assert!(
+            mae_s < mae_t,
+            "set-one MAE {mae_s} should beat trunc MAE {mae_t}"
+        );
+    }
+
+    #[test]
+    fn full_width_trunc_is_constant() {
+        assert_eq!(trunc(200, 100, BitWidth::W8, 8), 0);
+        assert_eq!(set_one(200, 100, BitWidth::W8, 8), 255);
+        assert_eq!(set_mid(200, 100, BitWidth::W8, 8), 128);
+    }
+
+    #[test]
+    fn set_one_error_is_nearly_unbiased() {
+        // The dropped low sum has mean 2^k - 1, which is exactly set_one's
+        // constant: its error is near zero-mean (cancels on accumulation).
+        let k = 6;
+        let (mut signed, mut absolute) = (0.0f64, 0.0f64);
+        for a in 0..=255u64 {
+            for b in 0..=255u64 {
+                let e = precise(a, b, BitWidth::W8) as f64;
+                let x = set_one(a, b, BitWidth::W8, k) as f64;
+                signed += x - e;
+                absolute += (x - e).abs();
+            }
+        }
+        assert!(
+            signed.abs() < 0.1 * absolute,
+            "bias {signed} vs magnitude {absolute}"
+        );
+    }
+
+    #[test]
+    fn set_mid_sits_between_trunc_and_set_one_on_mae() {
+        let k = 6;
+        let (mut mae_m, mut mae_t, mut mae_s) = (0.0, 0.0, 0.0);
+        for a in 0..=255u64 {
+            for b in 0..=255u64 {
+                let e = precise(a, b, BitWidth::W8);
+                mae_m += e.abs_diff(set_mid(a, b, BitWidth::W8, k)) as f64;
+                mae_t += e.abs_diff(trunc(a, b, BitWidth::W8, k)) as f64;
+                mae_s += e.abs_diff(set_one(a, b, BitWidth::W8, k)) as f64;
+            }
+        }
+        assert!(mae_s < mae_m && mae_m < mae_t, "{mae_s} < {mae_m} < {mae_t} expected");
+    }
+
+    #[test]
+    fn trunc_is_exact_on_aligned_operands() {
+        // Operands that are multiples of 2^k lose nothing.
+        assert_eq!(trunc(0xF0, 0x10, BitWidth::W8, 4), 0x100);
+        assert_eq!(trunc(0xA0, 0x20, BitWidth::W8, 4), 0xC0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Behavioural models of approximate arithmetic operators.
+//!
+//! This crate is a self-contained substitute for the
+//! [EvoApproxLib](https://ehw.fit.vutbr.cz/evoapproxlib/) C-model library used
+//! by the reproduced paper. It provides:
+//!
+//! * bit-accurate behavioural models of **approximate adders**
+//!   ([`AdderModel`]) and **approximate multipliers** ([`MulModel`]) built from
+//!   the standard circuit families of the approximate-computing literature
+//!   (lower-part OR, truncation, carry-cut, error-tolerant adders;
+//!   partial-product truncation, broken-array, Mitchell logarithmic, DRUM,
+//!   power-of-two multipliers);
+//! * a pre-characterised [`OperatorLibrary`] reproducing the 12 adders and 12
+//!   multipliers of the paper's Tables I and II, each annotated with the
+//!   published mean relative error distance (MRED), power and computation
+//!   time ([`OperatorSpec`]);
+//! * an error-characterisation harness ([`characterize`]) computing MRED, MAE,
+//!   error rate, worst-case error and friends, exhaustively for 8-bit
+//!   operators and by seeded Monte-Carlo sampling for wider ones.
+//!
+//! # Quick example
+//!
+//! ```
+//! use ax_operators::{OperatorLibrary, BitWidth};
+//!
+//! let lib = OperatorLibrary::evoapprox();
+//! // Operators are sorted by increasing accuracy degradation (MRED).
+//! let mild = &lib.adders(BitWidth::W8)[1]; // "6PT"
+//! let sum = mild.model.add(200, 100);
+//! assert!(sum <= 0x1FF); // 9-bit result
+//! assert_eq!(lib.adders(BitWidth::W8)[0].model.add(200, 100), 300);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adders;
+pub mod characterize;
+pub mod library;
+pub mod metrics;
+pub mod multipliers;
+pub mod signed;
+pub mod spec;
+pub mod width;
+
+pub use adders::{AdderKind, AdderModel};
+pub use characterize::{characterize_adder, characterize_multiplier, CharacterizeMode, ErrorProfile};
+pub use library::{AdderEntry, AdderId, MulEntry, MulId, OperatorLibrary};
+pub use metrics::ErrorStats;
+pub use multipliers::{MulKind, MulModel};
+pub use spec::OperatorSpec;
+pub use width::BitWidth;

@@ -1,0 +1,68 @@
+//! Broken-Array Multiplier (BAM).
+//!
+//! Mahdiani et al. (TCAS-I 2010) omit carry-save adder cells of an array
+//! multiplier. The horizontal-break special case modelled here omits the `r`
+//! least-significant partial-product **rows**, which is algebraically
+//! `a · (b with its r low bits cleared)` — the multiplier operand simply
+//! loses its low bits.
+
+use crate::width::BitWidth;
+
+/// Array multiplier with the `r` least-significant partial-product rows
+/// omitted.
+pub fn broken_array(a: u64, b: u64, width: BitWidth, r: u32) -> u64 {
+    debug_assert!(r >= 1 && r < width.bits());
+    let kept = b & !((1u64 << r) - 1);
+    a.wrapping_mul(kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multipliers::precise;
+
+    #[test]
+    fn equals_exact_when_b_low_bits_clear() {
+        for a in (0..=255u64).step_by(7) {
+            for b in (0..=255u64).step_by(8) {
+                assert_eq!(broken_array(a, b, BitWidth::W8, 3), precise(a, b, BitWidth::W8));
+            }
+        }
+    }
+
+    #[test]
+    fn result_never_exceeds_exact() {
+        for a in 0..=255u64 {
+            for b in 0..=255u64 {
+                assert!(broken_array(a, b, BitWidth::W8, 4) <= precise(a, b, BitWidth::W8));
+            }
+        }
+    }
+
+    #[test]
+    fn error_bound_is_a_times_dropped_bits() {
+        let r = 4;
+        for a in 0..=255u64 {
+            for b in 0..=255u64 {
+                let e = precise(a, b, BitWidth::W8);
+                let x = broken_array(a, b, BitWidth::W8, r);
+                assert!(e - x <= a * ((1 << r) - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_in_operands() {
+        // BAM truncates only the multiplier operand, so it is not commutative.
+        assert_ne!(
+            broken_array(0b1111, 0b0001, BitWidth::W8, 2),
+            broken_array(0b0001, 0b1111, BitWidth::W8, 2)
+        );
+    }
+
+    #[test]
+    fn known_value() {
+        // 100 * 0b0000_0111 with r=2 -> 100 * 0b100 = 400.
+        assert_eq!(broken_array(100, 7, BitWidth::W8, 2), 400);
+    }
+}

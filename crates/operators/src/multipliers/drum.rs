@@ -1,0 +1,136 @@
+//! DRUM — Dynamic Range Unbiased Multiplier.
+//!
+//! Hashemi, Bahar & Reda (ICCAD 2015). Each operand is reduced to a `k`-bit
+//! window anchored at its leading one; the discarded low part is compensated
+//! by forcing the window's LSB to `1` (an unbiased rounding: the forced one
+//! sits at the expected value of the dropped tail). The two windows are
+//! multiplied exactly and shifted back. Relative error is scale-invariant —
+//! it depends only on `k`, not on operand magnitude — which makes DRUM ideal
+//! for the small-MRED 32-bit multipliers of the paper's Table II whose inputs
+//! in the FIR benchmark are only 16-bit wide.
+
+use crate::width::BitWidth;
+
+#[inline]
+fn floor_log2(x: u64) -> u32 {
+    debug_assert!(x > 0);
+    63 - x.leading_zeros()
+}
+
+/// Reduces `x` to its DRUM `k`-bit window, returning `(window, shift)` such
+/// that the approximation of `x` is `window << shift`.
+#[inline]
+fn window(x: u64, k: u32) -> (u64, u32) {
+    let h = floor_log2(x);
+    if h < k {
+        // Operand already fits: exact.
+        (x, 0)
+    } else {
+        let shift = h - k + 1;
+        ((x >> shift) | 1, shift)
+    }
+}
+
+/// DRUM multiplication with `k`-bit significant windows.
+pub fn drum(a: u64, b: u64, width: BitWidth, k: u32) -> u64 {
+    debug_assert!(k >= 2 && k < width.bits());
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let (wa, sa) = window(a, k);
+    let (wb, sb) = window(b, k);
+    (wa * wb) << (sa + sb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multipliers::precise;
+
+    #[test]
+    fn exact_when_operands_fit_window() {
+        for a in 0..32u64 {
+            for b in 0..32u64 {
+                assert_eq!(drum(a, b, BitWidth::W8, 5), a * b);
+            }
+        }
+    }
+
+    #[test]
+    fn relative_error_bounded_by_window() {
+        // Per-operand relative error <= 2^(1-k) (the forced LSB), so the
+        // product error is bounded by (1 + 2^(1-k))^2 - 1.
+        let k = 4;
+        let per_op = f64::powi(2.0, 1 - k);
+        let bound = (1.0 + per_op) * (1.0 + per_op) - 1.0;
+        for a in 1..=255u64 {
+            for b in 1..=255u64 {
+                let e = precise(a, b, BitWidth::W8) as f64;
+                let x = drum(a, b, BitWidth::W8, k as u32) as f64;
+                assert!(
+                    ((e - x) / e).abs() <= bound,
+                    "({a},{b}): exact {e}, drum {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn error_is_roughly_unbiased() {
+        // The forced LSB makes the mean signed error small compared to MAE.
+        let k = 3;
+        let (mut signed, mut absolute) = (0.0f64, 0.0f64);
+        for a in 1..=255u64 {
+            for b in 1..=255u64 {
+                let e = precise(a, b, BitWidth::W8) as f64;
+                let x = drum(a, b, BitWidth::W8, k) as f64;
+                signed += x - e;
+                absolute += (x - e).abs();
+            }
+        }
+        assert!(
+            signed.abs() < 0.25 * absolute,
+            "bias {signed} vs magnitude {absolute}"
+        );
+    }
+
+    #[test]
+    fn scale_invariance_of_relative_error() {
+        // The same leading bit pattern at different magnitudes gives the same
+        // relative error — the DRUM property motivating its use at 32 bits.
+        let k = 4;
+        let (a8, b8) = (0b1011_0110u64, 0b1110_0101u64);
+        let e8 = precise(a8, b8, BitWidth::W8) as f64;
+        let r8 = (e8 - drum(a8, b8, BitWidth::W8, k) as f64) / e8;
+
+        let (a32, b32) = (a8 << 20, b8 << 20);
+        let e32 = precise(a32, b32, BitWidth::W32) as f64;
+        let r32 = (e32 - drum(a32, b32, BitWidth::W32, k) as f64) / e32;
+
+        assert!((r8 - r32).abs() < 1e-9, "rel errors {r8} vs {r32}");
+    }
+
+    #[test]
+    fn window_math() {
+        // x = 0b1101_0110 (214), k = 4: h = 7, shift = 4, window = 0b1101|1.
+        assert_eq!(window(214, 4), (0b1101 | 1, 4));
+        // Window LSB forced to one even when the true bit is zero.
+        assert_eq!(window(0b1100_0000, 4), (0b1101, 4));
+    }
+
+    #[test]
+    fn larger_windows_reduce_mae() {
+        let mut prev = f64::INFINITY;
+        for k in 2..=7u32 {
+            let mut mae = 0.0;
+            for a in 1..=255u64 {
+                for b in 1..=255u64 {
+                    let e = precise(a, b, BitWidth::W8);
+                    mae += e.abs_diff(drum(a, b, BitWidth::W8, k)) as f64;
+                }
+            }
+            assert!(mae <= prev, "k={k}: {mae} > {prev}");
+            prev = mae;
+        }
+    }
+}

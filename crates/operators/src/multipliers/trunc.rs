@@ -1,0 +1,120 @@
+//! Truncation-based multipliers.
+//!
+//! Two flavours with different hardware interpretations and error profiles:
+//!
+//! * **Result truncation** ([`trunc_result`]): the exact product's `c` low
+//!   bits are zeroed. Hardware: a full array whose low output bits are left
+//!   unconnected. The error is bounded by `2^c - 1` and is always
+//!   non-positive relative to the exact product.
+//! * **Partial-product truncation** ([`trunc_pp`]): every partial-product
+//!   bit in a column below `c` is never generated, so the carries those bits
+//!   would have injected into higher columns are also lost. Hardware: a
+//!   truncated array multiplier. The error is larger than result truncation
+//!   at the same `c` (up to roughly `c · 2^c`).
+
+use crate::width::BitWidth;
+
+/// Exact product with the `c` low bits zeroed.
+pub fn trunc_result(a: u64, b: u64, width: BitWidth, c: u32) -> u64 {
+    debug_assert!(c >= 1 && c < 2 * width.bits());
+    let p = a.wrapping_mul(b);
+    p & !((1u64 << c) - 1)
+}
+
+/// Array multiplier with all partial-product columns below `c` dropped.
+///
+/// Partial product bit `(i, j)` (weight `2^(i+j)`) is kept iff `i + j >= c`.
+pub fn trunc_pp(a: u64, b: u64, width: BitWidth, c: u32) -> u64 {
+    debug_assert!(c >= 1 && c < 2 * width.bits());
+    let bits = width.bits();
+    let mut acc: u64 = 0;
+    // Row j contributes (a >> max(0, c - j)) << (j + max(0, c - j)):
+    // only the a-bits i with i + j >= c survive.
+    for j in 0..bits {
+        if (b >> j) & 1 == 0 {
+            continue;
+        }
+        let skip = c.saturating_sub(j);
+        if skip >= bits {
+            continue;
+        }
+        acc += (a >> skip) << (j + skip);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multipliers::precise;
+
+    #[test]
+    fn trunc_result_error_is_bounded_and_nonpositive() {
+        let c = 5;
+        for a in 0..=255u64 {
+            for b in 0..=255u64 {
+                let e = precise(a, b, BitWidth::W8);
+                let x = trunc_result(a, b, BitWidth::W8, c);
+                assert!(x <= e);
+                assert!(e - x < (1 << c));
+            }
+        }
+    }
+
+    #[test]
+    fn trunc_pp_equals_exact_when_no_low_columns_populated() {
+        // a, b multiples of 2^4 have no PP bits below column 8.
+        for a in (0..=255u64).step_by(16) {
+            for b in (0..=255u64).step_by(16) {
+                assert_eq!(trunc_pp(a, b, BitWidth::W8, 8), precise(a, b, BitWidth::W8));
+            }
+        }
+    }
+
+    #[test]
+    fn trunc_pp_loses_at_least_as_much_as_trunc_result() {
+        // PP truncation drops the bits *and* their carries, so its result is
+        // <= result truncation at the same cut.
+        let c = 6;
+        for a in 0..=255u64 {
+            for b in 0..=255u64 {
+                assert!(
+                    trunc_pp(a, b, BitWidth::W8, c) <= trunc_result(a, b, BitWidth::W8, c) + ((1 << c) - 1),
+                );
+                assert!(trunc_pp(a, b, BitWidth::W8, c) <= precise(a, b, BitWidth::W8));
+            }
+        }
+    }
+
+    #[test]
+    fn trunc_pp_mae_exceeds_trunc_result_mae() {
+        let c = 6;
+        let (mut mae_pp, mut mae_res) = (0.0, 0.0);
+        for a in 0..=255u64 {
+            for b in 0..=255u64 {
+                let e = precise(a, b, BitWidth::W8);
+                mae_pp += e.abs_diff(trunc_pp(a, b, BitWidth::W8, c)) as f64;
+                mae_res += e.abs_diff(trunc_result(a, b, BitWidth::W8, c)) as f64;
+            }
+        }
+        assert!(mae_pp > mae_res, "pp {mae_pp} vs result {mae_res}");
+    }
+
+    #[test]
+    fn known_value() {
+        // 15 * 15 = 225 = 0b1110_0001; cutting 4 result bits -> 0b1110_0000.
+        assert_eq!(trunc_result(15, 15, BitWidth::W8, 4), 224);
+        // PP truncation at c=4 for 15*15: rows j=0..3, skip = 4-j,
+        // row0: (15>>4)<<4 = 0; row1: (15>>3)<<4 = 16; row2: (15>>2)<<4 = 48;
+        // row3: (15>>1)<<4 = 112. Total 176.
+        assert_eq!(trunc_pp(15, 15, BitWidth::W8, 4), 176);
+    }
+
+    #[test]
+    fn wide_operands_do_not_overflow() {
+        let max = u32::MAX as u64;
+        let e = precise(max, max, BitWidth::W32);
+        assert!(trunc_result(max, max, BitWidth::W32, 30) <= e);
+        assert!(trunc_pp(max, max, BitWidth::W32, 30) <= e);
+    }
+}

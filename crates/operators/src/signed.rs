@@ -1,0 +1,142 @@
+//! Signed embeddings of the unsigned operator models.
+//!
+//! The operator models work on unsigned bit patterns, like the underlying
+//! circuits. Benchmarks that compute on signed data (the FIR filter's Q15
+//! samples and coefficients) need two standard embeddings:
+//!
+//! * **Two's-complement addition** ([`add_wrapping_i64`]): feed the raw bit
+//!   patterns through the adder and reinterpret the low `width` bits as a
+//!   signed value — exactly what a hardware adder does for signed operands.
+//! * **Sign-magnitude multiplication** ([`mul_signed`]): multiply magnitudes
+//!   through the unsigned model and apply the XOR of the operand signs, the
+//!   conventional wrapper used when characterising EvoApproxLib multipliers
+//!   on signed data.
+
+use crate::adders::AdderModel;
+use crate::multipliers::MulModel;
+
+/// Sign-extends the low `bits` bits of `raw` into an `i64`.
+#[inline]
+pub fn sign_extend(raw: u64, bits: u32) -> i64 {
+    debug_assert!((1..=64).contains(&bits));
+    if bits == 64 {
+        return raw as i64;
+    }
+    let shift = 64 - bits;
+    ((raw << shift) as i64) >> shift
+}
+
+/// Adds two signed values through an adder model with two's-complement
+/// wrap-around at the model's width.
+///
+/// The operands are masked to the adder width (two's-complement encoding),
+/// pushed through the approximate adder, and the low `width` bits of the
+/// result are sign-extended back. The carry-out is discarded, as in any
+/// fixed-width signed datapath.
+///
+/// ```
+/// use ax_operators::{AdderModel, BitWidth};
+/// use ax_operators::signed::add_wrapping_i64;
+///
+/// let exact = AdderModel::precise(BitWidth::W16);
+/// assert_eq!(add_wrapping_i64(&exact, -100, 40), -60);
+/// assert_eq!(add_wrapping_i64(&exact, 32_000, 1_000), -32_536); // wraps
+/// ```
+pub fn add_wrapping_i64(adder: &AdderModel, a: i64, b: i64) -> i64 {
+    let width = adder.width();
+    let mask = width.mask();
+    let sum = adder.add((a as u64) & mask, (b as u64) & mask);
+    sign_extend(sum & mask, width.bits())
+}
+
+/// Multiplies two signed values through a multiplier model using the
+/// sign-magnitude embedding.
+///
+/// # Panics
+///
+/// In debug builds, panics if a magnitude exceeds the model width.
+///
+/// ```
+/// use ax_operators::{MulModel, BitWidth};
+/// use ax_operators::signed::mul_signed;
+///
+/// let exact = MulModel::precise(BitWidth::W32);
+/// assert_eq!(mul_signed(&exact, -3, 7), -21);
+/// assert_eq!(mul_signed(&exact, -3, -7), 21);
+/// ```
+pub fn mul_signed(mul: &MulModel, a: i64, b: i64) -> i64 {
+    let mag = mul.mul(a.unsigned_abs(), b.unsigned_abs());
+    debug_assert!(mag <= i64::MAX as u64, "magnitude product overflows i64");
+    let p = mag as i64;
+    if (a < 0) ^ (b < 0) {
+        -p
+    } else {
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::width::BitWidth;
+    use crate::{AdderKind, MulKind};
+
+    #[test]
+    fn sign_extend_basics() {
+        assert_eq!(sign_extend(0xFF, 8), -1);
+        assert_eq!(sign_extend(0x7F, 8), 127);
+        assert_eq!(sign_extend(0x80, 8), -128);
+        assert_eq!(sign_extend(0xFFFF, 16), -1);
+        assert_eq!(sign_extend(0x8000, 16), -32_768);
+        assert_eq!(sign_extend(5, 64), 5);
+        assert_eq!(sign_extend(u64::MAX, 64), -1);
+    }
+
+    #[test]
+    fn precise_signed_add_matches_wrapping_i16() {
+        let exact = AdderModel::precise(BitWidth::W16);
+        for a in [-32_768i64, -1000, -1, 0, 1, 999, 32_767] {
+            for b in [-32_768i64, -37, 0, 42, 32_767] {
+                let expect = ((a as i16).wrapping_add(b as i16)) as i64;
+                assert_eq!(add_wrapping_i64(&exact, a, b), expect, "{a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_signed_add_is_close_for_small_magnitudes() {
+        let adder = AdderModel::new(AdderKind::Loa { approx_bits: 2 }, BitWidth::W16);
+        for a in -50i64..50 {
+            for b in -50i64..50 {
+                let approx = add_wrapping_i64(&adder, a, b);
+                assert!((approx - (a + b)).abs() <= 8, "{a}+{b} -> {approx}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_mul_sign_rules() {
+        let exact = MulModel::precise(BitWidth::W32);
+        assert_eq!(mul_signed(&exact, 5, 4), 20);
+        assert_eq!(mul_signed(&exact, -5, 4), -20);
+        assert_eq!(mul_signed(&exact, 5, -4), -20);
+        assert_eq!(mul_signed(&exact, -5, -4), 20);
+        assert_eq!(mul_signed(&exact, 0, -4), 0);
+    }
+
+    #[test]
+    fn approx_signed_mul_keeps_sign() {
+        let m = MulModel::new(MulKind::Mitchell, BitWidth::W32);
+        assert!(mul_signed(&m, -1000, 999) < 0);
+        assert!(mul_signed(&m, -1000, -999) > 0);
+        assert_eq!(mul_signed(&m, -1000, 0), 0);
+    }
+
+    #[test]
+    fn i32_extremes_do_not_overflow() {
+        let exact = MulModel::precise(BitWidth::W32);
+        let v = i32::MIN as i64; // magnitude 2^31 fits the 32-bit model
+        assert_eq!(mul_signed(&exact, v, 1), v);
+        assert_eq!(mul_signed(&exact, v, -1), -v);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests over the operator models.
+
+use ax_operators::multipliers::Po2Mode;
+use ax_operators::signed::{add_wrapping_i64, mul_signed, sign_extend};
+use ax_operators::{
+    AdderKind, AdderModel, BitWidth, MulKind, MulModel, OperatorLibrary,
+};
+use proptest::prelude::*;
+
+fn arb_width() -> impl Strategy<Value = BitWidth> {
+    prop_oneof![Just(BitWidth::W8), Just(BitWidth::W16), Just(BitWidth::W32)]
+}
+
+fn arb_adder_kind(bits: u32) -> impl Strategy<Value = AdderKind> {
+    prop_oneof![
+        Just(AdderKind::Precise),
+        (1..=bits).prop_map(|k| AdderKind::Loa { approx_bits: k }),
+        (1..=bits).prop_map(|k| AdderKind::Trunc { cut_bits: k }),
+        (1..=bits).prop_map(|k| AdderKind::SetOne { cut_bits: k }),
+        (1..=bits).prop_map(|k| AdderKind::SetMid { cut_bits: k }),
+        (1..=bits).prop_map(|k| AdderKind::PassB { approx_bits: k }),
+        (1..bits)
+            .prop_flat_map(|cut| (Just(cut), 1..=cut))
+            .prop_map(|(cut, window)| AdderKind::CarryCut { cut, window }),
+    ]
+}
+
+fn arb_mul_kind(bits: u32) -> impl Strategy<Value = MulKind> {
+    prop_oneof![
+        Just(MulKind::Precise),
+        (1..2 * bits).prop_map(|c| MulKind::TruncResult { cut_bits: c }),
+        (1..2 * bits).prop_map(|c| MulKind::TruncPp { cut_columns: c }),
+        (1..bits).prop_map(|r| MulKind::BrokenArray { rows: r }),
+        Just(MulKind::Mitchell),
+        (1..=6u32).prop_map(|n| MulKind::LogIter { iterations: n }),
+        (2..bits).prop_map(|k| MulKind::Drum { k }),
+        Just(MulKind::Po2(Po2Mode::Floor)),
+        Just(MulKind::Po2(Po2Mode::Nearest)),
+        Just(MulKind::Po2(Po2Mode::Compensated)),
+    ]
+}
+
+proptest! {
+    /// Any adder at any width keeps its result within width+1 bits.
+    #[test]
+    fn adder_output_within_width(
+        (width, kind, a, b) in arb_width().prop_flat_map(|w| {
+            (Just(w), arb_adder_kind(w.bits()), 0..=w.max_value(), 0..=w.max_value())
+        })
+    ) {
+        let m = AdderModel::new(kind, width);
+        let s = m.add(a, b);
+        prop_assert!(s <= (width.mask() << 1) | 1, "{m}: {a}+{b} = {s}");
+    }
+
+    /// Adder error is always bounded by the weight of the approximated span:
+    /// every family touches only low bits plus one speculated carry.
+    #[test]
+    fn adder_error_bounded(
+        (width, kind, a, b) in arb_width().prop_flat_map(|w| {
+            (Just(w), arb_adder_kind(w.bits()), 0..=w.max_value(), 0..=w.max_value())
+        })
+    ) {
+        let m = AdderModel::new(kind, width);
+        let err = (a + b).abs_diff(m.add(a, b));
+        let span = match kind {
+            AdderKind::Precise => 0,
+            AdderKind::Loa { approx_bits: k }
+            | AdderKind::Trunc { cut_bits: k }
+            | AdderKind::SetOne { cut_bits: k }
+            | AdderKind::SetMid { cut_bits: k }
+            | AdderKind::PassB { approx_bits: k } => k,
+            AdderKind::CarryCut { cut, .. } => cut,
+        };
+        // Error < 2^(span+1): dropped low sum plus a mispredicted carry.
+        let bound = if span >= 63 { u64::MAX } else { 1u64 << (span + 1) };
+        prop_assert!(err <= bound, "{m}: |{a}+{b}| error {err} > {bound}");
+    }
+
+    /// Commutativity holds for every symmetric adder family (all but PassB,
+    /// whose cell is asymmetric by construction).
+    #[test]
+    fn adder_symmetric_families_commute(
+        (width, kind, a, b) in arb_width().prop_flat_map(|w| {
+            (Just(w), arb_adder_kind(w.bits()), 0..=w.max_value(), 0..=w.max_value())
+        })
+    ) {
+        prop_assume!(!matches!(kind, AdderKind::PassB { .. }));
+        let m = AdderModel::new(kind, width);
+        prop_assert_eq!(m.add(a, b), m.add(b, a));
+    }
+
+    /// Multiplier results fit in 2·width bits and zero annihilates.
+    #[test]
+    fn mul_output_within_width(
+        (width, kind, a, b) in arb_width().prop_flat_map(|w| {
+            (Just(w), arb_mul_kind(w.bits()), 0..=w.max_value(), 0..=w.max_value())
+        })
+    ) {
+        let m = MulModel::new(kind, width);
+        let p = m.mul(a, b);
+        if width != BitWidth::W32 {
+            prop_assert!(p < 1u64 << (2 * width.bits()), "{m}: {a}*{b} = {p:#x}");
+        }
+        prop_assert_eq!(m.mul(0, b), 0);
+        prop_assert_eq!(m.mul(a, 0), 0);
+    }
+
+    /// Multiplication by one through under-approximating families never
+    /// exceeds the operand.
+    #[test]
+    fn mul_by_one_bounded(
+        (width, a) in arb_width().prop_flat_map(|w| (Just(w), 0..=w.max_value()))
+    ) {
+        for kind in [
+            MulKind::Mitchell,
+            MulKind::Po2(Po2Mode::Floor),
+            MulKind::TruncResult { cut_bits: 3 },
+            MulKind::BrokenArray { rows: 2 },
+        ] {
+            let m = MulModel::new(kind, width);
+            prop_assert!(m.mul(a, 1) <= a, "{m}: {a}*1 = {}", m.mul(a, 1));
+        }
+    }
+
+    /// Signed multiplication respects the sign rule for every family.
+    #[test]
+    fn signed_mul_sign_rule(
+        (kind, a, b) in (arb_mul_kind(32), -(1i64 << 31)..(1i64 << 31), -(1i64 << 31)..(1i64 << 31))
+    ) {
+        let m = MulModel::new(kind, BitWidth::W32);
+        let p = mul_signed(&m, a, b);
+        if a != 0 && b != 0 && p != 0 {
+            prop_assert_eq!(p < 0, (a < 0) ^ (b < 0));
+        }
+    }
+
+    /// Signed addition through the exact adder equals wrapping i16 addition.
+    #[test]
+    fn signed_add_precise_reference(a in i16::MIN..=i16::MAX, b in i16::MIN..=i16::MAX) {
+        let m = AdderModel::precise(BitWidth::W16);
+        let got = add_wrapping_i64(&m, a as i64, b as i64);
+        prop_assert_eq!(got, a.wrapping_add(b) as i64);
+    }
+
+    /// Sign extension round-trips i16 values through their bit patterns.
+    #[test]
+    fn sign_extend_roundtrip(v in i16::MIN..=i16::MAX) {
+        prop_assert_eq!(sign_extend(v as u16 as u64, 16), v as i64);
+    }
+
+    /// The library's exact operators are bit-exact on arbitrary inputs.
+    #[test]
+    fn library_exact_entries_are_exact(a in 0u64..=255, b in 0u64..=255) {
+        let lib = OperatorLibrary::evoapprox();
+        prop_assert_eq!(lib.adders(BitWidth::W8)[0].model.add(a, b), a + b);
+        prop_assert_eq!(lib.multipliers(BitWidth::W8)[0].model.mul(a, b), a * b);
+    }
+
+    /// Library approximate adders have errors bounded relative to operand
+    /// magnitude: the DSE relies on approximation never producing garbage
+    /// beyond the modelled bit span.
+    #[test]
+    fn library_adder_errors_sane(idx in 0usize..6, a in 0u64..=255, b in 0u64..=255) {
+        let lib = OperatorLibrary::evoapprox();
+        let m = &lib.adders(BitWidth::W8)[idx].model;
+        prop_assert!((a + b).abs_diff(m.add(a, b)) <= 512);
+    }
+}

@@ -1,0 +1,121 @@
+//! Per-run cost accounting.
+//!
+//! The paper evaluates configurations on pre-characterised operators: the
+//! power and computation time of a run are the sums of the per-operation
+//! constants of whichever operator executed each addition and multiplication
+//! (Δpower and Δtime in Equation 1 are then differences of these sums
+//! against the all-precise run). [`CostMeter`] accumulates those sums during
+//! interpretation and produces an [`ArithProfile`].
+
+use serde::{Deserialize, Serialize};
+
+/// Power/time constants of one operator, captured from its spec.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpCost {
+    /// Power per operation, milliwatts.
+    pub power_mw: f64,
+    /// Latency per operation, nanoseconds.
+    pub time_ns: f64,
+}
+
+/// Aggregated arithmetic activity and cost of one program execution.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ArithProfile {
+    /// Additions executed in total.
+    pub adds_total: u64,
+    /// Additions routed through the approximate adder.
+    pub adds_approx: u64,
+    /// Multiplications executed in total.
+    pub muls_total: u64,
+    /// Multiplications routed through the approximate multiplier.
+    pub muls_approx: u64,
+    /// Σ power over all executed additions and multiplications (mW units,
+    /// matching the paper's accounting).
+    pub power_mw: f64,
+    /// Σ computation time over all executed additions and multiplications
+    /// (ns).
+    pub time_ns: f64,
+}
+
+impl ArithProfile {
+    /// Fraction of arithmetic operations that executed approximately.
+    pub fn approx_fraction(&self) -> f64 {
+        let total = self.adds_total + self.muls_total;
+        if total == 0 {
+            0.0
+        } else {
+            (self.adds_approx + self.muls_approx) as f64 / total as f64
+        }
+    }
+}
+
+/// Accumulates cost during interpretation.
+#[derive(Debug, Clone, Default)]
+pub struct CostMeter {
+    profile: ArithProfile,
+}
+
+impl CostMeter {
+    /// A fresh meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one addition executed with the given operator cost.
+    pub fn record_add(&mut self, cost: OpCost, approximate: bool) {
+        self.profile.adds_total += 1;
+        if approximate {
+            self.profile.adds_approx += 1;
+        }
+        self.profile.power_mw += cost.power_mw;
+        self.profile.time_ns += cost.time_ns;
+    }
+
+    /// Records one multiplication executed with the given operator cost.
+    pub fn record_mul(&mut self, cost: OpCost, approximate: bool) {
+        self.profile.muls_total += 1;
+        if approximate {
+            self.profile.muls_approx += 1;
+        }
+        self.profile.power_mw += cost.power_mw;
+        self.profile.time_ns += cost.time_ns;
+    }
+
+    /// The accumulated profile.
+    pub fn finish(self) -> ArithProfile {
+        self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ADD: OpCost = OpCost { power_mw: 0.033, time_ns: 0.63 };
+    const MUL: OpCost = OpCost { power_mw: 0.391, time_ns: 1.43 };
+
+    #[test]
+    fn meter_accumulates_counts_and_sums() {
+        let mut m = CostMeter::new();
+        m.record_add(ADD, false);
+        m.record_add(ADD, true);
+        m.record_mul(MUL, true);
+        let p = m.finish();
+        assert_eq!(p.adds_total, 2);
+        assert_eq!(p.adds_approx, 1);
+        assert_eq!(p.muls_total, 1);
+        assert_eq!(p.muls_approx, 1);
+        assert!((p.power_mw - (0.033 * 2.0 + 0.391)).abs() < 1e-12);
+        assert!((p.time_ns - (0.63 * 2.0 + 1.43)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn approx_fraction() {
+        let mut m = CostMeter::new();
+        for i in 0..4 {
+            m.record_add(ADD, i % 2 == 0);
+        }
+        assert_eq!(m.finish().approx_fraction(), 0.5);
+        assert_eq!(ArithProfile::default().approx_fraction(), 0.0);
+    }
+}

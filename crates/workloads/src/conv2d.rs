@@ -1,0 +1,130 @@
+//! 2-D convolution (Gaussian blur) extension workload.
+//!
+//! A 3×3 binomial kernel `[1 2 1; 2 4 2; 1 2 1]` over an N×N image of 4-bit
+//! pixels, valid padding (output is (N−2)×(N−2)). Outputs are the raw
+//! weighted sums (16× the blurred pixel) — the kernel performs no final
+//! normalisation because the IR deliberately has no division; this scales
+//! both precise and approximate runs identically.
+
+use crate::workload::Workload;
+use ax_operators::BitWidth;
+use ax_vm::ir::{Program, ProgramBuilder};
+use ax_vm::VmError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The 3×3 binomial blur kernel, row-major.
+pub const KERNEL: [i64; 9] = [1, 2, 1, 2, 4, 2, 1, 2, 1];
+
+/// 3×3 blur over an N×N 4-bit image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2d {
+    n: usize,
+}
+
+impl Conv2d {
+    /// An N×N-image instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` (no valid output pixels).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 3, "image must be at least 3x3");
+        Self { n }
+    }
+
+    /// Output dimension (N − 2).
+    pub fn out_n(&self) -> usize {
+        self.n - 2
+    }
+
+    /// Native reference implementation.
+    pub fn reference(img: &[i64], n: usize) -> Vec<i64> {
+        let m = n - 2;
+        let mut out = vec![0i64; m * m];
+        for i in 0..m {
+            for j in 0..m {
+                let mut acc = 0;
+                for di in 0..3 {
+                    for dj in 0..3 {
+                        acc += KERNEL[di * 3 + dj] * img[(i + di) * n + (j + dj)];
+                    }
+                }
+                out[i * m + j] = acc;
+            }
+        }
+        out
+    }
+}
+
+impl Workload for Conv2d {
+    fn name(&self) -> String {
+        format!("conv2d-{n}x{n}", n = self.n)
+    }
+
+    fn build(&self) -> Result<Program, VmError> {
+        let n = self.n as u32;
+        let m = n - 2;
+        let mut pb = ProgramBuilder::new(self.name(), BitWidth::W8, BitWidth::W8);
+        let img = pb.input("img", n * n);
+        let ker = pb.input("ker", 9);
+        let prod = pb.temp("prod", 1);
+        let out = pb.output("out", m * m);
+        for i in 0..m {
+            for j in 0..m {
+                let dst = out.at(i * m + j);
+                pb.konst(dst, 0);
+                for di in 0..3 {
+                    for dj in 0..3 {
+                        pb.mul(prod.at(0), ker.at(di * 3 + dj), img.at((i + di) * n + (j + dj)), 0);
+                        pb.add(dst, prod.at(0), dst);
+                    }
+                }
+            }
+        }
+        pb.build()
+    }
+
+    fn inputs(&self, seed: u64) -> Vec<(String, Vec<i64>)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let img = (0..self.n * self.n).map(|_| rng.gen_range(0..16)).collect();
+        vec![("img".to_owned(), img), ("ker".to_owned(), KERNEL.to_vec())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ax_operators::OperatorLibrary;
+
+    #[test]
+    fn precise_matches_reference() {
+        let wl = Conv2d::new(8);
+        let prepared = wl.prepare(30).unwrap();
+        let lib = OperatorLibrary::evoapprox();
+        let out = prepared.run_precise(&lib).unwrap();
+        assert_eq!(out.outputs, Conv2d::reference(&prepared.inputs[0].1, 8));
+    }
+
+    #[test]
+    fn output_shape_and_op_counts() {
+        let wl = Conv2d::new(6);
+        let p = wl.build().unwrap();
+        let m = 4;
+        assert_eq!(p.var(p.output_vars()[0]).len(), (m * m) as u32);
+        assert_eq!(p.stats().muls, m * m * 9);
+    }
+
+    #[test]
+    fn uniform_image_blurs_to_kernel_sum_times_value() {
+        let wl = Conv2d::new(5);
+        let prepared = {
+            let mut p = wl.prepare(0).unwrap();
+            p.inputs[0].1 = vec![3; 25];
+            p
+        };
+        let lib = OperatorLibrary::evoapprox();
+        let out = prepared.run_precise(&lib).unwrap();
+        assert!(out.outputs.iter().all(|&v| v == 3 * 16));
+    }
+}

@@ -1,0 +1,138 @@
+//! 8-point DCT-II extension workload.
+//!
+//! The 1-D length-8 type-II discrete cosine transform over blocks of 8-bit
+//! samples, with Q15 cosine coefficients — the JPEG building block, a
+//! classic approximate-computing target. Uses 16-bit adders and 32-bit
+//! multipliers like the FIR benchmark.
+
+use crate::signal::quantize_q15;
+use crate::workload::Workload;
+use ax_operators::BitWidth;
+use ax_vm::ir::{Program, ProgramBuilder};
+use ax_vm::VmError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+/// 8-point DCT-II over `blocks` consecutive sample blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dct8 {
+    blocks: usize,
+}
+
+impl Dct8 {
+    /// A transform over `blocks` blocks (8 samples each).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is zero.
+    pub fn new(blocks: usize) -> Self {
+        assert!(blocks > 0, "need at least one block");
+        Self { blocks }
+    }
+
+    /// The 64 Q15 DCT-II basis coefficients, row-major (`c[u][x]`).
+    pub fn q15_basis() -> Vec<i64> {
+        let mut c = Vec::with_capacity(64);
+        for u in 0..8 {
+            let scale = if u == 0 { (1.0f64 / 8.0).sqrt() } else { (2.0f64 / 8.0).sqrt() };
+            for x in 0..8 {
+                c.push(scale * ((2 * x + 1) as f64 * u as f64 * PI / 16.0).cos());
+            }
+        }
+        quantize_q15(&c)
+    }
+
+    /// Native reference implementation with Q15 per-product truncation
+    /// (matching the kernel's fixed-point semantics).
+    pub fn reference(samples: &[i64], basis: &[i64]) -> Vec<i64> {
+        let blocks = samples.len() / 8;
+        let mut out = vec![0i64; blocks * 8];
+        for b in 0..blocks {
+            for u in 0..8 {
+                let mut acc = 0i64;
+                for x in 0..8 {
+                    acc += (basis[u * 8 + x] * samples[b * 8 + x]) >> 15;
+                }
+                out[b * 8 + u] = acc;
+            }
+        }
+        out
+    }
+}
+
+impl Workload for Dct8 {
+    fn name(&self) -> String {
+        format!("dct8-{}", self.blocks)
+    }
+
+    fn build(&self) -> Result<Program, VmError> {
+        let blocks = self.blocks as u32;
+        let mut pb = ProgramBuilder::new(self.name(), BitWidth::W16, BitWidth::W32);
+        let s = pb.input("s", blocks * 8);
+        let c = pb.input("c", 64);
+        let prod = pb.temp("prod", 1);
+        let out = pb.output("out", blocks * 8);
+        for b in 0..blocks {
+            for u in 0..8 {
+                let dst = out.at(b * 8 + u);
+                pb.konst(dst, 0);
+                for x in 0..8 {
+                    pb.mul(prod.at(0), c.at(u * 8 + x), s.at(b * 8 + x), 15);
+                    pb.add(dst, prod.at(0), dst);
+                }
+            }
+        }
+        pb.build()
+    }
+
+    fn inputs(&self, seed: u64) -> Vec<(String, Vec<i64>)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples = (0..self.blocks * 8).map(|_| rng.gen_range(-128..128)).collect();
+        vec![("s".to_owned(), samples), ("c".to_owned(), Self::q15_basis())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ax_operators::OperatorLibrary;
+
+    #[test]
+    fn precise_matches_reference() {
+        let wl = Dct8::new(5);
+        let prepared = wl.prepare(2).unwrap();
+        let lib = OperatorLibrary::evoapprox();
+        let out = prepared.run_precise(&lib).unwrap();
+        assert_eq!(
+            out.outputs,
+            Dct8::reference(&prepared.inputs[0].1, &prepared.inputs[1].1)
+        );
+    }
+
+    #[test]
+    fn dc_coefficient_of_constant_block() {
+        // A constant block concentrates energy in the DC coefficient.
+        let basis = Dct8::q15_basis();
+        let samples = vec![100i64; 8];
+        let out = Dct8::reference(&samples, &basis);
+        assert!(out[0] > 250, "DC {}", out[0]); // ~ 100·8/sqrt(8) ≈ 283
+        for (u, &v) in out.iter().enumerate().skip(1) {
+            assert!(v.abs() <= 8, "AC[{u}] = {v}"); // truncation residue only
+        }
+    }
+
+    #[test]
+    fn basis_rows_are_q15_orthogonal() {
+        let basis = Dct8::q15_basis();
+        for u in 0..8 {
+            for v in 0..8 {
+                let dot: f64 = (0..8)
+                    .map(|x| (basis[u * 8 + x] as f64 / 32768.0) * (basis[v * 8 + x] as f64 / 32768.0))
+                    .sum();
+                let expect = if u == v { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-3, "u={u} v={v}: {dot}");
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Dot product — the smallest extension workload.
+//!
+//! `y = Σ x_i · w_i` on 4-bit unsigned entries, 8-bit operator classes. Its
+//! single-output structure makes it the quickest benchmark for smoke tests
+//! and for demonstrating custom-workload integration.
+
+use crate::workload::Workload;
+use ax_operators::BitWidth;
+use ax_vm::ir::{Program, ProgramBuilder};
+use ax_vm::VmError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An N-element dot product with 4-bit entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DotProduct {
+    n: usize,
+}
+
+impl DotProduct {
+    /// An N-element instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "vector length must be positive");
+        Self { n }
+    }
+
+    /// Native reference implementation.
+    pub fn reference(x: &[i64], w: &[i64]) -> i64 {
+        x.iter().zip(w).map(|(a, b)| a * b).sum()
+    }
+}
+
+impl Workload for DotProduct {
+    fn name(&self) -> String {
+        format!("dot-{}", self.n)
+    }
+
+    fn build(&self) -> Result<Program, VmError> {
+        let n = self.n as u32;
+        let mut pb = ProgramBuilder::new(self.name(), BitWidth::W8, BitWidth::W8);
+        let x = pb.input("x", n);
+        let w = pb.input("w", n);
+        let prod = pb.temp("prod", 1);
+        let y = pb.output("y", 1);
+        pb.konst(y.at(0), 0);
+        for i in 0..n {
+            pb.mul(prod.at(0), x.at(i), w.at(i), 0);
+            pb.add(y.at(0), prod.at(0), y.at(0));
+        }
+        pb.build()
+    }
+
+    fn inputs(&self, seed: u64) -> Vec<(String, Vec<i64>)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gen = || -> Vec<i64> { (0..self.n).map(|_| rng.gen_range(0..16)).collect() };
+        vec![("x".to_owned(), gen()), ("w".to_owned(), gen())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ax_operators::OperatorLibrary;
+
+    #[test]
+    fn precise_matches_reference() {
+        let wl = DotProduct::new(20);
+        let prepared = wl.prepare(8).unwrap();
+        let lib = OperatorLibrary::evoapprox();
+        let out = prepared.run_precise(&lib).unwrap();
+        assert_eq!(
+            out.outputs,
+            vec![DotProduct::reference(&prepared.inputs[0].1, &prepared.inputs[1].1)]
+        );
+    }
+
+    #[test]
+    fn single_output_and_n_ops() {
+        let p = DotProduct::new(12).build().unwrap();
+        assert_eq!(p.output_vars().len(), 1);
+        assert_eq!(p.stats().muls, 12);
+        assert_eq!(p.stats().adds, 12);
+    }
+}

@@ -1,0 +1,69 @@
+//! Approximable benchmark kernels.
+//!
+//! The paper evaluates its DSE on **matrix multiplication** (10×10 and
+//! 50×50) and an **FIR low-pass filter** (100 and 200 white-noise samples);
+//! this crate provides those workloads plus additional kernels for the
+//! paper's "larger set of applications" future-work direction:
+//!
+//! | Workload | Arithmetic | Paper role |
+//! |----------|-----------|------------|
+//! | [`matmul::MatMul`] | 8-bit adds, 8-bit muls | Table III, Figs. 2 & 4 |
+//! | [`fir::Fir`] | 16-bit adds, 32-bit muls | Table III, Figs. 3 & 4 |
+//! | [`dot::DotProduct`] | 8-bit adds, 8-bit muls | extension |
+//! | [`conv2d::Conv2d`] | 8-bit adds, 8-bit muls | extension |
+//! | [`dct::Dct8`] | 16-bit adds, 32-bit muls | extension |
+//! | [`sobel::Sobel`] | 8-bit adds, 8-bit muls | extension |
+//!
+//! Every workload implements [`workload::Workload`]: it builds an
+//! instrumented [`ax_vm::Program`] and generates seeded inputs, so the DSE,
+//! the examples and the benches all consume benchmarks uniformly.
+//!
+//! ```
+//! use ax_workloads::matmul::MatMul;
+//! use ax_workloads::workload::Workload;
+//!
+//! let wl = MatMul::new(4);
+//! let prepared = wl.prepare(42).unwrap();
+//! assert_eq!(prepared.program.stats().muls, 4 * 4 * 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod conv2d;
+pub mod dct;
+pub mod dot;
+pub mod fir;
+pub mod matmul;
+pub mod signal;
+pub mod sobel;
+pub mod workload;
+
+pub use workload::{PreparedWorkload, Workload};
+
+/// The paper's four benchmark configurations, in Table III column order:
+/// MatMul 10×10, MatMul 50×50, FIR 100 samples, FIR 200 samples.
+pub fn paper_benchmarks() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(matmul::MatMul::new(10)),
+        Box::new(matmul::MatMul::new(50)),
+        Box::new(fir::Fir::new(100)),
+        Box::new(fir::Fir::new(200)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_benchmarks_build() {
+        let benches = paper_benchmarks();
+        assert_eq!(benches.len(), 4);
+        let names: Vec<String> = benches.iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["matmul-10x10", "matmul-50x50", "fir-100", "fir-200"]);
+        for b in &benches {
+            b.prepare(1).expect("paper benchmark must build");
+        }
+    }
+}

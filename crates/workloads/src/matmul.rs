@@ -1,0 +1,192 @@
+//! The matrix multiplication benchmark (paper Table III, columns 1–2).
+//!
+//! `C = A · B` on N×N matrices of small unsigned entries (4-bit, so every
+//! 8-bit product is exact at full precision). Multiplications run on the
+//! 8-bit multiplier class and accumulations on the 8-bit adder class — the
+//! widths whose operators the paper's matmul configurations select (adders
+//! `00M`/`6R6`, multipliers `17MJ`/`L93`, all 8-bit).
+//!
+//! Approximable variables: `a`, `b` (operand matrices — selecting either
+//! approximates the multiplies reading them), `prod` (the product temporary
+//! — multiplies write it) and `c` (the output/accumulator — additions read
+//! and write it). This mirrors the paper's variable-oriented selection
+//! strategy from its reference \[7\].
+
+use crate::workload::Workload;
+use ax_operators::BitWidth;
+use ax_vm::ir::{Program, ProgramBuilder};
+use ax_vm::VmError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// N×N matrix multiplication with 4-bit entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatMul {
+    n: usize,
+}
+
+impl MatMul {
+    /// An N×N instance (the paper uses 10 and 50).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "matrix dimension must be positive");
+        Self { n }
+    }
+
+    /// The matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Native (non-IR) reference implementation used in tests.
+    pub fn reference(a: &[i64], b: &[i64], n: usize) -> Vec<i64> {
+        let mut c = vec![0i64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    c[i * n + j] += a[i * n + k] * b[k * n + j];
+                }
+            }
+        }
+        c
+    }
+}
+
+impl Workload for MatMul {
+    fn name(&self) -> String {
+        format!("matmul-{n}x{n}", n = self.n)
+    }
+
+    fn build(&self) -> Result<Program, VmError> {
+        let n = self.n as u32;
+        let mut pb = ProgramBuilder::new(self.name(), BitWidth::W8, BitWidth::W8);
+        let a = pb.input("a", n * n);
+        let b = pb.input("b", n * n);
+        let prod = pb.temp("prod", 1);
+        let c = pb.output("c", n * n);
+        for i in 0..n {
+            for j in 0..n {
+                let out = c.at(i * n + j);
+                pb.konst(out, 0);
+                for k in 0..n {
+                    pb.mul(prod.at(0), a.at(i * n + k), b.at(k * n + j), 0);
+                    pb.add(out, prod.at(0), out);
+                }
+            }
+        }
+        pb.build()
+    }
+
+    fn inputs(&self, seed: u64) -> Vec<(String, Vec<i64>)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.n;
+        let mut gen = |_: &str| -> Vec<i64> { (0..n * n).map(|_| rng.gen_range(0..16)).collect() };
+        vec![("a".to_owned(), gen("a")), ("b".to_owned(), gen("b"))]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ax_operators::OperatorLibrary;
+    use ax_vm::exec::Binding;
+    use ax_vm::instrument::VarMask;
+    use ax_operators::{AdderId, MulId};
+
+    #[test]
+    fn precise_ir_matches_reference() {
+        for n in [1usize, 2, 3, 5, 8] {
+            let wl = MatMul::new(n);
+            let prepared = wl.prepare(17).unwrap();
+            let lib = OperatorLibrary::evoapprox();
+            let out = prepared.run_precise(&lib).unwrap();
+            let a = &prepared.inputs[0].1;
+            let b = &prepared.inputs[1].1;
+            assert_eq!(out.outputs, MatMul::reference(a, b, n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn op_counts_are_n_cubed() {
+        let wl = MatMul::new(6);
+        let stats = wl.build().unwrap().stats();
+        assert_eq!(stats.muls, 216);
+        assert_eq!(stats.adds, 216);
+        assert_eq!(stats.moves, 36); // one konst per output cell
+    }
+
+    #[test]
+    fn approximable_variables_are_the_paper_four() {
+        let p = MatMul::new(4).build().unwrap();
+        let names: Vec<&str> = p
+            .approximable_vars()
+            .iter()
+            .map(|&v| p.var(v).name())
+            .collect();
+        assert_eq!(names, vec!["a", "b", "prod", "c"]);
+    }
+
+    #[test]
+    fn entries_fit_four_bits() {
+        let wl = MatMul::new(10);
+        for (_, vals) in wl.inputs(3) {
+            assert!(vals.iter().all(|&v| (0..16).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn aggressive_approximation_degrades_but_runs() {
+        let wl = MatMul::new(5);
+        let prepared = wl.prepare(23).unwrap();
+        let lib = OperatorLibrary::evoapprox();
+        let precise = prepared.run_precise(&lib).unwrap();
+        let binding = Binding::new(&lib, &prepared.program, AdderId(5), MulId(5)).unwrap();
+        let approx = prepared.run(&binding, &VarMask::all(&prepared.program)).unwrap();
+        assert_ne!(precise.outputs, approx.outputs);
+        // Power strictly drops with the cheap operators.
+        assert!(approx.profile.power_mw < precise.profile.power_mw);
+    }
+
+    #[test]
+    fn selecting_only_prod_approximates_only_multiplies() {
+        let wl = MatMul::new(3);
+        let prepared = wl.prepare(5).unwrap();
+        let lib = OperatorLibrary::evoapprox();
+        let program = &prepared.program;
+        let pos = program
+            .approximable_vars()
+            .iter()
+            .position(|&v| program.var(v).name() == "prod")
+            .unwrap() as u32;
+        let mut mask = VarMask::none(program);
+        mask.set(pos, true);
+        let binding = Binding::new(&lib, program, AdderId(3), MulId(3)).unwrap();
+        let out = prepared.run(&binding, &mask).unwrap();
+        assert_eq!(out.profile.muls_approx, out.profile.muls_total);
+        // Additions read `prod` as an operand, so they are approximated too
+        // ("all sums or multiplications on those variables").
+        assert_eq!(out.profile.adds_approx, out.profile.adds_total);
+    }
+
+    #[test]
+    fn selecting_only_a_leaves_accumulation_precise() {
+        let wl = MatMul::new(3);
+        let prepared = wl.prepare(5).unwrap();
+        let lib = OperatorLibrary::evoapprox();
+        let program = &prepared.program;
+        let pos = program
+            .approximable_vars()
+            .iter()
+            .position(|&v| program.var(v).name() == "a")
+            .unwrap() as u32;
+        let mut mask = VarMask::none(program);
+        mask.set(pos, true);
+        let binding = Binding::new(&lib, program, AdderId(3), MulId(3)).unwrap();
+        let out = prepared.run(&binding, &mask).unwrap();
+        assert_eq!(out.profile.muls_approx, out.profile.muls_total);
+        assert_eq!(out.profile.adds_approx, 0);
+    }
+}

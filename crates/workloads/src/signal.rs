@@ -1,0 +1,156 @@
+//! Signal generation and filter design utilities.
+//!
+//! White-noise generation for the FIR benchmark ("all white noise signals
+//! with Low Pass Filter functionality"), Hamming-windowed-sinc low-pass
+//! design, and Q15 quantisation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+/// Uniform white noise in `[-amplitude, amplitude]`, seeded.
+///
+/// # Panics
+///
+/// Panics if `amplitude` is zero or exceeds `i16::MAX as i64`.
+pub fn white_noise_uniform(n: usize, amplitude: i64, seed: u64) -> Vec<i64> {
+    assert!(amplitude > 0 && amplitude <= i16::MAX as i64, "amplitude {amplitude} out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-amplitude..=amplitude)).collect()
+}
+
+/// Gaussian white noise with the given standard deviation (Box–Muller),
+/// clamped to `±4σ`, seeded.
+///
+/// # Panics
+///
+/// Panics if `sigma` is not strictly positive.
+pub fn white_noise_gaussian(n: usize, sigma: f64, seed: u64) -> Vec<i64> {
+    assert!(sigma > 0.0, "sigma must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        for g in [r * (2.0 * PI * u2).cos(), r * (2.0 * PI * u2).sin()] {
+            if out.len() < n {
+                out.push((g * sigma).clamp(-4.0 * sigma, 4.0 * sigma).round() as i64);
+            }
+        }
+    }
+    out
+}
+
+/// Normalised sinc: `sin(πx)/(πx)`, 1 at 0.
+fn sinc(x: f64) -> f64 {
+    if x.abs() < 1e-12 {
+        1.0
+    } else {
+        (PI * x).sin() / (PI * x)
+    }
+}
+
+/// Hamming-windowed-sinc low-pass filter taps.
+///
+/// `cutoff` is the normalised cutoff frequency in cycles/sample (0 < cutoff
+/// < 0.5). Taps are normalised to unit DC gain (`Σh = 1`).
+///
+/// # Panics
+///
+/// Panics if `n_taps < 3` or `cutoff` is outside `(0, 0.5)`.
+pub fn lowpass_taps(n_taps: usize, cutoff: f64) -> Vec<f64> {
+    assert!(n_taps >= 3, "need at least 3 taps");
+    assert!(cutoff > 0.0 && cutoff < 0.5, "cutoff {cutoff} outside (0, 0.5)");
+    let m = (n_taps - 1) as f64;
+    let mut taps: Vec<f64> = (0..n_taps)
+        .map(|k| {
+            let x = k as f64 - m / 2.0;
+            let window = 0.54 - 0.46 * (2.0 * PI * k as f64 / m).cos();
+            2.0 * cutoff * sinc(2.0 * cutoff * x) * window
+        })
+        .collect();
+    let sum: f64 = taps.iter().sum();
+    for t in &mut taps {
+        *t /= sum;
+    }
+    taps
+}
+
+/// Quantises real coefficients to Q15 fixed point (`round(x · 2^15)`).
+pub fn quantize_q15(taps: &[f64]) -> Vec<i64> {
+    taps.iter()
+        .map(|&t| (t * 32768.0).round().clamp(i16::MIN as f64, i16::MAX as f64) as i64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_noise_is_seeded_and_bounded() {
+        let a = white_noise_uniform(500, 4096, 7);
+        let b = white_noise_uniform(500, 4096, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, white_noise_uniform(500, 4096, 8));
+        assert!(a.iter().all(|&x| (-4096..=4096).contains(&x)));
+        // White noise has near-zero mean.
+        let mean = a.iter().sum::<i64>() as f64 / a.len() as f64;
+        assert!(mean.abs() < 400.0, "mean {mean}");
+    }
+
+    #[test]
+    fn gaussian_noise_statistics() {
+        let xs = white_noise_gaussian(4_000, 1000.0, 3);
+        let mean = xs.iter().sum::<i64>() as f64 / xs.len() as f64;
+        let var = xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 100.0, "mean {mean}");
+        assert!((var.sqrt() - 1000.0).abs() < 100.0, "sd {}", var.sqrt());
+        assert!(xs.iter().all(|&x| x.abs() <= 4000));
+    }
+
+    #[test]
+    fn lowpass_taps_have_unit_dc_gain_and_symmetry() {
+        let taps = lowpass_taps(33, 0.1);
+        assert_eq!(taps.len(), 33);
+        let sum: f64 = taps.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        for k in 0..taps.len() / 2 {
+            assert!((taps[k] - taps[taps.len() - 1 - k]).abs() < 1e-12, "tap {k}");
+        }
+        // Centre tap dominates.
+        let centre = taps[taps.len() / 2];
+        assert!(taps.iter().all(|&t| t <= centre + 1e-12));
+    }
+
+    #[test]
+    fn lowpass_attenuates_high_frequency() {
+        // Frequency response at DC vs at Nyquist: |H(0)| = 1, |H(0.5)| ~ 0.
+        let taps = lowpass_taps(33, 0.1);
+        let h = |f: f64| -> f64 {
+            let (mut re, mut im) = (0.0, 0.0);
+            for (k, &t) in taps.iter().enumerate() {
+                re += t * (2.0 * PI * f * k as f64).cos();
+                im -= t * (2.0 * PI * f * k as f64).sin();
+            }
+            (re * re + im * im).sqrt()
+        };
+        assert!((h(0.0) - 1.0).abs() < 1e-9);
+        assert!(h(0.25) < 0.01, "stopband leak {}", h(0.25));
+        assert!(h(0.45) < 0.01, "stopband leak {}", h(0.45));
+        assert!(h(0.05) > 0.9, "passband droop {}", h(0.05));
+    }
+
+    #[test]
+    fn q15_quantisation_roundtrips_small_values() {
+        let taps = vec![0.5, -0.25, 0.0];
+        assert_eq!(quantize_q15(&taps), vec![16384, -8192, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff")]
+    fn lowpass_rejects_bad_cutoff() {
+        lowpass_taps(11, 0.6);
+    }
+}

@@ -1,0 +1,148 @@
+//! Sobel gradient extension workload.
+//!
+//! Computes the horizontal and vertical Sobel gradients of an N×N 4-bit
+//! image (valid padding). The kernel outputs `gx` and `gy` separately — the
+//! magnitude `|gx| + |gy|` needs an absolute value the IR deliberately does
+//! not model, and keeping the raw signed gradients exercises the signed
+//! datapath (negative kernel weights) end to end.
+
+use crate::workload::Workload;
+use ax_operators::BitWidth;
+use ax_vm::ir::{Program, ProgramBuilder};
+use ax_vm::VmError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Horizontal Sobel kernel, row-major.
+pub const KX: [i64; 9] = [-1, 0, 1, -2, 0, 2, -1, 0, 1];
+
+/// Vertical Sobel kernel, row-major.
+pub const KY: [i64; 9] = [-1, -2, -1, 0, 0, 0, 1, 2, 1];
+
+/// Sobel gradients over an N×N 4-bit image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sobel {
+    n: usize,
+}
+
+impl Sobel {
+    /// An N×N-image instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 3, "image must be at least 3x3");
+        Self { n }
+    }
+
+    /// Native reference: `(gx, gy)` concatenated, each (N−2)².
+    pub fn reference(img: &[i64], n: usize) -> Vec<i64> {
+        let m = n - 2;
+        let mut gx = vec![0i64; m * m];
+        let mut gy = vec![0i64; m * m];
+        for i in 0..m {
+            for j in 0..m {
+                for di in 0..3 {
+                    for dj in 0..3 {
+                        let p = img[(i + di) * n + (j + dj)];
+                        gx[i * m + j] += KX[di * 3 + dj] * p;
+                        gy[i * m + j] += KY[di * 3 + dj] * p;
+                    }
+                }
+            }
+        }
+        gx.extend(gy);
+        gx
+    }
+}
+
+impl Workload for Sobel {
+    fn name(&self) -> String {
+        format!("sobel-{n}x{n}", n = self.n)
+    }
+
+    fn build(&self) -> Result<Program, VmError> {
+        let n = self.n as u32;
+        let m = n - 2;
+        let mut pb = ProgramBuilder::new(self.name(), BitWidth::W8, BitWidth::W8);
+        let img = pb.input("img", n * n);
+        let kx = pb.input("kx", 9);
+        let ky = pb.input("ky", 9);
+        let prod = pb.temp("prod", 1);
+        let gx = pb.output("gx", m * m);
+        let gy = pb.output("gy", m * m);
+        for i in 0..m {
+            for j in 0..m {
+                for (out, ker) in [(gx, kx), (gy, ky)] {
+                    let dst = out.at(i * m + j);
+                    pb.konst(dst, 0);
+                    for di in 0..3 {
+                        for dj in 0..3 {
+                            pb.mul(
+                                prod.at(0),
+                                ker.at(di * 3 + dj),
+                                img.at((i + di) * n + (j + dj)),
+                                0,
+                            );
+                            pb.add(dst, prod.at(0), dst);
+                        }
+                    }
+                }
+            }
+        }
+        pb.build()
+    }
+
+    fn inputs(&self, seed: u64) -> Vec<(String, Vec<i64>)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let img = (0..self.n * self.n).map(|_| rng.gen_range(0..16)).collect();
+        vec![
+            ("img".to_owned(), img),
+            ("kx".to_owned(), KX.to_vec()),
+            ("ky".to_owned(), KY.to_vec()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ax_operators::OperatorLibrary;
+
+    #[test]
+    fn precise_matches_reference() {
+        let wl = Sobel::new(7);
+        let prepared = wl.prepare(13).unwrap();
+        let lib = OperatorLibrary::evoapprox();
+        let out = prepared.run_precise(&lib).unwrap();
+        assert_eq!(out.outputs, Sobel::reference(&prepared.inputs[0].1, 7));
+    }
+
+    #[test]
+    fn vertical_edge_yields_horizontal_gradient() {
+        // Left half dark, right half bright: gx positive at the edge, gy zero.
+        let n = 5;
+        let mut img = vec![0i64; n * n];
+        for i in 0..n {
+            for j in 3..n {
+                img[i * n + j] = 10;
+            }
+        }
+        let out = Sobel::reference(&img, n);
+        let m = n - 2;
+        let gx = &out[..m * m];
+        let gy = &out[m * m..];
+        assert!(gx.iter().any(|&v| v > 0), "gx {gx:?}");
+        assert!(gy.iter().all(|&v| v == 0), "gy {gy:?}");
+    }
+
+    #[test]
+    fn gradients_have_signed_values() {
+        let wl = Sobel::new(6);
+        let prepared = wl.prepare(99).unwrap();
+        let lib = OperatorLibrary::evoapprox();
+        let out = prepared.run_precise(&lib).unwrap();
+        assert!(out.outputs.iter().any(|&v| v < 0), "expected negative gradients");
+    }
+}

@@ -1,0 +1,102 @@
+//! Plugging a user-defined kernel and operator library into the DSE.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+//!
+//! Defines a new workload (Horner evaluation of a degree-3 polynomial), a
+//! custom three-operator library, and explores the combined space — the
+//! extension path the paper's conclusion calls for ("a larger set of
+//! applications").
+
+use ax_dse::explore::{explore_qlearning, ExploreOptions};
+use ax_operators::{
+    AdderKind, AdderModel, BitWidth, MulKind, MulModel, OperatorLibrary, OperatorSpec,
+};
+use ax_vm::ir::{Program, ProgramBuilder};
+use ax_vm::VmError;
+use ax_workloads::Workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `y_i = ((c3·x + c2)·x + c1)·x + c0` over a batch of 4-bit x values.
+struct Horner {
+    n: usize,
+}
+
+impl Workload for Horner {
+    fn name(&self) -> String {
+        format!("horner3-{}", self.n)
+    }
+
+    fn build(&self) -> Result<Program, VmError> {
+        let n = self.n as u32;
+        let mut pb = ProgramBuilder::new(self.name(), BitWidth::W8, BitWidth::W8);
+        let x = pb.input("x", n);
+        let coeff = pb.input("coeff", 4); // c0..c3, small positive values
+        let acc = pb.temp("acc", 1);
+        let prod = pb.temp("prod", 1);
+        let y = pb.output("y", n);
+        for i in 0..n {
+            pb.copy(acc.at(0), coeff.at(3));
+            for c in (0..3).rev() {
+                pb.mul(prod.at(0), acc.at(0), x.at(i), 4); // Q4 rescale
+                pb.add(acc.at(0), prod.at(0), coeff.at(c));
+            }
+            pb.copy(y.at(i), acc.at(0));
+        }
+        pb.build()
+    }
+
+    fn inputs(&self, seed: u64) -> Vec<(String, Vec<i64>)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs = (0..self.n).map(|_| rng.gen_range(0..16)).collect();
+        vec![("x".to_owned(), xs), ("coeff".to_owned(), vec![3, 5, 2, 1])]
+    }
+}
+
+fn main() {
+    // A minimal custom library: one exact and two approximate operators per
+    // class, with made-up (but plausible) power/time characterisation.
+    let lib = OperatorLibrary::builder()
+        .adder(
+            OperatorSpec::new("exact", BitWidth::W8, 0.0, 0.04, 0.7),
+            AdderModel::precise(BitWidth::W8),
+        )
+        .adder(
+            OperatorSpec::new("loa4", BitWidth::W8, 1.5, 0.018, 0.35),
+            AdderModel::new(AdderKind::Loa { approx_bits: 4 }, BitWidth::W8),
+        )
+        .adder(
+            OperatorSpec::new("set1-6", BitWidth::W8, 13.0, 0.006, 0.2),
+            AdderModel::new(AdderKind::SetOne { cut_bits: 6 }, BitWidth::W8),
+        )
+        .multiplier(
+            OperatorSpec::new("exact", BitWidth::W8, 0.0, 0.40, 1.5),
+            MulModel::precise(BitWidth::W8),
+        )
+        .multiplier(
+            OperatorSpec::new("drum4", BitWidth::W8, 5.8, 0.15, 1.0),
+            MulModel::new(MulKind::Drum { k: 4 }, BitWidth::W8),
+        )
+        .multiplier(
+            OperatorSpec::new("mitchell", BitWidth::W8, 3.8, 0.2, 1.1),
+            MulModel::new(MulKind::Mitchell, BitWidth::W8),
+        )
+        .build();
+
+    let workload = Horner { n: 32 };
+    let opts = ExploreOptions { max_steps: 2_000, ..Default::default() };
+    let outcome = explore_qlearning(&workload, &lib, &opts).expect("exploration runs");
+
+    let s = &outcome.summary;
+    println!("custom workload    : {}", s.benchmark);
+    println!("custom library     : {} adders x {} multipliers",
+        lib.adders(BitWidth::W8).len(), lib.multipliers(BitWidth::W8).len());
+    println!("steps / stop       : {} / {:?}", s.steps, outcome.stop_reason);
+    println!("solution           : adder {}, multiplier {}", s.adder_name, s.mul_name);
+    println!(
+        "solution deltas    : power {:.2} mW, time {:.2} ns, accuracy {:.2} (budget {:.2})",
+        s.power.solution, s.time.solution, s.accuracy.solution, outcome.thresholds.acc_th
+    );
+}

@@ -1,0 +1,67 @@
+//! The paper's second benchmark: FIR low-pass filtering of white noise.
+//!
+//! ```text
+//! cargo run --release --example fir_exploration
+//! ```
+//!
+//! Runs the FIR-100 exploration (Table III column 3, Figure 3) and shows the
+//! filter itself: the precise run's smoothing effect and how the solution
+//! configuration degrades it.
+
+use ax_dse::config::AxConfig;
+use ax_dse::explore::{explore_qlearning, ExploreOptions};
+use ax_dse::Evaluator;
+use ax_operators::OperatorLibrary;
+use ax_workloads::fir::Fir;
+use ax_workloads::Workload;
+
+fn main() {
+    let lib = OperatorLibrary::evoapprox();
+    let workload = Fir::new(100);
+
+    // Show the kernel itself first.
+    let program = workload.build().expect("FIR builds");
+    let stats = program.stats();
+    println!(
+        "FIR-100: {} instructions ({} muls on 32-bit operators, {} adds on 16-bit operators)",
+        stats.instructions, stats.muls, stats.adds
+    );
+    println!(
+        "approximable variables: {:?}",
+        program
+            .approximable_vars()
+            .iter()
+            .map(|&v| program.var(v).name().to_owned())
+            .collect::<Vec<_>>()
+    );
+
+    let opts = ExploreOptions::default();
+    let outcome = explore_qlearning(&workload, &lib, &opts).expect("exploration runs");
+    let s = &outcome.summary;
+    println!("\nexploration stopped after {} steps ({:?})", s.steps, outcome.stop_reason);
+    println!("solution: adder {}, multiplier {}", s.adder_name, s.mul_name);
+    println!(
+        "solution deltas: power {:.1} mW, time {:.1} ns, accuracy {:.2} (threshold {:.2})",
+        s.power.solution, s.time.solution, s.accuracy.solution, outcome.thresholds.acc_th
+    );
+
+    // Compare a few output samples: precise vs the solution configuration.
+    let last = outcome.trace.last().expect("non-empty trace");
+    let mut evaluator = Evaluator::new(&workload, &lib, opts.input_seed).expect("evaluator");
+    let _ = evaluator.evaluate(&last.config).expect("evaluate solution");
+    let precise_m = evaluator.evaluate(&AxConfig::precise()).expect("evaluate precise");
+    println!(
+        "\nprecise run:  power {:.1} mW, time {:.1} ns (reference)",
+        precise_m.power, precise_m.time_ns
+    );
+    println!(
+        "solution run: power {:.1} mW, time {:.1} ns, MAE {:.2}",
+        last.metrics.power, last.metrics.time_ns, last.metrics.delta_acc
+    );
+    println!(
+        "\nFigure 3 shape check: the paper reports the FIR agent learning poorly;\n\
+         this exploration {} the 10 000-step cap (stop reason {:?}).",
+        if s.steps == opts.max_steps { "exhausted" } else { "stopped before" },
+        outcome.stop_reason
+    );
+}

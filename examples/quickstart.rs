@@ -1,0 +1,44 @@
+//! Quickstart: explore the approximate design space of a small kernel.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the pre-characterised operator library, runs the paper's
+//! Q-learning exploration on an 8-element dot product and prints the
+//! discovered trade-off.
+
+use ax_dse::explore::{explore_qlearning, ExploreOptions};
+use ax_operators::OperatorLibrary;
+use ax_workloads::dot::DotProduct;
+
+fn main() {
+    // 1. The operator database: Tables I & II of the paper (12 adders,
+    //    12 multipliers, sorted by increasing error).
+    let lib = OperatorLibrary::evoapprox();
+
+    // 2. A benchmark kernel. Any `ax_workloads::Workload` works; dot product
+    //    is the smallest.
+    let workload = DotProduct::new(8);
+
+    // 3. Run the RL exploration with the paper's defaults (10 000-step cap,
+    //    50 % power/time gain thresholds, 0.4x accuracy budget).
+    let opts = ExploreOptions { max_steps: 2_000, ..Default::default() };
+    let outcome = explore_qlearning(&workload, &lib, &opts).expect("exploration runs");
+
+    let s = &outcome.summary;
+    println!("benchmark         : {}", s.benchmark);
+    println!("steps taken       : {} ({:?})", s.steps, outcome.stop_reason);
+    println!("distinct configs  : {}", outcome.distinct_configs);
+    println!("thresholds        : acc <= {:.2}, d-power >= {:.2} mW, d-time >= {:.2} ns",
+        outcome.thresholds.acc_th, outcome.thresholds.power_th, outcome.thresholds.time_th);
+    println!("solution operators: adder {}, multiplier {}", s.adder_name, s.mul_name);
+    println!(
+        "solution          : d-power {:.2} mW, d-time {:.2} ns, accuracy loss {:.2}",
+        s.power.solution, s.time.solution, s.accuracy.solution
+    );
+    println!(
+        "explored extremes : d-power [{:.2}, {:.2}], d-time [{:.2}, {:.2}]",
+        s.power.min, s.power.max, s.time.min, s.time.max
+    );
+}

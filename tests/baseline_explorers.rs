@@ -1,0 +1,105 @@
+//! The classic DSE baselines on the real configuration space.
+
+use axdse_suite::ax_agents::search::{
+    genetic_algorithm, hill_climb, random_search, simulated_annealing, AnnealingOptions,
+    GeneticOptions,
+};
+use axdse_suite::ax_dse::config::AxConfig;
+use axdse_suite::ax_dse::search_adapter::DseSearchSpace;
+use axdse_suite::ax_dse::thresholds::ThresholdRule;
+use axdse_suite::ax_dse::Evaluator;
+use axdse_suite::ax_operators::OperatorLibrary;
+use axdse_suite::ax_workloads::matmul::MatMul;
+
+/// Exhaustive optimum of the scalarised objective on a small space.
+fn exhaustive_best(evaluator: &mut Evaluator, th: axdse_suite::ax_dse::thresholds::Thresholds) -> f64 {
+    let dims = evaluator.dims();
+    let mut best = f64::NEG_INFINITY;
+    let scores: Vec<f64> = AxConfig::enumerate(dims)
+        .iter()
+        .map(|c| {
+            let m = evaluator.evaluate(c).unwrap();
+            if m.delta_acc <= th.acc_th {
+                m.delta_power / evaluator.precise_power() + m.delta_time / evaluator.precise_time()
+            } else {
+                -(m.delta_acc / th.acc_th)
+            }
+        })
+        .collect();
+    for s in scores {
+        best = best.max(s);
+    }
+    best
+}
+
+#[test]
+fn all_baselines_approach_the_exhaustive_optimum() {
+    let lib = OperatorLibrary::evoapprox();
+    let mut reference = Evaluator::new(&MatMul::new(5), &lib, 11).unwrap();
+    let th = ThresholdRule::paper().calibrate(&reference);
+    let optimum = exhaustive_best(&mut reference, th);
+    assert!(optimum > 0.0, "the space must contain feasible gains");
+
+    let run = |name: &str, f: &dyn Fn(&mut DseSearchSpace<'_>) -> f64| {
+        let mut ev = Evaluator::new(&MatMul::new(5), &lib, 11).unwrap();
+        let th = ThresholdRule::paper().calibrate(&ev);
+        let best = {
+            let mut space = DseSearchSpace::new(&mut ev, th);
+            f(&mut space)
+        };
+        assert!(
+            best >= 0.7 * optimum,
+            "{name}: best {best:.4} too far from optimum {optimum:.4}"
+        );
+        best
+    };
+
+    run("random", &|sp| random_search(sp, 400, 3).best_score);
+    run("hill-climb", &|sp| hill_climb(sp, 400, 24, 3).best_score);
+    run("sim-anneal", &|sp| {
+        simulated_annealing(
+            sp,
+            AnnealingOptions { budget: 400, t_initial: 0.5, t_final: 0.01, seed: 3 },
+        )
+        .best_score
+    });
+    run("genetic", &|sp| {
+        genetic_algorithm(
+            sp,
+            GeneticOptions { population: 20, generations: 20, seed: 3, ..Default::default() },
+        )
+        .best_score
+    });
+}
+
+#[test]
+fn guided_search_beats_random_at_tiny_budget() {
+    // With a 60-evaluation budget on the 576-point space, hill climbing's
+    // locality should (at this seed) at least match random sampling.
+    let lib = OperatorLibrary::evoapprox();
+    let score = |f: &dyn Fn(&mut DseSearchSpace<'_>) -> f64| {
+        let mut ev = Evaluator::new(&MatMul::new(5), &lib, 11).unwrap();
+        let th = ThresholdRule::paper().calibrate(&ev);
+        let mut space = DseSearchSpace::new(&mut ev, th);
+        f(&mut space)
+    };
+    let random = score(&|sp| random_search(sp, 60, 7).best_score);
+    let hc = score(&|sp| hill_climb(sp, 60, 16, 7).best_score);
+    assert!(hc >= random - 1e-9, "hill-climb {hc} vs random {random}");
+}
+
+#[test]
+fn search_history_is_anytime_monotone() {
+    let lib = OperatorLibrary::evoapprox();
+    let mut ev = Evaluator::new(&MatMul::new(4), &lib, 5).unwrap();
+    let th = ThresholdRule::paper().calibrate(&ev);
+    let mut space = DseSearchSpace::new(&mut ev, th);
+    let out = simulated_annealing(
+        &mut space,
+        AnnealingOptions { budget: 200, t_initial: 1.0, t_final: 0.05, seed: 2 },
+    );
+    for w in out.history.windows(2) {
+        assert!(w[1] >= w[0]);
+    }
+    assert_eq!(out.history.len() as u64, out.evaluations);
+}

@@ -1,0 +1,115 @@
+//! Cross-crate property-based tests.
+
+use axdse_suite::ax_dse::config::{AxConfig, SpaceDims};
+use axdse_suite::ax_dse::reward::{reward, RewardParams};
+use axdse_suite::ax_dse::thresholds::Thresholds;
+use axdse_suite::ax_dse::Evaluator;
+use axdse_suite::ax_dse::EvalMetrics;
+use axdse_suite::ax_operators::{AdderId, MulId, OperatorLibrary};
+use axdse_suite::ax_workloads::dot::DotProduct;
+use proptest::prelude::*;
+
+const DIMS: SpaceDims = SpaceDims { n_add: 6, n_mul: 6, n_vars: 4 };
+
+fn arb_config() -> impl Strategy<Value = AxConfig> {
+    (0usize..6, 0usize..6, 0u64..16).prop_map(|(a, m, v)| AxConfig {
+        adder: AdderId(a),
+        mul: MulId(m),
+        vars: v,
+    })
+}
+
+fn arb_metrics() -> impl Strategy<Value = EvalMetrics> {
+    (0.0f64..500.0, -100.0f64..500.0, -100.0f64..500.0).prop_map(|(acc, p, t)| EvalMetrics {
+        delta_acc: acc,
+        delta_power: p,
+        delta_time: t,
+        signed_error: 0.0,
+        power: 0.0,
+        time_ns: 0.0,
+    })
+}
+
+proptest! {
+    /// Algorithm 1 is total and its outputs take exactly the four documented
+    /// values; terminate implies maximal reward.
+    #[test]
+    fn reward_is_total_and_bounded(config in arb_config(), m in arb_metrics()) {
+        let params = RewardParams::new(
+            50.0,
+            Thresholds { acc_th: 100.0, power_th: 50.0, time_th: 50.0 },
+        );
+        let (r, term) = reward(&config, DIMS, &m, &params);
+        prop_assert!(r == 1.0 || r == -1.0 || r == 50.0 || r == -50.0);
+        if term {
+            prop_assert_eq!(r, 50.0);
+            prop_assert!(config.is_fully_approximate(DIMS));
+            prop_assert!(m.delta_acc <= 100.0);
+        }
+        if m.delta_acc > 100.0 {
+            prop_assert_eq!(r, -50.0);
+        }
+    }
+
+    /// Tightening the accuracy threshold never turns a penalised
+    /// configuration into a rewarded one (monotonicity of Algorithm 1).
+    #[test]
+    fn reward_monotone_in_accuracy_threshold(
+        config in arb_config(),
+        m in arb_metrics(),
+        th_lo in 1.0f64..200.0,
+        extra in 1.0f64..200.0,
+    ) {
+        let th_hi = th_lo + extra;
+        let mk = |acc_th| RewardParams::new(
+            50.0,
+            Thresholds { acc_th, power_th: 50.0, time_th: 50.0 },
+        );
+        let (r_tight, _) = reward(&config, DIMS, &m, &mk(th_lo));
+        let (r_loose, _) = reward(&config, DIMS, &m, &mk(th_hi));
+        prop_assert!(r_loose >= r_tight, "loosening hurt: {r_tight} -> {r_loose}");
+    }
+
+    /// Neighbour moves always stay valid and differ in exactly one axis.
+    #[test]
+    fn neighbors_are_single_axis_moves(config in arb_config(), seed in 0u64..1000) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let n = config.neighbor(DIMS, &mut rng);
+        prop_assert!(n.is_valid(DIMS));
+        let changes = [
+            n.adder != config.adder,
+            n.mul != config.mul,
+            n.vars != config.vars,
+        ].iter().filter(|&&c| c).count();
+        prop_assert_eq!(changes, 1);
+    }
+
+    /// Evaluator metrics are self-consistent for arbitrary configurations:
+    /// Δ values complement the absolute values against the precise run, and
+    /// MAE dominates the literal signed mean error.
+    #[test]
+    fn evaluator_metric_identities(config in arb_config()) {
+        let lib = OperatorLibrary::evoapprox();
+        let mut ev = Evaluator::new(&DotProduct::new(6), &lib, 3).unwrap();
+        prop_assume!(config.is_valid(ev.dims()));
+        let m = ev.evaluate(&config).unwrap();
+        prop_assert!((m.delta_power - (ev.precise_power() - m.power)).abs() < 1e-9);
+        prop_assert!((m.delta_time - (ev.precise_time() - m.time_ns)).abs() < 1e-9);
+        prop_assert!(m.delta_acc >= m.signed_error.abs() - 1e-9);
+        prop_assert!(m.delta_acc >= 0.0);
+    }
+
+    /// The precise adder/multiplier pair with any variable selection is
+    /// error-free: selecting variables only matters with approximate
+    /// operators bound.
+    #[test]
+    fn precise_operators_are_error_free_under_any_mask(vars in 0u64..16) {
+        let lib = OperatorLibrary::evoapprox();
+        let mut ev = Evaluator::new(&DotProduct::new(6), &lib, 3).unwrap();
+        let config = AxConfig { adder: AdderId(0), mul: MulId(0), vars };
+        let m = ev.evaluate(&config).unwrap();
+        prop_assert_eq!(m.delta_acc, 0.0);
+        prop_assert_eq!(m.delta_power, 0.0);
+        prop_assert_eq!(m.delta_time, 0.0);
+    }
+}
