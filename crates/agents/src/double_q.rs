@@ -82,7 +82,9 @@ impl<S: Eq + Hash + Clone> TabularAgent<S> for DoubleQAgent<S> {
             self.gamma * evaluator.value(&t.next_state, a_star)
         };
         let target = t.reward + bootstrap;
-        selector.update(&t.state, t.action, target, |old, tgt| old + alpha * (tgt - old));
+        selector.update(&t.state, t.action, target, |old, tgt| {
+            old + alpha * (tgt - old)
+        });
     }
 
     fn greedy_action(&self, state: &S) -> usize {
@@ -92,9 +94,7 @@ impl<S: Eq + Hash + Clone> TabularAgent<S> for DoubleQAgent<S> {
             (a, b) => {
                 let n = self.qa.n_actions();
                 let row: Vec<f64> = (0..n)
-                    .map(|i| {
-                        a.map_or(0.0, |r| r[i]) + b.map_or(0.0, |r| r[i])
-                    })
+                    .map(|i| a.map_or(0.0, |r| r[i]) + b.map_or(0.0, |r| r[i]))
                     .collect();
                 let mut best = 0;
                 for (i, &v) in row.iter().enumerate() {
@@ -117,7 +117,9 @@ mod tests {
             2,
             Schedule::Constant(0.5),
             0.9,
-            ExplorationPolicy::EpsilonGreedy { epsilon: Schedule::Constant(0.1) },
+            ExplorationPolicy::EpsilonGreedy {
+                epsilon: Schedule::Constant(0.1),
+            },
             11,
         )
     }

@@ -25,7 +25,11 @@ impl ExplorationPolicy {
     /// ε decaying linearly from 1.0 to 0.05 over `horizon` steps.
     pub fn epsilon_greedy_decay(horizon: u64) -> Self {
         ExplorationPolicy::EpsilonGreedy {
-            epsilon: Schedule::Linear { start: 1.0, end: 0.05, steps: horizon },
+            epsilon: Schedule::Linear {
+                start: 1.0,
+                end: 0.05,
+                steps: horizon,
+            },
         }
     }
 
@@ -92,7 +96,9 @@ mod tests {
 
     #[test]
     fn zero_epsilon_is_pure_greedy() {
-        let p = ExplorationPolicy::EpsilonGreedy { epsilon: Schedule::Constant(0.0) };
+        let p = ExplorationPolicy::EpsilonGreedy {
+            epsilon: Schedule::Constant(0.0),
+        };
         let mut r = rng();
         for _ in 0..100 {
             assert_eq!(p.choose(&[0.0, 3.0, 1.0], 0, &mut r), 1);
@@ -101,21 +107,30 @@ mod tests {
 
     #[test]
     fn one_epsilon_is_uniform() {
-        let p = ExplorationPolicy::EpsilonGreedy { epsilon: Schedule::Constant(1.0) };
+        let p = ExplorationPolicy::EpsilonGreedy {
+            epsilon: Schedule::Constant(1.0),
+        };
         let mut r = rng();
         let mut counts = [0usize; 3];
         for _ in 0..3_000 {
             counts[p.choose(&[0.0, 3.0, 1.0], 0, &mut r)] += 1;
         }
         for c in counts {
-            assert!((700..1300).contains(&c), "counts {counts:?} not near uniform");
+            assert!(
+                (700..1300).contains(&c),
+                "counts {counts:?} not near uniform"
+            );
         }
     }
 
     #[test]
     fn epsilon_schedule_advances_with_step() {
         let p = ExplorationPolicy::EpsilonGreedy {
-            epsilon: Schedule::Linear { start: 1.0, end: 0.0, steps: 10 },
+            epsilon: Schedule::Linear {
+                start: 1.0,
+                end: 0.0,
+                steps: 10,
+            },
         };
         let mut r = rng();
         // At step >= 10, epsilon is 0: always greedy.
@@ -137,7 +152,9 @@ mod tests {
 
     #[test]
     fn softmax_prefers_higher_values() {
-        let p = ExplorationPolicy::Softmax { temperature: Schedule::Constant(0.5) };
+        let p = ExplorationPolicy::Softmax {
+            temperature: Schedule::Constant(0.5),
+        };
         let mut r = rng();
         let mut counts = [0usize; 2];
         for _ in 0..2_000 {
@@ -148,7 +165,9 @@ mod tests {
 
     #[test]
     fn softmax_high_temperature_is_near_uniform() {
-        let p = ExplorationPolicy::Softmax { temperature: Schedule::Constant(1_000.0) };
+        let p = ExplorationPolicy::Softmax {
+            temperature: Schedule::Constant(1_000.0),
+        };
         let mut r = rng();
         let mut counts = [0usize; 2];
         for _ in 0..2_000 {
@@ -161,7 +180,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty action set")]
     fn empty_row_rejected() {
-        let p = ExplorationPolicy::EpsilonGreedy { epsilon: Schedule::Constant(0.0) };
+        let p = ExplorationPolicy::EpsilonGreedy {
+            epsilon: Schedule::Constant(0.0),
+        };
         p.choose(&[], 0, &mut rng());
     }
 }

@@ -51,7 +51,10 @@ impl<S: Eq + Hash + Clone> QLambdaAgent<S> {
     ) -> Self {
         assert!(n_actions > 0, "agent needs at least one action");
         assert!((0.0..=1.0).contains(&gamma), "gamma {gamma} outside [0, 1]");
-        assert!((0.0..=1.0).contains(&lambda), "lambda {lambda} outside [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&lambda),
+            "lambda {lambda} outside [0, 1]"
+        );
         Self {
             q: QTable::new(n_actions, 0.0),
             alpha,
@@ -88,7 +91,11 @@ impl<S: Eq + Hash + Clone> TabularAgent<S> for QLambdaAgent<S> {
     }
 
     fn observe(&mut self, t: TabularTransition<S>) {
-        let bootstrap = if t.terminal { 0.0 } else { self.gamma * self.q.max_value(&t.next_state) };
+        let bootstrap = if t.terminal {
+            0.0
+        } else {
+            self.gamma * self.q.max_value(&t.next_state)
+        };
         let delta = t.reward + bootstrap - self.q.value(&t.state, t.action);
         let alpha = self.alpha.value(self.step);
 
@@ -139,7 +146,11 @@ mod tests {
             0.9,
             lambda,
             ExplorationPolicy::EpsilonGreedy {
-                epsilon: Schedule::Linear { start: 1.0, end: 0.05, steps: 1_500 },
+                epsilon: Schedule::Linear {
+                    start: 1.0,
+                    end: 0.05,
+                    steps: 1_500,
+                },
             },
             7,
         )
@@ -179,7 +190,10 @@ mod tests {
             }
         }
         // Credit reached the start state in one episode.
-        assert!(a.q_table().value(&0, 1) > 0.0, "trace did not reach the start");
+        assert!(
+            a.q_table().value(&0, 1) > 0.0,
+            "trace did not reach the start"
+        );
     }
 
     #[test]
@@ -220,7 +234,9 @@ mod tests {
             Schedule::Constant(0.1),
             0.9,
             1.5,
-            ExplorationPolicy::EpsilonGreedy { epsilon: Schedule::Constant(0.1) },
+            ExplorationPolicy::EpsilonGreedy {
+                epsilon: Schedule::Constant(0.1),
+            },
             0,
         );
     }

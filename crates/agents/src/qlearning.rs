@@ -153,11 +153,16 @@ impl<S: Eq + Hash + Clone> TabularAgent<S> for QLearningAgent<S> {
     }
 
     fn observe(&mut self, t: TabularTransition<S>) {
-        let bootstrap = if t.terminal { 0.0 } else { self.gamma * self.q.max_value(&t.next_state) };
+        let bootstrap = if t.terminal {
+            0.0
+        } else {
+            self.gamma * self.q.max_value(&t.next_state)
+        };
         let target = t.reward + bootstrap;
         let alpha = self.alpha.value(self.step);
-        self.q
-            .update(&t.state, t.action, target, |old, tgt| old + alpha * (tgt - old));
+        self.q.update(&t.state, t.action, target, |old, tgt| {
+            old + alpha * (tgt - old)
+        });
     }
 
     fn greedy_action(&self, state: &S) -> usize {
@@ -193,8 +198,9 @@ mod tests {
 
     #[test]
     fn single_terminal_update_moves_towards_reward() {
-        let mut agent: QLearningAgent<u8> =
-            QLearningBuilder::new(2).alpha(Schedule::Constant(0.5)).build();
+        let mut agent: QLearningAgent<u8> = QLearningBuilder::new(2)
+            .alpha(Schedule::Constant(0.5))
+            .build();
         agent.observe(TabularTransition {
             state: 0,
             action: 1,
@@ -255,8 +261,9 @@ mod tests {
 
     #[test]
     fn greedy_action_is_deterministic() {
-        let mut agent: QLearningAgent<u8> =
-            QLearningBuilder::new(3).alpha(Schedule::Constant(1.0)).build();
+        let mut agent: QLearningAgent<u8> = QLearningBuilder::new(3)
+            .alpha(Schedule::Constant(1.0))
+            .build();
         agent.observe(TabularTransition {
             state: 5,
             action: 2,

@@ -31,7 +31,11 @@ impl<S: Eq + Hash + Clone> QTable<S> {
     /// Panics if `n_actions` is zero.
     pub fn new(n_actions: usize, initial: f64) -> Self {
         assert!(n_actions > 0, "Q-table needs at least one action");
-        Self { n_actions, initial, values: HashMap::new() }
+        Self {
+            n_actions,
+            initial,
+            values: HashMap::new(),
+        }
     }
 
     /// Number of actions per state.
@@ -71,9 +75,9 @@ impl<S: Eq + Hash + Clone> QTable<S> {
 
     /// Greatest action value at `state`.
     pub fn max_value(&self, state: &S) -> f64 {
-        self.values
-            .get(state)
-            .map_or(self.initial, |row| row.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+        self.values.get(state).map_or(self.initial, |row| {
+            row.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        })
     }
 
     /// Lowest-index action attaining the maximum value at `state`.
@@ -97,7 +101,13 @@ impl<S: Eq + Hash + Clone> QTable<S> {
     /// # Panics
     ///
     /// Panics if `action` is out of range.
-    pub fn update(&mut self, state: &S, action: usize, target: f64, f: impl FnOnce(f64, f64) -> f64) {
+    pub fn update(
+        &mut self,
+        state: &S,
+        action: usize,
+        target: f64,
+        f: impl FnOnce(f64, f64) -> f64,
+    ) {
         assert!(action < self.n_actions, "action {action} out of range");
         let row = self.row(state);
         row[action] = f(row[action], target);

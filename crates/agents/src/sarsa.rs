@@ -66,8 +66,9 @@ impl<S: Eq + Hash + Clone> SarsaAgent<S> {
             };
             let target = t.reward + bootstrap;
             let alpha = self.alpha.value(self.step);
-            self.q
-                .update(&t.state, t.action, target, |old, tgt| old + alpha * (tgt - old));
+            self.q.update(&t.state, t.action, target, |old, tgt| {
+                old + alpha * (tgt - old)
+            });
         }
     }
 }
@@ -121,7 +122,13 @@ impl<S: Eq + Hash + Clone> ExpectedSarsaAgent<S> {
     /// # Panics
     ///
     /// Panics if `n_actions` is zero or `gamma` lies outside `[0, 1]`.
-    pub fn new(n_actions: usize, alpha: Schedule, gamma: f64, epsilon: Schedule, seed: u64) -> Self {
+    pub fn new(
+        n_actions: usize,
+        alpha: Schedule,
+        gamma: f64,
+        epsilon: Schedule,
+        seed: u64,
+    ) -> Self {
         assert!(n_actions > 0, "agent needs at least one action");
         assert!((0.0..=1.0).contains(&gamma), "gamma {gamma} outside [0, 1]");
         Self {
@@ -157,18 +164,25 @@ impl<S: Eq + Hash + Clone> ExpectedSarsaAgent<S> {
 impl<S: Eq + Hash + Clone> TabularAgent<S> for ExpectedSarsaAgent<S> {
     fn select_action(&mut self, state: &S) -> usize {
         let row = self.q.row(state).clone();
-        let policy = ExplorationPolicy::EpsilonGreedy { epsilon: self.epsilon };
+        let policy = ExplorationPolicy::EpsilonGreedy {
+            epsilon: self.epsilon,
+        };
         let action = policy.choose(&row, self.step, &mut self.rng);
         self.step += 1;
         action
     }
 
     fn observe(&mut self, t: TabularTransition<S>) {
-        let bootstrap = if t.terminal { 0.0 } else { self.gamma * self.expected_value(&t.next_state) };
+        let bootstrap = if t.terminal {
+            0.0
+        } else {
+            self.gamma * self.expected_value(&t.next_state)
+        };
         let target = t.reward + bootstrap;
         let alpha = self.alpha.value(self.step);
-        self.q
-            .update(&t.state, t.action, target, |old, tgt| old + alpha * (tgt - old));
+        self.q.update(&t.state, t.action, target, |old, tgt| {
+            old + alpha * (tgt - old)
+        });
     }
 
     fn greedy_action(&self, state: &S) -> usize {
@@ -181,7 +195,9 @@ mod tests {
     use super::*;
 
     fn policy() -> ExplorationPolicy {
-        ExplorationPolicy::EpsilonGreedy { epsilon: Schedule::Constant(0.2) }
+        ExplorationPolicy::EpsilonGreedy {
+            epsilon: Schedule::Constant(0.2),
+        }
     }
 
     #[test]

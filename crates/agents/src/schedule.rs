@@ -72,7 +72,11 @@ mod tests {
 
     #[test]
     fn linear_interpolates_and_clamps() {
-        let s = Schedule::Linear { start: 1.0, end: 0.0, steps: 10 };
+        let s = Schedule::Linear {
+            start: 1.0,
+            end: 0.0,
+            steps: 10,
+        };
         assert_eq!(s.value(0), 1.0);
         assert!((s.value(5) - 0.5).abs() < 1e-12);
         assert_eq!(s.value(10), 0.0);
@@ -81,14 +85,22 @@ mod tests {
 
     #[test]
     fn linear_can_increase() {
-        let s = Schedule::Linear { start: 0.1, end: 0.9, steps: 8 };
+        let s = Schedule::Linear {
+            start: 0.1,
+            end: 0.9,
+            steps: 8,
+        };
         assert!(s.value(4) > s.value(0));
         assert_eq!(s.value(8), 0.9);
     }
 
     #[test]
     fn exponential_decays_towards_end() {
-        let s = Schedule::Exponential { start: 1.0, end: 0.1, decay: 0.9 };
+        let s = Schedule::Exponential {
+            start: 1.0,
+            end: 0.1,
+            decay: 0.9,
+        };
         assert_eq!(s.value(0), 1.0);
         assert!(s.value(10) < s.value(5));
         assert!(s.value(10_000) - 0.1 < 1e-9);
@@ -97,7 +109,11 @@ mod tests {
 
     #[test]
     fn exponential_is_monotone() {
-        let s = Schedule::Exponential { start: 0.5, end: 0.01, decay: 0.99 };
+        let s = Schedule::Exponential {
+            start: 0.5,
+            end: 0.01,
+            decay: 0.99,
+        };
         let mut prev = f64::INFINITY;
         for step in (0..1000).step_by(50) {
             let v = s.value(step);
@@ -109,12 +125,22 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive horizon")]
     fn linear_zero_horizon_rejected() {
-        Schedule::Linear { start: 1.0, end: 0.0, steps: 0 }.value(1);
+        Schedule::Linear {
+            start: 1.0,
+            end: 0.0,
+            steps: 0,
+        }
+        .value(1);
     }
 
     #[test]
     #[should_panic(expected = "decay")]
     fn exponential_bad_decay_rejected() {
-        Schedule::Exponential { start: 1.0, end: 0.0, decay: 1.5 }.value(1);
+        Schedule::Exponential {
+            start: 1.0,
+            end: 0.0,
+            decay: 1.5,
+        }
+        .value(1);
     }
 }

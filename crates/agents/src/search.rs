@@ -33,12 +33,7 @@ pub trait SearchSpace {
     /// returns a neighbour of the first parent, which reduces the GA to a
     /// mutation-only evolutionary algorithm for spaces without a natural
     /// crossover.
-    fn crossover(
-        &mut self,
-        a: &Self::Point,
-        b: &Self::Point,
-        rng: &mut StdRng,
-    ) -> Self::Point {
+    fn crossover(&mut self, a: &Self::Point, b: &Self::Point, rng: &mut StdRng) -> Self::Point {
         let _ = b;
         self.neighbor(a, rng)
     }
@@ -67,7 +62,12 @@ struct Tracker<P> {
 
 impl<P: Clone> Tracker<P> {
     fn new() -> Self {
-        Self { best_point: None, best_score: f64::NEG_INFINITY, evaluations: 0, history: Vec::new() }
+        Self {
+            best_point: None,
+            best_score: f64::NEG_INFINITY,
+            evaluations: 0,
+            history: Vec::new(),
+        }
     }
 
     fn record(&mut self, point: &P, score: f64) {
@@ -237,9 +237,15 @@ pub fn genetic_algorithm<S: SearchSpace>(
 ) -> SearchOutcome<S::Point> {
     assert!(opts.population >= 2, "population must be at least 2");
     assert!(opts.generations >= 1, "need at least one generation");
-    assert!((0.0..=1.0).contains(&opts.mutation_rate), "mutation rate outside [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&opts.mutation_rate),
+        "mutation rate outside [0, 1]"
+    );
     assert!(opts.tournament >= 1, "tournament size must be positive");
-    assert!(opts.elites < opts.population, "elites must leave room for offspring");
+    assert!(
+        opts.elites < opts.population,
+        "elites must leave room for offspring"
+    );
 
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut tracker = Tracker::new();
@@ -256,8 +262,7 @@ pub fn genetic_algorithm<S: SearchSpace>(
     for _gen in 0..opts.generations {
         // Sort best-first for elitism.
         population.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-        let mut next: Vec<(S::Point, f64)> =
-            population.iter().take(opts.elites).cloned().collect();
+        let mut next: Vec<(S::Point, f64)> = population.iter().take(opts.elites).cloned().collect();
 
         while next.len() < opts.population {
             let parent_a = tournament_pick(&population, opts.tournament, &mut rng);
@@ -275,11 +280,7 @@ pub fn genetic_algorithm<S: SearchSpace>(
     tracker.finish()
 }
 
-fn tournament_pick<P: Clone>(
-    population: &[(P, f64)],
-    k: usize,
-    rng: &mut StdRng,
-) -> P {
+fn tournament_pick<P: Clone>(population: &[(P, f64)], k: usize, rng: &mut StdRng) -> P {
     let mut best: Option<&(P, f64)> = None;
     for _ in 0..k {
         let c = &population[rng.gen_range(0..population.len())];
@@ -308,7 +309,7 @@ mod tests {
         }
 
         fn neighbor(&mut self, p: &u16, rng: &mut StdRng) -> u16 {
-            p ^ (1 << rng.gen_range(0..16))
+            p ^ (1u16 << rng.gen_range(0..16))
         }
 
         fn evaluate(&mut self, p: &u16) -> f64 {
@@ -344,7 +345,12 @@ mod tests {
         let mut sp = OneMax { evaluations: 0 };
         let out = simulated_annealing(
             &mut sp,
-            AnnealingOptions { budget: 3_000, t_initial: 4.0, t_final: 0.05, seed: 5 },
+            AnnealingOptions {
+                budget: 3_000,
+                t_initial: 4.0,
+                t_final: 0.05,
+                seed: 5,
+            },
         );
         assert_eq!(out.best_score, 16.0);
     }
@@ -354,7 +360,12 @@ mod tests {
         let mut sp = OneMax { evaluations: 0 };
         let out = genetic_algorithm(
             &mut sp,
-            GeneticOptions { population: 24, generations: 40, seed: 2, ..Default::default() },
+            GeneticOptions {
+                population: 24,
+                generations: 40,
+                seed: 2,
+                ..Default::default()
+            },
         );
         assert_eq!(out.best_score, 16.0);
     }
@@ -367,7 +378,12 @@ mod tests {
             hill_climb(&mut sp, 100, 8, 7),
             simulated_annealing(
                 &mut sp,
-                AnnealingOptions { budget: 100, t_initial: 2.0, t_final: 0.1, seed: 7 },
+                AnnealingOptions {
+                    budget: 100,
+                    t_initial: 2.0,
+                    t_final: 0.1,
+                    seed: 7,
+                },
             ),
         ] {
             for w in out.history.windows(2) {
@@ -398,7 +414,12 @@ mod tests {
         let mut sp = OneMax { evaluations: 0 };
         simulated_annealing(
             &mut sp,
-            AnnealingOptions { budget: 10, t_initial: 0.1, t_final: 1.0, seed: 0 },
+            AnnealingOptions {
+                budget: 10,
+                t_initial: 0.1,
+                t_final: 1.0,
+                seed: 0,
+            },
         );
     }
 
@@ -408,7 +429,11 @@ mod tests {
         let mut sp = OneMax { evaluations: 0 };
         genetic_algorithm(
             &mut sp,
-            GeneticOptions { population: 4, elites: 4, ..Default::default() },
+            GeneticOptions {
+                population: 4,
+                elites: 4,
+                ..Default::default()
+            },
         );
     }
 }

@@ -32,7 +32,12 @@ pub struct TrainOptions {
 impl TrainOptions {
     /// Options with the given step cap and defaults otherwise.
     pub fn new(max_steps: u64) -> Self {
-        Self { max_steps, seed: 0, reward_target: None, stop_on_terminate: false }
+        Self {
+            max_steps,
+            seed: 0,
+            reward_target: None,
+            stop_on_terminate: false,
+        }
     }
 
     /// Sets the environment seed.
@@ -124,7 +129,10 @@ impl TrainLog {
 
     /// Number of completed episodes (terminations plus truncations).
     pub fn episodes(&self) -> usize {
-        self.steps.iter().filter(|s| s.terminated || s.truncated).count()
+        self.steps
+            .iter()
+            .filter(|s| s.terminated || s.truncated)
+            .count()
     }
 }
 
@@ -174,7 +182,12 @@ where
             break;
         }
         if s.terminated || s.truncated {
-            obs = env.reset(Some(opts.seed));
+            // Gymnasium convention: the seed applies to the *first* reset
+            // only; later episodes continue the environment's RNG stream.
+            // Re-seeding every episode would replay identical stochastic
+            // transitions (e.g. a Bernoulli bandit degenerates to a
+            // deterministic payout table), which breaks learning.
+            obs = env.reset(None);
             agent.begin_episode();
         } else {
             obs = s.obs;
@@ -187,10 +200,10 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::ExplorationPolicy;
     use crate::qlearning::QLearningBuilder;
     use crate::sarsa::{ExpectedSarsaAgent, SarsaAgent};
     use crate::schedule::Schedule;
-    use crate::policy::ExplorationPolicy;
     use ax_gym::toy::{LineWorld, TwoArmedBandit};
     use ax_gym::wrappers::TimeLimit;
 
@@ -215,7 +228,11 @@ mod tests {
             Schedule::Constant(0.2),
             0.9,
             ExplorationPolicy::EpsilonGreedy {
-                epsilon: Schedule::Linear { start: 1.0, end: 0.05, steps: 2_000 },
+                epsilon: Schedule::Linear {
+                    start: 1.0,
+                    end: 0.05,
+                    steps: 2_000,
+                },
             },
             3,
         );
@@ -232,7 +249,11 @@ mod tests {
             2,
             Schedule::Constant(0.2),
             0.9,
-            Schedule::Linear { start: 1.0, end: 0.05, steps: 2_000 },
+            Schedule::Linear {
+                start: 1.0,
+                end: 0.05,
+                steps: 2_000,
+            },
             3,
         );
         train(&mut env, &mut agent, &TrainOptions::new(5_000).seed(5));

@@ -12,7 +12,9 @@ use std::time::Duration;
 
 fn bench_qlearning_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("qlearning");
-    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
     group.bench_function("select+observe", |b| {
         let mut agent = QLearningBuilder::new(16).seed(1).build::<u64>();
@@ -35,7 +37,11 @@ fn bench_qlearning_step(c: &mut Criterion) {
         b.iter(|| {
             let mut env = TimeLimit::new(LineWorld::new(10), 50);
             let mut agent = QLearningBuilder::new(2).seed(3).build();
-            black_box(train(&mut env, &mut agent, &TrainOptions::new(1_000).seed(5)))
+            black_box(train(
+                &mut env,
+                &mut agent,
+                &TrainOptions::new(1_000).seed(5),
+            ))
         })
     });
     group.finish();
@@ -43,13 +49,25 @@ fn bench_qlearning_step(c: &mut Criterion) {
 
 fn bench_policies(c: &mut Criterion) {
     let mut group = c.benchmark_group("policy");
-    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let q_row: Vec<f64> = (0..16).map(|i| (i as f64 * 0.37).sin()).collect();
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
 
     for (name, policy) in [
-        ("eps-greedy", ExplorationPolicy::EpsilonGreedy { epsilon: Schedule::Constant(0.1) }),
-        ("softmax", ExplorationPolicy::Softmax { temperature: Schedule::Constant(0.5) }),
+        (
+            "eps-greedy",
+            ExplorationPolicy::EpsilonGreedy {
+                epsilon: Schedule::Constant(0.1),
+            },
+        ),
+        (
+            "softmax",
+            ExplorationPolicy::Softmax {
+                temperature: Schedule::Constant(0.5),
+            },
+        ),
     ] {
         group.bench_function(name, |b| {
             b.iter(|| black_box(policy.choose(&q_row, 100, &mut rng)))

@@ -14,7 +14,9 @@ use std::time::Duration;
 fn bench_env_step(c: &mut Criterion) {
     let lib = OperatorLibrary::evoapprox();
     let mut group = c.benchmark_group("env");
-    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(300));
+    group
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
 
     // Cold steps evaluate fresh configurations; warm steps hit the cache.
     group.bench_function("step/matmul-10-warm", |b| {
@@ -45,7 +47,10 @@ fn bench_exploration(c: &mut Criterion) {
         .sample_size(10);
 
     group.bench_function("qlearning-dot8-500-steps", |b| {
-        let opts = ExploreOptions { max_steps: 500, ..Default::default() };
+        let opts = ExploreOptions {
+            max_steps: 500,
+            ..Default::default()
+        };
         b.iter(|| black_box(explore_qlearning(&DotProduct::new(8), &lib, &opts).unwrap()))
     });
     group.finish();

@@ -11,7 +11,9 @@ use std::time::Duration;
 fn bench_adders(c: &mut Criterion) {
     let lib = OperatorLibrary::evoapprox();
     let mut group = c.benchmark_group("adders");
-    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for width in [BitWidth::W8, BitWidth::W16] {
         for entry in lib.adders(width) {
             let model = entry.model;
@@ -33,7 +35,9 @@ fn bench_adders(c: &mut Criterion) {
 fn bench_multipliers(c: &mut Criterion) {
     let lib = OperatorLibrary::evoapprox();
     let mut group = c.benchmark_group("multipliers");
-    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for width in [BitWidth::W8, BitWidth::W32] {
         for entry in lib.multipliers(width) {
             let model = entry.model;

@@ -1,0 +1,75 @@
+//! Cold- vs. warm-cache sweep throughput.
+//!
+//! The parallel evaluation engine's claim: a multi-seed sweep against an
+//! already-populated [`SharedCache`] costs hash lookups instead of
+//! interpreter runs. `sweep/cold` builds a fresh cache per iteration;
+//! `sweep/warm` reuses one context whose cache the first sweep filled.
+//! `BENCH_sweep.json` (written by the `bench_sweep` binary) records the
+//! same cold/warm pair for the perf trajectory across PRs.
+
+use ax_dse::evaluator::{EvalContext, SharedCache};
+use ax_dse::explore::{explore_in_context, AgentKind, ExploreOptions};
+use ax_dse::sweep::sweep_seeds_parallel;
+use ax_operators::OperatorLibrary;
+use ax_workloads::matmul::MatMul;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEEDS: u64 = 8;
+
+fn opts(seed: u64) -> ExploreOptions {
+    ExploreOptions {
+        max_steps: 300,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn bench_sweeps(c: &mut Criterion) {
+    let lib = OperatorLibrary::evoapprox();
+    let mut group = c.benchmark_group("sweep");
+    group
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_millis(500))
+        .sample_size(10);
+
+    group.bench_function("cold/matmul-10x8seeds", |b| {
+        b.iter(|| {
+            black_box(
+                sweep_seeds_parallel(
+                    &MatMul::new(10),
+                    &lib,
+                    &opts(0),
+                    AgentKind::QLearning,
+                    SEEDS,
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    group.bench_function("warm/matmul-10x8seeds", |b| {
+        // One context whose shared cache keeps every design of the first
+        // pass; subsequent sweeps of the same seeds are pure cache hits.
+        let ctx = EvalContext::with_cache(
+            &MatMul::new(10),
+            Arc::new(lib.clone()),
+            opts(0).input_seed,
+            SharedCache::new(),
+        )
+        .unwrap();
+        for seed in 0..SEEDS {
+            explore_in_context(&ctx, &opts(seed), AgentKind::QLearning).unwrap();
+        }
+        b.iter(|| {
+            for seed in 0..SEEDS {
+                black_box(explore_in_context(&ctx, &opts(seed), AgentKind::QLearning).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweeps);
+criterion_main!(benches);

@@ -9,17 +9,17 @@
 //!   paper's 50 % / 50 % / 0.4 threshold rule.
 
 use crate::OutputDir;
+use ax_agents::schedule::Schedule;
+use ax_agents::search::{
+    genetic_algorithm, hill_climb, random_search, simulated_annealing, AnnealingOptions,
+    GeneticOptions,
+};
 use ax_dse::analysis::hypervolume_2d;
 use ax_dse::explore::{explore_qlearning, ExploreOptions};
 use ax_dse::report::{ascii_table, fmt_metric};
 use ax_dse::search_adapter::DseSearchSpace;
 use ax_dse::thresholds::ThresholdRule;
 use ax_dse::Evaluator;
-use ax_agents::schedule::Schedule;
-use ax_agents::search::{
-    genetic_algorithm, hill_climb, random_search, simulated_annealing, AnnealingOptions,
-    GeneticOptions,
-};
 use ax_operators::OperatorLibrary;
 use ax_workloads::Workload;
 
@@ -66,10 +66,17 @@ pub fn explorer_comparison(
     // Q-learning: spend `budget` environment steps, score its best feasible
     // configuration with the same scalarisation the baselines optimise.
     {
-        let opts = ExploreOptions { max_steps: budget, seed, ..Default::default() };
+        let opts = ExploreOptions {
+            max_steps: budget,
+            seed,
+            ..Default::default()
+        };
         let outcome = explore_qlearning(workload, &lib, &opts).expect("exploration must run");
         let th = outcome.thresholds;
-        let (pp, pt) = (outcome.evaluator.precise_power(), outcome.evaluator.precise_time());
+        let (pp, pt) = (
+            outcome.evaluator.precise_power(),
+            outcome.evaluator.precise_time(),
+        );
         let best = outcome
             .evaluator
             .evaluated()
@@ -107,7 +114,12 @@ pub fn explorer_comparison(
             Box::new(move |space: &mut DseSearchSpace<'_>| {
                 let o = simulated_annealing(
                     space,
-                    AnnealingOptions { budget, t_initial: 0.5, t_final: 0.01, seed },
+                    AnnealingOptions {
+                        budget,
+                        t_initial: 0.5,
+                        t_final: 0.01,
+                        seed,
+                    },
                 );
                 (o.best_score, o.evaluations)
             }),
@@ -119,7 +131,12 @@ pub fn explorer_comparison(
                 let gens = ((budget as usize).saturating_sub(pop) / (pop - 2)).max(1) as u32;
                 let o = genetic_algorithm(
                     space,
-                    GeneticOptions { population: pop, generations: gens, seed, ..Default::default() },
+                    GeneticOptions {
+                        population: pop,
+                        generations: gens,
+                        seed,
+                        ..Default::default()
+                    },
                 );
                 (o.best_score, o.evaluations)
             }),
@@ -142,7 +159,12 @@ pub fn explorer_comparison(
         });
     }
 
-    let headers = ["explorer", "best score", "evaluations", "feasible hypervolume"];
+    let headers = [
+        "explorer",
+        "best score",
+        "evaluations",
+        "feasible hypervolume",
+    ];
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|r| {
@@ -154,9 +176,16 @@ pub fn explorer_comparison(
             ]
         })
         .collect();
-    println!("\nAblation A: explorer comparison on {} (budget {budget})", workload.name());
+    println!(
+        "\nAblation A: explorer comparison on {} (budget {budget})",
+        workload.name()
+    );
     println!("{}", ascii_table(&headers, &rows));
-    out.write(&format!("ablation_explorers_{}", workload.name()), &headers, &rows);
+    out.write(
+        &format!("ablation_explorers_{}", workload.name()),
+        &headers,
+        &rows,
+    );
     results
 }
 
@@ -179,7 +208,10 @@ pub fn agent_comparison(
     ];
     let mut results = Vec::new();
     for kind in kinds {
-        let opts = ExploreOptions { max_steps: steps, ..Default::default() };
+        let opts = ExploreOptions {
+            max_steps: steps,
+            ..Default::default()
+        };
         let o = explore_with_agent(workload, &lib, &opts, kind).expect("exploration must run");
         results.push((kind.name(), o.log.total_reward(), o.summary.steps));
     }
@@ -188,24 +220,53 @@ pub fn agent_comparison(
         .iter()
         .map(|(n, cum, st)| vec![n.clone(), fmt_metric(*cum), st.to_string()])
         .collect();
-    println!("\nAblation D: learning algorithms on {} ({steps}-step cap)", workload.name());
+    println!(
+        "\nAblation D: learning algorithms on {} ({steps}-step cap)",
+        workload.name()
+    );
     println!("{}", ascii_table(&headers, &rows));
-    out.write(&format!("ablation_agents_{}", workload.name()), &headers, &rows);
+    out.write(
+        &format!("ablation_agents_{}", workload.name()),
+        &headers,
+        &rows,
+    );
     results
 }
 
 /// ε-schedule sensitivity of the Q-learning exploration.
-pub fn epsilon_ablation(workload: &dyn Workload, steps: u64, out: &OutputDir) -> Vec<(String, f64)> {
+pub fn epsilon_ablation(
+    workload: &dyn Workload,
+    steps: u64,
+    out: &OutputDir,
+) -> Vec<(String, f64)> {
     let lib = OperatorLibrary::evoapprox();
     let schedules: Vec<(&str, Schedule)> = vec![
         ("constant-0.1", Schedule::Constant(0.1)),
         ("constant-0.3", Schedule::Constant(0.3)),
-        ("linear-1.0->0.05", Schedule::Linear { start: 1.0, end: 0.05, steps: steps / 2 }),
-        ("exp-1.0->0.05", Schedule::Exponential { start: 1.0, end: 0.05, decay: 0.999 }),
+        (
+            "linear-1.0->0.05",
+            Schedule::Linear {
+                start: 1.0,
+                end: 0.05,
+                steps: steps / 2,
+            },
+        ),
+        (
+            "exp-1.0->0.05",
+            Schedule::Exponential {
+                start: 1.0,
+                end: 0.05,
+                decay: 0.999,
+            },
+        ),
     ];
     let mut results = Vec::new();
     for (name, eps) in schedules {
-        let opts = ExploreOptions { max_steps: steps, epsilon: eps, ..Default::default() };
+        let opts = ExploreOptions {
+            max_steps: steps,
+            epsilon: eps,
+            ..Default::default()
+        };
         let outcome = explore_qlearning(workload, &lib, &opts).expect("exploration must run");
         let final_cum = outcome.log.total_reward();
         results.push((name.to_owned(), final_cum));
@@ -215,27 +276,76 @@ pub fn epsilon_ablation(workload: &dyn Workload, steps: u64, out: &OutputDir) ->
         .iter()
         .map(|(n, v)| vec![n.clone(), fmt_metric(*v)])
         .collect();
-    println!("\nAblation B: epsilon schedules on {} ({steps} steps)", workload.name());
+    println!(
+        "\nAblation B: epsilon schedules on {} ({steps} steps)",
+        workload.name()
+    );
     println!("{}", ascii_table(&headers, &rows));
-    out.write(&format!("ablation_epsilon_{}", workload.name()), &headers, &rows);
+    out.write(
+        &format!("ablation_epsilon_{}", workload.name()),
+        &headers,
+        &rows,
+    );
     results
 }
 
 /// Threshold-rule sensitivity: how the solution moves as the paper's
 /// fractions change.
-pub fn threshold_ablation(workload: &dyn Workload, steps: u64, out: &OutputDir) -> Vec<Vec<String>> {
+pub fn threshold_ablation(
+    workload: &dyn Workload,
+    steps: u64,
+    out: &OutputDir,
+) -> Vec<Vec<String>> {
     let lib = OperatorLibrary::evoapprox();
     let rules = [
         ("paper (0.5/0.5/0.4)", ThresholdRule::paper()),
-        ("lenient gains (0.25/0.25/0.4)", ThresholdRule { power_frac: 0.25, time_frac: 0.25, acc_frac: 0.4 }),
-        ("strict gains (0.75/0.75/0.4)", ThresholdRule { power_frac: 0.75, time_frac: 0.75, acc_frac: 0.4 }),
-        ("tight accuracy (0.5/0.5/0.2)", ThresholdRule { power_frac: 0.5, time_frac: 0.5, acc_frac: 0.2 }),
-        ("loose accuracy (0.5/0.5/0.8)", ThresholdRule { power_frac: 0.5, time_frac: 0.5, acc_frac: 0.8 }),
+        (
+            "lenient gains (0.25/0.25/0.4)",
+            ThresholdRule {
+                power_frac: 0.25,
+                time_frac: 0.25,
+                acc_frac: 0.4,
+            },
+        ),
+        (
+            "strict gains (0.75/0.75/0.4)",
+            ThresholdRule {
+                power_frac: 0.75,
+                time_frac: 0.75,
+                acc_frac: 0.4,
+            },
+        ),
+        (
+            "tight accuracy (0.5/0.5/0.2)",
+            ThresholdRule {
+                power_frac: 0.5,
+                time_frac: 0.5,
+                acc_frac: 0.2,
+            },
+        ),
+        (
+            "loose accuracy (0.5/0.5/0.8)",
+            ThresholdRule {
+                power_frac: 0.5,
+                time_frac: 0.5,
+                acc_frac: 0.8,
+            },
+        ),
     ];
-    let headers = ["threshold rule", "solution d-power", "solution d-time", "solution acc-degr", "steps"];
+    let headers = [
+        "threshold rule",
+        "solution d-power",
+        "solution d-time",
+        "solution acc-degr",
+        "steps",
+    ];
     let mut rows = Vec::new();
     for (name, rule) in rules {
-        let opts = ExploreOptions { max_steps: steps, rule, ..Default::default() };
+        let opts = ExploreOptions {
+            max_steps: steps,
+            rule,
+            ..Default::default()
+        };
         let o = explore_qlearning(workload, &lib, &opts).expect("exploration must run");
         rows.push(vec![
             name.to_owned(),
@@ -245,9 +355,16 @@ pub fn threshold_ablation(workload: &dyn Workload, steps: u64, out: &OutputDir) 
             o.summary.steps.to_string(),
         ]);
     }
-    println!("\nAblation C: threshold sensitivity on {} ({steps} steps)", workload.name());
+    println!(
+        "\nAblation C: threshold sensitivity on {} ({steps} steps)",
+        workload.name()
+    );
     println!("{}", ascii_table(&headers, &rows));
-    out.write(&format!("ablation_thresholds_{}", workload.name()), &headers, &rows);
+    out.write(
+        &format!("ablation_thresholds_{}", workload.name()),
+        &headers,
+        &rows,
+    );
     rows
 }
 

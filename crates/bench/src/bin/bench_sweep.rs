@@ -1,0 +1,134 @@
+//! Emits `BENCH_sweep.json`: cold- vs. warm-cache sweep wall-clock.
+//!
+//! ```text
+//! bench_sweep [--out FILE] [--seeds N] [--steps N] [--reps N]
+//! ```
+//!
+//! "Cold" fans a multi-seed sweep out with rayon over a fresh shared
+//! cache; "warm" re-runs the identical seed set against the cache the
+//! cold pass filled, so every design evaluation is a hash lookup. The
+//! JSON is the repo's perf-trajectory record — future PRs append their
+//! own runs and compare (`threads` records the worker cap rayon had).
+
+use ax_dse::evaluator::{EvalContext, SharedCache};
+use ax_dse::explore::{explore_in_context, AgentKind, ExploreOptions};
+use ax_operators::OperatorLibrary;
+use ax_workloads::matmul::MatMul;
+use rayon::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Config {
+    out: String,
+    seeds: u64,
+    steps: u64,
+    reps: u32,
+}
+
+fn parse() -> Result<Config, String> {
+    let mut cfg = Config {
+        out: "BENCH_sweep.json".into(),
+        seeds: 8,
+        steps: 300,
+        reps: 3,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--out" => cfg.out = take("--out")?,
+            "--seeds" => {
+                cfg.seeds = take("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("bad --seeds: {e}"))?;
+            }
+            "--steps" => {
+                cfg.steps = take("--steps")?
+                    .parse()
+                    .map_err(|e| format!("bad --steps: {e}"))?;
+            }
+            "--reps" => {
+                cfg.reps = take("--reps")?
+                    .parse()
+                    .map_err(|e| format!("bad --reps: {e}"))?;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() {
+    let cfg = match parse() {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: bench_sweep [--out FILE] [--seeds N] [--steps N] [--reps N]");
+            std::process::exit(1);
+        }
+    };
+
+    let lib = OperatorLibrary::evoapprox();
+    let opts = |seed| ExploreOptions {
+        max_steps: cfg.steps,
+        seed,
+        ..Default::default()
+    };
+
+    // The measured unit is the same rayon fan-out the production sweeps
+    // use: seeds in parallel over one shared-cache context.
+    let run_all = |ctx: &EvalContext| {
+        (0..cfg.seeds).into_par_iter().for_each(|seed| {
+            explore_in_context(ctx, &opts(seed), AgentKind::QLearning).expect("sweep run");
+        });
+    };
+
+    // Best-of-N to shave scheduler noise; the cold context is rebuilt per
+    // rep so its cache really starts empty.
+    let mut cold_ms = f64::INFINITY;
+    let mut warm_ms = f64::INFINITY;
+    let mut warm_ctx = None;
+    for _ in 0..cfg.reps.max(1) {
+        let ctx = EvalContext::with_cache(
+            &MatMul::new(10),
+            Arc::new(lib.clone()),
+            opts(0).input_seed,
+            SharedCache::new(),
+        )
+        .expect("context");
+        let t = Instant::now();
+        run_all(&ctx);
+        cold_ms = cold_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        warm_ctx = Some(ctx);
+    }
+    let ctx = warm_ctx.expect("at least one rep");
+    for _ in 0..cfg.reps.max(1) {
+        let t = Instant::now();
+        run_all(&ctx);
+        warm_ms = warm_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+
+    let cache = ctx.shared_cache().expect("shared cache");
+    let speedup = cold_ms / warm_ms;
+    let json = format!(
+        "{{\n  \"benchmark\": \"{}\",\n  \"seeds\": {},\n  \"max_steps\": {},\n  \
+         \"threads\": {},\n  \"cold_ms\": {:.3},\n  \"warm_ms\": {:.3},\n  \
+         \"speedup\": {:.2},\n  \"distinct_designs\": {},\n  \"cache_hits\": {}\n}}\n",
+        ctx.benchmark(),
+        cfg.seeds,
+        cfg.steps,
+        rayon_threads(),
+        cold_ms,
+        warm_ms,
+        speedup,
+        cache.len(),
+        cache.hits(),
+    );
+    std::fs::write(&cfg.out, &json).expect("write BENCH_sweep.json");
+    print!("{json}");
+    eprintln!("wrote {}", cfg.out);
+}
+
+fn rayon_threads() -> usize {
+    rayon::current_num_threads()
+}

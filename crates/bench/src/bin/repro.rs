@@ -14,20 +14,21 @@
 //!   ablation-agents       Q-learning vs SARSA/Expected-SARSA/DoubleQ/Q(lambda)
 //!   ablation-epsilon      epsilon-schedule sensitivity
 //!   ablation-thresholds   threshold-rule sensitivity
-//!   sweep                 multi-seed robustness of the explorations
+//!   sweep                 multi-seed robustness of the explorations (rayon + shared cache)
+//!   portfolio             race every agent kind per benchmark over one shared cache
 //!   all                   everything above
 //! ```
 
 use ax_bench::{ablations, figures, tables, OutputDir};
 use ax_dse::explore::AgentKind;
+use ax_dse::explore::ExploreOptions;
 use ax_dse::report::ascii_table;
-use ax_dse::sweep::sweep_seeds;
+use ax_dse::sweep::{race_portfolio, sweep_seeds_parallel};
 use ax_operators::OperatorLibrary;
 use ax_workloads::fir::Fir;
-use ax_workloads::Workload;
-use ax_dse::explore::ExploreOptions;
 use ax_workloads::matmul::MatMul;
 use ax_workloads::sobel::Sobel;
+use ax_workloads::Workload;
 use std::process::ExitCode;
 
 struct Args {
@@ -80,11 +81,22 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    Ok(Args { command: command.ok_or("missing command")?, out, steps, seed, reward })
+    Ok(Args {
+        command: command.ok_or("missing command")?,
+        out,
+        steps,
+        seed,
+        reward,
+    })
 }
 
 fn explore_opts(steps: u64, seed: u64, reward: f64) -> ExploreOptions {
-    ExploreOptions { max_steps: steps, seed, max_reward: reward, ..Default::default() }
+    ExploreOptions {
+        max_steps: steps,
+        seed,
+        max_reward: reward,
+        ..Default::default()
+    }
 }
 
 fn main() -> ExitCode {
@@ -96,10 +108,14 @@ fn main() -> ExitCode {
             }
             eprintln!("usage: repro [--out DIR | --no-out] [--steps N] [--seed S] <command>");
             eprintln!(
-                "commands: table1 table2 table3 fig2 fig3 fig4 \
-                 ablation-explorers ablation-agents ablation-epsilon ablation-thresholds sweep all"
+                "commands: table1 table2 table3 fig2 fig3 fig4 ablation-explorers \
+                 ablation-agents ablation-epsilon ablation-thresholds sweep portfolio all"
             );
-            return if msg == "help" { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+            return if msg == "help" {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
         }
     };
 
@@ -128,7 +144,12 @@ fn main() -> ExitCode {
                 // Sobel's 4 608-configuration space at a sub-saturating
                 // budget separates the explorers (matmul's 576 configs are
                 // exhausted by every strategy).
-                ablations::explorer_comparison(&Sobel::new(8), args.steps.min(600), args.seed, &args.out);
+                ablations::explorer_comparison(
+                    &Sobel::new(8),
+                    args.steps.min(600),
+                    args.seed,
+                    &args.out,
+                );
             }
             "sweep" => {
                 let lib = OperatorLibrary::evoapprox();
@@ -137,13 +158,22 @@ fn main() -> ExitCode {
                     vec![Box::new(MatMul::new(10)), Box::new(Fir::new(100))];
                 for wl in &benches {
                     let sweep_opts = explore_opts(args.steps.min(3_000), 0, args.reward);
-                    let s = sweep_seeds(wl.as_ref(), &lib, &sweep_opts, AgentKind::QLearning, 10)
-                        .expect("sweep must run");
+                    let s = sweep_seeds_parallel(
+                        wl.as_ref(),
+                        &lib,
+                        &sweep_opts,
+                        AgentKind::QLearning,
+                        10,
+                    )
+                    .expect("sweep must run");
                     rows.push(vec![
                         s.benchmark.clone(),
                         format!("{}/{}", s.reached_target, s.seeds),
                         format!("{:.0} +/- {:.0}", s.stop_step.mean, s.stop_step.std_dev),
-                        format!("{:.1} +/- {:.1}", s.solution_power.mean, s.solution_power.std_dev),
+                        format!(
+                            "{:.1} +/- {:.1}",
+                            s.solution_power.mean, s.solution_power.std_dev
+                        ),
                         format!("{:.0}%", 100.0 * s.feasible_solutions),
                     ]);
                 }
@@ -151,11 +181,82 @@ fn main() -> ExitCode {
                 println!(
                     "{}",
                     ascii_table(
-                        &["benchmark", "reached target", "stop step", "solution d-power", "feasible"],
+                        &[
+                            "benchmark",
+                            "reached target",
+                            "stop step",
+                            "solution d-power",
+                            "feasible"
+                        ],
                         &rows
                     )
                 );
-                args.out.write("sweep_seeds", &["benchmark", "reached_target", "stop_step", "solution_dpower", "feasible"], &rows);
+                args.out.write(
+                    "sweep_seeds",
+                    &[
+                        "benchmark",
+                        "reached_target",
+                        "stop_step",
+                        "solution_dpower",
+                        "feasible",
+                    ],
+                    &rows,
+                );
+            }
+            "portfolio" => {
+                let lib = OperatorLibrary::evoapprox();
+                let kinds = [
+                    AgentKind::QLearning,
+                    AgentKind::Sarsa,
+                    AgentKind::ExpectedSarsa,
+                    AgentKind::DoubleQ,
+                    AgentKind::QLambda { lambda: 0.7 },
+                ];
+                let mut rows = Vec::new();
+                let benches: Vec<Box<dyn Workload>> =
+                    vec![Box::new(MatMul::new(10)), Box::new(Fir::new(100))];
+                for wl in &benches {
+                    let race_opts = explore_opts(args.steps.min(3_000), args.seed, args.reward);
+                    let p = race_portfolio(wl.as_ref(), &lib, &race_opts, &kinds)
+                        .expect("portfolio must run");
+                    for (i, e) in p.entries.iter().enumerate() {
+                        rows.push(vec![
+                            p.benchmark.clone(),
+                            e.kind.name(),
+                            format!("{:.3}", e.score),
+                            if e.feasible {
+                                "yes".into()
+                            } else {
+                                "no".into()
+                            },
+                            e.summary.steps.to_string(),
+                            if i == p.best {
+                                "<- winner".into()
+                            } else {
+                                String::new()
+                            },
+                        ]);
+                    }
+                    println!(
+                        "{}: {} distinct designs executed across {} racing agents",
+                        p.benchmark,
+                        p.shared_distinct,
+                        p.entries.len()
+                    );
+                }
+                println!("\nAgent portfolio race (shared design cache)");
+                println!(
+                    "{}",
+                    ascii_table(
+                        &["benchmark", "agent", "score", "feasible", "steps", ""],
+                        &rows
+                    )
+                );
+                args.out.write(
+                    "portfolio",
+                    &["benchmark", "agent", "score", "feasible", "steps", "winner"],
+                    &rows,
+                );
             }
             "ablation-agents" => {
                 ablations::agent_comparison(&MatMul::new(10), args.steps.min(3_000), &args.out);
@@ -182,6 +283,7 @@ fn main() -> ExitCode {
             "ablation-explorers",
             "ablation-agents",
             "sweep",
+            "portfolio",
             "ablation-epsilon",
             "ablation-thresholds",
         ] {

@@ -27,7 +27,12 @@ pub struct FigureResult {
     pub outcome: ExplorationOutcome,
 }
 
-fn figure(workload: &dyn Workload, opts: &ExploreOptions, name: &str, out: &OutputDir) -> FigureResult {
+fn figure(
+    workload: &dyn Workload,
+    opts: &ExploreOptions,
+    name: &str,
+    out: &OutputDir,
+) -> FigureResult {
     let lib = OperatorLibrary::evoapprox();
     let outcome = explore_qlearning(workload, &lib, opts).expect("exploration must run");
     let series = outcome.figure_series();
@@ -47,22 +52,42 @@ fn figure(workload: &dyn Workload, opts: &ExploreOptions, name: &str, out: &Outp
     out.write(name, &headers, &rows);
 
     let trend_rows = vec![
-        vec!["power".into(), format!("{:.6}", trends[0].0), format!("{:.3}", trends[0].1)],
-        vec!["comp. time".into(), format!("{:.6}", trends[1].0), format!("{:.3}", trends[1].1)],
-        vec!["accuracy".into(), format!("{:.6}", trends[2].0), format!("{:.3}", trends[2].1)],
+        vec![
+            "power".into(),
+            format!("{:.6}", trends[0].0),
+            format!("{:.3}", trends[0].1),
+        ],
+        vec![
+            "comp. time".into(),
+            format!("{:.6}", trends[1].0),
+            format!("{:.3}", trends[1].1),
+        ],
+        vec![
+            "accuracy".into(),
+            format!("{:.6}", trends[2].0),
+            format!("{:.3}", trends[2].1),
+        ],
     ];
     println!(
         "\n{name}: exploration outcome evolution for {} ({} steps)",
         workload.name(),
         series.power.len()
     );
-    println!("{}", ascii_table(&["series", "trend slope / step", "intercept"], &trend_rows));
+    println!(
+        "{}",
+        ascii_table(&["series", "trend slope / step", "intercept"], &trend_rows)
+    );
     println!("d-power over steps:");
     println!("{}", ascii_chart(&series.power, 72, 10));
     println!("accuracy degradation over steps:");
     println!("{}", ascii_chart(&series.accuracy, 72, 10));
 
-    FigureResult { benchmark: workload.name(), series, trends, outcome }
+    FigureResult {
+        benchmark: workload.name(),
+        series,
+        trends,
+        outcome,
+    }
 }
 
 /// Figure 2: exploration outcome evolution for Matrix Multiplication 10×10.
@@ -93,12 +118,20 @@ pub fn fig4(opts: &ExploreOptions, out: &OutputDir) -> Fig4Result {
     let matmul_bins = reward_curve(&matmul.trace, 100);
     let fir_bins = reward_curve(&fir.trace, 100);
 
-    let headers = ["bin (x100 steps)", "matmul-10x10 avg reward", "fir-100 avg reward"];
+    let headers = [
+        "bin (x100 steps)",
+        "matmul-10x10 avg reward",
+        "fir-100 avg reward",
+    ];
     let n = matmul_bins.len().max(fir_bins.len());
     let rows: Vec<Vec<String>> = (0..n)
         .map(|i| {
             let cell = |v: Option<&f64>| v.map_or(String::new(), |x| format!("{x:.3}"));
-            vec![i.to_string(), cell(matmul_bins.get(i)), cell(fir_bins.get(i))]
+            vec![
+                i.to_string(),
+                cell(matmul_bins.get(i)),
+                cell(fir_bins.get(i)),
+            ]
         })
         .collect();
     println!("\nFigure 4: average reward evolution (100-step bins)");
@@ -114,7 +147,10 @@ pub fn fig4(opts: &ExploreOptions, out: &OutputDir) -> Fig4Result {
     let (mm_slope, _) = linear_trend(&matmul_bins);
     let (fir_slope, _) = linear_trend(&fir_bins);
     println!("matmul reward-bin trend slope: {mm_slope:.4}; fir: {fir_slope:.4}");
-    Fig4Result { matmul_bins, fir_bins }
+    Fig4Result {
+        matmul_bins,
+        fir_bins,
+    }
 }
 
 #[cfg(test)]
@@ -122,7 +158,10 @@ mod tests {
     use super::*;
 
     fn quick() -> ExploreOptions {
-        ExploreOptions { max_steps: 300, ..Default::default() }
+        ExploreOptions {
+            max_steps: 300,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -139,7 +178,11 @@ mod tests {
         // Explorations may stop before the 300-step cap (terminate flag or
         // cumulative-reward target), so the bin count is 1..=3.
         let r = fig4(&quick(), &OutputDir::default());
-        assert!((1..=3).contains(&r.matmul_bins.len()), "{:?}", r.matmul_bins);
+        assert!(
+            (1..=3).contains(&r.matmul_bins.len()),
+            "{:?}",
+            r.matmul_bins
+        );
         assert!(!r.fir_bins.is_empty());
         for b in r.matmul_bins.iter().chain(&r.fir_bins) {
             assert!(b.is_finite());

@@ -28,7 +28,10 @@ pub struct OperatorRow {
 fn adder_mode(w: BitWidth) -> CharacterizeMode {
     match w {
         BitWidth::W8 => CharacterizeMode::Exhaustive,
-        _ => CharacterizeMode::MonteCarlo { samples: 1_000_000, seed: 0xA11CE },
+        _ => CharacterizeMode::MonteCarlo {
+            samples: 1_000_000,
+            seed: 0xA11CE,
+        },
     }
 }
 
@@ -61,7 +64,10 @@ pub fn table2(out: &OutputDir) -> Vec<OperatorRow> {
     for width in [BitWidth::W8, BitWidth::W32] {
         let mode = match width {
             BitWidth::W8 => CharacterizeMode::Exhaustive,
-            _ => CharacterizeMode::MonteCarlo { samples: 1_000_000, seed: 0xA11CE },
+            _ => CharacterizeMode::MonteCarlo {
+                samples: 1_000_000,
+                seed: 0xA11CE,
+            },
         };
         for e in lib.multipliers(width) {
             let profile = characterize_multiplier(&e.model, mode);
@@ -75,19 +81,39 @@ pub fn table2(out: &OutputDir) -> Vec<OperatorRow> {
             });
         }
     }
-    print_operator_table("Table II: selected multipliers", "table2_multipliers", &rows, out);
+    print_operator_table(
+        "Table II: selected multipliers",
+        "table2_multipliers",
+        &rows,
+        out,
+    );
     rows
 }
 
 fn print_operator_table(title: &str, file: &str, rows: &[OperatorRow], out: &OutputDir) {
-    let headers = ["operator", "type", "MRED % (paper)", "MRED % (measured)", "power mW", "time ns"];
+    let headers = [
+        "operator",
+        "type",
+        "MRED % (paper)",
+        "MRED % (measured)",
+        "power mW",
+        "time ns",
+    ];
     let table_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
             vec![
-                format!("{} {}", r.width, if r.name.contains("precise") { "precise" } else { "" })
-                    .trim()
-                    .to_owned(),
+                format!(
+                    "{} {}",
+                    r.width,
+                    if r.name.contains("precise") {
+                        "precise"
+                    } else {
+                        ""
+                    }
+                )
+                .trim()
+                .to_owned(),
                 r.name.clone(),
                 format!("{:.3}", r.published_mred),
                 format!("{:.3}", r.measured_mred),
@@ -136,7 +162,11 @@ pub fn table3(opts: &ExploreOptions, out: &OutputDir) -> Vec<ExplorationOutcome>
         rows.push(row);
     }
     for (label, f) in [
-        ("adder type", (|o: &ExplorationOutcome| o.summary.adder_name.clone()) as fn(&ExplorationOutcome) -> String),
+        (
+            "adder type",
+            (|o: &ExplorationOutcome| o.summary.adder_name.clone())
+                as fn(&ExplorationOutcome) -> String,
+        ),
         ("multiplier type", |o| o.summary.mul_name.clone()),
         ("steps", |o| o.summary.steps.to_string()),
         ("distinct configs", |o| o.distinct_configs.to_string()),
@@ -163,7 +193,9 @@ mod tests {
         let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["1HG", "6PT", "6R6", "0TP", "00M", "02Y", "1A5", "0GN", "0BC", "0HE", "0SL", "067"]
+            vec![
+                "1HG", "6PT", "6R6", "0TP", "00M", "02Y", "1A5", "0GN", "0BC", "0HE", "0SL", "067"
+            ]
         );
         // Measured MRED tracks the published ladder within each width class.
         for class in rows.chunks(6) {

@@ -43,7 +43,11 @@ impl MetricSummary {
             min = min.min(v);
             max = max.max(v);
         }
-        Self { min, solution: *series.last().unwrap(), max }
+        Self {
+            min,
+            solution: *series.last().unwrap(),
+            max,
+        }
     }
 }
 
@@ -120,8 +124,11 @@ pub fn reward_curve(trace: &[StepTrace], bin: usize) -> Vec<f64> {
 /// `true` if `a` dominates `b` in the (maximise Δpower, maximise Δtime,
 /// minimise Δacc) ordering.
 fn dominates(a: &EvalMetrics, b: &EvalMetrics) -> bool {
-    let ge = a.delta_power >= b.delta_power && a.delta_time >= b.delta_time && a.delta_acc <= b.delta_acc;
-    let strict = a.delta_power > b.delta_power || a.delta_time > b.delta_time || a.delta_acc < b.delta_acc;
+    let ge = a.delta_power >= b.delta_power
+        && a.delta_time >= b.delta_time
+        && a.delta_acc <= b.delta_acc;
+    let strict =
+        a.delta_power > b.delta_power || a.delta_time > b.delta_time || a.delta_acc < b.delta_acc;
     ge && strict
 }
 
@@ -183,11 +190,21 @@ mod tests {
     }
 
     fn cfg(i: usize) -> AxConfig {
-        AxConfig { adder: AdderId(i % 6), mul: MulId(i / 6 % 6), vars: i as u64 % 16 }
+        AxConfig {
+            adder: AdderId(i % 6),
+            mul: MulId(i / 6 % 6),
+            vars: i as u64 % 16,
+        }
     }
 
     fn step(i: u64, metrics: EvalMetrics, reward: f64) -> StepTrace {
-        StepTrace { step: i, config: cfg(i as usize), metrics, reward, terminated: false }
+        StepTrace {
+            step: i,
+            config: cfg(i as usize),
+            metrics,
+            reward,
+            terminated: false,
+        }
     }
 
     #[test]
@@ -239,8 +256,9 @@ mod tests {
 
     #[test]
     fn reward_curve_bins() {
-        let trace: Vec<StepTrace> =
-            (0..250).map(|i| step(i, m(0.0, 0.0, 0.0), if i < 100 { -1.0 } else { 1.0 })).collect();
+        let trace: Vec<StepTrace> = (0..250)
+            .map(|i| step(i, m(0.0, 0.0, 0.0), if i < 100 { -1.0 } else { 1.0 }))
+            .collect();
         let curve = reward_curve(&trace, 100);
         assert_eq!(curve, vec![-1.0, 1.0, 1.0]);
     }
@@ -250,8 +268,8 @@ mod tests {
         let points = vec![
             (cfg(0), m(10.0, 10.0, 1.0)), // dominated by the next point
             (cfg(1), m(20.0, 20.0, 0.5)),
-            (cfg(2), m(30.0, 5.0, 2.0)),  // trade-off: keeps its place
-            (cfg(3), m(5.0, 30.0, 0.1)),  // trade-off
+            (cfg(2), m(30.0, 5.0, 2.0)), // trade-off: keeps its place
+            (cfg(3), m(5.0, 30.0, 0.1)), // trade-off
         ];
         let front = pareto_front(&points);
         let ids: Vec<u64> = front.iter().map(|(c, _)| c.vars).collect();

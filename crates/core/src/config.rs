@@ -54,7 +54,11 @@ impl SpaceDims {
 impl AxConfig {
     /// The fully precise configuration (exact operators, nothing selected).
     pub fn precise() -> Self {
-        Self { adder: AdderId(0), mul: MulId(0), vars: 0 }
+        Self {
+            adder: AdderId(0),
+            mul: MulId(0),
+            vars: 0,
+        }
     }
 
     /// `true` if this is the paper's terminal configuration: the most
@@ -128,12 +132,19 @@ impl AxConfig {
     ///
     /// Panics if the space has more than 2^20 configurations.
     pub fn enumerate(dims: SpaceDims) -> Vec<AxConfig> {
-        assert!(dims.cardinality() <= 1 << 20, "space too large to enumerate");
+        assert!(
+            dims.cardinality() <= 1 << 20,
+            "space too large to enumerate"
+        );
         let mut all = Vec::with_capacity(dims.cardinality() as usize);
         for a in 0..dims.n_add {
             for m in 0..dims.n_mul {
                 for bits in 0..(1u64 << dims.n_vars) {
-                    all.push(AxConfig { adder: AdderId(a), mul: MulId(m), vars: bits });
+                    all.push(AxConfig {
+                        adder: AdderId(a),
+                        mul: MulId(m),
+                        vars: bits,
+                    });
                 }
             }
         }
@@ -143,7 +154,11 @@ impl AxConfig {
 
 impl fmt::Display for AxConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "(adder {}, mul {}, vars {:b})", self.adder, self.mul, self.vars)
+        write!(
+            f,
+            "(adder {}, mul {}, vars {:b})",
+            self.adder, self.mul, self.vars
+        )
     }
 }
 
@@ -152,7 +167,11 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
 
-    const DIMS: SpaceDims = SpaceDims { n_add: 6, n_mul: 6, n_vars: 4 };
+    const DIMS: SpaceDims = SpaceDims {
+        n_add: 6,
+        n_mul: 6,
+        n_vars: 4,
+    };
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(7)
@@ -174,9 +193,17 @@ mod tests {
 
     #[test]
     fn fully_approximate_detection() {
-        let c = AxConfig { adder: AdderId(5), mul: MulId(5), vars: 0b1111 };
+        let c = AxConfig {
+            adder: AdderId(5),
+            mul: MulId(5),
+            vars: 0b1111,
+        };
         assert!(c.is_fully_approximate(DIMS));
-        let c2 = AxConfig { adder: AdderId(5), mul: MulId(5), vars: 0b0111 };
+        let c2 = AxConfig {
+            adder: AdderId(5),
+            mul: MulId(5),
+            vars: 0b0111,
+        };
         assert!(!c2.is_fully_approximate(DIMS));
     }
 
@@ -191,18 +218,18 @@ mod tests {
     #[test]
     fn neighbor_changes_exactly_one_axis() {
         let mut r = rng();
-        let c = AxConfig { adder: AdderId(2), mul: MulId(3), vars: 0b0101 };
+        let c = AxConfig {
+            adder: AdderId(2),
+            mul: MulId(3),
+            vars: 0b0101,
+        };
         for _ in 0..200 {
             let n = c.neighbor(DIMS, &mut r);
             assert!(n.is_valid(DIMS));
-            let changed = [
-                n.adder != c.adder,
-                n.mul != c.mul,
-                n.vars != c.vars,
-            ]
-            .iter()
-            .filter(|&&x| x)
-            .count();
+            let changed = [n.adder != c.adder, n.mul != c.mul, n.vars != c.vars]
+                .iter()
+                .filter(|&&x| x)
+                .count();
             assert_eq!(changed, 1, "{c} -> {n}");
             if n.vars != c.vars {
                 assert_eq!((n.vars ^ c.vars).count_ones(), 1);
@@ -213,8 +240,16 @@ mod tests {
     #[test]
     fn crossover_mixes_parents() {
         let mut r = rng();
-        let a = AxConfig { adder: AdderId(0), mul: MulId(0), vars: 0b0000 };
-        let b = AxConfig { adder: AdderId(5), mul: MulId(5), vars: 0b1111 };
+        let a = AxConfig {
+            adder: AdderId(0),
+            mul: MulId(0),
+            vars: 0b0000,
+        };
+        let b = AxConfig {
+            adder: AdderId(5),
+            mul: MulId(5),
+            vars: 0b1111,
+        };
         for _ in 0..100 {
             let c = a.crossover(&b, DIMS, &mut r);
             assert!(c.is_valid(DIMS));

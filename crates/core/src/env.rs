@@ -11,7 +11,7 @@
 //! so the tabular state loses no information).
 
 use crate::config::{AxConfig, SpaceDims};
-use crate::evaluator::{EvalMetrics, Evaluator};
+use crate::evaluator::{EvalBackend, EvalMetrics, Evaluator};
 use crate::reward::{reward, RewardParams};
 use ax_gym::env::{Env, Step};
 use ax_gym::space::Space;
@@ -32,7 +32,11 @@ pub struct DseState {
 
 impl From<AxConfig> for DseState {
     fn from(c: AxConfig) -> Self {
-        Self { adder: c.adder.0, mul: c.mul.0, vars: c.vars }
+        Self {
+            adder: c.adder.0,
+            mul: c.mul.0,
+            vars: c.vars,
+        }
     }
 }
 
@@ -63,17 +67,26 @@ pub struct StepTrace {
 }
 
 /// The approximate-computing design-space exploration environment.
-pub struct DseEnv {
-    evaluator: Evaluator,
+///
+/// Generic over the [`EvalBackend`] scoring configurations: the default is
+/// the exact interpreter-backed [`Evaluator`], but any backend (surrogate
+/// model, remote service) slots in without touching the environment.
+pub struct DseEnv<B: EvalBackend = Evaluator> {
+    evaluator: B,
     params: RewardParams,
     config: AxConfig,
     trace: Vec<StepTrace>,
 }
 
-impl DseEnv {
-    /// Wraps an evaluator with reward parameters.
-    pub fn new(evaluator: Evaluator, params: RewardParams) -> Self {
-        Self { evaluator, params, config: AxConfig::precise(), trace: Vec::new() }
+impl<B: EvalBackend> DseEnv<B> {
+    /// Wraps an evaluation backend with reward parameters.
+    pub fn new(evaluator: B, params: RewardParams) -> Self {
+        Self {
+            evaluator,
+            params,
+            config: AxConfig::precise(),
+            trace: Vec::new(),
+        }
     }
 
     /// The configuration-space dimensions.
@@ -119,13 +132,13 @@ impl DseEnv {
         &self.trace
     }
 
-    /// The underlying evaluator.
-    pub fn evaluator(&self) -> &Evaluator {
+    /// The underlying evaluation backend.
+    pub fn evaluator(&self) -> &B {
         &self.evaluator
     }
 
-    /// Consumes the environment, returning evaluator and trace.
-    pub fn into_parts(self) -> (Evaluator, Vec<StepTrace>) {
+    /// Consumes the environment, returning backend and trace.
+    pub fn into_parts(self) -> (B, Vec<StepTrace>) {
         (self.evaluator, self.trace)
     }
 
@@ -140,7 +153,7 @@ impl DseEnv {
     }
 }
 
-impl Env for DseEnv {
+impl<B: EvalBackend> Env for DseEnv<B> {
     type Obs = DseState;
     type Action = usize;
 
@@ -149,7 +162,9 @@ impl Env for DseEnv {
         Space::Tuple(vec![
             Space::Discrete { n: d.n_add },
             Space::Discrete { n: d.n_mul },
-            Space::MultiBinary { n: d.n_vars as usize },
+            Space::MultiBinary {
+                n: d.n_vars as usize,
+            },
             // The Δacc / Δpower / Δtime observations of Equation 1
             // (practically unbounded; finite bounds keep sampling total).
             Space::uniform_box(3, -1e18, 1e18),
@@ -157,7 +172,9 @@ impl Env for DseEnv {
     }
 
     fn action_space(&self) -> Space {
-        Space::Discrete { n: self.action_count() }
+        Space::Discrete {
+            n: self.action_count(),
+        }
     }
 
     fn reset(&mut self, _seed: Option<u64>) -> DseState {
@@ -184,7 +201,12 @@ impl Env for DseEnv {
             reward: r,
             terminated: terminate,
         });
-        Step { obs: next.into(), reward: r, terminated: terminate, truncated: false }
+        Step {
+            obs: next.into(),
+            reward: r,
+            terminated: terminate,
+            truncated: false,
+        }
     }
 }
 
@@ -224,7 +246,14 @@ mod tests {
     fn reset_returns_precise_state() {
         let mut e = env();
         let s = e.reset(None);
-        assert_eq!(s, DseState { adder: 0, mul: 0, vars: 0 });
+        assert_eq!(
+            s,
+            DseState {
+                adder: 0,
+                mul: 0,
+                vars: 0
+            }
+        );
         assert_eq!(e.config(), AxConfig::precise());
     }
 
@@ -293,5 +322,73 @@ mod tests {
         e.step(&12);
         e.step(&12); // back to vars=1, previously evaluated
         assert!(e.evaluator().cache_hits() >= 1);
+    }
+
+    #[test]
+    fn env_is_pluggable_over_any_backend() {
+        use crate::evaluator::EvalMetrics;
+        use ax_operators::BitWidth;
+        use ax_vm::ir::ProgramBuilder;
+        use ax_vm::VmError;
+
+        /// A trivial surrogate: constant metrics, counting calls.
+        struct StubBackend {
+            program: ax_vm::Program,
+            calls: u64,
+        }
+
+        impl crate::evaluator::EvalBackend for StubBackend {
+            fn dims(&self) -> crate::config::SpaceDims {
+                crate::config::SpaceDims {
+                    n_add: 2,
+                    n_mul: 2,
+                    n_vars: 1,
+                }
+            }
+            fn program(&self) -> &ax_vm::Program {
+                &self.program
+            }
+            fn precise_power(&self) -> f64 {
+                100.0
+            }
+            fn precise_time(&self) -> f64 {
+                100.0
+            }
+            fn mean_abs_output(&self) -> f64 {
+                10.0
+            }
+            fn evaluate(&mut self, _c: &AxConfig) -> Result<EvalMetrics, VmError> {
+                self.calls += 1;
+                Ok(EvalMetrics {
+                    delta_acc: 0.0,
+                    delta_power: 0.0,
+                    delta_time: 0.0,
+                    signed_error: 0.0,
+                    power: 100.0,
+                    time_ns: 100.0,
+                })
+            }
+        }
+
+        let mut pb = ProgramBuilder::new("stub", BitWidth::W8, BitWidth::W8);
+        let a = pb.input("a", 1);
+        let y = pb.output("y", 1);
+        pb.add(y.at(0), a.at(0), a.at(0));
+        let program = pb.build().unwrap();
+
+        let th = crate::thresholds::Thresholds {
+            acc_th: 1.0,
+            power_th: 1.0,
+            time_th: 1.0,
+        };
+        let mut env = DseEnv::new(
+            StubBackend { program, calls: 0 },
+            RewardParams::new(10.0, th),
+        );
+        env.reset(None);
+        env.step(&0);
+        env.step(&2);
+        assert_eq!(env.evaluator().calls, 2);
+        assert_eq!(env.trace().len(), 2);
     }
 }

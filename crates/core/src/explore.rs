@@ -7,7 +7,7 @@
 
 use crate::analysis::{FigureSeries, MetricSummary};
 use crate::env::{DseEnv, DseState, StepTrace};
-use crate::evaluator::Evaluator;
+use crate::evaluator::{EvalContext, Evaluator};
 use crate::reward::RewardParams;
 use crate::thresholds::{ThresholdRule, Thresholds};
 use ax_agents::agent::TabularAgent;
@@ -60,7 +60,17 @@ impl Default for ExploreOptions {
             rule: ThresholdRule::paper(),
             alpha: Schedule::Constant(0.5),
             gamma: 0.95,
-            epsilon: Schedule::Exponential { start: 0.3, end: 0.02, decay: 0.99 },
+            // ε decays to zero: once the agent has located the feasible
+            // region, residual random actions mostly draw the −R accuracy
+            // penalty (Algorithm 1) and stall the cumulative-reward stop
+            // rule. With ε → 0 the MatMul exploration reaches the target on
+            // every agent seed (paper: stop at ~2 000 of 10 000 steps)
+            // while FIR still exhausts the cap, matching Table III.
+            epsilon: Schedule::Exponential {
+                start: 0.3,
+                end: 0.0,
+                decay: 0.99,
+            },
         }
     }
 }
@@ -178,13 +188,40 @@ pub fn explore_with_agent(
     opts: &ExploreOptions,
     kind: AgentKind,
 ) -> Result<ExplorationOutcome, VmError> {
-    let evaluator = Evaluator::new(workload, lib, opts.input_seed)?;
+    let ctx = EvalContext::new(workload, std::sync::Arc::new(lib.clone()), opts.input_seed)?;
+    explore_in_context(&ctx, opts, kind)
+}
+
+/// Runs an exploration against a prepared [`EvalContext`].
+///
+/// This is the fan-out entry point: sweeps and portfolios build one context
+/// (optionally carrying a [`crate::evaluator::SharedCache`]), clone it per
+/// worker and explore concurrently — the preparation work and the design
+/// cache are shared, the agent RNG is owned per run, so each run's trace is
+/// bit-identical to a stand-alone exploration with the same options.
+///
+/// # Errors
+///
+/// Fails if the benchmark cannot be built or the operator library lacks the
+/// benchmark's operand widths.
+///
+/// # Panics
+///
+/// Panics if the exploration takes no steps (`max_steps == 0`).
+pub fn explore_in_context(
+    ctx: &EvalContext,
+    opts: &ExploreOptions,
+    kind: AgentKind,
+) -> Result<ExplorationOutcome, VmError> {
+    let evaluator = ctx.evaluator();
     let thresholds = opts.rule.calibrate(&evaluator);
     let params = RewardParams::new(opts.max_reward, thresholds);
     let mut env = DseEnv::new(evaluator, params);
 
     let n_actions = env.action_count();
-    let policy = ExplorationPolicy::EpsilonGreedy { epsilon: opts.epsilon };
+    let policy = ExplorationPolicy::EpsilonGreedy {
+        epsilon: opts.epsilon,
+    };
     let mut agent: Box<dyn TabularAgent<DseState>> = match kind {
         AgentKind::QLearning => Box::new(
             QLearningBuilder::new(n_actions)
@@ -194,9 +231,9 @@ pub fn explore_with_agent(
                 .seed(opts.seed)
                 .build(),
         ),
-        AgentKind::Sarsa => {
-            Box::new(SarsaAgent::new(n_actions, opts.alpha, opts.gamma, policy, opts.seed))
-        }
+        AgentKind::Sarsa => Box::new(SarsaAgent::new(
+            n_actions, opts.alpha, opts.gamma, policy, opts.seed,
+        )),
         AgentKind::ExpectedSarsa => Box::new(ExpectedSarsaAgent::new(
             n_actions,
             opts.alpha,
@@ -204,16 +241,11 @@ pub fn explore_with_agent(
             opts.epsilon,
             opts.seed,
         )),
-        AgentKind::DoubleQ => {
-            Box::new(DoubleQAgent::new(n_actions, opts.alpha, opts.gamma, policy, opts.seed))
-        }
+        AgentKind::DoubleQ => Box::new(DoubleQAgent::new(
+            n_actions, opts.alpha, opts.gamma, policy, opts.seed,
+        )),
         AgentKind::QLambda { lambda } => Box::new(QLambdaAgent::new(
-            n_actions,
-            opts.alpha,
-            opts.gamma,
-            lambda,
-            policy,
-            opts.seed,
+            n_actions, opts.alpha, opts.gamma, lambda, policy, opts.seed,
         )),
     };
 
@@ -231,13 +263,22 @@ pub fn explore_with_agent(
     let last = trace.last().unwrap();
     let add_width = evaluator.program().add_width();
     let mul_width = evaluator.program().mul_width();
+    let lib = ctx.library();
     let summary = ExplorationSummary {
-        benchmark: workload.name(),
+        benchmark: ctx.benchmark().to_owned(),
         power: MetricSummary::from_series(&series.power),
         time: MetricSummary::from_series(&series.time),
         accuracy: MetricSummary::from_series(&series.accuracy),
-        adder_name: lib.adder(add_width, last.config.adder).spec.name().to_owned(),
-        mul_name: lib.multiplier(mul_width, last.config.mul).spec.name().to_owned(),
+        adder_name: lib
+            .adder(add_width, last.config.adder)
+            .spec
+            .name()
+            .to_owned(),
+        mul_name: lib
+            .multiplier(mul_width, last.config.mul)
+            .spec
+            .name()
+            .to_owned(),
         steps: trace.len() as u64,
     };
 
@@ -263,7 +304,10 @@ mod tests {
     }
 
     fn quick_opts(steps: u64) -> ExploreOptions {
-        ExploreOptions { max_steps: steps, ..Default::default() }
+        ExploreOptions {
+            max_steps: steps,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -313,7 +357,11 @@ mod tests {
         // A generous accuracy budget and tiny R make the target reachable.
         let mut opts = quick_opts(5_000);
         opts.max_reward = 20.0;
-        opts.rule = ThresholdRule { power_frac: 0.05, time_frac: 0.05, acc_frac: 10.0 };
+        opts.rule = ThresholdRule {
+            power_frac: 0.05,
+            time_frac: 0.05,
+            acc_frac: 10.0,
+        };
         let outcome = explore_qlearning(&DotProduct::new(8), &lib(), &opts).unwrap();
         assert_eq!(outcome.stop_reason, StopReason::RewardTarget);
         assert!(outcome.trace.len() < 5_000);
@@ -356,9 +404,8 @@ mod tests {
             AgentKind::QLearning,
         )
         .unwrap();
-        let sarsa =
-            explore_with_agent(&DotProduct::new(8), &l, &quick_opts(300), AgentKind::Sarsa)
-                .unwrap();
+        let sarsa = explore_with_agent(&DotProduct::new(8), &l, &quick_opts(300), AgentKind::Sarsa)
+            .unwrap();
         assert_ne!(ql.trace, sarsa.trace);
     }
 

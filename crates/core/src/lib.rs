@@ -52,8 +52,13 @@ pub mod thresholds;
 
 pub use config::AxConfig;
 pub use env::{DseEnv, DseState, StepTrace};
-pub use evaluator::{EvalMetrics, Evaluator};
-pub use explore::{explore_qlearning, ExplorationOutcome, ExplorationSummary, ExploreOptions};
+pub use evaluator::{EvalBackend, EvalContext, EvalMetrics, Evaluator, SharedCache};
+pub use explore::{
+    explore_in_context, explore_qlearning, ExplorationOutcome, ExplorationSummary, ExploreOptions,
+};
 pub use reward::RewardParams;
-pub use sweep::{sweep_seeds, SweepStat, SweepSummary};
+pub use sweep::{
+    race_portfolio, sweep_seeds, sweep_seeds_parallel, PortfolioEntry, PortfolioOutcome, SweepStat,
+    SweepSummary,
+};
 pub use thresholds::{ThresholdRule, Thresholds};

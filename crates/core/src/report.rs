@@ -24,7 +24,13 @@ use std::path::Path;
 /// ```
 pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     for (i, r) in rows.iter().enumerate() {
-        assert_eq!(r.len(), headers.len(), "row {i} has {} cells, want {}", r.len(), headers.len());
+        assert_eq!(
+            r.len(),
+            headers.len(),
+            "row {i} has {} cells, want {}",
+            r.len(),
+            headers.len()
+        );
     }
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
@@ -69,7 +75,13 @@ pub fn csv(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
     };
     let mut out = String::new();
-    out.push_str(&headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     out.push('\n');
     for row in rows {
         out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
@@ -163,7 +175,10 @@ mod tests {
     fn table_aligns_columns() {
         let t = ascii_table(
             &["name", "v"],
-            &[vec!["longer-name".into(), "1".into()], vec!["x".into(), "22".into()]],
+            &[
+                vec!["longer-name".into(), "1".into()],
+                vec!["x".into(), "22".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert!(lines.iter().all(|l| l.len() == lines[0].len()), "{t}");

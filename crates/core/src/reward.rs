@@ -39,12 +39,20 @@ impl RewardParams {
     /// Panics if `max_reward` is not strictly positive.
     pub fn new(max_reward: f64, thresholds: Thresholds) -> Self {
         assert!(max_reward > 0.0, "max reward must be positive");
-        Self { max_reward, thresholds }
+        Self {
+            max_reward,
+            thresholds,
+        }
     }
 }
 
 /// Evaluates Algorithm 1 for one step: returns `(reward, terminate)`.
-pub fn reward(config: &AxConfig, dims: SpaceDims, m: &EvalMetrics, p: &RewardParams) -> (f64, bool) {
+pub fn reward(
+    config: &AxConfig,
+    dims: SpaceDims,
+    m: &EvalMetrics,
+    p: &RewardParams,
+) -> (f64, bool) {
     let th = &p.thresholds;
     if m.delta_acc <= th.acc_th {
         if config.is_fully_approximate(dims) {
@@ -64,12 +72,20 @@ mod tests {
     use super::*;
     use ax_operators::{AdderId, MulId};
 
-    const DIMS: SpaceDims = SpaceDims { n_add: 6, n_mul: 6, n_vars: 4 };
+    const DIMS: SpaceDims = SpaceDims {
+        n_add: 6,
+        n_mul: 6,
+        n_vars: 4,
+    };
 
     fn params() -> RewardParams {
         RewardParams::new(
             100.0,
-            Thresholds { acc_th: 10.0, power_th: 50.0, time_th: 40.0 },
+            Thresholds {
+                acc_th: 10.0,
+                power_th: 50.0,
+                time_th: 40.0,
+            },
         )
     }
 
@@ -86,14 +102,24 @@ mod tests {
 
     #[test]
     fn accuracy_violation_gives_max_penalty() {
-        let (r, t) = reward(&AxConfig::precise(), DIMS, &metrics(10.1, 999.0, 999.0), &params());
+        let (r, t) = reward(
+            &AxConfig::precise(),
+            DIMS,
+            &metrics(10.1, 999.0, 999.0),
+            &params(),
+        );
         assert_eq!(r, -100.0);
         assert!(!t);
     }
 
     #[test]
     fn good_gains_give_plus_one() {
-        let (r, t) = reward(&AxConfig::precise(), DIMS, &metrics(5.0, 50.0, 40.0), &params());
+        let (r, t) = reward(
+            &AxConfig::precise(),
+            DIMS,
+            &metrics(5.0, 50.0, 40.0),
+            &params(),
+        );
         assert_eq!(r, 1.0);
         assert!(!t);
     }
@@ -101,17 +127,31 @@ mod tests {
     #[test]
     fn insufficient_gains_give_minus_one() {
         // Power passes but time misses the threshold.
-        let (r, t) = reward(&AxConfig::precise(), DIMS, &metrics(5.0, 60.0, 39.9), &params());
+        let (r, t) = reward(
+            &AxConfig::precise(),
+            DIMS,
+            &metrics(5.0, 60.0, 39.9),
+            &params(),
+        );
         assert_eq!(r, -1.0);
         assert!(!t);
         // Both miss.
-        let (r, _) = reward(&AxConfig::precise(), DIMS, &metrics(0.0, 0.0, 0.0), &params());
+        let (r, _) = reward(
+            &AxConfig::precise(),
+            DIMS,
+            &metrics(0.0, 0.0, 0.0),
+            &params(),
+        );
         assert_eq!(r, -1.0);
     }
 
     #[test]
     fn full_approximation_within_accuracy_terminates() {
-        let full = AxConfig { adder: AdderId(5), mul: MulId(5), vars: 0b1111 };
+        let full = AxConfig {
+            adder: AdderId(5),
+            mul: MulId(5),
+            vars: 0b1111,
+        };
         let (r, t) = reward(&full, DIMS, &metrics(9.9, 0.0, 0.0), &params());
         assert_eq!(r, 100.0);
         assert!(t);
@@ -119,7 +159,11 @@ mod tests {
 
     #[test]
     fn full_approximation_violating_accuracy_is_penalised() {
-        let full = AxConfig { adder: AdderId(5), mul: MulId(5), vars: 0b1111 };
+        let full = AxConfig {
+            adder: AdderId(5),
+            mul: MulId(5),
+            vars: 0b1111,
+        };
         let (r, t) = reward(&full, DIMS, &metrics(11.0, 999.0, 999.0), &params());
         assert_eq!(r, -100.0);
         assert!(!t);
@@ -128,13 +172,25 @@ mod tests {
     #[test]
     fn boundary_values_are_inclusive() {
         // Δacc == acc_th counts as within budget (paper: `<=`).
-        let (r, _) = reward(&AxConfig::precise(), DIMS, &metrics(10.0, 50.0, 40.0), &params());
+        let (r, _) = reward(
+            &AxConfig::precise(),
+            DIMS,
+            &metrics(10.0, 50.0, 40.0),
+            &params(),
+        );
         assert_eq!(r, 1.0);
     }
 
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_max_reward_rejected() {
-        RewardParams::new(0.0, Thresholds { acc_th: 1.0, power_th: 1.0, time_th: 1.0 });
+        RewardParams::new(
+            0.0,
+            Thresholds {
+                acc_th: 1.0,
+                power_th: 1.0,
+                time_th: 1.0,
+            },
+        );
     }
 }

@@ -15,36 +15,61 @@
 //! encodes, making evaluations-to-quality comparisons meaningful.
 
 use crate::config::AxConfig;
-use crate::evaluator::Evaluator;
+use crate::evaluator::{EvalBackend, EvalMetrics, Evaluator};
 use crate::thresholds::Thresholds;
 use ax_agents::search::SearchSpace;
 use rand::rngs::StdRng;
 
+/// The scalar solution quality described in the module docs: normalised
+/// power + time gains when the accuracy budget holds, a negative violation
+/// ratio otherwise. Shared by the search baselines and the portfolio
+/// ranking so every strategy optimises the identical objective.
+pub fn solution_score(
+    m: &EvalMetrics,
+    thresholds: &Thresholds,
+    precise_power: f64,
+    precise_time: f64,
+) -> f64 {
+    if m.delta_acc <= thresholds.acc_th {
+        m.delta_power / precise_power.max(f64::MIN_POSITIVE)
+            + m.delta_time / precise_time.max(f64::MIN_POSITIVE)
+    } else {
+        -(m.delta_acc / thresholds.acc_th.max(f64::MIN_POSITIVE))
+    }
+}
+
 /// The DSE configuration space as a [`SearchSpace`].
+///
+/// Generic over the [`EvalBackend`] so the classic baselines score designs
+/// through the same pluggable evaluation engine as the RL agent; defaults
+/// to the exact [`Evaluator`].
 #[derive(Debug)]
-pub struct DseSearchSpace<'a> {
-    evaluator: &'a mut Evaluator,
+pub struct DseSearchSpace<'a, B: EvalBackend + ?Sized = Evaluator> {
+    evaluator: &'a mut B,
     thresholds: Thresholds,
 }
 
-impl<'a> DseSearchSpace<'a> {
-    /// Wraps an evaluator and thresholds.
-    pub fn new(evaluator: &'a mut Evaluator, thresholds: Thresholds) -> Self {
-        Self { evaluator, thresholds }
+impl<'a, B: EvalBackend + ?Sized> DseSearchSpace<'a, B> {
+    /// Wraps an evaluation backend and thresholds.
+    pub fn new(evaluator: &'a mut B, thresholds: Thresholds) -> Self {
+        Self {
+            evaluator,
+            thresholds,
+        }
     }
 
     /// Scores a configuration's metrics (see the module docs).
-    pub fn score_of(&self, m: &crate::evaluator::EvalMetrics) -> f64 {
-        if m.delta_acc <= self.thresholds.acc_th {
-            m.delta_power / self.evaluator.precise_power().max(f64::MIN_POSITIVE)
-                + m.delta_time / self.evaluator.precise_time().max(f64::MIN_POSITIVE)
-        } else {
-            -(m.delta_acc / self.thresholds.acc_th.max(f64::MIN_POSITIVE))
-        }
+    pub fn score_of(&self, m: &EvalMetrics) -> f64 {
+        solution_score(
+            m,
+            &self.thresholds,
+            self.evaluator.precise_power(),
+            self.evaluator.precise_time(),
+        )
     }
 }
 
-impl SearchSpace for DseSearchSpace<'_> {
+impl<B: EvalBackend + ?Sized> SearchSpace for DseSearchSpace<'_, B> {
     type Point = AxConfig;
 
     fn random_point(&mut self, rng: &mut StdRng) -> AxConfig {
@@ -129,12 +154,22 @@ mod tests {
                 hill_climb(&mut space, 200, 20, 1).best_score,
                 simulated_annealing(
                     &mut space,
-                    AnnealingOptions { budget: 200, t_initial: 0.5, t_final: 0.01, seed: 1 },
+                    AnnealingOptions {
+                        budget: 200,
+                        t_initial: 0.5,
+                        t_final: 0.01,
+                        seed: 1,
+                    },
                 )
                 .best_score,
                 genetic_algorithm(
                     &mut space,
-                    GeneticOptions { population: 10, generations: 19, seed: 1, ..Default::default() },
+                    GeneticOptions {
+                        population: 10,
+                        generations: 19,
+                        seed: 1,
+                        ..Default::default()
+                    },
                 )
                 .best_score,
             ]

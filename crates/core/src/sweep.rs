@@ -1,15 +1,28 @@
-//! Multi-seed robustness sweeps.
+//! Multi-seed robustness sweeps and agent portfolios.
 //!
 //! The paper reports one exploration per benchmark; this module re-runs an
 //! exploration across agent seeds and aggregates stop behaviour and solution
 //! quality, quantifying how much of the reported behaviour is luck.
+//!
+//! Sweeps fan out with rayon over clones of a `Send + Sync`
+//! [`EvalContext`] handle sharing one [`SharedCache`]: every seed owns its
+//! agent RNG, so per-seed traces are bit-identical to a sequential run —
+//! cache sharing changes only the cost (designs another seed already
+//! executed come back for a hash lookup instead of an interpreter run).
+//! [`race_portfolio`] applies the same machinery across *agents* instead of
+//! seeds, racing every [`AgentKind`] on one benchmark concurrently.
 
-use crate::explore::{explore_with_agent, AgentKind, ExplorationOutcome, ExploreOptions};
+use crate::evaluator::{EvalContext, SharedCache};
+use crate::explore::{
+    explore_in_context, AgentKind, ExplorationOutcome, ExplorationSummary, ExploreOptions,
+};
 use ax_agents::train::StopReason;
 use ax_operators::OperatorLibrary;
 use ax_vm::VmError;
 use ax_workloads::Workload;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Mean / standard deviation / extremes of one sweep statistic.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -25,13 +38,11 @@ pub struct SweepStat {
 }
 
 impl SweepStat {
-    /// Aggregates a non-empty sample.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `values` is empty.
-    pub fn from_values(values: &[f64]) -> Self {
-        assert!(!values.is_empty(), "cannot aggregate an empty sample");
+    /// Aggregates a sample; `None` when it is empty.
+    pub fn try_from_values(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
         let n = values.len() as f64;
         let mean = values.iter().sum::<f64>() / n;
         let var = if values.len() < 2 {
@@ -41,7 +52,12 @@ impl SweepStat {
         };
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Self { mean, std_dev: var.sqrt(), min, max }
+        Some(Self {
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        })
     }
 }
 
@@ -66,7 +82,65 @@ pub struct SweepSummary {
     pub feasible_solutions: f64,
 }
 
-/// Runs `seeds` explorations with agent seeds `0..seeds` and aggregates.
+/// Aggregates finished exploration outcomes into a [`SweepSummary`].
+///
+/// # Panics
+///
+/// Panics if `outcomes` is empty (callers validate `seeds > 0`).
+fn summarize(benchmark: String, outcomes: &[ExplorationOutcome]) -> SweepSummary {
+    let seeds = outcomes.len() as u64;
+    let stop_steps: Vec<f64> = outcomes.iter().map(|o| o.summary.steps as f64).collect();
+    let powers: Vec<f64> = outcomes.iter().map(|o| o.summary.power.solution).collect();
+    let accs: Vec<f64> = outcomes
+        .iter()
+        .map(|o| o.summary.accuracy.solution)
+        .collect();
+    let feasible = outcomes
+        .iter()
+        .filter(|o| {
+            let th = o.thresholds;
+            let m = o.trace.last().expect("non-empty trace").metrics;
+            m.delta_acc <= th.acc_th && m.delta_power >= th.power_th && m.delta_time >= th.time_th
+        })
+        .count() as f64
+        / seeds as f64;
+
+    let stat =
+        |values: &[f64]| SweepStat::try_from_values(values).expect("at least one sweep outcome");
+    SweepSummary {
+        benchmark,
+        seeds,
+        reached_target: outcomes
+            .iter()
+            .filter(|o| o.stop_reason == StopReason::RewardTarget)
+            .count() as u64,
+        terminated: outcomes
+            .iter()
+            .filter(|o| o.stop_reason == StopReason::Terminated)
+            .count() as u64,
+        stop_step: stat(&stop_steps),
+        solution_power: stat(&powers),
+        solution_accuracy: stat(&accs),
+        feasible_solutions: feasible,
+    }
+}
+
+fn shared_context(
+    workload: &dyn Workload,
+    lib: &OperatorLibrary,
+    opts: &ExploreOptions,
+) -> Result<EvalContext, VmError> {
+    EvalContext::with_cache(
+        workload,
+        Arc::new(lib.clone()),
+        opts.input_seed,
+        SharedCache::new(),
+    )
+}
+
+/// Runs `seeds` explorations with agent seeds `0..seeds` sequentially and
+/// aggregates. The reference implementation: [`sweep_seeds_parallel`]
+/// produces a byte-identical summary, only faster.
 ///
 /// # Errors
 ///
@@ -83,69 +157,197 @@ pub fn sweep_seeds(
     seeds: u64,
 ) -> Result<SweepSummary, VmError> {
     assert!(seeds > 0, "need at least one seed");
+    let ctx = shared_context(workload, lib, opts)?;
     let mut outcomes: Vec<ExplorationOutcome> = Vec::with_capacity(seeds as usize);
     for seed in 0..seeds {
         let run_opts = ExploreOptions { seed, ..*opts };
-        outcomes.push(explore_with_agent(workload, lib, &run_opts, kind)?);
+        outcomes.push(explore_in_context(&ctx, &run_opts, kind)?);
     }
+    Ok(summarize(ctx.benchmark().to_owned(), &outcomes))
+}
 
-    let stop_steps: Vec<f64> = outcomes.iter().map(|o| o.summary.steps as f64).collect();
-    let powers: Vec<f64> = outcomes.iter().map(|o| o.summary.power.solution).collect();
-    let accs: Vec<f64> = outcomes.iter().map(|o| o.summary.accuracy.solution).collect();
-    let feasible = outcomes
+/// Runs `seeds` explorations with agent seeds `0..seeds` fanned out through
+/// rayon over clones of one shared-cache [`EvalContext`].
+///
+/// Each seed owns its agent RNG, so every run is bit-identical to its
+/// sequential counterpart and the summary equals [`sweep_seeds`] exactly;
+/// the shared cache means a design evaluated by any seed is free for all
+/// others.
+///
+/// # Errors
+///
+/// Propagates an exploration error if any run fails (which error surfaces
+/// when several fail is unspecified — real rayon short-circuits
+/// nondeterministically).
+///
+/// # Panics
+///
+/// Panics if `seeds` is zero.
+pub fn sweep_seeds_parallel(
+    workload: &dyn Workload,
+    lib: &OperatorLibrary,
+    opts: &ExploreOptions,
+    kind: AgentKind,
+    seeds: u64,
+) -> Result<SweepSummary, VmError> {
+    assert!(seeds > 0, "need at least one seed");
+    let ctx = shared_context(workload, lib, opts)?;
+    let outcomes: Result<Vec<ExplorationOutcome>, VmError> = (0..seeds)
+        .into_par_iter()
+        .map(|seed| {
+            let run_opts = ExploreOptions { seed, ..*opts };
+            explore_in_context(&ctx, &run_opts, kind)
+        })
+        .collect();
+    Ok(summarize(ctx.benchmark().to_owned(), &outcomes?))
+}
+
+/// One agent's result within a portfolio race.
+#[derive(Debug)]
+pub struct PortfolioEntry {
+    /// The learning algorithm.
+    pub kind: AgentKind,
+    /// Its exploration summary.
+    pub summary: ExplorationSummary,
+    /// Why its exploration stopped.
+    pub stop_reason: StopReason,
+    /// Distinct designs this agent's evaluator holds metrics for.
+    pub distinct_configs: u64,
+    /// `true` if the final configuration respects all three thresholds.
+    pub feasible: bool,
+    /// Scalar solution quality: normalised power + time gains when
+    /// feasible, negative accuracy violation otherwise (the
+    /// [`crate::search_adapter`] scalarisation).
+    pub score: f64,
+}
+
+/// Result of racing several agents on one benchmark.
+#[derive(Debug)]
+pub struct PortfolioOutcome {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// One entry per raced agent, in input order.
+    pub entries: Vec<PortfolioEntry>,
+    /// Index into `entries` of the best score (ties: first).
+    pub best: usize,
+    /// Distinct designs executed across the whole portfolio (the shared
+    /// cache's entry count — agents racing the same benchmark pay for each
+    /// design once).
+    pub shared_distinct: u64,
+}
+
+impl PortfolioOutcome {
+    /// The winning entry.
+    pub fn winner(&self) -> &PortfolioEntry {
+        &self.entries[self.best]
+    }
+}
+
+/// Races every given agent kind on one benchmark concurrently, sharing one
+/// design cache, and ranks them by solution quality.
+///
+/// All agents see identical thresholds and input data; each owns its RNG,
+/// so individual outcomes equal stand-alone explorations with the same
+/// options. The shared cache makes the race cheaper than the sum of its
+/// runs: configurations visited by several agents execute once.
+///
+/// # Errors
+///
+/// Propagates an exploration error if any run fails (which error surfaces
+/// when several fail is unspecified — real rayon short-circuits
+/// nondeterministically).
+///
+/// # Panics
+///
+/// Panics if `kinds` is empty.
+pub fn race_portfolio(
+    workload: &dyn Workload,
+    lib: &OperatorLibrary,
+    opts: &ExploreOptions,
+    kinds: &[AgentKind],
+) -> Result<PortfolioOutcome, VmError> {
+    assert!(!kinds.is_empty(), "portfolio needs at least one agent");
+    let ctx = shared_context(workload, lib, opts)?;
+    let outcomes: Result<Vec<ExplorationOutcome>, VmError> = kinds
+        .to_vec()
+        .into_par_iter()
+        .map(|kind| explore_in_context(&ctx, opts, kind))
+        .collect();
+    let outcomes = outcomes?;
+
+    let entries: Vec<PortfolioEntry> = kinds
         .iter()
-        .filter(|o| {
+        .zip(outcomes)
+        .map(|(&kind, o)| {
             let th = o.thresholds;
             let m = o.trace.last().expect("non-empty trace").metrics;
-            m.delta_acc <= th.acc_th && m.delta_power >= th.power_th && m.delta_time >= th.time_th
+            let feasible = m.delta_acc <= th.acc_th
+                && m.delta_power >= th.power_th
+                && m.delta_time >= th.time_th;
+            let score = crate::search_adapter::solution_score(
+                &m,
+                &th,
+                o.evaluator.precise_power(),
+                o.evaluator.precise_time(),
+            );
+            PortfolioEntry {
+                kind,
+                summary: o.summary,
+                stop_reason: o.stop_reason,
+                distinct_configs: o.distinct_configs,
+                feasible,
+                score,
+            }
         })
-        .count() as f64
-        / seeds as f64;
+        .collect();
 
-    Ok(SweepSummary {
-        benchmark: workload.name(),
-        seeds,
-        reached_target: outcomes
-            .iter()
-            .filter(|o| o.stop_reason == StopReason::RewardTarget)
-            .count() as u64,
-        terminated: outcomes
-            .iter()
-            .filter(|o| o.stop_reason == StopReason::Terminated)
-            .count() as u64,
-        stop_step: SweepStat::from_values(&stop_steps),
-        solution_power: SweepStat::from_values(&powers),
-        solution_accuracy: SweepStat::from_values(&accs),
-        feasible_solutions: feasible,
+    let mut best = 0;
+    for (i, e) in entries.iter().enumerate() {
+        if e.score.total_cmp(&entries[best].score).is_gt() {
+            best = i;
+        }
+    }
+    let shared_distinct = ctx
+        .shared_cache()
+        .map(|c| c.len() as u64)
+        .unwrap_or_default();
+    Ok(PortfolioOutcome {
+        benchmark: ctx.benchmark().to_owned(),
+        entries,
+        best,
+        shared_distinct,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::explore::explore_with_agent;
     use ax_workloads::dot::DotProduct;
 
     #[test]
     fn stat_aggregation() {
-        let s = SweepStat::from_values(&[1.0, 2.0, 3.0, 4.0]);
+        let s = SweepStat::try_from_values(&[1.0, 2.0, 3.0, 4.0]).unwrap();
         assert!((s.mean - 2.5).abs() < 1e-12);
         assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 4.0);
-        let single = SweepStat::from_values(&[7.0]);
+        let single = SweepStat::try_from_values(&[7.0]).unwrap();
         assert_eq!(single.std_dev, 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
     fn stat_rejects_empty() {
-        SweepStat::from_values(&[]);
+        assert_eq!(SweepStat::try_from_values(&[]), None);
     }
 
     #[test]
     fn sweep_aggregates_across_seeds() {
         let lib = OperatorLibrary::evoapprox();
-        let opts = ExploreOptions { max_steps: 150, ..Default::default() };
+        let opts = ExploreOptions {
+            max_steps: 150,
+            ..Default::default()
+        };
         let s = sweep_seeds(&DotProduct::new(8), &lib, &opts, AgentKind::QLearning, 4).unwrap();
         assert_eq!(s.seeds, 4);
         assert!(s.stop_step.mean > 0.0 && s.stop_step.mean <= 150.0);
@@ -157,10 +359,51 @@ mod tests {
     #[test]
     fn sweep_is_deterministic() {
         let lib = OperatorLibrary::evoapprox();
-        let opts = ExploreOptions { max_steps: 100, ..Default::default() };
+        let opts = ExploreOptions {
+            max_steps: 100,
+            ..Default::default()
+        };
         let a = sweep_seeds(&DotProduct::new(8), &lib, &opts, AgentKind::QLearning, 3).unwrap();
         let b = sweep_seeds(&DotProduct::new(8), &lib, &opts, AgentKind::QLearning, 3).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_sweep_equals_sequential() {
+        let lib = OperatorLibrary::evoapprox();
+        let opts = ExploreOptions {
+            max_steps: 120,
+            ..Default::default()
+        };
+        let wl = DotProduct::new(8);
+        let seq = sweep_seeds(&wl, &lib, &opts, AgentKind::QLearning, 8).unwrap();
+        let par = sweep_seeds_parallel(&wl, &lib, &opts, AgentKind::QLearning, 8).unwrap();
+        assert_eq!(
+            seq, par,
+            "cache sharing/parallelism must not change results"
+        );
+    }
+
+    #[test]
+    fn sequential_sweep_shares_designs_across_seeds() {
+        // A stand-alone exploration re-evaluates nothing; across seeds, the
+        // shared cache means later seeds reuse earlier seeds' designs. The
+        // cheap proxy: two sweeps of the same summary agree (determinism is
+        // covered above), and a fresh context carries an empty cache that
+        // ends up bounded by the space size.
+        let lib = OperatorLibrary::evoapprox();
+        let opts = ExploreOptions {
+            max_steps: 100,
+            ..Default::default()
+        };
+        let ctx = shared_context(&DotProduct::new(8), &lib, &opts).unwrap();
+        for seed in 0..3 {
+            let run_opts = ExploreOptions { seed, ..opts };
+            explore_in_context(&ctx, &run_opts, AgentKind::QLearning).unwrap();
+        }
+        let cache = ctx.shared_cache().unwrap();
+        assert!(!cache.is_empty());
+        assert!(cache.hits() > 0, "later seeds must reuse earlier designs");
     }
 
     #[test]
@@ -169,5 +412,50 @@ mod tests {
         let lib = OperatorLibrary::evoapprox();
         let opts = ExploreOptions::default();
         let _ = sweep_seeds(&DotProduct::new(8), &lib, &opts, AgentKind::QLearning, 0);
+    }
+
+    #[test]
+    fn portfolio_races_all_kinds() {
+        let lib = OperatorLibrary::evoapprox();
+        let opts = ExploreOptions {
+            max_steps: 120,
+            ..Default::default()
+        };
+        let kinds = [
+            AgentKind::QLearning,
+            AgentKind::Sarsa,
+            AgentKind::ExpectedSarsa,
+            AgentKind::DoubleQ,
+            AgentKind::QLambda { lambda: 0.7 },
+        ];
+        let p = race_portfolio(&DotProduct::new(8), &lib, &opts, &kinds).unwrap();
+        assert_eq!(p.entries.len(), kinds.len());
+        assert!(p.best < p.entries.len());
+        let best_score = p.winner().score;
+        for e in &p.entries {
+            assert!(e.score <= best_score);
+            assert_eq!(e.summary.benchmark, p.benchmark);
+        }
+        // Racing agents share the design cache: the union of distinct
+        // designs is at most the sum of per-agent counts (strictly smaller
+        // whenever agents overlap, which they do from the precise start).
+        let sum: u64 = p.entries.iter().map(|e| e.distinct_configs).sum();
+        assert!(p.shared_distinct <= sum);
+        assert!(p.shared_distinct > 0);
+    }
+
+    #[test]
+    fn portfolio_entries_match_standalone_explorations() {
+        let lib = OperatorLibrary::evoapprox();
+        let opts = ExploreOptions {
+            max_steps: 100,
+            ..Default::default()
+        };
+        let kinds = [AgentKind::QLearning, AgentKind::Sarsa];
+        let p = race_portfolio(&DotProduct::new(8), &lib, &opts, &kinds).unwrap();
+        for (kind, entry) in kinds.iter().zip(&p.entries) {
+            let solo = explore_with_agent(&DotProduct::new(8), &lib, &opts, *kind).unwrap();
+            assert_eq!(entry.summary, solo.summary, "{}", kind.name());
+        }
     }
 }

@@ -8,7 +8,7 @@
 //! ablation) and [`ThresholdRule::calibrate`] produces the absolute
 //! [`Thresholds`] from a benchmark's precise run.
 
-use crate::evaluator::Evaluator;
+use crate::evaluator::EvalBackend;
 use serde::{Deserialize, Serialize};
 
 /// Absolute thresholds used by the reward function (Algorithm 1).
@@ -35,7 +35,11 @@ pub struct ThresholdRule {
 
 impl Default for ThresholdRule {
     fn default() -> Self {
-        Self { power_frac: 0.5, time_frac: 0.5, acc_frac: 0.4 }
+        Self {
+            power_frac: 0.5,
+            time_frac: 0.5,
+            acc_frac: 0.4,
+        }
     }
 }
 
@@ -45,12 +49,13 @@ impl ThresholdRule {
         Self::default()
     }
 
-    /// Calibrates absolute thresholds from the benchmark's precise run.
+    /// Calibrates absolute thresholds from the benchmark's precise run, as
+    /// exposed by any evaluation backend.
     ///
     /// # Panics
     ///
     /// Panics if any fraction is negative.
-    pub fn calibrate(&self, evaluator: &Evaluator) -> Thresholds {
+    pub fn calibrate<B: EvalBackend + ?Sized>(&self, evaluator: &B) -> Thresholds {
         for (label, v) in [
             ("power_frac", self.power_frac),
             ("time_frac", self.time_frac),
@@ -69,6 +74,7 @@ impl ThresholdRule {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::evaluator::Evaluator;
     use ax_operators::OperatorLibrary;
     use ax_workloads::matmul::MatMul;
 
@@ -97,8 +103,16 @@ mod tests {
     #[test]
     fn stricter_rule_gives_tighter_thresholds() {
         let ev = evaluator();
-        let relaxed = ThresholdRule { power_frac: 0.25, time_frac: 0.25, acc_frac: 0.8 };
-        let strict = ThresholdRule { power_frac: 0.75, time_frac: 0.75, acc_frac: 0.2 };
+        let relaxed = ThresholdRule {
+            power_frac: 0.25,
+            time_frac: 0.25,
+            acc_frac: 0.8,
+        };
+        let strict = ThresholdRule {
+            power_frac: 0.75,
+            time_frac: 0.75,
+            acc_frac: 0.2,
+        };
         let tr = relaxed.calibrate(&ev);
         let ts = strict.calibrate(&ev);
         assert!(ts.power_th > tr.power_th);
@@ -110,6 +124,11 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_fraction_rejected() {
         let ev = evaluator();
-        ThresholdRule { power_frac: -0.1, time_frac: 0.5, acc_frac: 0.4 }.calibrate(&ev);
+        ThresholdRule {
+            power_frac: -0.1,
+            time_frac: 0.5,
+            acc_frac: 0.4,
+        }
+        .calibrate(&ev);
     }
 }

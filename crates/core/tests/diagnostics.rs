@@ -76,19 +76,31 @@ fn stop_steps_by_hyperparams() {
         ),
         (
             "exp.3 a.5 R100",
-            Schedule::Exponential { start: 0.3, end: 0.02, decay: 0.99 },
+            Schedule::Exponential {
+                start: 0.3,
+                end: 0.02,
+                decay: 0.99,
+            },
             Schedule::Constant(0.5),
             100.0,
         ),
         (
             "exp.3 a.5 R50",
-            Schedule::Exponential { start: 0.3, end: 0.02, decay: 0.99 },
+            Schedule::Exponential {
+                start: 0.3,
+                end: 0.02,
+                decay: 0.99,
+            },
             Schedule::Constant(0.5),
             50.0,
         ),
         (
             "exp.3 a.5 R20",
-            Schedule::Exponential { start: 0.3, end: 0.02, decay: 0.99 },
+            Schedule::Exponential {
+                start: 0.3,
+                end: 0.02,
+                decay: 0.99,
+            },
             Schedule::Constant(0.5),
             20.0,
         ),

@@ -21,12 +21,22 @@ pub struct Step<O> {
 impl<O> Step<O> {
     /// A non-terminal transition.
     pub fn transition(obs: O, reward: f64) -> Self {
-        Self { obs, reward, terminated: false, truncated: false }
+        Self {
+            obs,
+            reward,
+            terminated: false,
+            truncated: false,
+        }
     }
 
     /// A naturally terminal transition.
     pub fn terminal(obs: O, reward: f64) -> Self {
-        Self { obs, reward, terminated: true, truncated: false }
+        Self {
+            obs,
+            reward,
+            terminated: true,
+            truncated: false,
+        }
     }
 
     /// `true` if the episode is over for either reason.

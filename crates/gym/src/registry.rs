@@ -22,7 +22,12 @@ pub struct UnknownEnvId {
 
 impl fmt::Display for UnknownEnvId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown environment id `{}` (registered: {})", self.id, self.known.join(", "))
+        write!(
+            f,
+            "unknown environment id `{}` (registered: {})",
+            self.id,
+            self.known.join(", ")
+        )
     }
 }
 
@@ -42,7 +47,9 @@ impl<O, A> Default for Registry<O, A> {
 impl<O, A> Registry<O, A> {
     /// An empty registry.
     pub fn new() -> Self {
-        Self { factories: BTreeMap::new() }
+        Self {
+            factories: BTreeMap::new(),
+        }
     }
 
     /// Registers a constructor under `id`, replacing any previous entry.
@@ -65,7 +72,10 @@ impl<O, A> Registry<O, A> {
         self.factories
             .get(id)
             .map(|f| f())
-            .ok_or_else(|| UnknownEnvId { id: id.to_owned(), known: self.ids() })
+            .ok_or_else(|| UnknownEnvId {
+                id: id.to_owned(),
+                known: self.ids(),
+            })
     }
 
     /// Registered ids in sorted order.
@@ -81,7 +91,9 @@ impl<O, A> Registry<O, A> {
 
 impl<O, A> fmt::Debug for Registry<O, A> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Registry").field("ids", &self.ids()).finish()
+        f.debug_struct("Registry")
+            .field("ids", &self.ids())
+            .finish()
     }
 }
 
@@ -117,7 +129,10 @@ mod tests {
         reg.register("x", || LineWorld::new(2));
         reg.register("x", || LineWorld::new(7));
         let env = reg.make("x").unwrap();
-        assert_eq!(env.observation_space(), crate::space::Space::Discrete { n: 7 });
+        assert_eq!(
+            env.observation_space(),
+            crate::space::Space::Discrete { n: 7 }
+        );
     }
 
     #[test]

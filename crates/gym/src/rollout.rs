@@ -79,7 +79,12 @@ where
     let mut transitions = Vec::new();
     for _ in 0..max_steps {
         let action = policy(&obs);
-        let Step { obs: next, reward, terminated, truncated } = env.step(&action);
+        let Step {
+            obs: next,
+            reward,
+            terminated,
+            truncated,
+        } = env.step(&action);
         transitions.push(Transition {
             obs: obs.clone(),
             action,

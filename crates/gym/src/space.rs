@@ -56,7 +56,10 @@ impl Space {
     pub fn uniform_box(dims: usize, low: f64, high: f64) -> Self {
         assert!(dims > 0, "box space needs at least one dimension");
         assert!(low <= high, "low bound {low} exceeds high bound {high}");
-        Space::BoxSpace { low: vec![low; dims], high: vec![high; dims] }
+        Space::BoxSpace {
+            low: vec![low; dims],
+            high: vec![high; dims],
+        }
     }
 
     /// Draws a uniformly random element of the space.
@@ -101,8 +104,7 @@ impl Space {
                         .all(|(x, (l, h))| x >= l && x <= h)
             }
             (Space::Tuple(parts), SampleValue::Tuple(vals)) => {
-                parts.len() == vals.len()
-                    && parts.iter().zip(vals).all(|(s, v)| s.contains(v))
+                parts.len() == vals.len() && parts.iter().zip(vals).all(|(s, v)| s.contains(v))
             }
             _ => false,
         }
@@ -203,7 +205,10 @@ mod tests {
 
     #[test]
     fn degenerate_box_bound_samples_constant() {
-        let s = Space::BoxSpace { low: vec![1.5], high: vec![1.5] };
+        let s = Space::BoxSpace {
+            low: vec![1.5],
+            high: vec![1.5],
+        };
         let mut r = rng();
         assert_eq!(s.sample(&mut r), SampleValue::Real(vec![1.5]));
     }

@@ -86,7 +86,10 @@ impl TwoArmedBandit {
         for p in [p0, p1] {
             assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
         }
-        Self { p: [p0, p1], rng: StdRng::seed_from_u64(0) }
+        Self {
+            p: [p0, p1],
+            rng: StdRng::seed_from_u64(0),
+        }
     }
 }
 

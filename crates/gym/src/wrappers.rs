@@ -35,7 +35,11 @@ impl<E> TimeLimit<E> {
     /// Panics if `max_steps` is zero.
     pub fn new(inner: E, max_steps: u64) -> Self {
         assert!(max_steps > 0, "time limit must be positive");
-        Self { inner, max_steps, elapsed: 0 }
+        Self {
+            inner,
+            max_steps,
+            elapsed: 0,
+        }
     }
 
     /// Steps taken in the current episode.
@@ -103,7 +107,11 @@ pub struct RecordEpisodeStatistics<E> {
 impl<E> RecordEpisodeStatistics<E> {
     /// Wraps `inner` with statistics recording.
     pub fn new(inner: E) -> Self {
-        Self { inner, current: EpisodeStats::default(), completed: Vec::new() }
+        Self {
+            inner,
+            current: EpisodeStats::default(),
+            completed: Vec::new(),
+        }
     }
 
     /// Statistics of the in-progress episode.
@@ -257,6 +265,9 @@ mod tests {
     fn wrappers_delegate_spaces() {
         let env = TimeLimit::new(LineWorld::new(9), 5);
         assert_eq!(env.action_space(), LineWorld::new(9).action_space());
-        assert_eq!(env.observation_space(), LineWorld::new(9).observation_space());
+        assert_eq!(
+            env.observation_space(),
+            LineWorld::new(9).observation_space()
+        );
     }
 }

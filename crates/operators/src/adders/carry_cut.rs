@@ -80,7 +80,10 @@ mod tests {
                     }
                 }
             }
-            assert!(errors <= prev_errors, "window={window}: {errors} > {prev_errors}");
+            assert!(
+                errors <= prev_errors,
+                "window={window}: {errors} > {prev_errors}"
+            );
             prev_errors = errors;
         }
     }

@@ -127,8 +127,9 @@ impl AdderModel {
         let bits = width.bits();
         let valid = match kind {
             AdderKind::Precise => true,
-            AdderKind::Loa { approx_bits }
-            | AdderKind::PassB { approx_bits } => approx_bits >= 1 && approx_bits <= bits,
+            AdderKind::Loa { approx_bits } | AdderKind::PassB { approx_bits } => {
+                approx_bits >= 1 && approx_bits <= bits
+            }
             AdderKind::Trunc { cut_bits }
             | AdderKind::SetOne { cut_bits }
             | AdderKind::SetMid { cut_bits } => cut_bits >= 1 && cut_bits <= bits,
@@ -264,7 +265,10 @@ mod tests {
             AdderModel::new(AdderKind::Loa { approx_bits: 2 }, BitWidth::W16).to_string(),
             "16-bit loa(k=2)"
         );
-        assert_eq!(AdderModel::precise(BitWidth::W8).to_string(), "8-bit precise");
+        assert_eq!(
+            AdderModel::precise(BitWidth::W8).to_string(),
+            "8-bit precise"
+        );
     }
 
     #[test]

@@ -140,7 +140,10 @@ mod tests {
                 mae_s += e.abs_diff(set_one(a, b, BitWidth::W8, k)) as f64;
             }
         }
-        assert!(mae_s < mae_m && mae_m < mae_t, "{mae_s} < {mae_m} < {mae_t} expected");
+        assert!(
+            mae_s < mae_m && mae_m < mae_t,
+            "{mae_s} < {mae_m} < {mae_t} expected"
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl CharacterizeMode {
     pub fn auto(width: BitWidth) -> Self {
         match width {
             BitWidth::W8 => CharacterizeMode::Exhaustive,
-            _ => CharacterizeMode::MonteCarlo { samples: 2_000_000, seed: 0xA11CE }
+            _ => CharacterizeMode::MonteCarlo {
+                samples: 2_000_000,
+                seed: 0xA11CE,
+            },
         }
     }
 }
@@ -152,7 +155,10 @@ mod tests {
 
     #[test]
     fn precise_operators_have_zero_profile() {
-        let a = characterize_adder(&AdderModel::precise(BitWidth::W8), CharacterizeMode::Exhaustive);
+        let a = characterize_adder(
+            &AdderModel::precise(BitWidth::W8),
+            CharacterizeMode::Exhaustive,
+        );
         assert_eq!(a.mred_pct, 0.0);
         assert_eq!(a.error_rate, 0.0);
         assert_eq!(a.wce, 0);
@@ -160,7 +166,10 @@ mod tests {
 
         let m = characterize_multiplier(
             &MulModel::precise(BitWidth::W16),
-            CharacterizeMode::MonteCarlo { samples: 10_000, seed: 7 },
+            CharacterizeMode::MonteCarlo {
+                samples: 10_000,
+                seed: 7,
+            },
         );
         assert_eq!(m.mred_pct, 0.0);
         assert_eq!(m.samples, 10_000);
@@ -169,7 +178,10 @@ mod tests {
     #[test]
     fn monte_carlo_is_deterministic() {
         let adder = AdderModel::new(AdderKind::Loa { approx_bits: 3 }, BitWidth::W16);
-        let mode = CharacterizeMode::MonteCarlo { samples: 50_000, seed: 42 };
+        let mode = CharacterizeMode::MonteCarlo {
+            samples: 50_000,
+            seed: 42,
+        };
         let p1 = characterize_adder(&adder, mode);
         let p2 = characterize_adder(&adder, mode);
         assert_eq!(p1, p2);
@@ -180,11 +192,17 @@ mod tests {
         let adder = AdderModel::new(AdderKind::Loa { approx_bits: 3 }, BitWidth::W16);
         let p1 = characterize_adder(
             &adder,
-            CharacterizeMode::MonteCarlo { samples: 50_000, seed: 1 },
+            CharacterizeMode::MonteCarlo {
+                samples: 50_000,
+                seed: 1,
+            },
         );
         let p2 = characterize_adder(
             &adder,
-            CharacterizeMode::MonteCarlo { samples: 50_000, seed: 2 },
+            CharacterizeMode::MonteCarlo {
+                samples: 50_000,
+                seed: 2,
+            },
         );
         assert_ne!(p1, p2);
     }
@@ -211,7 +229,10 @@ mod tests {
 
     #[test]
     fn auto_mode_picks_exhaustive_only_for_w8() {
-        assert_eq!(CharacterizeMode::auto(BitWidth::W8), CharacterizeMode::Exhaustive);
+        assert_eq!(
+            CharacterizeMode::auto(BitWidth::W8),
+            CharacterizeMode::Exhaustive
+        );
         assert!(matches!(
             CharacterizeMode::auto(BitWidth::W32),
             CharacterizeMode::MonteCarlo { .. }

@@ -44,7 +44,9 @@ pub mod spec;
 pub mod width;
 
 pub use adders::{AdderKind, AdderModel};
-pub use characterize::{characterize_adder, characterize_multiplier, CharacterizeMode, ErrorProfile};
+pub use characterize::{
+    characterize_adder, characterize_multiplier, CharacterizeMode, ErrorProfile,
+};
 pub use library::{AdderEntry, AdderId, MulEntry, MulId, OperatorLibrary};
 pub use metrics::ErrorStats;
 pub use multipliers::{MulKind, MulModel};

@@ -102,7 +102,13 @@ impl OperatorLibrary {
             a8("6PT", 0.14, 0.029, 0.55, AdderKind::Loa { approx_bits: 1 }), // 0.135 | 0.14
             a8("6R6", 2.93, 0.012, 0.27, AdderKind::Loa { approx_bits: 5 }), // 2.930 | 2.93
             a8("0TP", 6.16, 0.0095, 0.24, AdderKind::SetOne { cut_bits: 5 }), // 6.208 | 6.16
-            a8("00M", 14.58, 0.0046, 0.17, AdderKind::SetOne { cut_bits: 6 }), // 13.01 | 14.58
+            a8(
+                "00M",
+                14.58,
+                0.0046,
+                0.17,
+                AdderKind::SetOne { cut_bits: 6 },
+            ), // 13.01 | 14.58
             // 02Y uses hard truncation: the paper's matmul exploration
             // never reaches Algorithm 1's terminate state, which requires
             // the fully-approximate configuration (02Y + 17MJ, all
@@ -116,15 +122,33 @@ impl OperatorLibrary {
             a16("0BC", 0.018, 0.051, 0.95, AdderKind::Trunc { cut_bits: 3 }), // 0.0148 | 0.018
             a16("0HE", 0.16, 0.036, 0.68, AdderKind::SetOne { cut_bits: 8 }), // 0.181 | 0.16
             a16("0SL", 9.54, 0.011, 0.27, AdderKind::Loa { approx_bits: 15 }), // 10.16 | 9.54
-            a16("067", 22.35, 0.0041, 0.20, AdderKind::Loa { approx_bits: 16 }), // 21.18 | 22.35
+            a16(
+                "067",
+                22.35,
+                0.0041,
+                0.20,
+                AdderKind::Loa { approx_bits: 16 },
+            ), // 21.18 | 22.35
         ];
         let muls8 = vec![
             m8("1JJQ", 0.0, 0.391, 1.43, MulKind::Precise), //     0.00  |  0.00
-            m8("4X5", 0.033, 0.380, 1.40, MulKind::TruncResult { cut_bits: 1 }), // 0.018 | 0.033
+            m8(
+                "4X5",
+                0.033,
+                0.380,
+                1.40,
+                MulKind::TruncResult { cut_bits: 1 },
+            ), // 0.018 | 0.033
             m8("GTR", 1.23, 0.303, 1.46, MulKind::Drum { k: 6 }), // 1.29 | 1.23
             m8("L93", 4.52, 0.178, 1.11, MulKind::Mitchell), //    3.76  |  4.52
             m8("18UH", 17.98, 0.062, 0.90, MulKind::Drum { k: 2 }), // 25.18 | 17.98
-             m8("17MJ", 53.17, 0.0041, 0.11, MulKind::Po2(Po2Mode::Compensated)), // 25.79 | 53.17
+            m8(
+                "17MJ",
+                53.17,
+                0.0041,
+                0.11,
+                MulKind::Po2(Po2Mode::Compensated),
+            ), // 25.79 | 53.17
         ];
         let muls32 = vec![
             m32("precise", 0.0, 10.76, 4.565, MulKind::Precise), // 0.000 | 0.00
@@ -134,7 +158,12 @@ impl OperatorLibrary {
             m32("053", 10.59, 1.05, 2.030, MulKind::Drum { k: 3 }), // 11.89 | 10.59
             m32("067", 41.25, 0.51, 1.750, MulKind::Po2(Po2Mode::Nearest)), // 35.46 | 41.25
         ];
-        let lib = Self { adders8, adders16, muls8, muls32 };
+        let lib = Self {
+            adders8,
+            adders16,
+            muls8,
+            muls32,
+        };
         lib.assert_invariants();
         lib
     }
@@ -205,8 +234,10 @@ impl OperatorLibrary {
     }
 
     fn assert_invariants(&self) {
-        for (label, entries) in [("8-bit adders", &self.adders8), ("16-bit adders", &self.adders16)]
-        {
+        for (label, entries) in [
+            ("8-bit adders", &self.adders8),
+            ("16-bit adders", &self.adders16),
+        ] {
             assert!(!entries.is_empty(), "{label} must be non-empty");
             assert!(entries[0].model.is_exact(), "{label}[0] must be exact");
             for w in entries.windows(2) {
@@ -316,10 +347,22 @@ impl OperatorLibraryBuilder {
         lib.muls8.sort_by_key(|e| key(e.spec.mred_pct()));
         lib.muls32.sort_by_key(|e| key(e.spec.mred_pct()));
         for (label, ok) in [
-            ("8-bit adders", lib.adders8.first().is_none_or(|e| e.model.is_exact())),
-            ("16-bit adders", lib.adders16.first().is_none_or(|e| e.model.is_exact())),
-            ("8-bit multipliers", lib.muls8.first().is_none_or(|e| e.model.is_exact())),
-            ("32-bit multipliers", lib.muls32.first().is_none_or(|e| e.model.is_exact())),
+            (
+                "8-bit adders",
+                lib.adders8.first().is_none_or(|e| e.model.is_exact()),
+            ),
+            (
+                "16-bit adders",
+                lib.adders16.first().is_none_or(|e| e.model.is_exact()),
+            ),
+            (
+                "8-bit multipliers",
+                lib.muls8.first().is_none_or(|e| e.model.is_exact()),
+            ),
+            (
+                "32-bit multipliers",
+                lib.muls32.first().is_none_or(|e| e.model.is_exact()),
+            ),
         ] {
             assert!(ok, "{label}: the least-MRED operator must be exact");
         }
@@ -370,7 +413,9 @@ mod tests {
         assert_eq!(id, AdderId(4));
         assert_eq!(e.spec.power_mw(), 0.0046);
         assert!(lib.adder_by_name(BitWidth::W8, "nope").is_none());
-        let (mid, me) = lib.multiplier_by_name(BitWidth::W32, "043").expect("043 exists");
+        let (mid, me) = lib
+            .multiplier_by_name(BitWidth::W32, "043")
+            .expect("043 exists");
         assert_eq!(mid, MulId(3));
         assert_eq!(me.spec.time_ns(), 2.440);
     }
@@ -405,7 +450,10 @@ mod tests {
         for w in [BitWidth::W8, BitWidth::W32] {
             let mode = match w {
                 BitWidth::W8 => CharacterizeMode::Exhaustive,
-                _ => CharacterizeMode::MonteCarlo { samples: 300_000, seed: 99 },
+                _ => CharacterizeMode::MonteCarlo {
+                    samples: 300_000,
+                    seed: 99,
+                },
             };
             let measured: Vec<f64> = lib
                 .multipliers(w)

@@ -149,13 +149,13 @@ impl ErrorStats {
 /// assert_eq!(ax_operators::metrics::mae(&exact, &approx), 2.5);
 /// ```
 pub fn mae(exact: &[f64], approx: &[f64]) -> f64 {
-    assert_eq!(exact.len(), approx.len(), "output vectors must match in length");
+    assert_eq!(
+        exact.len(),
+        approx.len(),
+        "output vectors must match in length"
+    );
     assert!(!exact.is_empty(), "output vectors must be non-empty");
-    let sum: f64 = exact
-        .iter()
-        .zip(approx)
-        .map(|(e, a)| (e - a).abs())
-        .sum();
+    let sum: f64 = exact.iter().zip(approx).map(|(e, a)| (e - a).abs()).sum();
     sum / exact.len() as f64
 }
 
@@ -169,7 +169,11 @@ pub fn mae(exact: &[f64], approx: &[f64]) -> f64 {
 ///
 /// Panics if the slices differ in length or are empty.
 pub fn signed_mean_error(exact: &[f64], approx: &[f64]) -> f64 {
-    assert_eq!(exact.len(), approx.len(), "output vectors must match in length");
+    assert_eq!(
+        exact.len(),
+        approx.len(),
+        "output vectors must match in length"
+    );
     assert!(!exact.is_empty(), "output vectors must be non-empty");
     let sum: f64 = exact.iter().zip(approx).map(|(e, a)| e - a).sum();
     sum / exact.len() as f64

@@ -25,7 +25,10 @@ mod tests {
     fn equals_exact_when_b_low_bits_clear() {
         for a in (0..=255u64).step_by(7) {
             for b in (0..=255u64).step_by(8) {
-                assert_eq!(broken_array(a, b, BitWidth::W8, 3), precise(a, b, BitWidth::W8));
+                assert_eq!(
+                    broken_array(a, b, BitWidth::W8, 3),
+                    precise(a, b, BitWidth::W8)
+                );
             }
         }
     }

@@ -77,7 +77,10 @@ mod tests {
     fn mitchell_never_overestimates() {
         for a in 0..=255u64 {
             for b in 0..=255u64 {
-                assert!(mitchell(a, b, BitWidth::W8) <= precise(a, b, BitWidth::W8), "({a},{b})");
+                assert!(
+                    mitchell(a, b, BitWidth::W8) <= precise(a, b, BitWidth::W8),
+                    "({a},{b})"
+                );
             }
         }
     }
@@ -94,7 +97,10 @@ mod tests {
         }
         // Mitchell's theoretical worst case is 1 - 3/4·... ≈ 0.1111.
         assert!(worst < 0.12, "worst relative error {worst}");
-        assert!(worst > 0.10, "worst relative error {worst} suspiciously low");
+        assert!(
+            worst > 0.10,
+            "worst relative error {worst} suspiciously low"
+        );
     }
 
     #[test]

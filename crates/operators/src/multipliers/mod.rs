@@ -142,14 +142,18 @@ impl MulModel {
         let bits = width.bits();
         let valid = match kind {
             MulKind::Precise | MulKind::Mitchell | MulKind::Po2(_) => true,
-            MulKind::TruncResult { cut_bits } | MulKind::TruncPp { cut_columns: cut_bits } => {
-                cut_bits >= 1 && cut_bits < 2 * bits
-            }
+            MulKind::TruncResult { cut_bits }
+            | MulKind::TruncPp {
+                cut_columns: cut_bits,
+            } => cut_bits >= 1 && cut_bits < 2 * bits,
             MulKind::BrokenArray { rows } => rows >= 1 && rows < bits,
             MulKind::LogIter { iterations } => (1..=8).contains(&iterations),
             MulKind::Drum { k } => k >= 2 && k < bits,
         };
-        assert!(valid, "multiplier configuration {kind} is invalid for {width}");
+        assert!(
+            valid,
+            "multiplier configuration {kind} is invalid for {width}"
+        );
         Self { kind, width }
     }
 

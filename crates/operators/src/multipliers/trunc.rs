@@ -79,7 +79,8 @@ mod tests {
         for a in 0..=255u64 {
             for b in 0..=255u64 {
                 assert!(
-                    trunc_pp(a, b, BitWidth::W8, c) <= trunc_result(a, b, BitWidth::W8, c) + ((1 << c) - 1),
+                    trunc_pp(a, b, BitWidth::W8, c)
+                        <= trunc_result(a, b, BitWidth::W8, c) + ((1 << c) - 1),
                 );
                 assert!(trunc_pp(a, b, BitWidth::W8, c) <= precise(a, b, BitWidth::W8));
             }

@@ -43,9 +43,18 @@ impl OperatorSpec {
         let name = name.into();
         assert!(!name.is_empty(), "operator name must be non-empty");
         for (label, v) in [("mred", mred_pct), ("power", power_mw), ("time", time_ns)] {
-            assert!(v.is_finite() && v >= 0.0, "{label} must be finite and non-negative, got {v}");
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "{label} must be finite and non-negative, got {v}"
+            );
         }
-        Self { name, width, mred_pct, power_mw, time_ns }
+        Self {
+            name,
+            width,
+            mred_pct,
+            power_mw,
+            time_ns,
+        }
     }
 
     /// Short operator name as used in the paper (e.g. `"00M"`, `"1JJQ"`).

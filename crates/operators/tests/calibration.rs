@@ -7,12 +7,15 @@
 //! tolerance band recorded in EXPERIMENTS.md.
 
 use ax_operators::{
-    characterize_adder, characterize_multiplier, AdderKind, AdderModel, BitWidth,
-    CharacterizeMode, MulKind, MulModel, OperatorLibrary,
+    characterize_adder, characterize_multiplier, AdderKind, AdderModel, BitWidth, CharacterizeMode,
+    MulKind, MulModel, OperatorLibrary,
 };
 
 fn mc(samples: u64) -> CharacterizeMode {
-    CharacterizeMode::MonteCarlo { samples, seed: 0xA11CE }
+    CharacterizeMode::MonteCarlo {
+        samples,
+        seed: 0xA11CE,
+    }
 }
 
 fn adder_mode(w: BitWidth) -> CharacterizeMode {
@@ -36,7 +39,10 @@ fn calibration_grid() {
     for (name, kind) in &cands {
         let m = AdderModel::new(*kind, BitWidth::W8);
         let p = characterize_adder(&m, CharacterizeMode::Exhaustive);
-        println!("  {name:10} MRED {:8.4}%  MAE {:8.3}  ER {:6.4}", p.mred_pct, p.mae, p.error_rate);
+        println!(
+            "  {name:10} MRED {:8.4}%  MAE {:8.3}  ER {:6.4}",
+            p.mred_pct, p.mae, p.error_rate
+        );
     }
 
     println!("== 16-bit adders (targets: 0.005, 0.018, 0.16, 9.54, 22.35) ==");
@@ -51,14 +57,23 @@ fn calibration_grid() {
     for (name, kind) in &cands16 {
         let m = AdderModel::new(*kind, BitWidth::W16);
         let p = characterize_adder(&m, mc(1_000_000));
-        println!("  {name:10} MRED {:8.5}%  MAE {:10.3}  ER {:6.4}", p.mred_pct, p.mae, p.error_rate);
+        println!(
+            "  {name:10} MRED {:8.5}%  MAE {:10.3}  ER {:6.4}",
+            p.mred_pct, p.mae, p.error_rate
+        );
     }
 
     println!("== 8-bit multipliers (targets: 0.033, 1.23, 4.52, 17.98, 53.17) ==");
     let mut mcands: Vec<(String, MulKind)> = vec![
         ("mitchell".into(), MulKind::Mitchell),
-        ("po2floor".into(), MulKind::Po2(ax_operators::multipliers::Po2Mode::Floor)),
-        ("po2near".into(), MulKind::Po2(ax_operators::multipliers::Po2Mode::Nearest)),
+        (
+            "po2floor".into(),
+            MulKind::Po2(ax_operators::multipliers::Po2Mode::Floor),
+        ),
+        (
+            "po2near".into(),
+            MulKind::Po2(ax_operators::multipliers::Po2Mode::Nearest),
+        ),
     ];
     for n in 1..=6u32 {
         mcands.push((format!("logit{n}"), MulKind::LogIter { iterations: n }));
@@ -76,14 +91,23 @@ fn calibration_grid() {
     for (name, kind) in &mcands {
         let m = MulModel::new(*kind, BitWidth::W8);
         let p = characterize_multiplier(&m, CharacterizeMode::Exhaustive);
-        println!("  {name:10} MRED {:8.4}%  MAE {:10.3}  ER {:6.4}", p.mred_pct, p.mae, p.error_rate);
+        println!(
+            "  {name:10} MRED {:8.4}%  MAE {:10.3}  ER {:6.4}",
+            p.mred_pct, p.mae, p.error_rate
+        );
     }
 
     println!("== 32-bit multipliers (targets: 0.00, 0.01, 1.45, 10.59, 41.25) ==");
     let mut wide: Vec<(String, MulKind)> = vec![
         ("mitchell".into(), MulKind::Mitchell),
-        ("po2floor".into(), MulKind::Po2(ax_operators::multipliers::Po2Mode::Floor)),
-        ("po2near".into(), MulKind::Po2(ax_operators::multipliers::Po2Mode::Nearest)),
+        (
+            "po2floor".into(),
+            MulKind::Po2(ax_operators::multipliers::Po2Mode::Floor),
+        ),
+        (
+            "po2near".into(),
+            MulKind::Po2(ax_operators::multipliers::Po2Mode::Nearest),
+        ),
     ];
     for k in [3u32, 4, 5, 6, 7, 8, 12, 13, 14, 16] {
         wide.push((format!("drum{k}"), MulKind::Drum { k }));
@@ -94,7 +118,10 @@ fn calibration_grid() {
     for (name, kind) in &wide {
         let m = MulModel::new(*kind, BitWidth::W32);
         let p = characterize_multiplier(&m, mc(500_000));
-        println!("  {name:10} MRED {:9.5}%  ER {:6.4}", p.mred_pct, p.error_rate);
+        println!(
+            "  {name:10} MRED {:9.5}%  ER {:6.4}",
+            p.mred_pct, p.error_rate
+        );
     }
 }
 

@@ -2,9 +2,7 @@
 
 use ax_operators::multipliers::Po2Mode;
 use ax_operators::signed::{add_wrapping_i64, mul_signed, sign_extend};
-use ax_operators::{
-    AdderKind, AdderModel, BitWidth, MulKind, MulModel, OperatorLibrary,
-};
+use ax_operators::{AdderKind, AdderModel, BitWidth, MulKind, MulModel, OperatorLibrary};
 use proptest::prelude::*;
 
 fn arb_width() -> impl Strategy<Value = BitWidth> {

@@ -1,0 +1,194 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides `Criterion`, `BenchmarkGroup`, `Bencher`, [`black_box`] and
+//! the `criterion_group!`/`criterion_main!` macros with plain
+//! wall-clock measurement (median of samples, no statistics engine, no
+//! HTML reports). Timings print as `name: median ns/iter (samples)` so
+//! `cargo bench` output stays grep-able for the perf-tracking scripts.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting work.
+pub use std::hint::black_box;
+
+/// Per-group/per-bench measurement settings.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            sample_size: 20,
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks sharing settings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark with the default settings.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_bench(&id.into(), self.settings, f);
+    }
+}
+
+/// A named set of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target total measurement time.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time before measurement.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark of this group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_bench(&format!("{}/{}", self.name, id.into()), self.settings, f);
+    }
+
+    /// Ends the group (reporting is per-bench; nothing left to do).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure to time its hot loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it `self.iters` times.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench(name: &str, settings: Settings, mut f: impl FnMut(&mut Bencher)) {
+    // Warm-up and calibration: grow the iteration count until one
+    // sample is long enough to time reliably.
+    let mut iters: u64 = 1;
+    let warm_up_end = Instant::now() + settings.warm_up_time;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_micros(200) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+        if Instant::now() >= warm_up_end {
+            break;
+        }
+    }
+
+    let per_sample = settings.measurement_time.max(Duration::from_millis(1))
+        / (settings.sample_size as u32).max(1);
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(settings.sample_size);
+    let deadline = Instant::now() + settings.measurement_time;
+    for _ in 0..settings.sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64);
+        // Keep total runtime bounded even for slow benches.
+        if Instant::now() >= deadline && samples_ns.len() >= 3 {
+            break;
+        }
+        let _ = per_sample; // target pacing is implicit in the deadline
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = samples_ns[samples_ns.len() / 2];
+    println!(
+        "bench: {name}: {median:.1} ns/iter (n={}, iters={iters})",
+        samples_ns.len()
+    );
+}
+
+/// Declares a function running the listed benchmarks in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(2))
+            .sample_size(3);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1))
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,332 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the parallel-iterator subset this workspace uses —
+//! `par_iter` / `into_par_iter`, `map`, `for_each`, `collect` into
+//! `Vec<T>` or `Result<Vec<T>, E>`, plus [`join`] — on top of
+//! `std::thread::scope` with an atomic work-queue cursor. Successful
+//! results keep input order, so swapping in crates.io `rayon` changes
+//! scheduling only, never successful results. One caveat: collecting
+//! into `Result` here surfaces the first error in *input* order, while
+//! real rayon short-circuits nondeterministically — don't rely on which
+//! error wins when several items fail.
+//!
+//! Threads are capped at `std::thread::available_parallelism()`; one
+//! item degenerates to an inline call with no thread spawn.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon-shim: join closure panicked"))
+    })
+}
+
+/// The maximum number of worker threads used for one parallel call.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A materialised parallel iterator: the items plus a pipeline stage.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A mapped parallel iterator.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    /// Fuses a further map into this stage (one parallel pass, matching
+    /// real rayon's lazy pipeline), instead of the trait default that
+    /// would materialise the intermediate results. Inherent methods win
+    /// over trait methods, so `.map(f).map(g)` takes this path.
+    pub fn map<R2: Send, G: Fn(R) -> R2 + Sync>(self, g: G) -> ParMap<T, impl Fn(T) -> R2 + Sync> {
+        let ParMap { items, f } = self;
+        ParMap {
+            items,
+            f: move |t| g(f(t)),
+        }
+    }
+}
+
+/// Types convertible into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = ParIter<&'a T>;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+macro_rules! range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            type Iter = ParIter<$t>;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+range_into_par_iter!(u32, u64, usize, i32, i64);
+
+/// Slice extension mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced (a reference).
+    type Item: Send;
+    /// Iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// A parallel iterator over references.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<&'a T>;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<&'a T>;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Order-preserving parallel execution of `f` over `items`.
+fn run_parallel<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
+    run_parallel_with_threads(items, f, current_num_threads())
+}
+
+fn run_parallel_with_threads<T: Send, R: Send, F: Fn(T) -> R + Sync>(
+    items: Vec<T>,
+    f: &F,
+    threads: usize,
+) -> Vec<R> {
+    let n = items.len();
+    let threads = threads.min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Hand items out through a cursor so fast threads steal remaining
+    // work; slots keep the input order for the collected output.
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            handles.push(s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("rayon-shim: poisoned work slot")
+                    .take()
+                    .expect("rayon-shim: work slot taken twice");
+                let r = f(item);
+                *out[i].lock().expect("rayon-shim: poisoned result slot") = Some(r);
+            }));
+        }
+        for h in handles {
+            h.join().expect("rayon-shim: worker panicked");
+        }
+    });
+    out.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("rayon-shim: poisoned result slot")
+                .expect("rayon-shim: missing result")
+        })
+        .collect()
+}
+
+/// Sinks for [`ParallelIterator::collect`].
+pub trait FromParallelIterator<T>: Sized {
+    /// Builds the collection from the ordered results.
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+/// The parallel-iterator pipeline interface.
+pub trait ParallelIterator: Sized {
+    /// Item type produced.
+    type Item: Send;
+
+    /// Runs the pipeline, returning results in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps each item through `f` (executed on the worker threads).
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> ParMap<Self::Item, F> {
+        ParMap {
+            items: self.into_items(),
+            f,
+        }
+    }
+
+    /// Extracts the materialised items without running closures.
+    fn into_items(self) -> Vec<Self::Item>;
+
+    /// Applies `f` to every item for its side effects.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        run_parallel(self.into_items(), &|t| f(t));
+    }
+
+    /// Collects the ordered results into `C`.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_ordered(self.run())
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+
+    fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParallelIterator for ParMap<T, F> {
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        run_parallel(self.items, &self.f)
+    }
+
+    fn into_items(self) -> Vec<R> {
+        self.run()
+    }
+}
+
+/// The customary glob import.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0u64..100).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0u64..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_to_err() {
+        let r: Result<Vec<u64>, String> = (0u64..10)
+            .into_par_iter()
+            .map(|x| {
+                if x == 7 {
+                    Err("seven".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(r, Err("seven".to_string()));
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let data = [1i64, 2, 3, 4];
+        let sum: Vec<i64> = data.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(sum, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let v: Vec<u32> = vec![5u32].into_par_iter().map(|x| x * x).collect();
+        assert_eq!(v, vec![25]);
+    }
+
+    #[test]
+    fn chained_maps_fuse_into_one_pass() {
+        let v: Vec<i64> = (0i64..50)
+            .into_par_iter()
+            .map(|x| x + 1)
+            .map(|x| x * 2)
+            .collect();
+        assert_eq!(v, (0i64..50).map(|x| (x + 1) * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn threaded_path_preserves_order_and_results() {
+        // Force multiple workers regardless of the host's core count so
+        // the cursor/slot machinery is exercised even on 1-CPU runners.
+        let items: Vec<u64> = (0..257).collect();
+        let out = super::run_parallel_with_threads(items, &|x| x * 3 + 1, 5);
+        assert_eq!(out, (0..257).map(|x| x * 3 + 1).collect::<Vec<_>>());
+    }
+}

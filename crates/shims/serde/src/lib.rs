@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides marker `Serialize`/`Deserialize` traits and re-exports the
+//! no-op derive macros, so the workspace's `#[derive(Serialize,
+//! Deserialize)]` annotations compile without crates.io access. Nothing
+//! in-tree serialises at runtime; artefact files (CSV, JSON) are
+//! written by hand in `ax-bench`.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serialisable types (no-op in the offline shim).
+pub trait Serialize {}
+
+/// Marker for deserialisable types (no-op in the offline shim).
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public data
+//! types to document intent, but nothing in-tree serialises at runtime
+//! (no `serde_json` and no wire format). These derive macros therefore
+//! expand to nothing, which keeps the annotations compiling without
+//! crates.io access. Swapping in the real `serde`/`serde_derive`
+//! requires no source changes.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

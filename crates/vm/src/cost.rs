@@ -91,8 +91,14 @@ impl CostMeter {
 mod tests {
     use super::*;
 
-    const ADD: OpCost = OpCost { power_mw: 0.033, time_ns: 0.63 };
-    const MUL: OpCost = OpCost { power_mw: 0.391, time_ns: 1.43 };
+    const ADD: OpCost = OpCost {
+        power_mw: 0.033,
+        time_ns: 0.63,
+    };
+    const MUL: OpCost = OpCost {
+        power_mw: 0.391,
+        time_ns: 1.43,
+    };
 
     #[test]
     fn meter_accumulates_counts_and_sums() {

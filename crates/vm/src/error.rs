@@ -104,12 +104,29 @@ mod tests {
     fn messages_are_lowercase_and_specific() {
         let cases: Vec<VmError> = vec![
             VmError::DuplicateVariable { name: "x".into() },
-            VmError::IndexOutOfBounds { var: "a".into(), index: 9, len: 4 },
-            VmError::UnknownVariable { name: "ghost".into() },
+            VmError::IndexOutOfBounds {
+                var: "a".into(),
+                index: 9,
+                len: 4,
+            },
+            VmError::UnknownVariable {
+                name: "ghost".into(),
+            },
             VmError::MissingInput { name: "in".into() },
-            VmError::InputLengthMismatch { name: "in".into(), expected: 4, got: 2 },
-            VmError::OperandOverflow { pc: 3, value: 300, width_bits: 8 },
-            VmError::UnsupportedWidth { what: "adder", width_bits: 32 },
+            VmError::InputLengthMismatch {
+                name: "in".into(),
+                expected: 4,
+                got: 2,
+            },
+            VmError::OperandOverflow {
+                pc: 3,
+                value: 300,
+                width_bits: 8,
+            },
+            VmError::UnsupportedWidth {
+                what: "adder",
+                width_bits: 32,
+            },
             VmError::NoOutputs,
             VmError::EmptyVariable { name: "z".into() },
         ];

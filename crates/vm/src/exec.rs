@@ -9,7 +9,7 @@
 
 use crate::cost::{ArithProfile, CostMeter, OpCost};
 use crate::error::VmError;
-use crate::instrument::{instruction_flags, VarMask};
+use crate::instrument::{instruction_flags_into, VarMask};
 use crate::ir::{Instr, Program, VarRole};
 use ax_operators::signed::mul_signed;
 use ax_operators::{AdderEntry, AdderId, BitWidth, MulEntry, MulId, OperatorLibrary};
@@ -86,13 +86,27 @@ impl<'lib> Binding<'lib> {
     }
 
     fn adder_cost(&self, approximate: bool) -> OpCost {
-        let spec = if approximate { &self.adder.spec } else { &self.precise_adder.spec };
-        OpCost { power_mw: spec.power_mw(), time_ns: spec.time_ns() }
+        let spec = if approximate {
+            &self.adder.spec
+        } else {
+            &self.precise_adder.spec
+        };
+        OpCost {
+            power_mw: spec.power_mw(),
+            time_ns: spec.time_ns(),
+        }
     }
 
     fn mul_cost(&self, approximate: bool) -> OpCost {
-        let spec = if approximate { &self.mul.spec } else { &self.precise_mul.spec };
-        OpCost { power_mw: spec.power_mw(), time_ns: spec.time_ns() }
+        let spec = if approximate {
+            &self.mul.spec
+        } else {
+            &self.precise_mul.spec
+        };
+        OpCost {
+            power_mw: spec.power_mw(),
+            time_ns: spec.time_ns(),
+        }
     }
 }
 
@@ -105,6 +119,27 @@ pub struct ExecOutcome {
     pub profile: ArithProfile,
 }
 
+/// Reusable execution buffers.
+///
+/// One [`Executor::run`] allocates the memory image and the instruction
+/// flags afresh; evaluating thousands of designs against the same program
+/// (a DSE sweep) pays that allocation per design. The batch hot path —
+/// [`Executor::initial_memory`] once, then [`run_from_image`] per design —
+/// clears and refills one scratch instead, so the buffers are allocated
+/// once per thread and amortised across the batch.
+#[derive(Debug, Clone, Default)]
+pub struct ExecScratch {
+    mem: Vec<i64>,
+    flags: Vec<bool>,
+}
+
+impl ExecScratch {
+    /// Empty buffers; they grow to the program's size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Prepares inputs for and runs a program.
 #[derive(Debug, Clone)]
 pub struct Executor<'p> {
@@ -115,7 +150,10 @@ pub struct Executor<'p> {
 impl<'p> Executor<'p> {
     /// An executor with no inputs bound yet.
     pub fn new(program: &'p Program) -> Self {
-        Self { program, inputs: vec![None; program.vars().len()] }
+        Self {
+            program,
+            inputs: vec![None; program.vars().len()],
+        }
     }
 
     /// Binds input data to the named input variable.
@@ -129,7 +167,9 @@ impl<'p> Executor<'p> {
         let id = self
             .program
             .var_by_name(name)
-            .ok_or_else(|| VmError::UnknownVariable { name: name.to_owned() })?;
+            .ok_or_else(|| VmError::UnknownVariable {
+                name: name.to_owned(),
+            })?;
         let decl = self.program.var(id);
         if decl.len() as usize != values.len() {
             return Err(VmError::InputLengthMismatch {
@@ -151,6 +191,20 @@ impl<'p> Executor<'p> {
     /// bound, or [`VmError::OperandOverflow`] if a multiplication operand's
     /// magnitude exceeds the multiplier width.
     pub fn run(&self, binding: &Binding<'_>, mask: &VarMask) -> Result<ExecOutcome, VmError> {
+        let image = self.initial_memory()?;
+        run_from_image(self.program, &image, binding, mask, &mut ExecScratch::new())
+    }
+
+    /// Resolves and validates the initial memory image once: inputs bound
+    /// at their offsets, everything else zeroed. Evaluation engines compute
+    /// this per benchmark and replay it through [`run_from_image`] for each
+    /// design, instead of re-binding (and re-cloning) inputs per run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::MissingInput`] if an input variable has no data
+    /// bound.
+    pub fn initial_memory(&self) -> Result<Vec<i64>, VmError> {
         let program = self.program;
         let mut mem = vec![0i64; program.total_cells() as usize];
         for (idx, decl) in program.vars().iter().enumerate() {
@@ -160,13 +214,48 @@ impl<'p> Executor<'p> {
                     mem[base..base + values.len()].copy_from_slice(values);
                 }
                 (None, VarRole::Input) => {
-                    return Err(VmError::MissingInput { name: decl.name().to_owned() });
+                    return Err(VmError::MissingInput {
+                        name: decl.name().to_owned(),
+                    });
                 }
                 _ => {}
             }
         }
+        Ok(mem)
+    }
+}
 
-        let flags = instruction_flags(program, mask);
+/// Executes `program` from a precomputed initial memory image (see
+/// [`Executor::initial_memory`]): one memcpy into the scratch buffers, then
+/// the interpreter loop — no input re-binding per design.
+///
+/// # Errors
+///
+/// Returns [`VmError::OperandOverflow`] if a multiplication operand's
+/// magnitude exceeds the multiplier width.
+///
+/// # Panics
+///
+/// Panics if `image` does not match the program's cell count.
+pub fn run_from_image(
+    program: &Program,
+    image: &[i64],
+    binding: &Binding<'_>,
+    mask: &VarMask,
+    scratch: &mut ExecScratch,
+) -> Result<ExecOutcome, VmError> {
+    assert_eq!(
+        image.len(),
+        program.total_cells() as usize,
+        "memory image size does not match the program"
+    );
+    {
+        let mem = &mut scratch.mem;
+        mem.clear();
+        mem.extend_from_slice(image);
+
+        instruction_flags_into(program, mask, &mut scratch.flags);
+        let flags = &scratch.flags;
         let mut meter = CostMeter::new();
         let add_width = program.add_width();
         let mul_width = program.mul_width();
@@ -181,7 +270,11 @@ impl<'p> Executor<'p> {
                 }
                 Instr::Add { dst, a, b } => {
                     let approx = flags[pc];
-                    let model = if approx { &binding.adder.model } else { &binding.precise_adder.model };
+                    let model = if approx {
+                        &binding.adder.model
+                    } else {
+                        &binding.precise_adder.model
+                    };
                     let x = mem[program.offset(a)];
                     let y = mem[program.offset(b)];
                     mem[program.offset(dst)] = sliced_add(model, x, y, add_width);
@@ -189,7 +282,11 @@ impl<'p> Executor<'p> {
                 }
                 Instr::Mul { dst, a, b, shift } => {
                     let approx = flags[pc];
-                    let model = if approx { &binding.mul.model } else { &binding.precise_mul.model };
+                    let model = if approx {
+                        &binding.mul.model
+                    } else {
+                        &binding.precise_mul.model
+                    };
                     let x = mem[program.offset(a)];
                     let y = mem[program.offset(b)];
                     for v in [x, y] {
@@ -214,7 +311,10 @@ impl<'p> Executor<'p> {
             let len = program.var(id).len() as usize;
             outputs.extend_from_slice(&mem[base..base + len]);
         }
-        Ok(ExecOutcome { outputs, profile: meter.finish() })
+        Ok(ExecOutcome {
+            outputs,
+            profile: meter.finish(),
+        })
     }
 }
 
@@ -360,7 +460,14 @@ mod tests {
     fn input_length_mismatch_is_reported() {
         let prog = dot3();
         let err = Executor::new(&prog).with_input("x", &[1, 2]).unwrap_err();
-        assert!(matches!(err, VmError::InputLengthMismatch { expected: 3, got: 2, .. }));
+        assert!(matches!(
+            err,
+            VmError::InputLengthMismatch {
+                expected: 3,
+                got: 2,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -382,7 +489,10 @@ mod tests {
             .unwrap()
             .run(&binding, &VarMask::none(&prog))
             .unwrap_err();
-        assert!(matches!(err, VmError::OperandOverflow { width_bits: 8, .. }));
+        assert!(matches!(
+            err,
+            VmError::OperandOverflow { width_bits: 8, .. }
+        ));
     }
 
     #[test]
@@ -422,7 +532,13 @@ mod tests {
         let prog = pb.build().unwrap();
         let lib = lib();
         let err = Binding::precise(&lib, &prog).unwrap_err();
-        assert_eq!(err, VmError::UnsupportedWidth { what: "adder", width_bits: 32 });
+        assert_eq!(
+            err,
+            VmError::UnsupportedWidth {
+                what: "adder",
+                width_bits: 32
+            }
+        );
     }
 
     #[test]

@@ -56,14 +56,25 @@ impl VarMask {
     /// be astronomically large anyway).
     pub fn none(program: &Program) -> Self {
         let vars = program.approximable_vars();
-        assert!(vars.len() <= 64, "at most 64 approximable variables supported");
-        Self { bits: 0, len: vars.len() as u32, vars }
+        assert!(
+            vars.len() <= 64,
+            "at most 64 approximable variables supported"
+        );
+        Self {
+            bits: 0,
+            len: vars.len() as u32,
+            vars,
+        }
     }
 
     /// A selection with every approximable variable chosen.
     pub fn all(program: &Program) -> Self {
         let mut m = Self::none(program);
-        m.bits = if m.len == 64 { u64::MAX } else { (1u64 << m.len) - 1 };
+        m.bits = if m.len == 64 {
+            u64::MAX
+        } else {
+            (1u64 << m.len) - 1
+        };
         m
     }
 
@@ -144,10 +155,29 @@ impl VarMask {
     /// Panics if `bits` has positions set at or above `len()`.
     pub fn with_bits(program: &Program, bits: u64) -> Self {
         let mut m = Self::none(program);
-        let valid = if m.len == 64 { u64::MAX } else { (1u64 << m.len) - 1 };
-        assert!(bits & !valid == 0, "bits {bits:#x} exceed mask length {}", m.len);
-        m.bits = bits;
+        m.set_raw_bits(bits);
         m
+    }
+
+    /// Replaces the whole selection in place — the batch-evaluation path
+    /// reuses one mask across many configurations instead of rebuilding
+    /// the variable table per design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` has positions set at or above `len()`.
+    pub fn set_raw_bits(&mut self, bits: u64) {
+        let valid = if self.len == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.len) - 1
+        };
+        assert!(
+            bits & !valid == 0,
+            "bits {bits:#x} exceed mask length {}",
+            self.len
+        );
+        self.bits = bits;
     }
 }
 
@@ -164,13 +194,24 @@ impl fmt::Display for VarMask {
 /// `pc` is `true` iff instruction `pc` is an addition or multiplication
 /// touching at least one selected variable.
 pub fn instruction_flags(program: &Program, mask: &VarMask) -> Vec<bool> {
+    let mut flags = Vec::new();
+    instruction_flags_into(program, mask, &mut flags);
+    flags
+}
+
+/// Buffer-reusing variant of [`instruction_flags`]: clears and refills
+/// `flags` instead of allocating a fresh vector, so batch evaluators can
+/// amortise the allocation across thousands of designs.
+pub fn instruction_flags_into(program: &Program, mask: &VarMask, flags: &mut Vec<bool>) {
     let selected = mask.selected_vars();
     let is_selected = |v: VarId| selected.contains(&v);
-    program
-        .instrs()
-        .iter()
-        .map(|i| i.is_arith() && i.touched_vars().into_iter().flatten().any(is_selected))
-        .collect()
+    flags.clear();
+    flags.extend(
+        program
+            .instrs()
+            .iter()
+            .map(|i| i.is_arith() && i.touched_vars().into_iter().flatten().any(is_selected)),
+    );
 }
 
 #[cfg(test)]
@@ -275,7 +316,10 @@ mod tests {
     fn copies_never_flagged() {
         let p = prog();
         let flags = instruction_flags(&p, &VarMask::all(&p));
-        assert!(!flags[2], "copy must stay precise even with all vars selected");
+        assert!(
+            !flags[2],
+            "copy must stay precise even with all vars selected"
+        );
     }
 
     #[test]

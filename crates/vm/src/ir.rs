@@ -258,7 +258,10 @@ impl Program {
 
     /// Instruction counts by kind.
     pub fn stats(&self) -> ProgramStats {
-        let mut s = ProgramStats { instructions: self.instrs.len(), ..Default::default() };
+        let mut s = ProgramStats {
+            instructions: self.instrs.len(),
+            ..Default::default()
+        };
         for i in &self.instrs {
             match i {
                 Instr::Add { .. } => s.adds += 1,
@@ -287,7 +290,12 @@ impl Program {
                 Instr::Add { dst, a, b } => {
                     format!("{} <- {} + {}", slot(dst), slot(a), slot(b))
                 }
-                Instr::Mul { dst, a, b, shift: 0 } => {
+                Instr::Mul {
+                    dst,
+                    a,
+                    b,
+                    shift: 0,
+                } => {
                     format!("{} <- {} * {}", slot(dst), slot(a), slot(b))
                 }
                 Instr::Mul { dst, a, b, shift } => {
@@ -353,13 +361,22 @@ impl ProgramBuilder {
     fn declare(&mut self, name: &str, len: u32, role: VarRole, approximable: bool) -> VarId {
         let id = VarId(self.vars.len() as u32);
         if self.names.contains_key(name) {
-            self.fail(VmError::DuplicateVariable { name: name.to_owned() });
+            self.fail(VmError::DuplicateVariable {
+                name: name.to_owned(),
+            });
         }
         if len == 0 {
-            self.fail(VmError::EmptyVariable { name: name.to_owned() });
+            self.fail(VmError::EmptyVariable {
+                name: name.to_owned(),
+            });
         }
         self.names.insert(name.to_owned(), id);
-        self.vars.push(VarDecl { name: name.to_owned(), len, role, approximable });
+        self.vars.push(VarDecl {
+            name: name.to_owned(),
+            len,
+            role,
+            approximable,
+        });
         id
     }
 
@@ -408,7 +425,9 @@ impl ProgramBuilder {
     fn push(&mut self, i: Instr) -> &mut Self {
         for slot in self.slots_of(i) {
             if slot.var.index() >= self.vars.len() {
-                self.fail(VmError::UnknownVariable { name: format!("{}", slot.var) });
+                self.fail(VmError::UnknownVariable {
+                    name: format!("{}", slot.var),
+                });
                 continue;
             }
             let decl = &self.vars[slot.var.index()];

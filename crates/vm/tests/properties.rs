@@ -25,20 +25,19 @@ struct ProgramSpec {
 fn arb_spec() -> impl Strategy<Value = ProgramSpec> {
     (1u32..5, 1u32..4, 1u32..5)
         .prop_flat_map(|(input_len, temp_len, output_len)| {
-            let ops = prop::collection::vec(
-                (0u8..4, 0u32..16, 0u32..16, 0u32..16),
-                1..24,
-            );
+            let ops = prop::collection::vec((0u8..4, 0u32..16, 0u32..16, 0u32..16), 1..24);
             let inputs = prop::collection::vec(0i64..16, input_len as usize);
             (Just((input_len, temp_len, output_len)), ops, inputs)
         })
-        .prop_map(|((input_len, temp_len, output_len), ops, inputs)| ProgramSpec {
-            input_len,
-            temp_len,
-            output_len,
-            ops,
-            inputs,
-        })
+        .prop_map(
+            |((input_len, temp_len, output_len), ops, inputs)| ProgramSpec {
+                input_len,
+                temp_len,
+                output_len,
+                ops,
+                inputs,
+            },
+        )
 }
 
 /// Builds the program plus a parallel "oracle recipe" of resolved slots.
@@ -110,7 +109,10 @@ fn oracle(program: &Program, inputs: &[i64]) -> Option<Vec<i64>> {
                     mem[program.offset_of_slot(a)] + mem[program.offset_of_slot(b)]
             }
             Instr::Mul { dst, a, b, shift } => {
-                let (va, vb) = (mem[program.offset_of_slot(a)], mem[program.offset_of_slot(b)]);
+                let (va, vb) = (
+                    mem[program.offset_of_slot(a)],
+                    mem[program.offset_of_slot(b)],
+                );
                 if va.unsigned_abs() > 255 || vb.unsigned_abs() > 255 {
                     return None;
                 }

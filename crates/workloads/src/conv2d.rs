@@ -76,7 +76,12 @@ impl Workload for Conv2d {
                 pb.konst(dst, 0);
                 for di in 0..3 {
                     for dj in 0..3 {
-                        pb.mul(prod.at(0), ker.at(di * 3 + dj), img.at((i + di) * n + (j + dj)), 0);
+                        pb.mul(
+                            prod.at(0),
+                            ker.at(di * 3 + dj),
+                            img.at((i + di) * n + (j + dj)),
+                            0,
+                        );
                         pb.add(dst, prod.at(0), dst);
                     }
                 }

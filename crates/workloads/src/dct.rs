@@ -35,7 +35,11 @@ impl Dct8 {
     pub fn q15_basis() -> Vec<i64> {
         let mut c = Vec::with_capacity(64);
         for u in 0..8 {
-            let scale = if u == 0 { (1.0f64 / 8.0).sqrt() } else { (2.0f64 / 8.0).sqrt() };
+            let scale = if u == 0 {
+                (1.0f64 / 8.0).sqrt()
+            } else {
+                (2.0f64 / 8.0).sqrt()
+            };
             for x in 0..8 {
                 c.push(scale * ((2 * x + 1) as f64 * u as f64 * PI / 16.0).cos());
             }
@@ -88,8 +92,13 @@ impl Workload for Dct8 {
 
     fn inputs(&self, seed: u64) -> Vec<(String, Vec<i64>)> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let samples = (0..self.blocks * 8).map(|_| rng.gen_range(-128..128)).collect();
-        vec![("s".to_owned(), samples), ("c".to_owned(), Self::q15_basis())]
+        let samples = (0..self.blocks * 8)
+            .map(|_| rng.gen_range(-128..128))
+            .collect();
+        vec![
+            ("s".to_owned(), samples),
+            ("c".to_owned(), Self::q15_basis()),
+        ]
     }
 }
 
@@ -128,7 +137,9 @@ mod tests {
         for u in 0..8 {
             for v in 0..8 {
                 let dot: f64 = (0..8)
-                    .map(|x| (basis[u * 8 + x] as f64 / 32768.0) * (basis[v * 8 + x] as f64 / 32768.0))
+                    .map(|x| {
+                        (basis[u * 8 + x] as f64 / 32768.0) * (basis[v * 8 + x] as f64 / 32768.0)
+                    })
                     .sum();
                 let expect = if u == v { 1.0 } else { 0.0 };
                 assert!((dot - expect).abs() < 1e-3, "u={u} v={v}: {dot}");

@@ -74,7 +74,10 @@ mod tests {
         let out = prepared.run_precise(&lib).unwrap();
         assert_eq!(
             out.outputs,
-            vec![DotProduct::reference(&prepared.inputs[0].1, &prepared.inputs[1].1)]
+            vec![DotProduct::reference(
+                &prepared.inputs[0].1,
+                &prepared.inputs[1].1
+            )]
         );
     }
 

@@ -63,8 +63,15 @@ impl Fir {
     pub fn with_design(samples: usize, taps: usize, cutoff: f64) -> Self {
         assert!(samples > 0, "sample count must be positive");
         assert!(taps >= 3, "need at least 3 taps");
-        assert!(cutoff > 0.0 && cutoff < 0.5, "cutoff {cutoff} outside (0, 0.5)");
-        Self { samples, taps, cutoff }
+        assert!(
+            cutoff > 0.0 && cutoff < 0.5,
+            "cutoff {cutoff} outside (0, 0.5)"
+        );
+        Self {
+            samples,
+            taps,
+            cutoff,
+        }
     }
 
     /// Number of output samples.
@@ -157,7 +164,10 @@ mod tests {
         let out = prepared.run_precise(&lib).unwrap();
         let x = &prepared.inputs[0].1[DEFAULT_TAPS - 1..];
         let roughness = |v: &[i64]| -> f64 {
-            v.windows(2).map(|w| (w[1] - w[0]).abs() as f64).sum::<f64>() / (v.len() - 1) as f64
+            v.windows(2)
+                .map(|w| (w[1] - w[0]).abs() as f64)
+                .sum::<f64>()
+                / (v.len() - 1) as f64
         };
         // Skip the filter warm-up region.
         let settled = &out.outputs[DEFAULT_TAPS..];
@@ -176,7 +186,10 @@ mod tests {
         let prepared = wl.prepare(1).unwrap();
         let lib = OperatorLibrary::evoapprox();
         let out = prepared.run_precise(&lib).unwrap();
-        assert!(out.outputs.iter().all(|&y| y.abs() < 3 * NOISE_AMPLITUDE / 2));
+        assert!(out
+            .outputs
+            .iter()
+            .all(|&y| y.abs() < 3 * NOISE_AMPLITUDE / 2));
     }
 
     #[test]
@@ -210,7 +223,9 @@ mod tests {
         let lib = OperatorLibrary::evoapprox();
         let precise = prepared.run_precise(&lib).unwrap();
         let binding = Binding::new(&lib, &prepared.program, AdderId(0), MulId(2)).unwrap();
-        let approx = prepared.run(&binding, &VarMask::all(&prepared.program)).unwrap();
+        let approx = prepared
+            .run(&binding, &VarMask::all(&prepared.program))
+            .unwrap();
         let mae: f64 = precise
             .outputs
             .iter()
@@ -220,7 +235,10 @@ mod tests {
             / precise.outputs.len() as f64;
         let mean_mag: f64 = precise.outputs.iter().map(|y| y.abs() as f64).sum::<f64>()
             / precise.outputs.len() as f64;
-        assert!(mae < 0.05 * mean_mag.max(1.0), "mae {mae} vs magnitude {mean_mag}");
+        assert!(
+            mae < 0.05 * mean_mag.max(1.0),
+            "mae {mae} vs magnitude {mean_mag}"
+        );
     }
 
     #[test]
@@ -230,7 +248,9 @@ mod tests {
         let lib = OperatorLibrary::evoapprox();
         let precise = prepared.run_precise(&lib).unwrap();
         let binding = Binding::new(&lib, &prepared.program, AdderId(5), MulId(5)).unwrap();
-        let approx = prepared.run(&binding, &VarMask::all(&prepared.program)).unwrap();
+        let approx = prepared
+            .run(&binding, &VarMask::all(&prepared.program))
+            .unwrap();
         assert_ne!(precise.outputs, approx.outputs);
         assert!(approx.profile.power_mw < precise.profile.power_mw);
         assert!(approx.profile.time_ns < precise.profile.time_ns);

@@ -61,7 +61,10 @@ mod tests {
         let benches = paper_benchmarks();
         assert_eq!(benches.len(), 4);
         let names: Vec<String> = benches.iter().map(|b| b.name()).collect();
-        assert_eq!(names, vec!["matmul-10x10", "matmul-50x50", "fir-100", "fir-200"]);
+        assert_eq!(
+            names,
+            vec!["matmul-10x10", "matmul-50x50", "fir-100", "fir-200"]
+        );
         for b in &benches {
             b.prepare(1).expect("paper benchmark must build");
         }

@@ -92,9 +92,9 @@ impl Workload for MatMul {
 mod tests {
     use super::*;
     use ax_operators::OperatorLibrary;
+    use ax_operators::{AdderId, MulId};
     use ax_vm::exec::Binding;
     use ax_vm::instrument::VarMask;
-    use ax_operators::{AdderId, MulId};
 
     #[test]
     fn precise_ir_matches_reference() {
@@ -144,7 +144,9 @@ mod tests {
         let lib = OperatorLibrary::evoapprox();
         let precise = prepared.run_precise(&lib).unwrap();
         let binding = Binding::new(&lib, &prepared.program, AdderId(5), MulId(5)).unwrap();
-        let approx = prepared.run(&binding, &VarMask::all(&prepared.program)).unwrap();
+        let approx = prepared
+            .run(&binding, &VarMask::all(&prepared.program))
+            .unwrap();
         assert_ne!(precise.outputs, approx.outputs);
         // Power strictly drops with the cheap operators.
         assert!(approx.profile.power_mw < precise.profile.power_mw);

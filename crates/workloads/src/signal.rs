@@ -14,9 +14,14 @@ use std::f64::consts::PI;
 ///
 /// Panics if `amplitude` is zero or exceeds `i16::MAX as i64`.
 pub fn white_noise_uniform(n: usize, amplitude: i64, seed: u64) -> Vec<i64> {
-    assert!(amplitude > 0 && amplitude <= i16::MAX as i64, "amplitude {amplitude} out of range");
+    assert!(
+        amplitude > 0 && amplitude <= i16::MAX as i64,
+        "amplitude {amplitude} out of range"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(-amplitude..=amplitude)).collect()
+    (0..n)
+        .map(|_| rng.gen_range(-amplitude..=amplitude))
+        .collect()
 }
 
 /// Gaussian white noise with the given standard deviation (Box–Muller),
@@ -61,7 +66,10 @@ fn sinc(x: f64) -> f64 {
 /// Panics if `n_taps < 3` or `cutoff` is outside `(0, 0.5)`.
 pub fn lowpass_taps(n_taps: usize, cutoff: f64) -> Vec<f64> {
     assert!(n_taps >= 3, "need at least 3 taps");
-    assert!(cutoff > 0.0 && cutoff < 0.5, "cutoff {cutoff} outside (0, 0.5)");
+    assert!(
+        cutoff > 0.0 && cutoff < 0.5,
+        "cutoff {cutoff} outside (0, 0.5)"
+    );
     let m = (n_taps - 1) as f64;
     let mut taps: Vec<f64> = (0..n_taps)
         .map(|k| {
@@ -80,7 +88,11 @@ pub fn lowpass_taps(n_taps: usize, cutoff: f64) -> Vec<f64> {
 /// Quantises real coefficients to Q15 fixed point (`round(x · 2^15)`).
 pub fn quantize_q15(taps: &[f64]) -> Vec<i64> {
     taps.iter()
-        .map(|&t| (t * 32768.0).round().clamp(i16::MIN as f64, i16::MAX as f64) as i64)
+        .map(|&t| {
+            (t * 32768.0)
+                .round()
+                .clamp(i16::MIN as f64, i16::MAX as f64) as i64
+        })
         .collect()
 }
 
@@ -117,7 +129,10 @@ mod tests {
         let sum: f64 = taps.iter().sum();
         assert!((sum - 1.0).abs() < 1e-12);
         for k in 0..taps.len() / 2 {
-            assert!((taps[k] - taps[taps.len() - 1 - k]).abs() < 1e-12, "tap {k}");
+            assert!(
+                (taps[k] - taps[taps.len() - 1 - k]).abs() < 1e-12,
+                "tap {k}"
+            );
         }
         // Centre tap dominates.
         let centre = taps[taps.len() / 2];

@@ -143,6 +143,9 @@ mod tests {
         let prepared = wl.prepare(99).unwrap();
         let lib = OperatorLibrary::evoapprox();
         let out = prepared.run_precise(&lib).unwrap();
-        assert!(out.outputs.iter().any(|&v| v < 0), "expected negative gradients");
+        assert!(
+            out.outputs.iter().any(|&v| v < 0),
+            "expected negative gradients"
+        );
     }
 }

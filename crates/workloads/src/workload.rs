@@ -1,10 +1,10 @@
 //! The workload contract shared by all benchmarks.
 
-use ax_vm::exec::{Binding, ExecOutcome, Executor};
+use ax_operators::{AdderId, MulId, OperatorLibrary};
+use ax_vm::exec::{run_from_image, Binding, ExecOutcome, ExecScratch, Executor};
 use ax_vm::instrument::VarMask;
 use ax_vm::ir::Program;
 use ax_vm::VmError;
-use ax_operators::OperatorLibrary;
 
 /// A benchmark kernel: a program plus a seeded input generator.
 ///
@@ -68,7 +68,8 @@ impl PreparedWorkload {
     /// Propagates binding and execution errors.
     pub fn run_precise(&self, lib: &OperatorLibrary) -> Result<ExecOutcome, VmError> {
         let binding = Binding::precise(lib, &self.program)?;
-        self.executor()?.run(&binding, &VarMask::none(&self.program))
+        self.executor()?
+            .run(&binding, &VarMask::none(&self.program))
     }
 
     /// Runs the workload under an arbitrary binding and variable selection.
@@ -78,6 +79,40 @@ impl PreparedWorkload {
     /// Propagates execution errors.
     pub fn run(&self, binding: &Binding<'_>, mask: &VarMask) -> Result<ExecOutcome, VmError> {
         self.executor()?.run(binding, mask)
+    }
+
+    /// Evaluates a batch of configurations `(adder, multiplier, variable
+    /// bits)` against this prepared workload, binding the inputs once and
+    /// reusing one set of execution buffers across the whole slice instead
+    /// of reallocating per design — the sweep/portfolio hot path.
+    ///
+    /// Results keep the order of `configs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates binding and execution errors; evaluation stops at the
+    /// first failing configuration.
+    pub fn run_batch(
+        &self,
+        lib: &OperatorLibrary,
+        configs: &[(AdderId, MulId, u64)],
+    ) -> Result<Vec<ExecOutcome>, VmError> {
+        let image = self.executor()?.initial_memory()?;
+        let mut scratch = ExecScratch::new();
+        let mut mask = VarMask::none(&self.program);
+        let mut outcomes = Vec::with_capacity(configs.len());
+        for &(adder, mul, bits) in configs {
+            let binding = Binding::new(lib, &self.program, adder, mul)?;
+            mask.set_raw_bits(bits);
+            outcomes.push(run_from_image(
+                &self.program,
+                &image,
+                &binding,
+                &mask,
+                &mut scratch,
+            )?);
+        }
+        Ok(outcomes)
     }
 }
 
@@ -100,5 +135,24 @@ mod tests {
         let wl = MatMul::new(3);
         assert_ne!(wl.inputs(1), wl.inputs(2));
         assert_eq!(wl.inputs(5), wl.inputs(5));
+    }
+
+    #[test]
+    fn run_batch_matches_individual_runs() {
+        let prepared = MatMul::new(3).prepare(9).unwrap();
+        let lib = OperatorLibrary::evoapprox();
+        let configs = [
+            (AdderId(0), MulId(0), 0u64),
+            (AdderId(3), MulId(3), 0b101),
+            (AdderId(5), MulId(5), 0b1111),
+            (AdderId(3), MulId(3), 0b101), // repeat: scratch reuse is clean
+        ];
+        let batch = prepared.run_batch(&lib, &configs).unwrap();
+        assert_eq!(batch.len(), configs.len());
+        for (&(a, m, bits), out) in configs.iter().zip(&batch) {
+            let binding = Binding::new(&lib, &prepared.program, a, m).unwrap();
+            let mask = VarMask::with_bits(&prepared.program, bits);
+            assert_eq!(*out, prepared.run(&binding, &mask).unwrap());
+        }
     }
 }

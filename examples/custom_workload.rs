@@ -86,15 +86,27 @@ fn main() {
         .build();
 
     let workload = Horner { n: 32 };
-    let opts = ExploreOptions { max_steps: 2_000, ..Default::default() };
+    let opts = ExploreOptions {
+        max_steps: 2_000,
+        ..Default::default()
+    };
     let outcome = explore_qlearning(&workload, &lib, &opts).expect("exploration runs");
 
     let s = &outcome.summary;
     println!("custom workload    : {}", s.benchmark);
-    println!("custom library     : {} adders x {} multipliers",
-        lib.adders(BitWidth::W8).len(), lib.multipliers(BitWidth::W8).len());
-    println!("steps / stop       : {} / {:?}", s.steps, outcome.stop_reason);
-    println!("solution           : adder {}, multiplier {}", s.adder_name, s.mul_name);
+    println!(
+        "custom library     : {} adders x {} multipliers",
+        lib.adders(BitWidth::W8).len(),
+        lib.multipliers(BitWidth::W8).len()
+    );
+    println!(
+        "steps / stop       : {} / {:?}",
+        s.steps, outcome.stop_reason
+    );
+    println!(
+        "solution           : adder {}, multiplier {}",
+        s.adder_name, s.mul_name
+    );
     println!(
         "solution deltas    : power {:.2} mW, time {:.2} ns, accuracy {:.2} (budget {:.2})",
         s.power.solution, s.time.solution, s.accuracy.solution, outcome.thresholds.acc_th

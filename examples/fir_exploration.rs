@@ -38,8 +38,14 @@ fn main() {
     let opts = ExploreOptions::default();
     let outcome = explore_qlearning(&workload, &lib, &opts).expect("exploration runs");
     let s = &outcome.summary;
-    println!("\nexploration stopped after {} steps ({:?})", s.steps, outcome.stop_reason);
-    println!("solution: adder {}, multiplier {}", s.adder_name, s.mul_name);
+    println!(
+        "\nexploration stopped after {} steps ({:?})",
+        s.steps, outcome.stop_reason
+    );
+    println!(
+        "solution: adder {}, multiplier {}",
+        s.adder_name, s.mul_name
+    );
     println!(
         "solution deltas: power {:.1} mW, time {:.1} ns, accuracy {:.2} (threshold {:.2})",
         s.power.solution, s.time.solution, s.accuracy.solution, outcome.thresholds.acc_th
@@ -49,7 +55,9 @@ fn main() {
     let last = outcome.trace.last().expect("non-empty trace");
     let mut evaluator = Evaluator::new(&workload, &lib, opts.input_seed).expect("evaluator");
     let _ = evaluator.evaluate(&last.config).expect("evaluate solution");
-    let precise_m = evaluator.evaluate(&AxConfig::precise()).expect("evaluate precise");
+    let precise_m = evaluator
+        .evaluate(&AxConfig::precise())
+        .expect("evaluate precise");
     println!(
         "\nprecise run:  power {:.1} mW, time {:.1} ns (reference)",
         precise_m.power, precise_m.time_ns
@@ -61,7 +69,11 @@ fn main() {
     println!(
         "\nFigure 3 shape check: the paper reports the FIR agent learning poorly;\n\
          this exploration {} the 10 000-step cap (stop reason {:?}).",
-        if s.steps == opts.max_steps { "exhausted" } else { "stopped before" },
+        if s.steps == opts.max_steps {
+            "exhausted"
+        } else {
+            "stopped before"
+        },
         outcome.stop_reason
     );
 }

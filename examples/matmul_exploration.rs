@@ -16,8 +16,7 @@ use ax_workloads::matmul::MatMul;
 fn main() {
     let lib = OperatorLibrary::evoapprox();
     let opts = ExploreOptions::default(); // the paper's 10 000-step setup
-    let outcome =
-        explore_qlearning(&MatMul::new(10), &lib, &opts).expect("exploration runs");
+    let outcome = explore_qlearning(&MatMul::new(10), &lib, &opts).expect("exploration runs");
 
     // Table III column.
     let s = &outcome.summary;
@@ -40,13 +39,19 @@ fn main() {
     // Figure 2: trend lines over the exploration.
     let series = outcome.figure_series();
     let [power_t, time_t, acc_t] = series.trends();
-    println!("trend slopes per step (Figure 2): power {:+.4}, time {:+.4}, accuracy {:+.4}",
-        power_t.0, time_t.0, acc_t.0);
+    println!(
+        "trend slopes per step (Figure 2): power {:+.4}, time {:+.4}, accuracy {:+.4}",
+        power_t.0, time_t.0, acc_t.0
+    );
 
     // Figure 4: average reward per 100 steps.
     let bins = reward_curve(&outcome.trace, 100);
     let (slope, _) = linear_trend(&bins);
-    println!("reward bins (Figure 4): {:?}",
-        bins.iter().map(|b| (b * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "reward bins (Figure 4): {:?}",
+        bins.iter()
+            .map(|b| (b * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
     println!("reward trend slope per bin: {slope:+.3} (positive = the agent learns)");
 }

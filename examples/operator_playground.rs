@@ -12,8 +12,8 @@
 use ax_dse::report::ascii_table;
 use ax_operators::multipliers::Po2Mode;
 use ax_operators::{
-    characterize_adder, characterize_multiplier, AdderKind, AdderModel, BitWidth,
-    CharacterizeMode, MulKind, MulModel,
+    characterize_adder, characterize_multiplier, AdderKind, AdderModel, BitWidth, CharacterizeMode,
+    MulKind, MulModel,
 };
 
 fn main() {
@@ -24,7 +24,13 @@ fn main() {
             (format!("loa({k})"), AdderKind::Loa { approx_bits: k }),
             (format!("trunc({k})"), AdderKind::Trunc { cut_bits: k }),
             (format!("set1({k})"), AdderKind::SetOne { cut_bits: k }),
-            (format!("carrycut({k},2)"), AdderKind::CarryCut { cut: k, window: 2.min(k) }),
+            (
+                format!("carrycut({k},2)"),
+                AdderKind::CarryCut {
+                    cut: k,
+                    window: 2.min(k),
+                },
+            ),
         ] {
             let model = AdderModel::new(kind, BitWidth::W8);
             let p = characterize_adder(&model, CharacterizeMode::Exhaustive);
@@ -67,7 +73,10 @@ fn main() {
         ]);
     }
     println!("8-bit multiplier families (exhaustive):");
-    println!("{}", ascii_table(&["family", "MRED %", "MAE", "error rate"], &rows));
+    println!(
+        "{}",
+        ascii_table(&["family", "MRED %", "MAE", "error rate"], &rows)
+    );
 
     // Scale invariance: DRUM's relative error is magnitude-independent,
     // which is why the library uses it for the small-MRED 32-bit entries.
@@ -75,7 +84,13 @@ fn main() {
     let model = MulModel::new(MulKind::Drum { k: 6 }, BitWidth::W32);
     let p = characterize_multiplier(
         &model,
-        CharacterizeMode::MonteCarlo { samples: 500_000, seed: 7 },
+        CharacterizeMode::MonteCarlo {
+            samples: 500_000,
+            seed: 7,
+        },
     );
-    println!("  MRED {:.4}% over {} samples (8-bit value above: same ~1.3-1.5%)", p.mred_pct, p.samples);
+    println!(
+        "  MRED {:.4}% over {} samples (8-bit value above: same ~1.3-1.5%)",
+        p.mred_pct, p.samples
+    );
 }

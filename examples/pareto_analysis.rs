@@ -28,10 +28,16 @@ fn main() {
     let budget = 1_500u64;
 
     // --- Q-learning ---
-    let opts = ExploreOptions { max_steps: budget, ..Default::default() };
+    let opts = ExploreOptions {
+        max_steps: budget,
+        ..Default::default()
+    };
     let outcome = explore_qlearning(&workload, &lib, &opts).expect("exploration runs");
     let acc_th = outcome.thresholds.acc_th;
-    let (pp, pt) = (outcome.evaluator.precise_power(), outcome.evaluator.precise_time());
+    let (pp, pt) = (
+        outcome.evaluator.precise_power(),
+        outcome.evaluator.precise_time(),
+    );
 
     // Pareto front over everything Q-learning evaluated.
     let evaluated = outcome.evaluator.evaluated();
@@ -53,7 +59,11 @@ fn main() {
             ]
         })
         .collect();
-    front_rows.sort_by(|a, b| b[1].parse::<f64>().unwrap().total_cmp(&a[1].parse().unwrap()));
+    front_rows.sort_by(|a, b| {
+        b[1].parse::<f64>()
+            .unwrap()
+            .total_cmp(&a[1].parse().unwrap())
+    });
     front_rows.truncate(10);
     println!(
         "{}",
@@ -81,14 +91,25 @@ fn main() {
     ]];
     type Runner<'a> = (&'a str, Box<dyn Fn(&mut DseSearchSpace<'_>) -> u64>);
     let runners: Vec<Runner<'_>> = vec![
-        ("random", Box::new(move |sp| random_search(sp, budget, 1).evaluations)),
-        ("hill-climb", Box::new(move |sp| hill_climb(sp, budget, 32, 1).evaluations)),
+        (
+            "random",
+            Box::new(move |sp| random_search(sp, budget, 1).evaluations),
+        ),
+        (
+            "hill-climb",
+            Box::new(move |sp| hill_climb(sp, budget, 32, 1).evaluations),
+        ),
         (
             "sim-anneal",
             Box::new(move |sp| {
                 simulated_annealing(
                     sp,
-                    AnnealingOptions { budget, t_initial: 0.5, t_final: 0.01, seed: 1 },
+                    AnnealingOptions {
+                        budget,
+                        t_initial: 0.5,
+                        t_final: 0.01,
+                        seed: 1,
+                    },
                 )
                 .evaluations
             }),
@@ -98,7 +119,12 @@ fn main() {
             Box::new(move |sp| {
                 genetic_algorithm(
                     sp,
-                    GeneticOptions { population: 20, generations: 80, seed: 1, ..Default::default() },
+                    GeneticOptions {
+                        population: 20,
+                        generations: 80,
+                        seed: 1,
+                        ..Default::default()
+                    },
                 )
                 .evaluations
             }),
@@ -111,7 +137,11 @@ fn main() {
             let mut space = DseSearchSpace::new(&mut ev, th);
             run(&mut space)
         };
-        rows.push(vec![name.to_string(), format!("{:.4}", hypervolume(&ev)), evals.to_string()]);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.4}", hypervolume(&ev)),
+            evals.to_string(),
+        ]);
     }
     println!(
         "{}",

@@ -23,16 +23,27 @@ fn main() {
 
     // 3. Run the RL exploration with the paper's defaults (10 000-step cap,
     //    50 % power/time gain thresholds, 0.4x accuracy budget).
-    let opts = ExploreOptions { max_steps: 2_000, ..Default::default() };
+    let opts = ExploreOptions {
+        max_steps: 2_000,
+        ..Default::default()
+    };
     let outcome = explore_qlearning(&workload, &lib, &opts).expect("exploration runs");
 
     let s = &outcome.summary;
     println!("benchmark         : {}", s.benchmark);
-    println!("steps taken       : {} ({:?})", s.steps, outcome.stop_reason);
+    println!(
+        "steps taken       : {} ({:?})",
+        s.steps, outcome.stop_reason
+    );
     println!("distinct configs  : {}", outcome.distinct_configs);
-    println!("thresholds        : acc <= {:.2}, d-power >= {:.2} mW, d-time >= {:.2} ns",
-        outcome.thresholds.acc_th, outcome.thresholds.power_th, outcome.thresholds.time_th);
-    println!("solution operators: adder {}, multiplier {}", s.adder_name, s.mul_name);
+    println!(
+        "thresholds        : acc <= {:.2}, d-power >= {:.2} mW, d-time >= {:.2} ns",
+        outcome.thresholds.acc_th, outcome.thresholds.power_th, outcome.thresholds.time_th
+    );
+    println!(
+        "solution operators: adder {}, multiplier {}",
+        s.adder_name, s.mul_name
+    );
     println!(
         "solution          : d-power {:.2} mW, d-time {:.2} ns, accuracy loss {:.2}",
         s.power.solution, s.time.solution, s.accuracy.solution

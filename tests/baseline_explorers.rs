@@ -12,7 +12,10 @@ use axdse_suite::ax_operators::OperatorLibrary;
 use axdse_suite::ax_workloads::matmul::MatMul;
 
 /// Exhaustive optimum of the scalarised objective on a small space.
-fn exhaustive_best(evaluator: &mut Evaluator, th: axdse_suite::ax_dse::thresholds::Thresholds) -> f64 {
+fn exhaustive_best(
+    evaluator: &mut Evaluator,
+    th: axdse_suite::ax_dse::thresholds::Thresholds,
+) -> f64 {
     let dims = evaluator.dims();
     let mut best = f64::NEG_INFINITY;
     let scores: Vec<f64> = AxConfig::enumerate(dims)
@@ -59,14 +62,24 @@ fn all_baselines_approach_the_exhaustive_optimum() {
     run("sim-anneal", &|sp| {
         simulated_annealing(
             sp,
-            AnnealingOptions { budget: 400, t_initial: 0.5, t_final: 0.01, seed: 3 },
+            AnnealingOptions {
+                budget: 400,
+                t_initial: 0.5,
+                t_final: 0.01,
+                seed: 3,
+            },
         )
         .best_score
     });
     run("genetic", &|sp| {
         genetic_algorithm(
             sp,
-            GeneticOptions { population: 20, generations: 20, seed: 3, ..Default::default() },
+            GeneticOptions {
+                population: 20,
+                generations: 20,
+                seed: 3,
+                ..Default::default()
+            },
         )
         .best_score
     });
@@ -96,7 +109,12 @@ fn search_history_is_anytime_monotone() {
     let mut space = DseSearchSpace::new(&mut ev, th);
     let out = simulated_annealing(
         &mut space,
-        AnnealingOptions { budget: 200, t_initial: 1.0, t_final: 0.05, seed: 2 },
+        AnnealingOptions {
+            budget: 200,
+            t_initial: 1.0,
+            t_final: 0.05,
+            seed: 2,
+        },
     );
     for w in out.history.windows(2) {
         assert!(w[1] >= w[0]);

@@ -4,13 +4,17 @@
 //! seeds must give bit-identical results at every layer, or the paper's
 //! experiments would not be reproducible run to run.
 
-use axdse_suite::ax_dse::explore::{explore_qlearning, ExploreOptions};
+use axdse_suite::ax_dse::evaluator::{EvalContext, SharedCache};
+use axdse_suite::ax_dse::explore::AgentKind;
+use axdse_suite::ax_dse::explore::{explore_in_context, explore_qlearning, ExploreOptions};
+use axdse_suite::ax_dse::sweep::{sweep_seeds, sweep_seeds_parallel};
 use axdse_suite::ax_operators::{
     characterize_multiplier, BitWidth, CharacterizeMode, MulKind, MulModel, OperatorLibrary,
 };
 use axdse_suite::ax_workloads::fir::Fir;
 use axdse_suite::ax_workloads::matmul::MatMul;
 use axdse_suite::ax_workloads::Workload;
+use std::sync::Arc;
 
 #[test]
 fn workload_inputs_are_seed_deterministic() {
@@ -25,14 +29,23 @@ fn workload_inputs_are_seed_deterministic() {
 #[test]
 fn monte_carlo_characterisation_is_deterministic() {
     let m = MulModel::new(MulKind::Drum { k: 6 }, BitWidth::W32);
-    let mode = CharacterizeMode::MonteCarlo { samples: 200_000, seed: 5 };
-    assert_eq!(characterize_multiplier(&m, mode), characterize_multiplier(&m, mode));
+    let mode = CharacterizeMode::MonteCarlo {
+        samples: 200_000,
+        seed: 5,
+    };
+    assert_eq!(
+        characterize_multiplier(&m, mode),
+        characterize_multiplier(&m, mode)
+    );
 }
 
 #[test]
 fn full_exploration_is_deterministic() {
     let lib = OperatorLibrary::evoapprox();
-    let opts = ExploreOptions { max_steps: 400, ..Default::default() };
+    let opts = ExploreOptions {
+        max_steps: 400,
+        ..Default::default()
+    };
     let a = explore_qlearning(&MatMul::new(4), &lib, &opts).unwrap();
     let b = explore_qlearning(&MatMul::new(4), &lib, &opts).unwrap();
     assert_eq!(a.trace, b.trace);
@@ -44,10 +57,17 @@ fn full_exploration_is_deterministic() {
 #[test]
 fn agent_seed_changes_trajectory_but_not_environment_truth() {
     let lib = OperatorLibrary::evoapprox();
-    let mk = |seed| ExploreOptions { max_steps: 400, seed, ..Default::default() };
+    let mk = |seed| ExploreOptions {
+        max_steps: 400,
+        seed,
+        ..Default::default()
+    };
     let a = explore_qlearning(&MatMul::new(4), &lib, &mk(1)).unwrap();
     let b = explore_qlearning(&MatMul::new(4), &lib, &mk(2)).unwrap();
-    assert_ne!(a.trace, b.trace, "different agent seeds must explore differently");
+    assert_ne!(
+        a.trace, b.trace,
+        "different agent seeds must explore differently"
+    );
     // The environment's ground truth is shared: any configuration evaluated
     // by both runs has identical metrics.
     let bm: std::collections::HashMap<_, _> = b.evaluator.evaluated().into_iter().collect();
@@ -59,9 +79,62 @@ fn agent_seed_changes_trajectory_but_not_environment_truth() {
 }
 
 #[test]
+fn rayon_sweep_is_byte_identical_to_sequential() {
+    // The parallel engine's contract: fanning seeds out over the shared
+    // cache changes cost, never results. Eight seeds, both paths, one
+    // summary — compared field by field through `PartialEq`.
+    let lib = OperatorLibrary::evoapprox();
+    let opts = ExploreOptions {
+        max_steps: 200,
+        ..Default::default()
+    };
+    let wl = MatMul::new(4);
+    let seq = sweep_seeds(&wl, &lib, &opts, AgentKind::QLearning, 8).unwrap();
+    let par = sweep_seeds_parallel(&wl, &lib, &opts, AgentKind::QLearning, 8).unwrap();
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn shared_cache_does_not_change_exploration_results() {
+    // A cache-sharing exploration must trace exactly like a stand-alone
+    // one — the cache only short-circuits re-execution of deterministic
+    // evaluations.
+    let lib = OperatorLibrary::evoapprox();
+    let opts = ExploreOptions {
+        max_steps: 300,
+        ..Default::default()
+    };
+    let solo = explore_qlearning(&MatMul::new(4), &lib, &opts).unwrap();
+
+    let cache = SharedCache::new();
+    let ctx = EvalContext::with_cache(
+        &MatMul::new(4),
+        Arc::new(lib.clone()),
+        opts.input_seed,
+        Arc::clone(&cache),
+    )
+    .unwrap();
+    // Warm the cache with a different-seed run, then replay the original.
+    let warm_opts = ExploreOptions { seed: 99, ..opts };
+    explore_in_context(&ctx, &warm_opts, AgentKind::QLearning).unwrap();
+    let cached = explore_in_context(&ctx, &opts, AgentKind::QLearning).unwrap();
+
+    assert_eq!(solo.trace, cached.trace);
+    assert_eq!(solo.summary, cached.summary);
+    assert!(
+        cached.evaluator.shared_cache_hits() > 0,
+        "the replay must actually reuse designs from the warm cache"
+    );
+}
+
+#[test]
 fn input_seed_changes_reference_outputs() {
     let lib = OperatorLibrary::evoapprox();
-    let mk = |input_seed| ExploreOptions { max_steps: 50, input_seed, ..Default::default() };
+    let mk = |input_seed| ExploreOptions {
+        max_steps: 50,
+        input_seed,
+        ..Default::default()
+    };
     let a = explore_qlearning(&MatMul::new(4), &lib, &mk(1)).unwrap();
     let b = explore_qlearning(&MatMul::new(4), &lib, &mk(2)).unwrap();
     // Different matrices -> different precise power is identical (op count

@@ -26,8 +26,16 @@ fn matmul10_full_config_matches_paper_maxima() {
         vars: (1 << dims.n_vars) - 1,
     };
     let m = ev.evaluate(&full).unwrap();
-    assert!((m.delta_power - 418.4).abs() < 1e-6, "d-power {}", m.delta_power);
-    assert!((m.delta_time - 1840.0).abs() < 1e-6, "d-time {}", m.delta_time);
+    assert!(
+        (m.delta_power - 418.4).abs() < 1e-6,
+        "d-power {}",
+        m.delta_power
+    );
+    assert!(
+        (m.delta_time - 1840.0).abs() < 1e-6,
+        "d-time {}",
+        m.delta_time
+    );
 }
 
 /// The paper's solution configuration for MatMul 10×10 (adder 00M,
@@ -41,10 +49,22 @@ fn matmul10_paper_solution_config_is_feasible() {
     let (adder, _) = l.adder_by_name(BitWidth::W8, "00M").unwrap();
     let (mul, _) = l.multiplier_by_name(BitWidth::W8, "17MJ").unwrap();
     let dims = ev.dims();
-    let config = AxConfig { adder, mul, vars: (1 << dims.n_vars) - 1 };
+    let config = AxConfig {
+        adder,
+        mul,
+        vars: (1 << dims.n_vars) - 1,
+    };
     let m = ev.evaluate(&config).unwrap();
-    assert!((m.delta_power - 415.3).abs() < 1e-6, "d-power {}", m.delta_power);
-    assert!((m.delta_time - 1780.0).abs() < 1e-6, "d-time {}", m.delta_time);
+    assert!(
+        (m.delta_power - 415.3).abs() < 1e-6,
+        "d-power {}",
+        m.delta_power
+    );
+    assert!(
+        (m.delta_time - 1780.0).abs() < 1e-6,
+        "d-time {}",
+        m.delta_time
+    );
     let acc_th = 0.4 * ev.mean_abs_output();
     assert!(
         m.delta_acc <= acc_th,
@@ -77,7 +97,10 @@ fn fir_costs_scale_linearly_with_samples() {
 #[test]
 fn paper_benchmark_explorations_are_consistent() {
     let l = lib();
-    let opts = ExploreOptions { max_steps: 300, ..Default::default() };
+    let opts = ExploreOptions {
+        max_steps: 300,
+        ..Default::default()
+    };
     for wl in axdse_suite::ax_workloads::paper_benchmarks() {
         // Keep the 50×50 matmul out of slow debug runs.
         if wl.name().contains("50") {
@@ -86,8 +109,16 @@ fn paper_benchmark_explorations_are_consistent() {
         let o = explore_qlearning(wl.as_ref(), &l, &opts).unwrap();
         let s = &o.summary;
         for (label, m) in [("power", s.power), ("time", s.time), ("acc", s.accuracy)] {
-            assert!(m.min <= m.solution + 1e-9, "{}: {label} min > solution", s.benchmark);
-            assert!(m.solution <= m.max + 1e-9, "{}: {label} solution > max", s.benchmark);
+            assert!(
+                m.min <= m.solution + 1e-9,
+                "{}: {label} min > solution",
+                s.benchmark
+            );
+            assert!(
+                m.solution <= m.max + 1e-9,
+                "{}: {label} solution > max",
+                s.benchmark
+            );
         }
         assert_eq!(o.trace.len(), o.log.len(), "{}", s.benchmark);
         assert!(o.distinct_configs > 0 && o.distinct_configs <= o.trace.len() as u64);
@@ -123,7 +154,11 @@ fn multiplier_ladder_is_monotone_in_power_on_matmul() {
     let dims = ev.dims();
     let mut prev_power = -1.0;
     for mul_idx in 0..dims.n_mul {
-        let c = AxConfig { adder: AdderId(0), mul: MulId(mul_idx), vars: (1 << dims.n_vars) - 1 };
+        let c = AxConfig {
+            adder: AdderId(0),
+            mul: MulId(mul_idx),
+            vars: (1 << dims.n_vars) - 1,
+        };
         let m = ev.evaluate(&c).unwrap();
         assert!(
             m.delta_power >= prev_power - 1e-9,

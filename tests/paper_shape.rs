@@ -50,7 +50,10 @@ fn matmul_landscape_supports_learning() {
     let (plus, _minus, violate, terminal) = landscape(&MatMul::new(10));
     assert!(plus >= 30, "too few +1 configurations: {plus}");
     assert!(violate > 0, "accuracy violations must exist");
-    assert_eq!(terminal, 0, "fully-approximate matmul must violate accuracy");
+    assert_eq!(
+        terminal, 0,
+        "fully-approximate matmul must violate accuracy"
+    );
 }
 
 /// FIR's +1 region is much thinner relative to its violation region — the
@@ -75,13 +78,20 @@ fn fir_landscape_is_harder_than_matmul() {
 #[test]
 fn matmul10_exploration_matches_paper_shape() {
     let o = explore_qlearning(&MatMul::new(10), &lib(), &ExploreOptions::default()).unwrap();
-    assert_eq!(o.stop_reason, StopReason::RewardTarget, "expected early stop");
+    assert_eq!(
+        o.stop_reason,
+        StopReason::RewardTarget,
+        "expected early stop"
+    );
     assert!(
         o.summary.steps > 200 && o.summary.steps < 9_000,
         "stop step {} outside the paper-like band",
         o.summary.steps
     );
-    assert_eq!(o.summary.mul_name, "17MJ", "paper's matmul solutions use 17MJ");
+    assert_eq!(
+        o.summary.mul_name, "17MJ",
+        "paper's matmul solutions use 17MJ"
+    );
     // Solution respects all constraints (the paper's headline claim).
     let th = o.thresholds;
     let last = o.trace.last().unwrap().metrics;
@@ -112,7 +122,10 @@ fn matmul10_reward_curve_improves() {
 /// paper's "learning strategy is not entirely effective" observation.
 #[test]
 fn fir100_struggles_within_short_budget() {
-    let opts = ExploreOptions { max_steps: 3_000, ..Default::default() };
+    let opts = ExploreOptions {
+        max_steps: 3_000,
+        ..Default::default()
+    };
     let o = explore_qlearning(&Fir::new(100), &lib(), &opts).unwrap();
     assert_eq!(o.stop_reason, StopReason::MaxSteps);
     assert!(o.log.total_reward() < 100.0);
@@ -124,7 +137,10 @@ fn fir100_struggles_within_short_budget() {
 /// aggressive 16-bit adders destroy the accumulator.
 #[test]
 fn fir100_solution_avoids_catastrophic_adders() {
-    let opts = ExploreOptions { max_steps: 3_000, ..Default::default() };
+    let opts = ExploreOptions {
+        max_steps: 3_000,
+        ..Default::default()
+    };
     let o = explore_qlearning(&Fir::new(100), &lib(), &opts).unwrap();
     let last = o.trace.last().unwrap();
     assert!(

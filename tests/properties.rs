@@ -3,13 +3,17 @@
 use axdse_suite::ax_dse::config::{AxConfig, SpaceDims};
 use axdse_suite::ax_dse::reward::{reward, RewardParams};
 use axdse_suite::ax_dse::thresholds::Thresholds;
-use axdse_suite::ax_dse::Evaluator;
 use axdse_suite::ax_dse::EvalMetrics;
+use axdse_suite::ax_dse::Evaluator;
 use axdse_suite::ax_operators::{AdderId, MulId, OperatorLibrary};
 use axdse_suite::ax_workloads::dot::DotProduct;
 use proptest::prelude::*;
 
-const DIMS: SpaceDims = SpaceDims { n_add: 6, n_mul: 6, n_vars: 4 };
+const DIMS: SpaceDims = SpaceDims {
+    n_add: 6,
+    n_mul: 6,
+    n_vars: 4,
+};
 
 fn arb_config() -> impl Strategy<Value = AxConfig> {
     (0usize..6, 0usize..6, 0u64..16).prop_map(|(a, m, v)| AxConfig {

@@ -6,8 +6,8 @@
 
 use axdse_suite::ax_dse::explore::{explore_qlearning, ExploreOptions};
 use axdse_suite::ax_dse::reward::{reward, RewardParams};
-use axdse_suite::ax_dse::Evaluator;
 use axdse_suite::ax_dse::thresholds::ThresholdRule;
+use axdse_suite::ax_dse::Evaluator;
 use axdse_suite::ax_operators::OperatorLibrary;
 use axdse_suite::ax_workloads::dot::DotProduct;
 use axdse_suite::ax_workloads::matmul::MatMul;
@@ -15,7 +15,10 @@ use axdse_suite::ax_workloads::Workload;
 
 fn replay_and_check(workload: &dyn Workload, steps: u64) {
     let lib = OperatorLibrary::evoapprox();
-    let opts = ExploreOptions { max_steps: steps, ..Default::default() };
+    let opts = ExploreOptions {
+        max_steps: steps,
+        ..Default::default()
+    };
     let outcome = explore_qlearning(workload, &lib, &opts).unwrap();
 
     let ev = Evaluator::new(workload, &lib, opts.input_seed).unwrap();
@@ -26,7 +29,11 @@ fn replay_and_check(workload: &dyn Workload, steps: u64) {
     for t in &outcome.trace {
         let (expect_r, expect_term) = reward(&t.config, dims, &t.metrics, &params);
         assert_eq!(t.reward, expect_r, "step {}: reward mismatch", t.step);
-        assert_eq!(t.terminated, expect_term, "step {}: terminate mismatch", t.step);
+        assert_eq!(
+            t.terminated, expect_term,
+            "step {}: terminate mismatch",
+            t.step
+        );
         cumulative += t.reward;
     }
     assert!(
@@ -83,13 +90,20 @@ fn reward_target_stop_is_tight() {
     let opts = ExploreOptions {
         max_steps: 10_000,
         max_reward: 10.0,
-        rule: ThresholdRule { power_frac: 0.01, time_frac: 0.01, acc_frac: 5.0 },
+        rule: ThresholdRule {
+            power_frac: 0.01,
+            time_frac: 0.01,
+            acc_frac: 5.0,
+        },
         ..Default::default()
     };
     let o = explore_qlearning(&DotProduct::new(6), &lib, &opts).unwrap();
     if o.stop_reason == axdse_suite::ax_agents::train::StopReason::RewardTarget {
         let total = o.log.total_reward();
-        assert!(total >= 10.0 && total <= 10.0 + opts.max_reward, "total {total}");
+        assert!(
+            total >= 10.0 && total <= 10.0 + opts.max_reward,
+            "total {total}"
+        );
         // Before the final step the target had not been reached.
         let prior: f64 = total - o.trace.last().unwrap().reward;
         assert!(prior < 10.0, "stopped late: prior cumulative {prior}");
