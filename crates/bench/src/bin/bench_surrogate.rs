@@ -1,0 +1,165 @@
+//! Emits `BENCH_surrogate.json`: surrogate-assisted vs. pure-exact sweep
+//! wall-clock, tier usage, and the model's confirmed prediction error.
+//!
+//! ```text
+//! bench_surrogate [--out FILE] [--seeds N] [--steps N] [--reps N] [--smoke]
+//! ```
+//!
+//! Both sides run cold: the exact baseline is the same rayon fan-out
+//! `bench_sweep` measures (fresh shared cache per rep); the surrogate
+//! side is `sweep_seeds_surrogate` with a fresh cache *and* a fresh
+//! model per rep, so the learning cost is inside the measurement. The
+//! reported `rel_err_*` numbers are the audit stream's verdict: mean
+//! relative prediction error on designs confirmed exactly while the
+//! trust gate was open. `--smoke` shrinks everything for CI.
+
+use ax_dse::evaluator::{EvalContext, SharedCache};
+use ax_dse::explore::{explore_in_context, AgentKind, ExploreOptions};
+use ax_operators::OperatorLibrary;
+use ax_surrogate::{sweep_seeds_surrogate, SurrogateSettings, SurrogateSweepOutcome};
+use ax_workloads::matmul::MatMul;
+use rayon::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Config {
+    out: String,
+    seeds: u64,
+    steps: u64,
+    reps: u32,
+}
+
+fn parse() -> Result<Config, String> {
+    let mut cfg = Config {
+        out: "BENCH_surrogate.json".into(),
+        seeds: 8,
+        steps: 300,
+        reps: 3,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--out" => cfg.out = take("--out")?,
+            "--seeds" => {
+                cfg.seeds = take("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("bad --seeds: {e}"))?;
+            }
+            "--steps" => {
+                cfg.steps = take("--steps")?
+                    .parse()
+                    .map_err(|e| format!("bad --steps: {e}"))?;
+            }
+            "--reps" => {
+                cfg.reps = take("--reps")?
+                    .parse()
+                    .map_err(|e| format!("bad --reps: {e}"))?;
+            }
+            "--smoke" => {
+                cfg.seeds = 2;
+                cfg.steps = 80;
+                cfg.reps = 1;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() {
+    let cfg = match parse() {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: bench_surrogate [--out FILE] [--seeds N] [--steps N] [--reps N] [--smoke]"
+            );
+            std::process::exit(1);
+        }
+    };
+
+    let lib = OperatorLibrary::evoapprox();
+    let wl = MatMul::new(10);
+    let opts = |seed| ExploreOptions {
+        max_steps: cfg.steps,
+        seed,
+        ..Default::default()
+    };
+
+    // Exact baseline: the production sweep fan-out, cold cache per rep.
+    let mut exact_ms = f64::INFINITY;
+    let mut benchmark = String::new();
+    for _ in 0..cfg.reps.max(1) {
+        let ctx = EvalContext::with_cache(
+            &wl,
+            Arc::new(lib.clone()),
+            opts(0).input_seed,
+            SharedCache::new(),
+        )
+        .expect("context");
+        let t = Instant::now();
+        (0..cfg.seeds).into_par_iter().for_each(|seed| {
+            explore_in_context(&ctx, &opts(seed), AgentKind::QLearning).expect("exact sweep");
+        });
+        exact_ms = exact_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        benchmark = ctx.benchmark().to_owned();
+    }
+
+    // Surrogate-assisted sweep: fresh cache and fresh model per rep — the
+    // whole two-tier lifecycle (warmup, gating, audits) is measured.
+    let settings = SurrogateSettings::default();
+    let mut surrogate_ms = f64::INFINITY;
+    let mut outcome: Option<SurrogateSweepOutcome> = None;
+    for _ in 0..cfg.reps.max(1) {
+        let t = Instant::now();
+        let o = sweep_seeds_surrogate(
+            &wl,
+            &lib,
+            &opts(0),
+            AgentKind::QLearning,
+            cfg.seeds,
+            settings,
+        )
+        .expect("surrogate sweep");
+        surrogate_ms = surrogate_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        outcome = Some(o);
+    }
+    let outcome = outcome.expect("at least one rep");
+
+    let stats = outcome.stats;
+    let rel = outcome.rel_errors;
+    let fmt_err = |v: Option<f64>| match v {
+        Some(v) => format!("{v:.5}"),
+        None => "null".into(),
+    };
+    let json = format!(
+        "{{\n  \"benchmark\": \"{}\",\n  \"seeds\": {},\n  \"max_steps\": {},\n  \
+         \"threads\": {},\n  \"exact_cold_ms\": {:.3},\n  \"surrogate_ms\": {:.3},\n  \
+         \"speedup\": {:.2},\n  \"class_hits\": {},\n  \"surrogate_answers\": {},\n  \
+         \"exact_confirmations\": {},\n  \"surrogate_hit_rate\": {:.4},\n  \
+         \"avoided_exact_rate\": {:.4},\n  \"rel_err_power\": {},\n  \
+         \"rel_err_time\": {},\n  \"rel_err_acc\": {},\n  \"audited_designs\": {},\n  \
+         \"training_samples\": {}\n}}\n",
+        benchmark,
+        cfg.seeds,
+        cfg.steps,
+        rayon::current_num_threads(),
+        exact_ms,
+        surrogate_ms,
+        exact_ms / surrogate_ms,
+        stats.class_hits,
+        stats.surrogate_answers,
+        stats.exact_confirmations,
+        stats.surrogate_hit_rate(),
+        stats.avoided_exact_rate(),
+        fmt_err(rel.map(|e| e[0])),
+        fmt_err(rel.map(|e| e[1])),
+        fmt_err(rel.map(|e| e[2])),
+        outcome.shadow_confirmations,
+        outcome.training_samples,
+    );
+    std::fs::write(&cfg.out, &json).expect("write BENCH_surrogate.json");
+    print!("{json}");
+    eprintln!("wrote {}", cfg.out);
+}

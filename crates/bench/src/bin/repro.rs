@@ -16,6 +16,7 @@
 //!   ablation-thresholds   threshold-rule sensitivity
 //!   sweep                 multi-seed robustness of the explorations (rayon + shared cache)
 //!   portfolio             race every agent kind per benchmark over one shared cache
+//!   surrogate             two-tier (surrogate prefilter + exact confirm) vs pure-exact sweep
 //!   all                   everything above
 //! ```
 
@@ -25,6 +26,7 @@ use ax_dse::explore::ExploreOptions;
 use ax_dse::report::ascii_table;
 use ax_dse::sweep::{race_portfolio, sweep_seeds_parallel};
 use ax_operators::OperatorLibrary;
+use ax_surrogate::{sweep_seeds_surrogate, SurrogateSettings};
 use ax_workloads::fir::Fir;
 use ax_workloads::matmul::MatMul;
 use ax_workloads::sobel::Sobel;
@@ -109,7 +111,8 @@ fn main() -> ExitCode {
             eprintln!("usage: repro [--out DIR | --no-out] [--steps N] [--seed S] <command>");
             eprintln!(
                 "commands: table1 table2 table3 fig2 fig3 fig4 ablation-explorers \
-                 ablation-agents ablation-epsilon ablation-thresholds sweep portfolio all"
+                 ablation-agents ablation-epsilon ablation-thresholds sweep portfolio \
+                 surrogate all"
             );
             return if msg == "help" {
                 ExitCode::SUCCESS
@@ -258,6 +261,83 @@ fn main() -> ExitCode {
                     &rows,
                 );
             }
+            "surrogate" => {
+                let lib = OperatorLibrary::evoapprox();
+                let kind = AgentKind::QLearning;
+                let sweep_opts = explore_opts(args.steps.min(1_000), 0, args.reward);
+                let seeds = 8;
+                let mut rows = Vec::new();
+                let benches: Vec<Box<dyn Workload>> =
+                    vec![Box::new(MatMul::new(10)), Box::new(Fir::new(100))];
+                for wl in &benches {
+                    let exact = sweep_seeds_parallel(wl.as_ref(), &lib, &sweep_opts, kind, seeds)
+                        .expect("exact sweep must run");
+                    let tiered = sweep_seeds_surrogate(
+                        wl.as_ref(),
+                        &lib,
+                        &sweep_opts,
+                        kind,
+                        seeds,
+                        SurrogateSettings::default(),
+                    )
+                    .expect("surrogate sweep must run");
+                    let s = &tiered.stats;
+                    let errs = tiered
+                        .rel_errors
+                        .map(|e| {
+                            format!(
+                                "{:.2}% / {:.2}% / {:.2}%",
+                                100.0 * e[0],
+                                100.0 * e[1],
+                                100.0 * e[2]
+                            )
+                        })
+                        .unwrap_or_else(|| "gate never opened".into());
+                    rows.push(vec![
+                        exact.benchmark.clone(),
+                        format!(
+                            "{}/{}",
+                            exact.reached_target + exact.terminated,
+                            exact.seeds
+                        ),
+                        format!(
+                            "{}/{}",
+                            tiered.summary.reached_target + tiered.summary.terminated,
+                            tiered.summary.seeds
+                        ),
+                        format!("{:.0}%", 100.0 * s.avoided_exact_rate()),
+                        format!("{:.0}%", 100.0 * s.surrogate_hit_rate()),
+                        errs,
+                    ]);
+                }
+                println!("\nTwo-tier evaluation (surrogate prefilter + exact confirm, 8 seeds)");
+                println!(
+                    "{}",
+                    ascii_table(
+                        &[
+                            "benchmark",
+                            "exact stops",
+                            "tiered stops",
+                            "interp avoided",
+                            "surrogate rate",
+                            "rel err p/t/acc (audited)"
+                        ],
+                        &rows
+                    )
+                );
+                args.out.write(
+                    "surrogate",
+                    &[
+                        "benchmark",
+                        "exact_stops",
+                        "tiered_stops",
+                        "interp_avoided",
+                        "surrogate_rate",
+                        "rel_err",
+                    ],
+                    &rows,
+                );
+            }
             "ablation-agents" => {
                 ablations::agent_comparison(&MatMul::new(10), args.steps.min(3_000), &args.out);
             }
@@ -284,6 +364,7 @@ fn main() -> ExitCode {
             "ablation-agents",
             "sweep",
             "portfolio",
+            "surrogate",
             "ablation-epsilon",
             "ablation-thresholds",
         ] {

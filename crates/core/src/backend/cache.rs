@@ -1,0 +1,332 @@
+//! The sharded concurrent design cache shared between evaluators.
+
+use super::EvalMetrics;
+use crate::config::AxConfig;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Interned identifier of one `(benchmark, input_seed)` cache scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheScope(u32);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ScopedConfig {
+    scope: CacheScope,
+    config: AxConfig,
+}
+
+/// One lock-guarded slice of the table: the memo map plus a FIFO ring of
+/// insertion order, consulted only when the shard carries a capacity bound.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<ScopedConfig, EvalMetrics>,
+    order: VecDeque<ScopedConfig>,
+}
+
+/// A sharded concurrent design cache shared between evaluators.
+///
+/// Entries are keyed by `(benchmark, input_seed)` scope plus configuration,
+/// so explorations of different benchmarks (or different input seeds of the
+/// same benchmark) never collide while concurrent runs of the *same*
+/// benchmark share memoised designs. Shards bound lock contention: a lookup
+/// takes one `RwLock` read on 1/Nth of the table.
+///
+/// [`SharedCache::with_capacity`] additionally bounds memory: each shard
+/// holds at most `max_entries_per_shard` designs and evicts its oldest
+/// entry (FIFO) when full. Eviction costs recomputation only, never
+/// correctness — evaluation is deterministic.
+#[derive(Debug)]
+pub struct SharedCache {
+    shards: Vec<RwLock<Shard>>,
+    /// Per-shard entry bound; `None` = unbounded.
+    shard_capacity: Option<usize>,
+    scopes: RwLock<HashMap<(String, u64), CacheScope>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SharedCache {
+    /// Default shard count: enough to keep a machine's worth of worker
+    /// threads from serialising on one lock.
+    const DEFAULT_SHARDS: usize = 16;
+
+    /// A cache with the default shard count, ready to share via `Arc`.
+    pub fn new() -> Arc<Self> {
+        Self::with_shards(Self::DEFAULT_SHARDS)
+    }
+
+    /// A cache with an explicit shard count (power of two recommended).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_shards(shards: usize) -> Arc<Self> {
+        Self::build(shards, None)
+    }
+
+    /// A size-bounded cache: `shards` shards of at most
+    /// `max_entries_per_shard` designs each, oldest-first (FIFO) eviction.
+    ///
+    /// The total bound is `shards × max_entries_per_shard`; the cache never
+    /// holds more entries than that ([`SharedCache::capacity`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `max_entries_per_shard` is zero.
+    pub fn with_capacity(shards: usize, max_entries_per_shard: usize) -> Arc<Self> {
+        assert!(
+            max_entries_per_shard > 0,
+            "shard capacity must be at least one entry"
+        );
+        Self::build(shards, Some(max_entries_per_shard))
+    }
+
+    fn build(shards: usize, shard_capacity: Option<usize>) -> Arc<Self> {
+        assert!(shards > 0, "cache needs at least one shard");
+        Arc::new(Self {
+            shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
+            shard_capacity,
+            scopes: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        })
+    }
+
+    /// The maximum number of entries this cache will hold, if bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.shard_capacity.map(|c| c * self.shards.len())
+    }
+
+    /// Interns a `(benchmark, input_seed)` pair, returning its scope id.
+    /// The same pair always maps to the same scope for the cache lifetime.
+    pub fn scope(&self, benchmark: &str, input_seed: u64) -> CacheScope {
+        let key = (benchmark.to_owned(), input_seed);
+        if let Some(&s) = self.scopes.read().expect("scope table poisoned").get(&key) {
+            return s;
+        }
+        let mut scopes = self.scopes.write().expect("scope table poisoned");
+        let next = CacheScope(scopes.len() as u32);
+        *scopes.entry(key).or_insert(next)
+    }
+
+    fn shard(&self, key: &ScopedConfig) -> &RwLock<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks up a configuration in a scope.
+    pub fn get(&self, scope: CacheScope, config: &AxConfig) -> Option<EvalMetrics> {
+        let key = ScopedConfig {
+            scope,
+            config: *config,
+        };
+        let found = self
+            .shard(&key)
+            .read()
+            .expect("cache shard poisoned")
+            .map
+            .get(&key)
+            .copied();
+        match found {
+            Some(m) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(m)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a configuration's metrics into a scope, evicting the shard's
+    /// oldest entry first if the cache is bounded and the shard is full.
+    /// Racing inserts of the same key are benign: evaluation is
+    /// deterministic, so both writers carry identical metrics.
+    pub fn insert(&self, scope: CacheScope, config: AxConfig, metrics: EvalMetrics) {
+        let key = ScopedConfig { scope, config };
+        let mut shard = self.shard(&key).write().expect("cache shard poisoned");
+        if let Some(slot) = shard.map.get_mut(&key) {
+            *slot = metrics;
+            return;
+        }
+        if let Some(cap) = self.shard_capacity {
+            while shard.map.len() >= cap {
+                let oldest = shard
+                    .order
+                    .pop_front()
+                    .expect("bounded shard must track insertion order");
+                shard.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(key, metrics);
+        if self.shard_capacity.is_some() {
+            shard.order.push_back(key);
+        }
+    }
+
+    /// All cached designs of one `(benchmark, input_seed)` scope — the
+    /// training-harvest entry point for surrogate models. Returns an empty
+    /// vector for unknown scopes; the iteration order is unspecified
+    /// (callers needing determinism sort by configuration).
+    pub fn snapshot(&self, benchmark: &str, input_seed: u64) -> Vec<(AxConfig, EvalMetrics)> {
+        let key = (benchmark.to_owned(), input_seed);
+        let Some(&scope) = self.scopes.read().expect("scope table poisoned").get(&key) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read().expect("cache shard poisoned");
+            out.extend(
+                shard
+                    .map
+                    .iter()
+                    .filter(|(k, _)| k.scope == scope)
+                    .map(|(k, m)| (k.config, *m)),
+            );
+        }
+        out
+    }
+
+    /// Total entries across all shards and scopes.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// `true` if no design has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the cache since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to respect the capacity bound since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ax_operators::{AdderId, MulId};
+
+    fn metrics(tag: f64) -> EvalMetrics {
+        EvalMetrics {
+            delta_acc: tag,
+            delta_power: tag,
+            delta_time: tag,
+            signed_error: tag,
+            power: tag,
+            time_ns: tag,
+        }
+    }
+
+    fn config(i: u64) -> AxConfig {
+        AxConfig {
+            adder: AdderId((i % 7) as usize),
+            mul: MulId((i % 5) as usize),
+            vars: i,
+        }
+    }
+
+    #[test]
+    fn bounded_cache_never_exceeds_capacity() {
+        let cache = SharedCache::with_capacity(4, 8);
+        let scope = cache.scope("bench", 0);
+        assert_eq!(cache.capacity(), Some(32));
+        for i in 0..10_000u64 {
+            cache.insert(scope, config(i), metrics(i as f64));
+            assert!(
+                cache.len() <= 32,
+                "cache grew to {} past its bound at insert {i}",
+                cache.len()
+            );
+        }
+        assert!(
+            cache.evictions() > 0,
+            "the bound must have forced evictions"
+        );
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn eviction_is_fifo_within_a_shard() {
+        // One shard makes the global order the shard order: after
+        // overfilling, the oldest inserts are gone and the newest remain.
+        let cache = SharedCache::with_capacity(1, 4);
+        let scope = cache.scope("bench", 0);
+        for i in 0..6u64 {
+            cache.insert(scope, config(i), metrics(i as f64));
+        }
+        assert_eq!(cache.len(), 4);
+        assert!(cache.get(scope, &config(0)).is_none(), "oldest evicted");
+        assert!(
+            cache.get(scope, &config(1)).is_none(),
+            "second-oldest evicted"
+        );
+        for i in 2..6u64 {
+            assert!(cache.get(scope, &config(i)).is_some(), "entry {i} retained");
+        }
+    }
+
+    #[test]
+    fn reinsert_of_existing_key_does_not_evict() {
+        let cache = SharedCache::with_capacity(1, 2);
+        let scope = cache.scope("bench", 0);
+        cache.insert(scope, config(0), metrics(0.0));
+        cache.insert(scope, config(1), metrics(1.0));
+        cache.insert(scope, config(0), metrics(0.0));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
+        assert!(cache.get(scope, &config(1)).is_some());
+    }
+
+    #[test]
+    fn unbounded_cache_reports_no_capacity() {
+        let cache = SharedCache::new();
+        assert_eq!(cache.capacity(), None);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_shard_capacity_rejected() {
+        let _ = SharedCache::with_capacity(4, 0);
+    }
+
+    #[test]
+    fn snapshot_returns_scope_entries_only() {
+        let cache = SharedCache::new();
+        let a = cache.scope("bench", 1);
+        let b = cache.scope("bench", 2);
+        cache.insert(a, config(1), metrics(1.0));
+        cache.insert(a, config(2), metrics(2.0));
+        cache.insert(b, config(3), metrics(3.0));
+        let mut snap = cache.snapshot("bench", 1);
+        snap.sort_by_key(|(c, _)| c.vars);
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0, config(1));
+        assert_eq!(snap[1].0, config(2));
+        assert!(cache.snapshot("bench", 9).is_empty());
+        assert!(cache.snapshot("other", 1).is_empty());
+    }
+}

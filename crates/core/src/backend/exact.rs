@@ -1,0 +1,678 @@
+//! The exact, interpreter-backed evaluation backend.
+
+use super::cache::{CacheScope, SharedCache};
+use super::{EvalBackend, EvalMetrics};
+use crate::config::{AxConfig, SpaceDims};
+use ax_operators::metrics::{mae, signed_mean_error};
+use ax_operators::OperatorLibrary;
+use ax_vm::exec::{run_from_image, Binding, ExecScratch};
+use ax_vm::instrument::VarMask;
+use ax_vm::VmError;
+use ax_workloads::{PreparedWorkload, Workload};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A cheap-to-clone, `Send + Sync` handle for spawning evaluators of one
+/// prepared benchmark.
+///
+/// The context owns the prepared workload, the precise reference outputs
+/// and the operator library behind `Arc`s, plus (optionally) a
+/// [`SharedCache`] scope. Cloning it and calling [`EvalContext::evaluator`]
+/// on each worker thread is how sweeps fan out: every evaluator shares the
+/// preparation work and the design cache, while keeping its own scratch
+/// buffers and local memo table.
+#[derive(Debug, Clone)]
+pub struct EvalContext {
+    benchmark: String,
+    input_seed: u64,
+    prepared: Arc<PreparedWorkload>,
+    lib: Arc<OperatorLibrary>,
+    dims: SpaceDims,
+    /// Initial interpreter memory (inputs bound, temps zeroed), resolved
+    /// once per context: each design evaluation replays it with a memcpy
+    /// instead of re-binding (and re-cloning) every input vector.
+    base_image: Arc<Vec<i64>>,
+    precise_outputs: Arc<Vec<f64>>,
+    precise_power: f64,
+    precise_time: f64,
+    shared: Option<(Arc<SharedCache>, CacheScope)>,
+}
+
+impl EvalContext {
+    /// Prepares `workload` with inputs from `input_seed` and runs the
+    /// precise reference, without a shared cache.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the workload cannot be built, the library lacks operators
+    /// at the workload's widths, or the precise run fails.
+    pub fn new(
+        workload: &dyn Workload,
+        lib: Arc<OperatorLibrary>,
+        input_seed: u64,
+    ) -> Result<Self, VmError> {
+        Self::build(workload, lib, input_seed, None)
+    }
+
+    /// Like [`EvalContext::new`], but evaluators spawned from this context
+    /// share memoised designs through `cache`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EvalContext::new`].
+    pub fn with_cache(
+        workload: &dyn Workload,
+        lib: Arc<OperatorLibrary>,
+        input_seed: u64,
+        cache: Arc<SharedCache>,
+    ) -> Result<Self, VmError> {
+        Self::build(workload, lib, input_seed, Some(cache))
+    }
+
+    fn build(
+        workload: &dyn Workload,
+        lib: Arc<OperatorLibrary>,
+        input_seed: u64,
+        cache: Option<Arc<SharedCache>>,
+    ) -> Result<Self, VmError> {
+        let benchmark = workload.name();
+        let prepared = workload.prepare(input_seed)?;
+        let n_add = lib.adders(prepared.program.add_width()).len();
+        let n_mul = lib.multipliers(prepared.program.mul_width()).len();
+        if n_add == 0 {
+            return Err(VmError::UnsupportedWidth {
+                what: "adder",
+                width_bits: prepared.program.add_width().bits(),
+            });
+        }
+        if n_mul == 0 {
+            return Err(VmError::UnsupportedWidth {
+                what: "multiplier",
+                width_bits: prepared.program.mul_width().bits(),
+            });
+        }
+        let n_vars = VarMask::none(&prepared.program).len();
+        let base_image = prepared.executor()?.initial_memory()?;
+        let reference = prepared.run_precise(&lib)?;
+        let precise_outputs: Vec<f64> = reference.outputs.iter().map(|&v| v as f64).collect();
+        let shared = cache.map(|c| {
+            let scope = c.scope(&benchmark, input_seed);
+            (c, scope)
+        });
+        Ok(Self {
+            benchmark,
+            input_seed,
+            prepared: Arc::new(prepared),
+            lib,
+            dims: SpaceDims {
+                n_add,
+                n_mul,
+                n_vars,
+            },
+            base_image: Arc::new(base_image),
+            precise_outputs: Arc::new(precise_outputs),
+            precise_power: reference.profile.power_mw,
+            precise_time: reference.profile.time_ns,
+            shared,
+        })
+    }
+
+    /// Spawns an evaluator sharing this context's preparation and cache.
+    pub fn evaluator(&self) -> Evaluator {
+        Evaluator {
+            mask: VarMask::none(&self.prepared.program),
+            ctx: self.clone(),
+            cache: HashMap::new(),
+            hits: 0,
+            shared_hits: 0,
+            executions: 0,
+            scratch: ExecScratch::new(),
+        }
+    }
+
+    /// The benchmark's name.
+    pub fn benchmark(&self) -> &str {
+        &self.benchmark
+    }
+
+    /// The benchmark input seed this context was prepared with.
+    pub fn input_seed(&self) -> u64 {
+        self.input_seed
+    }
+
+    /// The operator library evaluators bind against.
+    pub fn library(&self) -> &Arc<OperatorLibrary> {
+        &self.lib
+    }
+
+    /// The shared cache, if this context carries one.
+    pub fn shared_cache(&self) -> Option<&Arc<SharedCache>> {
+        self.shared.as_ref().map(|(c, _)| c)
+    }
+
+    /// Derives the Δ metrics of one executed design from its outcome.
+    fn metrics_from(&self, outcome: &ax_vm::exec::ExecOutcome) -> EvalMetrics {
+        let approx: Vec<f64> = outcome.outputs.iter().map(|&v| v as f64).collect();
+        EvalMetrics {
+            delta_acc: mae(&self.precise_outputs, &approx),
+            delta_power: self.precise_power - outcome.profile.power_mw,
+            delta_time: self.precise_time - outcome.profile.time_ns,
+            signed_error: signed_mean_error(&self.precise_outputs, &approx),
+            power: outcome.profile.power_mw,
+            time_ns: outcome.profile.time_ns,
+        }
+    }
+}
+
+/// The exact evaluation backend: runs configurations of one benchmark
+/// through the instrumented interpreter against the precise reference,
+/// memoising by configuration.
+#[derive(Debug)]
+pub struct Evaluator {
+    ctx: EvalContext,
+    cache: HashMap<AxConfig, EvalMetrics>,
+    hits: u64,
+    shared_hits: u64,
+    executions: u64,
+    scratch: ExecScratch,
+    /// Reused selection mask — rebuilding the variable table per design
+    /// would be an allocation on the hot path.
+    mask: VarMask,
+}
+
+impl Evaluator {
+    /// Prepares `workload` with inputs from `input_seed` and runs the
+    /// precise reference.
+    ///
+    /// The library is cloned once into an `Arc`; sweeps spawning many
+    /// evaluators should build one [`EvalContext`] instead and share it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the workload cannot be built, the library lacks operators at
+    /// the workload's widths, or the precise run fails.
+    pub fn new(
+        workload: &dyn Workload,
+        lib: &OperatorLibrary,
+        input_seed: u64,
+    ) -> Result<Self, VmError> {
+        Ok(EvalContext::new(workload, Arc::new(lib.clone()), input_seed)?.evaluator())
+    }
+
+    /// The context this evaluator was spawned from.
+    pub fn context(&self) -> &EvalContext {
+        &self.ctx
+    }
+
+    /// Number of evaluations answered from this evaluator's own cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of evaluations answered by the shared cache (designs another
+    /// evaluator executed first).
+    pub fn shared_cache_hits(&self) -> u64 {
+        self.shared_hits
+    }
+
+    /// Number of actual interpreter executions this evaluator performed.
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    /// All evaluated configurations with their metrics (for Pareto
+    /// analysis and surrogate training harvests), in unspecified order.
+    pub fn evaluated(&self) -> Vec<(AxConfig, EvalMetrics)> {
+        self.cache.iter().map(|(c, m)| (*c, *m)).collect()
+    }
+
+    fn execute(&mut self, config: &AxConfig) -> Result<EvalMetrics, VmError> {
+        let ctx = &self.ctx;
+        let binding = Binding::new(&ctx.lib, &ctx.prepared.program, config.adder, config.mul)?;
+        self.mask.set_raw_bits(config.vars);
+        let outcome = run_from_image(
+            &ctx.prepared.program,
+            &ctx.base_image,
+            &binding,
+            &self.mask,
+            &mut self.scratch,
+        )?;
+        self.executions += 1;
+        Ok(self.ctx.metrics_from(&outcome))
+    }
+}
+
+impl EvalBackend for Evaluator {
+    fn dims(&self) -> SpaceDims {
+        self.ctx.dims
+    }
+
+    fn program(&self) -> &ax_vm::Program {
+        &self.ctx.prepared.program
+    }
+
+    fn precise_power(&self) -> f64 {
+        self.ctx.precise_power
+    }
+
+    fn precise_time(&self) -> f64 {
+        self.ctx.precise_time
+    }
+
+    fn mean_abs_output(&self) -> f64 {
+        self.ctx
+            .precise_outputs
+            .iter()
+            .map(|v| v.abs())
+            .sum::<f64>()
+            / self.ctx.precise_outputs.len() as f64
+    }
+
+    fn distinct_evaluations(&self) -> u64 {
+        self.cache.len() as u64
+    }
+
+    /// Evaluates a configuration (cached: local memo table first, then the
+    /// shared cache, then the interpreter).
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors; impossible for validated workloads whose
+    /// multiplication operands are program inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is outside this benchmark's space.
+    fn evaluate(&mut self, config: &AxConfig) -> Result<EvalMetrics, VmError> {
+        assert!(
+            config.is_valid(self.ctx.dims),
+            "configuration {config} outside the space"
+        );
+        if let Some(m) = self.cache.get(config) {
+            self.hits += 1;
+            return Ok(*m);
+        }
+        if let Some((cache, scope)) = &self.ctx.shared {
+            if let Some(m) = cache.get(*scope, config) {
+                self.shared_hits += 1;
+                self.cache.insert(*config, m);
+                return Ok(m);
+            }
+        }
+        let metrics = self.execute(config)?;
+        self.cache.insert(*config, metrics);
+        if let Some((cache, scope)) = &self.ctx.shared {
+            cache.insert(*scope, *config, metrics);
+        }
+        Ok(metrics)
+    }
+
+    /// Batched evaluation: configurations the caches cannot answer are
+    /// executed (deduplicated) through [`PreparedWorkload::run_batch`],
+    /// which binds inputs once and reuses one set of execution buffers
+    /// across the whole slice.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any configuration is outside this benchmark's space.
+    fn evaluate_batch(&mut self, configs: &[AxConfig]) -> Result<Vec<EvalMetrics>, VmError> {
+        // Pass 1: answer from the caches, collecting the distinct designs
+        // that actually need the interpreter. The set mirrors `to_run` so
+        // dedup stays O(1) per config and duplicate pending designs don't
+        // re-query (and re-count misses against) the shared cache.
+        let mut to_run: Vec<AxConfig> = Vec::new();
+        let mut pending: std::collections::HashSet<AxConfig> = std::collections::HashSet::new();
+        for config in configs {
+            assert!(
+                config.is_valid(self.ctx.dims),
+                "configuration {config} outside the space"
+            );
+            if self.cache.contains_key(config) {
+                self.hits += 1;
+                continue;
+            }
+            if pending.contains(config) {
+                continue;
+            }
+            if let Some((cache, scope)) = &self.ctx.shared {
+                if let Some(m) = cache.get(*scope, config) {
+                    self.shared_hits += 1;
+                    self.cache.insert(*config, m);
+                    continue;
+                }
+            }
+            pending.insert(*config);
+            to_run.push(*config);
+        }
+
+        // Pass 2: execute the misses through this evaluator's amortised
+        // machinery — the context's precomputed base image plus the
+        // persistent scratch and mask, the same hot path as `evaluate`.
+        // (`PreparedWorkload::run_batch` offers the equivalent stand-alone
+        // entry point for callers without an `EvalContext`.)
+        for config in &to_run {
+            let metrics = self.execute(config)?;
+            self.cache.insert(*config, metrics);
+            if let Some((cache, scope)) = &self.ctx.shared {
+                cache.insert(*scope, *config, metrics);
+            }
+        }
+
+        // Pass 3: assemble in input order from the (now complete) local
+        // cache.
+        Ok(configs.iter().map(|c| self.cache[c]).collect())
+    }
+}
+
+// Inherent forwarders so existing `Evaluator` call sites (and ones that
+// prefer not to import the trait) keep working unchanged.
+impl Evaluator {
+    /// See [`EvalBackend::dims`].
+    pub fn dims(&self) -> SpaceDims {
+        EvalBackend::dims(self)
+    }
+
+    /// See [`EvalBackend::program`].
+    pub fn program(&self) -> &ax_vm::Program {
+        EvalBackend::program(self)
+    }
+
+    /// See [`EvalBackend::precise_power`].
+    pub fn precise_power(&self) -> f64 {
+        EvalBackend::precise_power(self)
+    }
+
+    /// See [`EvalBackend::precise_time`].
+    pub fn precise_time(&self) -> f64 {
+        EvalBackend::precise_time(self)
+    }
+
+    /// See [`EvalBackend::mean_abs_output`].
+    pub fn mean_abs_output(&self) -> f64 {
+        EvalBackend::mean_abs_output(self)
+    }
+
+    /// See [`EvalBackend::distinct_evaluations`].
+    pub fn distinct_evaluations(&self) -> u64 {
+        EvalBackend::distinct_evaluations(self)
+    }
+
+    /// See [`EvalBackend::evaluate`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is outside this benchmark's space.
+    pub fn evaluate(&mut self, config: &AxConfig) -> Result<EvalMetrics, VmError> {
+        EvalBackend::evaluate(self, config)
+    }
+
+    /// See [`EvalBackend::evaluate_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing configuration.
+    pub fn evaluate_batch(&mut self, configs: &[AxConfig]) -> Result<Vec<EvalMetrics>, VmError> {
+        EvalBackend::evaluate_batch(self, configs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ax_operators::{AdderId, MulId};
+    use ax_workloads::dot::DotProduct;
+    use ax_workloads::matmul::MatMul;
+
+    fn evaluator() -> Evaluator {
+        let lib = OperatorLibrary::evoapprox();
+        Evaluator::new(&MatMul::new(4), &lib, 11).unwrap()
+    }
+
+    #[test]
+    fn precise_config_has_zero_deltas() {
+        let mut ev = evaluator();
+        let m = ev.evaluate(&AxConfig::precise()).unwrap();
+        assert_eq!(m.delta_acc, 0.0);
+        assert_eq!(m.delta_power, 0.0);
+        assert_eq!(m.delta_time, 0.0);
+        assert_eq!(m.signed_error, 0.0);
+        assert_eq!(m.power, ev.precise_power());
+    }
+
+    #[test]
+    fn empty_mask_with_approx_operators_still_precise() {
+        // No variables selected -> nothing routed through the approximate
+        // operators, regardless of the configured adder/multiplier.
+        let mut ev = evaluator();
+        let m = ev
+            .evaluate(&AxConfig {
+                adder: AdderId(5),
+                mul: MulId(5),
+                vars: 0,
+            })
+            .unwrap();
+        assert_eq!(m.delta_acc, 0.0);
+        assert_eq!(m.delta_power, 0.0);
+    }
+
+    #[test]
+    fn full_approximation_maximises_power_saving() {
+        let mut ev = evaluator();
+        let dims = ev.dims();
+        let full = AxConfig {
+            adder: AdderId(dims.n_add - 1),
+            mul: MulId(dims.n_mul - 1),
+            vars: (1 << dims.n_vars) - 1,
+        };
+        let m_full = ev.evaluate(&full).unwrap();
+        // Every other configuration saves at most as much power.
+        for c in AxConfig::enumerate(dims) {
+            let m = ev.evaluate(&c).unwrap();
+            assert!(m.delta_power <= m_full.delta_power + 1e-9, "{c}");
+        }
+        assert!(m_full.delta_acc > 0.0);
+    }
+
+    #[test]
+    fn cache_hits_are_counted() {
+        let mut ev = evaluator();
+        let c = AxConfig {
+            adder: AdderId(1),
+            mul: MulId(1),
+            vars: 0b11,
+        };
+        ev.evaluate(&c).unwrap();
+        assert_eq!(ev.distinct_evaluations(), 1);
+        assert_eq!(ev.cache_hits(), 0);
+        assert_eq!(ev.executions(), 1);
+        ev.evaluate(&c).unwrap();
+        assert_eq!(ev.distinct_evaluations(), 1);
+        assert_eq!(ev.cache_hits(), 1);
+        assert_eq!(ev.executions(), 1);
+    }
+
+    #[test]
+    fn dims_match_library_and_program() {
+        let ev = evaluator();
+        let dims = ev.dims();
+        assert_eq!(dims.n_add, 6);
+        assert_eq!(dims.n_mul, 6);
+        assert_eq!(dims.n_vars, 4); // a, b, prod, c
+    }
+
+    #[test]
+    fn mean_abs_output_is_positive() {
+        let ev = evaluator();
+        assert!(ev.mean_abs_output() > 0.0);
+    }
+
+    #[test]
+    fn works_for_single_output_workload() {
+        let lib = OperatorLibrary::evoapprox();
+        let mut ev = Evaluator::new(&DotProduct::new(6), &lib, 3).unwrap();
+        let m = ev
+            .evaluate(&AxConfig {
+                adder: AdderId(4),
+                mul: MulId(4),
+                vars: 0b1111,
+            })
+            .unwrap();
+        assert!(m.delta_power > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the space")]
+    fn invalid_config_rejected() {
+        let mut ev = evaluator();
+        let _ = ev.evaluate(&AxConfig {
+            adder: AdderId(9),
+            mul: MulId(0),
+            vars: 0,
+        });
+    }
+
+    #[test]
+    fn batch_matches_single_evaluations() {
+        let mut a = evaluator();
+        let mut b = evaluator();
+        let configs: Vec<AxConfig> = AxConfig::enumerate(a.dims()).into_iter().take(40).collect();
+        let batch = a.evaluate_batch(&configs).unwrap();
+        for (c, m) in configs.iter().zip(&batch) {
+            assert_eq!(*m, b.evaluate(c).unwrap(), "{c}");
+        }
+    }
+
+    #[test]
+    fn batch_deduplicates_and_reuses_caches() {
+        let mut ev = evaluator();
+        let c1 = AxConfig {
+            adder: AdderId(1),
+            mul: MulId(2),
+            vars: 0b11,
+        };
+        let c2 = AxConfig {
+            adder: AdderId(3),
+            mul: MulId(4),
+            vars: 0b01,
+        };
+        ev.evaluate(&c1).unwrap();
+        // A batch with a repeat and an already-cached design executes only
+        // the genuinely new configuration.
+        let batch = ev.evaluate_batch(&[c1, c2, c2, c1]).unwrap();
+        assert_eq!(ev.executions(), 2);
+        assert_eq!(ev.cache_hits(), 2, "c1 twice from the local cache");
+        assert_eq!(batch[0], batch[3]);
+        assert_eq!(batch[1], batch[2]);
+    }
+
+    #[test]
+    fn shared_cache_serves_second_evaluator() {
+        let lib = Arc::new(OperatorLibrary::evoapprox());
+        let cache = SharedCache::new();
+        let ctx = EvalContext::with_cache(&MatMul::new(4), lib, 11, Arc::clone(&cache)).unwrap();
+        let c = AxConfig {
+            adder: AdderId(2),
+            mul: MulId(3),
+            vars: 0b101,
+        };
+
+        let mut first = ctx.evaluator();
+        let m1 = first.evaluate(&c).unwrap();
+        assert_eq!(first.executions(), 1);
+        assert_eq!(cache.len(), 1);
+
+        let mut second = ctx.evaluator();
+        let m2 = second.evaluate(&c).unwrap();
+        assert_eq!(m1, m2);
+        assert_eq!(
+            second.executions(),
+            0,
+            "design must come from the shared cache"
+        );
+        assert_eq!(second.shared_cache_hits(), 1);
+    }
+
+    #[test]
+    fn shared_cache_scopes_isolate_input_seeds() {
+        let lib = Arc::new(OperatorLibrary::evoapprox());
+        let cache = SharedCache::new();
+        let wl = MatMul::new(4);
+        let ctx_a = EvalContext::with_cache(&wl, Arc::clone(&lib), 1, Arc::clone(&cache)).unwrap();
+        let ctx_b = EvalContext::with_cache(&wl, Arc::clone(&lib), 2, Arc::clone(&cache)).unwrap();
+        let c = AxConfig {
+            adder: AdderId(5),
+            mul: MulId(5),
+            vars: 0b1111,
+        };
+        let ma = ctx_a.evaluator().evaluate(&c).unwrap();
+        let mut eb = ctx_b.evaluator();
+        let mb = eb.evaluate(&c).unwrap();
+        // Different inputs -> the second evaluator must execute, not reuse.
+        assert_eq!(eb.executions(), 1);
+        assert_eq!(cache.len(), 2);
+        // And (with different input data) the observed error differs.
+        assert_ne!(ma.delta_acc, mb.delta_acc);
+    }
+
+    #[test]
+    fn shared_cache_is_send_sync_and_concurrent() {
+        let lib = Arc::new(OperatorLibrary::evoapprox());
+        let cache = SharedCache::new();
+        let ctx = EvalContext::with_cache(&MatMul::new(4), lib, 7, Arc::clone(&cache)).unwrap();
+        let configs = AxConfig::enumerate(ctx.evaluator().dims());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let ctx = ctx.clone();
+                let configs = &configs;
+                s.spawn(move || {
+                    let mut ev = ctx.evaluator();
+                    for c in configs {
+                        ev.evaluate(c).unwrap();
+                    }
+                });
+            }
+        });
+        // All threads agree on one memo table of the whole space.
+        assert_eq!(cache.len(), configs.len());
+        assert!(cache.hits() > 0);
+    }
+
+    #[test]
+    fn bounded_shared_cache_still_serves_evaluators() {
+        // A tightly bounded cache evicts aggressively yet never changes
+        // results — designs just get re-executed after eviction.
+        let lib = Arc::new(OperatorLibrary::evoapprox());
+        let cache = SharedCache::with_capacity(2, 8);
+        let ctx = EvalContext::with_cache(&MatMul::new(4), lib, 11, Arc::clone(&cache)).unwrap();
+        let mut reference = ctx.evaluator();
+        let mut bounded = ctx.evaluator();
+        for c in AxConfig::enumerate(ctx.evaluator().dims())
+            .into_iter()
+            .take(100)
+        {
+            assert_eq!(
+                bounded.evaluate(&c).unwrap(),
+                reference.evaluate(&c).unwrap(),
+                "{c}"
+            );
+            assert!(cache.len() <= cache.capacity().unwrap());
+        }
+        assert!(cache.evictions() > 0);
+    }
+
+    #[test]
+    fn eval_context_handles_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EvalContext>();
+        assert_send_sync::<SharedCache>();
+        assert_send_sync::<Evaluator>();
+    }
+}

@@ -10,8 +10,8 @@
 //! the environment's [`StepTrace`] (they are functions of the configuration,
 //! so the tabular state loses no information).
 
+use crate::backend::{EvalBackend, EvalMetrics, Evaluator};
 use crate::config::{AxConfig, SpaceDims};
-use crate::evaluator::{EvalBackend, EvalMetrics, Evaluator};
 use crate::reward::{reward, RewardParams};
 use ax_gym::env::{Env, Step};
 use ax_gym::space::Space;
@@ -76,6 +76,9 @@ pub struct DseEnv<B: EvalBackend = Evaluator> {
     params: RewardParams,
     config: AxConfig,
     trace: Vec<StepTrace>,
+    batch_neighborhood: bool,
+    /// Reused neighbourhood buffer for the batched step path.
+    neighborhood: Vec<AxConfig>,
 }
 
 impl<B: EvalBackend> DseEnv<B> {
@@ -86,7 +89,31 @@ impl<B: EvalBackend> DseEnv<B> {
             params,
             config: AxConfig::precise(),
             trace: Vec::new(),
+            batch_neighborhood: false,
+            neighborhood: Vec::new(),
         }
+    }
+
+    /// Enables or disables whole-neighbourhood batching: when on, each
+    /// step evaluates every action's successor configuration through
+    /// [`EvalBackend::evaluate_batch`] and reads the chosen action's
+    /// metrics from the batch. With a history-independent backend (the
+    /// exact [`Evaluator`]) trajectories are identical to the unbatched
+    /// path — evaluation is deterministic and the agent only observes the
+    /// chosen action — and the batch amortises execution buffers across
+    /// the neighbourhood. A history-dependent backend (a learning
+    /// surrogate) may answer the extra speculative queries differently
+    /// than it would have later, so there batching trades exact
+    /// trajectory equality for prefiltering the whole frontier at once.
+    pub fn set_neighborhood_batching(&mut self, on: bool) {
+        self.batch_neighborhood = on;
+    }
+
+    /// Builder-style variant of [`DseEnv::set_neighborhood_batching`].
+    #[must_use]
+    pub fn with_neighborhood_batching(mut self, on: bool) -> Self {
+        self.set_neighborhood_batching(on);
+        self
     }
 
     /// The configuration-space dimensions.
@@ -188,10 +215,25 @@ impl<B: EvalBackend> Env for DseEnv<B> {
 
     fn step(&mut self, action: &usize) -> Step<DseState> {
         let next = self.apply(*action);
-        let metrics = self
-            .evaluator
-            .evaluate(&next)
-            .expect("validated workload evaluation cannot fail");
+        let metrics = if self.batch_neighborhood {
+            // Evaluate the full action neighbourhood in one batch; the
+            // chosen action's metrics come out of the same batch (for a
+            // history-independent backend, identical to the unbatched
+            // path).
+            let mut neighborhood = std::mem::take(&mut self.neighborhood);
+            neighborhood.clear();
+            neighborhood.extend((0..self.action_count()).map(|a| self.apply(a)));
+            let batch = self
+                .evaluator
+                .evaluate_batch(&neighborhood)
+                .expect("validated workload evaluation cannot fail");
+            self.neighborhood = neighborhood;
+            batch[*action]
+        } else {
+            self.evaluator
+                .evaluate(&next)
+                .expect("validated workload evaluation cannot fail")
+        };
         let (r, terminate) = reward(&next, self.dims(), &metrics, &self.params);
         self.config = next;
         self.trace.push(StepTrace {

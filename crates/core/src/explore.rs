@@ -6,8 +6,8 @@
 //! step cap) and post-processes the trace into an [`ExplorationSummary`].
 
 use crate::analysis::{FigureSeries, MetricSummary};
+use crate::backend::{EvalBackend, EvalContext, Evaluator};
 use crate::env::{DseEnv, DseState, StepTrace};
-use crate::evaluator::{EvalContext, Evaluator};
 use crate::reward::RewardParams;
 use crate::thresholds::{ThresholdRule, Thresholds};
 use ax_agents::agent::TabularAgent;
@@ -43,6 +43,16 @@ pub struct ExploreOptions {
     pub gamma: f64,
     /// ε-greedy exploration schedule.
     pub epsilon: Schedule,
+    /// Evaluate the whole action neighbourhood of each visited state
+    /// through [`EvalBackend::evaluate_batch`] instead of one design per
+    /// step. With a history-independent backend (the exact
+    /// [`Evaluator`]) trajectories are identical either way — the agent
+    /// only observes the chosen action and evaluation is deterministic —
+    /// while the batch amortises execution buffers. History-dependent
+    /// backends (a learning surrogate) may answer differently when shown
+    /// whole neighbourhoods, trading trajectory equality for prefiltering
+    /// the entire frontier at once.
+    pub batch_neighborhood: bool,
 }
 
 impl Default for ExploreOptions {
@@ -71,6 +81,7 @@ impl Default for ExploreOptions {
                 end: 0.0,
                 decay: 0.99,
             },
+            batch_neighborhood: false,
         }
     }
 }
@@ -95,8 +106,13 @@ pub struct ExplorationSummary {
 }
 
 /// Everything produced by one exploration.
+///
+/// Generic over the [`EvalBackend`] that scored the designs; the default is
+/// the exact [`Evaluator`] (what [`explore_qlearning`] and
+/// [`explore_in_context`] return), while [`explore_backend`] threads any
+/// backend — e.g. the `ax-surrogate` tiered estimator — through unchanged.
 #[derive(Debug)]
-pub struct ExplorationOutcome {
+pub struct ExplorationOutcome<B: EvalBackend = Evaluator> {
     /// Per-step environment trace (configuration, Δs, reward).
     pub trace: Vec<StepTrace>,
     /// Per-step agent log (actions, cumulative reward, stop reason).
@@ -107,13 +123,13 @@ pub struct ExplorationOutcome {
     pub thresholds: Thresholds,
     /// The Table III style summary.
     pub summary: ExplorationSummary,
-    /// Distinct configurations executed (cache misses).
+    /// Distinct configurations the backend holds metrics for.
     pub distinct_configs: u64,
-    /// The evaluator (retains the evaluation cache for Pareto analysis).
-    pub evaluator: Evaluator,
+    /// The backend (retains the evaluation cache for Pareto analysis).
+    pub evaluator: B,
 }
 
-impl ExplorationOutcome {
+impl<B: EvalBackend> ExplorationOutcome<B> {
     /// The per-step Δ series for Figures 2 and 3.
     pub fn figure_series(&self) -> FigureSeries {
         FigureSeries::from_trace(&self.trace)
@@ -213,10 +229,37 @@ pub fn explore_in_context(
     opts: &ExploreOptions,
     kind: AgentKind,
 ) -> Result<ExplorationOutcome, VmError> {
-    let evaluator = ctx.evaluator();
-    let thresholds = opts.rule.calibrate(&evaluator);
+    Ok(explore_backend(
+        ctx.evaluator(),
+        ctx.library(),
+        ctx.benchmark(),
+        opts,
+        kind,
+    ))
+}
+
+/// Runs an exploration through an arbitrary [`EvalBackend`].
+///
+/// This is the backend-polymorphic core of every exploration entry point:
+/// [`explore_in_context`] passes the exact [`Evaluator`]; the
+/// `ax-surrogate` crate passes its tiered surrogate backend. `lib` and
+/// `benchmark` supply the operator names and benchmark label for the
+/// summary (a backend only knows dimensions and metrics).
+///
+/// # Panics
+///
+/// Panics if the exploration takes no steps (`max_steps == 0`).
+pub fn explore_backend<B: EvalBackend>(
+    backend: B,
+    lib: &OperatorLibrary,
+    benchmark: &str,
+    opts: &ExploreOptions,
+    kind: AgentKind,
+) -> ExplorationOutcome<B> {
+    let thresholds = opts.rule.calibrate(&backend);
     let params = RewardParams::new(opts.max_reward, thresholds);
-    let mut env = DseEnv::new(evaluator, params);
+    let mut env = DseEnv::new(backend, params);
+    env.set_neighborhood_batching(opts.batch_neighborhood);
 
     let n_actions = env.action_count();
     let policy = ExplorationPolicy::EpsilonGreedy {
@@ -263,9 +306,8 @@ pub fn explore_in_context(
     let last = trace.last().unwrap();
     let add_width = evaluator.program().add_width();
     let mul_width = evaluator.program().mul_width();
-    let lib = ctx.library();
     let summary = ExplorationSummary {
-        benchmark: ctx.benchmark().to_owned(),
+        benchmark: benchmark.to_owned(),
         power: MetricSummary::from_series(&series.power),
         time: MetricSummary::from_series(&series.time),
         accuracy: MetricSummary::from_series(&series.accuracy),
@@ -282,7 +324,7 @@ pub fn explore_in_context(
         steps: trace.len() as u64,
     };
 
-    Ok(ExplorationOutcome {
+    ExplorationOutcome {
         distinct_configs: evaluator.distinct_evaluations(),
         trace,
         log,
@@ -290,7 +332,7 @@ pub fn explore_in_context(
         thresholds,
         summary,
         evaluator,
-    })
+    }
 }
 
 #[cfg(test)]

@@ -40,6 +40,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod analysis;
+pub mod backend;
 pub mod config;
 pub mod env;
 pub mod evaluator;
@@ -50,15 +51,16 @@ pub mod search_adapter;
 pub mod sweep;
 pub mod thresholds;
 
+pub use backend::{EvalBackend, EvalContext, EvalMetrics, Evaluator, SharedCache};
 pub use config::AxConfig;
 pub use env::{DseEnv, DseState, StepTrace};
-pub use evaluator::{EvalBackend, EvalContext, EvalMetrics, Evaluator, SharedCache};
 pub use explore::{
-    explore_in_context, explore_qlearning, ExplorationOutcome, ExplorationSummary, ExploreOptions,
+    explore_backend, explore_in_context, explore_qlearning, ExplorationOutcome, ExplorationSummary,
+    ExploreOptions,
 };
 pub use reward::RewardParams;
 pub use sweep::{
-    race_portfolio, sweep_seeds, sweep_seeds_parallel, PortfolioEntry, PortfolioOutcome, SweepStat,
-    SweepSummary,
+    race_portfolio, race_portfolio_with, summarize_outcomes, sweep_seeds, sweep_seeds_parallel,
+    PortfolioEntry, PortfolioOutcome, SweepStat, SweepSummary,
 };
 pub use thresholds::{ThresholdRule, Thresholds};

@@ -12,9 +12,10 @@
 //! [`race_portfolio`] applies the same machinery across *agents* instead of
 //! seeds, racing every [`AgentKind`] on one benchmark concurrently.
 
-use crate::evaluator::{EvalContext, SharedCache};
+use crate::backend::{EvalBackend, EvalContext, Evaluator, SharedCache};
 use crate::explore::{
-    explore_in_context, AgentKind, ExplorationOutcome, ExplorationSummary, ExploreOptions,
+    explore_backend, explore_in_context, AgentKind, ExplorationOutcome, ExplorationSummary,
+    ExploreOptions,
 };
 use ax_agents::train::StopReason;
 use ax_operators::OperatorLibrary;
@@ -82,12 +83,18 @@ pub struct SweepSummary {
     pub feasible_solutions: f64,
 }
 
-/// Aggregates finished exploration outcomes into a [`SweepSummary`].
+/// Aggregates finished exploration outcomes into a [`SweepSummary`],
+/// whatever [`EvalBackend`] produced them — the sweep entry points of this
+/// module use it with exact evaluators, the `ax-surrogate` crate with its
+/// tiered backend.
 ///
 /// # Panics
 ///
 /// Panics if `outcomes` is empty (callers validate `seeds > 0`).
-fn summarize(benchmark: String, outcomes: &[ExplorationOutcome]) -> SweepSummary {
+pub fn summarize_outcomes<B: EvalBackend>(
+    benchmark: String,
+    outcomes: &[ExplorationOutcome<B>],
+) -> SweepSummary {
     let seeds = outcomes.len() as u64;
     let stop_steps: Vec<f64> = outcomes.iter().map(|o| o.summary.steps as f64).collect();
     let powers: Vec<f64> = outcomes.iter().map(|o| o.summary.power.solution).collect();
@@ -163,7 +170,7 @@ pub fn sweep_seeds(
         let run_opts = ExploreOptions { seed, ..*opts };
         outcomes.push(explore_in_context(&ctx, &run_opts, kind)?);
     }
-    Ok(summarize(ctx.benchmark().to_owned(), &outcomes))
+    Ok(summarize_outcomes(ctx.benchmark().to_owned(), &outcomes))
 }
 
 /// Runs `seeds` explorations with agent seeds `0..seeds` fanned out through
@@ -199,7 +206,7 @@ pub fn sweep_seeds_parallel(
             explore_in_context(&ctx, &run_opts, kind)
         })
         .collect();
-    Ok(summarize(ctx.benchmark().to_owned(), &outcomes?))
+    Ok(summarize_outcomes(ctx.benchmark().to_owned(), &outcomes?))
 }
 
 /// One agent's result within a portfolio race.
@@ -266,14 +273,52 @@ pub fn race_portfolio(
     opts: &ExploreOptions,
     kinds: &[AgentKind],
 ) -> Result<PortfolioOutcome, VmError> {
+    race_portfolio_with(workload, lib, opts, kinds, |ev| ev)
+}
+
+/// [`race_portfolio`] through an arbitrary [`EvalBackend`]: `wrap` turns
+/// each racing agent's exact [`Evaluator`] (spawned from the shared-cache
+/// context) into the backend the race actually scores designs with.
+///
+/// `wrap` runs once per agent, on the racing worker threads; pass the
+/// identity closure for the exact race or wrap the evaluator in a tiered
+/// surrogate (the `ax-surrogate` crate's entry point) to prefilter the
+/// race through a learned estimator while exact confirmations still land
+/// in the shared cache.
+///
+/// # Errors
+///
+/// Propagates an exploration error if any run fails.
+///
+/// # Panics
+///
+/// Panics if `kinds` is empty.
+pub fn race_portfolio_with<B, F>(
+    workload: &dyn Workload,
+    lib: &OperatorLibrary,
+    opts: &ExploreOptions,
+    kinds: &[AgentKind],
+    wrap: F,
+) -> Result<PortfolioOutcome, VmError>
+where
+    B: EvalBackend + Send,
+    F: Fn(Evaluator) -> B + Sync,
+{
     assert!(!kinds.is_empty(), "portfolio needs at least one agent");
     let ctx = shared_context(workload, lib, opts)?;
-    let outcomes: Result<Vec<ExplorationOutcome>, VmError> = kinds
+    let outcomes: Vec<ExplorationOutcome<B>> = kinds
         .to_vec()
         .into_par_iter()
-        .map(|kind| explore_in_context(&ctx, opts, kind))
+        .map(|kind| {
+            explore_backend(
+                wrap(ctx.evaluator()),
+                ctx.library(),
+                ctx.benchmark(),
+                opts,
+                kind,
+            )
+        })
         .collect();
-    let outcomes = outcomes?;
 
     let entries: Vec<PortfolioEntry> = kinds
         .iter()

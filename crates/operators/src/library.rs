@@ -215,6 +215,25 @@ impl OperatorLibrary {
         &self.multipliers(width)[id.0]
     }
 
+    /// The published `[mred_pct, power_mw, time_ns]` feature rows of a
+    /// width class's adders, in [`AdderId`] order — the embedding table
+    /// surrogate models index with a configuration's adder choice.
+    pub fn adder_features(&self, width: BitWidth) -> Vec<[f64; 3]> {
+        self.adders(width)
+            .iter()
+            .map(|e| e.spec.features())
+            .collect()
+    }
+
+    /// The published `[mred_pct, power_mw, time_ns]` feature rows of a
+    /// width class's multipliers, in [`MulId`] order.
+    pub fn multiplier_features(&self, width: BitWidth) -> Vec<[f64; 3]> {
+        self.multipliers(width)
+            .iter()
+            .map(|e| e.spec.features())
+            .collect()
+    }
+
     /// Finds an adder by its published short name within a width class.
     pub fn adder_by_name(&self, width: BitWidth, name: &str) -> Option<(AdderId, &AdderEntry)> {
         self.adders(width)
@@ -464,6 +483,20 @@ mod tests {
                 assert!(pair[0] <= pair[1] + 1e-9, "{w} muls: {measured:?}");
             }
         }
+    }
+
+    #[test]
+    fn feature_rows_mirror_specs_in_id_order() {
+        let lib = OperatorLibrary::evoapprox();
+        let rows = lib.adder_features(BitWidth::W8);
+        assert_eq!(rows.len(), 6);
+        for (row, entry) in rows.iter().zip(lib.adders(BitWidth::W8)) {
+            assert_eq!(*row, entry.spec.features());
+        }
+        assert_eq!(rows[0], [0.0, 0.033, 0.63]); // 1HG: exact, published power/time
+        let mrows = lib.multiplier_features(BitWidth::W32);
+        assert_eq!(mrows[5], [41.25, 0.51, 1.750]); // 067
+        assert!(lib.adder_features(BitWidth::W32).is_empty());
     }
 
     #[test]

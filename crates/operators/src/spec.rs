@@ -81,6 +81,15 @@ impl OperatorSpec {
     pub fn time_ns(&self) -> f64 {
         self.time_ns
     }
+
+    /// The characterisation record as a dense feature triple
+    /// `[mred_pct, power_mw, time_ns]` — the per-operator inputs of
+    /// learned cost/quality estimators (surrogate evaluation backends
+    /// embed the selected operators through these numbers rather than
+    /// their opaque ids).
+    pub fn features(&self) -> [f64; 3] {
+        [self.mred_pct, self.power_mw, self.time_ns]
+    }
 }
 
 impl fmt::Display for OperatorSpec {

@@ -10,13 +10,73 @@
 //! real rayon short-circuits nondeterministically — don't rely on which
 //! error wins when several items fail.
 //!
-//! Threads are capped at `std::thread::available_parallelism()`; one
-//! item degenerates to an inline call with no thread spawn.
+//! The worker count is configurable: [`ThreadPoolBuilder::build_global`]
+//! (API-compatible with real rayon's global-pool setup) takes precedence,
+//! then the `AX_THREADS` environment variable, then
+//! `std::thread::available_parallelism()`. One item degenerates to an
+//! inline call with no thread spawn.
 
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Worker cap installed by [`ThreadPoolBuilder::build_global`]; 0 = unset.
+static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Builds the global "thread pool" — for this shim, just the worker cap
+/// every parallel call uses. Mirrors the crates.io rayon API so call sites
+/// survive the shim being swapped for the real crate.
+///
+/// ```
+/// rayon::ThreadPoolBuilder::new().num_threads(2).build_global().unwrap();
+/// assert_eq!(rayon::current_num_threads(), 2);
+/// # rayon::ThreadPoolBuilder::new().num_threads(0).build_global().unwrap();
+/// ```
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts configuring the global pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps parallel calls at `n` worker threads (0 = automatic: the
+    /// `AX_THREADS` environment variable, then available parallelism).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the configuration globally. Unlike real rayon — which
+    /// errors once a pool exists — the shim has no pool to rebuild, so
+    /// repeated calls simply replace the cap and always succeed.
+    ///
+    /// # Errors
+    ///
+    /// Never fails; the `Result` mirrors the real rayon signature.
+    pub fn build_global(self) -> Result<(), GlobalPoolError> {
+        CONFIGURED_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Error type of [`ThreadPoolBuilder::build_global`] (never produced by
+/// the shim; exists for signature compatibility with real rayon).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalPoolError;
+
+impl std::fmt::Display for GlobalPoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "global thread pool configuration failed")
+    }
+}
+
+impl std::error::Error for GlobalPoolError {}
 
 /// Runs two closures, potentially in parallel, returning both results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
@@ -33,8 +93,22 @@ where
     })
 }
 
-/// The maximum number of worker threads used for one parallel call.
+/// The maximum number of worker threads used for one parallel call:
+/// the [`ThreadPoolBuilder::build_global`] cap if set, else a positive
+/// `AX_THREADS` environment variable, else the machine's available
+/// parallelism.
 pub fn current_num_threads() -> usize {
+    let configured = CONFIGURED_THREADS.load(Ordering::Relaxed);
+    if configured > 0 {
+        return configured;
+    }
+    if let Some(n) = std::env::var("AX_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -319,6 +393,22 @@ mod tests {
             .map(|x| x * 2)
             .collect();
         assert_eq!(v, (0i64..50).map(|x| (x + 1) * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn builder_overrides_thread_count() {
+        // The global cap is process-wide state, so exercise set + unset in
+        // one test to avoid ordering races with other tests.
+        super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build_global()
+            .unwrap();
+        assert_eq!(super::current_num_threads(), 3);
+        super::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+        assert!(super::current_num_threads() >= 1);
     }
 
     #[test]

@@ -1,0 +1,499 @@
+//! Configuration featurisation for the learned backend.
+//!
+//! An [`AxConfig`] is three categorical choices (adder, multiplier,
+//! variable subset); a regression model needs numbers that carry the
+//! physics. Two sources are combined:
+//!
+//! * **Operator metadata** — the selected operators embedded through their
+//!   published characterisation ([`ax_operators::OperatorSpec::features`]:
+//!   MRED, power, time) relative to the exact operators of the class.
+//! * **Program structure** — at construction the extractor records, per
+//!   arithmetic instruction, the mask of approximable variables it
+//!   touches. The vm approximates an op when *any* touched variable is
+//!   selected, so the number of approximately-executed adds/muls of a
+//!   configuration is computable without running anything — and power and
+//!   computation time are then *exactly* linear in
+//!   `approx_op_count × per-op operator delta`. Accuracy degradation is
+//!   nonlinear but well approximated by MRED × coverage interactions.
+
+use ax_dse::backend::EvalBackend;
+use ax_dse::config::{AxConfig, SpaceDims};
+use ax_operators::OperatorLibrary;
+use ax_vm::ir::Instr;
+use ax_vm::Program;
+
+/// Per-variable feature blocks are emitted for at most this many
+/// variables; benchmarks with more fold the excess into one aggregate
+/// tail block so the dimensionality stays bounded.
+const MAX_PER_VAR: u32 = 24;
+
+/// Features emitted per (variable or tail) block.
+const PER_VAR_FEATURES: usize = 3;
+
+/// Features before the categorical and per-variable blocks.
+const HEAD_FEATURES: usize = 29;
+
+/// Ridge-penalty multiplier of the categorical block: the memorising
+/// per-operator features must not steal weight from the physical basis
+/// (which predicts power/time exactly); they only mop up what the global
+/// features cannot express.
+const CATEGORICAL_PENALTY: f64 = 100.0;
+
+/// The execution-equivalence class of a configuration: two configurations
+/// with the same key produce byte-identical evaluations.
+///
+/// Evaluation depends on the variable selection only through the
+/// per-instruction approximate/precise flags, and each instruction's flag
+/// is "does my touched-variable mask intersect the selection". Distinct
+/// selections inducing the same flag pattern under the same operators are
+/// therefore *exactly* interchangeable — the structural fact the tiered
+/// backend's class memo exploits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EquivClass {
+    /// Selected adder index.
+    pub adder: usize,
+    /// Selected multiplier index.
+    pub mul: usize,
+    /// One bit per distinct touched-variable mask: "does this group of
+    /// instructions run approximately". Falls back to the raw variable
+    /// bits (configuration-exact classes) for programs with more than 64
+    /// distinct masks.
+    pub signature: u64,
+}
+
+/// Maps configurations of one benchmark to dense feature vectors.
+///
+/// Construction snapshots the operator feature rows for the benchmark's
+/// adder/multiplier width classes plus the program's per-instruction
+/// touched-variable masks, so the extractor is self-contained, cheap to
+/// move across threads, and deterministic.
+#[derive(Debug, Clone)]
+pub struct FeatureExtractor {
+    adders: Vec<[f64; 3]>,
+    muls: Vec<[f64; 3]>,
+    /// Touched-approximable-variable mask per addition instruction.
+    add_masks: Vec<u64>,
+    /// Touched-approximable-variable mask per multiplication instruction.
+    mul_masks: Vec<u64>,
+    /// Deduplicated arithmetic-instruction masks (insertion order) behind
+    /// [`FeatureExtractor::equivalence_class`]; `None` when the program
+    /// has more than 64 distinct masks.
+    distinct_masks: Option<Vec<u64>>,
+    dims: SpaceDims,
+}
+
+impl FeatureExtractor {
+    /// Builds an extractor for `program` from the library's feature rows
+    /// at the program's width classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library's width classes disagree with `dims` (the
+    /// space the configurations will come from).
+    pub fn new(lib: &OperatorLibrary, program: &Program, dims: SpaceDims) -> Self {
+        let adders = lib.adder_features(program.add_width());
+        let muls = lib.multiplier_features(program.mul_width());
+        assert_eq!(adders.len(), dims.n_add, "adder class / dims mismatch");
+        assert_eq!(muls.len(), dims.n_mul, "multiplier class / dims mismatch");
+
+        // Mask-bit index per approximable variable, in the same order the
+        // environment's `vars` bits use (`VarMask` is indexed over
+        // `Program::approximable_vars`).
+        let vars = program.approximable_vars();
+        let touched_mask = |instr: &Instr| -> u64 {
+            instr
+                .touched_vars()
+                .into_iter()
+                .flatten()
+                .filter_map(|v| vars.iter().position(|w| *w == v))
+                .fold(0u64, |m, bit| m | (1 << bit))
+        };
+        let mut add_masks = Vec::new();
+        let mut mul_masks = Vec::new();
+        for instr in program.instrs() {
+            match instr {
+                Instr::Add { .. } => add_masks.push(touched_mask(instr)),
+                Instr::Mul { .. } => mul_masks.push(touched_mask(instr)),
+                _ => {}
+            }
+        }
+        let mut distinct: Vec<u64> = Vec::new();
+        for m in add_masks.iter().chain(&mul_masks) {
+            if !distinct.contains(m) {
+                distinct.push(*m);
+            }
+        }
+        Self {
+            adders,
+            muls,
+            add_masks,
+            mul_masks,
+            distinct_masks: (distinct.len() <= 64).then_some(distinct),
+            dims,
+        }
+    }
+
+    /// Builds an extractor for the benchmark behind an evaluation backend
+    /// (program and dimensions from the backend).
+    pub fn for_backend<B: EvalBackend + ?Sized>(lib: &OperatorLibrary, backend: &B) -> Self {
+        Self::new(lib, backend.program(), backend.dims())
+    }
+
+    /// The space this extractor featurises.
+    pub fn dims(&self) -> SpaceDims {
+        self.dims
+    }
+
+    /// Length of the categorical block: per-adder and per-multiplier
+    /// one-hot × coverage features plus one joint-coverage feature per
+    /// (adder, multiplier) pair.
+    fn categorical_len(&self) -> usize {
+        2 * (self.dims.n_add + self.dims.n_mul) + self.dims.n_add * self.dims.n_mul
+    }
+
+    /// Number of features per configuration.
+    pub fn len(&self) -> usize {
+        let var_blocks = self.dims.n_vars.min(MAX_PER_VAR) as usize
+            + usize::from(self.dims.n_vars > MAX_PER_VAR);
+        HEAD_FEATURES + self.categorical_len() + PER_VAR_FEATURES * var_blocks
+    }
+
+    /// Per-feature ridge-penalty multipliers (aligned with the extracted
+    /// vector): 1 for the physical and per-variable features,
+    /// a stiff multiplier for the memorising categorical block.
+    pub fn penalty_weights(&self) -> Vec<f64> {
+        let mut pens = vec![1.0; self.len()];
+        for p in pens
+            .iter_mut()
+            .skip(HEAD_FEATURES)
+            .take(self.categorical_len())
+        {
+            *p = CATEGORICAL_PENALTY;
+        }
+        pens
+    }
+
+    /// The execution-equivalence class of a configuration (see
+    /// [`EquivClass`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` lies outside the extractor's space.
+    pub fn equivalence_class(&self, config: &AxConfig) -> EquivClass {
+        assert!(
+            config.is_valid(self.dims),
+            "configuration {config} outside the space"
+        );
+        let signature = match &self.distinct_masks {
+            Some(masks) => masks.iter().enumerate().fold(0u64, |sig, (i, m)| {
+                sig | (u64::from(m & config.vars != 0) << i)
+            }),
+            None => config.vars,
+        };
+        EquivClass {
+            adder: config.adder.0,
+            mul: config.mul.0,
+            signature,
+        }
+    }
+
+    /// `true` if configurations map to empty vectors (never: there is
+    /// always at least the bias feature).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The number of additions / multiplications a configuration executes
+    /// approximately — exact, via the recorded touched-variable masks (an
+    /// op is approximate when any variable it touches is selected).
+    pub fn approx_op_counts(&self, config: &AxConfig) -> (usize, usize) {
+        let on = |masks: &[u64]| masks.iter().filter(|m| *m & config.vars != 0).count();
+        (on(&self.add_masks), on(&self.mul_masks))
+    }
+
+    /// Featurises `config` into `out` (cleared first). The buffer form is
+    /// the hot path — one allocation per backend, not per design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` lies outside the extractor's space.
+    pub fn extract_into(&self, config: &AxConfig, out: &mut Vec<f64>) {
+        assert!(
+            config.is_valid(self.dims),
+            "configuration {config} outside the space"
+        );
+        out.clear();
+        out.reserve(self.len());
+
+        let [mred_a, pow_a, time_a] = self.adders[config.adder.0];
+        let [mred_m, pow_m, time_m] = self.muls[config.mul.0];
+        let [_, pow_a0, time_a0] = self.adders[0];
+        let [_, pow_m0, time_m0] = self.muls[0];
+        // Per-op savings of the selected operators vs. the exact ones —
+        // the constants each approximated op contributes to Δpower/Δtime.
+        let dp_a = pow_a0 - pow_a;
+        let dt_a = time_a0 - time_a;
+        let dp_m = pow_m0 - pow_m;
+        let dt_m = time_m0 - time_m;
+
+        let (add_on, mul_on) = self.approx_op_counts(config);
+        let (add_on, mul_on) = (add_on as f64, mul_on as f64);
+        // Coverage: fraction of each op kind running approximately, plus
+        // the any-at-all indicators.
+        let fa = add_on / (self.add_masks.len() as f64).max(1.0);
+        let fm = mul_on / (self.mul_masks.len() as f64).max(1.0);
+        let ia = f64::from(add_on > 0.0);
+        let im = f64::from(mul_on > 0.0);
+
+        let n_vars = self.dims.n_vars;
+        let frac = if n_vars == 0 {
+            0.0
+        } else {
+            f64::from(config.selected_vars()) / f64::from(n_vars)
+        };
+
+        out.push(1.0);
+        out.extend_from_slice(&[mred_a, dp_a, dt_a, mred_m, dp_m, dt_m]);
+        // Power and time are exactly `precise − Σ approx_ops × per-op
+        // delta`: these four products span them.
+        out.extend_from_slice(&[
+            add_on,
+            mul_on,
+            add_on * dp_a,
+            add_on * dt_a,
+            mul_on * dp_m,
+            mul_on * dt_m,
+        ]);
+        // Accuracy is driven by how much of the program runs through how
+        // wrong an operator: MRED × coverage interactions, including the
+        // quadratic terms the error-compounding of chained ops produces.
+        out.extend_from_slice(&[
+            fa * mred_a,
+            fm * mred_m,
+            fa * fm * mred_a * mred_m,
+            fa * mred_a * mred_a,
+            fm * mred_m * mred_m,
+            frac,
+            frac * mred_a,
+            frac * mred_m,
+        ]);
+        // The accuracy target lives in log space (error compounds
+        // multiplicatively through op chains), so give the model the same
+        // quantities in log form: `log(Δacc) ≈ α·log(MRED) + β·log(ops)`
+        // becomes linear in these.
+        let la = mred_a.ln_1p();
+        let lm = mred_m.ln_1p();
+        let lfa = add_on.ln_1p();
+        let lfm = mul_on.ln_1p();
+        out.extend_from_slice(&[
+            la * ia, // log-MRED gated on any op of the kind running approx
+            lm * im,
+            la * fa,
+            lm * fm,
+            la * lfa,
+            lm * lfm,
+            (la + lm) * frac,
+            la * lm * fa * fm,
+        ]);
+
+        // Categorical block: the operator choice is categorical, and
+        // accuracy interacts with it in ways no smooth MRED function
+        // captures (e.g. a biased truncating adder on an accumulation
+        // chain). Additive per-operator one-hot × coverage bases plus a
+        // per-pair joint-coverage interaction let ridge learn arbitrary
+        // per-operator responses while the global features above still
+        // generalise to operators never confirmed.
+        for i in 0..self.dims.n_add {
+            let sel = f64::from(i == config.adder.0);
+            out.extend_from_slice(&[sel * ia, sel * fa]);
+        }
+        for j in 0..self.dims.n_mul {
+            let sel = f64::from(j == config.mul.0);
+            out.extend_from_slice(&[sel * im, sel * fm]);
+        }
+        let joint = fa * fm;
+        for i in 0..self.dims.n_add {
+            for j in 0..self.dims.n_mul {
+                let sel = f64::from(i == config.adder.0 && j == config.mul.0);
+                out.push(sel * joint);
+            }
+        }
+
+        let emit_block = |out: &mut Vec<f64>, weight: f64| {
+            out.extend_from_slice(&[weight, weight * mred_a, weight * mred_m]);
+        };
+        for v in 0..n_vars.min(MAX_PER_VAR) {
+            let bit = f64::from((config.vars >> v) & 1 == 1);
+            emit_block(out, bit);
+        }
+        if n_vars > MAX_PER_VAR {
+            // Aggregate tail: the selected fraction of the folded variables.
+            let tail_total = n_vars - MAX_PER_VAR;
+            let tail_selected = (config.vars >> MAX_PER_VAR).count_ones();
+            emit_block(out, f64::from(tail_selected) / f64::from(tail_total));
+        }
+
+        debug_assert_eq!(out.len(), self.len());
+    }
+
+    /// Allocating convenience wrapper around [`FeatureExtractor::extract_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` lies outside the extractor's space.
+    pub fn extract(&self, config: &AxConfig) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.len());
+        self.extract_into(config, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ax_dse::backend::Evaluator;
+    use ax_operators::{AdderId, MulId};
+    use ax_vm::instrument::{instruction_flags, VarMask};
+    use ax_workloads::matmul::MatMul;
+
+    fn evaluator() -> Evaluator {
+        Evaluator::new(&MatMul::new(4), &OperatorLibrary::evoapprox(), 11).unwrap()
+    }
+
+    fn extractor() -> FeatureExtractor {
+        let ev = evaluator();
+        FeatureExtractor::for_backend(ev.context().library(), &ev)
+    }
+
+    #[test]
+    fn length_matches_layout() {
+        let fx = extractor();
+        assert_eq!(fx.dims().n_vars, 4);
+        assert_eq!(fx.len(), 29 + (2 * 12 + 36) + 3 * 4);
+        assert_eq!(fx.extract(&AxConfig::precise()).len(), fx.len());
+        assert!(!fx.is_empty());
+    }
+
+    #[test]
+    fn equivalence_classes_predict_identical_metrics() {
+        // Configurations in one class must evaluate identically; for
+        // MatMul the adds hang off {c, prod} and the muls off {a, b,
+        // prod}, so e.g. selecting `a` and selecting `b` are equivalent.
+        let mut ev = evaluator();
+        let fx = extractor();
+        let mut metrics_by_class = std::collections::HashMap::new();
+        let mut classes = 0;
+        for c in AxConfig::enumerate(ev.dims()) {
+            let key = fx.equivalence_class(&c);
+            let m = ev.evaluate(&c).unwrap();
+            match metrics_by_class.entry(key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(m);
+                    classes += 1;
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    assert_eq!(*e.get(), m, "{c} diverged from its class");
+                }
+            }
+        }
+        // 6 adders × 6 muls × 4 flag patterns ≪ 576 configurations.
+        assert_eq!(classes, 6 * 6 * 4);
+    }
+
+    #[test]
+    fn precise_config_features_are_neutral() {
+        let fx = extractor();
+        let f = fx.extract(&AxConfig::precise());
+        assert_eq!(f[0], 1.0, "bias");
+        // Exact operators: zero MRED, zero per-op savings; empty selection.
+        for (i, v) in f.iter().enumerate().skip(1) {
+            assert_eq!(*v, 0.0, "feature {i} of the precise design");
+        }
+    }
+
+    #[test]
+    fn approx_op_counts_match_vm_instrumentation() {
+        // The extractor's structural counts must agree with the vm's
+        // actual per-instruction decisions for every selection pattern.
+        let ev = evaluator();
+        let program = ev.program();
+        let fx = extractor();
+        let mut mask = VarMask::none(program);
+        for vars in 0u64..(1 << fx.dims().n_vars) {
+            mask.set_raw_bits(vars);
+            let flags = instruction_flags(program, &mask);
+            let (mut vm_adds, mut vm_muls) = (0usize, 0usize);
+            for (instr, flag) in program.instrs().iter().zip(&flags) {
+                if !flag {
+                    continue;
+                }
+                match instr {
+                    Instr::Add { .. } => vm_adds += 1,
+                    Instr::Mul { .. } => vm_muls += 1,
+                    _ => {}
+                }
+            }
+            let config = AxConfig {
+                adder: AdderId(0),
+                mul: MulId(0),
+                vars,
+            };
+            assert_eq!(
+                fx.approx_op_counts(&config),
+                (vm_adds, vm_muls),
+                "vars {vars:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_configs_give_distinct_features() {
+        let fx = extractor();
+        let a = fx.extract(&AxConfig {
+            adder: AdderId(3),
+            mul: MulId(2),
+            vars: 0b0101,
+        });
+        let b = fx.extract(&AxConfig {
+            adder: AdderId(3),
+            mul: MulId(2),
+            vars: 0b1010,
+        });
+        assert_ne!(a, b, "different selections must featurise differently");
+    }
+
+    #[test]
+    fn features_are_deterministic() {
+        let fx = extractor();
+        let c = AxConfig {
+            adder: AdderId(5),
+            mul: MulId(4),
+            vars: 0b1111,
+        };
+        assert_eq!(fx.extract(&c), fx.extract(&c));
+    }
+
+    #[test]
+    fn buffer_reuse_matches_allocation() {
+        let fx = extractor();
+        let mut buf = vec![99.0; 3];
+        let c = AxConfig {
+            adder: AdderId(1),
+            mul: MulId(1),
+            vars: 0b0011,
+        };
+        fx.extract_into(&c, &mut buf);
+        assert_eq!(buf, fx.extract(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the space")]
+    fn invalid_config_rejected() {
+        let fx = extractor();
+        let _ = fx.extract(&AxConfig {
+            adder: AdderId(9),
+            mul: MulId(0),
+            vars: 0,
+        });
+    }
+}

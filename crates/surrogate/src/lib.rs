@@ -1,0 +1,60 @@
+//! Learned evaluation backend for the approximate-computing DSE: a
+//! surrogate estimator plus the two-tier prefilter/confirm evaluator.
+//!
+//! The exact evaluator executes the instrumented benchmark per candidate
+//! design — nearly all of an exploration's wall-clock. Following autoAx
+//! (Mrazek et al., 2019) and ApproxGNN (Vlcek & Mrazek, 2025), this crate
+//! trades a bounded, *measured* amount of prediction error for
+//! orders-of-magnitude cheaper evaluations:
+//!
+//! * [`features::FeatureExtractor`] embeds an [`ax_dse::AxConfig`] through
+//!   the published operator characterisations (MRED/power/time) and
+//!   per-variable selection interactions;
+//! * [`model::SurrogateModel`] is an incremental multi-output ridge
+//!   regressor over those features (normal-equation accumulation, lazy
+//!   refits, no external dependencies) predicting power, time and
+//!   accuracy degradation, shadow-scoring itself on every exact result;
+//! * [`tiered::TieredBackend`] implements [`ax_dse::EvalBackend`]: memo
+//!   table → surrogate tier (when the model's recent confirmed accuracy
+//!   clears the trust gate, minus a deterministic audit stream) → exact
+//!   confirmation, with every exact result refining the model online.
+//!
+//! Because `TieredBackend` is just another `EvalBackend`, the existing
+//! seams consume it unmodified: `DseEnv<TieredBackend<Evaluator>>`,
+//! `DseSearchSpace`, `ThresholdRule::calibrate`, and the exploration
+//! drivers via [`ax_dse::explore::explore_backend`]. [`sweep`] adds the
+//! surrogate-assisted counterparts of the multi-seed sweep and the agent
+//! portfolio race.
+//!
+//! ```
+//! use ax_dse::explore::{explore_backend, AgentKind, ExploreOptions};
+//! use ax_dse::Evaluator;
+//! use ax_operators::OperatorLibrary;
+//! use ax_surrogate::{SurrogateSettings, TieredBackend};
+//! use ax_workloads::matmul::MatMul;
+//!
+//! let lib = OperatorLibrary::evoapprox();
+//! let opts = ExploreOptions { max_steps: 150, ..Default::default() };
+//! let exact = Evaluator::new(&MatMul::new(4), &lib, opts.input_seed).unwrap();
+//! let tiered = TieredBackend::from_exact(exact, SurrogateSettings::default());
+//! let outcome = explore_backend(tiered, &lib, "matmul-4x4", &opts, AgentKind::QLearning);
+//! assert_eq!(outcome.trace.len(), outcome.log.len());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod features;
+pub mod model;
+pub mod sweep;
+pub mod tiered;
+
+pub use features::FeatureExtractor;
+pub use model::{RelErrors, SurrogateModel};
+pub use sweep::{
+    race_portfolio_surrogate, sweep_in_context_surrogate, sweep_seeds_surrogate,
+    SurrogateSweepOutcome,
+};
+pub use tiered::{
+    shared_model_for, warm_start, SharedModel, SurrogateSettings, TieredBackend, TieredStats,
+};

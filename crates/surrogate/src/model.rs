@@ -1,0 +1,588 @@
+//! The incremental multi-output ridge regressor behind the surrogate.
+//!
+//! Training accumulates the normal equations (`XᵀX`, `Xᵀy`) one exact
+//! evaluation at a time — O(d²) per sample, no stored sample matrix — and
+//! refits lazily (Gaussian elimination with partial pivoting on the
+//! ridge-regularised system) every few samples. Four targets are learned
+//! jointly from one shared feature vector: absolute power, absolute
+//! computation time, accuracy degradation (in `log1p` space — error
+//! compounds multiplicatively through op chains) and the signed mean
+//! error. The Δ metrics are derived from the precise-run constants.
+//!
+//! The model also keeps its own honesty score: before training on an
+//! exact result it *shadow-predicts* the design and records the relative
+//! error per metric, cumulatively and over a sliding window. The tiered
+//! backend gates surrogate answers on those windows, so the estimator is
+//! only trusted while its recent confirmed accuracy supports it.
+
+use crate::features::FeatureExtractor;
+use crate::tiered::SurrogateSettings;
+use ax_dse::backend::EvalMetrics;
+use ax_dse::config::AxConfig;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Jointly predicted targets: power, time, log-accuracy, signed error.
+const N_TARGETS: usize = 4;
+
+/// Minimum training samples before the model will fit and predict at all
+/// (below this the normal equations are too underdetermined to bother).
+const MIN_FIT_SAMPLES: u64 = 16;
+
+/// Relative errors are computed against `max(|exact|, floor)` with the
+/// floor at this fraction of the metric's natural scale, so near-zero
+/// exact values (e.g. Δaccuracy of an effectively precise design) don't
+/// turn microscopic absolute errors into unbounded relative ones.
+const REL_ERR_FLOOR_FRAC: f64 = 0.02;
+
+/// Mean relative prediction error of the three reported metrics, in
+/// `[power, time, accuracy]` order.
+pub type RelErrors = [f64; 3];
+
+/// A windowed + cumulative tracker of one metric's relative error.
+#[derive(Debug, Clone, Default)]
+struct ErrorTracker {
+    window: VecDeque<f64>,
+    window_sum: f64,
+    total_sum: f64,
+    count: u64,
+}
+
+impl ErrorTracker {
+    fn record(&mut self, err: f64, window_cap: usize) {
+        self.window.push_back(err);
+        self.window_sum += err;
+        while self.window.len() > window_cap.max(1) {
+            self.window_sum -= self.window.pop_front().expect("non-empty window");
+        }
+        self.total_sum += err;
+        self.count += 1;
+    }
+
+    fn window_mean(&self) -> Option<f64> {
+        (!self.window.is_empty()).then(|| self.window_sum / self.window.len() as f64)
+    }
+
+    fn total_mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.total_sum / self.count as f64)
+    }
+}
+
+/// The incremental surrogate: featuriser + normal equations + honesty
+/// trackers. Deterministic: identical training sequences give identical
+/// predictions.
+#[derive(Debug)]
+pub struct SurrogateModel {
+    extractor: FeatureExtractor,
+    settings: SurrogateSettings,
+    precise_power: f64,
+    precise_time: f64,
+    /// Natural scale of the accuracy metric (mean |precise output|).
+    acc_scale: f64,
+    /// `d × d` normal matrix, row-major.
+    xtx: Vec<f64>,
+    /// `d × N_TARGETS` moment matrix, row-major.
+    xty: Vec<f64>,
+    samples: u64,
+    samples_at_fit: u64,
+    /// Fitted `d × N_TARGETS` weights, row-major; `None` until first fit.
+    /// Behind `Arc` so [`Predictor`] snapshots share them without copying.
+    weights: Option<Arc<Vec<f64>>>,
+    /// Bumped on every successful refit; lets prediction snapshots know
+    /// when they are stale.
+    fit_version: u64,
+    /// Gating trackers: every post-warmup shadow confirmation.
+    trackers: [ErrorTracker; 3],
+    /// Reporting trackers: shadows recorded while the gate was open.
+    confirmed: [ErrorTracker; 3],
+    feat_buf: Vec<f64>,
+}
+
+impl SurrogateModel {
+    /// A fresh model for one benchmark: the featuriser plus the precise-run
+    /// constants the Δ metrics and error scales derive from.
+    pub fn new(
+        extractor: FeatureExtractor,
+        precise_power: f64,
+        precise_time: f64,
+        mean_abs_output: f64,
+        settings: SurrogateSettings,
+    ) -> Self {
+        let d = extractor.len();
+        Self {
+            extractor,
+            settings,
+            precise_power,
+            precise_time,
+            acc_scale: mean_abs_output.max(f64::MIN_POSITIVE),
+            xtx: vec![0.0; d * d],
+            xty: vec![0.0; d * N_TARGETS],
+            samples: 0,
+            samples_at_fit: 0,
+            weights: None,
+            fit_version: 0,
+            trackers: Default::default(),
+            confirmed: Default::default(),
+            feat_buf: Vec::with_capacity(d),
+        }
+    }
+
+    /// The featuriser this model was built around.
+    pub fn extractor(&self) -> &FeatureExtractor {
+        &self.extractor
+    }
+
+    /// Exact evaluations this model has been trained on.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Shadow-scored exact confirmations (the gate's denominator).
+    pub fn shadow_count(&self) -> u64 {
+        self.trackers[0].count
+    }
+
+    /// Shadow confirmations recorded while the trust gate was open — the
+    /// denominator of [`SurrogateModel::confirmed_rel_errors`].
+    pub fn confirmed_shadow_count(&self) -> u64 {
+        self.confirmed[0].count
+    }
+
+    /// Mean relative error per metric over the recent shadow window;
+    /// `None` before the first shadow confirmation.
+    pub fn window_rel_errors(&self) -> Option<RelErrors> {
+        Some([
+            self.trackers[0].window_mean()?,
+            self.trackers[1].window_mean()?,
+            self.trackers[2].window_mean()?,
+        ])
+    }
+
+    /// Mean relative error per metric over *all* shadow confirmations
+    /// since warmup — including the early, still-learning phase the gate
+    /// never exposed to callers; `None` before the first.
+    pub fn cumulative_rel_errors(&self) -> Option<RelErrors> {
+        Some([
+            self.trackers[0].total_mean()?,
+            self.trackers[1].total_mean()?,
+            self.trackers[2].total_mean()?,
+        ])
+    }
+
+    /// Mean relative error per metric over the shadow confirmations made
+    /// *while the trust gate was open* — the measured accuracy of the
+    /// estimator that actually answered queries (the audit stream's
+    /// verdict); `None` until the gate first opened and audited.
+    pub fn confirmed_rel_errors(&self) -> Option<RelErrors> {
+        Some([
+            self.confirmed[0].total_mean()?,
+            self.confirmed[1].total_mean()?,
+            self.confirmed[2].total_mean()?,
+        ])
+    }
+
+    /// `true` once the model clears its trust gate: enough training
+    /// samples, enough shadow confirmations, and every metric's windowed
+    /// relative error within the settings' bound.
+    pub fn is_confident(&self) -> bool {
+        if self.samples < self.settings.warmup || self.shadow_count() < self.settings.min_shadows {
+            return false;
+        }
+        self.window_rel_errors()
+            .is_some_and(|errs| errs.iter().all(|e| *e <= self.settings.max_rel_err))
+    }
+
+    fn targets(&self, m: &EvalMetrics) -> [f64; N_TARGETS] {
+        [
+            m.power,
+            m.time_ns,
+            (m.delta_acc / self.acc_scale).ln_1p(),
+            m.signed_error,
+        ]
+    }
+
+    /// Accumulates one exact evaluation into the normal equations.
+    pub fn train(&mut self, config: &AxConfig, metrics: &EvalMetrics) {
+        let mut x = std::mem::take(&mut self.feat_buf);
+        self.extractor.extract_into(config, &mut x);
+        let y = self.targets(metrics);
+        let d = x.len();
+        for i in 0..d {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            let row = &mut self.xtx[i * d..(i + 1) * d];
+            for (j, &xj) in x.iter().enumerate() {
+                row[j] += xi * xj;
+            }
+            for (t, &yt) in y.iter().enumerate() {
+                self.xty[i * N_TARGETS + t] += xi * yt;
+            }
+        }
+        self.samples += 1;
+        self.feat_buf = x;
+        // Refitting rides the training (exact-confirmation) path, which
+        // is already paying for an interpreter run — predictions stay
+        // read-only and can run from lock-free snapshots.
+        self.maybe_refit();
+    }
+
+    /// Shadow-scores then trains on one exact result: the prediction error
+    /// is recorded *before* the design joins the training set, so the
+    /// trackers measure genuine out-of-sample accuracy. Shadowing starts
+    /// once the warmup training budget is spent — the reported errors
+    /// describe the estimator that actually answers queries, not its first
+    /// guesses.
+    pub fn observe_exact(&mut self, config: &AxConfig, exact: &EvalMetrics) {
+        if self.samples >= self.settings.warmup {
+            let confident = self.is_confident();
+            if let Some(pred) = self.predict(config) {
+                let window = self.settings.window;
+                let floors = [
+                    REL_ERR_FLOOR_FRAC * self.precise_power,
+                    REL_ERR_FLOOR_FRAC * self.precise_time,
+                    REL_ERR_FLOOR_FRAC * self.acc_scale,
+                ];
+                let pairs = [
+                    (pred.power, exact.power),
+                    (pred.time_ns, exact.time_ns),
+                    (pred.delta_acc, exact.delta_acc),
+                ];
+                for (t, ((p, e), floor)) in pairs.into_iter().zip(floors).enumerate() {
+                    let rel = (p - e).abs() / e.abs().max(floor.max(f64::MIN_POSITIVE));
+                    self.trackers[t].record(rel, window);
+                    if confident {
+                        // The gate was open when this design was audited:
+                        // this error describes predictions callers rely on.
+                        self.confirmed[t].record(rel, window);
+                    }
+                }
+            }
+        }
+        self.train(config, exact);
+    }
+
+    /// Predicts the metrics of a configuration from the current fit.
+    /// `None` until a minimum batch of exact results has been absorbed
+    /// (fits happen on the training path).
+    pub fn predict(&mut self, config: &AxConfig) -> Option<EvalMetrics> {
+        let predictor = self.predictor()?;
+        let mut x = std::mem::take(&mut self.feat_buf);
+        let metrics = predictor.predict(&self.extractor, config, &mut x);
+        self.feat_buf = x;
+        Some(metrics)
+    }
+
+    /// Bumped on every successful refit — snapshot staleness check.
+    pub fn fit_version(&self) -> u64 {
+        self.fit_version
+    }
+
+    /// A self-contained prediction snapshot of the current fit: the
+    /// weights (shared, not copied) plus the precise-run constants.
+    /// Backends keep one per worker and refresh it when
+    /// [`SurrogateModel::fit_version`] moves, so the prediction hot path
+    /// never needs the model's write lock. `None` until the first fit.
+    pub fn predictor(&self) -> Option<Predictor> {
+        Some(Predictor {
+            weights: Arc::clone(self.weights.as_ref()?),
+            precise_power: self.precise_power,
+            precise_time: self.precise_time,
+            acc_scale: self.acc_scale,
+        })
+    }
+
+    fn maybe_refit(&mut self) {
+        if self.samples < MIN_FIT_SAMPLES {
+            return;
+        }
+        // Geometric refit schedule: early fits come every `refit_every`
+        // samples (the model changes fast), later ones only after the
+        // training set grows by half — O(log n) cubic solves over a run
+        // instead of O(n), which keeps the estimator cheaper than the
+        // interpreter it replaces.
+        let due = match self.weights {
+            None => true,
+            Some(_) => {
+                let interval = self
+                    .settings
+                    .refit_every
+                    .max(1)
+                    .max(self.samples_at_fit / 2);
+                self.samples - self.samples_at_fit >= interval
+            }
+        };
+        if !due {
+            return;
+        }
+        let d = self.extractor.len();
+        // Ridge per diagonal, *relative to each feature's own energy*
+        // (equivalent to a uniform ridge on standardised features): the
+        // basis mixes scales from per-op power deltas (~0.03) to squared
+        // MRED terms (~10³), and an absolute penalty would crush the small
+        // ones. The extractor's per-group multipliers keep the memorising
+        // pair block subordinate to the physical basis, and the tiny
+        // trace-scaled floor keeps never-active features (zero rows) from
+        // making the system singular.
+        let trace: f64 = (0..d).map(|i| self.xtx[i * d + i]).sum();
+        let floor = 1e-12 * (trace / d as f64).max(f64::MIN_POSITIVE);
+        let pens = self.extractor.penalty_weights();
+        let mut a = self.xtx.clone();
+        for i in 0..d {
+            a[i * d + i] += self.settings.lambda * pens[i] * a[i * d + i] + floor;
+        }
+        let mut b = self.xty.clone();
+        if solve_in_place(&mut a, &mut b, d) {
+            self.weights = Some(Arc::new(b));
+            self.samples_at_fit = self.samples;
+            self.fit_version += 1;
+        }
+    }
+}
+
+/// A read-only prediction snapshot of one [`SurrogateModel`] fit — see
+/// [`SurrogateModel::predictor`].
+#[derive(Debug, Clone)]
+pub struct Predictor {
+    weights: Arc<Vec<f64>>,
+    precise_power: f64,
+    precise_time: f64,
+    acc_scale: f64,
+}
+
+impl Predictor {
+    /// Predicts the metrics of `config`, featurising into `buf` (the
+    /// caller-owned scratch that keeps this allocation-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` lies outside `extractor`'s space, or if the
+    /// extractor disagrees with the fit's dimensionality.
+    pub fn predict(
+        &self,
+        extractor: &FeatureExtractor,
+        config: &AxConfig,
+        buf: &mut Vec<f64>,
+    ) -> EvalMetrics {
+        extractor.extract_into(config, buf);
+        assert_eq!(
+            buf.len() * N_TARGETS,
+            self.weights.len(),
+            "extractor/fit dimensionality mismatch"
+        );
+        let mut y = [0.0f64; N_TARGETS];
+        for (i, &xi) in buf.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            for (t, acc) in y.iter_mut().enumerate() {
+                *acc += xi * self.weights[i * N_TARGETS + t];
+            }
+        }
+        let power = y[0].max(0.0);
+        let time_ns = y[1].max(0.0);
+        let delta_acc = (self.acc_scale * y[2].exp_m1()).max(0.0);
+        EvalMetrics {
+            delta_acc,
+            delta_power: self.precise_power - power,
+            delta_time: self.precise_time - time_ns,
+            signed_error: y[3],
+            power,
+            time_ns,
+        }
+    }
+}
+
+/// Solves `A · W = B` in place (`A` is `d × d`, `B` is `d × N_TARGETS`,
+/// both row-major) by Gaussian elimination with partial pivoting. Returns
+/// `false` on numerical singularity, leaving the caller's previous weights
+/// in force.
+fn solve_in_place(a: &mut [f64], b: &mut [f64], d: usize) -> bool {
+    for col in 0..d {
+        let pivot_row = (col..d)
+            .max_by(|&r, &s| a[r * d + col].abs().total_cmp(&a[s * d + col].abs()))
+            .expect("non-empty pivot range");
+        let pivot = a[pivot_row * d + col];
+        if !pivot.is_finite() || pivot.abs() < 1e-300 {
+            return false;
+        }
+        if pivot_row != col {
+            for j in 0..d {
+                a.swap(col * d + j, pivot_row * d + j);
+            }
+            for t in 0..N_TARGETS {
+                b.swap(col * N_TARGETS + t, pivot_row * N_TARGETS + t);
+            }
+        }
+        let inv = 1.0 / a[col * d + col];
+        for row in (col + 1)..d {
+            let factor = a[row * d + col] * inv;
+            if factor == 0.0 {
+                continue;
+            }
+            a[row * d + col] = 0.0;
+            for j in (col + 1)..d {
+                a[row * d + j] -= factor * a[col * d + j];
+            }
+            for t in 0..N_TARGETS {
+                b[row * N_TARGETS + t] -= factor * b[col * N_TARGETS + t];
+            }
+        }
+    }
+    // Back substitution.
+    for col in (0..d).rev() {
+        let inv = 1.0 / a[col * d + col];
+        for t in 0..N_TARGETS {
+            let mut acc = b[col * N_TARGETS + t];
+            for j in (col + 1)..d {
+                acc -= a[col * d + j] * b[j * N_TARGETS + t];
+            }
+            b[col * N_TARGETS + t] = acc * inv;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ax_dse::backend::Evaluator;
+    use ax_operators::OperatorLibrary;
+    use ax_workloads::matmul::MatMul;
+
+    fn model_and_evaluator() -> (SurrogateModel, Evaluator) {
+        let lib = OperatorLibrary::evoapprox();
+        let ev = Evaluator::new(&MatMul::new(4), &lib, 11).unwrap();
+        let fx = FeatureExtractor::for_backend(&lib, &ev);
+        let model = SurrogateModel::new(
+            fx,
+            ev.precise_power(),
+            ev.precise_time(),
+            ev.mean_abs_output(),
+            SurrogateSettings::default(),
+        );
+        (model, ev)
+    }
+
+    #[test]
+    fn untrained_model_predicts_nothing() {
+        let (mut model, _) = model_and_evaluator();
+        assert_eq!(model.predict(&AxConfig::precise()), None);
+        assert!(!model.is_confident());
+        assert_eq!(model.cumulative_rel_errors(), None);
+    }
+
+    /// The enumeration scrambled by a stride coprime with the space size:
+    /// a deterministic stand-in for the mixed order an exploration visits
+    /// designs in (sorted order would leave whole operator columns unseen
+    /// for long stretches, which no wandering agent does).
+    fn scrambled(all: &[AxConfig]) -> Vec<AxConfig> {
+        let n = all.len();
+        (0..n).map(|i| all[(i * 97) % n]).collect()
+    }
+
+    #[test]
+    fn trained_model_recovers_power_and_time_almost_exactly() {
+        // Power/time are exactly linear in the feature basis, so a model
+        // trained on two thirds of the space must predict the rest tightly.
+        let (mut model, mut ev) = model_and_evaluator();
+        let all = scrambled(&AxConfig::enumerate(ev.dims()));
+        for c in all
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| (i % 3 != 0).then_some(c))
+        {
+            let m = ev.evaluate(c).unwrap();
+            model.train(c, &m);
+        }
+        for c in all
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| (i % 3 == 0).then_some(c))
+        {
+            let exact = ev.evaluate(c).unwrap();
+            let pred = model.predict(c).expect("fitted model must predict");
+            assert!(
+                (pred.power - exact.power).abs() <= 0.02 * ev.precise_power(),
+                "{c}: power {} vs {}",
+                pred.power,
+                exact.power
+            );
+            assert!(
+                (pred.time_ns - exact.time_ns).abs() <= 0.02 * ev.precise_time(),
+                "{c}: time {} vs {}",
+                pred.time_ns,
+                exact.time_ns
+            );
+        }
+    }
+
+    #[test]
+    fn predictions_are_deterministic() {
+        let (mut model, mut ev) = model_and_evaluator();
+        let all = AxConfig::enumerate(ev.dims());
+        for c in all.iter().take(64) {
+            let m = ev.evaluate(c).unwrap();
+            model.train(c, &m);
+        }
+        let probe = all[100];
+        assert_eq!(model.predict(&probe), model.predict(&probe));
+    }
+
+    #[test]
+    fn shadow_errors_gate_confidence() {
+        let (mut model, mut ev) = model_and_evaluator();
+        let all = scrambled(&AxConfig::enumerate(ev.dims()));
+        for c in &all {
+            let m = ev.evaluate(c).unwrap();
+            model.observe_exact(c, &m);
+        }
+        assert!(model.shadow_count() > 0, "post-warmup designs must shadow");
+        assert!(
+            model.cumulative_rel_errors().is_some(),
+            "gating trackers populated"
+        );
+        // The errors that matter are the ones measured while the gate was
+        // open — the estimator callers actually relied on.
+        let errs = model
+            .confirmed_rel_errors()
+            .expect("the gate must open on this well-modelled space");
+        assert!(errs[0] < 0.05, "power rel err {}", errs[0]);
+        assert!(errs[1] < 0.05, "time rel err {}", errs[1]);
+        assert!(errs[2] < 0.10, "acc rel err {}", errs[2]);
+        assert!(model.confirmed_shadow_count() > 0);
+        assert!(
+            model.is_confident()
+                || model
+                    .window_rel_errors()
+                    .is_some_and(|w| w.iter().any(|e| *e > model.settings.max_rel_err)),
+            "confidence must follow the windowed errors"
+        );
+    }
+
+    #[test]
+    fn solver_handles_identity_system() {
+        let d = 3;
+        let mut a = vec![0.0; d * d];
+        for i in 0..d {
+            a[i * d + i] = 2.0;
+        }
+        let mut b = vec![0.0; d * N_TARGETS];
+        for i in 0..d {
+            b[i * N_TARGETS] = 4.0;
+        }
+        assert!(solve_in_place(&mut a, &mut b, d));
+        for i in 0..d {
+            assert!((b[i * N_TARGETS] - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solver_rejects_singular_system() {
+        let d = 2;
+        let mut a = vec![1.0, 1.0, 1.0, 1.0];
+        let mut b = vec![0.0; d * N_TARGETS];
+        assert!(!solve_in_place(&mut a, &mut b, d));
+    }
+}

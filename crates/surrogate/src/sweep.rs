@@ -1,0 +1,265 @@
+//! Surrogate-assisted sweeps and portfolio races.
+//!
+//! The exact machinery lives in [`ax_dse::sweep`]; this module reruns it
+//! through [`TieredBackend`]s sharing one [`SharedModel`] (and, through
+//! the inner evaluators, one `SharedCache`): the first designs any seed
+//! confirms exactly train the estimator every other seed prefilters with.
+
+use crate::model::RelErrors;
+use crate::tiered::TieredStats;
+use crate::tiered::{shared_model_for, warm_start, SharedModel, SurrogateSettings, TieredBackend};
+use ax_dse::backend::{EvalContext, Evaluator, SharedCache};
+use ax_dse::explore::{explore_backend, AgentKind, ExplorationOutcome, ExploreOptions};
+use ax_dse::sweep::{summarize_outcomes, PortfolioOutcome, SweepSummary};
+use ax_operators::OperatorLibrary;
+use ax_vm::VmError;
+use ax_workloads::Workload;
+use rayon::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+/// Everything a surrogate-assisted sweep reports beyond the standard
+/// [`SweepSummary`]: tier usage and the model's confirmed accuracy.
+#[derive(Debug, Clone)]
+pub struct SurrogateSweepOutcome {
+    /// The aggregated exploration summary (same shape as the exact sweeps).
+    pub summary: SweepSummary,
+    /// Tier counters summed across all seeds.
+    pub stats: TieredStats,
+    /// Mean relative prediction error per metric (`[power, time, acc]`)
+    /// over the audit confirmations made while the trust gate was open —
+    /// the measured accuracy of the predictions the sweep relied on;
+    /// `None` if the gate never opened.
+    pub rel_errors: Option<RelErrors>,
+    /// Like `rel_errors`, but over *every* post-warmup shadow (including
+    /// the still-learning phase the gate never exposed).
+    pub rel_errors_all_shadows: Option<RelErrors>,
+    /// Exact evaluations the model trained on.
+    pub training_samples: u64,
+    /// Audit confirmations behind `rel_errors`.
+    pub shadow_confirmations: u64,
+}
+
+/// Runs `seeds` explorations with agent seeds `0..seeds` through tiered
+/// backends sharing one surrogate model and one design cache.
+///
+/// The analogue of [`ax_dse::sweep::sweep_seeds_parallel`] — same fan-out,
+/// same aggregation — with the surrogate prefilter in front of every
+/// evaluation. Note the weaker determinism contract: each *backend*
+/// answers consistently, but the shared model refines concurrently, so
+/// with more than one worker thread the summary may vary across runs
+/// (exactly like any online-refined estimator).
+///
+/// # Errors
+///
+/// Propagates the first exploration error.
+///
+/// # Panics
+///
+/// Panics if `seeds` is zero.
+pub fn sweep_seeds_surrogate(
+    workload: &dyn Workload,
+    lib: &OperatorLibrary,
+    opts: &ExploreOptions,
+    kind: AgentKind,
+    seeds: u64,
+    settings: SurrogateSettings,
+) -> Result<SurrogateSweepOutcome, VmError> {
+    assert!(seeds > 0, "need at least one seed");
+    let ctx = EvalContext::with_cache(
+        workload,
+        Arc::new(lib.clone()),
+        opts.input_seed,
+        SharedCache::new(),
+    )?;
+    Ok(sweep_in_context_surrogate(
+        &ctx, opts, kind, seeds, settings,
+    ))
+}
+
+/// [`sweep_seeds_surrogate`] against a prepared context. Designs already
+/// in the context's shared cache warm-start the model before any seed
+/// runs — repeated sweeps of one context start from confirmed truth.
+///
+/// # Panics
+///
+/// Panics if `seeds` is zero.
+pub fn sweep_in_context_surrogate(
+    ctx: &EvalContext,
+    opts: &ExploreOptions,
+    kind: AgentKind,
+    seeds: u64,
+    settings: SurrogateSettings,
+) -> SurrogateSweepOutcome {
+    assert!(seeds > 0, "need at least one seed");
+    let model = shared_model_for(ctx.library(), &ctx.evaluator(), settings);
+    if let Some(cache) = ctx.shared_cache() {
+        let harvest = cache.snapshot(ctx.benchmark(), ctx.input_seed());
+        if !harvest.is_empty() {
+            warm_start(&model, &harvest);
+        }
+    }
+    let outcomes: Vec<ExplorationOutcome<TieredBackend<Evaluator>>> = (0..seeds)
+        .into_par_iter()
+        .map(|seed| {
+            let run_opts = ExploreOptions { seed, ..*opts };
+            explore_backend(
+                TieredBackend::new(ctx.evaluator(), Arc::clone(&model), settings),
+                ctx.library(),
+                ctx.benchmark(),
+                &run_opts,
+                kind,
+            )
+        })
+        .collect();
+
+    let mut stats = TieredStats::default();
+    for o in &outcomes {
+        stats.merge(&o.evaluator.stats());
+    }
+    let summary = summarize_outcomes(ctx.benchmark().to_owned(), &outcomes);
+    let model = model.read().expect("surrogate model poisoned");
+    SurrogateSweepOutcome {
+        summary,
+        stats,
+        rel_errors: model.confirmed_rel_errors(),
+        rel_errors_all_shadows: model.cumulative_rel_errors(),
+        training_samples: model.samples(),
+        shadow_confirmations: model.confirmed_shadow_count(),
+    }
+}
+
+/// Races every given agent kind through tiered backends sharing one model
+/// (the surrogate-assisted [`ax_dse::sweep::race_portfolio`]): exact
+/// confirmations from any agent sharpen the prefilter for all.
+///
+/// # Errors
+///
+/// Propagates an exploration error if any run fails.
+///
+/// # Panics
+///
+/// Panics if `kinds` is empty.
+pub fn race_portfolio_surrogate(
+    workload: &dyn Workload,
+    lib: &OperatorLibrary,
+    opts: &ExploreOptions,
+    kinds: &[AgentKind],
+    settings: SurrogateSettings,
+) -> Result<PortfolioOutcome, VmError> {
+    // The shared-cache context (and thus the evaluators the model's scales
+    // come from) is built inside `race_portfolio_with`; materialise the
+    // model lazily from the first racing evaluator.
+    let model: OnceLock<SharedModel> = OnceLock::new();
+    ax_dse::sweep::race_portfolio_with(workload, lib, opts, kinds, |ev| {
+        let m = model.get_or_init(|| shared_model_for(ev.context().library(), &ev, settings));
+        TieredBackend::new(ev, Arc::clone(m), settings)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ax_workloads::dot::DotProduct;
+    use ax_workloads::matmul::MatMul;
+
+    fn quick_opts(steps: u64) -> ExploreOptions {
+        ExploreOptions {
+            max_steps: steps,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn surrogate_sweep_produces_consistent_summary() {
+        let lib = OperatorLibrary::evoapprox();
+        let out = sweep_seeds_surrogate(
+            &MatMul::new(4),
+            &lib,
+            &quick_opts(200),
+            AgentKind::QLearning,
+            4,
+            SurrogateSettings::default(),
+        )
+        .unwrap();
+        assert_eq!(out.summary.seeds, 4);
+        assert!(out.summary.stop_step.mean > 0.0);
+        assert!((0.0..=1.0).contains(&out.summary.feasible_solutions));
+        assert!(out.training_samples > 0);
+        let total = out.stats.surrogate_answers + out.stats.exact_confirmations;
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn always_fallback_sweep_equals_exact_sweep() {
+        // With the surrogate never trusted, every evaluation is exact and
+        // per-seed trajectories match the plain sweep bit for bit.
+        let lib = OperatorLibrary::evoapprox();
+        let opts = quick_opts(150);
+        let wl = DotProduct::new(8);
+        let exact =
+            ax_dse::sweep::sweep_seeds_parallel(&wl, &lib, &opts, AgentKind::QLearning, 4).unwrap();
+        let tiered = sweep_seeds_surrogate(
+            &wl,
+            &lib,
+            &opts,
+            AgentKind::QLearning,
+            4,
+            SurrogateSettings::always_fallback(),
+        )
+        .unwrap();
+        assert_eq!(exact, tiered.summary);
+        assert_eq!(tiered.stats.surrogate_answers, 0);
+    }
+
+    #[test]
+    fn warm_started_context_reuses_cached_designs() {
+        let lib = OperatorLibrary::evoapprox();
+        let opts = quick_opts(150);
+        let ctx = EvalContext::with_cache(
+            &MatMul::new(4),
+            Arc::new(lib.clone()),
+            opts.input_seed,
+            SharedCache::new(),
+        )
+        .unwrap();
+        // Fill the cache with an exact pass first.
+        let first = sweep_in_context_surrogate(
+            &ctx,
+            &opts,
+            AgentKind::QLearning,
+            2,
+            SurrogateSettings::always_fallback(),
+        );
+        assert!(first.training_samples > 0);
+        // The second sweep harvests the cache before its first step.
+        let second = sweep_in_context_surrogate(
+            &ctx,
+            &opts,
+            AgentKind::QLearning,
+            2,
+            SurrogateSettings::default(),
+        );
+        assert!(
+            second.training_samples >= first.training_samples,
+            "warm start must absorb the cached designs"
+        );
+    }
+
+    #[test]
+    fn surrogate_portfolio_matches_portfolio_shape() {
+        let lib = OperatorLibrary::evoapprox();
+        let opts = quick_opts(120);
+        let kinds = [AgentKind::QLearning, AgentKind::Sarsa];
+        let p = race_portfolio_surrogate(
+            &DotProduct::new(8),
+            &lib,
+            &opts,
+            &kinds,
+            SurrogateSettings::always_fallback(),
+        )
+        .unwrap();
+        assert_eq!(p.entries.len(), 2);
+        assert!(p.best < 2);
+        assert!(p.shared_distinct > 0);
+    }
+}

@@ -1,0 +1,584 @@
+//! The two-tier evaluator: surrogate prefilter + exact confirmation.
+//!
+//! [`TieredBackend`] wraps any exact [`EvalBackend`] and answers queries
+//! from the shared [`SurrogateModel`] whenever the model's recent
+//! confirmed accuracy clears the trust gate; everything else — the warmup
+//! phase, low-confidence periods, and a deterministic 1-in-N audit stream
+//! of otherwise-eligible queries — falls through to the exact backend,
+//! and **every** exact result feeds back into the model (shadow-scored
+//! first, then trained on: online refinement).
+//!
+//! Determinism: each backend instance memoises its answers, so within one
+//! instance a configuration always maps to the same metrics — the
+//! [`EvalBackend`] contract. Instances sharing one model may answer the
+//! same design differently (the model refines between queries); that
+//! trades bit-stability across runs for orders-of-magnitude cheaper
+//! evaluations, which is exactly the autoAx/ApproxGNN prefilter bargain.
+
+use crate::features::{EquivClass, FeatureExtractor};
+use crate::model::{Predictor, SurrogateModel};
+use ax_dse::backend::{EvalBackend, EvalMetrics, Evaluator};
+use ax_dse::config::{AxConfig, SpaceDims};
+use ax_operators::OperatorLibrary;
+use ax_vm::VmError;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, RwLock};
+
+/// A surrogate model shared between the tiered backends of one benchmark
+/// (e.g. all seeds of a sweep): exact confirmations from every worker
+/// refine one estimator.
+pub type SharedModel = Arc<RwLock<SurrogateModel>>;
+
+/// Tuning of the two-tier policy and the underlying regressor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurrogateSettings {
+    /// Exact evaluations to absorb before the surrogate may answer.
+    pub warmup: u64,
+    /// Trust gate: every metric's windowed mean relative shadow error must
+    /// stay at or below this for the surrogate to answer.
+    pub max_rel_err: f64,
+    /// Shadow confirmations required before the gate can open.
+    pub min_shadows: u64,
+    /// Sliding shadow-error window length.
+    pub window: usize,
+    /// Of the queries the surrogate could answer, every `confirm_every`-th
+    /// is audited through the exact backend instead (0 disables auditing —
+    /// not recommended: the error trackers would starve once confident).
+    pub confirm_every: u32,
+    /// Refit the regressor after this many new training samples.
+    pub refit_every: u64,
+    /// Ridge regularisation strength (relative to mean feature energy).
+    pub lambda: f64,
+}
+
+impl Default for SurrogateSettings {
+    fn default() -> Self {
+        Self {
+            warmup: 48,
+            max_rel_err: 0.05,
+            min_shadows: 8,
+            window: 64,
+            confirm_every: 8,
+            refit_every: 16,
+            lambda: 1e-6,
+        }
+    }
+}
+
+impl SurrogateSettings {
+    /// A policy that never trusts the surrogate: every query falls back to
+    /// the exact backend (and still trains the model). With this policy a
+    /// [`TieredBackend`] is metric-identical to its inner backend — the
+    /// equivalence the property tests pin down.
+    pub fn always_fallback() -> Self {
+        Self {
+            warmup: u64::MAX,
+            ..Self::default()
+        }
+    }
+}
+
+/// Query counters of one [`TieredBackend`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TieredStats {
+    /// Queries answered from this backend's own memo table.
+    pub memo_hits: u64,
+    /// Distinct queries answered *exactly* from the class memo — a
+    /// configuration in the same execution-equivalence class was already
+    /// confirmed, so the metrics are the interpreter's own, for free.
+    pub class_hits: u64,
+    /// Distinct queries answered by the surrogate (no exact run).
+    pub surrogate_answers: u64,
+    /// Distinct queries answered by the exact backend (warmup, low
+    /// confidence, or the audit stream).
+    pub exact_confirmations: u64,
+}
+
+impl TieredStats {
+    /// Distinct (non-memo) queries this backend has answered.
+    pub fn distinct_queries(&self) -> u64 {
+        self.class_hits + self.surrogate_answers + self.exact_confirmations
+    }
+
+    /// Fraction of distinct queries the surrogate model absorbed (0 when
+    /// no distinct query has been made).
+    pub fn surrogate_hit_rate(&self) -> f64 {
+        let total = self.distinct_queries();
+        if total == 0 {
+            0.0
+        } else {
+            self.surrogate_answers as f64 / total as f64
+        }
+    }
+
+    /// Fraction of distinct queries that skipped the interpreter entirely
+    /// (class memo or surrogate).
+    pub fn avoided_exact_rate(&self) -> f64 {
+        let total = self.distinct_queries();
+        if total == 0 {
+            0.0
+        } else {
+            (self.class_hits + self.surrogate_answers) as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another backend's counters (for sweep-wide totals).
+    pub fn merge(&mut self, other: &TieredStats) {
+        self.memo_hits += other.memo_hits;
+        self.class_hits += other.class_hits;
+        self.surrogate_answers += other.surrogate_answers;
+        self.exact_confirmations += other.exact_confirmations;
+    }
+}
+
+/// Builds a fresh shared model for the benchmark behind `backend`,
+/// featurising through `lib`'s published operator characterisations.
+pub fn shared_model_for<B: EvalBackend + ?Sized>(
+    lib: &OperatorLibrary,
+    backend: &B,
+    settings: SurrogateSettings,
+) -> SharedModel {
+    let extractor = FeatureExtractor::for_backend(lib, backend);
+    Arc::new(RwLock::new(SurrogateModel::new(
+        extractor,
+        backend.precise_power(),
+        backend.precise_time(),
+        backend.mean_abs_output(),
+        settings,
+    )))
+}
+
+/// Pre-trains a shared model on already-evaluated designs — harvested from
+/// [`Evaluator::evaluated`] or a
+/// [`ax_dse::backend::SharedCache::snapshot`] — so a new exploration
+/// starts with whatever exact truth previous runs paid for. Samples are
+/// absorbed in sorted configuration order for determinism.
+pub fn warm_start(model: &SharedModel, samples: &[(AxConfig, EvalMetrics)]) {
+    let mut sorted: Vec<&(AxConfig, EvalMetrics)> = samples.iter().collect();
+    sorted.sort_by_key(|(c, _)| (c.adder.0, c.mul.0, c.vars));
+    let mut model = model.write().expect("surrogate model poisoned");
+    for (c, m) in sorted {
+        model.train(c, m);
+    }
+}
+
+/// The two-tier evaluation backend described in the module docs.
+///
+/// Implements [`EvalBackend`], so it slots into `DseEnv`,
+/// `DseSearchSpace`, `ThresholdRule::calibrate` and the exploration
+/// drivers wherever the exact [`Evaluator`] does.
+#[derive(Debug)]
+pub struct TieredBackend<B: EvalBackend = Evaluator> {
+    inner: B,
+    model: SharedModel,
+    /// Local clone of the model's featuriser (lock-free class lookups).
+    extractor: FeatureExtractor,
+    settings: SurrogateSettings,
+    memo: HashMap<AxConfig, EvalMetrics>,
+    /// Exact metrics per execution-equivalence class: two configurations
+    /// with identical instruction flags evaluate identically, so a class
+    /// confirmed once answers all its members exactly and for free.
+    class_memo: HashMap<EquivClass, EvalMetrics>,
+    stats: TieredStats,
+    /// Distinct-query counter driving the deterministic audit stream.
+    queries: u64,
+    /// Worker-local snapshot of the model's latest fit (see
+    /// [`SurrogateModel::predictor`]): predictions run lock-free; only a
+    /// fit-version check takes the read lock.
+    predictor: Option<(u64, Predictor)>,
+    /// Reused featurisation buffer for local predictions.
+    feat_buf: Vec<f64>,
+}
+
+impl<B: EvalBackend> TieredBackend<B> {
+    /// Wraps an exact backend around a (possibly shared) surrogate model.
+    pub fn new(inner: B, model: SharedModel, settings: SurrogateSettings) -> Self {
+        let extractor = model
+            .read()
+            .expect("surrogate model poisoned")
+            .extractor()
+            .clone();
+        let feat_buf = Vec::with_capacity(extractor.len());
+        Self {
+            inner,
+            model,
+            extractor,
+            settings,
+            memo: HashMap::new(),
+            class_memo: HashMap::new(),
+            stats: TieredStats::default(),
+            queries: 0,
+            predictor: None,
+            feat_buf,
+        }
+    }
+
+    /// This backend's query counters.
+    pub fn stats(&self) -> TieredStats {
+        self.stats
+    }
+
+    /// The shared surrogate model.
+    pub fn model(&self) -> &SharedModel {
+        &self.model
+    }
+
+    /// The policy in force.
+    pub fn settings(&self) -> SurrogateSettings {
+        self.settings
+    }
+
+    /// The wrapped exact backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Unwraps the exact backend.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+
+    /// `true` if this distinct query belongs to the exact audit stream.
+    fn audit_due(&self) -> bool {
+        self.settings.confirm_every > 0
+            && self
+                .queries
+                .is_multiple_of(u64::from(self.settings.confirm_every))
+    }
+
+    /// Tries the surrogate tier for one distinct (non-memoised) query.
+    /// Takes only the model's *read* lock (confidence + staleness check);
+    /// the prediction itself runs on a worker-local weight snapshot, so
+    /// parallel sweeps never serialise on the shared model to predict.
+    fn try_surrogate(&mut self, config: &AxConfig) -> Option<EvalMetrics> {
+        if self.audit_due() {
+            return None;
+        }
+        {
+            let model = self.model.read().expect("surrogate model poisoned");
+            if !model.is_confident() {
+                return None;
+            }
+            let version = model.fit_version();
+            if self.predictor.as_ref().map(|(v, _)| *v) != Some(version) {
+                self.predictor = Some((version, model.predictor()?));
+            }
+        }
+        let (_, predictor) = self.predictor.as_ref()?;
+        Some(predictor.predict(&self.extractor, config, &mut self.feat_buf))
+    }
+
+    fn record_exact(&mut self, config: &AxConfig, metrics: EvalMetrics) {
+        let mut model = self.model.write().expect("surrogate model poisoned");
+        model.observe_exact(config, &metrics);
+        drop(model);
+        self.stats.exact_confirmations += 1;
+        self.memo.insert(*config, metrics);
+        self.class_memo
+            .insert(self.extractor.equivalence_class(config), metrics);
+    }
+}
+
+impl TieredBackend<Evaluator> {
+    /// Convenience constructor for the common exact-inner case: builds a
+    /// fresh (unshared) model from the evaluator's own context.
+    pub fn from_exact(inner: Evaluator, settings: SurrogateSettings) -> Self {
+        let model = shared_model_for(inner.context().library(), &inner, settings);
+        Self::new(inner, model, settings)
+    }
+}
+
+impl<B: EvalBackend> EvalBackend for TieredBackend<B> {
+    fn dims(&self) -> SpaceDims {
+        self.inner.dims()
+    }
+
+    fn program(&self) -> &ax_vm::Program {
+        self.inner.program()
+    }
+
+    fn precise_power(&self) -> f64 {
+        self.inner.precise_power()
+    }
+
+    fn precise_time(&self) -> f64 {
+        self.inner.precise_time()
+    }
+
+    fn mean_abs_output(&self) -> f64 {
+        self.inner.mean_abs_output()
+    }
+
+    fn distinct_evaluations(&self) -> u64 {
+        self.memo.len() as u64
+    }
+
+    /// Evaluates one configuration: memo table, then the surrogate tier
+    /// (when trusted and not audit-due), then the exact backend with
+    /// online refinement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates exact-backend errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is outside the benchmark's space.
+    fn evaluate(&mut self, config: &AxConfig) -> Result<EvalMetrics, VmError> {
+        assert!(
+            config.is_valid(self.dims()),
+            "configuration {config} outside the space"
+        );
+        if let Some(m) = self.memo.get(config) {
+            self.stats.memo_hits += 1;
+            return Ok(*m);
+        }
+        if let Some(m) = self
+            .class_memo
+            .get(&self.extractor.equivalence_class(config))
+        {
+            let m = *m;
+            self.stats.class_hits += 1;
+            self.memo.insert(*config, m);
+            return Ok(m);
+        }
+        self.queries += 1;
+        if let Some(m) = self.try_surrogate(config) {
+            self.stats.surrogate_answers += 1;
+            self.memo.insert(*config, m);
+            return Ok(m);
+        }
+        let exact = self.inner.evaluate(config)?;
+        self.record_exact(config, exact);
+        Ok(exact)
+    }
+
+    /// Batched evaluation: triage every configuration through the memo and
+    /// surrogate tiers first, then confirm the remainder through the inner
+    /// backend's own batched path, training the model under one lock.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any configuration is outside the benchmark's space.
+    fn evaluate_batch(&mut self, configs: &[AxConfig]) -> Result<Vec<EvalMetrics>, VmError> {
+        let mut need_exact: Vec<AxConfig> = Vec::new();
+        let mut pending: HashSet<AxConfig> = HashSet::new();
+        // Classes already queued for exact execution this batch: further
+        // members defer to the representative's result (one interpreter
+        // run per class) instead of executing again.
+        let mut pending_classes: HashSet<EquivClass> = HashSet::new();
+        let mut deferred: Vec<(AxConfig, EquivClass)> = Vec::new();
+        for config in configs {
+            assert!(
+                config.is_valid(self.dims()),
+                "configuration {config} outside the space"
+            );
+            if self.memo.contains_key(config) {
+                self.stats.memo_hits += 1;
+                continue;
+            }
+            if pending.contains(config) {
+                continue;
+            }
+            let class = self.extractor.equivalence_class(config);
+            if let Some(m) = self.class_memo.get(&class) {
+                let m = *m;
+                self.stats.class_hits += 1;
+                self.memo.insert(*config, m);
+                continue;
+            }
+            if pending_classes.contains(&class) {
+                pending.insert(*config);
+                deferred.push((*config, class));
+                continue;
+            }
+            self.queries += 1;
+            if let Some(m) = self.try_surrogate(config) {
+                self.stats.surrogate_answers += 1;
+                self.memo.insert(*config, m);
+                continue;
+            }
+            pending.insert(*config);
+            pending_classes.insert(class);
+            need_exact.push(*config);
+        }
+
+        if !need_exact.is_empty() {
+            let exact = self.inner.evaluate_batch(&need_exact)?;
+            let mut model = self.model.write().expect("surrogate model poisoned");
+            for (config, metrics) in need_exact.iter().zip(exact) {
+                model.observe_exact(config, &metrics);
+                self.stats.exact_confirmations += 1;
+                self.memo.insert(*config, metrics);
+                self.class_memo
+                    .insert(self.extractor.equivalence_class(config), metrics);
+            }
+        }
+        for (config, class) in deferred {
+            let m = *self
+                .class_memo
+                .get(&class)
+                .expect("deferred class was queued for exact execution");
+            self.stats.class_hits += 1;
+            self.memo.insert(config, m);
+        }
+
+        Ok(configs.iter().map(|c| self.memo[c]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ax_workloads::matmul::MatMul;
+
+    fn exact() -> Evaluator {
+        Evaluator::new(&MatMul::new(4), &OperatorLibrary::evoapprox(), 11).unwrap()
+    }
+
+    #[test]
+    fn always_fallback_matches_exact_backend() {
+        let mut tiered = TieredBackend::from_exact(exact(), SurrogateSettings::always_fallback());
+        let mut reference = exact();
+        for c in AxConfig::enumerate(reference.dims()) {
+            assert_eq!(
+                tiered.evaluate(&c).unwrap(),
+                reference.evaluate(&c).unwrap(),
+                "{c}"
+            );
+        }
+        let stats = tiered.stats();
+        assert_eq!(stats.surrogate_answers, 0);
+        // Distinct queries split between genuine interpreter runs and
+        // exact class-memo hits; both carry interpreter-true metrics.
+        assert_eq!(
+            stats.exact_confirmations + stats.class_hits,
+            reference.distinct_evaluations()
+        );
+        assert!(stats.class_hits > 0, "MatMul has 4 classes per pair");
+    }
+
+    #[test]
+    fn memo_makes_repeat_queries_free_and_stable() {
+        let mut tiered = TieredBackend::from_exact(exact(), SurrogateSettings::default());
+        let c = AxConfig {
+            adder: ax_operators::AdderId(3),
+            mul: ax_operators::MulId(2),
+            vars: 0b101,
+        };
+        let first = tiered.evaluate(&c).unwrap();
+        let inner_executions = tiered.inner().executions();
+        for _ in 0..5 {
+            assert_eq!(tiered.evaluate(&c).unwrap(), first);
+        }
+        assert_eq!(tiered.inner().executions(), inner_executions);
+        assert_eq!(tiered.stats().memo_hits, 5);
+    }
+
+    #[test]
+    fn surrogate_tier_engages_after_warmup() {
+        let settings = SurrogateSettings {
+            warmup: 32,
+            max_rel_err: 0.5, // generous: this test checks the plumbing
+            ..SurrogateSettings::default()
+        };
+        let mut tiered = TieredBackend::from_exact(exact(), settings);
+        for c in AxConfig::enumerate(tiered.dims()) {
+            tiered.evaluate(&c).unwrap();
+        }
+        let stats = tiered.stats();
+        assert!(
+            stats.surrogate_answers > 0,
+            "the surrogate must engage on this well-modelled space: {stats:?}"
+        );
+        assert!(
+            stats.exact_confirmations >= 32,
+            "warmup designs must all confirm"
+        );
+        assert!(stats.surrogate_hit_rate() > 0.0 && stats.surrogate_hit_rate() < 1.0);
+        assert!(stats.avoided_exact_rate() >= stats.surrogate_hit_rate());
+        // Every surrogate answer skipped an interpreter execution.
+        assert_eq!(
+            tiered.inner().executions(),
+            stats.exact_confirmations,
+            "exact executions must equal confirmations"
+        );
+    }
+
+    #[test]
+    fn audit_stream_keeps_confirming_when_confident() {
+        let settings = SurrogateSettings {
+            warmup: 24,
+            max_rel_err: 1e9, // always "confident" once warm
+            min_shadows: 1,
+            confirm_every: 4,
+            ..SurrogateSettings::default()
+        };
+        let mut tiered = TieredBackend::from_exact(exact(), settings);
+        for c in AxConfig::enumerate(tiered.dims()).into_iter().take(200) {
+            tiered.evaluate(&c).unwrap();
+        }
+        let stats = tiered.stats();
+        // Post-warmup, ~1/4 of the queries that reach the model tier (the
+        // class memo absorbs the rest) must still audit exactly.
+        let model_tier = stats.distinct_queries() - stats.class_hits;
+        assert!(
+            stats.exact_confirmations > 24 + (model_tier.saturating_sub(24)) / 8,
+            "{stats:?}"
+        );
+        assert!(stats.surrogate_answers > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn batch_is_consistent_with_single_queries() {
+        let settings = SurrogateSettings {
+            warmup: 16,
+            max_rel_err: 0.5,
+            ..SurrogateSettings::default()
+        };
+        let mut tiered = TieredBackend::from_exact(exact(), settings);
+        let configs: Vec<AxConfig> = AxConfig::enumerate(tiered.dims())
+            .into_iter()
+            .take(120)
+            .collect();
+        let batch = tiered.evaluate_batch(&configs).unwrap();
+        // Whatever tier answered, the memo must give the same metrics on
+        // re-query (the determinism contract).
+        for (c, m) in configs.iter().zip(&batch) {
+            assert_eq!(tiered.evaluate(c).unwrap(), *m, "{c}");
+        }
+    }
+
+    #[test]
+    fn warm_start_pretrains_the_model() {
+        let mut reference = exact();
+        let samples: Vec<(AxConfig, EvalMetrics)> = AxConfig::enumerate(reference.dims())
+            .into_iter()
+            .take(100)
+            .map(|c| (c, reference.evaluate(&c).unwrap()))
+            .collect();
+        let inner = exact();
+        let model = shared_model_for(
+            inner.context().library(),
+            &inner,
+            SurrogateSettings::default(),
+        );
+        warm_start(&model, &samples);
+        assert_eq!(
+            model.read().unwrap().samples(),
+            100,
+            "all harvested designs absorbed"
+        );
+    }
+
+    #[test]
+    fn tiered_backend_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<TieredBackend<Evaluator>>();
+    }
+}

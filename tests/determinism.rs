@@ -40,6 +40,56 @@ fn monte_carlo_characterisation_is_deterministic() {
 }
 
 #[test]
+fn neighborhood_batching_preserves_trajectories() {
+    // Evaluating the whole action neighbourhood per step through
+    // `evaluate_batch` must not change what the agent observes: identical
+    // trajectories, logs and summaries — only the evaluation pattern
+    // differs. (ROADMAP follow-up: batch whole action-neighbourhoods
+    // through the env step loop.)
+    let lib = OperatorLibrary::evoapprox();
+    let plain = ExploreOptions {
+        max_steps: 300,
+        ..Default::default()
+    };
+    let batched = ExploreOptions {
+        batch_neighborhood: true,
+        ..plain
+    };
+    for wl in [MatMul::new(4), MatMul::new(6)] {
+        let a = explore_qlearning(&wl, &lib, &plain).unwrap();
+        let b = explore_qlearning(&wl, &lib, &batched).unwrap();
+        assert_eq!(a.trace, b.trace, "{}", wl.name());
+        assert_eq!(a.log, b.log, "{}", wl.name());
+        assert_eq!(a.summary, b.summary, "{}", wl.name());
+        // The batched run speculatively evaluates whole neighbourhoods,
+        // so it knows at least as many distinct designs.
+        assert!(b.distinct_configs >= a.distinct_configs, "{}", wl.name());
+    }
+}
+
+#[test]
+fn surrogate_always_fallback_sweep_matches_exact_sweep() {
+    use axdse_suite::ax_surrogate::{sweep_seeds_surrogate, SurrogateSettings};
+    let lib = OperatorLibrary::evoapprox();
+    let opts = ExploreOptions {
+        max_steps: 150,
+        ..Default::default()
+    };
+    let wl = MatMul::new(4);
+    let exact = sweep_seeds(&wl, &lib, &opts, AgentKind::QLearning, 3).unwrap();
+    let tiered = sweep_seeds_surrogate(
+        &wl,
+        &lib,
+        &opts,
+        AgentKind::QLearning,
+        3,
+        SurrogateSettings::always_fallback(),
+    )
+    .unwrap();
+    assert_eq!(exact, tiered.summary);
+}
+
+#[test]
 fn full_exploration_is_deterministic() {
     let lib = OperatorLibrary::evoapprox();
     let opts = ExploreOptions {
