@@ -68,6 +68,9 @@ pub enum StopReason {
     RewardTarget,
     /// The environment terminated and `stop_on_terminate` was set.
     Terminated,
+    /// An external stop signal (see [`train_with_stop`]) requested
+    /// termination — e.g. a campaign's global evaluation budget ran out.
+    Stopped,
 }
 
 /// One recorded training step.
@@ -145,6 +148,30 @@ where
     E::Obs: Eq + Hash + Clone,
     A: TabularAgent<E::Obs>,
 {
+    train_with_stop(env, agent, opts, || false)
+}
+
+/// [`train`] with an additional cooperative stop signal.
+///
+/// `should_stop` is polled after every recorded step; when it returns
+/// `true` the run ends with [`StopReason::Stopped`]. The signal is checked
+/// *after* stepping, so a run always takes at least one step (and a log
+/// with `should_stop` constantly `false` is bit-identical to [`train`]) —
+/// this is the seam campaign drivers use to enforce a shared evaluation
+/// budget across concurrent explorations without pre-empting any of them
+/// mid-transition.
+pub fn train_with_stop<E, A, S>(
+    env: &mut E,
+    agent: &mut A,
+    opts: &TrainOptions,
+    mut should_stop: S,
+) -> TrainLog
+where
+    E: Env<Action = usize>,
+    E::Obs: Eq + Hash + Clone,
+    A: TabularAgent<E::Obs>,
+    S: FnMut() -> bool,
+{
     let mut obs = env.reset(Some(opts.seed));
     agent.begin_episode();
     let mut steps = Vec::new();
@@ -179,6 +206,10 @@ where
         }
         if s.terminated && opts.stop_on_terminate {
             stop_reason = StopReason::Terminated;
+            break;
+        }
+        if should_stop() {
+            stop_reason = StopReason::Stopped;
             break;
         }
         if s.terminated || s.truncated {
@@ -329,5 +360,52 @@ mod tests {
             train(&mut env, &mut agent, &TrainOptions::new(1_000).seed(7))
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn never_firing_stop_signal_matches_plain_train() {
+        let run = |stop: bool| {
+            let mut env = TimeLimit::new(LineWorld::new(6), 30);
+            let mut agent = QLearningBuilder::new(2).seed(42).build();
+            let opts = TrainOptions::new(500).seed(7);
+            if stop {
+                train_with_stop(&mut env, &mut agent, &opts, || false)
+            } else {
+                train(&mut env, &mut agent, &opts)
+            }
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn stop_signal_ends_run_after_at_least_one_step() {
+        let mut env = TimeLimit::new(LineWorld::new(6), 30);
+        let mut agent = QLearningBuilder::new(2).seed(1).build();
+        // A signal that is true from the start still permits one step: the
+        // stop is checked only after a transition has been recorded.
+        let log = train_with_stop(
+            &mut env,
+            &mut agent,
+            &TrainOptions::new(500).seed(7),
+            || true,
+        );
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.stop_reason, StopReason::Stopped);
+
+        // A counting signal stops the run exactly where it fires.
+        let mut env = TimeLimit::new(LineWorld::new(6), 30);
+        let mut agent = QLearningBuilder::new(2).seed(1).build();
+        let mut polls = 0u64;
+        let log = train_with_stop(
+            &mut env,
+            &mut agent,
+            &TrainOptions::new(500).seed(7),
+            || {
+                polls += 1;
+                polls >= 10
+            },
+        );
+        assert_eq!(log.len(), 10);
+        assert_eq!(log.stop_reason, StopReason::Stopped);
     }
 }

@@ -7,6 +7,10 @@
 //! `BENCH_sweep.json` (written by the `bench_sweep` binary) records the
 //! same cold/warm pair for the perf trajectory across PRs.
 
+// The legacy free functions stay exercised here until removal: these
+// suites pin the deprecated wrappers to the campaign path's behaviour.
+#![allow(deprecated)]
+
 use ax_dse::evaluator::{EvalContext, SharedCache};
 use ax_dse::explore::{explore_in_context, AgentKind, ExploreOptions};
 use ax_dse::sweep::sweep_seeds_parallel;

@@ -15,7 +15,7 @@ use ax_agents::search::{
     GeneticOptions,
 };
 use ax_dse::analysis::hypervolume_2d;
-use ax_dse::explore::{explore_qlearning, ExploreOptions};
+use ax_dse::explore::{AgentKind, ExploreOptions};
 use ax_dse::report::{ascii_table, fmt_metric};
 use ax_dse::search_adapter::DseSearchSpace;
 use ax_dse::thresholds::ThresholdRule;
@@ -71,7 +71,7 @@ pub fn explorer_comparison(
             seed,
             ..Default::default()
         };
-        let outcome = explore_qlearning(workload, &lib, &opts).expect("exploration must run");
+        let outcome = crate::explore_one(workload, &lib, &opts, AgentKind::QLearning);
         let th = outcome.thresholds;
         let (pp, pt) = (
             outcome.evaluator.precise_power(),
@@ -197,7 +197,6 @@ pub fn agent_comparison(
     steps: u64,
     out: &OutputDir,
 ) -> Vec<(String, f64, u64)> {
-    use ax_dse::explore::{explore_with_agent, AgentKind};
     let lib = OperatorLibrary::evoapprox();
     let kinds = [
         AgentKind::QLearning,
@@ -212,7 +211,7 @@ pub fn agent_comparison(
             max_steps: steps,
             ..Default::default()
         };
-        let o = explore_with_agent(workload, &lib, &opts, kind).expect("exploration must run");
+        let o = crate::explore_one(workload, &lib, &opts, kind);
         results.push((kind.name(), o.log.total_reward(), o.summary.steps));
     }
     let headers = ["agent", "final cumulative reward", "stop step"];
@@ -267,7 +266,7 @@ pub fn epsilon_ablation(
             epsilon: eps,
             ..Default::default()
         };
-        let outcome = explore_qlearning(workload, &lib, &opts).expect("exploration must run");
+        let outcome = crate::explore_one(workload, &lib, &opts, AgentKind::QLearning);
         let final_cum = outcome.log.total_reward();
         results.push((name.to_owned(), final_cum));
     }
@@ -346,7 +345,7 @@ pub fn threshold_ablation(
             rule,
             ..Default::default()
         };
-        let o = explore_qlearning(workload, &lib, &opts).expect("exploration must run");
+        let o = crate::explore_one(workload, &lib, &opts, AgentKind::QLearning);
         rows.push(vec![
             name.to_owned(),
             fmt_metric(o.summary.power.solution),

@@ -1,36 +1,47 @@
-//! Emits `BENCH_sweep.json`: cold- vs. warm-cache sweep wall-clock.
+//! Appends to `BENCH_sweep.json`: cold- vs. warm-cache sweep wall-clock.
 //!
 //! ```text
 //! bench_sweep [--out FILE] [--seeds N] [--steps N] [--reps N]
+//!             [--spec FILE] [--emit-spec FILE]
 //! ```
 //!
 //! "Cold" fans a multi-seed sweep out with rayon over a fresh shared
 //! cache; "warm" re-runs the identical seed set against the cache the
 //! cold pass filled, so every design evaluation is a hash lookup. The
-//! JSON is the repo's perf-trajectory record — future PRs append their
-//! own runs and compare (`threads` records the worker cap rayon had).
+//! JSON is the repo's perf-trajectory record — each run *appends* its
+//! record to the file (`threads` records the worker cap rayon had).
+//!
+//! `--spec FILE` takes the benchmark, seed count and step cap from a
+//! campaign [`ExperimentSpec`] instead of the defaults; `--emit-spec
+//! FILE` writes the spec equivalent to whatever this invocation measured,
+//! ready for `repro run`.
 
+use ax_bench::append_bench_record;
+use ax_dse::campaign::{BenchmarkSpec, ExperimentSpec, SeedRange};
 use ax_dse::evaluator::{EvalContext, SharedCache};
-use ax_dse::explore::{explore_in_context, AgentKind, ExploreOptions};
-use ax_operators::OperatorLibrary;
-use ax_workloads::matmul::MatMul;
+use ax_dse::explore::{AgentKind, ExploreOptions};
+use ax_dse::json::Json;
 use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
 
 struct Config {
     out: String,
-    seeds: u64,
-    steps: u64,
+    seeds: Option<u64>,
+    steps: Option<u64>,
     reps: u32,
+    spec: Option<String>,
+    emit_spec: Option<String>,
 }
 
 fn parse() -> Result<Config, String> {
     let mut cfg = Config {
         out: "BENCH_sweep.json".into(),
-        seeds: 8,
-        steps: 300,
+        seeds: None,
+        steps: None,
         reps: 3,
+        spec: None,
+        emit_spec: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -38,20 +49,26 @@ fn parse() -> Result<Config, String> {
         match arg.as_str() {
             "--out" => cfg.out = take("--out")?,
             "--seeds" => {
-                cfg.seeds = take("--seeds")?
-                    .parse()
-                    .map_err(|e| format!("bad --seeds: {e}"))?;
+                cfg.seeds = Some(
+                    take("--seeds")?
+                        .parse()
+                        .map_err(|e| format!("bad --seeds: {e}"))?,
+                );
             }
             "--steps" => {
-                cfg.steps = take("--steps")?
-                    .parse()
-                    .map_err(|e| format!("bad --steps: {e}"))?;
+                cfg.steps = Some(
+                    take("--steps")?
+                        .parse()
+                        .map_err(|e| format!("bad --steps: {e}"))?,
+                );
             }
             "--reps" => {
                 cfg.reps = take("--reps")?
                     .parse()
                     .map_err(|e| format!("bad --reps: {e}"))?;
             }
+            "--spec" => cfg.spec = Some(take("--spec")?),
+            "--emit-spec" => cfg.emit_spec = Some(take("--emit-spec")?),
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -63,23 +80,58 @@ fn main() {
         Ok(c) => c,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("usage: bench_sweep [--out FILE] [--seeds N] [--steps N] [--reps N]");
+            eprintln!(
+                "usage: bench_sweep [--out FILE] [--seeds N] [--steps N] [--reps N] \
+                 [--spec FILE] [--emit-spec FILE]"
+            );
             std::process::exit(1);
         }
     };
 
-    let lib = OperatorLibrary::evoapprox();
+    // The measured workload: MatMul 10x10 by default, or whatever a
+    // campaign spec names first. Precedence: explicit flags beat the
+    // spec, the spec beats the built-in defaults.
+    let mut bench_spec = BenchmarkSpec::MatMul(10);
+    let (mut spec_seeds, mut spec_steps) = (None, None);
+    if let Some(path) = &cfg.spec {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        let spec = ExperimentSpec::from_json_str(&text).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        bench_spec = spec.benchmarks[0];
+        spec_seeds = Some(spec.seeds.count);
+        spec_steps = Some(spec.explore.max_steps);
+    }
+    let seeds = cfg.seeds.or(spec_seeds).unwrap_or(8);
+    let steps = cfg.steps.or(spec_steps).unwrap_or(300);
+    let wl = bench_spec.build();
+
+    let lib = ax_operators::OperatorLibrary::evoapprox();
     let opts = |seed| ExploreOptions {
-        max_steps: cfg.steps,
+        max_steps: steps,
         seed,
         ..Default::default()
     };
 
-    // The measured unit is the same rayon fan-out the production sweeps
+    if let Some(path) = &cfg.emit_spec {
+        let spec = ExperimentSpec::new("bench-sweep")
+            .benchmark(bench_spec)
+            .agent(AgentKind::QLearning)
+            .seeds(SeedRange::new(0, seeds))
+            .explore(opts(0));
+        std::fs::write(path, spec.to_json_string()).expect("write spec");
+        eprintln!("wrote {path}");
+    }
+
+    // The measured unit is the same rayon fan-out the production campaigns
     // use: seeds in parallel over one shared-cache context.
     let run_all = |ctx: &EvalContext| {
-        (0..cfg.seeds).into_par_iter().for_each(|seed| {
-            explore_in_context(ctx, &opts(seed), AgentKind::QLearning).expect("sweep run");
+        (0..seeds).into_par_iter().for_each(|seed| {
+            ax_dse::campaign::explore(ctx, &opts(seed), AgentKind::QLearning);
         });
     };
 
@@ -90,7 +142,7 @@ fn main() {
     let mut warm_ctx = None;
     for _ in 0..cfg.reps.max(1) {
         let ctx = EvalContext::with_cache(
-            &MatMul::new(10),
+            wl.as_ref(),
             Arc::new(lib.clone()),
             opts(0).input_seed,
             SharedCache::new(),
@@ -109,26 +161,18 @@ fn main() {
     }
 
     let cache = ctx.shared_cache().expect("shared cache");
-    let speedup = cold_ms / warm_ms;
-    let json = format!(
-        "{{\n  \"benchmark\": \"{}\",\n  \"seeds\": {},\n  \"max_steps\": {},\n  \
-         \"threads\": {},\n  \"cold_ms\": {:.3},\n  \"warm_ms\": {:.3},\n  \
-         \"speedup\": {:.2},\n  \"distinct_designs\": {},\n  \"cache_hits\": {}\n}}\n",
-        ctx.benchmark(),
-        cfg.seeds,
-        cfg.steps,
-        rayon_threads(),
-        cold_ms,
-        warm_ms,
-        speedup,
-        cache.len(),
-        cache.hits(),
-    );
-    std::fs::write(&cfg.out, &json).expect("write BENCH_sweep.json");
-    print!("{json}");
-    eprintln!("wrote {}", cfg.out);
-}
-
-fn rayon_threads() -> usize {
-    rayon::current_num_threads()
+    let record = Json::obj(vec![
+        ("benchmark", Json::str(ctx.benchmark())),
+        ("seeds", Json::u64(seeds)),
+        ("max_steps", Json::u64(steps)),
+        ("threads", Json::u64(rayon::current_num_threads() as u64)),
+        ("cold_ms", Json::Num(format!("{cold_ms:.3}"))),
+        ("warm_ms", Json::Num(format!("{warm_ms:.3}"))),
+        ("speedup", Json::Num(format!("{:.2}", cold_ms / warm_ms))),
+        ("distinct_designs", Json::u64(cache.len() as u64)),
+        ("cache_hits", Json::u64(cache.hits())),
+    ]);
+    print!("{}", record.pretty());
+    append_bench_record(&cfg.out, record).expect("append BENCH_sweep.json");
+    eprintln!("appended to {}", cfg.out);
 }

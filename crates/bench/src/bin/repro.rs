@@ -17,36 +17,48 @@
 //!   sweep                 multi-seed robustness of the explorations (rayon + shared cache)
 //!   portfolio             race every agent kind per benchmark over one shared cache
 //!   surrogate             two-tier (surrogate prefilter + exact confirm) vs pure-exact sweep
+//!   run SPEC.json         execute a checked-in campaign spec end-to-end
+//!                         (--smoke shrinks it for CI; --cache FILE persists the
+//!                         design cache across processes)
 //!   all                   everything above
 //! ```
 
 use ax_bench::{ablations, figures, tables, OutputDir};
+use ax_dse::backend::SharedCache;
+use ax_dse::campaign::{
+    Campaign, CampaignReport, ExperimentSpec, Observer, SeedRange, TieredStats,
+};
 use ax_dse::explore::AgentKind;
 use ax_dse::explore::ExploreOptions;
 use ax_dse::report::ascii_table;
-use ax_dse::sweep::{race_portfolio, sweep_seeds_parallel};
 use ax_operators::OperatorLibrary;
-use ax_surrogate::{sweep_seeds_surrogate, SurrogateSettings};
+use ax_surrogate::{run_spec, sweep_in_context_surrogate, SurrogateSettings};
 use ax_workloads::fir::Fir;
 use ax_workloads::matmul::MatMul;
 use ax_workloads::sobel::Sobel;
 use ax_workloads::Workload;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Args {
     command: String,
+    spec: Option<String>,
     out: OutputDir,
     steps: u64,
     seed: u64,
     reward: f64,
+    smoke: bool,
+    cache: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut command = None;
+    let mut positional: Vec<String> = Vec::new();
     let mut out = OutputDir::at("results");
     let mut steps = 10_000u64;
     let mut seed = 0u64;
     let mut reward = ExploreOptions::default().max_reward;
+    let mut smoke = false;
+    let mut cache = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -76,20 +88,192 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --reward: {e}"))?;
             }
+            "--smoke" => smoke = true,
+            "--cache" => cache = Some(it.next().ok_or("--cache needs a file")?),
             "--help" | "-h" => return Err("help".into()),
-            other if command.is_none() && !other.starts_with('-') => {
-                command = Some(other.to_owned());
+            // Only `run` takes a second positional (its spec file); a stray
+            // bare word after any other command is a mistake, not a spec.
+            other
+                if !other.starts_with('-')
+                    && (positional.is_empty()
+                        || positional[0] == "run" && positional.len() == 1) =>
+            {
+                positional.push(other.to_owned());
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    let mut positional = positional.into_iter();
+    let command = positional.next().ok_or("missing command")?;
+    let spec = positional.next();
+    if command == "run" && spec.is_none() {
+        return Err("`run` needs a spec file: repro run <spec.json>".into());
+    }
     Ok(Args {
-        command: command.ok_or("missing command")?,
+        command,
+        spec,
         out,
         steps,
         seed,
         reward,
+        smoke,
+        cache,
     })
+}
+
+/// Streams campaign progress to stderr as runs finish.
+struct PrintObserver;
+
+impl Observer for PrintObserver {
+    fn on_campaign_start(&self, name: &str, total_runs: u64) {
+        eprintln!("campaign `{name}`: {total_runs} runs");
+    }
+
+    fn on_benchmark_ready(&self, benchmark: &str) {
+        eprintln!("  prepared {benchmark}");
+    }
+
+    fn on_run_complete(
+        &self,
+        benchmark: &str,
+        agent: AgentKind,
+        seed: u64,
+        stop: ax_agents::train::StopReason,
+        steps: u64,
+    ) {
+        eprintln!(
+            "  {benchmark} / {} / seed {seed}: {stop:?} after {steps} steps",
+            agent.name()
+        );
+    }
+
+    fn on_budget_exhausted(&self, spent: u64) {
+        eprintln!("  global evaluation budget exhausted at {spent} designs");
+    }
+}
+
+/// Prints a finished campaign as a table and writes it as CSV.
+fn print_campaign_report(report: &CampaignReport, out: &OutputDir) {
+    let mut rows = Vec::new();
+    for cell in &report.cells {
+        let s = &cell.summary;
+        rows.push(vec![
+            cell.benchmark.clone(),
+            cell.agent.name(),
+            format!("{}/{}", s.reached_target + s.terminated, s.seeds),
+            format!("{:.0} +/- {:.0}", s.stop_step.mean, s.stop_step.std_dev),
+            format!(
+                "{:.1} +/- {:.1}",
+                s.solution_power.mean, s.solution_power.std_dev
+            ),
+            format!("{:.0}%", 100.0 * s.feasible_solutions),
+            cell.evaluations.to_string(),
+            cell.tier
+                .as_ref()
+                .map(|t: &TieredStats| format!("{:.0}%", 100.0 * t.avoided_exact_rate()))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    println!("\nCampaign `{}`", report.name);
+    println!(
+        "{}",
+        ascii_table(
+            &[
+                "benchmark",
+                "agent",
+                "stopped early",
+                "stop step",
+                "solution d-power",
+                "feasible",
+                "evals",
+                "interp avoided"
+            ],
+            &rows
+        )
+    );
+    match report.budget.cap {
+        Some(cap) => println!(
+            "budget: {} of {cap} designs spent, {} run(s) stopped by exhaustion",
+            report.budget.spent, report.budget.stopped_runs
+        ),
+        None => println!(
+            "budget: unbounded ({} designs evaluated)",
+            report.budget.spent
+        ),
+    }
+    for p in &report.portfolios {
+        let w = p.winner();
+        println!(
+            "{}: winner {} (seed {}, score {:.3}) over {} distinct designs",
+            p.benchmark,
+            w.kind.name(),
+            w.seed,
+            w.score,
+            p.shared_distinct
+        );
+    }
+    if let Some((i, best)) = report.best_overall() {
+        println!(
+            "best overall: {} on {} (score {:.3})",
+            best.kind.name(),
+            report.portfolios[i].benchmark,
+            best.score
+        );
+    }
+    out.write(
+        "campaign",
+        &[
+            "benchmark",
+            "agent",
+            "stopped_early",
+            "stop_step",
+            "solution_dpower",
+            "feasible",
+            "evals",
+            "interp_avoided",
+        ],
+        &rows,
+    );
+}
+
+/// The `run` subcommand: load, (optionally) shrink, execute and report a
+/// checked-in campaign spec.
+fn run_spec_file(args: &Args) {
+    let path = args.spec.as_ref().expect("validated in parse_args");
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read spec {path}: {e}"));
+    let mut spec =
+        ExperimentSpec::from_json_str(&text).unwrap_or_else(|e| panic!("bad spec {path}: {e}"));
+    if args.smoke {
+        spec.explore.max_steps = spec.explore.max_steps.min(150);
+        spec.seeds.count = spec.seeds.count.min(2);
+    }
+    if let Some(threads) = spec.parallelism {
+        // The in-tree rayon shim sizes its pool from AX_THREADS; honour the
+        // spec's request unless the operator already pinned it.
+        if std::env::var_os("AX_THREADS").is_none() {
+            std::env::set_var("AX_THREADS", threads.to_string());
+        }
+    }
+    let cache = args.cache.as_ref().map(|p| {
+        if std::path::Path::new(p).exists() {
+            let cache = SharedCache::load(p).unwrap_or_else(|e| panic!("cannot load {p}: {e}"));
+            eprintln!("loaded {} cached designs from {p}", cache.len());
+            cache
+        } else {
+            SharedCache::new()
+        }
+    });
+    let lib = OperatorLibrary::evoapprox();
+    let report = run_spec(&lib, &spec, cache.clone(), &PrintObserver)
+        .unwrap_or_else(|e| panic!("campaign failed: {e}"));
+    print_campaign_report(&report, &args.out);
+    if let (Some(path), Some(cache)) = (&args.cache, &cache) {
+        cache
+            .save(path)
+            .unwrap_or_else(|e| panic!("cannot save {path}: {e}"));
+        eprintln!("saved {} cached designs to {path}", cache.len());
+    }
 }
 
 fn explore_opts(steps: u64, seed: u64, reward: f64) -> ExploreOptions {
@@ -108,11 +292,14 @@ fn main() -> ExitCode {
             if msg != "help" {
                 eprintln!("error: {msg}\n");
             }
-            eprintln!("usage: repro [--out DIR | --no-out] [--steps N] [--seed S] <command>");
+            eprintln!(
+                "usage: repro [--out DIR | --no-out] [--steps N] [--seed S] <command>\n       \
+                 repro run <spec.json> [--smoke] [--cache FILE]"
+            );
             eprintln!(
                 "commands: table1 table2 table3 fig2 fig3 fig4 ablation-explorers \
                  ablation-agents ablation-epsilon ablation-thresholds sweep portfolio \
-                 surrogate all"
+                 surrogate run all"
             );
             return if msg == "help" {
                 ExitCode::SUCCESS
@@ -154,6 +341,9 @@ fn main() -> ExitCode {
                     &args.out,
                 );
             }
+            "run" => {
+                run_spec_file(&args);
+            }
             "sweep" => {
                 let lib = OperatorLibrary::evoapprox();
                 let mut rows = Vec::new();
@@ -161,14 +351,14 @@ fn main() -> ExitCode {
                     vec![Box::new(MatMul::new(10)), Box::new(Fir::new(100))];
                 for wl in &benches {
                     let sweep_opts = explore_opts(args.steps.min(3_000), 0, args.reward);
-                    let s = sweep_seeds_parallel(
-                        wl.as_ref(),
-                        &lib,
-                        &sweep_opts,
-                        AgentKind::QLearning,
-                        10,
-                    )
-                    .expect("sweep must run");
+                    let report = Campaign::new("sweep", &lib)
+                        .benchmark(wl.as_ref())
+                        .agent(AgentKind::QLearning)
+                        .seeds(SeedRange::new(0, 10))
+                        .options(sweep_opts)
+                        .run()
+                        .expect("sweep must run");
+                    let s = report.cells.into_iter().next().expect("one cell").summary;
                     rows.push(vec![
                         s.benchmark.clone(),
                         format!("{}/{}", s.reached_target, s.seeds),
@@ -220,8 +410,14 @@ fn main() -> ExitCode {
                     vec![Box::new(MatMul::new(10)), Box::new(Fir::new(100))];
                 for wl in &benches {
                     let race_opts = explore_opts(args.steps.min(3_000), args.seed, args.reward);
-                    let p = race_portfolio(wl.as_ref(), &lib, &race_opts, &kinds)
+                    let report = Campaign::new("portfolio", &lib)
+                        .benchmark(wl.as_ref())
+                        .agents(&kinds)
+                        .seeds(SeedRange::single(race_opts.seed))
+                        .options(race_opts)
+                        .run()
                         .expect("portfolio must run");
+                    let p = report.portfolios.into_iter().next().expect("one benchmark");
                     for (i, e) in p.entries.iter().enumerate() {
                         rows.push(vec![
                             p.benchmark.clone(),
@@ -270,17 +466,32 @@ fn main() -> ExitCode {
                 let benches: Vec<Box<dyn Workload>> =
                     vec![Box::new(MatMul::new(10)), Box::new(Fir::new(100))];
                 for wl in &benches {
-                    let exact = sweep_seeds_parallel(wl.as_ref(), &lib, &sweep_opts, kind, seeds)
-                        .expect("exact sweep must run");
-                    let tiered = sweep_seeds_surrogate(
+                    let exact = Campaign::new("surrogate-baseline", &lib)
+                        .benchmark(wl.as_ref())
+                        .agent(kind)
+                        .seeds(SeedRange::new(0, seeds))
+                        .options(sweep_opts)
+                        .run()
+                        .expect("exact sweep must run")
+                        .cells
+                        .into_iter()
+                        .next()
+                        .expect("one cell")
+                        .summary;
+                    let ctx = ax_dse::backend::EvalContext::with_cache(
                         wl.as_ref(),
-                        &lib,
+                        Arc::new(lib.clone()),
+                        sweep_opts.input_seed,
+                        SharedCache::new(),
+                    )
+                    .expect("surrogate context must build");
+                    let tiered = sweep_in_context_surrogate(
+                        &ctx,
                         &sweep_opts,
                         kind,
                         seeds,
                         SurrogateSettings::default(),
-                    )
-                    .expect("surrogate sweep must run");
+                    );
                     let s = &tiered.stats;
                     let errs = tiered
                         .rel_errors

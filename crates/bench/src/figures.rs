@@ -7,7 +7,7 @@
 
 use crate::OutputDir;
 use ax_dse::analysis::{linear_trend, reward_curve, FigureSeries};
-use ax_dse::explore::{explore_qlearning, ExplorationOutcome, ExploreOptions};
+use ax_dse::explore::{AgentKind, ExplorationOutcome, ExploreOptions};
 use ax_dse::report::{ascii_chart, ascii_table};
 use ax_operators::OperatorLibrary;
 use ax_workloads::fir::Fir;
@@ -34,7 +34,7 @@ fn figure(
     out: &OutputDir,
 ) -> FigureResult {
     let lib = OperatorLibrary::evoapprox();
-    let outcome = explore_qlearning(workload, &lib, opts).expect("exploration must run");
+    let outcome = crate::explore_one(workload, &lib, opts, AgentKind::QLearning);
     let series = outcome.figure_series();
     let trends = series.trends();
 
@@ -113,8 +113,8 @@ pub struct Fig4Result {
 /// FIR-100.
 pub fn fig4(opts: &ExploreOptions, out: &OutputDir) -> Fig4Result {
     let lib = OperatorLibrary::evoapprox();
-    let matmul = explore_qlearning(&MatMul::new(10), &lib, opts).expect("exploration must run");
-    let fir = explore_qlearning(&Fir::new(100), &lib, opts).expect("exploration must run");
+    let matmul = crate::explore_one(&MatMul::new(10), &lib, opts, AgentKind::QLearning);
+    let fir = crate::explore_one(&Fir::new(100), &lib, opts, AgentKind::QLearning);
     let matmul_bins = reward_curve(&matmul.trace, 100);
     let fir_bins = reward_curve(&fir.trace, 100);
 

@@ -1,7 +1,7 @@
 //! Tables I, II and III of the paper.
 
 use crate::OutputDir;
-use ax_dse::explore::{explore_qlearning, ExplorationOutcome, ExploreOptions};
+use ax_dse::explore::{AgentKind, ExplorationOutcome, ExploreOptions};
 use ax_dse::report::{ascii_table, fmt_metric};
 use ax_operators::{
     characterize_adder, characterize_multiplier, BitWidth, CharacterizeMode, OperatorLibrary,
@@ -134,7 +134,7 @@ pub fn table3(opts: &ExploreOptions, out: &OutputDir) -> Vec<ExplorationOutcome>
     let mut outcomes = Vec::new();
     for wl in paper_benchmarks() {
         println!("exploring {} ...", wl.name());
-        let outcome = explore_qlearning(wl.as_ref(), &lib, opts).expect("exploration must run");
+        let outcome = crate::explore_one(wl.as_ref(), &lib, opts, AgentKind::QLearning);
         outcomes.push(outcome);
     }
 

@@ -195,6 +195,26 @@ impl SharedCache {
         out
     }
 
+    /// Entries of one `(benchmark, input_seed)` scope — the per-benchmark
+    /// counterpart of [`SharedCache::len`]. Returns 0 for unknown scopes.
+    pub fn scope_len(&self, benchmark: &str, input_seed: u64) -> usize {
+        let key = (benchmark.to_owned(), input_seed);
+        let Some(&scope) = self.scopes.read().expect("scope table poisoned").get(&key) else {
+            return 0;
+        };
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .expect("cache shard poisoned")
+                    .map
+                    .keys()
+                    .filter(|k| k.scope == scope)
+                    .count()
+            })
+            .sum()
+    }
+
     /// Total entries across all shards and scopes.
     pub fn len(&self) -> usize {
         self.shards
@@ -221,6 +241,123 @@ impl SharedCache {
     /// Entries evicted to respect the capacity bound since construction.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Serialises the whole memo table (every scope, every design) as JSON
+    /// to `path`, so a later process can [`SharedCache::load`] it and skip
+    /// re-evaluating designs this one already paid for. Output is
+    /// deterministic: scopes sort by `(benchmark, input_seed)`, entries by
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        use crate::json::Json;
+        let mut scopes: Vec<((String, u64), CacheScope)> = self
+            .scopes
+            .read()
+            .expect("scope table poisoned")
+            .iter()
+            .map(|(k, &s)| (k.clone(), s))
+            .collect();
+        scopes.sort_by(|(a, _), (b, _)| a.cmp(b));
+        let mut scope_nodes = Vec::with_capacity(scopes.len());
+        for ((benchmark, input_seed), _) in scopes {
+            let mut entries = self.snapshot(&benchmark, input_seed);
+            entries.sort_by_key(|(c, _)| (c.adder.0, c.mul.0, c.vars));
+            let entry_nodes = entries
+                .into_iter()
+                .map(|(c, m)| {
+                    Json::obj(vec![
+                        ("adder", Json::u64(c.adder.0 as u64)),
+                        ("mul", Json::u64(c.mul.0 as u64)),
+                        ("vars", Json::u64(c.vars)),
+                        ("delta_acc", Json::f64(m.delta_acc)),
+                        ("delta_power", Json::f64(m.delta_power)),
+                        ("delta_time", Json::f64(m.delta_time)),
+                        ("signed_error", Json::f64(m.signed_error)),
+                        ("power", Json::f64(m.power)),
+                        ("time_ns", Json::f64(m.time_ns)),
+                    ])
+                })
+                .collect();
+            scope_nodes.push(Json::obj(vec![
+                ("benchmark", Json::str(benchmark)),
+                ("input_seed", Json::u64(input_seed)),
+                ("entries", Json::Arr(entry_nodes)),
+            ]));
+        }
+        let doc = Json::obj(vec![("scopes", Json::Arr(scope_nodes))]);
+        std::fs::write(path, doc.pretty())
+    }
+
+    /// Loads a cache previously written by [`SharedCache::save`] into a
+    /// fresh unbounded cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; malformed files surface as
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Arc<Self>> {
+        use crate::json::Json;
+        let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let text = std::fs::read_to_string(path)?;
+        let doc = Json::parse(&text).map_err(|e| invalid(e.to_string()))?;
+        let cache = Self::new();
+        let scopes = doc
+            .get("scopes")
+            .ok_or_else(|| invalid("cache file needs a `scopes` array".into()))?
+            .as_arr()
+            .map_err(|e| invalid(e.to_string()))?;
+        for scope_node in scopes {
+            let field = |key: &str| {
+                scope_node
+                    .get(key)
+                    .ok_or_else(|| invalid(format!("cache scope needs `{key}`")))
+            };
+            let benchmark = field("benchmark")?
+                .as_str()
+                .map_err(|e| invalid(e.to_string()))?;
+            let input_seed = field("input_seed")?
+                .as_u64()
+                .map_err(|e| invalid(e.to_string()))?;
+            let scope = cache.scope(benchmark, input_seed);
+            for entry in field("entries")?
+                .as_arr()
+                .map_err(|e| invalid(e.to_string()))?
+            {
+                let num = |key: &str| {
+                    entry
+                        .get(key)
+                        .ok_or_else(|| invalid(format!("cache entry needs `{key}`")))
+                };
+                let config = AxConfig {
+                    adder: ax_operators::AdderId(
+                        num("adder")?
+                            .as_usize()
+                            .map_err(|e| invalid(e.to_string()))?,
+                    ),
+                    mul: ax_operators::MulId(
+                        num("mul")?.as_usize().map_err(|e| invalid(e.to_string()))?,
+                    ),
+                    vars: num("vars")?.as_u64().map_err(|e| invalid(e.to_string()))?,
+                };
+                let f = |key: &str| -> std::io::Result<f64> {
+                    num(key)?.as_f64().map_err(|e| invalid(e.to_string()))
+                };
+                let metrics = EvalMetrics {
+                    delta_acc: f("delta_acc")?,
+                    delta_power: f("delta_power")?,
+                    delta_time: f("delta_time")?,
+                    signed_error: f("signed_error")?,
+                    power: f("power")?,
+                    time_ns: f("time_ns")?,
+                };
+                cache.insert(scope, config, metrics);
+            }
+        }
+        Ok(cache)
     }
 }
 
@@ -311,6 +448,64 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_shard_capacity_rejected() {
         let _ = SharedCache::with_capacity(4, 0);
+    }
+
+    #[test]
+    fn scope_len_counts_per_benchmark() {
+        let cache = SharedCache::new();
+        let a = cache.scope("bench-a", 1);
+        let b = cache.scope("bench-b", 1);
+        cache.insert(a, config(1), metrics(1.0));
+        cache.insert(a, config(2), metrics(2.0));
+        cache.insert(b, config(3), metrics(3.0));
+        assert_eq!(cache.scope_len("bench-a", 1), 2);
+        assert_eq!(cache.scope_len("bench-b", 1), 1);
+        assert_eq!(cache.scope_len("bench-a", 2), 0);
+        assert_eq!(cache.scope_len("unknown", 1), 0);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn save_load_round_trips_every_scope() {
+        let cache = SharedCache::new();
+        let a = cache.scope("bench-a", 1);
+        let b = cache.scope("bench-b", 7);
+        for i in 0..20u64 {
+            cache.insert(a, config(i), metrics(i as f64 * 0.25));
+        }
+        cache.insert(b, config(99), metrics(-3.5));
+        let path = std::env::temp_dir().join("ax_dse_cache_roundtrip.json");
+        cache.save(&path).unwrap();
+        let loaded = SharedCache::load(&path).unwrap();
+        assert_eq!(loaded.len(), cache.len());
+        let scope = loaded.scope("bench-a", 1);
+        for i in 0..20u64 {
+            assert_eq!(
+                loaded.get(scope, &config(i)),
+                Some(metrics(i as f64 * 0.25)),
+                "entry {i}"
+            );
+        }
+        let scope_b = loaded.scope("bench-b", 7);
+        assert_eq!(loaded.get(scope_b, &config(99)), Some(metrics(-3.5)));
+        // Saving the loaded cache reproduces the identical file.
+        let path2 = std::env::temp_dir().join("ax_dse_cache_roundtrip2.json");
+        loaded.save(&path2).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            std::fs::read_to_string(&path2).unwrap()
+        );
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(path2);
+    }
+
+    #[test]
+    fn load_rejects_malformed_files() {
+        let path = std::env::temp_dir().join("ax_dse_cache_bad.json");
+        std::fs::write(&path, "{\"scopes\": [{\"benchmark\": 3}]}").unwrap();
+        let err = SharedCache::load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! Global evaluation budgets, enforced cooperatively across workers.
+
+use crate::backend::{EvalBackend, EvalMetrics};
+use crate::config::{AxConfig, SpaceDims};
+use ax_vm::VmError;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared campaign-wide evaluation budget.
+///
+/// The unit is **distinct designs resolved per run**: every configuration a
+/// run's backend answers for the first time (interpreter execution, shared
+/// cache hit, class-memo hit or surrogate prediction alike) charges one
+/// unit, as measured by the growth of
+/// [`EvalBackend::distinct_evaluations`]. Enforcement is *cooperative*:
+/// [`MeteredBackend`] charges after the fact and the exploration loop polls
+/// [`EvalBudget::exhausted`] between steps, so concurrent workers may
+/// overshoot the cap by at most one step's worth of evaluations each —
+/// bounded, and in exchange no run is ever pre-empted mid-transition.
+#[derive(Debug)]
+pub struct EvalBudget {
+    cap: Option<u64>,
+    spent: AtomicU64,
+    tripped: AtomicBool,
+}
+
+impl EvalBudget {
+    /// A budget with the given cap (`None` = unbounded, counting only).
+    pub fn new(cap: Option<u64>) -> Arc<Self> {
+        Arc::new(Self {
+            cap,
+            spent: AtomicU64::new(0),
+            tripped: AtomicBool::new(false),
+        })
+    }
+
+    /// The cap, if any.
+    pub fn cap(&self) -> Option<u64> {
+        self.cap
+    }
+
+    /// Units charged so far.
+    pub fn spent(&self) -> u64 {
+        self.spent.load(Ordering::Relaxed)
+    }
+
+    /// Charges `n` units.
+    pub fn charge(&self, n: u64) {
+        if n > 0 {
+            self.spent.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// `true` once spending has reached the cap.
+    pub fn exhausted(&self) -> bool {
+        self.cap.is_some_and(|cap| self.spent() >= cap)
+    }
+
+    /// Like [`EvalBudget::exhausted`], but `true` only for the first
+    /// caller that observes exhaustion — the campaign driver's
+    /// fire-once observer notification.
+    pub fn trip(&self) -> bool {
+        self.exhausted() && !self.tripped.swap(true, Ordering::Relaxed)
+    }
+}
+
+/// An [`EvalBackend`] decorator that charges an [`EvalBudget`] for every
+/// distinct design its inner backend resolves.
+///
+/// Results are bit-identical to the inner backend's — metering observes,
+/// never intercepts — so wrapping an exact sweep in a `MeteredBackend`
+/// with an unbounded budget changes nothing but the accounting.
+#[derive(Debug)]
+pub struct MeteredBackend<B: EvalBackend> {
+    inner: B,
+    budget: Arc<EvalBudget>,
+    charged: u64,
+}
+
+impl<B: EvalBackend> MeteredBackend<B> {
+    /// Wraps `inner`, charging `budget`.
+    pub fn new(inner: B, budget: Arc<EvalBudget>) -> Self {
+        Self {
+            inner,
+            budget,
+            charged: 0,
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Unwraps the backend.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+
+    /// Units this backend has charged to the budget.
+    pub fn charged(&self) -> u64 {
+        self.charged
+    }
+
+    fn settle(&mut self, before: u64) {
+        let delta = self.inner.distinct_evaluations().saturating_sub(before);
+        self.charged += delta;
+        self.budget.charge(delta);
+    }
+}
+
+impl<B: EvalBackend> EvalBackend for MeteredBackend<B> {
+    fn dims(&self) -> SpaceDims {
+        self.inner.dims()
+    }
+
+    fn program(&self) -> &ax_vm::Program {
+        self.inner.program()
+    }
+
+    fn precise_power(&self) -> f64 {
+        self.inner.precise_power()
+    }
+
+    fn precise_time(&self) -> f64 {
+        self.inner.precise_time()
+    }
+
+    fn mean_abs_output(&self) -> f64 {
+        self.inner.mean_abs_output()
+    }
+
+    fn distinct_evaluations(&self) -> u64 {
+        self.inner.distinct_evaluations()
+    }
+
+    fn evaluate(&mut self, config: &AxConfig) -> Result<EvalMetrics, VmError> {
+        let before = self.inner.distinct_evaluations();
+        let result = self.inner.evaluate(config);
+        self.settle(before);
+        result
+    }
+
+    fn evaluate_batch(&mut self, configs: &[AxConfig]) -> Result<Vec<EvalMetrics>, VmError> {
+        let before = self.inner.distinct_evaluations();
+        let result = self.inner.evaluate_batch(configs);
+        self.settle(before);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Evaluator;
+    use ax_operators::OperatorLibrary;
+    use ax_workloads::matmul::MatMul;
+
+    fn exact() -> Evaluator {
+        Evaluator::new(&MatMul::new(4), &OperatorLibrary::evoapprox(), 11).unwrap()
+    }
+
+    #[test]
+    fn metering_preserves_results_and_counts_distinct_designs() {
+        let budget = EvalBudget::new(None);
+        let mut metered = MeteredBackend::new(exact(), Arc::clone(&budget));
+        let mut reference = exact();
+        let configs: Vec<AxConfig> = AxConfig::enumerate(reference.dims())
+            .into_iter()
+            .take(50)
+            .collect();
+        for c in &configs {
+            assert_eq!(metered.evaluate(c).unwrap(), reference.evaluate(c).unwrap());
+        }
+        // Repeats are memo hits in the inner backend: no further charge.
+        for c in configs.iter().take(10) {
+            metered.evaluate(c).unwrap();
+        }
+        assert_eq!(budget.spent(), 50);
+        assert_eq!(metered.charged(), 50);
+        assert!(!budget.exhausted());
+    }
+
+    #[test]
+    fn batch_evaluations_charge_once_per_distinct_design() {
+        let budget = EvalBudget::new(Some(10));
+        let mut metered = MeteredBackend::new(exact(), Arc::clone(&budget));
+        let configs: Vec<AxConfig> = AxConfig::enumerate(metered.dims())
+            .into_iter()
+            .take(8)
+            .collect();
+        let mut doubled = configs.clone();
+        doubled.extend_from_slice(&configs);
+        metered.evaluate_batch(&doubled).unwrap();
+        assert_eq!(budget.spent(), 8);
+        assert!(!budget.exhausted());
+        let more = AxConfig::enumerate(metered.dims());
+        metered.evaluate_batch(&more[..16]).unwrap();
+        assert!(budget.exhausted());
+    }
+
+    #[test]
+    fn trip_fires_once() {
+        let budget = EvalBudget::new(Some(1));
+        assert!(!budget.trip(), "not yet exhausted");
+        budget.charge(1);
+        assert!(budget.trip(), "first observation fires");
+        assert!(!budget.trip(), "second observation stays quiet");
+        assert!(budget.exhausted());
+    }
+
+    #[test]
+    fn unbounded_budget_never_exhausts() {
+        let budget = EvalBudget::new(None);
+        budget.charge(u64::MAX / 2);
+        assert!(!budget.exhausted());
+        assert_eq!(budget.cap(), None);
+    }
+}

@@ -1,0 +1,881 @@
+//! The polymorphic campaign driver.
+
+use crate::backend::{EvalBackend, EvalContext, Evaluator, SharedCache};
+use crate::campaign::budget::{EvalBudget, MeteredBackend};
+use crate::campaign::spec::{ExperimentSpec, SeedRange};
+use crate::explore::{
+    explore_backend, explore_backend_with_stop, AgentKind, ExplorationOutcome, ExploreOptions,
+};
+use crate::sweep::{summarize_outcomes, PortfolioEntry, PortfolioOutcome, SweepSummary};
+use ax_agents::train::StopReason;
+use ax_operators::OperatorLibrary;
+use ax_vm::VmError;
+use ax_workloads::Workload;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Query counters of a tiered (surrogate-assisted) backend, summed into
+/// campaign reports. Defined here so the backend-agnostic campaign layer
+/// can report tier usage; the `ax-surrogate` crate re-exports it and its
+/// `TieredBackend` produces it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TieredStats {
+    /// Queries answered from a backend's own memo table.
+    pub memo_hits: u64,
+    /// Distinct queries answered *exactly* from the class memo — a
+    /// configuration in the same execution-equivalence class was already
+    /// confirmed, so the metrics are the interpreter's own, for free.
+    pub class_hits: u64,
+    /// Distinct queries answered by the surrogate (no exact run).
+    pub surrogate_answers: u64,
+    /// Distinct queries answered by the exact backend (warmup, low
+    /// confidence, or the audit stream).
+    pub exact_confirmations: u64,
+}
+
+impl TieredStats {
+    /// Distinct (non-memo) queries answered.
+    pub fn distinct_queries(&self) -> u64 {
+        self.class_hits + self.surrogate_answers + self.exact_confirmations
+    }
+
+    /// Fraction of distinct queries the surrogate model absorbed (0 when
+    /// no distinct query has been made).
+    pub fn surrogate_hit_rate(&self) -> f64 {
+        let total = self.distinct_queries();
+        if total == 0 {
+            0.0
+        } else {
+            self.surrogate_answers as f64 / total as f64
+        }
+    }
+
+    /// Fraction of distinct queries that skipped the interpreter entirely
+    /// (class memo or surrogate).
+    pub fn avoided_exact_rate(&self) -> f64 {
+        let total = self.distinct_queries();
+        if total == 0 {
+            0.0
+        } else {
+            (self.class_hits + self.surrogate_answers) as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another backend's counters (for campaign-wide totals).
+    pub fn merge(&mut self, other: &TieredStats) {
+        self.memo_hits += other.memo_hits;
+        self.class_hits += other.class_hits;
+        self.surrogate_answers += other.surrogate_answers;
+        self.exact_confirmations += other.exact_confirmations;
+    }
+}
+
+/// Progress hooks of a running campaign.
+///
+/// Implementations must be `Sync`: run-level hooks fire on rayon worker
+/// threads. Every method has a no-op default, so observers implement only
+/// what they care about; [`NullObserver`] is the do-nothing instance.
+pub trait Observer: Sync {
+    /// The campaign is about to execute `total_runs` explorations.
+    fn on_campaign_start(&self, _name: &str, _total_runs: u64) {}
+
+    /// A benchmark's context (precise reference, shared cache scope) is
+    /// prepared.
+    fn on_benchmark_ready(&self, _benchmark: &str) {}
+
+    /// One exploration finished (called from worker threads).
+    fn on_run_complete(
+        &self,
+        _benchmark: &str,
+        _agent: AgentKind,
+        _seed: u64,
+        _stop: StopReason,
+        _steps: u64,
+    ) {
+    }
+
+    /// The global evaluation budget was exhausted (fires once).
+    fn on_budget_exhausted(&self, _spent: u64) {}
+
+    /// The campaign finished and its report is final.
+    fn on_campaign_complete(&self, _report: &CampaignReport) {}
+}
+
+/// The do-nothing [`Observer`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+/// How a campaign obtains the [`EvalBackend`] of each run.
+///
+/// The driver calls [`BackendProvider::prepare`] once per benchmark (on
+/// the coordinating thread, with the benchmark's prepared context) and
+/// [`BackendProvider::spawn`] once per run (on worker threads). The
+/// `Shared` state is where cross-run machinery lives — the `ax-surrogate`
+/// provider keeps its shared model and class memo there, so exact
+/// confirmations from any worker refine the estimator every other worker
+/// prefilters with.
+pub trait BackendProvider: Sync {
+    /// The backend each run evaluates through.
+    type Backend: EvalBackend + Send;
+    /// Per-benchmark state shared by all of that benchmark's runs.
+    type Shared: Send + Sync;
+
+    /// Builds the per-benchmark shared state.
+    fn prepare(&self, ctx: &EvalContext) -> Self::Shared;
+
+    /// Spawns one run's backend.
+    fn spawn(&self, shared: &Self::Shared, ctx: &EvalContext) -> Self::Backend;
+
+    /// Tier-usage counters of a finished run's backend, if it tracks any.
+    fn usage(&self, _backend: &Self::Backend) -> Option<TieredStats> {
+        None
+    }
+}
+
+/// The exact interpreter-backed provider: every run gets a plain
+/// [`Evaluator`] spawned from the benchmark's shared-cache context.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactProvider;
+
+impl BackendProvider for ExactProvider {
+    type Backend = Evaluator;
+    type Shared = ();
+
+    fn prepare(&self, _ctx: &EvalContext) -> Self::Shared {}
+
+    fn spawn(&self, _shared: &Self::Shared, ctx: &EvalContext) -> Self::Backend {
+        ctx.evaluator()
+    }
+}
+
+/// A provider from a closure turning each run's exact [`Evaluator`] into
+/// an arbitrary backend — the seam the legacy `race_portfolio_with`
+/// wrapper (and ad-hoc backend experiments) plug into.
+#[derive(Debug)]
+pub struct WrapProvider<F> {
+    wrap: F,
+}
+
+impl<F> WrapProvider<F> {
+    /// A provider applying `wrap` to every spawned evaluator.
+    pub fn new(wrap: F) -> Self {
+        Self { wrap }
+    }
+}
+
+impl<B, F> BackendProvider for WrapProvider<F>
+where
+    B: EvalBackend + Send,
+    F: Fn(Evaluator) -> B + Sync,
+{
+    type Backend = B;
+    type Shared = ();
+
+    fn prepare(&self, _ctx: &EvalContext) -> Self::Shared {}
+
+    fn spawn(&self, _shared: &Self::Shared, ctx: &EvalContext) -> Self::Backend {
+        (self.wrap)(ctx.evaluator())
+    }
+}
+
+/// One (benchmark, agent) cell of a campaign report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellReport {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// The learning algorithm.
+    pub agent: AgentKind,
+    /// Aggregated sweep summary over the cell's seeds.
+    pub summary: SweepSummary,
+    /// Summed tier usage of the cell's backends (`None` for exact runs).
+    pub tier: Option<TieredStats>,
+    /// Budget units (distinct designs) this cell charged.
+    pub evaluations: u64,
+    /// Runs of this cell stopped by budget exhaustion.
+    pub stopped_runs: u64,
+}
+
+/// Budget accounting of a finished campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BudgetReport {
+    /// The global cap, if one was set.
+    pub cap: Option<u64>,
+    /// Units charged across all runs.
+    pub spent: u64,
+    /// Runs that ended with [`StopReason::Stopped`].
+    pub stopped_runs: u64,
+}
+
+impl BudgetReport {
+    /// `true` if the campaign ran out of budget.
+    pub fn exhausted(&self) -> bool {
+        self.cap.is_some_and(|cap| self.spent >= cap)
+    }
+}
+
+/// Everything a finished [`Campaign`] reports.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Campaign name.
+    pub name: String,
+    /// Per-(benchmark, agent) cells, benchmark-major in input order.
+    pub cells: Vec<CellReport>,
+    /// One portfolio ranking per benchmark: every (agent, seed) run as an
+    /// entry, scored and ranked exactly like the legacy portfolio race.
+    pub portfolios: Vec<PortfolioOutcome>,
+    /// Global budget accounting.
+    pub budget: BudgetReport,
+    /// Tier usage summed across every run (`None` for exact campaigns).
+    pub tier: Option<TieredStats>,
+}
+
+impl CampaignReport {
+    /// The best run across all benchmarks: `(portfolio index, entry)` of
+    /// the highest solution score.
+    pub fn best_overall(&self) -> Option<(usize, &PortfolioEntry)> {
+        self.portfolios
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, p.winner()))
+            .max_by(|(_, a), (_, b)| a.score.total_cmp(&b.score))
+    }
+
+    /// The cell of a given benchmark and agent, if present.
+    pub fn cell(&self, benchmark: &str, agent: AgentKind) -> Option<&CellReport> {
+        self.cells
+            .iter()
+            .find(|c| c.benchmark == benchmark && c.agent == agent)
+    }
+}
+
+/// One exploration against a prepared [`EvalContext`] — the campaign's
+/// single-run primitive, shared by the driver and the deprecated
+/// `explore_*` wrappers. Runs with the context's exact evaluator; use
+/// [`explore_backend`] directly for other backends.
+pub fn explore(ctx: &EvalContext, opts: &ExploreOptions, kind: AgentKind) -> ExplorationOutcome {
+    explore_backend(ctx.evaluator(), ctx.library(), ctx.benchmark(), opts, kind)
+}
+
+/// A declaratively configured experiment over one polymorphic driver.
+///
+/// A campaign is a grid — benchmarks × agent roster × seed range —
+/// executed concurrently over per-benchmark shared-cache contexts, with an
+/// optional **global evaluation budget** enforced cooperatively across all
+/// rayon workers, any [`BackendProvider`] supplying the evaluation
+/// backends, and [`Observer`] hooks for progress streaming. It subsumes
+/// the legacy sweep/portfolio/explore entry points (now thin deprecated
+/// wrappers): a 1-benchmark × 1-agent × N-seed campaign *is*
+/// `sweep_seeds_parallel`, a 1 × M × 1 campaign *is* `race_portfolio`,
+/// and the multi-benchmark × multi-agent × budgeted case is the scenario
+/// none of the free functions could express.
+///
+/// ```
+/// use ax_dse::campaign::Campaign;
+/// use ax_dse::explore::{AgentKind, ExploreOptions};
+/// use ax_dse::campaign::SeedRange;
+/// use ax_operators::OperatorLibrary;
+/// use ax_workloads::dot::DotProduct;
+///
+/// let lib = OperatorLibrary::evoapprox();
+/// let wl = DotProduct::new(8);
+/// let report = Campaign::new("quick", &lib)
+///     .benchmark(&wl)
+///     .agent(AgentKind::QLearning)
+///     .seeds(SeedRange::new(0, 2))
+///     .options(ExploreOptions { max_steps: 120, ..Default::default() })
+///     .run()
+///     .unwrap();
+/// assert_eq!(report.cells.len(), 1);
+/// assert_eq!(report.cells[0].summary.seeds, 2);
+/// ```
+pub struct Campaign<'a> {
+    name: String,
+    lib: &'a OperatorLibrary,
+    benchmarks: Vec<&'a dyn Workload>,
+    agents: Vec<AgentKind>,
+    seeds: SeedRange,
+    opts: ExploreOptions,
+    budget: Option<u64>,
+    sequential: bool,
+    cache: Option<Arc<SharedCache>>,
+    observer: &'a dyn Observer,
+    /// The backend a spec asked for, when built via [`Campaign::from_spec`]
+    /// — [`Campaign::run`] refuses to silently downgrade a non-exact
+    /// choice to the exact provider.
+    spec_backend: Option<crate::campaign::spec::BackendSpec>,
+}
+
+impl<'a> Campaign<'a> {
+    /// An empty campaign over `lib`; add benchmarks and agents before
+    /// running.
+    pub fn new(name: impl Into<String>, lib: &'a OperatorLibrary) -> Self {
+        Self {
+            name: name.into(),
+            lib,
+            benchmarks: Vec::new(),
+            agents: Vec::new(),
+            seeds: SeedRange::default(),
+            opts: ExploreOptions::default(),
+            budget: None,
+            sequential: false,
+            cache: None,
+            observer: &NullObserver,
+            spec_backend: None,
+        }
+    }
+
+    /// A campaign configured from a validated [`ExperimentSpec`] and the
+    /// workloads built from it ([`ExperimentSpec::build_workloads`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads` does not match the spec's benchmark list.
+    pub fn from_spec(
+        lib: &'a OperatorLibrary,
+        spec: &ExperimentSpec,
+        workloads: &'a [Box<dyn Workload>],
+    ) -> Self {
+        assert_eq!(
+            workloads.len(),
+            spec.benchmarks.len(),
+            "workloads must be built from the spec's benchmark list"
+        );
+        let mut campaign = Self::new(spec.name.clone(), lib)
+            .agents(&spec.agents)
+            .seeds(spec.seeds);
+        campaign.spec_backend = Some(spec.backend);
+        campaign = campaign
+            .options(spec.explore)
+            .sequential(spec.parallelism == Some(1));
+        campaign.budget = spec.budget;
+        for wl in workloads {
+            campaign = campaign.benchmark(wl.as_ref());
+        }
+        campaign
+    }
+
+    /// Adds a benchmark.
+    #[must_use]
+    pub fn benchmark(mut self, workload: &'a dyn Workload) -> Self {
+        self.benchmarks.push(workload);
+        self
+    }
+
+    /// Adds an agent to the roster.
+    #[must_use]
+    pub fn agent(mut self, kind: AgentKind) -> Self {
+        self.agents.push(kind);
+        self
+    }
+
+    /// Adds several agents.
+    #[must_use]
+    pub fn agents(mut self, kinds: &[AgentKind]) -> Self {
+        self.agents.extend_from_slice(kinds);
+        self
+    }
+
+    /// Sets the seed range (default: the single seed 0).
+    #[must_use]
+    pub fn seeds(mut self, seeds: SeedRange) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Sets the base exploration options (`seed` is overridden per run).
+    #[must_use]
+    pub fn options(mut self, opts: ExploreOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Caps the campaign at `budget` distinct design evaluations across
+    /// **all** runs (see [`EvalBudget`] for the cooperative contract).
+    #[must_use]
+    pub fn budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Forces sequential execution (run after run, no rayon fan-out).
+    #[must_use]
+    pub fn sequential(mut self, sequential: bool) -> Self {
+        self.sequential = sequential;
+        self
+    }
+
+    /// Shares (and fills) the given design cache instead of a fresh one —
+    /// e.g. one loaded with [`SharedCache::load`], so repeated runs of the
+    /// same spec skip re-evaluation across processes.
+    #[must_use]
+    pub fn shared_cache(mut self, cache: Arc<SharedCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Streams progress through `observer`.
+    #[must_use]
+    pub fn observe(mut self, observer: &'a dyn Observer) -> Self {
+        self.observer = observer;
+        self
+    }
+
+    /// Runs the campaign with exact evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a benchmark cannot be prepared.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty benchmark list, empty agent roster or empty
+    /// seed range — and on a [`Campaign::from_spec`] campaign whose spec
+    /// names a non-exact backend: that choice needs a matching provider
+    /// (`run_with`, or the backend-dispatching `ax_surrogate::run_spec`),
+    /// and silently downgrading it to exact evaluation would misreport
+    /// the experiment.
+    pub fn run(&self) -> Result<CampaignReport, VmError> {
+        assert!(
+            matches!(
+                self.spec_backend,
+                None | Some(crate::campaign::spec::BackendSpec::Exact)
+            ),
+            "this campaign's spec names a non-exact backend; run it through \
+             `ax_surrogate::run_spec` (or `run_with` with a matching provider) \
+             instead of `run`"
+        );
+        self.run_with(&ExactProvider)
+    }
+
+    /// Runs the campaign through an arbitrary [`BackendProvider`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if a benchmark cannot be prepared.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty benchmark list, empty agent roster or empty
+    /// seed range.
+    pub fn run_with<P: BackendProvider>(&self, provider: &P) -> Result<CampaignReport, VmError> {
+        assert!(
+            !self.benchmarks.is_empty(),
+            "campaign needs at least one benchmark"
+        );
+        assert!(
+            !self.agents.is_empty(),
+            "portfolio needs at least one agent"
+        );
+        assert!(self.seeds.count > 0, "need at least one seed");
+
+        let total_runs = self.benchmarks.len() as u64 * self.agents.len() as u64 * self.seeds.count;
+        self.observer.on_campaign_start(&self.name, total_runs);
+
+        let budget = EvalBudget::new(self.budget);
+        let lib = Arc::new(self.lib.clone());
+        let cache = self.cache.clone().unwrap_or_else(SharedCache::new);
+
+        let mut contexts = Vec::with_capacity(self.benchmarks.len());
+        for workload in &self.benchmarks {
+            let ctx = EvalContext::with_cache(
+                *workload,
+                Arc::clone(&lib),
+                self.opts.input_seed,
+                Arc::clone(&cache),
+            )?;
+            self.observer.on_benchmark_ready(ctx.benchmark());
+            contexts.push(ctx);
+        }
+        let shared: Vec<P::Shared> = contexts.iter().map(|c| provider.prepare(c)).collect();
+
+        // The flattened run grid, benchmark-major / agent / seed — the
+        // order every report slice below relies on.
+        let mut runs: Vec<(usize, usize, u64)> = Vec::with_capacity(total_runs as usize);
+        for b in 0..self.benchmarks.len() {
+            for a in 0..self.agents.len() {
+                for seed in self.seeds.iter() {
+                    runs.push((b, a, seed));
+                }
+            }
+        }
+
+        // Bind the Sync pieces the workers need so the fan-out closure does
+        // not capture `self` (whose `&dyn Workload` references are not
+        // required to be `Sync` — they are only touched during preparation).
+        let agents = &self.agents;
+        let opts = self.opts;
+        let observer = self.observer;
+        let contexts = &contexts;
+        let shared = &shared;
+        let budget = &budget;
+        let do_run = move |&(b, a, seed): &(usize, usize, u64)| {
+            let ctx = &contexts[b];
+            let run_opts = ExploreOptions { seed, ..opts };
+            let backend = MeteredBackend::new(provider.spawn(&shared[b], ctx), Arc::clone(budget));
+            let outcome = explore_backend_with_stop(
+                backend,
+                ctx.library(),
+                ctx.benchmark(),
+                &run_opts,
+                agents[a],
+                || budget.exhausted(),
+            );
+            if budget.trip() {
+                observer.on_budget_exhausted(budget.spent());
+            }
+            observer.on_run_complete(
+                ctx.benchmark(),
+                agents[a],
+                seed,
+                outcome.stop_reason,
+                outcome.summary.steps,
+            );
+            outcome
+        };
+        let outcomes: Vec<ExplorationOutcome<MeteredBackend<P::Backend>>> = if self.sequential {
+            runs.iter().map(do_run).collect()
+        } else {
+            runs.into_par_iter().map(|run| do_run(&run)).collect()
+        };
+
+        // Aggregate the grid back into cells and per-benchmark portfolios.
+        let seeds_per_cell = self.seeds.count as usize;
+        let runs_per_bench = self.agents.len() * seeds_per_cell;
+        let mut cells = Vec::with_capacity(self.benchmarks.len() * self.agents.len());
+        let mut portfolios = Vec::with_capacity(self.benchmarks.len());
+        let mut tier_total: Option<TieredStats> = None;
+        let mut total_stopped = 0u64;
+        for (b, ctx) in contexts.iter().enumerate() {
+            let bench_outcomes = &outcomes[b * runs_per_bench..(b + 1) * runs_per_bench];
+            let mut entries = Vec::with_capacity(runs_per_bench);
+            for (a, &kind) in self.agents.iter().enumerate() {
+                let cell = &bench_outcomes[a * seeds_per_cell..(a + 1) * seeds_per_cell];
+                let summary = summarize_outcomes(ctx.benchmark().to_owned(), cell);
+                let mut tier: Option<TieredStats> = None;
+                let mut evaluations = 0;
+                let mut stopped = 0;
+                for outcome in cell {
+                    evaluations += outcome.evaluator.charged();
+                    if outcome.stop_reason == StopReason::Stopped {
+                        stopped += 1;
+                    }
+                    if let Some(usage) = provider.usage(outcome.evaluator.inner()) {
+                        tier.get_or_insert_with(TieredStats::default).merge(&usage);
+                        tier_total
+                            .get_or_insert_with(TieredStats::default)
+                            .merge(&usage);
+                    }
+                }
+                total_stopped += stopped;
+                for (outcome, seed) in cell.iter().zip(self.seeds.iter()) {
+                    entries.push(portfolio_entry(kind, seed, outcome));
+                }
+                cells.push(CellReport {
+                    benchmark: ctx.benchmark().to_owned(),
+                    agent: kind,
+                    summary,
+                    tier,
+                    evaluations,
+                    stopped_runs: stopped,
+                });
+            }
+            let mut best = 0;
+            for (i, e) in entries.iter().enumerate() {
+                if e.score.total_cmp(&entries[best].score).is_gt() {
+                    best = i;
+                }
+            }
+            portfolios.push(PortfolioOutcome {
+                benchmark: ctx.benchmark().to_owned(),
+                entries,
+                best,
+                shared_distinct: cache.scope_len(ctx.benchmark(), ctx.input_seed()) as u64,
+            });
+        }
+
+        let report = CampaignReport {
+            name: self.name.clone(),
+            cells,
+            portfolios,
+            budget: BudgetReport {
+                cap: budget.cap(),
+                spent: budget.spent(),
+                stopped_runs: total_stopped,
+            },
+            tier: tier_total,
+        };
+        self.observer.on_campaign_complete(&report);
+        Ok(report)
+    }
+}
+
+/// Builds one portfolio entry from a finished run, with the same
+/// feasibility test and scalarisation the legacy `race_portfolio` used.
+fn portfolio_entry<B: EvalBackend>(
+    kind: AgentKind,
+    seed: u64,
+    outcome: &ExplorationOutcome<B>,
+) -> PortfolioEntry {
+    let th = outcome.thresholds;
+    let m = outcome.trace.last().expect("non-empty trace").metrics;
+    let feasible =
+        m.delta_acc <= th.acc_th && m.delta_power >= th.power_th && m.delta_time >= th.time_th;
+    let score = crate::search_adapter::solution_score(
+        &m,
+        &th,
+        outcome.evaluator.precise_power(),
+        outcome.evaluator.precise_time(),
+    );
+    PortfolioEntry {
+        kind,
+        seed,
+        summary: outcome.summary.clone(),
+        stop_reason: outcome.stop_reason,
+        distinct_configs: outcome.distinct_configs,
+        feasible,
+        score,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::spec::{BackendSpec, BenchmarkSpec};
+    use ax_workloads::dot::DotProduct;
+    use ax_workloads::matmul::MatMul;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn lib() -> OperatorLibrary {
+        OperatorLibrary::evoapprox()
+    }
+
+    fn quick_opts(steps: u64) -> ExploreOptions {
+        ExploreOptions {
+            max_steps: steps,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn single_cell_campaign_reports_a_sweep() {
+        let l = lib();
+        let wl = DotProduct::new(8);
+        let report = Campaign::new("sweep", &l)
+            .benchmark(&wl)
+            .agent(AgentKind::QLearning)
+            .seeds(SeedRange::new(0, 3))
+            .options(quick_opts(120))
+            .run()
+            .unwrap();
+        assert_eq!(report.cells.len(), 1);
+        assert_eq!(report.cells[0].summary.seeds, 3);
+        assert_eq!(report.portfolios.len(), 1);
+        assert_eq!(report.portfolios[0].entries.len(), 3);
+        assert!(report.budget.cap.is_none());
+        assert!(report.budget.spent > 0, "unbounded budgets still count");
+        assert!(report.tier.is_none(), "exact campaigns report no tiers");
+    }
+
+    #[test]
+    fn multi_benchmark_campaign_covers_the_grid() {
+        let l = lib();
+        let (wa, wb) = (DotProduct::new(8), MatMul::new(4));
+        let kinds = [AgentKind::QLearning, AgentKind::Sarsa];
+        let report = Campaign::new("grid", &l)
+            .benchmark(&wa)
+            .benchmark(&wb)
+            .agents(&kinds)
+            .seeds(SeedRange::new(0, 2))
+            .options(quick_opts(100))
+            .run()
+            .unwrap();
+        assert_eq!(report.cells.len(), 4);
+        assert_eq!(report.portfolios.len(), 2);
+        for p in &report.portfolios {
+            assert_eq!(p.entries.len(), 4, "2 agents x 2 seeds");
+            assert!(p.shared_distinct > 0);
+            assert!(p.best < p.entries.len());
+        }
+        assert_eq!(
+            report
+                .cell("dot-8", AgentKind::Sarsa)
+                .unwrap()
+                .summary
+                .seeds,
+            2
+        );
+        assert!(report.best_overall().is_some());
+    }
+
+    #[test]
+    fn campaign_is_deterministic_without_budget() {
+        let l = lib();
+        let wl = DotProduct::new(8);
+        let run = || {
+            Campaign::new("det", &l)
+                .benchmark(&wl)
+                .agents(&[AgentKind::QLearning, AgentKind::Sarsa])
+                .seeds(SeedRange::new(0, 2))
+                .options(quick_opts(100))
+                .run()
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.summary, cb.summary);
+            assert_eq!(ca.evaluations, cb.evaluations);
+        }
+        assert_eq!(a.budget.spent, b.budget.spent);
+        for (pa, pb) in a.portfolios.iter().zip(&b.portfolios) {
+            assert_eq!(pa.best, pb.best);
+            assert_eq!(pa.entries.len(), pb.entries.len());
+        }
+    }
+
+    #[test]
+    fn sequential_equals_parallel() {
+        let l = lib();
+        let wl = DotProduct::new(8);
+        let run = |sequential| {
+            Campaign::new("seq", &l)
+                .benchmark(&wl)
+                .agent(AgentKind::QLearning)
+                .seeds(SeedRange::new(0, 4))
+                .options(quick_opts(120))
+                .sequential(sequential)
+                .run()
+                .unwrap()
+        };
+        let (par, seq) = (run(false), run(true));
+        assert_eq!(par.cells[0].summary, seq.cells[0].summary);
+        assert_eq!(par.budget.spent, seq.budget.spent);
+    }
+
+    #[test]
+    fn global_budget_stops_the_campaign() {
+        let l = lib();
+        let (wa, wb) = (MatMul::new(4), DotProduct::new(8));
+        let report = Campaign::new("budgeted", &l)
+            .benchmark(&wa)
+            .benchmark(&wb)
+            .agents(&[AgentKind::QLearning, AgentKind::Sarsa])
+            .seeds(SeedRange::new(0, 2))
+            .options(quick_opts(5_000))
+            .budget(60)
+            .run()
+            .unwrap();
+        assert!(report.budget.exhausted(), "{:?}", report.budget);
+        assert!(report.budget.spent >= 60);
+        assert!(
+            report.budget.stopped_runs > 0,
+            "some runs must stop on the budget: {:?}",
+            report.budget
+        );
+        // Cooperative enforcement: each in-flight run may finish the step
+        // it was in, so the overshoot is bounded by runs x one step's
+        // worth of evaluations (the full action neighbourhood at worst).
+        let runs = 8u64;
+        let worst_step = 20u64;
+        assert!(
+            report.budget.spent <= 60 + runs * worst_step,
+            "overshoot must stay cooperative: {}",
+            report.budget.spent
+        );
+    }
+
+    #[test]
+    fn observer_sees_every_run() {
+        #[derive(Default)]
+        struct Counting {
+            starts: AtomicU64,
+            benches: AtomicU64,
+            runs: AtomicU64,
+            completes: AtomicU64,
+        }
+        impl Observer for Counting {
+            fn on_campaign_start(&self, _name: &str, total: u64) {
+                self.starts.fetch_add(total, Ordering::Relaxed);
+            }
+            fn on_benchmark_ready(&self, _benchmark: &str) {
+                self.benches.fetch_add(1, Ordering::Relaxed);
+            }
+            fn on_run_complete(
+                &self,
+                _benchmark: &str,
+                _agent: AgentKind,
+                _seed: u64,
+                _stop: StopReason,
+                _steps: u64,
+            ) {
+                self.runs.fetch_add(1, Ordering::Relaxed);
+            }
+            fn on_campaign_complete(&self, report: &CampaignReport) {
+                self.completes
+                    .fetch_add(report.cells.len() as u64, Ordering::Relaxed);
+            }
+        }
+        let l = lib();
+        let wl = DotProduct::new(8);
+        let counting = Counting::default();
+        Campaign::new("observed", &l)
+            .benchmark(&wl)
+            .agents(&[AgentKind::QLearning, AgentKind::Sarsa])
+            .seeds(SeedRange::new(0, 2))
+            .options(quick_opts(80))
+            .observe(&counting)
+            .run()
+            .unwrap();
+        assert_eq!(counting.starts.load(Ordering::Relaxed), 4);
+        assert_eq!(counting.benches.load(Ordering::Relaxed), 1);
+        assert_eq!(counting.runs.load(Ordering::Relaxed), 4);
+        assert_eq!(counting.completes.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn from_spec_builds_the_same_campaign() {
+        let l = lib();
+        let spec = ExperimentSpec::new("spec-driven")
+            .benchmark(BenchmarkSpec::Dot(8))
+            .agent(AgentKind::QLearning)
+            .seeds(SeedRange::new(0, 2))
+            .explore(quick_opts(100))
+            .backend(BackendSpec::Exact);
+        spec.validate().unwrap();
+        let workloads = spec.build_workloads();
+        let from_spec = Campaign::from_spec(&l, &spec, &workloads).run().unwrap();
+        let wl = DotProduct::new(8);
+        let by_hand = Campaign::new("spec-driven", &l)
+            .benchmark(&wl)
+            .agent(AgentKind::QLearning)
+            .seeds(SeedRange::new(0, 2))
+            .options(quick_opts(100))
+            .run()
+            .unwrap();
+        assert_eq!(from_spec.cells[0].summary, by_hand.cells[0].summary);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one benchmark")]
+    fn empty_campaign_rejected() {
+        let l = lib();
+        let _ = Campaign::new("empty", &l).agent(AgentKind::QLearning).run();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-exact backend")]
+    fn from_spec_refuses_to_downgrade_a_tiered_backend() {
+        let l = lib();
+        let spec = ExperimentSpec::new("tiered")
+            .benchmark(BenchmarkSpec::Dot(8))
+            .agent(AgentKind::QLearning)
+            .backend(BackendSpec::Tiered(Default::default()));
+        let workloads = spec.build_workloads();
+        // `run()` would silently execute exactly what the spec did not ask
+        // for; it must refuse (the dispatching path is `run_spec` /
+        // `run_with` with a tiered provider).
+        let _ = Campaign::from_spec(&l, &spec, &workloads).run();
+    }
+}

@@ -1,0 +1,760 @@
+//! Declarative experiment specifications.
+//!
+//! An [`ExperimentSpec`] names everything a campaign needs — benchmarks,
+//! agent roster, seed range, backend choice, stop/budget rules — as plain
+//! data, so whole experiments become checked-in JSON files (see
+//! `examples/campaign_matmul.json`) executed by `repro run <spec.json>`.
+//! The JSON mapping is hand-written over [`crate::json`] because the
+//! workspace's serde is an offline no-op shim; every field is optional in
+//! the file and falls back to the same defaults the builder uses.
+
+use crate::campaign::SurrogateSettings;
+use crate::explore::{AgentKind, ExploreOptions};
+use crate::json::{Json, JsonError};
+use crate::thresholds::ThresholdRule;
+use ax_agents::schedule::Schedule;
+use ax_workloads::{conv2d::Conv2d, dct::Dct8, dot::DotProduct, fir::Fir, matmul::MatMul};
+use ax_workloads::{sobel::Sobel, Workload};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A contiguous range of agent seeds: `start, start+1, …, start+count-1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeedRange {
+    /// First agent seed.
+    pub start: u64,
+    /// Number of seeds.
+    pub count: u64,
+}
+
+impl SeedRange {
+    /// The range `start .. start + count`.
+    pub fn new(start: u64, count: u64) -> Self {
+        Self { start, count }
+    }
+
+    /// A single seed.
+    pub fn single(seed: u64) -> Self {
+        Self::new(seed, 1)
+    }
+
+    /// Iterates the seeds of the range.
+    pub fn iter(&self) -> impl Iterator<Item = u64> {
+        self.start..self.start + self.count
+    }
+}
+
+impl Default for SeedRange {
+    fn default() -> Self {
+        Self::new(0, 1)
+    }
+}
+
+/// A benchmark named by kind and size — the serialisable counterpart of
+/// the concrete [`Workload`] constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BenchmarkSpec {
+    /// `size × size` matrix multiplication (paper Table III).
+    MatMul(usize),
+    /// FIR low-pass filter over `size` white-noise samples (Table III).
+    Fir(usize),
+    /// Dot product of two `size`-element vectors.
+    Dot(usize),
+    /// 2-D convolution over a `size × size` image.
+    Conv2d(usize),
+    /// Sobel edge detection over a `size × size` image.
+    Sobel(usize),
+    /// 8-point DCT over `size` blocks.
+    Dct8(usize),
+}
+
+impl BenchmarkSpec {
+    /// The spec's kind tag as written in JSON.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            BenchmarkSpec::MatMul(_) => "matmul",
+            BenchmarkSpec::Fir(_) => "fir",
+            BenchmarkSpec::Dot(_) => "dot",
+            BenchmarkSpec::Conv2d(_) => "conv2d",
+            BenchmarkSpec::Sobel(_) => "sobel",
+            BenchmarkSpec::Dct8(_) => "dct8",
+        }
+    }
+
+    /// The size parameter (side length, sample count or block count).
+    pub fn size(&self) -> usize {
+        match *self {
+            BenchmarkSpec::MatMul(n)
+            | BenchmarkSpec::Fir(n)
+            | BenchmarkSpec::Dot(n)
+            | BenchmarkSpec::Conv2d(n)
+            | BenchmarkSpec::Sobel(n)
+            | BenchmarkSpec::Dct8(n) => n,
+        }
+    }
+
+    /// Instantiates the named workload.
+    pub fn build(&self) -> Box<dyn Workload> {
+        match *self {
+            BenchmarkSpec::MatMul(n) => Box::new(MatMul::new(n)),
+            BenchmarkSpec::Fir(n) => Box::new(Fir::new(n)),
+            BenchmarkSpec::Dot(n) => Box::new(DotProduct::new(n)),
+            BenchmarkSpec::Conv2d(n) => Box::new(Conv2d::new(n)),
+            BenchmarkSpec::Sobel(n) => Box::new(Sobel::new(n)),
+            BenchmarkSpec::Dct8(n) => Box::new(Dct8::new(n)),
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("kind", Json::str(self.kind())),
+            ("size", Json::u64(self.size() as u64)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let kind = v
+            .get("kind")
+            .ok_or_else(|| JsonError("benchmark needs a `kind`".into()))?
+            .as_str()?;
+        let size = v
+            .get("size")
+            .ok_or_else(|| JsonError(format!("benchmark `{kind}` needs a `size`")))?
+            .as_usize()?;
+        Ok(match kind {
+            "matmul" => BenchmarkSpec::MatMul(size),
+            "fir" => BenchmarkSpec::Fir(size),
+            "dot" => BenchmarkSpec::Dot(size),
+            "conv2d" => BenchmarkSpec::Conv2d(size),
+            "sobel" => BenchmarkSpec::Sobel(size),
+            "dct8" => BenchmarkSpec::Dct8(size),
+            other => return Err(JsonError(format!("unknown benchmark kind `{other}`"))),
+        })
+    }
+}
+
+/// The evaluation backend a campaign scores designs with.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum BackendSpec {
+    /// The exact interpreter-backed [`crate::backend::Evaluator`].
+    #[default]
+    Exact,
+    /// The `ax-surrogate` crate's two-tier backend (surrogate prefilter +
+    /// exact confirmation) with the given policy.
+    Tiered(SurrogateSettings),
+}
+
+impl BackendSpec {
+    fn to_json(self) -> Json {
+        match self {
+            BackendSpec::Exact => Json::str("exact"),
+            BackendSpec::Tiered(s) => Json::obj(vec![("tiered", surrogate_settings_to_json(s))]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) if s == "exact" => Ok(BackendSpec::Exact),
+            Json::Obj(_) => {
+                let inner = v
+                    .get("tiered")
+                    .ok_or_else(|| JsonError("backend object needs a `tiered` key".into()))?;
+                Ok(BackendSpec::Tiered(surrogate_settings_from_json(inner)?))
+            }
+            other => Err(JsonError(format!(
+                "backend must be \"exact\" or {{\"tiered\": …}}, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// A structurally invalid [`ExperimentSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid experiment spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<JsonError> for SpecError {
+    fn from(e: JsonError) -> Self {
+        SpecError(e.0)
+    }
+}
+
+/// The declarative description of one campaign: everything the
+/// [`crate::campaign::Campaign`] driver needs, as plain serialisable data.
+///
+/// Build one with the chained setters and run it — or check it in as JSON
+/// and run it with `repro run`:
+///
+/// ```
+/// use ax_dse::campaign::{BenchmarkSpec, ExperimentSpec, SeedRange};
+/// use ax_dse::explore::AgentKind;
+///
+/// let spec = ExperimentSpec::new("smoke")
+///     .benchmark(BenchmarkSpec::MatMul(4))
+///     .agent(AgentKind::QLearning)
+///     .seeds(SeedRange::new(0, 2))
+///     .budget(2_000);
+/// let text = spec.to_json_string();
+/// assert_eq!(ExperimentSpec::from_json_str(&text).unwrap(), spec);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Human-readable campaign name.
+    pub name: String,
+    /// Benchmarks to explore (the campaign's outer axis).
+    pub benchmarks: Vec<BenchmarkSpec>,
+    /// Learning agents racing on every benchmark.
+    pub agents: Vec<AgentKind>,
+    /// Agent seeds per (benchmark, agent) cell.
+    pub seeds: SeedRange,
+    /// Base exploration options (`seed` is overridden per run from
+    /// [`ExperimentSpec::seeds`]).
+    pub explore: ExploreOptions,
+    /// Evaluation backend choice.
+    pub backend: BackendSpec,
+    /// Global evaluation budget: distinct designs resolved across **all**
+    /// runs of the campaign; `None` = unbounded. Enforcement is
+    /// cooperative — see [`crate::campaign::EvalBudget`].
+    pub budget: Option<u64>,
+    /// Worker-thread request: `Some(1)` forces sequential execution;
+    /// larger values are a hint recorded for the process-global rayon
+    /// pool (`AX_THREADS` / `ThreadPoolBuilder`).
+    pub parallelism: Option<usize>,
+}
+
+impl ExperimentSpec {
+    /// An empty spec with the given name and default options; add at least
+    /// one benchmark and one agent before running.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            benchmarks: Vec::new(),
+            agents: Vec::new(),
+            seeds: SeedRange::default(),
+            explore: ExploreOptions::default(),
+            backend: BackendSpec::Exact,
+            budget: None,
+            parallelism: None,
+        }
+    }
+
+    /// Adds a benchmark.
+    #[must_use]
+    pub fn benchmark(mut self, b: BenchmarkSpec) -> Self {
+        self.benchmarks.push(b);
+        self
+    }
+
+    /// Adds an agent to the roster.
+    #[must_use]
+    pub fn agent(mut self, kind: AgentKind) -> Self {
+        self.agents.push(kind);
+        self
+    }
+
+    /// Sets the seed range.
+    #[must_use]
+    pub fn seeds(mut self, seeds: SeedRange) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Sets the base exploration options.
+    #[must_use]
+    pub fn explore(mut self, opts: ExploreOptions) -> Self {
+        self.explore = opts;
+        self
+    }
+
+    /// Sets the backend choice.
+    #[must_use]
+    pub fn backend(mut self, backend: BackendSpec) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the global evaluation budget.
+    #[must_use]
+    pub fn budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Sets the worker-thread request.
+    #[must_use]
+    pub fn parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = Some(threads);
+        self
+    }
+
+    /// Total runs of the campaign grid.
+    pub fn total_runs(&self) -> u64 {
+        self.benchmarks.len() as u64 * self.agents.len() as u64 * self.seeds.count
+    }
+
+    /// Checks the spec is runnable.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty benchmark list, empty agent roster, empty seed
+    /// range, zero budget or zero parallelism.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.benchmarks.is_empty() {
+            return Err(SpecError("need at least one benchmark".into()));
+        }
+        if self.agents.is_empty() {
+            return Err(SpecError("need at least one agent".into()));
+        }
+        if self.seeds.count == 0 {
+            return Err(SpecError("need at least one seed".into()));
+        }
+        if self.budget == Some(0) {
+            return Err(SpecError("a zero budget cannot run anything".into()));
+        }
+        if self.parallelism == Some(0) {
+            return Err(SpecError("parallelism must be at least one thread".into()));
+        }
+        Ok(())
+    }
+
+    /// Instantiates every benchmark of the spec, in order.
+    pub fn build_workloads(&self) -> Vec<Box<dyn Workload>> {
+        self.benchmarks.iter().map(|b| b.build()).collect()
+    }
+
+    /// The spec as a JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("name", Json::str(&self.name)),
+            (
+                "benchmarks",
+                Json::Arr(self.benchmarks.iter().map(|b| b.to_json()).collect()),
+            ),
+            (
+                "agents",
+                Json::Arr(self.agents.iter().map(|a| agent_to_json(*a)).collect()),
+            ),
+            (
+                "seeds",
+                Json::obj(vec![
+                    ("start", Json::u64(self.seeds.start)),
+                    ("count", Json::u64(self.seeds.count)),
+                ]),
+            ),
+            ("explore", explore_options_to_json(&self.explore)),
+            ("backend", self.backend.to_json()),
+        ];
+        if let Some(b) = self.budget {
+            pairs.push(("budget", Json::u64(b)));
+        }
+        if let Some(p) = self.parallelism {
+            pairs.push(("parallelism", Json::u64(p as u64)));
+        }
+        Json::obj(pairs)
+    }
+
+    /// The spec as pretty-printed JSON text.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    /// Reads a spec from a JSON document. Missing optional fields take
+    /// the same defaults as [`ExperimentSpec::new`]; the result is
+    /// validated.
+    ///
+    /// # Errors
+    ///
+    /// Fails on schema violations or an unrunnable spec.
+    pub fn from_json(v: &Json) -> Result<Self, SpecError> {
+        let name = v
+            .get("name")
+            .ok_or_else(|| SpecError("spec needs a `name`".into()))?
+            .as_str()?
+            .to_owned();
+        let mut spec = ExperimentSpec::new(name);
+        if let Some(benchmarks) = v.get("benchmarks") {
+            for b in benchmarks.as_arr()? {
+                spec.benchmarks.push(BenchmarkSpec::from_json(b)?);
+            }
+        }
+        if let Some(agents) = v.get("agents") {
+            for a in agents.as_arr()? {
+                spec.agents.push(agent_from_json(a)?);
+            }
+        }
+        if let Some(seeds) = v.get("seeds") {
+            spec.seeds = SeedRange::new(
+                seeds.get("start").map_or(Ok(0), Json::as_u64)?,
+                seeds.get("count").map_or(Ok(1), Json::as_u64)?,
+            );
+        }
+        if let Some(explore) = v.get("explore") {
+            spec.explore = explore_options_from_json(explore)?;
+        }
+        if let Some(backend) = v.get("backend") {
+            spec.backend = BackendSpec::from_json(backend)?;
+        }
+        if let Some(budget) = v.get("budget") {
+            spec.budget = Some(budget.as_u64()?);
+        }
+        if let Some(parallelism) = v.get("parallelism") {
+            spec.parallelism = Some(parallelism.as_usize()?);
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Parses a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON, schema violations or an unrunnable spec.
+    pub fn from_json_str(text: &str) -> Result<Self, SpecError> {
+        Self::from_json(&Json::parse(text)?)
+    }
+}
+
+fn agent_to_json(kind: AgentKind) -> Json {
+    match kind {
+        AgentKind::QLearning => Json::str("q-learning"),
+        AgentKind::Sarsa => Json::str("sarsa"),
+        AgentKind::ExpectedSarsa => Json::str("expected-sarsa"),
+        AgentKind::DoubleQ => Json::str("double-q"),
+        AgentKind::QLambda { lambda } => Json::obj(vec![("q-lambda", Json::f64(lambda))]),
+    }
+}
+
+fn agent_from_json(v: &Json) -> Result<AgentKind, JsonError> {
+    match v {
+        Json::Str(s) => match s.as_str() {
+            "q-learning" => Ok(AgentKind::QLearning),
+            "sarsa" => Ok(AgentKind::Sarsa),
+            "expected-sarsa" => Ok(AgentKind::ExpectedSarsa),
+            "double-q" => Ok(AgentKind::DoubleQ),
+            other => Err(JsonError(format!("unknown agent `{other}`"))),
+        },
+        Json::Obj(_) => {
+            let lambda = v
+                .get("q-lambda")
+                .ok_or_else(|| JsonError("agent object needs a `q-lambda` key".into()))?
+                .as_f64()?;
+            Ok(AgentKind::QLambda { lambda })
+        }
+        other => Err(JsonError(format!("bad agent {other:?}"))),
+    }
+}
+
+fn schedule_to_json(s: Schedule) -> Json {
+    match s {
+        Schedule::Constant(v) => Json::obj(vec![("constant", Json::f64(v))]),
+        Schedule::Linear { start, end, steps } => Json::obj(vec![(
+            "linear",
+            Json::obj(vec![
+                ("start", Json::f64(start)),
+                ("end", Json::f64(end)),
+                ("steps", Json::u64(steps)),
+            ]),
+        )]),
+        Schedule::Exponential { start, end, decay } => Json::obj(vec![(
+            "exponential",
+            Json::obj(vec![
+                ("start", Json::f64(start)),
+                ("end", Json::f64(end)),
+                ("decay", Json::f64(decay)),
+            ]),
+        )]),
+    }
+}
+
+fn schedule_from_json(v: &Json) -> Result<Schedule, JsonError> {
+    if let Some(c) = v.get("constant") {
+        return Ok(Schedule::Constant(c.as_f64()?));
+    }
+    if let Some(l) = v.get("linear") {
+        return Ok(Schedule::Linear {
+            start: l
+                .get("start")
+                .ok_or_else(|| JsonError("linear schedule needs `start`".into()))?
+                .as_f64()?,
+            end: l
+                .get("end")
+                .ok_or_else(|| JsonError("linear schedule needs `end`".into()))?
+                .as_f64()?,
+            steps: l
+                .get("steps")
+                .ok_or_else(|| JsonError("linear schedule needs `steps`".into()))?
+                .as_u64()?,
+        });
+    }
+    if let Some(e) = v.get("exponential") {
+        return Ok(Schedule::Exponential {
+            start: e
+                .get("start")
+                .ok_or_else(|| JsonError("exponential schedule needs `start`".into()))?
+                .as_f64()?,
+            end: e
+                .get("end")
+                .ok_or_else(|| JsonError("exponential schedule needs `end`".into()))?
+                .as_f64()?,
+            decay: e
+                .get("decay")
+                .ok_or_else(|| JsonError("exponential schedule needs `decay`".into()))?
+                .as_f64()?,
+        });
+    }
+    Err(JsonError(
+        "schedule must be {constant|linear|exponential: …}".into(),
+    ))
+}
+
+fn explore_options_to_json(o: &ExploreOptions) -> Json {
+    Json::obj(vec![
+        ("max_steps", Json::u64(o.max_steps)),
+        ("seed", Json::u64(o.seed)),
+        ("input_seed", Json::u64(o.input_seed)),
+        ("max_reward", Json::f64(o.max_reward)),
+        (
+            "rule",
+            Json::obj(vec![
+                ("power_frac", Json::f64(o.rule.power_frac)),
+                ("time_frac", Json::f64(o.rule.time_frac)),
+                ("acc_frac", Json::f64(o.rule.acc_frac)),
+            ]),
+        ),
+        ("alpha", schedule_to_json(o.alpha)),
+        ("gamma", Json::f64(o.gamma)),
+        ("epsilon", schedule_to_json(o.epsilon)),
+        ("batch_neighborhood", Json::Bool(o.batch_neighborhood)),
+    ])
+}
+
+fn explore_options_from_json(v: &Json) -> Result<ExploreOptions, JsonError> {
+    let mut o = ExploreOptions::default();
+    if let Some(x) = v.get("max_steps") {
+        o.max_steps = x.as_u64()?;
+    }
+    if let Some(x) = v.get("seed") {
+        o.seed = x.as_u64()?;
+    }
+    if let Some(x) = v.get("input_seed") {
+        o.input_seed = x.as_u64()?;
+    }
+    if let Some(x) = v.get("max_reward") {
+        o.max_reward = x.as_f64()?;
+    }
+    if let Some(rule) = v.get("rule") {
+        let d = ThresholdRule::paper();
+        o.rule = ThresholdRule {
+            power_frac: rule
+                .get("power_frac")
+                .map_or(Ok(d.power_frac), Json::as_f64)?,
+            time_frac: rule
+                .get("time_frac")
+                .map_or(Ok(d.time_frac), Json::as_f64)?,
+            acc_frac: rule.get("acc_frac").map_or(Ok(d.acc_frac), Json::as_f64)?,
+        };
+    }
+    if let Some(x) = v.get("alpha") {
+        o.alpha = schedule_from_json(x)?;
+    }
+    if let Some(x) = v.get("gamma") {
+        o.gamma = x.as_f64()?;
+    }
+    if let Some(x) = v.get("epsilon") {
+        o.epsilon = schedule_from_json(x)?;
+    }
+    if let Some(x) = v.get("batch_neighborhood") {
+        o.batch_neighborhood = x.as_bool()?;
+    }
+    Ok(o)
+}
+
+fn surrogate_settings_to_json(s: SurrogateSettings) -> Json {
+    Json::obj(vec![
+        ("warmup", Json::u64(s.warmup)),
+        ("max_rel_err", Json::f64(s.max_rel_err)),
+        ("min_shadows", Json::u64(s.min_shadows)),
+        ("window", Json::u64(s.window as u64)),
+        ("confirm_every", Json::u64(u64::from(s.confirm_every))),
+        ("refit_every", Json::u64(s.refit_every)),
+        ("lambda", Json::f64(s.lambda)),
+    ])
+}
+
+fn surrogate_settings_from_json(v: &Json) -> Result<SurrogateSettings, JsonError> {
+    let mut s = SurrogateSettings::default();
+    match v {
+        Json::Null => return Ok(s),
+        Json::Obj(_) => {}
+        other => {
+            return Err(JsonError(format!(
+                "tiered settings must be an object or null, got {other:?}"
+            )))
+        }
+    }
+    if let Some(x) = v.get("warmup") {
+        s.warmup = x.as_u64()?;
+    }
+    if let Some(x) = v.get("max_rel_err") {
+        s.max_rel_err = x.as_f64()?;
+    }
+    if let Some(x) = v.get("min_shadows") {
+        s.min_shadows = x.as_u64()?;
+    }
+    if let Some(x) = v.get("window") {
+        s.window = x.as_usize()?;
+    }
+    if let Some(x) = v.get("confirm_every") {
+        let raw = x.as_u64()?;
+        s.confirm_every = u32::try_from(raw)
+            .map_err(|_| JsonError(format!("confirm_every {raw} overflows u32")))?;
+    }
+    if let Some(x) = v.get("refit_every") {
+        s.refit_every = x.as_u64()?;
+    }
+    if let Some(x) = v.get("lambda") {
+        s.lambda = x.as_f64()?;
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_spec() -> ExperimentSpec {
+        ExperimentSpec::new("everything")
+            .benchmark(BenchmarkSpec::MatMul(10))
+            .benchmark(BenchmarkSpec::Fir(100))
+            .benchmark(BenchmarkSpec::Sobel(8))
+            .agent(AgentKind::QLearning)
+            .agent(AgentKind::Sarsa)
+            .agent(AgentKind::QLambda { lambda: 0.7 })
+            .seeds(SeedRange::new(3, 5))
+            .explore(ExploreOptions {
+                max_steps: 1_234,
+                input_seed: 7,
+                max_reward: 55.5,
+                rule: ThresholdRule {
+                    power_frac: 0.25,
+                    time_frac: 0.5,
+                    acc_frac: 0.8,
+                },
+                alpha: Schedule::Linear {
+                    start: 0.9,
+                    end: 0.1,
+                    steps: 400,
+                },
+                gamma: 0.9,
+                epsilon: Schedule::Exponential {
+                    start: 0.4,
+                    end: 0.01,
+                    decay: 0.995,
+                },
+                batch_neighborhood: true,
+                ..Default::default()
+            })
+            .backend(BackendSpec::Tiered(SurrogateSettings {
+                warmup: 12,
+                confirm_every: 3,
+                ..Default::default()
+            }))
+            .budget(10_000)
+            .parallelism(4)
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = full_spec();
+        let text = spec.to_json_string();
+        let back = ExperimentSpec::from_json_str(&text).unwrap();
+        assert_eq!(back, spec);
+        // And the exact backend / defaults path too.
+        let minimal = ExperimentSpec::new("mini")
+            .benchmark(BenchmarkSpec::Dot(8))
+            .agent(AgentKind::DoubleQ);
+        let back = ExperimentSpec::from_json_str(&minimal.to_json_string()).unwrap();
+        assert_eq!(back, minimal);
+    }
+
+    #[test]
+    fn sparse_json_fills_defaults() {
+        let spec = ExperimentSpec::from_json_str(
+            r#"{
+                "name": "sparse",
+                "benchmarks": [{"kind": "matmul", "size": 4}],
+                "agents": ["q-learning"]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(spec.seeds, SeedRange::default());
+        assert_eq!(spec.explore, ExploreOptions::default());
+        assert_eq!(spec.backend, BackendSpec::Exact);
+        assert_eq!(spec.budget, None);
+        assert_eq!(spec.total_runs(), 1);
+    }
+
+    #[test]
+    fn validation_rejects_unrunnable_specs() {
+        let no_bench = ExperimentSpec::new("x").agent(AgentKind::QLearning);
+        assert!(no_bench.validate().is_err());
+        let no_agent = ExperimentSpec::new("x").benchmark(BenchmarkSpec::MatMul(4));
+        assert!(no_agent.validate().is_err());
+        let zero_seeds = ExperimentSpec::new("x")
+            .benchmark(BenchmarkSpec::MatMul(4))
+            .agent(AgentKind::QLearning)
+            .seeds(SeedRange::new(0, 0));
+        assert!(zero_seeds.validate().is_err());
+        let zero_budget = ExperimentSpec::new("x")
+            .benchmark(BenchmarkSpec::MatMul(4))
+            .agent(AgentKind::QLearning)
+            .budget(0);
+        assert!(zero_budget.validate().is_err());
+        assert!(ExperimentSpec::from_json_str("{\"name\": \"empty\"}").is_err());
+    }
+
+    #[test]
+    fn benchmark_specs_build_their_workloads() {
+        let cases = [
+            (BenchmarkSpec::MatMul(4), "matmul-4x4"),
+            (BenchmarkSpec::Fir(40), "fir-40"),
+            (BenchmarkSpec::Dot(8), "dot-8"),
+        ];
+        for (spec, name) in cases {
+            assert_eq!(spec.build().name(), name);
+        }
+        for spec in [
+            BenchmarkSpec::Conv2d(6),
+            BenchmarkSpec::Sobel(6),
+            BenchmarkSpec::Dct8(2),
+        ] {
+            spec.build().prepare(1).expect("workload must prepare");
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        assert!(ExperimentSpec::from_json_str(
+            r#"{"name":"x","benchmarks":[{"kind":"nope","size":4}],"agents":["q-learning"]}"#
+        )
+        .is_err());
+        assert!(ExperimentSpec::from_json_str(
+            r#"{"name":"x","benchmarks":[{"kind":"matmul","size":4}],"agents":["nope"]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn seed_range_iterates_its_span() {
+        let seeds: Vec<u64> = SeedRange::new(5, 3).iter().collect();
+        assert_eq!(seeds, vec![5, 6, 7]);
+        assert_eq!(SeedRange::single(9).iter().collect::<Vec<_>>(), vec![9]);
+    }
+}

@@ -1,9 +1,15 @@
-//! The exploration driver: reproduces one Table III column per call.
+//! The exploration primitive: reproduces one Table III column per call.
 //!
-//! [`explore_qlearning`] builds the [`DseEnv`] for a benchmark, calibrates
-//! the thresholds from the precise run, trains a Q-learning agent under the
-//! paper's stop rules (terminate flag, cumulative-reward target `R`, 10 000
-//! step cap) and post-processes the trace into an [`ExplorationSummary`].
+//! [`explore_backend`] builds the [`DseEnv`] over any evaluation backend,
+//! calibrates the thresholds from the precise run, trains an agent under
+//! the paper's stop rules (terminate flag, cumulative-reward target `R`,
+//! 10 000 step cap, plus an optional cooperative stop signal — see
+//! [`explore_backend_with_stop`]) and post-processes the trace into an
+//! [`ExplorationSummary`]. The preferred entry points are the
+//! [`crate::campaign`] layer's [`crate::campaign::Campaign`] driver and
+//! its single-run [`crate::campaign::explore`]; the free functions
+//! [`explore_qlearning`] / [`explore_with_agent`] / [`explore_in_context`]
+//! are deprecated wrappers kept for compatibility.
 
 use crate::analysis::{FigureSeries, MetricSummary};
 use crate::backend::{EvalBackend, EvalContext, Evaluator};
@@ -17,7 +23,7 @@ use ax_agents::qlambda::QLambdaAgent;
 use ax_agents::qlearning::QLearningBuilder;
 use ax_agents::sarsa::{ExpectedSarsaAgent, SarsaAgent};
 use ax_agents::schedule::Schedule;
-use ax_agents::train::{train, StopReason, TrainLog, TrainOptions};
+use ax_agents::train::{train_with_stop, StopReason, TrainLog, TrainOptions};
 use ax_operators::OperatorLibrary;
 use ax_vm::VmError;
 use ax_workloads::Workload;
@@ -180,12 +186,17 @@ impl AgentKind {
 /// # Panics
 ///
 /// Panics if the exploration takes no steps (`max_steps == 0`).
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `EvalContext` and call `campaign::explore` (or run a `Campaign`)"
+)]
 pub fn explore_qlearning(
     workload: &dyn Workload,
     lib: &OperatorLibrary,
     opts: &ExploreOptions,
 ) -> Result<ExplorationOutcome, VmError> {
-    explore_with_agent(workload, lib, opts, AgentKind::QLearning)
+    let ctx = EvalContext::new(workload, std::sync::Arc::new(lib.clone()), opts.input_seed)?;
+    Ok(crate::campaign::explore(&ctx, opts, AgentKind::QLearning))
 }
 
 /// Runs an exploration with any of the supported learning algorithms.
@@ -198,6 +209,10 @@ pub fn explore_qlearning(
 /// # Panics
 ///
 /// Panics if the exploration takes no steps (`max_steps == 0`).
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `EvalContext` and call `campaign::explore` (or run a `Campaign`)"
+)]
 pub fn explore_with_agent(
     workload: &dyn Workload,
     lib: &OperatorLibrary,
@@ -205,37 +220,30 @@ pub fn explore_with_agent(
     kind: AgentKind,
 ) -> Result<ExplorationOutcome, VmError> {
     let ctx = EvalContext::new(workload, std::sync::Arc::new(lib.clone()), opts.input_seed)?;
-    explore_in_context(&ctx, opts, kind)
+    Ok(crate::campaign::explore(&ctx, opts, kind))
 }
 
 /// Runs an exploration against a prepared [`EvalContext`].
 ///
-/// This is the fan-out entry point: sweeps and portfolios build one context
-/// (optionally carrying a [`crate::evaluator::SharedCache`]), clone it per
-/// worker and explore concurrently — the preparation work and the design
-/// cache are shared, the agent RNG is owned per run, so each run's trace is
-/// bit-identical to a stand-alone exploration with the same options.
+/// This was the fan-out entry point before the campaign layer landed; it
+/// is now a thin wrapper over [`crate::campaign::explore`], the campaign
+/// driver's single-run primitive (same contract: shared preparation and
+/// design cache, per-run agent RNG, bit-identical traces).
 ///
 /// # Errors
 ///
-/// Fails if the benchmark cannot be built or the operator library lacks the
-/// benchmark's operand widths.
+/// Never fails; the `Result` is kept for signature compatibility.
 ///
 /// # Panics
 ///
 /// Panics if the exploration takes no steps (`max_steps == 0`).
+#[deprecated(since = "0.2.0", note = "call `campaign::explore` directly")]
 pub fn explore_in_context(
     ctx: &EvalContext,
     opts: &ExploreOptions,
     kind: AgentKind,
 ) -> Result<ExplorationOutcome, VmError> {
-    Ok(explore_backend(
-        ctx.evaluator(),
-        ctx.library(),
-        ctx.benchmark(),
-        opts,
-        kind,
-    ))
+    Ok(crate::campaign::explore(ctx, opts, kind))
 }
 
 /// Runs an exploration through an arbitrary [`EvalBackend`].
@@ -255,6 +263,30 @@ pub fn explore_backend<B: EvalBackend>(
     benchmark: &str,
     opts: &ExploreOptions,
     kind: AgentKind,
+) -> ExplorationOutcome<B> {
+    explore_backend_with_stop(backend, lib, benchmark, opts, kind, || false)
+}
+
+/// [`explore_backend`] with a cooperative stop signal.
+///
+/// `should_stop` is polled after every environment step (see
+/// [`ax_agents::train::train_with_stop`]); when it fires, the exploration
+/// ends with [`StopReason::Stopped`]. This is the seam the campaign driver
+/// threads its global evaluation budget through: every concurrent run
+/// polls the shared budget and stands down at its next step boundary once
+/// the campaign-wide spend reaches the cap. A signal that never fires
+/// yields output bit-identical to [`explore_backend`].
+///
+/// # Panics
+///
+/// Panics if the exploration takes no steps (`max_steps == 0`).
+pub fn explore_backend_with_stop<B: EvalBackend, S: FnMut() -> bool>(
+    backend: B,
+    lib: &OperatorLibrary,
+    benchmark: &str,
+    opts: &ExploreOptions,
+    kind: AgentKind,
+    should_stop: S,
 ) -> ExplorationOutcome<B> {
     let thresholds = opts.rule.calibrate(&backend);
     let params = RewardParams::new(opts.max_reward, thresholds);
@@ -296,7 +328,7 @@ pub fn explore_backend<B: EvalBackend>(
         .seed(opts.input_seed)
         .reward_target(opts.max_reward)
         .stop_on_terminate();
-    let log = train(&mut env, &mut agent, &train_opts);
+    let log = train_with_stop(&mut env, &mut agent, &train_opts, should_stop);
     let stop_reason = log.stop_reason;
 
     let (evaluator, trace) = env.into_parts();
@@ -336,6 +368,7 @@ pub fn explore_backend<B: EvalBackend>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy wrappers stay covered until removal
 mod tests {
     use super::*;
     use ax_workloads::dot::DotProduct;

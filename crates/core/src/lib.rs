@@ -18,22 +18,35 @@
 //! * evaluation runs the instrumented program through [`ax_vm`] with
 //!   memoisation ([`evaluator::Evaluator`]).
 //!
-//! [`explore`] drives a Q-learning agent through the environment
-//! (reproducing the paper's Table III and Figures 2–4), [`analysis`]
+//! [`campaign`] is the public face: a declarative
+//! [`campaign::ExperimentSpec`] (benchmarks × agent roster × seed range,
+//! backend choice, global evaluation budget) executed by one polymorphic
+//! [`campaign::Campaign`] driver that reproduces the paper's Table III and
+//! Figures 2–4 and scales to multi-benchmark portfolios. [`analysis`]
 //! post-processes traces (min/solution/max summaries, trend lines, reward
 //! bins, Pareto fronts, hypervolume) and [`search_adapter`] exposes the same
-//! problem to the classic baselines in [`ax_agents::search`].
+//! problem to the classic baselines in [`ax_agents::search`]. The old free
+//! functions (`explore_qlearning`, `sweep_seeds*`, `race_portfolio*`) are
+//! deprecated wrappers over the campaign driver.
 //!
 //! ```
-//! use ax_dse::explore::{explore_qlearning, ExploreOptions};
+//! use ax_dse::campaign::{Campaign, SeedRange};
+//! use ax_dse::explore::{AgentKind, ExploreOptions};
 //! use ax_operators::OperatorLibrary;
 //! use ax_workloads::dot::DotProduct;
 //!
 //! let lib = OperatorLibrary::evoapprox();
-//! let opts = ExploreOptions { max_steps: 300, ..Default::default() };
-//! let outcome = explore_qlearning(&DotProduct::new(8), &lib, &opts).unwrap();
-//! assert_eq!(outcome.trace.len(), outcome.log.len());
-//! assert!(outcome.summary.power.max >= outcome.summary.power.min);
+//! let wl = DotProduct::new(8);
+//! let report = Campaign::new("doc", &lib)
+//!     .benchmark(&wl)
+//!     .agent(AgentKind::QLearning)
+//!     .seeds(SeedRange::new(0, 2))
+//!     .options(ExploreOptions { max_steps: 300, ..Default::default() })
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(report.cells[0].summary.seeds, 2);
+//! assert!(report.portfolios[0].winner().summary.power.max
+//!     >= report.portfolios[0].winner().summary.power.min);
 //! ```
 
 #![warn(missing_docs)]
@@ -41,10 +54,12 @@
 
 pub mod analysis;
 pub mod backend;
+pub mod campaign;
 pub mod config;
 pub mod env;
 pub mod evaluator;
 pub mod explore;
+pub mod json;
 pub mod report;
 pub mod reward;
 pub mod search_adapter;
@@ -52,15 +67,20 @@ pub mod sweep;
 pub mod thresholds;
 
 pub use backend::{EvalBackend, EvalContext, EvalMetrics, Evaluator, SharedCache};
+pub use campaign::{
+    BackendSpec, BenchmarkSpec, Campaign, CampaignReport, ExperimentSpec, Observer, SeedRange,
+    SurrogateSettings,
+};
 pub use config::AxConfig;
 pub use env::{DseEnv, DseState, StepTrace};
 pub use explore::{
-    explore_backend, explore_in_context, explore_qlearning, ExplorationOutcome, ExplorationSummary,
+    explore_backend, explore_backend_with_stop, ExplorationOutcome, ExplorationSummary,
     ExploreOptions,
 };
+#[allow(deprecated)] // compatibility re-exports of the legacy wrappers
+pub use explore::{explore_in_context, explore_qlearning};
 pub use reward::RewardParams;
-pub use sweep::{
-    race_portfolio, race_portfolio_with, summarize_outcomes, sweep_seeds, sweep_seeds_parallel,
-    PortfolioEntry, PortfolioOutcome, SweepStat, SweepSummary,
-};
+#[allow(deprecated)] // compatibility re-exports of the legacy wrappers
+pub use sweep::{race_portfolio, race_portfolio_with, sweep_seeds, sweep_seeds_parallel};
+pub use sweep::{summarize_outcomes, PortfolioEntry, PortfolioOutcome, SweepStat, SweepSummary};
 pub use thresholds::{ThresholdRule, Thresholds};

@@ -5,25 +5,31 @@
 //! quality, quantifying how much of the reported behaviour is luck.
 //!
 //! Sweeps fan out with rayon over clones of a `Send + Sync`
-//! [`EvalContext`] handle sharing one [`SharedCache`]: every seed owns its
+//! [`crate::backend::EvalContext`] handle sharing one
+//! [`crate::backend::SharedCache`]: every seed owns its
 //! agent RNG, so per-seed traces are bit-identical to a sequential run —
 //! cache sharing changes only the cost (designs another seed already
 //! executed come back for a hash lookup instead of an interpreter run).
 //! [`race_portfolio`] applies the same machinery across *agents* instead of
 //! seeds, racing every [`AgentKind`] on one benchmark concurrently.
+//!
+//! Since the campaign layer landed, every entry point here is a thin
+//! **deprecated** wrapper over [`crate::campaign::Campaign`] — a
+//! 1-benchmark × 1-agent × N-seed campaign is a seed sweep, a 1 × M × 1
+//! campaign is a portfolio race — kept because their outputs are
+//! test-verified identical to the campaign path. The aggregation types
+//! ([`SweepStat`], [`SweepSummary`], [`PortfolioEntry`],
+//! [`PortfolioOutcome`]) and [`summarize_outcomes`] remain the canonical
+//! report vocabulary and are what campaigns themselves return.
 
-use crate::backend::{EvalBackend, EvalContext, Evaluator, SharedCache};
-use crate::explore::{
-    explore_backend, explore_in_context, AgentKind, ExplorationOutcome, ExplorationSummary,
-    ExploreOptions,
-};
+use crate::backend::{EvalBackend, Evaluator};
+use crate::campaign::{Campaign, SeedRange, WrapProvider};
+use crate::explore::{AgentKind, ExplorationOutcome, ExplorationSummary, ExploreOptions};
 use ax_agents::train::StopReason;
 use ax_operators::OperatorLibrary;
 use ax_vm::VmError;
 use ax_workloads::Workload;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
 
 /// Mean / standard deviation / extremes of one sweep statistic.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -132,19 +138,6 @@ pub fn summarize_outcomes<B: EvalBackend>(
     }
 }
 
-fn shared_context(
-    workload: &dyn Workload,
-    lib: &OperatorLibrary,
-    opts: &ExploreOptions,
-) -> Result<EvalContext, VmError> {
-    EvalContext::with_cache(
-        workload,
-        Arc::new(lib.clone()),
-        opts.input_seed,
-        SharedCache::new(),
-    )
-}
-
 /// Runs `seeds` explorations with agent seeds `0..seeds` sequentially and
 /// aggregates. The reference implementation: [`sweep_seeds_parallel`]
 /// produces a byte-identical summary, only faster.
@@ -156,6 +149,10 @@ fn shared_context(
 /// # Panics
 ///
 /// Panics if `seeds` is zero.
+#[deprecated(
+    since = "0.2.0",
+    note = "run a 1-benchmark, 1-agent `campaign::Campaign` with `.sequential(true)`"
+)]
 pub fn sweep_seeds(
     workload: &dyn Workload,
     lib: &OperatorLibrary,
@@ -164,17 +161,18 @@ pub fn sweep_seeds(
     seeds: u64,
 ) -> Result<SweepSummary, VmError> {
     assert!(seeds > 0, "need at least one seed");
-    let ctx = shared_context(workload, lib, opts)?;
-    let mut outcomes: Vec<ExplorationOutcome> = Vec::with_capacity(seeds as usize);
-    for seed in 0..seeds {
-        let run_opts = ExploreOptions { seed, ..*opts };
-        outcomes.push(explore_in_context(&ctx, &run_opts, kind)?);
-    }
-    Ok(summarize_outcomes(ctx.benchmark().to_owned(), &outcomes))
+    let report = Campaign::new("legacy-sweep", lib)
+        .benchmark(workload)
+        .agent(kind)
+        .seeds(SeedRange::new(0, seeds))
+        .options(*opts)
+        .sequential(true)
+        .run()?;
+    Ok(report.cells.into_iter().next().expect("one cell").summary)
 }
 
 /// Runs `seeds` explorations with agent seeds `0..seeds` fanned out through
-/// rayon over clones of one shared-cache [`EvalContext`].
+/// rayon over clones of one shared-cache [`crate::backend::EvalContext`].
 ///
 /// Each seed owns its agent RNG, so every run is bit-identical to its
 /// sequential counterpart and the summary equals [`sweep_seeds`] exactly;
@@ -183,13 +181,15 @@ pub fn sweep_seeds(
 ///
 /// # Errors
 ///
-/// Propagates an exploration error if any run fails (which error surfaces
-/// when several fail is unspecified — real rayon short-circuits
-/// nondeterministically).
+/// Propagates a context-preparation error.
 ///
 /// # Panics
 ///
 /// Panics if `seeds` is zero.
+#[deprecated(
+    since = "0.2.0",
+    note = "run a 1-benchmark, 1-agent `campaign::Campaign` instead"
+)]
 pub fn sweep_seeds_parallel(
     workload: &dyn Workload,
     lib: &OperatorLibrary,
@@ -198,22 +198,22 @@ pub fn sweep_seeds_parallel(
     seeds: u64,
 ) -> Result<SweepSummary, VmError> {
     assert!(seeds > 0, "need at least one seed");
-    let ctx = shared_context(workload, lib, opts)?;
-    let outcomes: Result<Vec<ExplorationOutcome>, VmError> = (0..seeds)
-        .into_par_iter()
-        .map(|seed| {
-            let run_opts = ExploreOptions { seed, ..*opts };
-            explore_in_context(&ctx, &run_opts, kind)
-        })
-        .collect();
-    Ok(summarize_outcomes(ctx.benchmark().to_owned(), &outcomes?))
+    let report = Campaign::new("legacy-sweep", lib)
+        .benchmark(workload)
+        .agent(kind)
+        .seeds(SeedRange::new(0, seeds))
+        .options(*opts)
+        .run()?;
+    Ok(report.cells.into_iter().next().expect("one cell").summary)
 }
 
-/// One agent's result within a portfolio race.
-#[derive(Debug)]
+/// One run's result within a portfolio race.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PortfolioEntry {
     /// The learning algorithm.
     pub kind: AgentKind,
+    /// The agent seed of this run.
+    pub seed: u64,
     /// Its exploration summary.
     pub summary: ExplorationSummary,
     /// Why its exploration stopped.
@@ -229,17 +229,17 @@ pub struct PortfolioEntry {
 }
 
 /// Result of racing several agents on one benchmark.
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PortfolioOutcome {
     /// Benchmark name.
     pub benchmark: String,
-    /// One entry per raced agent, in input order.
+    /// One entry per raced run, agent-major in input order (seed-minor for
+    /// multi-seed campaigns).
     pub entries: Vec<PortfolioEntry>,
     /// Index into `entries` of the best score (ties: first).
     pub best: usize,
-    /// Distinct designs executed across the whole portfolio (the shared
-    /// cache's entry count — agents racing the same benchmark pay for each
-    /// design once).
+    /// Distinct designs of this benchmark held by the shared cache —
+    /// agents racing the same benchmark pay for each design once.
     pub shared_distinct: u64,
 }
 
@@ -260,39 +260,50 @@ impl PortfolioOutcome {
 ///
 /// # Errors
 ///
-/// Propagates an exploration error if any run fails (which error surfaces
-/// when several fail is unspecified — real rayon short-circuits
-/// nondeterministically).
+/// Propagates a context-preparation error.
 ///
 /// # Panics
 ///
 /// Panics if `kinds` is empty.
+#[deprecated(
+    since = "0.2.0",
+    note = "run a 1-benchmark, multi-agent `campaign::Campaign` instead"
+)]
 pub fn race_portfolio(
     workload: &dyn Workload,
     lib: &OperatorLibrary,
     opts: &ExploreOptions,
     kinds: &[AgentKind],
 ) -> Result<PortfolioOutcome, VmError> {
-    race_portfolio_with(workload, lib, opts, kinds, |ev| ev)
+    assert!(!kinds.is_empty(), "portfolio needs at least one agent");
+    let report = Campaign::new("legacy-portfolio", lib)
+        .benchmark(workload)
+        .agents(kinds)
+        .seeds(SeedRange::single(opts.seed))
+        .options(*opts)
+        .run()?;
+    Ok(report.portfolios.into_iter().next().expect("one benchmark"))
 }
 
 /// [`race_portfolio`] through an arbitrary [`EvalBackend`]: `wrap` turns
 /// each racing agent's exact [`Evaluator`] (spawned from the shared-cache
 /// context) into the backend the race actually scores designs with.
 ///
-/// `wrap` runs once per agent, on the racing worker threads; pass the
-/// identity closure for the exact race or wrap the evaluator in a tiered
-/// surrogate (the `ax-surrogate` crate's entry point) to prefilter the
-/// race through a learned estimator while exact confirmations still land
-/// in the shared cache.
+/// `wrap` runs once per agent, on the racing worker threads — exactly the
+/// [`crate::campaign::WrapProvider`] seam, which is what this wrapper now
+/// delegates to.
 ///
 /// # Errors
 ///
-/// Propagates an exploration error if any run fails.
+/// Propagates a context-preparation error.
 ///
 /// # Panics
 ///
 /// Panics if `kinds` is empty.
+#[deprecated(
+    since = "0.2.0",
+    note = "run a `campaign::Campaign` with `campaign::WrapProvider` (or a custom `BackendProvider`)"
+)]
 pub fn race_portfolio_with<B, F>(
     workload: &dyn Workload,
     lib: &OperatorLibrary,
@@ -305,70 +316,36 @@ where
     F: Fn(Evaluator) -> B + Sync,
 {
     assert!(!kinds.is_empty(), "portfolio needs at least one agent");
-    let ctx = shared_context(workload, lib, opts)?;
-    let outcomes: Vec<ExplorationOutcome<B>> = kinds
-        .to_vec()
-        .into_par_iter()
-        .map(|kind| {
-            explore_backend(
-                wrap(ctx.evaluator()),
-                ctx.library(),
-                ctx.benchmark(),
-                opts,
-                kind,
-            )
-        })
-        .collect();
-
-    let entries: Vec<PortfolioEntry> = kinds
-        .iter()
-        .zip(outcomes)
-        .map(|(&kind, o)| {
-            let th = o.thresholds;
-            let m = o.trace.last().expect("non-empty trace").metrics;
-            let feasible = m.delta_acc <= th.acc_th
-                && m.delta_power >= th.power_th
-                && m.delta_time >= th.time_th;
-            let score = crate::search_adapter::solution_score(
-                &m,
-                &th,
-                o.evaluator.precise_power(),
-                o.evaluator.precise_time(),
-            );
-            PortfolioEntry {
-                kind,
-                summary: o.summary,
-                stop_reason: o.stop_reason,
-                distinct_configs: o.distinct_configs,
-                feasible,
-                score,
-            }
-        })
-        .collect();
-
-    let mut best = 0;
-    for (i, e) in entries.iter().enumerate() {
-        if e.score.total_cmp(&entries[best].score).is_gt() {
-            best = i;
-        }
-    }
-    let shared_distinct = ctx
-        .shared_cache()
-        .map(|c| c.len() as u64)
-        .unwrap_or_default();
-    Ok(PortfolioOutcome {
-        benchmark: ctx.benchmark().to_owned(),
-        entries,
-        best,
-        shared_distinct,
-    })
+    let report = Campaign::new("legacy-portfolio", lib)
+        .benchmark(workload)
+        .agents(kinds)
+        .seeds(SeedRange::single(opts.seed))
+        .options(*opts)
+        .run_with(&WrapProvider::new(wrap))?;
+    Ok(report.portfolios.into_iter().next().expect("one benchmark"))
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy wrappers stay covered until removal
 mod tests {
     use super::*;
-    use crate::explore::explore_with_agent;
+    use crate::backend::{EvalContext, SharedCache};
+    use crate::explore::{explore_in_context, explore_with_agent};
     use ax_workloads::dot::DotProduct;
+    use std::sync::Arc;
+
+    fn shared_context(
+        workload: &dyn Workload,
+        lib: &OperatorLibrary,
+        opts: &ExploreOptions,
+    ) -> Result<EvalContext, VmError> {
+        EvalContext::with_cache(
+            workload,
+            Arc::new(lib.clone()),
+            opts.input_seed,
+            SharedCache::new(),
+        )
+    }
 
     #[test]
     fn stat_aggregation() {

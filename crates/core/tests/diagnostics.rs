@@ -1,6 +1,10 @@
 //! Diagnostic sweeps over the full configuration space (ignored by default;
 //! run with `cargo test -p ax-dse --release -- --ignored --nocapture`).
 
+// The legacy free functions stay exercised here until removal: these
+// suites pin the deprecated wrappers to the campaign path's behaviour.
+#![allow(deprecated)]
+
 use ax_dse::config::AxConfig;
 use ax_dse::reward::{reward, RewardParams};
 use ax_dse::thresholds::ThresholdRule;

@@ -1,0 +1,212 @@
+//! Spec-driven campaigns through the tiered backend.
+//!
+//! The backend-agnostic campaign driver lives in [`ax_dse::campaign`];
+//! this module supplies the surrogate side: [`TieredProvider`] implements
+//! [`BackendProvider`] so a [`Campaign`] can race tiered backends (one
+//! shared model + one shared class memo per benchmark), and [`run_spec`]
+//! executes a whole serialised [`ExperimentSpec`] end-to-end, dispatching
+//! on its [`BackendSpec`] — the engine behind `repro run <spec.json>`.
+
+use crate::tiered::{
+    shared_model_for, warm_start, SharedClassMemo, SharedModel, SurrogateSettings, TieredBackend,
+};
+use ax_dse::backend::{EvalContext, Evaluator, SharedCache};
+use ax_dse::campaign::{
+    BackendProvider, BackendSpec, Campaign, CampaignReport, ExperimentSpec, Observer, SpecError,
+    TieredStats,
+};
+use ax_operators::OperatorLibrary;
+use ax_vm::VmError;
+use std::fmt;
+use std::sync::Arc;
+
+/// A [`BackendProvider`] spawning [`TieredBackend`]s: per benchmark, one
+/// shared surrogate model (warm-started from whatever the campaign's
+/// design cache already holds) and one shared execution-equivalence class
+/// memo; per run, a tiered backend over a fresh exact evaluator. Exact
+/// confirmations from any worker refine the model — and answer whole
+/// classes — for every other worker.
+#[derive(Debug, Clone, Copy)]
+pub struct TieredProvider {
+    settings: SurrogateSettings,
+}
+
+impl TieredProvider {
+    /// A provider with the given two-tier policy.
+    pub fn new(settings: SurrogateSettings) -> Self {
+        Self { settings }
+    }
+
+    /// The policy in force.
+    pub fn settings(&self) -> SurrogateSettings {
+        self.settings
+    }
+}
+
+impl BackendProvider for TieredProvider {
+    type Backend = TieredBackend<Evaluator>;
+    type Shared = (SharedModel, Arc<SharedClassMemo>);
+
+    fn prepare(&self, ctx: &EvalContext) -> Self::Shared {
+        let model = shared_model_for(ctx.library(), &ctx.evaluator(), self.settings);
+        if let Some(cache) = ctx.shared_cache() {
+            let harvest = cache.snapshot(ctx.benchmark(), ctx.input_seed());
+            if !harvest.is_empty() {
+                warm_start(&model, &harvest);
+            }
+        }
+        (model, SharedClassMemo::new())
+    }
+
+    fn spawn(&self, (model, classes): &Self::Shared, ctx: &EvalContext) -> Self::Backend {
+        TieredBackend::with_class_memo(
+            ctx.evaluator(),
+            Arc::clone(model),
+            self.settings,
+            Arc::clone(classes),
+        )
+    }
+
+    fn usage(&self, backend: &Self::Backend) -> Option<TieredStats> {
+        Some(backend.stats())
+    }
+}
+
+/// Why [`run_spec`] failed: the spec itself, or benchmark preparation.
+#[derive(Debug)]
+pub enum RunSpecError {
+    /// The spec is structurally unrunnable.
+    Spec(SpecError),
+    /// A benchmark failed to prepare.
+    Vm(VmError),
+}
+
+impl fmt::Display for RunSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunSpecError::Spec(e) => write!(f, "{e}"),
+            RunSpecError::Vm(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunSpecError {}
+
+impl From<SpecError> for RunSpecError {
+    fn from(e: SpecError) -> Self {
+        RunSpecError::Spec(e)
+    }
+}
+
+impl From<VmError> for RunSpecError {
+    fn from(e: VmError) -> Self {
+        RunSpecError::Vm(e)
+    }
+}
+
+/// Executes a whole [`ExperimentSpec`], dispatching on its backend choice:
+/// [`BackendSpec::Exact`] runs the campaign with plain evaluators,
+/// [`BackendSpec::Tiered`] through [`TieredProvider`]. An optional
+/// pre-loaded design cache ([`SharedCache::load`]) lets repeated runs of
+/// the same spec skip re-evaluation across processes; `observer` streams
+/// progress.
+///
+/// # Errors
+///
+/// Fails on an unrunnable spec or a benchmark that cannot be prepared.
+pub fn run_spec(
+    lib: &OperatorLibrary,
+    spec: &ExperimentSpec,
+    cache: Option<Arc<SharedCache>>,
+    observer: &dyn Observer,
+) -> Result<CampaignReport, RunSpecError> {
+    spec.validate()?;
+    let workloads = spec.build_workloads();
+    let mut campaign = Campaign::from_spec(lib, spec, &workloads).observe(observer);
+    if let Some(cache) = cache {
+        campaign = campaign.shared_cache(cache);
+    }
+    let report = match spec.backend {
+        BackendSpec::Exact => campaign.run()?,
+        BackendSpec::Tiered(settings) => campaign.run_with(&TieredProvider::new(settings))?,
+    };
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ax_dse::campaign::{BenchmarkSpec, NullObserver, SeedRange};
+    use ax_dse::explore::{AgentKind, ExploreOptions};
+
+    fn quick_spec(backend: BackendSpec) -> ExperimentSpec {
+        ExperimentSpec::new("surrogate-campaign")
+            .benchmark(BenchmarkSpec::MatMul(4))
+            .benchmark(BenchmarkSpec::Dot(8))
+            .agent(AgentKind::QLearning)
+            .agent(AgentKind::Sarsa)
+            .seeds(SeedRange::new(0, 2))
+            .explore(ExploreOptions {
+                max_steps: 120,
+                ..Default::default()
+            })
+            .backend(backend)
+    }
+
+    #[test]
+    fn tiered_campaign_reports_tier_usage() {
+        let lib = OperatorLibrary::evoapprox();
+        let spec = quick_spec(BackendSpec::Tiered(SurrogateSettings::default()));
+        let report = run_spec(&lib, &spec, None, &NullObserver).unwrap();
+        assert_eq!(report.cells.len(), 4);
+        let tier = report.tier.expect("tiered campaigns report tier usage");
+        assert!(tier.distinct_queries() > 0);
+        for cell in &report.cells {
+            assert!(cell.tier.is_some());
+        }
+    }
+
+    #[test]
+    fn exact_spec_dispatches_to_exact_provider() {
+        let lib = OperatorLibrary::evoapprox();
+        let spec = quick_spec(BackendSpec::Exact);
+        let report = run_spec(&lib, &spec, None, &NullObserver).unwrap();
+        assert!(report.tier.is_none());
+        assert_eq!(report.portfolios.len(), 2);
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_before_running() {
+        let lib = OperatorLibrary::evoapprox();
+        let spec = ExperimentSpec::new("empty");
+        assert!(matches!(
+            run_spec(&lib, &spec, None, &NullObserver),
+            Err(RunSpecError::Spec(_))
+        ));
+    }
+
+    #[test]
+    fn preloaded_cache_warm_starts_the_model() {
+        let lib = OperatorLibrary::evoapprox();
+        let spec = ExperimentSpec::new("warm")
+            .benchmark(BenchmarkSpec::MatMul(4))
+            .agent(AgentKind::QLearning)
+            .seeds(SeedRange::new(0, 2))
+            .explore(ExploreOptions {
+                max_steps: 150,
+                ..Default::default()
+            })
+            .backend(BackendSpec::Tiered(SurrogateSettings::default()));
+        let cache = SharedCache::new();
+        let cold = run_spec(&lib, &spec, Some(Arc::clone(&cache)), &NullObserver).unwrap();
+        assert!(!cache.is_empty(), "the campaign must fill the shared cache");
+        let warm = run_spec(&lib, &spec, Some(Arc::clone(&cache)), &NullObserver).unwrap();
+        // The warm run starts from confirmed truth: it needs no more exact
+        // confirmations than the cold run did.
+        let (cold_tier, warm_tier) = (cold.tier.unwrap(), warm.tier.unwrap());
+        assert!(
+            warm_tier.exact_confirmations <= cold_tier.exact_confirmations,
+            "cold {cold_tier:?} vs warm {warm_tier:?}"
+        );
+    }
+}

@@ -44,17 +44,19 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod campaign;
 pub mod features;
 pub mod model;
 pub mod sweep;
 pub mod tiered;
 
+pub use campaign::{run_spec, RunSpecError, TieredProvider};
 pub use features::FeatureExtractor;
 pub use model::{RelErrors, SurrogateModel};
-pub use sweep::{
-    race_portfolio_surrogate, sweep_in_context_surrogate, sweep_seeds_surrogate,
-    SurrogateSweepOutcome,
-};
+#[allow(deprecated)] // compatibility re-exports of the legacy wrappers
+pub use sweep::{race_portfolio_surrogate, sweep_seeds_surrogate};
+pub use sweep::{sweep_in_context_surrogate, SurrogateSweepOutcome};
 pub use tiered::{
-    shared_model_for, warm_start, SharedModel, SurrogateSettings, TieredBackend, TieredStats,
+    shared_model_for, warm_start, SharedClassMemo, SharedModel, SurrogateSettings, TieredBackend,
+    TieredStats,
 };

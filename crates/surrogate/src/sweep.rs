@@ -1,21 +1,27 @@
 //! Surrogate-assisted sweeps and portfolio races.
 //!
 //! The exact machinery lives in [`ax_dse::sweep`]; this module reruns it
-//! through [`TieredBackend`]s sharing one [`SharedModel`] (and, through
-//! the inner evaluators, one `SharedCache`): the first designs any seed
-//! confirms exactly train the estimator every other seed prefilters with.
+//! through [`TieredBackend`]s sharing one [`crate::tiered::SharedModel`]
+//! and one [`SharedClassMemo`] (and, through the inner evaluators, one
+//! `SharedCache`): the first designs any seed confirms exactly train the
+//! estimator — and answer whole equivalence classes — for every other
+//! seed.
 
+use crate::campaign::TieredProvider;
 use crate::model::RelErrors;
 use crate::tiered::TieredStats;
-use crate::tiered::{shared_model_for, warm_start, SharedModel, SurrogateSettings, TieredBackend};
+use crate::tiered::{
+    shared_model_for, warm_start, SharedClassMemo, SurrogateSettings, TieredBackend,
+};
 use ax_dse::backend::{EvalContext, Evaluator, SharedCache};
+use ax_dse::campaign::{Campaign, SeedRange};
 use ax_dse::explore::{explore_backend, AgentKind, ExplorationOutcome, ExploreOptions};
 use ax_dse::sweep::{summarize_outcomes, PortfolioOutcome, SweepSummary};
 use ax_operators::OperatorLibrary;
 use ax_vm::VmError;
 use ax_workloads::Workload;
 use rayon::prelude::*;
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 /// Everything a surrogate-assisted sweep reports beyond the standard
 /// [`SweepSummary`]: tier usage and the model's confirmed accuracy.
@@ -56,6 +62,11 @@ pub struct SurrogateSweepOutcome {
 /// # Panics
 ///
 /// Panics if `seeds` is zero.
+#[deprecated(
+    since = "0.2.0",
+    note = "run an `ExperimentSpec` with a tiered backend through `campaign::run_spec` \
+            (or a `Campaign` with `TieredProvider`)"
+)]
 pub fn sweep_seeds_surrogate(
     workload: &dyn Workload,
     lib: &OperatorLibrary,
@@ -98,12 +109,20 @@ pub fn sweep_in_context_surrogate(
             warm_start(&model, &harvest);
         }
     }
+    // One class memo for the whole sweep: a class any seed confirms
+    // exactly is interpreter truth for every other seed, for free.
+    let classes = SharedClassMemo::new();
     let outcomes: Vec<ExplorationOutcome<TieredBackend<Evaluator>>> = (0..seeds)
         .into_par_iter()
         .map(|seed| {
             let run_opts = ExploreOptions { seed, ..*opts };
             explore_backend(
-                TieredBackend::new(ctx.evaluator(), Arc::clone(&model), settings),
+                TieredBackend::with_class_memo(
+                    ctx.evaluator(),
+                    Arc::clone(&model),
+                    settings,
+                    Arc::clone(&classes),
+                ),
                 ctx.library(),
                 ctx.benchmark(),
                 &run_opts,
@@ -129,16 +148,21 @@ pub fn sweep_in_context_surrogate(
 }
 
 /// Races every given agent kind through tiered backends sharing one model
-/// (the surrogate-assisted [`ax_dse::sweep::race_portfolio`]): exact
-/// confirmations from any agent sharpen the prefilter for all.
+/// and one class memo (the surrogate-assisted
+/// [`ax_dse::sweep::race_portfolio`]): exact confirmations from any agent
+/// sharpen the prefilter for all.
 ///
 /// # Errors
 ///
-/// Propagates an exploration error if any run fails.
+/// Propagates a context-preparation error.
 ///
 /// # Panics
 ///
 /// Panics if `kinds` is empty.
+#[deprecated(
+    since = "0.2.0",
+    note = "run a multi-agent `Campaign` with `campaign::TieredProvider` instead"
+)]
 pub fn race_portfolio_surrogate(
     workload: &dyn Workload,
     lib: &OperatorLibrary,
@@ -146,17 +170,18 @@ pub fn race_portfolio_surrogate(
     kinds: &[AgentKind],
     settings: SurrogateSettings,
 ) -> Result<PortfolioOutcome, VmError> {
-    // The shared-cache context (and thus the evaluators the model's scales
-    // come from) is built inside `race_portfolio_with`; materialise the
-    // model lazily from the first racing evaluator.
-    let model: OnceLock<SharedModel> = OnceLock::new();
-    ax_dse::sweep::race_portfolio_with(workload, lib, opts, kinds, |ev| {
-        let m = model.get_or_init(|| shared_model_for(ev.context().library(), &ev, settings));
-        TieredBackend::new(ev, Arc::clone(m), settings)
-    })
+    assert!(!kinds.is_empty(), "portfolio needs at least one agent");
+    let report = Campaign::new("legacy-surrogate-portfolio", lib)
+        .benchmark(workload)
+        .agents(kinds)
+        .seeds(SeedRange::single(opts.seed))
+        .options(*opts)
+        .run_with(&TieredProvider::new(settings))?;
+    Ok(report.portfolios.into_iter().next().expect("one benchmark"))
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy wrappers stay covered until removal
 mod tests {
     use super::*;
     use ax_workloads::dot::DotProduct;

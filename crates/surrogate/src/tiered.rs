@@ -21,7 +21,6 @@ use ax_dse::backend::{EvalBackend, EvalMetrics, Evaluator};
 use ax_dse::config::{AxConfig, SpaceDims};
 use ax_operators::OperatorLibrary;
 use ax_vm::VmError;
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, RwLock};
 
@@ -30,105 +29,56 @@ use std::sync::{Arc, RwLock};
 /// refine one estimator.
 pub type SharedModel = Arc<RwLock<SurrogateModel>>;
 
-/// Tuning of the two-tier policy and the underlying regressor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct SurrogateSettings {
-    /// Exact evaluations to absorb before the surrogate may answer.
-    pub warmup: u64,
-    /// Trust gate: every metric's windowed mean relative shadow error must
-    /// stay at or below this for the surrogate to answer.
-    pub max_rel_err: f64,
-    /// Shadow confirmations required before the gate can open.
-    pub min_shadows: u64,
-    /// Sliding shadow-error window length.
-    pub window: usize,
-    /// Of the queries the surrogate could answer, every `confirm_every`-th
-    /// is audited through the exact backend instead (0 disables auditing —
-    /// not recommended: the error trackers would starve once confident).
-    pub confirm_every: u32,
-    /// Refit the regressor after this many new training samples.
-    pub refit_every: u64,
-    /// Ridge regularisation strength (relative to mean feature energy).
-    pub lambda: f64,
+// The tuning/report data types migrated to the backend-agnostic campaign
+// layer (so serialisable `BackendSpec`s and `CampaignReport`s can carry
+// them); re-exported here so every existing `ax_surrogate` path keeps
+// working.
+pub use ax_dse::campaign::{SurrogateSettings, TieredStats};
+
+/// An execution-equivalence class memo shared between the tiered backends
+/// of one benchmark, behind an `Arc` like
+/// [`ax_dse::backend::SharedCache`]: once *any* worker confirms a class
+/// exactly, every other worker answers all of that class's members
+/// exactly and for free. Sharing never changes metrics — class entries
+/// are interpreter truth — only which worker pays for them.
+#[derive(Debug, Default)]
+pub struct SharedClassMemo {
+    map: RwLock<HashMap<EquivClass, EvalMetrics>>,
 }
 
-impl Default for SurrogateSettings {
-    fn default() -> Self {
-        Self {
-            warmup: 48,
-            max_rel_err: 0.05,
-            min_shadows: 8,
-            window: 64,
-            confirm_every: 8,
-            refit_every: 16,
-            lambda: 1e-6,
-        }
-    }
-}
-
-impl SurrogateSettings {
-    /// A policy that never trusts the surrogate: every query falls back to
-    /// the exact backend (and still trains the model). With this policy a
-    /// [`TieredBackend`] is metric-identical to its inner backend — the
-    /// equivalence the property tests pin down.
-    pub fn always_fallback() -> Self {
-        Self {
-            warmup: u64::MAX,
-            ..Self::default()
-        }
-    }
-}
-
-/// Query counters of one [`TieredBackend`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct TieredStats {
-    /// Queries answered from this backend's own memo table.
-    pub memo_hits: u64,
-    /// Distinct queries answered *exactly* from the class memo — a
-    /// configuration in the same execution-equivalence class was already
-    /// confirmed, so the metrics are the interpreter's own, for free.
-    pub class_hits: u64,
-    /// Distinct queries answered by the surrogate (no exact run).
-    pub surrogate_answers: u64,
-    /// Distinct queries answered by the exact backend (warmup, low
-    /// confidence, or the audit stream).
-    pub exact_confirmations: u64,
-}
-
-impl TieredStats {
-    /// Distinct (non-memo) queries this backend has answered.
-    pub fn distinct_queries(&self) -> u64 {
-        self.class_hits + self.surrogate_answers + self.exact_confirmations
+impl SharedClassMemo {
+    /// A fresh memo, ready to share via `Arc`.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
     }
 
-    /// Fraction of distinct queries the surrogate model absorbed (0 when
-    /// no distinct query has been made).
-    pub fn surrogate_hit_rate(&self) -> f64 {
-        let total = self.distinct_queries();
-        if total == 0 {
-            0.0
-        } else {
-            self.surrogate_answers as f64 / total as f64
-        }
+    /// Looks up a class.
+    pub fn get(&self, class: &EquivClass) -> Option<EvalMetrics> {
+        self.map
+            .read()
+            .expect("class memo poisoned")
+            .get(class)
+            .copied()
     }
 
-    /// Fraction of distinct queries that skipped the interpreter entirely
-    /// (class memo or surrogate).
-    pub fn avoided_exact_rate(&self) -> f64 {
-        let total = self.distinct_queries();
-        if total == 0 {
-            0.0
-        } else {
-            (self.class_hits + self.surrogate_answers) as f64 / total as f64
-        }
+    /// Records a class's exact metrics. Racing inserts are benign:
+    /// evaluation is deterministic, so both writers carry identical
+    /// metrics.
+    pub fn insert(&self, class: EquivClass, metrics: EvalMetrics) {
+        self.map
+            .write()
+            .expect("class memo poisoned")
+            .insert(class, metrics);
     }
 
-    /// Accumulates another backend's counters (for sweep-wide totals).
-    pub fn merge(&mut self, other: &TieredStats) {
-        self.memo_hits += other.memo_hits;
-        self.class_hits += other.class_hits;
-        self.surrogate_answers += other.surrogate_answers;
-        self.exact_confirmations += other.exact_confirmations;
+    /// Number of confirmed classes.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("class memo poisoned").len()
+    }
+
+    /// `true` if no class has been confirmed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -176,10 +126,14 @@ pub struct TieredBackend<B: EvalBackend = Evaluator> {
     extractor: FeatureExtractor,
     settings: SurrogateSettings,
     memo: HashMap<AxConfig, EvalMetrics>,
-    /// Exact metrics per execution-equivalence class: two configurations
-    /// with identical instruction flags evaluate identically, so a class
+    /// Lock-free local view of the class memo: two configurations with
+    /// identical instruction flags evaluate identically, so a class
     /// confirmed once answers all its members exactly and for free.
     class_memo: HashMap<EquivClass, EvalMetrics>,
+    /// The cross-worker class memo this backend shares (one per benchmark
+    /// in sweeps/campaigns); local misses fall through to it before any
+    /// surrogate or exact tier, and local confirmations publish into it.
+    shared_classes: Arc<SharedClassMemo>,
     stats: TieredStats,
     /// Distinct-query counter driving the deterministic audit stream.
     queries: u64,
@@ -192,8 +146,22 @@ pub struct TieredBackend<B: EvalBackend = Evaluator> {
 }
 
 impl<B: EvalBackend> TieredBackend<B> {
-    /// Wraps an exact backend around a (possibly shared) surrogate model.
+    /// Wraps an exact backend around a (possibly shared) surrogate model,
+    /// with a private class memo. Sweeps and campaigns should share one
+    /// memo per benchmark instead: [`TieredBackend::with_class_memo`].
     pub fn new(inner: B, model: SharedModel, settings: SurrogateSettings) -> Self {
+        Self::with_class_memo(inner, model, settings, SharedClassMemo::new())
+    }
+
+    /// Like [`TieredBackend::new`], but sharing `classes` with other
+    /// backends of the same benchmark, so any worker's exact confirmation
+    /// answers the whole execution-equivalence class for every worker.
+    pub fn with_class_memo(
+        inner: B,
+        model: SharedModel,
+        settings: SurrogateSettings,
+        classes: Arc<SharedClassMemo>,
+    ) -> Self {
         let extractor = model
             .read()
             .expect("surrogate model poisoned")
@@ -207,6 +175,7 @@ impl<B: EvalBackend> TieredBackend<B> {
             settings,
             memo: HashMap::new(),
             class_memo: HashMap::new(),
+            shared_classes: classes,
             stats: TieredStats::default(),
             queries: 0,
             predictor: None,
@@ -275,8 +244,25 @@ impl<B: EvalBackend> TieredBackend<B> {
         drop(model);
         self.stats.exact_confirmations += 1;
         self.memo.insert(*config, metrics);
-        self.class_memo
-            .insert(self.extractor.equivalence_class(config), metrics);
+        let class = self.extractor.equivalence_class(config);
+        self.class_memo.insert(class, metrics);
+        self.shared_classes.insert(class, metrics);
+    }
+
+    /// Looks a class up locally first, then in the shared memo (caching
+    /// shared hits locally so repeats stay lock-free).
+    fn class_lookup(&mut self, class: &EquivClass) -> Option<EvalMetrics> {
+        if let Some(m) = self.class_memo.get(class) {
+            return Some(*m);
+        }
+        let m = self.shared_classes.get(class)?;
+        self.class_memo.insert(*class, m);
+        Some(m)
+    }
+
+    /// The cross-worker class memo this backend shares.
+    pub fn shared_class_memo(&self) -> &Arc<SharedClassMemo> {
+        &self.shared_classes
     }
 }
 
@@ -334,11 +320,8 @@ impl<B: EvalBackend> EvalBackend for TieredBackend<B> {
             self.stats.memo_hits += 1;
             return Ok(*m);
         }
-        if let Some(m) = self
-            .class_memo
-            .get(&self.extractor.equivalence_class(config))
-        {
-            let m = *m;
+        let class = self.extractor.equivalence_class(config);
+        if let Some(m) = self.class_lookup(&class) {
             self.stats.class_hits += 1;
             self.memo.insert(*config, m);
             return Ok(m);
@@ -386,8 +369,7 @@ impl<B: EvalBackend> EvalBackend for TieredBackend<B> {
                 continue;
             }
             let class = self.extractor.equivalence_class(config);
-            if let Some(m) = self.class_memo.get(&class) {
-                let m = *m;
+            if let Some(m) = self.class_lookup(&class) {
                 self.stats.class_hits += 1;
                 self.memo.insert(*config, m);
                 continue;
@@ -415,8 +397,9 @@ impl<B: EvalBackend> EvalBackend for TieredBackend<B> {
                 model.observe_exact(config, &metrics);
                 self.stats.exact_confirmations += 1;
                 self.memo.insert(*config, metrics);
-                self.class_memo
-                    .insert(self.extractor.equivalence_class(config), metrics);
+                let class = self.extractor.equivalence_class(config);
+                self.class_memo.insert(class, metrics);
+                self.shared_classes.insert(class, metrics);
             }
         }
         for (config, class) in deferred {
@@ -580,5 +563,63 @@ mod tests {
     fn tiered_backend_is_send() {
         fn assert_send<T: Send>() {}
         assert_send::<TieredBackend<Evaluator>>();
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedClassMemo>();
+    }
+
+    #[test]
+    fn shared_class_memo_serves_other_workers_exactly() {
+        // Worker A confirms the whole space exactly; worker B, sharing the
+        // class memo, must answer every configuration without a single
+        // interpreter execution of its own — and with identical metrics.
+        let classes = SharedClassMemo::new();
+        let settings = SurrogateSettings::always_fallback();
+        let inner = exact();
+        let model = shared_model_for(inner.context().library(), &inner, settings);
+        let mut a = TieredBackend::with_class_memo(
+            inner,
+            Arc::clone(&model),
+            settings,
+            Arc::clone(&classes),
+        );
+        let configs = AxConfig::enumerate(a.dims());
+        let truth: Vec<EvalMetrics> = configs.iter().map(|c| a.evaluate(c).unwrap()).collect();
+        assert!(!classes.is_empty());
+
+        let mut b = TieredBackend::with_class_memo(
+            exact(),
+            Arc::clone(&model),
+            settings,
+            Arc::clone(&classes),
+        );
+        for (c, expected) in configs.iter().zip(&truth) {
+            assert_eq!(b.evaluate(c).unwrap(), *expected, "{c}");
+        }
+        assert_eq!(
+            b.inner().executions(),
+            0,
+            "all of B's queries must come from the shared class memo"
+        );
+        assert_eq!(b.stats().exact_confirmations, 0);
+        assert_eq!(b.stats().class_hits, configs.len() as u64);
+    }
+
+    #[test]
+    fn private_class_memos_stay_private() {
+        let settings = SurrogateSettings::always_fallback();
+        let mut a = TieredBackend::from_exact(exact(), settings);
+        let c = AxConfig {
+            adder: ax_operators::AdderId(2),
+            mul: ax_operators::MulId(2),
+            vars: 0b11,
+        };
+        a.evaluate(&c).unwrap();
+        let mut b = TieredBackend::from_exact(exact(), settings);
+        b.evaluate(&c).unwrap();
+        assert_eq!(
+            b.inner().executions(),
+            1,
+            "a fresh backend with its own memo must execute"
+        );
     }
 }

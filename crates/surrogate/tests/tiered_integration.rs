@@ -3,6 +3,10 @@
 //! behind every existing `EvalBackend` seam (`DseEnv`, `DseSearchSpace`,
 //! `ThresholdRule::calibrate`) with no consumer-side special-casing.
 
+// The legacy free functions stay exercised here until removal: these
+// suites pin the deprecated wrappers to the campaign path's behaviour.
+#![allow(deprecated)]
+
 use ax_dse::backend::{EvalBackend, Evaluator};
 use ax_dse::config::AxConfig;
 use ax_dse::env::DseEnv;

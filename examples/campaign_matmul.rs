@@ -1,0 +1,81 @@
+//! Declarative campaigns: a whole experiment as a checked-in JSON file.
+//!
+//! ```text
+//! cargo run --release --example campaign_matmul
+//! ```
+//!
+//! Loads `examples/campaign_matmul.json` — a multi-benchmark, multi-agent
+//! campaign racing under one global evaluation budget through the tiered
+//! (surrogate-prefiltered) backend — and executes it with the polymorphic
+//! [`ax_dse::campaign::Campaign`] driver, streaming progress through an
+//! [`Observer`]. The same file runs from the CLI: `repro run
+//! examples/campaign_matmul.json`.
+
+use ax_agents::train::StopReason;
+use ax_dse::campaign::{ExperimentSpec, Observer};
+use ax_dse::explore::AgentKind;
+use ax_operators::OperatorLibrary;
+use ax_surrogate::run_spec;
+
+/// Prints one line per finished exploration.
+struct Progress;
+
+impl Observer for Progress {
+    fn on_run_complete(
+        &self,
+        benchmark: &str,
+        agent: AgentKind,
+        seed: u64,
+        stop: StopReason,
+        steps: u64,
+    ) {
+        println!(
+            "  {benchmark:12} {:16} seed {seed}: {stop:?} after {steps} steps",
+            agent.name()
+        );
+    }
+
+    fn on_budget_exhausted(&self, spent: u64) {
+        println!("  global budget exhausted after {spent} distinct designs");
+    }
+}
+
+fn main() {
+    let text = std::fs::read_to_string("examples/campaign_matmul.json")
+        .expect("run from the repository root");
+    let mut spec = ExperimentSpec::from_json_str(&text).expect("valid spec");
+    // Keep the example snappy; drop this line for the full experiment.
+    spec.explore.max_steps = spec.explore.max_steps.min(400);
+
+    let lib = OperatorLibrary::evoapprox();
+    let report = run_spec(&lib, &spec, None, &Progress).expect("campaign runs");
+
+    println!(
+        "\nbudget: {} of {:?} designs spent, {} run(s) budget-stopped",
+        report.budget.spent, report.budget.cap, report.budget.stopped_runs
+    );
+    if let Some(tier) = &report.tier {
+        println!(
+            "tiers : {:.0}% of distinct queries skipped the interpreter",
+            100.0 * tier.avoided_exact_rate()
+        );
+    }
+    for p in &report.portfolios {
+        let w = p.winner();
+        println!(
+            "{:12}: winner {} (seed {}, score {:.3}, {})",
+            p.benchmark,
+            w.kind.name(),
+            w.seed,
+            w.score,
+            if w.feasible { "feasible" } else { "infeasible" }
+        );
+    }
+    if let Some((i, best)) = report.best_overall() {
+        println!(
+            "best overall: {} on {}",
+            best.kind.name(),
+            report.portfolios[i].benchmark
+        );
+    }
+}

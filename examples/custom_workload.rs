@@ -9,7 +9,8 @@
 //! extension path the paper's conclusion calls for ("a larger set of
 //! applications").
 
-use ax_dse::explore::{explore_qlearning, ExploreOptions};
+use ax_dse::backend::EvalContext;
+use ax_dse::explore::{AgentKind, ExploreOptions};
 use ax_operators::{
     AdderKind, AdderModel, BitWidth, MulKind, MulModel, OperatorLibrary, OperatorSpec,
 };
@@ -90,7 +91,9 @@ fn main() {
         max_steps: 2_000,
         ..Default::default()
     };
-    let outcome = explore_qlearning(&workload, &lib, &opts).expect("exploration runs");
+    let ctx = EvalContext::new(&workload, std::sync::Arc::new(lib.clone()), opts.input_seed)
+        .expect("benchmark prepares");
+    let outcome = ax_dse::campaign::explore(&ctx, &opts, AgentKind::QLearning);
 
     let s = &outcome.summary;
     println!("custom workload    : {}", s.benchmark);

@@ -8,8 +8,9 @@
 //! filter itself: the precise run's smoothing effect and how the solution
 //! configuration degrades it.
 
+use ax_dse::backend::EvalContext;
 use ax_dse::config::AxConfig;
-use ax_dse::explore::{explore_qlearning, ExploreOptions};
+use ax_dse::explore::{AgentKind, ExploreOptions};
 use ax_dse::Evaluator;
 use ax_operators::OperatorLibrary;
 use ax_workloads::fir::Fir;
@@ -36,7 +37,9 @@ fn main() {
     );
 
     let opts = ExploreOptions::default();
-    let outcome = explore_qlearning(&workload, &lib, &opts).expect("exploration runs");
+    let ctx = EvalContext::new(&workload, std::sync::Arc::new(lib.clone()), opts.input_seed)
+        .expect("benchmark prepares");
+    let outcome = ax_dse::campaign::explore(&ctx, &opts, AgentKind::QLearning);
     let s = &outcome.summary;
     println!(
         "\nexploration stopped after {} steps ({:?})",

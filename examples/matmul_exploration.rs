@@ -8,7 +8,8 @@
 //! Figure 4 reward bins for the MatMul 10×10 benchmark.
 
 use ax_dse::analysis::{linear_trend, reward_curve};
-use ax_dse::explore::{explore_qlearning, ExploreOptions};
+use ax_dse::backend::EvalContext;
+use ax_dse::explore::{AgentKind, ExploreOptions};
 use ax_dse::report::{ascii_table, fmt_metric};
 use ax_operators::OperatorLibrary;
 use ax_workloads::matmul::MatMul;
@@ -16,7 +17,13 @@ use ax_workloads::matmul::MatMul;
 fn main() {
     let lib = OperatorLibrary::evoapprox();
     let opts = ExploreOptions::default(); // the paper's 10 000-step setup
-    let outcome = explore_qlearning(&MatMul::new(10), &lib, &opts).expect("exploration runs");
+    let ctx = EvalContext::new(
+        &MatMul::new(10),
+        std::sync::Arc::new(lib.clone()),
+        opts.input_seed,
+    )
+    .expect("benchmark prepares");
+    let outcome = ax_dse::campaign::explore(&ctx, &opts, AgentKind::QLearning);
 
     // Table III column.
     let s = &outcome.summary;

@@ -14,7 +14,8 @@ use ax_agents::search::{
     GeneticOptions,
 };
 use ax_dse::analysis::{hypervolume_2d, pareto_front};
-use ax_dse::explore::{explore_qlearning, ExploreOptions};
+use ax_dse::backend::EvalContext;
+use ax_dse::explore::{AgentKind, ExploreOptions};
 use ax_dse::report::ascii_table;
 use ax_dse::search_adapter::DseSearchSpace;
 use ax_dse::thresholds::ThresholdRule;
@@ -32,7 +33,9 @@ fn main() {
         max_steps: budget,
         ..Default::default()
     };
-    let outcome = explore_qlearning(&workload, &lib, &opts).expect("exploration runs");
+    let ctx = EvalContext::new(&workload, std::sync::Arc::new(lib.clone()), opts.input_seed)
+        .expect("benchmark prepares");
+    let outcome = ax_dse::campaign::explore(&ctx, &opts, AgentKind::QLearning);
     let acc_th = outcome.thresholds.acc_th;
     let (pp, pt) = (
         outcome.evaluator.precise_power(),

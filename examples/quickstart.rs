@@ -8,7 +8,8 @@
 //! Q-learning exploration on an 8-element dot product and prints the
 //! discovered trade-off.
 
-use ax_dse::explore::{explore_qlearning, ExploreOptions};
+use ax_dse::backend::EvalContext;
+use ax_dse::explore::{AgentKind, ExploreOptions};
 use ax_operators::OperatorLibrary;
 use ax_workloads::dot::DotProduct;
 
@@ -22,12 +23,17 @@ fn main() {
     let workload = DotProduct::new(8);
 
     // 3. Run the RL exploration with the paper's defaults (10 000-step cap,
-    //    50 % power/time gain thresholds, 0.4x accuracy budget).
+    //    50 % power/time gain thresholds, 0.4x accuracy budget) through the
+    //    campaign layer's single-run primitive. (Grids of benchmarks,
+    //    agents and seeds go through `ax_dse::campaign::Campaign` — see
+    //    examples/campaign_matmul.rs.)
     let opts = ExploreOptions {
         max_steps: 2_000,
         ..Default::default()
     };
-    let outcome = explore_qlearning(&workload, &lib, &opts).expect("exploration runs");
+    let ctx = EvalContext::new(&workload, std::sync::Arc::new(lib.clone()), opts.input_seed)
+        .expect("benchmark prepares");
+    let outcome = ax_dse::campaign::explore(&ctx, &opts, AgentKind::QLearning);
 
     let s = &outcome.summary;
     println!("benchmark         : {}", s.benchmark);

@@ -4,6 +4,10 @@
 //! seeds must give bit-identical results at every layer, or the paper's
 //! experiments would not be reproducible run to run.
 
+// The legacy free functions stay exercised here until removal: these
+// suites pin the deprecated wrappers to the campaign path's behaviour.
+#![allow(deprecated)]
+
 use axdse_suite::ax_dse::evaluator::{EvalContext, SharedCache};
 use axdse_suite::ax_dse::explore::AgentKind;
 use axdse_suite::ax_dse::explore::{explore_in_context, explore_qlearning, ExploreOptions};
@@ -191,4 +195,195 @@ fn input_seed_changes_reference_outputs() {
     // fixed) but accuracy thresholds differ.
     assert_ne!(a.thresholds.acc_th, b.thresholds.acc_th);
     assert_eq!(a.thresholds.power_th, b.thresholds.power_th);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign-vs-legacy equivalence: every deprecated entry point must produce
+// output identical to the `Campaign` path it wraps — and both must match a
+// hand-rolled reimplementation of the original pre-campaign code path.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn campaign_exact_sweep_is_byte_identical_to_legacy() {
+    use axdse_suite::ax_dse::campaign::{Campaign, SeedRange};
+    use axdse_suite::ax_dse::sweep::summarize_outcomes;
+
+    let lib = OperatorLibrary::evoapprox();
+    let opts = ExploreOptions {
+        max_steps: 200,
+        ..Default::default()
+    };
+    let wl = MatMul::new(4);
+    let seeds = 6u64;
+
+    // The pre-campaign reference: one shared-cache context, one exploration
+    // per seed, aggregated — exactly what `sweep_seeds` used to inline.
+    let ctx = EvalContext::with_cache(
+        &wl,
+        Arc::new(lib.clone()),
+        opts.input_seed,
+        SharedCache::new(),
+    )
+    .unwrap();
+    let outcomes: Vec<_> = (0..seeds)
+        .map(|seed| {
+            let run_opts = ExploreOptions { seed, ..opts };
+            axdse_suite::ax_dse::campaign::explore(&ctx, &run_opts, AgentKind::QLearning)
+        })
+        .collect();
+    let reference = summarize_outcomes(ctx.benchmark().to_owned(), &outcomes);
+
+    // The campaign path.
+    let report = Campaign::new("equivalence", &lib)
+        .benchmark(&wl)
+        .agent(AgentKind::QLearning)
+        .seeds(SeedRange::new(0, seeds))
+        .options(opts)
+        .run()
+        .unwrap();
+    assert_eq!(report.cells[0].summary, reference);
+
+    // And both deprecated wrappers.
+    let seq = sweep_seeds(&wl, &lib, &opts, AgentKind::QLearning, seeds).unwrap();
+    let par = sweep_seeds_parallel(&wl, &lib, &opts, AgentKind::QLearning, seeds).unwrap();
+    assert_eq!(seq, reference);
+    assert_eq!(par, reference);
+}
+
+#[test]
+fn campaign_portfolio_is_byte_identical_to_legacy_race() {
+    use axdse_suite::ax_dse::campaign::{Campaign, SeedRange};
+    use axdse_suite::ax_dse::sweep::race_portfolio;
+
+    let lib = OperatorLibrary::evoapprox();
+    let opts = ExploreOptions {
+        max_steps: 150,
+        seed: 3,
+        ..Default::default()
+    };
+    let wl = MatMul::new(4);
+    let kinds = [AgentKind::QLearning, AgentKind::Sarsa, AgentKind::DoubleQ];
+
+    let legacy = race_portfolio(&wl, &lib, &opts, &kinds).unwrap();
+    let report = Campaign::new("race", &lib)
+        .benchmark(&wl)
+        .agents(&kinds)
+        .seeds(SeedRange::single(opts.seed))
+        .options(opts)
+        .run()
+        .unwrap();
+    let campaign = &report.portfolios[0];
+
+    assert_eq!(legacy.benchmark, campaign.benchmark);
+    assert_eq!(legacy.best, campaign.best);
+    assert_eq!(legacy.shared_distinct, campaign.shared_distinct);
+    assert_eq!(legacy.entries.len(), campaign.entries.len());
+    for (l, c) in legacy.entries.iter().zip(&campaign.entries) {
+        assert_eq!(l.kind, c.kind);
+        assert_eq!(l.seed, c.seed);
+        assert_eq!(l.summary, c.summary);
+        assert_eq!(l.stop_reason, c.stop_reason);
+        assert_eq!(l.distinct_configs, c.distinct_configs);
+        assert_eq!(l.feasible, c.feasible);
+        assert_eq!(l.score.to_bits(), c.score.to_bits(), "{}", l.kind.name());
+    }
+
+    // Every raced entry still equals a stand-alone exploration.
+    for (kind, entry) in kinds.iter().zip(&campaign.entries) {
+        let ctx = EvalContext::new(&wl, Arc::new(lib.clone()), opts.input_seed).unwrap();
+        let solo = axdse_suite::ax_dse::campaign::explore(&ctx, &opts, *kind);
+        assert_eq!(entry.summary, solo.summary, "{}", kind.name());
+    }
+}
+
+#[test]
+fn explore_in_context_wrapper_matches_campaign_explore() {
+    let lib = OperatorLibrary::evoapprox();
+    let opts = ExploreOptions {
+        max_steps: 200,
+        ..Default::default()
+    };
+    let ctx = EvalContext::new(&MatMul::new(4), Arc::new(lib.clone()), opts.input_seed).unwrap();
+    let wrapped = explore_in_context(&ctx, &opts, AgentKind::QLearning).unwrap();
+    let direct = axdse_suite::ax_dse::campaign::explore(&ctx, &opts, AgentKind::QLearning);
+    assert_eq!(wrapped.trace, direct.trace);
+    assert_eq!(wrapped.log, direct.log);
+    assert_eq!(wrapped.summary, direct.summary);
+    assert_eq!(wrapped.distinct_configs, direct.distinct_configs);
+}
+
+#[test]
+fn experiment_specs_round_trip_through_json() {
+    use axdse_suite::ax_dse::campaign::{
+        BackendSpec, BenchmarkSpec, ExperimentSpec, SeedRange, SurrogateSettings,
+    };
+
+    let spec = ExperimentSpec::new("round-trip")
+        .benchmark(BenchmarkSpec::MatMul(10))
+        .benchmark(BenchmarkSpec::Fir(100))
+        .agent(AgentKind::QLearning)
+        .agent(AgentKind::QLambda { lambda: 0.7 })
+        .seeds(SeedRange::new(2, 4))
+        .explore(ExploreOptions {
+            max_steps: 777,
+            input_seed: 5,
+            ..Default::default()
+        })
+        .backend(BackendSpec::Tiered(SurrogateSettings {
+            warmup: 10,
+            ..Default::default()
+        }))
+        .budget(9_999)
+        .parallelism(2);
+    let text = spec.to_json_string();
+    assert_eq!(ExperimentSpec::from_json_str(&text).unwrap(), spec);
+
+    // The checked-in example spec parses, validates and round-trips too.
+    let checked_in = std::fs::read_to_string("examples/campaign_matmul.json").unwrap();
+    let example = ExperimentSpec::from_json_str(&checked_in).unwrap();
+    assert!(example.benchmarks.len() >= 2, "multi-benchmark");
+    assert!(example.agents.len() >= 2, "multi-agent");
+    assert!(example.budget.is_some(), "global budget");
+    assert_eq!(
+        ExperimentSpec::from_json_str(&example.to_json_string()).unwrap(),
+        example
+    );
+}
+
+#[test]
+fn shared_cache_persistence_round_trips_through_disk() {
+    // Fill a cache through a real exploration, save it, load it in a
+    // "second process" and verify a replay answers from the loaded cache
+    // with bit-identical results.
+    let lib = OperatorLibrary::evoapprox();
+    let opts = ExploreOptions {
+        max_steps: 200,
+        ..Default::default()
+    };
+    let wl = MatMul::new(4);
+    let cache = SharedCache::new();
+    let ctx = EvalContext::with_cache(
+        &wl,
+        Arc::new(lib.clone()),
+        opts.input_seed,
+        Arc::clone(&cache),
+    )
+    .unwrap();
+    let first = axdse_suite::ax_dse::campaign::explore(&ctx, &opts, AgentKind::QLearning);
+    let path = std::env::temp_dir().join("ax_dse_determinism_cache.json");
+    cache.save(&path).unwrap();
+
+    let loaded = SharedCache::load(&path).unwrap();
+    assert_eq!(loaded.len(), cache.len());
+    let ctx2 =
+        EvalContext::with_cache(&wl, Arc::new(lib.clone()), opts.input_seed, loaded).unwrap();
+    let replay = axdse_suite::ax_dse::campaign::explore(&ctx2, &opts, AgentKind::QLearning);
+    assert_eq!(first.trace, replay.trace);
+    assert_eq!(first.summary, replay.summary);
+    assert_eq!(
+        replay.evaluator.executions(),
+        0,
+        "every design must come from the loaded cache"
+    );
+    let _ = std::fs::remove_file(path);
 }

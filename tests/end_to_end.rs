@@ -1,6 +1,10 @@
 //! Cross-crate end-to-end tests: operator library → instrumented execution →
 //! evaluation → exploration, on the paper's benchmarks.
 
+// The legacy free functions stay exercised here until removal: these
+// suites pin the deprecated wrappers to the campaign path's behaviour.
+#![allow(deprecated)]
+
 use axdse_suite::ax_dse::config::AxConfig;
 use axdse_suite::ax_dse::explore::{explore_qlearning, ExploreOptions};
 use axdse_suite::ax_dse::Evaluator;
@@ -169,4 +173,65 @@ fn multiplier_ladder_is_monotone_in_power_on_matmul() {
             assert_eq!(m.delta_acc, 0.0);
         }
     }
+}
+
+/// The acceptance scenario of the campaign redesign: a multi-benchmark,
+/// multi-agent campaign racing under one global evaluation budget, loaded
+/// from the checked-in JSON spec that `repro run` executes.
+#[test]
+fn checked_in_campaign_spec_runs_end_to_end() {
+    use axdse_suite::ax_dse::campaign::{ExperimentSpec, NullObserver};
+    use axdse_suite::ax_surrogate::run_spec;
+
+    let text = std::fs::read_to_string("examples/campaign_matmul.json").unwrap();
+    let mut spec = ExperimentSpec::from_json_str(&text).unwrap();
+    // The CI-style smoke clamp `repro run --smoke` applies.
+    spec.explore.max_steps = spec.explore.max_steps.min(120);
+    spec.seeds.count = spec.seeds.count.min(1);
+
+    let report = run_spec(&lib(), &spec, None, &NullObserver).unwrap();
+    assert_eq!(
+        report.cells.len(),
+        spec.benchmarks.len() * spec.agents.len()
+    );
+    assert_eq!(report.portfolios.len(), spec.benchmarks.len());
+    assert_eq!(report.budget.cap, spec.budget);
+    assert!(report.budget.spent > 0);
+    assert!(
+        report.tier.is_some(),
+        "the spec names a tiered backend, so tier usage must be reported"
+    );
+    for p in &report.portfolios {
+        assert_eq!(p.entries.len(), spec.agents.len());
+        assert!(p.shared_distinct > 0);
+    }
+    assert!(report.best_overall().is_some());
+}
+
+/// A tight global budget cooperatively stops a multi-benchmark campaign:
+/// spending lands at the cap plus at most one in-flight step per run.
+#[test]
+fn global_budget_caps_a_multi_benchmark_campaign() {
+    use axdse_suite::ax_dse::campaign::{Campaign, SeedRange};
+    use axdse_suite::ax_dse::explore::AgentKind;
+    use axdse_suite::ax_workloads::dot::DotProduct;
+
+    let l = lib();
+    let (wa, wb) = (MatMul::new(4), DotProduct::new(8));
+    let report = Campaign::new("budget-e2e", &l)
+        .benchmark(&wa)
+        .benchmark(&wb)
+        .agent(AgentKind::QLearning)
+        .seeds(SeedRange::new(0, 2))
+        .options(ExploreOptions {
+            max_steps: 10_000,
+            ..Default::default()
+        })
+        .budget(50)
+        .run()
+        .unwrap();
+    assert!(report.budget.exhausted());
+    assert!(report.budget.stopped_runs > 0, "{:?}", report.budget);
+    // 4 runs, each may overshoot by at most one step's worth of designs.
+    assert!(report.budget.spent < 50 + 4 * 20, "{}", report.budget.spent);
 }

@@ -6,6 +6,10 @@
 //! Figures 2–4. They run on the default (seeded) configuration, so they are
 //! deterministic.
 
+// The legacy free functions stay exercised here until removal: these
+// suites pin the deprecated wrappers to the campaign path's behaviour.
+#![allow(deprecated)]
+
 use axdse_suite::ax_agents::train::StopReason;
 use axdse_suite::ax_dse::analysis::{linear_trend, reward_curve};
 use axdse_suite::ax_dse::config::AxConfig;

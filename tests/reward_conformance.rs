@@ -4,6 +4,10 @@
 //! recorded metrics and the calibrated thresholds — the environment must
 //! agree with the paper's pseudocode at every step.
 
+// The legacy free functions stay exercised here until removal: these
+// suites pin the deprecated wrappers to the campaign path's behaviour.
+#![allow(deprecated)]
+
 use axdse_suite::ax_dse::explore::{explore_qlearning, ExploreOptions};
 use axdse_suite::ax_dse::reward::{reward, RewardParams};
 use axdse_suite::ax_dse::thresholds::ThresholdRule;
