@@ -54,4 +54,4 @@ pub use agent::{TabularAgent, TabularTransition};
 pub use qlearning::QLearningAgent;
 pub use qtable::QTable;
 pub use schedule::Schedule;
-pub use train::{train, StepRecord, TrainLog, TrainOptions};
+pub use train::{train, StepRecord, TrainLog, TrainOptions, TrainSession};

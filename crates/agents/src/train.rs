@@ -164,7 +164,7 @@ pub fn train_with_stop<E, A, S>(
     env: &mut E,
     agent: &mut A,
     opts: &TrainOptions,
-    mut should_stop: S,
+    should_stop: S,
 ) -> TrainLog
 where
     E: Env<Action = usize>,
@@ -172,60 +172,163 @@ where
     A: TabularAgent<E::Obs>,
     S: FnMut() -> bool,
 {
-    let mut obs = env.reset(Some(opts.seed));
-    agent.begin_episode();
-    let mut steps = Vec::new();
-    let mut cumulative = 0.0;
-    let mut stop_reason = StopReason::MaxSteps;
+    let mut session = TrainSession::start(env, agent, opts);
+    session.resume(env, agent, opts, should_stop);
+    session.into_log()
+}
 
-    for step in 0..opts.max_steps {
-        let action = agent.select_action(&obs);
-        let s = env.step(&action);
-        cumulative += s.reward;
-        agent.observe(TabularTransition {
-            state: obs.clone(),
-            action,
-            reward: s.reward,
-            next_state: s.obs.clone(),
-            terminal: s.terminated,
-        });
-        steps.push(StepRecord {
-            step,
-            action,
-            reward: s.reward,
-            cumulative_reward: cumulative,
-            terminated: s.terminated,
-            truncated: s.truncated,
-        });
+/// A pausable training run: the state [`train_with_stop`] keeps on its
+/// stack, made resumable.
+///
+/// [`TrainSession::start`] seeds the environment exactly like [`train`];
+/// each [`TrainSession::resume`] continues the loop until a stop rule
+/// fires. A run that stopped on the cooperative signal
+/// ([`StopReason::Stopped`]) can resume later and continues *exactly*
+/// where it paused — same observation, same cumulative reward, episode
+/// restarts included — so a single `start` + `resume` is bit-identical to
+/// [`train_with_stop`], and a `resume` split into several calls is
+/// bit-identical to one uninterrupted call. This is what lets round-based
+/// budget schedulers (successive halving) pause whole explorations between
+/// rounds without losing learned state.
+#[derive(Debug)]
+pub struct TrainSession<O> {
+    obs: O,
+    steps: Vec<StepRecord>,
+    cumulative: f64,
+    last_stop: Option<StopReason>,
+    needs_reset: bool,
+}
 
-        if let Some(target) = opts.reward_target {
-            if cumulative >= target {
-                stop_reason = StopReason::RewardTarget;
-                break;
-            }
-        }
-        if s.terminated && opts.stop_on_terminate {
-            stop_reason = StopReason::Terminated;
-            break;
-        }
-        if should_stop() {
-            stop_reason = StopReason::Stopped;
-            break;
-        }
-        if s.terminated || s.truncated {
-            // Gymnasium convention: the seed applies to the *first* reset
-            // only; later episodes continue the environment's RNG stream.
-            // Re-seeding every episode would replay identical stochastic
-            // transitions (e.g. a Bernoulli bandit degenerates to a
-            // deterministic payout table), which breaks learning.
-            obs = env.reset(None);
-            agent.begin_episode();
-        } else {
-            obs = s.obs;
+impl<O: Eq + Hash + Clone> TrainSession<O> {
+    /// Opens a session: resets `env` with the options' seed and signals
+    /// the agent's first episode. No step is taken yet.
+    pub fn start<E, A>(env: &mut E, agent: &mut A, opts: &TrainOptions) -> Self
+    where
+        E: Env<Obs = O, Action = usize>,
+        A: TabularAgent<O> + ?Sized,
+    {
+        let obs = env.reset(Some(opts.seed));
+        agent.begin_episode();
+        Self {
+            obs,
+            steps: Vec::new(),
+            cumulative: 0.0,
+            last_stop: None,
+            needs_reset: false,
         }
     }
 
-    TrainLog { steps, stop_reason }
+    /// Steps taken so far, across all resumes.
+    pub fn steps_taken(&self) -> u64 {
+        self.steps.len() as u64
+    }
+
+    /// Cumulative reward so far.
+    pub fn total_reward(&self) -> f64 {
+        self.cumulative
+    }
+
+    /// Why the last [`TrainSession::resume`] returned —
+    /// [`StopReason::MaxSteps`] before the first resume.
+    pub fn stop_reason(&self) -> StopReason {
+        self.last_stop.unwrap_or(StopReason::MaxSteps)
+    }
+
+    /// `true` once no further resume can make progress: the step cap is
+    /// reached or a non-cooperative stop rule (reward target, natural
+    /// termination) already fired. A session that last stopped on the
+    /// cooperative signal remains resumable.
+    pub fn is_complete(&self, opts: &TrainOptions) -> bool {
+        self.steps_taken() >= opts.max_steps
+            || matches!(
+                self.last_stop,
+                Some(StopReason::RewardTarget) | Some(StopReason::Terminated)
+            )
+    }
+
+    /// Continues the loop until a stop rule fires (see [`TrainOptions`]),
+    /// returning why it paused. Resuming a complete session takes no step
+    /// and reports the prior reason.
+    pub fn resume<E, A, S>(
+        &mut self,
+        env: &mut E,
+        agent: &mut A,
+        opts: &TrainOptions,
+        mut should_stop: S,
+    ) -> StopReason
+    where
+        E: Env<Obs = O, Action = usize>,
+        A: TabularAgent<O> + ?Sized,
+        S: FnMut() -> bool,
+    {
+        if self.is_complete(opts) {
+            return self.stop_reason();
+        }
+        let mut stop_reason = StopReason::MaxSteps;
+        for step in self.steps_taken()..opts.max_steps {
+            if self.needs_reset {
+                // Gymnasium convention: the seed applies to the *first*
+                // reset only; later episodes continue the environment's
+                // RNG stream. Re-seeding every episode would replay
+                // identical stochastic transitions (e.g. a Bernoulli
+                // bandit degenerates to a deterministic payout table),
+                // which breaks learning.
+                self.obs = env.reset(None);
+                agent.begin_episode();
+                self.needs_reset = false;
+            }
+            let action = agent.select_action(&self.obs);
+            let s = env.step(&action);
+            self.cumulative += s.reward;
+            agent.observe(TabularTransition {
+                state: self.obs.clone(),
+                action,
+                reward: s.reward,
+                next_state: s.obs.clone(),
+                terminal: s.terminated,
+            });
+            self.steps.push(StepRecord {
+                step,
+                action,
+                reward: s.reward,
+                cumulative_reward: self.cumulative,
+                terminated: s.terminated,
+                truncated: s.truncated,
+            });
+            // Advance the session state before testing the stop rules so a
+            // later resume continues exactly where this one paused.
+            if s.terminated || s.truncated {
+                self.needs_reset = true;
+            } else {
+                self.obs = s.obs;
+            }
+
+            if let Some(target) = opts.reward_target {
+                if self.cumulative >= target {
+                    stop_reason = StopReason::RewardTarget;
+                    break;
+                }
+            }
+            if s.terminated && opts.stop_on_terminate {
+                stop_reason = StopReason::Terminated;
+                break;
+            }
+            if should_stop() {
+                stop_reason = StopReason::Stopped;
+                break;
+            }
+        }
+        self.last_stop = Some(stop_reason);
+        stop_reason
+    }
+
+    /// Closes the session into the [`TrainLog`] of everything run so far.
+    pub fn into_log(self) -> TrainLog {
+        TrainLog {
+            steps: self.steps,
+            stop_reason: self.last_stop.unwrap_or(StopReason::MaxSteps),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -375,6 +478,56 @@ mod tests {
             }
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn resumed_session_matches_uninterrupted_run() {
+        // One uninterrupted run...
+        let reference = {
+            let mut env = TimeLimit::new(LineWorld::new(6), 30);
+            let mut agent = QLearningBuilder::new(2).seed(11).build();
+            train(&mut env, &mut agent, &TrainOptions::new(400).seed(7))
+        };
+        // ...must equal the same run paused every 37 steps and resumed.
+        let mut env = TimeLimit::new(LineWorld::new(6), 30);
+        let mut agent = QLearningBuilder::new(2).seed(11).build();
+        let opts = TrainOptions::new(400).seed(7);
+        let mut session = TrainSession::start(&mut env, &mut agent, &opts);
+        let mut resumes = 0;
+        while !session.is_complete(&opts) {
+            let mut polls = 0u64;
+            session.resume(&mut env, &mut agent, &opts, || {
+                polls += 1;
+                polls >= 37
+            });
+            resumes += 1;
+        }
+        assert!(resumes > 5, "the pause signal must actually fragment");
+        assert_eq!(session.into_log(), reference);
+    }
+
+    #[test]
+    fn session_reports_progress_and_completion() {
+        let mut env = TimeLimit::new(LineWorld::new(3), 10);
+        let mut agent = QLearningBuilder::new(2).seed(0).build();
+        let opts = TrainOptions::new(50).seed(1);
+        let mut session = TrainSession::start(&mut env, &mut agent, &opts);
+        assert_eq!(session.steps_taken(), 0);
+        assert!(!session.is_complete(&opts));
+        let reason = session.resume(&mut env, &mut agent, &opts, || true);
+        assert_eq!(reason, StopReason::Stopped);
+        assert_eq!(session.steps_taken(), 1);
+        assert!(!session.is_complete(&opts), "stopped sessions can resume");
+        let reason = session.resume(&mut env, &mut agent, &opts, || false);
+        assert_eq!(reason, StopReason::MaxSteps);
+        assert_eq!(session.steps_taken(), 50);
+        assert!(session.is_complete(&opts));
+        // Resuming a complete session takes no further step.
+        assert_eq!(
+            session.resume(&mut env, &mut agent, &opts, || false),
+            StopReason::MaxSteps
+        );
+        assert_eq!(session.steps_taken(), 50);
     }
 
     #[test]

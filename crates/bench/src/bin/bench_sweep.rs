@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! bench_sweep [--out FILE] [--seeds N] [--steps N] [--reps N]
-//!             [--spec FILE] [--emit-spec FILE]
+//!             [--spec FILE] [--emit-spec FILE] [--policy P]
 //! ```
 //!
 //! "Cold" fans a multi-seed sweep out with rayon over a fresh shared
@@ -15,9 +15,14 @@
 //! campaign [`ExperimentSpec`] instead of the defaults; `--emit-spec
 //! FILE` writes the spec equivalent to whatever this invocation measured,
 //! ready for `repro run`.
+//!
+//! `--policy P` (e.g. `halving:3,0.5`) additionally races a MatMul×FIR
+//! campaign grid under that budget policy at 55 % of the evaluation spend
+//! of an exhaustive (unbounded) run of the same grid, and appends a
+//! policy record comparing best-design rewards and evaluation counts.
 
 use ax_bench::append_bench_record;
-use ax_dse::campaign::{BenchmarkSpec, ExperimentSpec, SeedRange};
+use ax_dse::campaign::{BenchmarkSpec, BudgetPolicy, Campaign, ExperimentSpec, SeedRange};
 use ax_dse::evaluator::{EvalContext, SharedCache};
 use ax_dse::explore::{AgentKind, ExploreOptions};
 use ax_dse::json::Json;
@@ -32,6 +37,7 @@ struct Config {
     reps: u32,
     spec: Option<String>,
     emit_spec: Option<String>,
+    policy: Option<String>,
 }
 
 fn parse() -> Result<Config, String> {
@@ -42,6 +48,7 @@ fn parse() -> Result<Config, String> {
         reps: 3,
         spec: None,
         emit_spec: None,
+        policy: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -69,6 +76,7 @@ fn parse() -> Result<Config, String> {
             }
             "--spec" => cfg.spec = Some(take("--spec")?),
             "--emit-spec" => cfg.emit_spec = Some(take("--emit-spec")?),
+            "--policy" => cfg.policy = Some(take("--policy")?),
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -82,7 +90,7 @@ fn main() {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: bench_sweep [--out FILE] [--seeds N] [--steps N] [--reps N] \
-                 [--spec FILE] [--emit-spec FILE]"
+                 [--spec FILE] [--emit-spec FILE] [--policy P]"
             );
             std::process::exit(1);
         }
@@ -175,4 +183,91 @@ fn main() {
     print!("{}", record.pretty());
     append_bench_record(&cfg.out, record).expect("append BENCH_sweep.json");
     eprintln!("appended to {}", cfg.out);
+
+    if let Some(policy_text) = &cfg.policy {
+        let policy = BudgetPolicy::parse_cli(policy_text).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        append_policy_record(&cfg.out, policy_text, policy, &lib, steps, seeds);
+    }
+}
+
+/// Races the MatMul×FIR campaign grid under `policy` at 55 % of the
+/// evaluation spend of an exhaustive run, and appends the comparison.
+fn append_policy_record(
+    out: &str,
+    policy_text: &str,
+    policy: BudgetPolicy,
+    lib: &ax_operators::OperatorLibrary,
+    steps: u64,
+    seeds: u64,
+) {
+    let (matmul, fir) = (
+        ax_workloads::matmul::MatMul::new(10),
+        ax_workloads::fir::Fir::new(100),
+    );
+    let agents = [AgentKind::QLearning, AgentKind::Sarsa];
+    let opts = ExploreOptions {
+        max_steps: steps,
+        ..Default::default()
+    };
+    let campaign = |budget: Option<u64>, policy: Option<BudgetPolicy>| {
+        let mut c = Campaign::new("bench-policy", lib)
+            .benchmark(&matmul)
+            .benchmark(&fir)
+            .agents(&agents)
+            .seeds(SeedRange::new(0, seeds.min(2)))
+            .options(opts);
+        if let Some(b) = budget {
+            c = c.budget(b);
+        }
+        if let Some(p) = policy {
+            c = c.policy(p);
+        }
+        c.run().expect("policy campaign must run")
+    };
+    let best_of = |report: &ax_dse::campaign::CampaignReport| {
+        report
+            .cells
+            .iter()
+            .map(|c| c.best_score)
+            .fold(f64::NEG_INFINITY, f64::max)
+    };
+
+    let exhaustive = campaign(None, None);
+    let exhaustive_evals = exhaustive.budget.spent;
+    let budget = (exhaustive_evals * 55 / 100).max(1);
+    let policed = campaign(Some(budget), Some(policy));
+    let policy_evals = policed.budget.charged();
+
+    let record = Json::obj(vec![
+        ("benchmark", Json::str("matmul-10x10 x fir-100")),
+        ("policy", Json::str(policy_text)),
+        ("seeds", Json::u64(seeds.min(2))),
+        ("max_steps", Json::u64(steps)),
+        ("threads", Json::u64(rayon::current_num_threads() as u64)),
+        ("exhaustive_evals", Json::u64(exhaustive_evals)),
+        ("policy_budget", Json::u64(budget)),
+        ("policy_evals", Json::u64(policy_evals)),
+        (
+            "evals_fraction",
+            Json::Num(format!(
+                "{:.3}",
+                policy_evals as f64 / exhaustive_evals.max(1) as f64
+            )),
+        ),
+        (
+            "best_score_exhaustive",
+            Json::Num(format!("{:.4}", best_of(&exhaustive))),
+        ),
+        (
+            "best_score_policy",
+            Json::Num(format!("{:.4}", best_of(&policed))),
+        ),
+        ("rounds", Json::u64(policed.allocations.len() as u64)),
+    ]);
+    print!("{}", record.pretty());
+    append_bench_record(out, record).expect("append policy record");
+    eprintln!("appended policy record to {out}");
 }

@@ -19,14 +19,18 @@
 //!   surrogate             two-tier (surrogate prefilter + exact confirm) vs pure-exact sweep
 //!   run SPEC.json         execute a checked-in campaign spec end-to-end
 //!                         (--smoke shrinks it for CI; --cache FILE persists the
-//!                         design cache across processes)
+//!                         design cache across processes — concurrent writers
+//!                         merge on save; --cache-cap N bounds the cache and its
+//!                         file; --policy P / --budget N override the spec's
+//!                         budget policy: uniform | weighted:S1,S2,… |
+//!                         halving:ROUNDS,KEEP)
 //!   all                   everything above
 //! ```
 
 use ax_bench::{ablations, figures, tables, OutputDir};
 use ax_dse::backend::SharedCache;
 use ax_dse::campaign::{
-    Campaign, CampaignReport, ExperimentSpec, Observer, SeedRange, TieredStats,
+    BudgetPolicy, Campaign, CampaignReport, ExperimentSpec, Observer, SeedRange, TieredStats,
 };
 use ax_dse::explore::AgentKind;
 use ax_dse::explore::ExploreOptions;
@@ -49,6 +53,9 @@ struct Args {
     reward: f64,
     smoke: bool,
     cache: Option<String>,
+    cache_cap: Option<usize>,
+    policy: Option<BudgetPolicy>,
+    budget: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -59,6 +66,9 @@ fn parse_args() -> Result<Args, String> {
     let mut reward = ExploreOptions::default().max_reward;
     let mut smoke = false;
     let mut cache = None;
+    let mut cache_cap = None;
+    let mut policy = None;
+    let mut budget = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -90,6 +100,27 @@ fn parse_args() -> Result<Args, String> {
             }
             "--smoke" => smoke = true,
             "--cache" => cache = Some(it.next().ok_or("--cache needs a file")?),
+            "--cache-cap" => {
+                cache_cap = Some(
+                    it.next()
+                        .ok_or("--cache-cap needs an entry count")?
+                        .parse()
+                        .map_err(|e| format!("bad --cache-cap: {e}"))?,
+                );
+            }
+            "--policy" => {
+                policy = Some(BudgetPolicy::parse_cli(
+                    &it.next().ok_or("--policy needs a value")?,
+                )?);
+            }
+            "--budget" => {
+                budget = Some(
+                    it.next()
+                        .ok_or("--budget needs a number")?
+                        .parse()
+                        .map_err(|e| format!("bad --budget: {e}"))?,
+                );
+            }
             "--help" | "-h" => return Err("help".into()),
             // Only `run` takes a second positional (its spec file); a stray
             // bare word after any other command is a mistake, not a spec.
@@ -118,6 +149,9 @@ fn parse_args() -> Result<Args, String> {
         reward,
         smoke,
         cache,
+        cache_cap,
+        policy,
+        budget,
     })
 }
 
@@ -193,13 +227,35 @@ fn print_campaign_report(report: &CampaignReport, out: &OutputDir) {
     );
     match report.budget.cap {
         Some(cap) => println!(
-            "budget: {} of {cap} designs spent, {} run(s) stopped by exhaustion",
-            report.budget.spent, report.budget.stopped_runs
+            "budget: {} of {cap} designs spent (+{} cooperative overshoot), \
+             {} run(s) stopped by the budget scheduler (exhaustion or elimination)",
+            report.budget.spent, report.budget.overshoot, report.budget.stopped_runs
         ),
         None => println!(
             "budget: unbounded ({} designs evaluated)",
             report.budget.spent
         ),
+    }
+    for round in &report.allocations {
+        let cells: Vec<String> = round
+            .cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "{}/{} +{} ({}{})",
+                    c.benchmark,
+                    c.agent.name(),
+                    c.granted,
+                    if c.survived { "alive" } else { "out" },
+                    if c.best_score.is_finite() {
+                        format!(", best {:.2}", c.best_score)
+                    } else {
+                        String::new()
+                    }
+                )
+            })
+            .collect();
+        println!("round {}: {}", round.round, cells.join("; "));
     }
     for p in &report.portfolios {
         let w = p.winner();
@@ -248,6 +304,14 @@ fn run_spec_file(args: &Args) {
         spec.explore.max_steps = spec.explore.max_steps.min(150);
         spec.seeds.count = spec.seeds.count.min(2);
     }
+    if let Some(budget) = args.budget {
+        spec.budget = Some(budget);
+    }
+    if let Some(policy) = &args.policy {
+        spec.policy = policy.clone();
+        spec.validate()
+            .unwrap_or_else(|e| panic!("--policy does not fit {path}: {e}"));
+    }
     if let Some(threads) = spec.parallelism {
         // The in-tree rayon shim sizes its pool from AX_THREADS; honour the
         // spec's request unless the operator already pinned it.
@@ -255,13 +319,32 @@ fn run_spec_file(args: &Args) {
             std::env::set_var("AX_THREADS", threads.to_string());
         }
     }
+    if args.cache_cap.is_some() && args.cache.is_none() {
+        panic!("--cache-cap only bounds a persistent cache; pass --cache FILE too");
+    }
+    // With --cache-cap the cache (and therefore the saved file) is bounded
+    // by the shard capacity; entries past the bound evict FIFO. Shards
+    // hold whole entries, so the effective bound is the largest
+    // shards x per-shard product at or under the requested cap.
+    let bounds = args.cache_cap.map(|cap| {
+        let cap = cap.max(1);
+        let shards = cap.min(16);
+        (shards, (cap / shards).max(1))
+    });
     let cache = args.cache.as_ref().map(|p| {
         if std::path::Path::new(p).exists() {
-            let cache = SharedCache::load(p).unwrap_or_else(|e| panic!("cannot load {p}: {e}"));
+            let cache = match bounds {
+                Some((shards, per_shard)) => SharedCache::load_bounded(p, shards, per_shard),
+                None => SharedCache::load(p),
+            }
+            .unwrap_or_else(|e| panic!("cannot load {p}: {e}"));
             eprintln!("loaded {} cached designs from {p}", cache.len());
             cache
         } else {
-            SharedCache::new()
+            match bounds {
+                Some((shards, per_shard)) => SharedCache::with_capacity(shards, per_shard),
+                None => SharedCache::new(),
+            }
         }
     });
     let lib = OperatorLibrary::evoapprox();
@@ -269,6 +352,19 @@ fn run_spec_file(args: &Args) {
         .unwrap_or_else(|e| panic!("campaign failed: {e}"));
     print_campaign_report(&report, &args.out);
     if let (Some(path), Some(cache)) = (&args.cache, &cache) {
+        // Concurrent `repro run --cache` processes race on the file: merge
+        // whatever landed on disk since we loaded, so nobody's designs are
+        // silently dropped, then write the union.
+        if std::path::Path::new(path).exists() {
+            match cache.merge_from(path) {
+                Ok(n) => {
+                    if n > 0 {
+                        eprintln!("re-merged {n} on-disk designs from {path} before saving");
+                    }
+                }
+                Err(e) => eprintln!("warning: cannot merge {path} before saving: {e}"),
+            }
+        }
         cache
             .save(path)
             .unwrap_or_else(|e| panic!("cannot save {path}: {e}"));
@@ -294,7 +390,8 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: repro [--out DIR | --no-out] [--steps N] [--seed S] <command>\n       \
-                 repro run <spec.json> [--smoke] [--cache FILE]"
+                 repro run <spec.json> [--smoke] [--cache FILE] [--cache-cap N]\n               \
+                 [--policy uniform|weighted:S1,S2,..|halving:ROUNDS,KEEP] [--budget N]"
             );
             eprintln!(
                 "commands: table1 table2 table3 fig2 fig3 fig4 ablation-explorers \

@@ -300,11 +300,58 @@ impl SharedCache {
     /// Propagates filesystem errors; malformed files surface as
     /// [`std::io::ErrorKind::InvalidData`].
     pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Arc<Self>> {
+        let cache = Self::new();
+        cache.merge_from(path)?;
+        Ok(cache)
+    }
+
+    /// Loads a cache file into a fresh **bounded** cache
+    /// ([`SharedCache::with_capacity`]), so oversized files shrink to the
+    /// bound on load and stay bounded when saved again.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; malformed files surface as
+    /// [`std::io::ErrorKind::InvalidData`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `max_entries_per_shard` is zero.
+    pub fn load_bounded(
+        path: impl AsRef<std::path::Path>,
+        shards: usize,
+        max_entries_per_shard: usize,
+    ) -> std::io::Result<Arc<Self>> {
+        let cache = Self::with_capacity(shards, max_entries_per_shard);
+        cache.merge_from(path)?;
+        Ok(cache)
+    }
+
+    /// Merges a cache file written by [`SharedCache::save`] into this
+    /// cache and returns the number of entries read.
+    ///
+    /// The merge is a union keyed by `(benchmark, input_seed)` scope and
+    /// configuration, file entries winning conflicts (last-writer-wins per
+    /// design — harmless, because evaluation is deterministic and any two
+    /// writers carry identical metrics for the same key). This is what
+    /// keeps concurrent `repro run --cache` writers from silently dropping
+    /// each other's work: merge the file again right before saving and the
+    /// written union contains both processes' designs, whichever saved
+    /// first. On a bounded cache ([`SharedCache::with_capacity`]) merged
+    /// entries respect the capacity via the normal FIFO eviction, so the
+    /// re-saved file stays bounded by `shard_capacity` too.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; malformed files surface as
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn merge_from(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<usize> {
         use crate::json::Json;
         let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
         let text = std::fs::read_to_string(path)?;
         let doc = Json::parse(&text).map_err(|e| invalid(e.to_string()))?;
-        let cache = Self::new();
+        let cache = self;
+        let mut merged = 0usize;
         let scopes = doc
             .get("scopes")
             .ok_or_else(|| invalid("cache file needs a `scopes` array".into()))?
@@ -355,9 +402,10 @@ impl SharedCache {
                     time_ns: f("time_ns")?,
                 };
                 cache.insert(scope, config, metrics);
+                merged += 1;
             }
         }
-        Ok(cache)
+        Ok(merged)
     }
 }
 
@@ -497,6 +545,79 @@ mod tests {
         );
         let _ = std::fs::remove_file(path);
         let _ = std::fs::remove_file(path2);
+    }
+
+    #[test]
+    fn merge_from_unions_concurrent_writers() {
+        // Two processes load the same (empty) state, cache disjoint work
+        // and save to the same file; whoever merges before saving keeps
+        // both sides' designs instead of silently dropping the other's.
+        let path = std::env::temp_dir().join("ax_dse_cache_merge.json");
+        let writer_a = SharedCache::new();
+        let a_scope = writer_a.scope("bench-a", 1);
+        for i in 0..10u64 {
+            writer_a.insert(a_scope, config(i), metrics(i as f64));
+        }
+        writer_a.save(&path).unwrap();
+
+        // Writer B worked concurrently on another benchmark plus one
+        // overlapping design; it merges the file before saving.
+        let writer_b = SharedCache::new();
+        let b_scope = writer_b.scope("bench-b", 2);
+        for i in 0..5u64 {
+            writer_b.insert(b_scope, config(i), metrics(100.0 + i as f64));
+        }
+        let overlap = writer_b.scope("bench-a", 1);
+        writer_b.insert(overlap, config(3), metrics(3.0));
+        let merged = writer_b.merge_from(&path).unwrap();
+        assert_eq!(merged, 10);
+        writer_b.save(&path).unwrap();
+
+        let union = SharedCache::load(&path).unwrap();
+        assert_eq!(union.len(), 15, "10 from A + 5 from B, overlap deduped");
+        let sa = union.scope("bench-a", 1);
+        let sb = union.scope("bench-b", 2);
+        assert_eq!(union.get(sa, &config(7)), Some(metrics(7.0)), "A's work");
+        assert_eq!(union.get(sb, &config(4)), Some(metrics(104.0)), "B's work");
+        assert_eq!(union.get(sa, &config(3)), Some(metrics(3.0)), "overlap");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn merge_from_is_last_writer_wins_per_design() {
+        let path = std::env::temp_dir().join("ax_dse_cache_lww.json");
+        let disk = SharedCache::new();
+        let scope = disk.scope("bench", 0);
+        disk.insert(scope, config(1), metrics(42.0));
+        disk.save(&path).unwrap();
+        let mem = SharedCache::new();
+        let m_scope = mem.scope("bench", 0);
+        mem.insert(m_scope, config(1), metrics(-1.0));
+        mem.merge_from(&path).unwrap();
+        // The file was written after this process loaded: its entry wins.
+        assert_eq!(mem.get(m_scope, &config(1)), Some(metrics(42.0)));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn bounded_load_and_save_keep_the_file_bounded() {
+        // An unbounded writer produced an oversized file; loading it into
+        // a bounded cache shrinks it to the capacity, and the re-saved
+        // file respects the shard_capacity bound.
+        let path = std::env::temp_dir().join("ax_dse_cache_bounded.json");
+        let big = SharedCache::new();
+        let scope = big.scope("bench", 0);
+        for i in 0..100u64 {
+            big.insert(scope, config(i), metrics(i as f64));
+        }
+        big.save(&path).unwrap();
+        let bounded = SharedCache::load_bounded(&path, 4, 8).unwrap();
+        assert!(bounded.len() <= 32, "load respects the bound");
+        assert!(bounded.evictions() > 0);
+        bounded.save(&path).unwrap();
+        let reloaded = SharedCache::load(&path).unwrap();
+        assert!(reloaded.len() <= 32, "the on-disk file is bounded too");
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

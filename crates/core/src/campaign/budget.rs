@@ -1,4 +1,5 @@
-//! Global evaluation budgets, enforced cooperatively across workers.
+//! Global and per-cell evaluation budgets, enforced cooperatively across
+//! workers.
 
 use crate::backend::{EvalBackend, EvalMetrics};
 use crate::config::{AxConfig, SpaceDims};
@@ -6,7 +7,10 @@ use ax_vm::VmError;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// A shared campaign-wide evaluation budget.
+/// Sentinel stored in [`EvalBudget`]'s atomic cap for "unbounded".
+const UNBOUNDED: u64 = u64::MAX;
+
+/// A shared campaign-wide (or per-cell) evaluation budget.
 ///
 /// The unit is **distinct designs resolved per run**: every configuration a
 /// run's backend answers for the first time (interpreter execution, shared
@@ -14,12 +18,20 @@ use std::sync::Arc;
 /// unit, as measured by the growth of
 /// [`EvalBackend::distinct_evaluations`]. Enforcement is *cooperative*:
 /// [`MeteredBackend`] charges after the fact and the exploration loop polls
-/// [`EvalBudget::exhausted`] between steps, so concurrent workers may
-/// overshoot the cap by at most one step's worth of evaluations each —
-/// bounded, and in exchange no run is ever pre-empted mid-transition.
+/// [`EvalBudget::exhausted`] between steps, so each concurrent worker may
+/// overshoot the cap by at most one step's worth of evaluations —
+/// `charge` is post-hoc and `Relaxed`, so the *aggregate* overshoot is
+/// bounded by `workers × one step`, never unbounded. [`EvalBudget::spent`]
+/// reports the raw (overshooting) total; [`EvalBudget::spent_clamped`] and
+/// [`EvalBudget::overshoot`] split it against the cap.
+///
+/// The cap is adjustable: a round-based scheduler grants a cell more
+/// budget between rounds via [`EvalBudget::raise_cap`] (see
+/// [`CellLedger`]).
 #[derive(Debug)]
 pub struct EvalBudget {
-    cap: Option<u64>,
+    /// The cap; [`UNBOUNDED`] means no cap.
+    cap: AtomicU64,
     spent: AtomicU64,
     tripped: AtomicBool,
 }
@@ -28,7 +40,7 @@ impl EvalBudget {
     /// A budget with the given cap (`None` = unbounded, counting only).
     pub fn new(cap: Option<u64>) -> Arc<Self> {
         Arc::new(Self {
-            cap,
+            cap: AtomicU64::new(cap.unwrap_or(UNBOUNDED)),
             spent: AtomicU64::new(0),
             tripped: AtomicBool::new(false),
         })
@@ -36,12 +48,37 @@ impl EvalBudget {
 
     /// The cap, if any.
     pub fn cap(&self) -> Option<u64> {
-        self.cap
+        let cap = self.cap.load(Ordering::Relaxed);
+        (cap != UNBOUNDED).then_some(cap)
     }
 
-    /// Units charged so far.
+    /// Raises the cap by `extra` units. No-op on an unbounded budget.
+    pub fn raise_cap(&self, extra: u64) {
+        let _ = self
+            .cap
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cap| {
+                (cap != UNBOUNDED).then(|| cap.saturating_add(extra).min(UNBOUNDED - 1))
+            });
+    }
+
+    /// Units charged so far — the raw total, which may exceed the cap by
+    /// the documented cooperative overshoot.
     pub fn spent(&self) -> u64 {
         self.spent.load(Ordering::Relaxed)
+    }
+
+    /// Units charged, clamped to the cap: what the budget *granted*.
+    pub fn spent_clamped(&self) -> u64 {
+        match self.cap() {
+            Some(cap) => self.spent().min(cap),
+            None => self.spent(),
+        }
+    }
+
+    /// Units charged beyond the cap (0 for unbounded budgets). Bounded by
+    /// one step's worth of evaluations per concurrent worker.
+    pub fn overshoot(&self) -> u64 {
+        self.cap().map_or(0, |cap| self.spent().saturating_sub(cap))
     }
 
     /// Charges `n` units.
@@ -53,7 +90,7 @@ impl EvalBudget {
 
     /// `true` once spending has reached the cap.
     pub fn exhausted(&self) -> bool {
-        self.cap.is_some_and(|cap| self.spent() >= cap)
+        self.cap().is_some_and(|cap| self.spent() >= cap)
     }
 
     /// Like [`EvalBudget::exhausted`], but `true` only for the first
@@ -64,25 +101,147 @@ impl EvalBudget {
     }
 }
 
-/// An [`EvalBackend`] decorator that charges an [`EvalBudget`] for every
-/// distinct design its inner backend resolves.
+/// Splits a global [`EvalBudget`] into per-cell sub-budgets.
+///
+/// A *cell* is one (benchmark, agent) pair of a campaign grid. Each cell
+/// owns an [`EvalBudget`] whose cap starts at zero (when the global budget
+/// is bounded) and grows by [`CellLedger::grant`] as the scheduler
+/// allocates rounds; every run charges its cell's budget *and* the global
+/// one (via [`MeteredBackend::with_budgets`]), so the global cap stays the
+/// hard ceiling whatever the per-cell split. When the global budget is
+/// unbounded, cells are unbounded too and the ledger only counts.
+///
+/// Reallocation falls out of the accounting: a scheduler that grants each
+/// round from [`CellLedger::remaining_global`] automatically hands the
+/// unspent allocation of eliminated (or naturally finished) cells to the
+/// survivors of later rounds.
+#[derive(Debug)]
+pub struct CellLedger {
+    global: Arc<EvalBudget>,
+    cells: Vec<Arc<EvalBudget>>,
+}
+
+impl CellLedger {
+    /// A ledger over `n_cells` cells charging `global`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cells` is zero.
+    pub fn new(global: Arc<EvalBudget>, n_cells: usize) -> Self {
+        assert!(n_cells > 0, "a ledger needs at least one cell");
+        let cell_cap = global.cap().map(|_| 0);
+        let cells = (0..n_cells).map(|_| EvalBudget::new(cell_cap)).collect();
+        Self { global, cells }
+    }
+
+    /// The global budget the ledger splits.
+    pub fn global(&self) -> &Arc<EvalBudget> {
+        &self.global
+    }
+
+    /// The sub-budget of cell `i`.
+    pub fn cell(&self, i: usize) -> &Arc<EvalBudget> {
+        &self.cells[i]
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `false`: a ledger always has at least one cell.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Grants cell `i` another `units` of budget.
+    pub fn grant(&self, i: usize, units: u64) {
+        self.cells[i].raise_cap(units);
+    }
+
+    /// Global budget still unallocated-or-unspent: `cap − spent`
+    /// (saturating; `None` when unbounded).
+    pub fn remaining_global(&self) -> Option<u64> {
+        self.global
+            .cap()
+            .map(|cap| cap.saturating_sub(self.global.spent()))
+    }
+
+    /// Splits `total` into `n` near-equal integer grants; the first
+    /// `total % n` grants take the remainder, one unit each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn split_even(total: u64, n: usize) -> Vec<u64> {
+        assert!(n > 0, "cannot split a budget over zero cells");
+        let n64 = n as u64;
+        let (base, rem) = (total / n64, total % n64);
+        (0..n64).map(|i| base + u64::from(i < rem)).collect()
+    }
+
+    /// Splits `total` proportionally to `shares` using largest-remainder
+    /// rounding (ties resolve to the earlier cell), so the grants sum to
+    /// exactly `total`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shares` is empty or contains a non-finite or
+    /// non-positive share.
+    pub fn split_weighted(total: u64, shares: &[f64]) -> Vec<u64> {
+        assert!(!shares.is_empty(), "cannot split a budget over no shares");
+        let sum: f64 = shares.iter().sum();
+        assert!(
+            shares.iter().all(|s| s.is_finite() && *s > 0.0),
+            "budget shares must be finite and positive"
+        );
+        let exact: Vec<f64> = shares.iter().map(|s| total as f64 * s / sum).collect();
+        let mut grants: Vec<u64> = exact.iter().map(|e| e.floor() as u64).collect();
+        let mut leftover = total - grants.iter().sum::<u64>();
+        // Largest fractional parts first; stable sort keeps earlier cells
+        // ahead on ties.
+        let mut order: Vec<usize> = (0..shares.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (fa, fb) = (exact[a] - exact[a].floor(), exact[b] - exact[b].floor());
+            fb.total_cmp(&fa)
+        });
+        let mut next = 0usize;
+        while leftover > 0 {
+            grants[order[next % order.len()]] += 1;
+            next += 1;
+            leftover -= 1;
+        }
+        grants
+    }
+}
+
+/// An [`EvalBackend`] decorator that charges one or more [`EvalBudget`]s
+/// for every distinct design its inner backend resolves.
 ///
 /// Results are bit-identical to the inner backend's — metering observes,
 /// never intercepts — so wrapping an exact sweep in a `MeteredBackend`
-/// with an unbounded budget changes nothing but the accounting.
+/// with an unbounded budget changes nothing but the accounting. The
+/// multi-budget form is how a campaign cell charges its own sub-budget and
+/// the global budget with one decorator.
 #[derive(Debug)]
 pub struct MeteredBackend<B: EvalBackend> {
     inner: B,
-    budget: Arc<EvalBudget>,
+    budgets: Vec<Arc<EvalBudget>>,
     charged: u64,
 }
 
 impl<B: EvalBackend> MeteredBackend<B> {
     /// Wraps `inner`, charging `budget`.
     pub fn new(inner: B, budget: Arc<EvalBudget>) -> Self {
+        Self::with_budgets(inner, vec![budget])
+    }
+
+    /// Wraps `inner`, charging every budget in `budgets` (e.g. a cell's
+    /// sub-budget plus the campaign's global budget).
+    pub fn with_budgets(inner: B, budgets: Vec<Arc<EvalBudget>>) -> Self {
         Self {
             inner,
-            budget,
+            budgets,
             charged: 0,
         }
     }
@@ -97,15 +256,23 @@ impl<B: EvalBackend> MeteredBackend<B> {
         self.inner
     }
 
-    /// Units this backend has charged to the budget.
+    /// Units this backend has charged to each of its budgets.
     pub fn charged(&self) -> u64 {
         self.charged
+    }
+
+    /// `true` once any charged budget is exhausted — the stop signal a
+    /// metered run polls.
+    pub fn any_exhausted(&self) -> bool {
+        self.budgets.iter().any(|b| b.exhausted())
     }
 
     fn settle(&mut self, before: u64) {
         let delta = self.inner.distinct_evaluations().saturating_sub(before);
         self.charged += delta;
-        self.budget.charge(delta);
+        for budget in &self.budgets {
+            budget.charge(delta);
+        }
     }
 }
 
@@ -200,6 +367,25 @@ mod tests {
     }
 
     #[test]
+    fn multi_budget_metering_charges_every_budget() {
+        let cell = EvalBudget::new(Some(5));
+        let global = EvalBudget::new(Some(100));
+        let mut metered =
+            MeteredBackend::with_budgets(exact(), vec![Arc::clone(&cell), Arc::clone(&global)]);
+        let configs = AxConfig::enumerate(metered.dims());
+        for c in configs.iter().take(7) {
+            metered.evaluate(c).unwrap();
+        }
+        assert_eq!(cell.spent(), 7);
+        assert_eq!(global.spent(), 7);
+        assert_eq!(metered.charged(), 7);
+        assert!(metered.any_exhausted(), "the cell budget is over its cap");
+        assert!(!global.exhausted());
+        assert_eq!(cell.spent_clamped(), 5);
+        assert_eq!(cell.overshoot(), 2);
+    }
+
+    #[test]
     fn trip_fires_once() {
         let budget = EvalBudget::new(Some(1));
         assert!(!budget.trip(), "not yet exhausted");
@@ -215,5 +401,104 @@ mod tests {
         budget.charge(u64::MAX / 2);
         assert!(!budget.exhausted());
         assert_eq!(budget.cap(), None);
+        assert_eq!(budget.overshoot(), 0);
+        assert_eq!(budget.spent_clamped(), budget.spent());
+        budget.raise_cap(10);
+        assert_eq!(budget.cap(), None, "unbounded budgets stay unbounded");
+    }
+
+    #[test]
+    fn raise_cap_extends_a_bounded_budget() {
+        let budget = EvalBudget::new(Some(0));
+        budget.charge(3);
+        assert!(budget.exhausted());
+        assert_eq!(budget.spent_clamped(), 0);
+        assert_eq!(budget.overshoot(), 3);
+        budget.raise_cap(10);
+        assert_eq!(budget.cap(), Some(10));
+        assert!(!budget.exhausted());
+        assert_eq!(budget.spent_clamped(), 3);
+        assert_eq!(budget.overshoot(), 0);
+    }
+
+    #[test]
+    fn concurrent_overshoot_is_bounded_by_one_step_per_worker() {
+        // The documented contract: post-hoc charging with a poll between
+        // steps lets every worker overshoot by at most one step's worth.
+        // Workers charge only after observing a non-exhausted budget, so
+        // the aggregate overshoot is <= workers x step_cost.
+        const WORKERS: u64 = 8;
+        const STEP_COST: u64 = 3;
+        const CAP: u64 = 1_000;
+        let budget = EvalBudget::new(Some(CAP));
+        std::thread::scope(|s| {
+            for _ in 0..WORKERS {
+                s.spawn(|| {
+                    while !budget.exhausted() {
+                        budget.charge(STEP_COST);
+                    }
+                });
+            }
+        });
+        let raw = budget.spent();
+        assert!(raw >= CAP, "every worker runs until exhaustion");
+        assert!(
+            raw <= CAP + WORKERS * STEP_COST,
+            "aggregate overshoot {raw} exceeds the {WORKERS} x {STEP_COST} bound"
+        );
+        assert_eq!(budget.spent_clamped(), CAP);
+        assert_eq!(budget.overshoot(), raw - CAP);
+    }
+
+    #[test]
+    fn ledger_splits_and_rolls_up_to_the_global_budget() {
+        let global = EvalBudget::new(Some(100));
+        let ledger = CellLedger::new(Arc::clone(&global), 4);
+        assert_eq!(ledger.len(), 4);
+        assert!(!ledger.is_empty());
+        for (i, units) in CellLedger::split_even(100, 4).into_iter().enumerate() {
+            ledger.grant(i, units);
+        }
+        for i in 0..4 {
+            assert_eq!(ledger.cell(i).cap(), Some(25));
+        }
+        // A cell's spending counts against the global pool.
+        ledger.cell(0).charge(25);
+        global.charge(25);
+        assert!(ledger.cell(0).exhausted());
+        assert_eq!(ledger.remaining_global(), Some(75));
+    }
+
+    #[test]
+    fn unbounded_ledger_cells_are_unbounded() {
+        let ledger = CellLedger::new(EvalBudget::new(None), 3);
+        assert_eq!(ledger.cell(1).cap(), None);
+        assert_eq!(ledger.remaining_global(), None);
+        ledger.grant(1, 10);
+        assert_eq!(ledger.cell(1).cap(), None);
+    }
+
+    #[test]
+    fn split_even_distributes_the_remainder_first() {
+        assert_eq!(CellLedger::split_even(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(CellLedger::split_even(8, 4), vec![2, 2, 2, 2]);
+        assert_eq!(CellLedger::split_even(2, 4), vec![1, 1, 0, 0]);
+        assert_eq!(CellLedger::split_even(0, 3), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn split_weighted_sums_exactly_and_follows_shares() {
+        let grants = CellLedger::split_weighted(100, &[1.0, 1.0, 2.0]);
+        assert_eq!(grants.iter().sum::<u64>(), 100);
+        assert_eq!(grants, vec![25, 25, 50]);
+        let uneven = CellLedger::split_weighted(10, &[1.0, 1.0, 1.0]);
+        assert_eq!(uneven.iter().sum::<u64>(), 10);
+        assert_eq!(uneven, vec![4, 3, 3], "largest remainders win, ties first");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn split_weighted_rejects_bad_shares() {
+        let _ = CellLedger::split_weighted(10, &[1.0, -2.0]);
     }
 }

@@ -1,10 +1,10 @@
 //! The polymorphic campaign driver.
 
 use crate::backend::{EvalBackend, EvalContext, Evaluator, SharedCache};
-use crate::campaign::budget::{EvalBudget, MeteredBackend};
-use crate::campaign::spec::{ExperimentSpec, SeedRange};
+use crate::campaign::budget::{CellLedger, EvalBudget, MeteredBackend};
+use crate::campaign::spec::{BudgetPolicy, ExperimentSpec, SeedRange};
 use crate::explore::{
-    explore_backend, explore_backend_with_stop, AgentKind, ExplorationOutcome, ExploreOptions,
+    explore_backend, AgentKind, ExplorationOutcome, ExploreOptions, ResumableExploration,
 };
 use crate::sweep::{summarize_outcomes, PortfolioEntry, PortfolioOutcome, SweepSummary};
 use ax_agents::train::StopReason;
@@ -194,8 +194,12 @@ pub struct CellReport {
     pub tier: Option<TieredStats>,
     /// Budget units (distinct designs) this cell charged.
     pub evaluations: u64,
-    /// Runs of this cell stopped by budget exhaustion.
+    /// Runs of this cell stopped by budget exhaustion (or elimination).
     pub stopped_runs: u64,
+    /// Best design solution score any of the cell's runs observed (the
+    /// [`crate::search_adapter::solution_score`] scalarisation) — the
+    /// signal the successive-halving scheduler ranks cells by.
+    pub best_score: f64,
 }
 
 /// Budget accounting of a finished campaign.
@@ -203,8 +207,15 @@ pub struct CellReport {
 pub struct BudgetReport {
     /// The global cap, if one was set.
     pub cap: Option<u64>,
-    /// Units charged across all runs.
+    /// Units charged across all runs, **clamped to the cap**: what the
+    /// budget granted. The cooperative overshoot (post-hoc charging, one
+    /// step per worker at most) is reported separately in
+    /// [`BudgetReport::overshoot`], so `spent` never reads as a campaign
+    /// spending more than it was given.
     pub spent: u64,
+    /// Units charged beyond the cap before the workers observed
+    /// exhaustion — bounded by one step's worth of evaluations per run.
+    pub overshoot: u64,
     /// Runs that ended with [`StopReason::Stopped`].
     pub stopped_runs: u64,
 }
@@ -213,6 +224,50 @@ impl BudgetReport {
     /// `true` if the campaign ran out of budget.
     pub fn exhausted(&self) -> bool {
         self.cap.is_some_and(|cap| self.spent >= cap)
+    }
+
+    /// Total units actually charged, overshoot included.
+    pub fn charged(&self) -> u64 {
+        self.spent + self.overshoot
+    }
+}
+
+/// One cell's allocation state at the end of a scheduler round.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellAllocation {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// The learning algorithm.
+    pub agent: AgentKind,
+    /// Budget units granted to this cell *this round* (0 for eliminated
+    /// cells and unbounded campaigns).
+    pub granted: u64,
+    /// Cumulative units the cell has charged by the end of the round.
+    pub spent: u64,
+    /// Best design solution score the cell's runs have observed so far.
+    pub best_score: f64,
+    /// `true` if the cell is still in the race after this round's ranking.
+    pub survived: bool,
+}
+
+/// Per-round budget-allocation accounting of a campaign.
+///
+/// Single-round policies with a cap produce one report; successive
+/// halving produces one per round, recording grants, spend, the ranking
+/// signal and which cells survived. Unbounded single-round campaigns have
+/// nothing to allocate and record none.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AllocationReport {
+    /// Round index (0-based).
+    pub round: u32,
+    /// Every cell of the grid, benchmark-major in input order.
+    pub cells: Vec<CellAllocation>,
+}
+
+impl AllocationReport {
+    /// Cells still alive after this round.
+    pub fn survivors(&self) -> usize {
+        self.cells.iter().filter(|c| c.survived).count()
     }
 }
 
@@ -228,6 +283,9 @@ pub struct CampaignReport {
     pub portfolios: Vec<PortfolioOutcome>,
     /// Global budget accounting.
     pub budget: BudgetReport,
+    /// Per-round budget allocations (empty for unbounded single-round
+    /// campaigns).
+    pub allocations: Vec<AllocationReport>,
     /// Tier usage summed across every run (`None` for exact campaigns).
     pub tier: Option<TieredStats>,
 }
@@ -299,6 +357,7 @@ pub struct Campaign<'a> {
     seeds: SeedRange,
     opts: ExploreOptions,
     budget: Option<u64>,
+    policy: BudgetPolicy,
     sequential: bool,
     cache: Option<Arc<SharedCache>>,
     observer: &'a dyn Observer,
@@ -320,6 +379,7 @@ impl<'a> Campaign<'a> {
             seeds: SeedRange::default(),
             opts: ExploreOptions::default(),
             budget: None,
+            policy: BudgetPolicy::Uniform,
             sequential: false,
             cache: None,
             observer: &NullObserver,
@@ -349,6 +409,7 @@ impl<'a> Campaign<'a> {
         campaign.spec_backend = Some(spec.backend);
         campaign = campaign
             .options(spec.explore)
+            .policy(spec.policy.clone())
             .sequential(spec.parallelism == Some(1));
         campaign.budget = spec.budget;
         for wl in workloads {
@@ -397,6 +458,14 @@ impl<'a> Campaign<'a> {
     #[must_use]
     pub fn budget(mut self, budget: u64) -> Self {
         self.budget = Some(budget);
+        self
+    }
+
+    /// Sets how the budget is divided across (benchmark, agent) cells
+    /// (default: [`BudgetPolicy::Uniform`] even shares).
+    #[must_use]
+    pub fn policy(mut self, policy: BudgetPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -452,14 +521,27 @@ impl<'a> Campaign<'a> {
 
     /// Runs the campaign through an arbitrary [`BackendProvider`].
     ///
+    /// Execution is round-based: the global [`EvalBudget`] is split into
+    /// per-cell sub-budgets by the configured [`BudgetPolicy`] (a
+    /// [`CellLedger`]), every run charges its cell's budget *and* the
+    /// global one, and explorations pause cooperatively at step boundaries
+    /// when either is exhausted. Single-round policies grant everything up
+    /// front; [`BudgetPolicy::SuccessiveHalving`] grants round by round,
+    /// ranking the surviving cells by their best design's solution score
+    /// after each round and reallocating the unspent budget of eliminated
+    /// (or naturally finished) cells to the survivors — the runs
+    /// themselves are [`ResumableExploration`]s, so survivors continue
+    /// with all learned state intact.
+    ///
     /// # Errors
     ///
     /// Fails if a benchmark cannot be prepared.
     ///
     /// # Panics
     ///
-    /// Panics on an empty benchmark list, empty agent roster or empty
-    /// seed range.
+    /// Panics on an empty benchmark list, empty agent roster, empty seed
+    /// range or a budget policy that does not fit the grid (see
+    /// [`BudgetPolicy::check`]).
     pub fn run_with<P: BackendProvider>(&self, provider: &P) -> Result<CampaignReport, VmError> {
         assert!(
             !self.benchmarks.is_empty(),
@@ -470,11 +552,15 @@ impl<'a> Campaign<'a> {
             "portfolio needs at least one agent"
         );
         assert!(self.seeds.count > 0, "need at least one seed");
+        let n_cells = self.benchmarks.len() * self.agents.len();
+        self.policy
+            .check(n_cells, self.budget)
+            .unwrap_or_else(|e| panic!("{e}"));
 
-        let total_runs = self.benchmarks.len() as u64 * self.agents.len() as u64 * self.seeds.count;
+        let total_runs = n_cells as u64 * self.seeds.count;
         self.observer.on_campaign_start(&self.name, total_runs);
 
-        let budget = EvalBudget::new(self.budget);
+        let global = EvalBudget::new(self.budget);
         let lib = Arc::new(self.lib.clone());
         let cache = self.cache.clone().unwrap_or_else(SharedCache::new);
 
@@ -491,60 +577,185 @@ impl<'a> Campaign<'a> {
         }
         let shared: Vec<P::Shared> = contexts.iter().map(|c| provider.prepare(c)).collect();
 
-        // The flattened run grid, benchmark-major / agent / seed — the
-        // order every report slice below relies on.
-        let mut runs: Vec<(usize, usize, u64)> = Vec::with_capacity(total_runs as usize);
-        for b in 0..self.benchmarks.len() {
-            for a in 0..self.agents.len() {
+        let ledger = CellLedger::new(Arc::clone(&global), n_cells);
+        let (rounds, keep_fraction) = match &self.policy {
+            BudgetPolicy::SuccessiveHalving {
+                rounds,
+                keep_fraction,
+            } => (*rounds as usize, *keep_fraction),
+            _ => (1, 1.0),
+        };
+
+        // One resumable run per grid point, benchmark-major / agent /
+        // seed — the order every report slice below relies on. Starting a
+        // run evaluates nothing, so building the whole grid up front is
+        // free.
+        let mut slots: Vec<RunSlot<P::Backend>> = Vec::with_capacity(total_runs as usize);
+        for (b, ctx) in contexts.iter().enumerate() {
+            for (a, &kind) in self.agents.iter().enumerate() {
+                let cell = b * self.agents.len() + a;
                 for seed in self.seeds.iter() {
-                    runs.push((b, a, seed));
+                    let run_opts = ExploreOptions { seed, ..self.opts };
+                    let backend = MeteredBackend::with_budgets(
+                        provider.spawn(&shared[b], ctx),
+                        vec![Arc::clone(ledger.cell(cell)), Arc::clone(&global)],
+                    );
+                    slots.push(RunSlot {
+                        cell,
+                        kind,
+                        seed,
+                        run: ResumableExploration::start(backend, ctx.benchmark(), &run_opts, kind),
+                        notified: false,
+                    });
                 }
             }
         }
 
-        // Bind the Sync pieces the workers need so the fan-out closure does
-        // not capture `self` (whose `&dyn Workload` references are not
-        // required to be `Sync` — they are only touched during preparation).
-        let agents = &self.agents;
-        let opts = self.opts;
         let observer = self.observer;
-        let contexts = &contexts;
-        let shared = &shared;
-        let budget = &budget;
-        let do_run = move |&(b, a, seed): &(usize, usize, u64)| {
-            let ctx = &contexts[b];
-            let run_opts = ExploreOptions { seed, ..opts };
-            let backend = MeteredBackend::new(provider.spawn(&shared[b], ctx), Arc::clone(budget));
-            let outcome = explore_backend_with_stop(
-                backend,
-                ctx.library(),
-                ctx.benchmark(),
-                &run_opts,
-                agents[a],
-                || budget.exhausted(),
-            );
-            if budget.trip() {
-                observer.on_budget_exhausted(budget.spent());
+        let mut alive = vec![true; n_cells];
+        let mut cell_best = vec![f64::NEG_INFINITY; n_cells];
+        let mut allocations: Vec<AllocationReport> = Vec::new();
+        for round in 0..rounds {
+            // Grant this round's allocations (bounded campaigns only).
+            // Successive halving draws each round from what the previous
+            // rounds left unspent, and grants only to surviving cells that
+            // still have runs to resume — eliminated and naturally
+            // finished cells stop drawing, so their share funds the
+            // survivors instead of stranding in a grant nobody uses.
+            let alive_cells: Vec<usize> = (0..n_cells).filter(|&c| alive[c]).collect();
+            let mut granted = vec![0u64; n_cells];
+            if global.cap().is_some() {
+                let mut incomplete = vec![false; n_cells];
+                for slot in &slots {
+                    if !slot.run.is_complete() {
+                        incomplete[slot.cell] = true;
+                    }
+                }
+                let targets: Vec<usize> = match &self.policy {
+                    // Weighted is single-round: the shares map onto the
+                    // whole grid (every run is still fresh in round 0).
+                    BudgetPolicy::Weighted(_) => alive_cells.clone(),
+                    _ => alive_cells
+                        .iter()
+                        .copied()
+                        .filter(|&c| incomplete[c])
+                        .collect(),
+                };
+                if !targets.is_empty() {
+                    let pool = ledger.remaining_global().unwrap_or(0);
+                    let round_pool = pool / (rounds - round) as u64;
+                    let grants = match &self.policy {
+                        BudgetPolicy::Weighted(shares) => {
+                            CellLedger::split_weighted(round_pool, shares)
+                        }
+                        _ => CellLedger::split_even(round_pool, targets.len()),
+                    };
+                    for (&cell, &units) in targets.iter().zip(&grants) {
+                        ledger.grant(cell, units);
+                        granted[cell] = units;
+                    }
+                }
             }
-            observer.on_run_complete(
-                ctx.benchmark(),
-                agents[a],
-                seed,
-                outcome.stop_reason,
-                outcome.summary.steps,
-            );
-            outcome
-        };
-        let outcomes: Vec<ExplorationOutcome<MeteredBackend<P::Backend>>> = if self.sequential {
-            runs.iter().map(do_run).collect()
-        } else {
-            runs.into_par_iter().map(|run| do_run(&run)).collect()
-        };
+
+            // Resume every incomplete run of a surviving cell until its
+            // budgets run dry or it finishes naturally. A run that has
+            // never stepped always takes its first step (the cooperative
+            // overshoot contract, at most one step per run), so traces are
+            // never empty.
+            let ledger_ref = &ledger;
+            let global_ref = &global;
+            let alive_ref = &alive;
+            let resume_one = |slot: &mut RunSlot<P::Backend>| {
+                if !alive_ref[slot.cell] || slot.run.is_complete() {
+                    return;
+                }
+                let cell_budget = ledger_ref.cell(slot.cell);
+                let fresh = slot.run.steps_taken() == 0;
+                if fresh || !(cell_budget.exhausted() || global_ref.exhausted()) {
+                    slot.run
+                        .resume(|| cell_budget.exhausted() || global_ref.exhausted());
+                }
+                if global_ref.trip() {
+                    observer.on_budget_exhausted(global_ref.spent());
+                }
+                if slot.run.is_complete() && !slot.notified {
+                    slot.notified = true;
+                    observer.on_run_complete(
+                        slot.run.benchmark(),
+                        slot.kind,
+                        slot.seed,
+                        slot.run.stop_reason(),
+                        slot.run.steps_taken(),
+                    );
+                }
+            };
+            if self.sequential {
+                for slot in slots.iter_mut() {
+                    resume_one(slot);
+                }
+            } else {
+                slots.par_iter_mut().for_each(resume_one);
+            }
+
+            // Rank the surviving cells by their best design's solution
+            // score and keep the top `keep_fraction` (never after the
+            // final round; at least one cell always survives). The
+            // campaign-lifetime maxima accumulate across rounds and feed
+            // the final cell reports too.
+            for slot in &mut slots {
+                cell_best[slot.cell] = cell_best[slot.cell].max(slot.run.best_score());
+            }
+            if round + 1 < rounds {
+                let mut ranked = alive_cells.clone();
+                // Stable sort: ties keep the earlier (lower-index) cell.
+                ranked.sort_by(|&a, &b| cell_best[b].total_cmp(&cell_best[a]));
+                let keep =
+                    ((ranked.len() as f64 * keep_fraction).ceil() as usize).clamp(1, ranked.len());
+                for &cell in &ranked[keep..] {
+                    alive[cell] = false;
+                }
+            }
+
+            // Record the round. Unbounded single-round campaigns have
+            // nothing to allocate and skip the report.
+            if global.cap().is_some() || rounds > 1 {
+                allocations.push(AllocationReport {
+                    round: round as u32,
+                    cells: (0..n_cells)
+                        .map(|c| CellAllocation {
+                            benchmark: contexts[c / self.agents.len()].benchmark().to_owned(),
+                            agent: self.agents[c % self.agents.len()],
+                            granted: granted[c],
+                            spent: ledger.cell(c).spent(),
+                            best_score: cell_best[c],
+                            survived: alive[c],
+                        })
+                        .collect(),
+                });
+            }
+        }
+
+        // Close out runs the rounds never finished (budget-stopped or
+        // eliminated): every run notifies exactly once.
+        for slot in &mut slots {
+            if !slot.notified {
+                slot.notified = true;
+                observer.on_run_complete(
+                    slot.run.benchmark(),
+                    slot.kind,
+                    slot.seed,
+                    slot.run.stop_reason(),
+                    slot.run.steps_taken(),
+                );
+            }
+        }
+        let outcomes: Vec<ExplorationOutcome<MeteredBackend<P::Backend>>> =
+            slots.into_iter().map(|s| s.run.finish(self.lib)).collect();
 
         // Aggregate the grid back into cells and per-benchmark portfolios.
         let seeds_per_cell = self.seeds.count as usize;
         let runs_per_bench = self.agents.len() * seeds_per_cell;
-        let mut cells = Vec::with_capacity(self.benchmarks.len() * self.agents.len());
+        let mut cells = Vec::with_capacity(n_cells);
         let mut portfolios = Vec::with_capacity(self.benchmarks.len());
         let mut tier_total: Option<TieredStats> = None;
         let mut total_stopped = 0u64;
@@ -580,6 +791,9 @@ impl<'a> Campaign<'a> {
                     tier,
                     evaluations,
                     stopped_runs: stopped,
+                    // The rounds loop accumulated the lifetime maximum; no
+                    // run advances after its last resume.
+                    best_score: cell_best[b * self.agents.len() + a],
                 });
             }
             let mut best = 0;
@@ -601,15 +815,27 @@ impl<'a> Campaign<'a> {
             cells,
             portfolios,
             budget: BudgetReport {
-                cap: budget.cap(),
-                spent: budget.spent(),
+                cap: global.cap(),
+                spent: global.spent_clamped(),
+                overshoot: global.overshoot(),
                 stopped_runs: total_stopped,
             },
+            allocations,
             tier: tier_total,
         };
         self.observer.on_campaign_complete(&report);
         Ok(report)
     }
+}
+
+/// One grid point of a running campaign: the cell it charges, its
+/// identity, and the pausable exploration itself.
+struct RunSlot<B: EvalBackend + Send> {
+    cell: usize,
+    kind: AgentKind,
+    seed: u64,
+    run: ResumableExploration<MeteredBackend<B>>,
+    notified: bool,
 }
 
 /// Builds one portfolio entry from a finished run, with the same
@@ -768,7 +994,7 @@ mod tests {
             .run()
             .unwrap();
         assert!(report.budget.exhausted(), "{:?}", report.budget);
-        assert!(report.budget.spent >= 60);
+        assert_eq!(report.budget.spent, 60, "reported spend clamps to the cap");
         assert!(
             report.budget.stopped_runs > 0,
             "some runs must stop on the budget: {:?}",
@@ -780,10 +1006,212 @@ mod tests {
         let runs = 8u64;
         let worst_step = 20u64;
         assert!(
-            report.budget.spent <= 60 + runs * worst_step,
+            report.budget.overshoot <= runs * worst_step,
             "overshoot must stay cooperative: {}",
-            report.budget.spent
+            report.budget.overshoot
         );
+        assert_eq!(
+            report.budget.charged(),
+            report.cells.iter().map(|c| c.evaluations).sum::<u64>(),
+            "cell charges must roll up to the global total"
+        );
+        // With a cap set, the single round is recorded: every cell got an
+        // even share of the 60-unit cap.
+        assert_eq!(report.allocations.len(), 1);
+        let alloc = &report.allocations[0];
+        assert_eq!(alloc.cells.len(), 4);
+        assert!(alloc.cells.iter().all(|c| c.granted == 15 && c.survived));
+        assert_eq!(alloc.survivors(), 4);
+    }
+
+    #[test]
+    fn uniform_with_generous_budget_matches_the_unbounded_path() {
+        // The budget-share scheduler with shares that never bind must be
+        // byte-identical to the unbounded single-pool campaign.
+        let l = lib();
+        let wl = DotProduct::new(8);
+        let run = |budget: Option<u64>| {
+            let mut c = Campaign::new("uniform", &l)
+                .benchmark(&wl)
+                .agents(&[AgentKind::QLearning, AgentKind::Sarsa])
+                .seeds(SeedRange::new(0, 2))
+                .options(quick_opts(150));
+            if let Some(b) = budget {
+                c = c.budget(b).policy(BudgetPolicy::Uniform);
+            }
+            c.run().unwrap()
+        };
+        let unbounded = run(None);
+        let capped = run(Some(1_000_000));
+        for (a, b) in unbounded.cells.iter().zip(&capped.cells) {
+            assert_eq!(a.summary, b.summary);
+            assert_eq!(a.evaluations, b.evaluations);
+            assert_eq!(a.best_score, b.best_score);
+        }
+        assert_eq!(unbounded.budget.spent, capped.budget.spent);
+        assert_eq!(capped.budget.overshoot, 0);
+        assert!(unbounded.allocations.is_empty());
+        assert_eq!(capped.allocations.len(), 1);
+    }
+
+    #[test]
+    fn weighted_shares_skew_the_split() {
+        let l = lib();
+        let (wa, wb) = (MatMul::new(4), DotProduct::new(8));
+        let report = Campaign::new("weighted", &l)
+            .benchmark(&wa)
+            .benchmark(&wb)
+            .agent(AgentKind::QLearning)
+            .options(quick_opts(5_000))
+            .budget(60)
+            .policy(BudgetPolicy::Weighted(vec![3.0, 1.0]))
+            .run()
+            .unwrap();
+        let alloc = &report.allocations[0];
+        assert_eq!(alloc.cells[0].granted, 45);
+        assert_eq!(alloc.cells[1].granted, 15);
+        // The favoured cell really got to spend more.
+        assert!(
+            report.cells[0].evaluations > report.cells[1].evaluations,
+            "{} vs {}",
+            report.cells[0].evaluations,
+            report.cells[1].evaluations
+        );
+    }
+
+    #[test]
+    fn successive_halving_eliminates_and_reallocates() {
+        let l = lib();
+        let (wa, wb) = (MatMul::new(4), DotProduct::new(8));
+        let report = Campaign::new("halving", &l)
+            .benchmark(&wa)
+            .benchmark(&wb)
+            .agents(&[AgentKind::QLearning, AgentKind::Sarsa])
+            .seeds(SeedRange::new(0, 2))
+            .options(quick_opts(5_000))
+            .budget(120)
+            .policy(BudgetPolicy::SuccessiveHalving {
+                rounds: 2,
+                keep_fraction: 0.5,
+            })
+            .run()
+            .unwrap();
+        assert_eq!(report.allocations.len(), 2);
+        let (r0, r1) = (&report.allocations[0], &report.allocations[1]);
+        // Round 0: all four cells alive, even split of the half-pool.
+        assert!(r0.cells.iter().all(|c| c.granted == 15));
+        assert_eq!(r0.survivors(), 2, "keep_fraction 0.5 halves four cells");
+        // Round 1: only survivors get grants, and they get *more* than a
+        // four-way split would give them — the eliminated cells' budget
+        // flowed to the leaders.
+        for c in &r1.cells {
+            if c.survived {
+                assert!(c.granted > 15, "survivor grant {} must grow", c.granted);
+            } else {
+                assert_eq!(c.granted, 0, "eliminated cells get nothing");
+            }
+        }
+        // Elimination kept the best-ranked cells.
+        let best_surviving = r0
+            .cells
+            .iter()
+            .filter(|c| c.survived)
+            .map(|c| c.best_score)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let best_eliminated = r0
+            .cells
+            .iter()
+            .filter(|c| !c.survived)
+            .map(|c| c.best_score)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(best_surviving >= best_eliminated);
+        // The global cap is still the hard ceiling.
+        assert!(report.budget.spent <= 120);
+        let runs = 8u64;
+        assert!(report.budget.overshoot <= runs * 20);
+    }
+
+    #[test]
+    fn finished_cells_stop_drawing_grants() {
+        // Every run completes naturally (tiny step cap) inside round 0 of
+        // a 2-round halving campaign with a generous budget: round 1 must
+        // grant nothing instead of stranding budget in complete cells.
+        let l = lib();
+        let wl = DotProduct::new(8);
+        let report = Campaign::new("finished", &l)
+            .benchmark(&wl)
+            .agents(&[AgentKind::QLearning, AgentKind::Sarsa])
+            .options(quick_opts(50))
+            .budget(10_000)
+            .policy(BudgetPolicy::SuccessiveHalving {
+                rounds: 2,
+                keep_fraction: 0.5,
+            })
+            .run()
+            .unwrap();
+        assert_eq!(report.allocations.len(), 2);
+        assert!(
+            report.allocations[0].cells.iter().all(|c| c.granted > 0),
+            "round 0 funds every fresh cell"
+        );
+        assert!(
+            report.allocations[1].cells.iter().all(|c| c.granted == 0),
+            "complete cells draw nothing: {:?}",
+            report.allocations[1]
+                .cells
+                .iter()
+                .map(|c| c.granted)
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(report.budget.stopped_runs, 0, "no run was budget-stopped");
+    }
+
+    #[test]
+    fn successive_halving_is_deterministic() {
+        let l = lib();
+        let wl = DotProduct::new(8);
+        let wb = MatMul::new(4);
+        let run = || {
+            Campaign::new("halving-det", &l)
+                .benchmark(&wl)
+                .benchmark(&wb)
+                .agents(&[AgentKind::QLearning, AgentKind::Sarsa])
+                .options(quick_opts(2_000))
+                .budget(100)
+                .policy(BudgetPolicy::SuccessiveHalving {
+                    rounds: 3,
+                    keep_fraction: 0.5,
+                })
+                .run()
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.summary, cb.summary);
+            assert_eq!(ca.evaluations, cb.evaluations);
+        }
+        for (ra, rb) in a.allocations.iter().zip(&b.allocations) {
+            for (ca, cb) in ra.cells.iter().zip(&rb.cells) {
+                assert_eq!(ca.survived, cb.survived);
+                assert_eq!(ca.granted, cb.granted);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_fraction")]
+    fn degenerate_halving_policy_is_rejected_before_running() {
+        let l = lib();
+        let wl = DotProduct::new(8);
+        let _ = Campaign::new("bad", &l)
+            .benchmark(&wl)
+            .agent(AgentKind::QLearning)
+            .budget(100)
+            .policy(BudgetPolicy::SuccessiveHalving {
+                rounds: 2,
+                keep_fraction: 1.5,
+            })
+            .run();
     }
 
     #[test]

@@ -12,6 +12,12 @@
 //! cooperatively across rayon workers, streams progress through
 //! [`Observer`] hooks and returns a structured [`CampaignReport`].
 //!
+//! Budgets are divided across (benchmark, agent) cells by a
+//! [`BudgetPolicy`]: even shares, weighted shares, or a successive-halving
+//! scheduler that runs the grid in rounds, ranks cells by best-design
+//! reward and reallocates the unspent budget of eliminated cells to the
+//! leaders ([`CellLedger`], per-round [`AllocationReport`]s).
+//!
 //! The legacy free functions (`explore_qlearning`, `sweep_seeds*`,
 //! `race_portfolio*`) are deprecated thin wrappers over this driver — a
 //! 1×1×N campaign is a seed sweep, a 1×M×1 campaign is a portfolio race —
@@ -21,12 +27,12 @@ pub mod budget;
 pub mod driver;
 pub mod spec;
 
-pub use budget::{EvalBudget, MeteredBackend};
+pub use budget::{CellLedger, EvalBudget, MeteredBackend};
 pub use driver::{
-    explore, BackendProvider, BudgetReport, Campaign, CampaignReport, CellReport, ExactProvider,
-    NullObserver, Observer, TieredStats, WrapProvider,
+    explore, AllocationReport, BackendProvider, BudgetReport, Campaign, CampaignReport,
+    CellAllocation, CellReport, ExactProvider, NullObserver, Observer, TieredStats, WrapProvider,
 };
-pub use spec::{BackendSpec, BenchmarkSpec, ExperimentSpec, SeedRange, SpecError};
+pub use spec::{BackendSpec, BenchmarkSpec, BudgetPolicy, ExperimentSpec, SeedRange, SpecError};
 
 use serde::{Deserialize, Serialize};
 

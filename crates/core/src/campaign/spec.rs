@@ -168,6 +168,204 @@ impl BackendSpec {
     }
 }
 
+/// How a campaign's global evaluation budget is divided across its
+/// (benchmark, agent) cells.
+///
+/// The paper's DSE is a race between configurations under a finite
+/// evaluation budget; with one *global* cap a losing cell can starve the
+/// leaders. A budget policy splits the cap into per-cell sub-budgets (see
+/// [`crate::campaign::CellLedger`]) so every cell is guaranteed its share
+/// — and [`BudgetPolicy::SuccessiveHalving`] goes further, reallocating
+/// the budget of eliminated cells to the leaders round by round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum BudgetPolicy {
+    /// Every cell gets an equal share of the global cap (the whole cap
+    /// when unbounded). With a budget generous enough that no share binds,
+    /// this is byte-identical to the single-global-pool campaigns of the
+    /// previous API.
+    #[default]
+    Uniform,
+    /// Per-cell shares, benchmark-major × agent order; the cap is split
+    /// proportionally (largest-remainder rounding). Requires a global
+    /// budget and exactly one positive finite share per cell.
+    Weighted(Vec<f64>),
+    /// Successive halving: the remaining budget is granted over `rounds`
+    /// rounds; after each round the surviving cells are ranked by their
+    /// best design's solution score (the reward scalarisation of
+    /// `search_adapter::solution_score`, comparable across benchmarks)
+    /// and only the top `keep_fraction` continue. Unspent budget of
+    /// eliminated (or naturally finished) cells flows to the survivors of
+    /// later rounds. Requires a global budget.
+    SuccessiveHalving {
+        /// Number of grant/rank rounds (≥ 1).
+        rounds: u32,
+        /// Fraction of surviving cells kept after each round, in (0, 1);
+        /// at least one cell always survives.
+        keep_fraction: f64,
+    },
+}
+
+impl BudgetPolicy {
+    /// Checks the policy against a campaign shape.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the policy needs a budget and none is set, when weighted
+    /// shares do not match the cell count (or are non-positive), or when
+    /// halving names zero rounds or a keep fraction outside (0, 1) — the
+    /// configurations that would make the round scheduler divide by zero
+    /// cells or rounds.
+    pub fn check(&self, n_cells: usize, budget: Option<u64>) -> Result<(), SpecError> {
+        match self {
+            BudgetPolicy::Uniform => Ok(()),
+            BudgetPolicy::Weighted(shares) => {
+                if budget.is_none() {
+                    return Err(SpecError(
+                        "a weighted budget policy needs a global budget to split".into(),
+                    ));
+                }
+                if shares.len() != n_cells {
+                    return Err(SpecError(format!(
+                        "weighted policy names {} share(s) but the campaign has {n_cells} \
+                         (benchmark, agent) cell(s)",
+                        shares.len()
+                    )));
+                }
+                if !shares.iter().all(|s| s.is_finite() && *s > 0.0) {
+                    return Err(SpecError(
+                        "weighted budget shares must all be finite and positive".into(),
+                    ));
+                }
+                Ok(())
+            }
+            BudgetPolicy::SuccessiveHalving {
+                rounds,
+                keep_fraction,
+            } => {
+                if budget.is_none() {
+                    return Err(SpecError(
+                        "successive halving needs a global budget to reallocate".into(),
+                    ));
+                }
+                if *rounds == 0 {
+                    return Err(SpecError(
+                        "successive halving needs at least one round".into(),
+                    ));
+                }
+                if !(keep_fraction.is_finite() && *keep_fraction > 0.0 && *keep_fraction < 1.0) {
+                    return Err(SpecError(format!(
+                        "successive halving keep_fraction must lie in (0, 1), got {keep_fraction}"
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Parses the CLI shorthand shared by `repro run --policy` and
+    /// `bench_sweep --policy`: `uniform`, `weighted:S1,S2,…` or
+    /// `halving:ROUNDS,KEEP_FRACTION`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed input (shape checks
+    /// like share counts happen later, in [`BudgetPolicy::check`]).
+    pub fn parse_cli(text: &str) -> Result<Self, String> {
+        if text == "uniform" {
+            return Ok(BudgetPolicy::Uniform);
+        }
+        if let Some(rest) = text.strip_prefix("weighted:") {
+            let shares = rest
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse::<f64>()
+                        .map_err(|e| format!("bad weighted share `{s}`: {e}"))
+                })
+                .collect::<Result<Vec<f64>, String>>()?;
+            return Ok(BudgetPolicy::Weighted(shares));
+        }
+        if let Some(rest) = text.strip_prefix("halving:") {
+            let (rounds, keep) = rest
+                .split_once(',')
+                .ok_or_else(|| "halving policy needs `halving:ROUNDS,KEEP`".to_string())?;
+            return Ok(BudgetPolicy::SuccessiveHalving {
+                rounds: rounds
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("bad halving rounds `{rounds}`: {e}"))?,
+                keep_fraction: keep
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("bad halving keep fraction `{keep}`: {e}"))?,
+            });
+        }
+        Err(format!(
+            "unknown budget policy `{text}` (expected `uniform`, `weighted:S1,S2,…` \
+             or `halving:ROUNDS,KEEP`)"
+        ))
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            BudgetPolicy::Uniform => Json::str("uniform"),
+            BudgetPolicy::Weighted(shares) => Json::obj(vec![(
+                "weighted",
+                Json::Arr(shares.iter().map(|s| Json::f64(*s)).collect()),
+            )]),
+            BudgetPolicy::SuccessiveHalving {
+                rounds,
+                keep_fraction,
+            } => Json::obj(vec![(
+                "successive-halving",
+                Json::obj(vec![
+                    ("rounds", Json::u64(u64::from(*rounds))),
+                    ("keep_fraction", Json::f64(*keep_fraction)),
+                ]),
+            )]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) if s == "uniform" => Ok(BudgetPolicy::Uniform),
+            Json::Obj(_) => {
+                if let Some(shares) = v.get("weighted") {
+                    let shares = shares.as_arr()?.iter().map(Json::as_f64).collect::<Result<
+                        Vec<f64>,
+                        JsonError,
+                    >>(
+                    )?;
+                    return Ok(BudgetPolicy::Weighted(shares));
+                }
+                if let Some(h) = v.get("successive-halving") {
+                    let rounds = h
+                        .get("rounds")
+                        .ok_or_else(|| JsonError("successive-halving needs `rounds`".into()))?
+                        .as_u64()?;
+                    return Ok(BudgetPolicy::SuccessiveHalving {
+                        rounds: u32::try_from(rounds)
+                            .map_err(|_| JsonError(format!("rounds {rounds} overflows u32")))?,
+                        keep_fraction: h
+                            .get("keep_fraction")
+                            .ok_or_else(|| {
+                                JsonError("successive-halving needs `keep_fraction`".into())
+                            })?
+                            .as_f64()?,
+                    });
+                }
+                Err(JsonError(
+                    "policy object must carry `weighted` or `successive-halving`".into(),
+                ))
+            }
+            other => Err(JsonError(format!(
+                "policy must be \"uniform\", {{\"weighted\": …}} or \
+                 {{\"successive-halving\": …}}, got {other:?}"
+            ))),
+        }
+    }
+}
+
 /// A structurally invalid [`ExperimentSpec`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpecError(pub String);
@@ -223,6 +421,8 @@ pub struct ExperimentSpec {
     /// runs of the campaign; `None` = unbounded. Enforcement is
     /// cooperative — see [`crate::campaign::EvalBudget`].
     pub budget: Option<u64>,
+    /// How the budget is divided across (benchmark, agent) cells.
+    pub policy: BudgetPolicy,
     /// Worker-thread request: `Some(1)` forces sequential execution;
     /// larger values are a hint recorded for the process-global rayon
     /// pool (`AX_THREADS` / `ThreadPoolBuilder`).
@@ -241,6 +441,7 @@ impl ExperimentSpec {
             explore: ExploreOptions::default(),
             backend: BackendSpec::Exact,
             budget: None,
+            policy: BudgetPolicy::Uniform,
             parallelism: None,
         }
     }
@@ -287,6 +488,13 @@ impl ExperimentSpec {
         self
     }
 
+    /// Sets the budget-sharing policy.
+    #[must_use]
+    pub fn policy(mut self, policy: BudgetPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
     /// Sets the worker-thread request.
     #[must_use]
     pub fn parallelism(mut self, threads: usize) -> Self {
@@ -304,7 +512,12 @@ impl ExperimentSpec {
     /// # Errors
     ///
     /// Fails on an empty benchmark list, empty agent roster, empty seed
-    /// range, zero budget or zero parallelism.
+    /// range, zero budget, zero parallelism, zero exploration steps, or a
+    /// budget policy that does not fit the campaign shape (see
+    /// [`BudgetPolicy::check`]) — an empty seed range or a zero budget
+    /// would otherwise make the budget-share scheduler divide the cap over
+    /// zero runs, and a degenerate halving policy would divide by zero
+    /// cells or rounds.
     pub fn validate(&self) -> Result<(), SpecError> {
         if self.benchmarks.is_empty() {
             return Err(SpecError("need at least one benchmark".into()));
@@ -313,15 +526,25 @@ impl ExperimentSpec {
             return Err(SpecError("need at least one agent".into()));
         }
         if self.seeds.count == 0 {
-            return Err(SpecError("need at least one seed".into()));
+            return Err(SpecError(
+                "need at least one seed: an empty seed range leaves every cell with \
+                 zero runs to divide its budget share over"
+                    .into(),
+            ));
+        }
+        if self.explore.max_steps == 0 {
+            return Err(SpecError("need at least one exploration step".into()));
         }
         if self.budget == Some(0) {
-            return Err(SpecError("a zero budget cannot run anything".into()));
+            return Err(SpecError(
+                "a zero budget cannot run anything: every cell's share would be zero".into(),
+            ));
         }
         if self.parallelism == Some(0) {
             return Err(SpecError("parallelism must be at least one thread".into()));
         }
-        Ok(())
+        self.policy
+            .check(self.benchmarks.len() * self.agents.len(), self.budget)
     }
 
     /// Instantiates every benchmark of the spec, in order.
@@ -353,6 +576,9 @@ impl ExperimentSpec {
         ];
         if let Some(b) = self.budget {
             pairs.push(("budget", Json::u64(b)));
+        }
+        if self.policy != BudgetPolicy::Uniform {
+            pairs.push(("policy", self.policy.to_json()));
         }
         if let Some(p) = self.parallelism {
             pairs.push(("parallelism", Json::u64(p as u64)));
@@ -403,6 +629,9 @@ impl ExperimentSpec {
         }
         if let Some(budget) = v.get("budget") {
             spec.budget = Some(budget.as_u64()?);
+        }
+        if let Some(policy) = v.get("policy") {
+            spec.policy = BudgetPolicy::from_json(policy)?;
         }
         if let Some(parallelism) = v.get("parallelism") {
             spec.parallelism = Some(parallelism.as_usize()?);
@@ -718,6 +947,141 @@ mod tests {
             .budget(0);
         assert!(zero_budget.validate().is_err());
         assert!(ExperimentSpec::from_json_str("{\"name\": \"empty\"}").is_err());
+    }
+
+    #[test]
+    fn budget_policies_round_trip_through_json() {
+        let base = || {
+            ExperimentSpec::new("policy")
+                .benchmark(BenchmarkSpec::MatMul(4))
+                .agent(AgentKind::QLearning)
+                .agent(AgentKind::Sarsa)
+                .budget(500)
+        };
+        for policy in [
+            BudgetPolicy::Uniform,
+            BudgetPolicy::Weighted(vec![1.0, 3.0]),
+            BudgetPolicy::SuccessiveHalving {
+                rounds: 3,
+                keep_fraction: 0.5,
+            },
+        ] {
+            let spec = base().policy(policy.clone());
+            let back = ExperimentSpec::from_json_str(&spec.to_json_string()).unwrap();
+            assert_eq!(back.policy, policy);
+            assert_eq!(back, spec);
+        }
+        // Files without a policy key default to uniform.
+        assert_eq!(
+            ExperimentSpec::from_json_str(&base().to_json_string())
+                .unwrap()
+                .policy,
+            BudgetPolicy::Uniform
+        );
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_budget_policies() {
+        let base = || {
+            ExperimentSpec::new("policy")
+                .benchmark(BenchmarkSpec::MatMul(4))
+                .agent(AgentKind::QLearning)
+                .agent(AgentKind::Sarsa)
+                .budget(500)
+        };
+        // Valid configurations pass.
+        base()
+            .policy(BudgetPolicy::Weighted(vec![1.0, 2.0]))
+            .validate()
+            .unwrap();
+        base()
+            .policy(BudgetPolicy::SuccessiveHalving {
+                rounds: 2,
+                keep_fraction: 0.5,
+            })
+            .validate()
+            .unwrap();
+        // Shares must match the 2-cell grid, be positive and finite.
+        for shares in [vec![1.0], vec![1.0, -1.0], vec![1.0, f64::NAN]] {
+            let err = base()
+                .policy(BudgetPolicy::Weighted(shares))
+                .validate()
+                .unwrap_err();
+            assert!(!err.0.is_empty());
+        }
+        // Budget-splitting policies need a budget.
+        let mut no_budget = base().policy(BudgetPolicy::Weighted(vec![1.0, 1.0]));
+        no_budget.budget = None;
+        assert!(no_budget.validate().unwrap_err().0.contains("budget"));
+        let mut no_budget = base().policy(BudgetPolicy::SuccessiveHalving {
+            rounds: 2,
+            keep_fraction: 0.5,
+        });
+        no_budget.budget = None;
+        assert!(no_budget.validate().unwrap_err().0.contains("budget"));
+        // Degenerate halving parameters are the divide-by-zero cases.
+        let err = base()
+            .policy(BudgetPolicy::SuccessiveHalving {
+                rounds: 0,
+                keep_fraction: 0.5,
+            })
+            .validate()
+            .unwrap_err();
+        assert!(err.0.contains("round"), "{err}");
+        for keep in [0.0, 1.0, -0.5, f64::NAN] {
+            let err = base()
+                .policy(BudgetPolicy::SuccessiveHalving {
+                    rounds: 2,
+                    keep_fraction: keep,
+                })
+                .validate()
+                .unwrap_err();
+            assert!(err.0.contains("keep_fraction"), "{err}");
+        }
+    }
+
+    #[test]
+    fn validation_explains_empty_seed_and_budget_errors() {
+        let zero_seeds = ExperimentSpec::new("x")
+            .benchmark(BenchmarkSpec::MatMul(4))
+            .agent(AgentKind::QLearning)
+            .seeds(SeedRange::new(0, 0));
+        assert!(zero_seeds.validate().unwrap_err().0.contains("seed"));
+        let zero_budget = ExperimentSpec::new("x")
+            .benchmark(BenchmarkSpec::MatMul(4))
+            .agent(AgentKind::QLearning)
+            .budget(0);
+        assert!(zero_budget.validate().unwrap_err().0.contains("budget"));
+        let zero_steps = ExperimentSpec::new("x")
+            .benchmark(BenchmarkSpec::MatMul(4))
+            .agent(AgentKind::QLearning)
+            .explore(ExploreOptions {
+                max_steps: 0,
+                ..Default::default()
+            });
+        assert!(zero_steps.validate().unwrap_err().0.contains("step"));
+    }
+
+    #[test]
+    fn policy_cli_shorthand_parses() {
+        assert_eq!(
+            BudgetPolicy::parse_cli("uniform").unwrap(),
+            BudgetPolicy::Uniform
+        );
+        assert_eq!(
+            BudgetPolicy::parse_cli("weighted:1,2.5,0.5").unwrap(),
+            BudgetPolicy::Weighted(vec![1.0, 2.5, 0.5])
+        );
+        assert_eq!(
+            BudgetPolicy::parse_cli("halving:3,0.5").unwrap(),
+            BudgetPolicy::SuccessiveHalving {
+                rounds: 3,
+                keep_fraction: 0.5
+            }
+        );
+        assert!(BudgetPolicy::parse_cli("nope").is_err());
+        assert!(BudgetPolicy::parse_cli("halving:3").is_err());
+        assert!(BudgetPolicy::parse_cli("weighted:one").is_err());
     }
 
     #[test]

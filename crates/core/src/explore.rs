@@ -23,7 +23,7 @@ use ax_agents::qlambda::QLambdaAgent;
 use ax_agents::qlearning::QLearningBuilder;
 use ax_agents::sarsa::{ExpectedSarsaAgent, SarsaAgent};
 use ax_agents::schedule::Schedule;
-use ax_agents::train::{train_with_stop, StopReason, TrainLog, TrainOptions};
+use ax_agents::train::{StopReason, TrainLog, TrainOptions, TrainSession};
 use ax_operators::OperatorLibrary;
 use ax_vm::VmError;
 use ax_workloads::Workload;
@@ -272,10 +272,10 @@ pub fn explore_backend<B: EvalBackend>(
 /// `should_stop` is polled after every environment step (see
 /// [`ax_agents::train::train_with_stop`]); when it fires, the exploration
 /// ends with [`StopReason::Stopped`]. This is the seam the campaign driver
-/// threads its global evaluation budget through: every concurrent run
-/// polls the shared budget and stands down at its next step boundary once
-/// the campaign-wide spend reaches the cap. A signal that never fires
-/// yields output bit-identical to [`explore_backend`].
+/// threads its evaluation budgets through: every concurrent run polls the
+/// shared budget and stands down at its next step boundary once the
+/// campaign-wide spend reaches the cap. A signal that never fires yields
+/// output bit-identical to [`explore_backend`].
 ///
 /// # Panics
 ///
@@ -288,16 +288,21 @@ pub fn explore_backend_with_stop<B: EvalBackend, S: FnMut() -> bool>(
     kind: AgentKind,
     should_stop: S,
 ) -> ExplorationOutcome<B> {
-    let thresholds = opts.rule.calibrate(&backend);
-    let params = RewardParams::new(opts.max_reward, thresholds);
-    let mut env = DseEnv::new(backend, params);
-    env.set_neighborhood_batching(opts.batch_neighborhood);
+    let mut run = ResumableExploration::start(backend, benchmark, opts, kind);
+    run.resume(should_stop);
+    run.finish(lib)
+}
 
-    let n_actions = env.action_count();
+/// Builds the boxed learning agent of an exploration.
+fn build_agent(
+    kind: AgentKind,
+    n_actions: usize,
+    opts: &ExploreOptions,
+) -> Box<dyn TabularAgent<DseState> + Send> {
     let policy = ExplorationPolicy::EpsilonGreedy {
         epsilon: opts.epsilon,
     };
-    let mut agent: Box<dyn TabularAgent<DseState>> = match kind {
+    match kind {
         AgentKind::QLearning => Box::new(
             QLearningBuilder::new(n_actions)
                 .alpha(opts.alpha)
@@ -322,48 +327,184 @@ pub fn explore_backend_with_stop<B: EvalBackend, S: FnMut() -> bool>(
         AgentKind::QLambda { lambda } => Box::new(QLambdaAgent::new(
             n_actions, opts.alpha, opts.gamma, lambda, policy, opts.seed,
         )),
-    };
+    }
+}
 
-    let train_opts = TrainOptions::new(opts.max_steps)
-        .seed(opts.input_seed)
-        .reward_target(opts.max_reward)
-        .stop_on_terminate();
-    let log = train_with_stop(&mut env, &mut agent, &train_opts, should_stop);
-    let stop_reason = log.stop_reason;
+/// A pausable exploration: environment, agent and training session bundled
+/// so the run can stop at a step boundary and continue later with all
+/// learned state intact.
+///
+/// This is the primitive round-based budget schedulers (successive
+/// halving) are built on: each campaign round resumes the surviving runs
+/// against their replenished budgets, and eliminated runs are simply never
+/// resumed again. A single `start` + `resume` + `finish` is bit-identical
+/// to [`explore_backend_with_stop`]; splitting the same exploration over
+/// several resumes changes nothing but where it pauses (see
+/// [`ax_agents::train::TrainSession`]).
+pub struct ResumableExploration<B: EvalBackend> {
+    env: DseEnv<B>,
+    agent: Box<dyn TabularAgent<DseState> + Send>,
+    session: TrainSession<DseState>,
+    train_opts: TrainOptions,
+    thresholds: Thresholds,
+    benchmark: String,
+    /// Trace entries already folded into `best_score` (scoring cursor).
+    scored_steps: usize,
+    /// Running best solution score over `trace[..scored_steps]`.
+    best_score: f64,
+}
 
-    let (evaluator, trace) = env.into_parts();
-    assert!(!trace.is_empty(), "exploration took no steps");
+impl<B: EvalBackend> ResumableExploration<B> {
+    /// Opens an exploration: calibrates thresholds from the backend's
+    /// precise run, builds environment and agent and seeds the first
+    /// episode. No design is evaluated yet.
+    pub fn start(backend: B, benchmark: &str, opts: &ExploreOptions, kind: AgentKind) -> Self {
+        let thresholds = opts.rule.calibrate(&backend);
+        let params = RewardParams::new(opts.max_reward, thresholds);
+        let mut env = DseEnv::new(backend, params);
+        env.set_neighborhood_batching(opts.batch_neighborhood);
+        let mut agent = build_agent(kind, env.action_count(), opts);
+        let train_opts = TrainOptions::new(opts.max_steps)
+            .seed(opts.input_seed)
+            .reward_target(opts.max_reward)
+            .stop_on_terminate();
+        let session = TrainSession::start(&mut env, &mut agent, &train_opts);
+        Self {
+            env,
+            agent,
+            session,
+            train_opts,
+            thresholds,
+            benchmark: benchmark.to_owned(),
+            scored_steps: 0,
+            best_score: f64::NEG_INFINITY,
+        }
+    }
 
-    let series = FigureSeries::from_trace(&trace);
-    let last = trace.last().unwrap();
-    let add_width = evaluator.program().add_width();
-    let mul_width = evaluator.program().mul_width();
-    let summary = ExplorationSummary {
-        benchmark: benchmark.to_owned(),
-        power: MetricSummary::from_series(&series.power),
-        time: MetricSummary::from_series(&series.time),
-        accuracy: MetricSummary::from_series(&series.accuracy),
-        adder_name: lib
-            .adder(add_width, last.config.adder)
-            .spec
-            .name()
-            .to_owned(),
-        mul_name: lib
-            .multiplier(mul_width, last.config.mul)
-            .spec
-            .name()
-            .to_owned(),
-        steps: trace.len() as u64,
-    };
+    /// Continues the exploration until a stop rule or `should_stop` fires.
+    /// Resuming a complete run takes no step.
+    pub fn resume<S: FnMut() -> bool>(&mut self, should_stop: S) -> StopReason {
+        self.session.resume(
+            &mut self.env,
+            &mut self.agent,
+            &self.train_opts,
+            should_stop,
+        )
+    }
 
-    ExplorationOutcome {
-        distinct_configs: evaluator.distinct_evaluations(),
-        trace,
-        log,
-        stop_reason,
-        thresholds,
-        summary,
-        evaluator,
+    /// `true` once nothing is left to resume: the step cap, reward target
+    /// or terminate flag ended the run. A run last paused by `should_stop`
+    /// stays resumable.
+    pub fn is_complete(&self) -> bool {
+        self.session.is_complete(&self.train_opts)
+    }
+
+    /// Why the last resume returned.
+    pub fn stop_reason(&self) -> StopReason {
+        self.session.stop_reason()
+    }
+
+    /// Steps taken so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.session.steps_taken()
+    }
+
+    /// The best design's solution score seen so far — the
+    /// [`crate::search_adapter::solution_score`] scalarisation of the best
+    /// visited configuration (normalised power + time gains when feasible,
+    /// negative accuracy violation otherwise). Normalisation by the
+    /// precise run makes scores comparable *across benchmarks*, which is
+    /// what lets successive halving rank a mixed-benchmark grid. The
+    /// discrete step reward would not do: it saturates at +1 for every
+    /// cell that finds any useful approximation. `NEG_INFINITY` before
+    /// the first step.
+    ///
+    /// Scoring is incremental: each call folds only the trace suffix
+    /// since the previous call, so round-based schedulers pay
+    /// O(total steps) over a run's whole lifetime, not per round.
+    pub fn best_score(&mut self) -> f64 {
+        let (power, time) = (
+            self.env.evaluator().precise_power(),
+            self.env.evaluator().precise_time(),
+        );
+        let trace = self.env.trace();
+        for t in &trace[self.scored_steps..] {
+            self.best_score = self.best_score.max(crate::search_adapter::solution_score(
+                &t.metrics,
+                &self.thresholds,
+                power,
+                time,
+            ));
+        }
+        self.scored_steps = trace.len();
+        self.best_score
+    }
+
+    /// The benchmark label.
+    pub fn benchmark(&self) -> &str {
+        &self.benchmark
+    }
+
+    /// The calibrated thresholds in force.
+    pub fn thresholds(&self) -> Thresholds {
+        self.thresholds
+    }
+
+    /// The evaluation backend (for budget accounting mid-run).
+    pub fn backend(&self) -> &B {
+        self.env.evaluator()
+    }
+
+    /// Closes the run into an [`ExplorationOutcome`]; `lib` supplies the
+    /// operator names of the summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exploration took no steps (`max_steps == 0`).
+    pub fn finish(self, lib: &OperatorLibrary) -> ExplorationOutcome<B> {
+        let Self {
+            env,
+            session,
+            thresholds,
+            benchmark,
+            ..
+        } = self;
+        let log = session.into_log();
+        let stop_reason = log.stop_reason;
+        let (evaluator, trace) = env.into_parts();
+        assert!(!trace.is_empty(), "exploration took no steps");
+
+        let series = FigureSeries::from_trace(&trace);
+        let last = trace.last().unwrap();
+        let add_width = evaluator.program().add_width();
+        let mul_width = evaluator.program().mul_width();
+        let summary = ExplorationSummary {
+            benchmark,
+            power: MetricSummary::from_series(&series.power),
+            time: MetricSummary::from_series(&series.time),
+            accuracy: MetricSummary::from_series(&series.accuracy),
+            adder_name: lib
+                .adder(add_width, last.config.adder)
+                .spec
+                .name()
+                .to_owned(),
+            mul_name: lib
+                .multiplier(mul_width, last.config.mul)
+                .spec
+                .name()
+                .to_owned(),
+            steps: trace.len() as u64,
+        };
+
+        ExplorationOutcome {
+            distinct_configs: evaluator.distinct_evaluations(),
+            trace,
+            log,
+            stop_reason,
+            thresholds,
+            summary,
+            evaluator,
+        }
     }
 }
 
@@ -448,6 +589,43 @@ mod tests {
         let series = outcome.figure_series();
         assert_eq!(series.power.len(), outcome.trace.len());
         assert_eq!(series.accuracy.len(), outcome.trace.len());
+    }
+
+    #[test]
+    fn fragmented_resumes_match_one_shot_exploration() {
+        use crate::backend::EvalContext;
+        let l = lib();
+        let wl = DotProduct::new(8);
+        let opts = quick_opts(200);
+        let ctx = EvalContext::new(&wl, std::sync::Arc::new(l.clone()), opts.input_seed).unwrap();
+        let reference = explore_backend(
+            ctx.evaluator(),
+            &l,
+            ctx.benchmark(),
+            &opts,
+            AgentKind::QLearning,
+        );
+        let mut run = ResumableExploration::start(
+            ctx.evaluator(),
+            ctx.benchmark(),
+            &opts,
+            AgentKind::QLearning,
+        );
+        let mut resumes = 0;
+        while !run.is_complete() {
+            let mut polls = 0u64;
+            run.resume(|| {
+                polls += 1;
+                polls >= 23
+            });
+            resumes += 1;
+        }
+        assert!(resumes > 3, "the pause signal must actually fragment");
+        let out = run.finish(&l);
+        assert_eq!(out.trace, reference.trace);
+        assert_eq!(out.log, reference.log);
+        assert_eq!(out.summary, reference.summary);
+        assert_eq!(out.stop_reason, reference.stop_reason);
     }
 
     #[test]

@@ -68,14 +68,14 @@ pub mod thresholds;
 
 pub use backend::{EvalBackend, EvalContext, EvalMetrics, Evaluator, SharedCache};
 pub use campaign::{
-    BackendSpec, BenchmarkSpec, Campaign, CampaignReport, ExperimentSpec, Observer, SeedRange,
-    SurrogateSettings,
+    BackendSpec, BenchmarkSpec, BudgetPolicy, Campaign, CampaignReport, ExperimentSpec, Observer,
+    SeedRange, SurrogateSettings,
 };
 pub use config::AxConfig;
 pub use env::{DseEnv, DseState, StepTrace};
 pub use explore::{
     explore_backend, explore_backend_with_stop, ExplorationOutcome, ExplorationSummary,
-    ExploreOptions,
+    ExploreOptions, ResumableExploration,
 };
 #[allow(deprecated)] // compatibility re-exports of the legacy wrappers
 pub use explore::{explore_in_context, explore_qlearning};

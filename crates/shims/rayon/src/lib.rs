@@ -211,6 +211,36 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     }
 }
 
+/// Slice extension mirroring `rayon::iter::IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type produced (a mutable reference).
+    type Item: Send;
+    /// Iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// A parallel iterator over mutable references.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = ParIter<&'a mut T>;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = ParIter<&'a mut T>;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
 /// Order-preserving parallel execution of `f` over `items`.
 fn run_parallel<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
     run_parallel_with_threads(items, f, current_num_threads())
@@ -336,7 +366,8 @@ impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParallelIterator for ParMap<T, F> {
 /// The customary glob import.
 pub mod prelude {
     pub use crate::{
-        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator,
     };
 }
 
@@ -370,6 +401,13 @@ mod tests {
         let data = [1i64, 2, 3, 4];
         let sum: Vec<i64> = data.par_iter().map(|&x| x + 1).collect();
         assert_eq!(sum, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn par_iter_mut_updates_in_place_in_order() {
+        let mut data = vec![1i64, 2, 3, 4, 5];
+        data.par_iter_mut().for_each(|x| *x *= 10);
+        assert_eq!(data, vec![10, 20, 30, 40, 50]);
     }
 
     #[test]

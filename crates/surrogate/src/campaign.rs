@@ -176,6 +176,37 @@ mod tests {
     }
 
     #[test]
+    fn tiered_campaign_runs_under_budget_shares_and_halving() {
+        use ax_dse::campaign::BudgetPolicy;
+        let lib = OperatorLibrary::evoapprox();
+        // Weighted shares: the 4-cell grid splits a 200-design budget 2:1:1:2.
+        let weighted = quick_spec(BackendSpec::Tiered(SurrogateSettings::default()))
+            .budget(200)
+            .policy(BudgetPolicy::Weighted(vec![2.0, 1.0, 1.0, 2.0]));
+        let report = run_spec(&lib, &weighted, None, &NullObserver).unwrap();
+        assert_eq!(report.allocations.len(), 1);
+        let granted: Vec<u64> = report.allocations[0]
+            .cells
+            .iter()
+            .map(|c| c.granted)
+            .collect();
+        assert_eq!(granted, vec![67, 33, 33, 67]);
+        assert!(report.budget.spent <= 200);
+        assert!(report.tier.is_some(), "tier usage survives the scheduler");
+        // Successive halving: rounds recorded, survivors thinned, cap held.
+        let halving = quick_spec(BackendSpec::Tiered(SurrogateSettings::default()))
+            .budget(200)
+            .policy(BudgetPolicy::SuccessiveHalving {
+                rounds: 2,
+                keep_fraction: 0.5,
+            });
+        let report = run_spec(&lib, &halving, None, &NullObserver).unwrap();
+        assert_eq!(report.allocations.len(), 2);
+        assert_eq!(report.allocations[0].survivors(), 2);
+        assert!(report.budget.spent <= 200);
+    }
+
+    #[test]
     fn invalid_spec_is_rejected_before_running() {
         let lib = OperatorLibrary::evoapprox();
         let spec = ExperimentSpec::new("empty");

@@ -1,0 +1,162 @@
+//! Budget-share scheduler contracts: uniform shares degrade to the plain
+//! campaign, successive halving respects the global cap and still finds
+//! the good designs at a fraction of the evaluation spend.
+
+use axdse_suite::ax_dse::campaign::{BudgetPolicy, Campaign, CampaignReport, SeedRange};
+use axdse_suite::ax_dse::explore::{AgentKind, ExploreOptions};
+use axdse_suite::ax_operators::OperatorLibrary;
+use axdse_suite::ax_workloads::fir::Fir;
+use axdse_suite::ax_workloads::matmul::MatMul;
+use proptest::prelude::*;
+
+fn lib() -> OperatorLibrary {
+    OperatorLibrary::evoapprox()
+}
+
+fn opts(steps: u64) -> ExploreOptions {
+    ExploreOptions {
+        max_steps: steps,
+        ..Default::default()
+    }
+}
+
+fn best_score(report: &CampaignReport) -> f64 {
+    report
+        .cells
+        .iter()
+        .map(|c| c.best_score)
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// The scheduler is byte-identical to the pre-policy campaign path when
+/// shares never bind: same summaries, same evaluation counts, same
+/// portfolio scores.
+#[test]
+fn uniform_policy_with_full_budget_matches_the_unbudgeted_campaign() {
+    let l = lib();
+    let (matmul, fir) = (MatMul::new(4), Fir::new(40));
+    let agents = [AgentKind::QLearning, AgentKind::Sarsa];
+    let run = |budget: Option<u64>| {
+        let mut c = Campaign::new("uniform-equivalence", &l)
+            .benchmark(&matmul)
+            .benchmark(&fir)
+            .agents(&agents)
+            .seeds(SeedRange::new(0, 2))
+            .options(opts(200));
+        if let Some(b) = budget {
+            c = c.budget(b).policy(BudgetPolicy::Uniform);
+        }
+        c.run().unwrap()
+    };
+    let unbudgeted = run(None);
+    let full = run(Some(1_000_000));
+    assert_eq!(unbudgeted.cells.len(), full.cells.len());
+    for (a, b) in unbudgeted.cells.iter().zip(&full.cells) {
+        assert_eq!(a.summary, b.summary, "{}/{}", a.benchmark, a.agent.name());
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.best_score, b.best_score);
+        assert_eq!(a.stopped_runs, 0);
+        assert_eq!(b.stopped_runs, 0);
+    }
+    for (pa, pb) in unbudgeted.portfolios.iter().zip(&full.portfolios) {
+        assert_eq!(pa.best, pb.best);
+        for (ea, eb) in pa.entries.iter().zip(&pb.entries) {
+            assert_eq!(ea.score, eb.score);
+            assert_eq!(ea.summary, eb.summary);
+        }
+    }
+    assert_eq!(unbudgeted.budget.spent, full.budget.spent);
+    assert_eq!(full.budget.overshoot, 0, "a non-binding cap never trips");
+}
+
+/// The ISSUE acceptance scenario: a successive-halving campaign on
+/// MatMul×FIR must find a best design whose reward is within 1 % of the
+/// exhaustive (unbounded) run's, while spending at most 60 % of its
+/// evaluations. The same comparison is recorded in `BENCH_sweep.json` by
+/// `bench_sweep --policy halving:2,0.5`.
+#[test]
+fn halving_matches_exhaustive_reward_at_a_fraction_of_the_evals() {
+    let l = lib();
+    let (matmul, fir) = (MatMul::new(6), Fir::new(40));
+    let agents = [AgentKind::QLearning, AgentKind::Sarsa];
+    let campaign = |budget: Option<u64>, policy: Option<BudgetPolicy>| {
+        let mut c = Campaign::new("halving-acceptance", &l)
+            .benchmark(&matmul)
+            .benchmark(&fir)
+            .agents(&agents)
+            .seeds(SeedRange::new(0, 2))
+            .options(opts(600));
+        if let Some(b) = budget {
+            c = c.budget(b);
+        }
+        if let Some(p) = policy {
+            c = c.policy(p);
+        }
+        c.run().unwrap()
+    };
+
+    let exhaustive = campaign(None, None);
+    let full_evals = exhaustive.budget.spent;
+    let full_best = best_score(&exhaustive);
+    assert!(full_evals > 0 && full_best.is_finite());
+
+    let budget = full_evals * 55 / 100;
+    let halved = campaign(
+        Some(budget),
+        Some(BudgetPolicy::SuccessiveHalving {
+            rounds: 2,
+            keep_fraction: 0.5,
+        }),
+    );
+    let spent = halved.budget.charged();
+    assert!(
+        spent <= full_evals * 60 / 100,
+        "halving spent {spent} of the exhaustive {full_evals} — over the 60% contract"
+    );
+    let halved_best = best_score(&halved);
+    assert!(
+        full_best - halved_best <= 0.01 * full_best.abs(),
+        "halving best reward {halved_best} trails the exhaustive {full_best} by more than 1%"
+    );
+    assert_eq!(halved.allocations.len(), 2, "both rounds recorded");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Whatever the cap, round count or keep fraction, successive halving
+    /// never grants more than the global budget: the clamped spend stays
+    /// at or under the cap and the raw overshoot stays within one step
+    /// per run.
+    #[test]
+    fn halving_never_spends_more_than_the_global_cap(
+        budget in 8u64..120,
+        rounds in 1u32..5,
+        keep_pct in 25u32..80,
+    ) {
+        let l = lib();
+        let (matmul, fir) = (MatMul::new(4), Fir::new(40));
+        let agents = [AgentKind::QLearning, AgentKind::Sarsa];
+        let report = Campaign::new("halving-cap", &l)
+            .benchmark(&matmul)
+            .benchmark(&fir)
+            .agents(&agents)
+            .options(opts(2_000))
+            .budget(budget)
+            .policy(BudgetPolicy::SuccessiveHalving {
+                rounds,
+                keep_fraction: f64::from(keep_pct) / 100.0,
+            })
+            .run()
+            .unwrap();
+        prop_assert!(report.budget.spent <= budget);
+        // 4 runs, non-batched stepping: at most one distinct design per
+        // run beyond the cap.
+        prop_assert!(
+            report.budget.overshoot <= 4,
+            "overshoot {} exceeds one step per run",
+            report.budget.overshoot
+        );
+        prop_assert!(report.allocations.len() == rounds as usize);
+    }
+}
