@@ -16,10 +16,14 @@
 //! FILE` writes the spec equivalent to whatever this invocation measured,
 //! ready for `repro run`.
 //!
-//! `--policy P` (e.g. `halving:3,0.5`) additionally races a MatMul×FIR
-//! campaign grid under that budget policy at 55 % of the evaluation spend
-//! of an exhaustive (unbounded) run of the same grid, and appends a
-//! policy record comparing best-design rewards and evaluation counts.
+//! `--policy P` (e.g. `halving:3,0.5` or `asha:2,0.5`) additionally races
+//! a MatMul×FIR campaign grid under that budget policy at 55 % of the
+//! evaluation spend of an exhaustive (unbounded) run of the same grid, and
+//! appends a policy record comparing best-design rewards and evaluation
+//! counts. When the policy is `asha:…` the record also runs the
+//! synchronous `halving` counterpart with the same shape, so the file
+//! carries the sync-vs-async evaluations-to-best-score comparison
+//! directly.
 
 use ax_bench::append_bench_record;
 use ax_dse::campaign::{BenchmarkSpec, BudgetPolicy, Campaign, ExperimentSpec, SeedRange};
@@ -238,10 +242,26 @@ fn append_policy_record(
     let exhaustive = campaign(None, None);
     let exhaustive_evals = exhaustive.budget.spent;
     let budget = (exhaustive_evals * 55 / 100).max(1);
-    let policed = campaign(Some(budget), Some(policy));
+    let policed = campaign(Some(budget), Some(policy.clone()));
     let policy_evals = policed.budget.charged();
 
-    let record = Json::obj(vec![
+    // An async policy is only worth recording against its synchronous
+    // counterpart: same rung shape, same budget, barrier back in place.
+    let sync_twin = match &policy {
+        BudgetPolicy::AsyncHalving {
+            rungs,
+            keep_fraction,
+        } => Some(campaign(
+            Some(budget),
+            Some(BudgetPolicy::SuccessiveHalving {
+                rounds: *rungs,
+                keep_fraction: *keep_fraction,
+            }),
+        )),
+        _ => None,
+    };
+
+    let mut record = Json::obj(vec![
         ("benchmark", Json::str("matmul-10x10 x fir-100")),
         ("policy", Json::str(policy_text)),
         ("seeds", Json::u64(seeds.min(2))),
@@ -267,6 +287,16 @@ fn append_policy_record(
         ),
         ("rounds", Json::u64(policed.allocations.len() as u64)),
     ]);
+    if let (Json::Obj(pairs), Some(sync)) = (&mut record, &sync_twin) {
+        pairs.push((
+            "sync_halving_evals".into(),
+            Json::u64(sync.budget.charged()),
+        ));
+        pairs.push((
+            "best_score_sync_halving".into(),
+            Json::Num(format!("{:.4}", best_of(sync))),
+        ));
+    }
     print!("{}", record.pretty());
     append_bench_record(out, record).expect("append policy record");
     eprintln!("appended policy record to {out}");

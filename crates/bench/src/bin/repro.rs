@@ -23,7 +23,9 @@
 //!                         merge on save; --cache-cap N bounds the cache and its
 //!                         file; --policy P / --budget N override the spec's
 //!                         budget policy: uniform | weighted:S1,S2,… |
-//!                         halving:ROUNDS,KEEP)
+//!                         halving:ROUNDS,KEEP | asha:RUNGS,KEEP |
+//!                         hyperband:R1,K1;R2,K2;… — and --report-json FILE
+//!                         writes the machine-readable CampaignReport)
 //!   all                   everything above
 //! ```
 
@@ -56,6 +58,7 @@ struct Args {
     cache_cap: Option<usize>,
     policy: Option<BudgetPolicy>,
     budget: Option<u64>,
+    report_json: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -69,6 +72,7 @@ fn parse_args() -> Result<Args, String> {
     let mut cache_cap = None;
     let mut policy = None;
     let mut budget = None;
+    let mut report_json = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -121,6 +125,9 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad --budget: {e}"))?,
                 );
             }
+            "--report-json" => {
+                report_json = Some(it.next().ok_or("--report-json needs a file")?);
+            }
             "--help" | "-h" => return Err("help".into()),
             // Only `run` takes a second positional (its spec file); a stray
             // bare word after any other command is a mistake, not a spec.
@@ -152,6 +159,7 @@ fn parse_args() -> Result<Args, String> {
         cache_cap,
         policy,
         budget,
+        report_json,
     })
 }
 
@@ -255,7 +263,12 @@ fn print_campaign_report(report: &CampaignReport, out: &OutputDir) {
                 )
             })
             .collect();
-        println!("round {}: {}", round.round, cells.join("; "));
+        let label = if round.bracket > 0 || report.allocations.iter().any(|a| a.bracket > 0) {
+            format!("bracket {} round {}", round.bracket, round.round)
+        } else {
+            format!("round {}", round.round)
+        };
+        println!("{label}: {}", cells.join("; "));
     }
     for p in &report.portfolios {
         let w = p.winner();
@@ -351,6 +364,11 @@ fn run_spec_file(args: &Args) {
     let report = run_spec(&lib, &spec, cache.clone(), &PrintObserver)
         .unwrap_or_else(|e| panic!("campaign failed: {e}"));
     print_campaign_report(&report, &args.out);
+    if let Some(path) = &args.report_json {
+        std::fs::write(path, report.to_json_string())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote machine-readable report to {path}");
+    }
     if let (Some(path), Some(cache)) = (&args.cache, &cache) {
         // Concurrent `repro run --cache` processes race on the file: merge
         // whatever landed on disk since we loaded, so nobody's designs are
@@ -391,7 +409,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: repro [--out DIR | --no-out] [--steps N] [--seed S] <command>\n       \
                  repro run <spec.json> [--smoke] [--cache FILE] [--cache-cap N]\n               \
-                 [--policy uniform|weighted:S1,S2,..|halving:ROUNDS,KEEP] [--budget N]"
+                 [--policy uniform|weighted:S1,S2,..|halving:R,K|asha:R,K|\n                \
+                 hyperband:R1,K1;R2,K2;..] [--budget N] [--report-json FILE]"
             );
             eprintln!(
                 "commands: table1 table2 table3 fig2 fig3 fig4 ablation-explorers \

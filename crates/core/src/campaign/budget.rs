@@ -215,6 +215,118 @@ impl CellLedger {
     }
 }
 
+/// Per-rung score records of an asynchronous-halving (ASHA) scheduler.
+///
+/// A *rung* is one budget quantum of a cell's lifetime. When a cell
+/// finishes a rung (its grant runs dry, or all its runs complete) the
+/// scheduler [`RungLedger::record`]s the cell's best-design solution score
+/// on that rung, then asks [`RungLedger::newly_promotable`] which cells
+/// now rank in the top `keep_fraction` of everything that rung has seen
+/// **so far** — no barrier, so the first cell to report on a rung always
+/// promotes immediately, and a cell parked below the cut can still be
+/// promoted later once enough slower peers have reported to grow the
+/// keep-count. Promotion is sticky: a promoted cell stays promoted even
+/// if later arrivals push its score below the cut (you cannot un-spend a
+/// grant), which is exactly ASHA's optimistic-promotion contract.
+///
+/// Ranking is deterministic: scores sort descending and ties resolve to
+/// the earlier-recorded cell, so the async schedule replays identically
+/// run to run.
+#[derive(Debug)]
+pub struct RungLedger {
+    keep_fraction: f64,
+    rungs: Vec<RungRecords>,
+}
+
+/// One rung's arrivals: `(cell, score)` in record order plus a parallel
+/// promoted flag.
+#[derive(Debug, Default, Clone)]
+struct RungRecords {
+    records: Vec<(usize, f64)>,
+    promoted: Vec<bool>,
+}
+
+impl RungLedger {
+    /// A ledger over `rungs` rungs promoting the top `keep_fraction`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero rungs or a keep fraction outside (0, 1) — the
+    /// configurations [`crate::campaign::BudgetPolicy::check`] rejects.
+    pub fn new(rungs: usize, keep_fraction: f64) -> Self {
+        assert!(rungs > 0, "a rung ledger needs at least one rung");
+        assert!(
+            keep_fraction.is_finite() && keep_fraction > 0.0 && keep_fraction < 1.0,
+            "keep_fraction must lie in (0, 1), got {keep_fraction}"
+        );
+        Self {
+            keep_fraction,
+            rungs: vec![RungRecords::default(); rungs],
+        }
+    }
+
+    /// Number of rungs.
+    pub fn rungs(&self) -> usize {
+        self.rungs.len()
+    }
+
+    /// Records `cell` finishing `rung` with the given best score.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range rung or a cell already recorded there —
+    /// a cell passes each rung once.
+    pub fn record(&mut self, rung: usize, cell: usize, score: f64) {
+        let r = &mut self.rungs[rung];
+        assert!(
+            r.records.iter().all(|&(c, _)| c != cell),
+            "cell {cell} already recorded on rung {rung}"
+        );
+        r.records.push((cell, score));
+        r.promoted.push(false);
+    }
+
+    /// Scores recorded on `rung` so far.
+    pub fn recorded(&self, rung: usize) -> usize {
+        self.rungs[rung].records.len()
+    }
+
+    /// The score `cell` recorded on `rung`, if it has reported there.
+    pub fn score(&self, rung: usize, cell: usize) -> Option<f64> {
+        self.rungs[rung]
+            .records
+            .iter()
+            .find(|&&(c, _)| c == cell)
+            .map(|&(_, s)| s)
+    }
+
+    /// Cells newly ranked into the top `keep_fraction` of `rung`'s records
+    /// (best first), marked promoted as a side effect. The keep-count is
+    /// `ceil(keep_fraction × recorded)` clamped to at least one, so the
+    /// first arrival always promotes; as more cells record, the count
+    /// grows and previously parked cells can surface here on later calls.
+    pub fn newly_promotable(&mut self, rung: usize) -> Vec<usize> {
+        let r = &mut self.rungs[rung];
+        let n = r.records.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let keep = ((n as f64 * self.keep_fraction).ceil() as usize).clamp(1, n);
+        // Rank record indices by score descending; the stable sort keeps
+        // earlier arrivals ahead on ties.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| r.records[b].1.total_cmp(&r.records[a].1));
+        let mut fresh = Vec::new();
+        for &i in order.iter().take(keep) {
+            if !r.promoted[i] {
+                r.promoted[i] = true;
+                fresh.push(r.records[i].0);
+            }
+        }
+        fresh
+    }
+}
+
 /// An [`EvalBackend`] decorator that charges one or more [`EvalBudget`]s
 /// for every distinct design its inner backend resolves.
 ///
@@ -500,5 +612,63 @@ mod tests {
     #[should_panic(expected = "finite and positive")]
     fn split_weighted_rejects_bad_shares() {
         let _ = CellLedger::split_weighted(10, &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn rung_ledger_promotes_the_first_arrival_immediately() {
+        let mut ledger = RungLedger::new(3, 0.5);
+        assert_eq!(ledger.rungs(), 3);
+        ledger.record(0, 2, 1.0);
+        // One record seen: keep = ceil(0.5) = 1, so the lone cell goes up.
+        assert_eq!(ledger.newly_promotable(0), vec![2]);
+        assert_eq!(ledger.recorded(0), 1);
+        assert_eq!(ledger.score(0, 2), Some(1.0));
+        assert_eq!(ledger.score(0, 0), None);
+        // Re-asking promotes nothing new.
+        assert!(ledger.newly_promotable(0).is_empty());
+    }
+
+    #[test]
+    fn rung_ledger_grows_the_cut_as_peers_arrive() {
+        let mut ledger = RungLedger::new(2, 0.5);
+        ledger.record(0, 0, 0.3);
+        assert_eq!(ledger.newly_promotable(0), vec![0], "optimistic first cut");
+        // A better cell arrives: keep stays ceil(0.5 * 2) = 1 and the
+        // newcomer now holds rank 0, unpromoted, so it goes straight up
+        // (cell 0's earlier promotion is sticky, not revoked).
+        ledger.record(0, 1, 0.9);
+        assert_eq!(ledger.newly_promotable(0), vec![1]);
+        // Two weaker cells report: keep grows to ceil(0.5 * 4) = 2, but
+        // both top-2 slots (0.9, 0.3) are already promoted — nothing new.
+        ledger.record(0, 2, 0.1);
+        ledger.record(0, 3, 0.2);
+        assert!(ledger.newly_promotable(0).is_empty());
+        // A fifth record lifts keep to ceil(2.5) = 3: the best unpromoted
+        // cell (0.2, cell 3) finally surfaces.
+        ledger.record(0, 4, 0.05);
+        assert_eq!(ledger.newly_promotable(0), vec![3]);
+    }
+
+    #[test]
+    fn rung_ledger_breaks_score_ties_by_arrival_order() {
+        let mut ledger = RungLedger::new(1, 0.5);
+        ledger.record(0, 7, 1.0);
+        ledger.record(0, 3, 1.0);
+        // keep = 1: the earlier-recorded cell wins the tie.
+        assert_eq!(ledger.newly_promotable(0), vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already recorded")]
+    fn rung_ledger_rejects_double_records() {
+        let mut ledger = RungLedger::new(2, 0.5);
+        ledger.record(1, 0, 1.0);
+        ledger.record(1, 0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_fraction")]
+    fn rung_ledger_rejects_degenerate_keep() {
+        let _ = RungLedger::new(2, 1.0);
     }
 }

@@ -1,11 +1,12 @@
 //! The polymorphic campaign driver.
 
 use crate::backend::{EvalBackend, EvalContext, Evaluator, SharedCache};
-use crate::campaign::budget::{CellLedger, EvalBudget, MeteredBackend};
+use crate::campaign::budget::{CellLedger, EvalBudget, MeteredBackend, RungLedger};
 use crate::campaign::spec::{BudgetPolicy, ExperimentSpec, SeedRange};
 use crate::explore::{
     explore_backend, AgentKind, ExplorationOutcome, ExploreOptions, ResumableExploration,
 };
+use crate::json::Json;
 use crate::sweep::{summarize_outcomes, PortfolioEntry, PortfolioOutcome, SweepSummary};
 use ax_agents::train::StopReason;
 use ax_operators::OperatorLibrary;
@@ -250,16 +251,20 @@ pub struct CellAllocation {
     pub survived: bool,
 }
 
-/// Per-round budget-allocation accounting of a campaign.
+/// Per-round (or per-rung) budget-allocation accounting of a campaign.
 ///
 /// Single-round policies with a cap produce one report; successive
-/// halving produces one per round, recording grants, spend, the ranking
-/// signal and which cells survived. Unbounded single-round campaigns have
-/// nothing to allocate and record none.
+/// halving produces one per round, asynchronous halving one per rung, and
+/// Hyperband one per round of every bracket — recording grants, spend,
+/// the ranking signal and which cells survived. Unbounded single-round
+/// campaigns have nothing to allocate and record none.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AllocationReport {
-    /// Round index (0-based).
+    /// Round index within the bracket (0-based). For asynchronous halving
+    /// this is the rung index.
     pub round: u32,
+    /// Hyperband bracket index (0 for every other policy).
+    pub bracket: u32,
     /// Every cell of the grid, benchmark-major in input order.
     pub cells: Vec<CellAllocation>,
 }
@@ -306,6 +311,163 @@ impl CampaignReport {
         self.cells
             .iter()
             .find(|c| c.benchmark == benchmark && c.agent == agent)
+    }
+
+    /// The report as a machine-readable JSON document: per-cell sweep
+    /// statistics and tier usage, per-benchmark portfolio rankings, the
+    /// budget accounting and every per-round/rung/bracket
+    /// [`AllocationReport`]. Serialised over [`crate::json::Json`]
+    /// (the workspace's serde is an offline no-op shim), so the output is
+    /// plain text any JSON consumer can read — `repro run --report-json
+    /// FILE` writes exactly this document.
+    ///
+    /// ```
+    /// use ax_dse::campaign::{Campaign, SeedRange};
+    /// use ax_dse::explore::{AgentKind, ExploreOptions};
+    /// use ax_operators::OperatorLibrary;
+    /// use ax_workloads::dot::DotProduct;
+    ///
+    /// let lib = OperatorLibrary::evoapprox();
+    /// let wl = DotProduct::new(8);
+    /// let report = Campaign::new("machine-readable", &lib)
+    ///     .benchmark(&wl)
+    ///     .agent(AgentKind::QLearning)
+    ///     .seeds(SeedRange::new(0, 2))
+    ///     .options(ExploreOptions { max_steps: 100, ..Default::default() })
+    ///     .budget(400)
+    ///     .run()
+    ///     .unwrap();
+    /// let doc = report.to_json();
+    /// assert_eq!(doc.get("name").unwrap().as_str().unwrap(), "machine-readable");
+    /// assert_eq!(doc.get("cells").unwrap().as_arr().unwrap().len(), 1);
+    /// assert_eq!(doc.get("budget").unwrap().get("cap").unwrap().as_u64().unwrap(), 400);
+    /// // One allocation round was recorded, and the text form is valid JSON.
+    /// assert_eq!(doc.get("allocations").unwrap().as_arr().unwrap().len(), 1);
+    /// let text = report.to_json_string();
+    /// assert!(ax_dse::json::Json::parse(&text).is_ok());
+    /// ```
+    pub fn to_json(&self) -> Json {
+        fn stat(s: &crate::sweep::SweepStat) -> Json {
+            Json::obj(vec![
+                ("mean", Json::f64(s.mean)),
+                ("std_dev", Json::f64(s.std_dev)),
+                ("min", Json::f64(s.min)),
+                ("max", Json::f64(s.max)),
+            ])
+        }
+        fn tier(t: &Option<TieredStats>) -> Json {
+            match t {
+                None => Json::Null,
+                Some(t) => Json::obj(vec![
+                    ("memo_hits", Json::u64(t.memo_hits)),
+                    ("class_hits", Json::u64(t.class_hits)),
+                    ("surrogate_answers", Json::u64(t.surrogate_answers)),
+                    ("exact_confirmations", Json::u64(t.exact_confirmations)),
+                ]),
+            }
+        }
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                let s = &c.summary;
+                Json::obj(vec![
+                    ("benchmark", Json::str(&c.benchmark)),
+                    ("agent", Json::str(c.agent.name())),
+                    ("seeds", Json::u64(s.seeds)),
+                    ("reached_target", Json::u64(s.reached_target)),
+                    ("terminated", Json::u64(s.terminated)),
+                    ("stop_step", stat(&s.stop_step)),
+                    ("solution_power", stat(&s.solution_power)),
+                    ("solution_accuracy", stat(&s.solution_accuracy)),
+                    ("feasible_solutions", Json::f64(s.feasible_solutions)),
+                    ("evaluations", Json::u64(c.evaluations)),
+                    ("stopped_runs", Json::u64(c.stopped_runs)),
+                    ("best_score", Json::f64(c.best_score)),
+                    ("tier", tier(&c.tier)),
+                ])
+            })
+            .collect();
+        let portfolios = self
+            .portfolios
+            .iter()
+            .map(|p| {
+                Json::obj(vec![
+                    ("benchmark", Json::str(&p.benchmark)),
+                    ("best", Json::u64(p.best as u64)),
+                    ("shared_distinct", Json::u64(p.shared_distinct)),
+                    (
+                        "entries",
+                        Json::Arr(
+                            p.entries
+                                .iter()
+                                .map(|e| {
+                                    Json::obj(vec![
+                                        ("agent", Json::str(e.kind.name())),
+                                        ("seed", Json::u64(e.seed)),
+                                        ("score", Json::f64(e.score)),
+                                        ("feasible", Json::Bool(e.feasible)),
+                                        ("stop_reason", Json::str(format!("{:?}", e.stop_reason))),
+                                        ("steps", Json::u64(e.summary.steps)),
+                                        ("distinct_configs", Json::u64(e.distinct_configs)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let allocations = self
+            .allocations
+            .iter()
+            .map(|a| {
+                Json::obj(vec![
+                    ("round", Json::u64(u64::from(a.round))),
+                    ("bracket", Json::u64(u64::from(a.bracket))),
+                    (
+                        "cells",
+                        Json::Arr(
+                            a.cells
+                                .iter()
+                                .map(|c| {
+                                    Json::obj(vec![
+                                        ("benchmark", Json::str(&c.benchmark)),
+                                        ("agent", Json::str(c.agent.name())),
+                                        ("granted", Json::u64(c.granted)),
+                                        ("spent", Json::u64(c.spent)),
+                                        ("best_score", Json::f64(c.best_score)),
+                                        ("survived", Json::Bool(c.survived)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("name", Json::str(&self.name)),
+            ("cells", Json::Arr(cells)),
+            ("portfolios", Json::Arr(portfolios)),
+            (
+                "budget",
+                Json::obj(vec![
+                    ("cap", self.budget.cap.map_or(Json::Null, Json::u64)),
+                    ("spent", Json::u64(self.budget.spent)),
+                    ("overshoot", Json::u64(self.budget.overshoot)),
+                    ("stopped_runs", Json::u64(self.budget.stopped_runs)),
+                ]),
+            ),
+            ("allocations", Json::Arr(allocations)),
+            ("tier", tier(&self.tier)),
+        ])
+    }
+
+    /// [`CampaignReport::to_json`] as pretty-printed text (the stable
+    /// on-disk form).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().pretty()
     }
 }
 
@@ -521,7 +683,7 @@ impl<'a> Campaign<'a> {
 
     /// Runs the campaign through an arbitrary [`BackendProvider`].
     ///
-    /// Execution is round-based: the global [`EvalBudget`] is split into
+    /// Execution is rung-based: the global [`EvalBudget`] is split into
     /// per-cell sub-budgets by the configured [`BudgetPolicy`] (a
     /// [`CellLedger`]), every run charges its cell's budget *and* the
     /// global one, and explorations pause cooperatively at step boundaries
@@ -529,9 +691,16 @@ impl<'a> Campaign<'a> {
     /// front; [`BudgetPolicy::SuccessiveHalving`] grants round by round,
     /// ranking the surviving cells by their best design's solution score
     /// after each round and reallocating the unspent budget of eliminated
-    /// (or naturally finished) cells to the survivors — the runs
-    /// themselves are [`ResumableExploration`]s, so survivors continue
-    /// with all learned state intact.
+    /// (or naturally finished) cells to the survivors;
+    /// [`BudgetPolicy::AsyncHalving`] drops the round barrier entirely,
+    /// promoting each cell up its rung ladder as soon as it ranks in the
+    /// top `keep_fraction` of its rung's records so far (a [`RungLedger`]);
+    /// and [`BudgetPolicy::Hyperband`] sweeps whole halving brackets,
+    /// rolling each bracket's unspent budget forward. The runs themselves
+    /// are [`ResumableExploration`]s — pausing at rung boundaries instead
+    /// of round boundaries changes nothing about a run's trajectory, so
+    /// every schedule preserves the per-run bit-identical resume
+    /// guarantee.
     ///
     /// # Errors
     ///
@@ -578,13 +747,6 @@ impl<'a> Campaign<'a> {
         let shared: Vec<P::Shared> = contexts.iter().map(|c| provider.prepare(c)).collect();
 
         let ledger = CellLedger::new(Arc::clone(&global), n_cells);
-        let (rounds, keep_fraction) = match &self.policy {
-            BudgetPolicy::SuccessiveHalving {
-                rounds,
-                keep_fraction,
-            } => (*rounds as usize, *keep_fraction),
-            _ => (1, 1.0),
-        };
 
         // One resumable run per grid point, benchmark-major / agent /
         // seed — the order every report slice below relies on. Starting a
@@ -611,136 +773,76 @@ impl<'a> Campaign<'a> {
             }
         }
 
-        let observer = self.observer;
         let mut alive = vec![true; n_cells];
         let mut cell_best = vec![f64::NEG_INFINITY; n_cells];
         let mut allocations: Vec<AllocationReport> = Vec::new();
-        for round in 0..rounds {
-            // Grant this round's allocations (bounded campaigns only).
-            // Successive halving draws each round from what the previous
-            // rounds left unspent, and grants only to surviving cells that
-            // still have runs to resume — eliminated and naturally
-            // finished cells stop drawing, so their share funds the
-            // survivors instead of stranding in a grant nobody uses.
-            let alive_cells: Vec<usize> = (0..n_cells).filter(|&c| alive[c]).collect();
-            let mut granted = vec![0u64; n_cells];
-            if global.cap().is_some() {
-                let mut incomplete = vec![false; n_cells];
-                for slot in &slots {
-                    if !slot.run.is_complete() {
-                        incomplete[slot.cell] = true;
-                    }
-                }
-                let targets: Vec<usize> = match &self.policy {
-                    // Weighted is single-round: the shares map onto the
-                    // whole grid (every run is still fresh in round 0).
-                    BudgetPolicy::Weighted(_) => alive_cells.clone(),
-                    _ => alive_cells
-                        .iter()
-                        .copied()
-                        .filter(|&c| incomplete[c])
-                        .collect(),
-                };
-                if !targets.is_empty() {
-                    let pool = ledger.remaining_global().unwrap_or(0);
-                    let round_pool = pool / (rounds - round) as u64;
-                    let grants = match &self.policy {
-                        BudgetPolicy::Weighted(shares) => {
-                            CellLedger::split_weighted(round_pool, shares)
-                        }
-                        _ => CellLedger::split_even(round_pool, targets.len()),
-                    };
-                    for (&cell, &units) in targets.iter().zip(&grants) {
-                        ledger.grant(cell, units);
-                        granted[cell] = units;
-                    }
-                }
-            }
-
-            // Resume every incomplete run of a surviving cell until its
-            // budgets run dry or it finishes naturally. A run that has
-            // never stepped always takes its first step (the cooperative
-            // overshoot contract, at most one step per run), so traces are
-            // never empty.
-            let ledger_ref = &ledger;
-            let global_ref = &global;
-            let alive_ref = &alive;
-            let resume_one = |slot: &mut RunSlot<P::Backend>| {
-                if !alive_ref[slot.cell] || slot.run.is_complete() {
-                    return;
-                }
-                let cell_budget = ledger_ref.cell(slot.cell);
-                let fresh = slot.run.steps_taken() == 0;
-                if fresh || !(cell_budget.exhausted() || global_ref.exhausted()) {
-                    slot.run
-                        .resume(|| cell_budget.exhausted() || global_ref.exhausted());
-                }
-                if global_ref.trip() {
-                    observer.on_budget_exhausted(global_ref.spent());
-                }
-                if slot.run.is_complete() && !slot.notified {
-                    slot.notified = true;
-                    observer.on_run_complete(
-                        slot.run.benchmark(),
-                        slot.kind,
-                        slot.seed,
-                        slot.run.stop_reason(),
-                        slot.run.steps_taken(),
+        match &self.policy {
+            BudgetPolicy::AsyncHalving {
+                rungs,
+                keep_fraction,
+            } => self.run_asha(
+                &mut slots,
+                &ledger,
+                &global,
+                &contexts,
+                *rungs as usize,
+                *keep_fraction,
+                &mut alive,
+                &mut cell_best,
+                &mut allocations,
+            ),
+            BudgetPolicy::Hyperband { brackets } => {
+                for (b, bracket) in brackets.iter().enumerate() {
+                    // Every bracket re-opens the whole grid: cells
+                    // eliminated under an earlier bracket's schedule get
+                    // another chance under this one.
+                    alive.iter_mut().for_each(|a| *a = true);
+                    let future_rounds: u32 = brackets[b + 1..].iter().map(|br| br.rounds).sum();
+                    self.run_rounds(
+                        &mut slots,
+                        &ledger,
+                        &global,
+                        &contexts,
+                        bracket.rounds as usize,
+                        bracket.keep_fraction,
+                        b as u32,
+                        future_rounds,
+                        &mut alive,
+                        &mut cell_best,
+                        &mut allocations,
                     );
                 }
-            };
-            if self.sequential {
-                for slot in slots.iter_mut() {
-                    resume_one(slot);
-                }
-            } else {
-                slots.par_iter_mut().for_each(resume_one);
             }
-
-            // Rank the surviving cells by their best design's solution
-            // score and keep the top `keep_fraction` (never after the
-            // final round; at least one cell always survives). The
-            // campaign-lifetime maxima accumulate across rounds and feed
-            // the final cell reports too.
-            for slot in &mut slots {
-                cell_best[slot.cell] = cell_best[slot.cell].max(slot.run.best_score());
-            }
-            if round + 1 < rounds {
-                let mut ranked = alive_cells.clone();
-                // Stable sort: ties keep the earlier (lower-index) cell.
-                ranked.sort_by(|&a, &b| cell_best[b].total_cmp(&cell_best[a]));
-                let keep =
-                    ((ranked.len() as f64 * keep_fraction).ceil() as usize).clamp(1, ranked.len());
-                for &cell in &ranked[keep..] {
-                    alive[cell] = false;
-                }
-            }
-
-            // Record the round. Unbounded single-round campaigns have
-            // nothing to allocate and skip the report.
-            if global.cap().is_some() || rounds > 1 {
-                allocations.push(AllocationReport {
-                    round: round as u32,
-                    cells: (0..n_cells)
-                        .map(|c| CellAllocation {
-                            benchmark: contexts[c / self.agents.len()].benchmark().to_owned(),
-                            agent: self.agents[c % self.agents.len()],
-                            granted: granted[c],
-                            spent: ledger.cell(c).spent(),
-                            best_score: cell_best[c],
-                            survived: alive[c],
-                        })
-                        .collect(),
-                });
+            policy => {
+                let (rounds, keep_fraction) = match policy {
+                    BudgetPolicy::SuccessiveHalving {
+                        rounds,
+                        keep_fraction,
+                    } => (*rounds as usize, *keep_fraction),
+                    _ => (1, 1.0),
+                };
+                self.run_rounds(
+                    &mut slots,
+                    &ledger,
+                    &global,
+                    &contexts,
+                    rounds,
+                    keep_fraction,
+                    0,
+                    0,
+                    &mut alive,
+                    &mut cell_best,
+                    &mut allocations,
+                );
             }
         }
 
-        // Close out runs the rounds never finished (budget-stopped or
-        // eliminated): every run notifies exactly once.
+        // Close out runs the scheduler never finished (budget-stopped,
+        // eliminated or parked): every run notifies exactly once.
         for slot in &mut slots {
             if !slot.notified {
                 slot.notified = true;
-                observer.on_run_complete(
+                self.observer.on_run_complete(
                     slot.run.benchmark(),
                     slot.kind,
                     slot.seed,
@@ -825,6 +927,338 @@ impl<'a> Campaign<'a> {
         };
         self.observer.on_campaign_complete(&report);
         Ok(report)
+    }
+
+    /// One resume pass over every incomplete run of a `runnable` cell:
+    /// each run continues until its cell budget or the global budget runs
+    /// dry, or it finishes naturally. A run that has never stepped always
+    /// takes its first step (the cooperative overshoot contract, at most
+    /// one step per run), so traces are never empty. Fires the
+    /// budget-exhausted and run-complete observer hooks.
+    fn resume_runnable<B: EvalBackend + Send>(
+        &self,
+        slots: &mut [RunSlot<B>],
+        ledger: &CellLedger,
+        global: &Arc<EvalBudget>,
+        runnable: &(dyn Fn(usize) -> bool + Sync),
+    ) {
+        let observer = self.observer;
+        let resume_one = |slot: &mut RunSlot<B>| {
+            if !runnable(slot.cell) || slot.run.is_complete() {
+                return;
+            }
+            let cell_budget = ledger.cell(slot.cell);
+            let fresh = slot.run.steps_taken() == 0;
+            if fresh || !(cell_budget.exhausted() || global.exhausted()) {
+                slot.run
+                    .resume(|| cell_budget.exhausted() || global.exhausted());
+            }
+            if global.trip() {
+                observer.on_budget_exhausted(global.spent());
+            }
+            if slot.run.is_complete() && !slot.notified {
+                slot.notified = true;
+                observer.on_run_complete(
+                    slot.run.benchmark(),
+                    slot.kind,
+                    slot.seed,
+                    slot.run.stop_reason(),
+                    slot.run.steps_taken(),
+                );
+            }
+        };
+        if self.sequential {
+            for slot in slots.iter_mut() {
+                resume_one(slot);
+            }
+        } else {
+            slots.par_iter_mut().for_each(resume_one);
+        }
+    }
+
+    /// The synchronous round-based scheduler: Uniform and Weighted run it
+    /// for one round, successive halving for `rounds`, and Hyperband once
+    /// per bracket (`bracket` tags the reports; `future_rounds` counts the
+    /// rounds still owed to later brackets, so each round's pool is the
+    /// remaining budget over *all* remaining rounds and a bracket's
+    /// unspent budget rolls forward automatically).
+    #[allow(clippy::too_many_arguments)]
+    fn run_rounds<B: EvalBackend + Send>(
+        &self,
+        slots: &mut [RunSlot<B>],
+        ledger: &CellLedger,
+        global: &Arc<EvalBudget>,
+        contexts: &[EvalContext],
+        rounds: usize,
+        keep_fraction: f64,
+        bracket: u32,
+        future_rounds: u32,
+        alive: &mut [bool],
+        cell_best: &mut [f64],
+        allocations: &mut Vec<AllocationReport>,
+    ) {
+        let n_cells = ledger.len();
+        for round in 0..rounds {
+            // Grant this round's allocations (bounded campaigns only).
+            // Successive halving draws each round from what the previous
+            // rounds left unspent, and grants only to surviving cells that
+            // still have runs to resume — eliminated and naturally
+            // finished cells stop drawing, so their share funds the
+            // survivors instead of stranding in a grant nobody uses.
+            let alive_cells: Vec<usize> = (0..n_cells).filter(|&c| alive[c]).collect();
+            let mut granted = vec![0u64; n_cells];
+            if global.cap().is_some() {
+                let mut incomplete = vec![false; n_cells];
+                for slot in slots.iter() {
+                    if !slot.run.is_complete() {
+                        incomplete[slot.cell] = true;
+                    }
+                }
+                let targets: Vec<usize> = match &self.policy {
+                    // Weighted is single-round: the shares map onto the
+                    // whole grid (every run is still fresh in round 0).
+                    BudgetPolicy::Weighted(_) => alive_cells.clone(),
+                    _ => alive_cells
+                        .iter()
+                        .copied()
+                        .filter(|&c| incomplete[c])
+                        .collect(),
+                };
+                if !targets.is_empty() {
+                    let pool = ledger.remaining_global().unwrap_or(0);
+                    let round_pool = pool / ((rounds - round) as u64 + u64::from(future_rounds));
+                    let grants = match &self.policy {
+                        BudgetPolicy::Weighted(shares) => {
+                            CellLedger::split_weighted(round_pool, shares)
+                        }
+                        _ => CellLedger::split_even(round_pool, targets.len()),
+                    };
+                    for (&cell, &units) in targets.iter().zip(&grants) {
+                        ledger.grant(cell, units);
+                        granted[cell] = units;
+                    }
+                }
+            }
+
+            {
+                let alive_ref: &[bool] = alive;
+                self.resume_runnable(slots, ledger, global, &|c| alive_ref[c]);
+            }
+
+            // Rank the surviving cells by their best design's solution
+            // score and keep the top `keep_fraction` (never after the
+            // final round; at least one cell always survives). The
+            // campaign-lifetime maxima accumulate across rounds and feed
+            // the final cell reports too.
+            for slot in slots.iter_mut() {
+                cell_best[slot.cell] = cell_best[slot.cell].max(slot.run.best_score());
+            }
+            if round + 1 < rounds {
+                let mut ranked = alive_cells.clone();
+                // Stable sort: ties keep the earlier (lower-index) cell.
+                ranked.sort_by(|&a, &b| cell_best[b].total_cmp(&cell_best[a]));
+                let keep =
+                    ((ranked.len() as f64 * keep_fraction).ceil() as usize).clamp(1, ranked.len());
+                for &cell in &ranked[keep..] {
+                    alive[cell] = false;
+                }
+            }
+
+            // Record the round. Unbounded single-round campaigns have
+            // nothing to allocate and skip the report.
+            if global.cap().is_some() || rounds > 1 {
+                allocations.push(AllocationReport {
+                    round: round as u32,
+                    bracket,
+                    cells: (0..n_cells)
+                        .map(|c| CellAllocation {
+                            benchmark: contexts[c / self.agents.len()].benchmark().to_owned(),
+                            agent: self.agents[c % self.agents.len()],
+                            granted: granted[c],
+                            spent: ledger.cell(c).spent(),
+                            best_score: cell_best[c],
+                            survived: alive[c],
+                        })
+                        .collect(),
+                });
+            }
+        }
+    }
+
+    /// The asynchronous-halving (ASHA) scheduler: a rung-based work queue
+    /// with no round barrier. Every cell climbs a ladder of `rungs` budget
+    /// quanta; when a cell exhausts its rung grant (or finishes naturally)
+    /// its best score is recorded on the rung's [`RungLedger`], and it is
+    /// promoted — granted the next rung's quantum and resumed — as soon as
+    /// it ranks in the top `keep_fraction` of everything its rung has seen
+    /// *so far*. Fast cells can be several rungs ahead of slow ones inside
+    /// the same resume pass; cells that never rank stay parked, and their
+    /// unspent share funds later promotions through the shared remaining
+    /// pool. With a single rung this degenerates to the Uniform grant
+    /// byte-identically.
+    #[allow(clippy::too_many_arguments)]
+    fn run_asha<B: EvalBackend + Send>(
+        &self,
+        slots: &mut [RunSlot<B>],
+        ledger: &CellLedger,
+        global: &Arc<EvalBudget>,
+        contexts: &[EvalContext],
+        rungs: usize,
+        keep_fraction: f64,
+        alive: &mut [bool],
+        cell_best: &mut [f64],
+        allocations: &mut Vec<AllocationReport>,
+    ) {
+        #[derive(Clone, Copy, PartialEq, Eq)]
+        enum Phase {
+            /// Admitted to its current rung with a grant; resumable.
+            Running,
+            /// At a rung boundary, waiting to rank high enough to promote.
+            Parked,
+            /// Every run of the cell finished naturally.
+            Done,
+        }
+        let n_cells = ledger.len();
+        let mut rung_ledger = RungLedger::new(rungs, keep_fraction);
+        let mut phase = vec![Phase::Running; n_cells];
+        let mut rung = vec![0usize; n_cells];
+        let mut granted = vec![vec![0u64; rungs]; n_cells];
+        let mut spent_at = vec![vec![None::<u64>; rungs]; n_cells];
+        let mut score_at = vec![vec![None::<f64>; rungs]; n_cells];
+        let mut survived = vec![vec![false; rungs]; n_cells];
+
+        // Admit the whole grid to rung 0: one rung's worth of the cap,
+        // split evenly. With a single rung this is exactly the Uniform
+        // grant — which is what makes `asha` with one rung degenerate to
+        // the uniform path byte-identically.
+        let pool = ledger.remaining_global().unwrap_or(0) / rungs as u64;
+        for (c, units) in CellLedger::split_even(pool, n_cells)
+            .into_iter()
+            .enumerate()
+        {
+            ledger.grant(c, units);
+            granted[c][0] = units;
+        }
+        // Promotion quanta assume the keep fraction thins each rung
+        // geometrically (the classic ASHA shape); the global cap stays the
+        // hard ceiling regardless, since every run charges it too.
+        let expected = |r: usize| -> u64 {
+            ((n_cells as f64) * keep_fraction.powi(r as i32))
+                .ceil()
+                .max(1.0) as u64
+        };
+
+        loop {
+            {
+                let phase_ref = &phase;
+                if !slots
+                    .iter()
+                    .any(|s| phase_ref[s.cell] == Phase::Running && !s.run.is_complete())
+                {
+                    break;
+                }
+                self.resume_runnable(slots, ledger, global, &|c| phase_ref[c] == Phase::Running);
+            }
+            for slot in slots.iter_mut() {
+                cell_best[slot.cell] = cell_best[slot.cell].max(slot.run.best_score());
+            }
+            // After a resume pass every incomplete run of a running cell
+            // is budget-paused, so each running cell sits at its rung
+            // boundary: record it (cell-index order — deterministic).
+            let mut cell_done = vec![true; n_cells];
+            for slot in slots.iter() {
+                if !slot.run.is_complete() {
+                    cell_done[slot.cell] = false;
+                }
+            }
+            for c in 0..n_cells {
+                if phase[c] != Phase::Running {
+                    continue;
+                }
+                rung_ledger.record(rung[c], c, cell_best[c]);
+                spent_at[c][rung[c]] = Some(ledger.cell(c).spent());
+                score_at[c][rung[c]] = Some(cell_best[c]);
+                if cell_done[c] {
+                    // Finishing all runs naturally clears the rung.
+                    survived[c][rung[c]] = true;
+                    phase[c] = Phase::Done;
+                } else {
+                    phase[c] = Phase::Parked;
+                }
+            }
+            // Asynchronous promotions: every rung but the last promotes
+            // whoever now ranks in its top keep fraction — the cell that
+            // just parked, or one parked passes ago that a slow peer's
+            // arrival finally pushed over the growing cut. Promotion
+            // quanta are drawn from the *unallocated* budget — what the
+            // cap has left after every outstanding (granted-but-unspent)
+            // cell share — so the aggregate of all grants can never
+            // exceed the cap: cell budgets always bind before the shared
+            // global one, keeping the schedule deterministic even when
+            // the resume passes run on many threads. A promotion the
+            // unallocated pool cannot fund at all is simply not taken:
+            // the cell stays parked instead of climbing rungs on zero
+            // budget and re-recording its stale score above.
+            let outstanding: u64 = (0..n_cells)
+                .map(|c| {
+                    let b = ledger.cell(c);
+                    b.cap().unwrap_or(0).saturating_sub(b.spent())
+                })
+                .sum();
+            let mut unallocated = ledger
+                .remaining_global()
+                .unwrap_or(0)
+                .saturating_sub(outstanding);
+            for r in 0..rungs.saturating_sub(1) {
+                let pool = unallocated / (rungs - (r + 1)) as u64;
+                for c in rung_ledger.newly_promotable(r) {
+                    survived[c][r] = true;
+                    if phase[c] == Phase::Parked && rung[c] == r {
+                        let units = (pool / expected(r + 1)).min(unallocated);
+                        if units == 0 {
+                            continue;
+                        }
+                        unallocated -= units;
+                        rung[c] = r + 1;
+                        ledger.grant(c, units);
+                        granted[c][r + 1] += units;
+                        phase[c] = Phase::Running;
+                    }
+                }
+            }
+            if global.exhausted() {
+                break;
+            }
+        }
+
+        // A cell parked below the final rung was never promoted —
+        // eliminated, in sync-halving terms. Parked *on* the final rung
+        // just ran its ladder's budget dry: it climbed the whole ladder,
+        // so it survives the schedule (mirroring sync halving, which
+        // never eliminates after the last round — and the Uniform path,
+        // whose single round marks every cell survived).
+        for c in 0..n_cells {
+            if rung_ledger.score(rungs - 1, c).is_some() {
+                survived[c][rungs - 1] = true;
+            }
+            alive[c] = !(phase[c] == Phase::Parked && rung[c] + 1 < rungs);
+        }
+        for r in 0..rungs {
+            allocations.push(AllocationReport {
+                round: r as u32,
+                bracket: 0,
+                cells: (0..n_cells)
+                    .map(|c| CellAllocation {
+                        benchmark: contexts[c / self.agents.len()].benchmark().to_owned(),
+                        agent: self.agents[c % self.agents.len()],
+                        granted: granted[c][r],
+                        spent: spent_at[c][r].unwrap_or_else(|| ledger.cell(c).spent()),
+                        best_score: score_at[c][r].unwrap_or(cell_best[c]),
+                        survived: survived[c][r],
+                    })
+                    .collect(),
+            });
+        }
     }
 }
 
@@ -1196,6 +1630,134 @@ mod tests {
                 assert_eq!(ca.granted, cb.granted);
             }
         }
+    }
+
+    #[test]
+    fn asha_promotes_without_a_round_barrier() {
+        let l = lib();
+        let (wa, wb) = (MatMul::new(4), DotProduct::new(8));
+        let report = Campaign::new("asha", &l)
+            .benchmark(&wa)
+            .benchmark(&wb)
+            .agents(&[AgentKind::QLearning, AgentKind::Sarsa])
+            .seeds(SeedRange::new(0, 2))
+            .options(quick_opts(5_000))
+            .budget(120)
+            .policy(BudgetPolicy::AsyncHalving {
+                rungs: 2,
+                keep_fraction: 0.5,
+            })
+            .run()
+            .unwrap();
+        // One allocation report per rung, every cell admitted to rung 0.
+        assert_eq!(report.allocations.len(), 2);
+        let (r0, r1) = (&report.allocations[0], &report.allocations[1]);
+        assert_eq!(r0.bracket, 0);
+        assert!(r0.cells.iter().all(|c| c.granted == 15), "{r0:?}");
+        // The async cut: with all four cells reporting, keep 0.5 promotes
+        // two of them onto rung 1 — and only promoted cells draw there.
+        assert_eq!(r0.survivors(), 2, "{r0:?}");
+        for (c0, c1) in r0.cells.iter().zip(&r1.cells) {
+            if c0.survived {
+                assert!(c1.granted > 0, "promoted cells draw rung 1: {c1:?}");
+            } else {
+                assert_eq!(c1.granted, 0, "parked cells draw nothing: {c1:?}");
+            }
+        }
+        // Promotion kept the leaders.
+        let best_promoted = r0
+            .cells
+            .iter()
+            .filter(|c| c.survived)
+            .map(|c| c.best_score)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let best_parked = r0
+            .cells
+            .iter()
+            .filter(|c| !c.survived)
+            .map(|c| c.best_score)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(best_promoted >= best_parked);
+        // The global cap stays the hard ceiling.
+        assert!(report.budget.spent <= 120);
+        assert!(report.budget.overshoot <= 8 * 20);
+    }
+
+    #[test]
+    fn asha_is_deterministic() {
+        let l = lib();
+        let (wa, wb) = (MatMul::new(4), DotProduct::new(8));
+        let run = || {
+            Campaign::new("asha-det", &l)
+                .benchmark(&wa)
+                .benchmark(&wb)
+                .agents(&[AgentKind::QLearning, AgentKind::Sarsa])
+                .options(quick_opts(2_000))
+                .budget(100)
+                .policy(BudgetPolicy::AsyncHalving {
+                    rungs: 3,
+                    keep_fraction: 0.5,
+                })
+                .run()
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.summary, cb.summary);
+            assert_eq!(ca.evaluations, cb.evaluations);
+        }
+        for (ra, rb) in a.allocations.iter().zip(&b.allocations) {
+            for (ca, cb) in ra.cells.iter().zip(&rb.cells) {
+                assert_eq!(ca.survived, cb.survived);
+                assert_eq!(ca.granted, cb.granted);
+            }
+        }
+    }
+
+    #[test]
+    fn hyperband_sweeps_brackets_and_revives_eliminated_cells() {
+        let l = lib();
+        let (wa, wb) = (MatMul::new(4), DotProduct::new(8));
+        let report = Campaign::new("hyperband", &l)
+            .benchmark(&wa)
+            .benchmark(&wb)
+            .agents(&[AgentKind::QLearning, AgentKind::Sarsa])
+            .seeds(SeedRange::new(0, 2))
+            .options(quick_opts(5_000))
+            .budget(240)
+            .policy(BudgetPolicy::Hyperband {
+                brackets: vec![
+                    crate::campaign::HalvingBracket::new(2, 0.5),
+                    crate::campaign::HalvingBracket::new(1, 0.5),
+                ],
+            })
+            .run()
+            .unwrap();
+        // One report per round of every bracket, tagged with its bracket.
+        assert_eq!(report.allocations.len(), 3);
+        assert_eq!(
+            report
+                .allocations
+                .iter()
+                .map(|a| (a.bracket, a.round))
+                .collect::<Vec<_>>(),
+            vec![(0, 0), (0, 1), (1, 0)]
+        );
+        // Bracket 0 round 0 splits a (240 / 3 rounds)-pool four ways.
+        assert!(report.allocations[0].cells.iter().all(|c| c.granted == 20));
+        assert_eq!(report.allocations[0].survivors(), 2);
+        // Bracket 1 re-opens the grid: every cell is alive again, and
+        // cells eliminated in bracket 0 may draw grants once more (they
+        // still have budget-paused runs to resume).
+        let b1 = &report.allocations[2];
+        assert_eq!(b1.survivors(), b1.cells.len(), "single-round bracket");
+        let revived = report.allocations[1]
+            .cells
+            .iter()
+            .zip(&b1.cells)
+            .any(|(old, new)| !old.survived && new.granted > 0);
+        assert!(revived, "{:?}", report.allocations);
+        assert!(report.budget.spent <= 240);
     }
 
     #[test]

@@ -13,26 +13,33 @@
 //! [`Observer`] hooks and returns a structured [`CampaignReport`].
 //!
 //! Budgets are divided across (benchmark, agent) cells by a
-//! [`BudgetPolicy`]: even shares, weighted shares, or a successive-halving
-//! scheduler that runs the grid in rounds, ranks cells by best-design
-//! reward and reallocates the unspent budget of eliminated cells to the
-//! leaders ([`CellLedger`], per-round [`AllocationReport`]s).
+//! [`BudgetPolicy`]: even shares, weighted shares, a successive-halving
+//! scheduler that runs the grid in rounds, an asynchronous (ASHA)
+//! scheduler that promotes cells rung by rung without a round barrier,
+//! or a Hyperband outer loop sweeping whole bracket configurations
+//! ([`CellLedger`], [`RungLedger`], per-round/rung/bracket
+//! [`AllocationReport`]s). See `docs/spec_reference.md` for the complete
+//! JSON schema of every spec field and policy form.
 //!
 //! The legacy free functions (`explore_qlearning`, `sweep_seeds*`,
 //! `race_portfolio*`) are deprecated thin wrappers over this driver — a
 //! 1×1×N campaign is a seed sweep, a 1×M×1 campaign is a portfolio race —
 //! and specs checked in as JSON run end-to-end via `repro run <spec.json>`.
 
+#![warn(missing_docs)]
+
 pub mod budget;
 pub mod driver;
 pub mod spec;
 
-pub use budget::{CellLedger, EvalBudget, MeteredBackend};
+pub use budget::{CellLedger, EvalBudget, MeteredBackend, RungLedger};
 pub use driver::{
     explore, AllocationReport, BackendProvider, BudgetReport, Campaign, CampaignReport,
     CellAllocation, CellReport, ExactProvider, NullObserver, Observer, TieredStats, WrapProvider,
 };
-pub use spec::{BackendSpec, BenchmarkSpec, BudgetPolicy, ExperimentSpec, SeedRange, SpecError};
+pub use spec::{
+    BackendSpec, BenchmarkSpec, BudgetPolicy, ExperimentSpec, HalvingBracket, SeedRange, SpecError,
+};
 
 use serde::{Deserialize, Serialize};
 

@@ -168,6 +168,27 @@ impl BackendSpec {
     }
 }
 
+/// One Hyperband bracket: a synchronous successive-halving configuration
+/// `(rounds, keep_fraction)` run as one stage of the outer loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HalvingBracket {
+    /// Grant/rank rounds of this bracket (≥ 1).
+    pub rounds: u32,
+    /// Fraction of surviving cells kept after each of the bracket's
+    /// rounds, in (0, 1).
+    pub keep_fraction: f64,
+}
+
+impl HalvingBracket {
+    /// A bracket with the given round count and keep fraction.
+    pub fn new(rounds: u32, keep_fraction: f64) -> Self {
+        Self {
+            rounds,
+            keep_fraction,
+        }
+    }
+}
+
 /// How a campaign's global evaluation budget is divided across its
 /// (benchmark, agent) cells.
 ///
@@ -175,8 +196,13 @@ impl BackendSpec {
 /// evaluation budget; with one *global* cap a losing cell can starve the
 /// leaders. A budget policy splits the cap into per-cell sub-budgets (see
 /// [`crate::campaign::CellLedger`]) so every cell is guaranteed its share
-/// — and [`BudgetPolicy::SuccessiveHalving`] goes further, reallocating
-/// the budget of eliminated cells to the leaders round by round.
+/// — and the multi-fidelity policies go further:
+/// [`BudgetPolicy::SuccessiveHalving`] reallocates the budget of
+/// eliminated cells to the leaders round by round,
+/// [`BudgetPolicy::AsyncHalving`] promotes leaders rung by rung without
+/// waiting for slow peers, and [`BudgetPolicy::Hyperband`] sweeps whole
+/// bracket configurations so the (rounds, keep) choice itself need not be
+/// hand-tuned.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum BudgetPolicy {
     /// Every cell gets an equal share of the global cap (the whole cap
@@ -203,6 +229,36 @@ pub enum BudgetPolicy {
         /// at least one cell always survives.
         keep_fraction: f64,
     },
+    /// Asynchronous successive halving (ASHA): every cell climbs a ladder
+    /// of `rungs` budget quanta, and is promoted to the next rung **as
+    /// soon as** its best-design solution score ranks in the top
+    /// `keep_fraction` of the scores its current rung has seen *so far* —
+    /// no round barrier, so a fast cell can be rungs ahead of a slow one
+    /// (see [`crate::campaign::RungLedger`]). Cells that never rank stay
+    /// parked and their unspent share funds later promotions. With a
+    /// single rung this degenerates to [`BudgetPolicy::Uniform`]
+    /// byte-identically. Requires a global budget.
+    AsyncHalving {
+        /// Number of budget rungs (≥ 1).
+        rungs: u32,
+        /// Fraction of a rung's recorded peers promoted onward, in
+        /// (0, 1); the first cell to report on a rung always promotes.
+        keep_fraction: f64,
+    },
+    /// Hyperband: an outer loop over successive-halving bracket
+    /// configurations, hedging the (rounds, keep_fraction) choice that a
+    /// single [`BudgetPolicy::SuccessiveHalving`] point hand-tunes. Each
+    /// bracket re-opens the whole grid (cells eliminated in an earlier
+    /// bracket get another chance under the next bracket's schedule),
+    /// reuses the campaign's [`crate::campaign::CellLedger`] and draws
+    /// each round's pool from the budget still unspent across **all**
+    /// remaining rounds of all remaining brackets — so a bracket's
+    /// unspent budget automatically rolls forward. Requires a global
+    /// budget.
+    Hyperband {
+        /// The brackets, run in order (≥ 1).
+        brackets: Vec<HalvingBracket>,
+    },
 }
 
 impl BudgetPolicy {
@@ -211,11 +267,20 @@ impl BudgetPolicy {
     /// # Errors
     ///
     /// Fails when the policy needs a budget and none is set, when weighted
-    /// shares do not match the cell count (or are non-positive), or when
-    /// halving names zero rounds or a keep fraction outside (0, 1) — the
-    /// configurations that would make the round scheduler divide by zero
-    /// cells or rounds.
+    /// shares do not match the cell count (or are non-positive), or when a
+    /// halving form (sync, async, or a Hyperband bracket) names zero
+    /// rounds/rungs or a keep fraction outside (0, 1) — the configurations
+    /// that would make the rung scheduler divide by zero cells, rounds or
+    /// rungs.
     pub fn check(&self, n_cells: usize, budget: Option<u64>) -> Result<(), SpecError> {
+        fn check_keep(what: &str, keep_fraction: f64) -> Result<(), SpecError> {
+            if !(keep_fraction.is_finite() && keep_fraction > 0.0 && keep_fraction < 1.0) {
+                return Err(SpecError(format!(
+                    "{what} keep_fraction must lie in (0, 1), got {keep_fraction}"
+                )));
+            }
+            Ok(())
+        }
         match self {
             BudgetPolicy::Uniform => Ok(()),
             BudgetPolicy::Weighted(shares) => {
@@ -252,10 +317,40 @@ impl BudgetPolicy {
                         "successive halving needs at least one round".into(),
                     ));
                 }
-                if !(keep_fraction.is_finite() && *keep_fraction > 0.0 && *keep_fraction < 1.0) {
-                    return Err(SpecError(format!(
-                        "successive halving keep_fraction must lie in (0, 1), got {keep_fraction}"
-                    )));
+                check_keep("successive halving", *keep_fraction)
+            }
+            BudgetPolicy::AsyncHalving {
+                rungs,
+                keep_fraction,
+            } => {
+                if budget.is_none() {
+                    return Err(SpecError(
+                        "asynchronous halving needs a global budget to split over rungs".into(),
+                    ));
+                }
+                if *rungs == 0 {
+                    return Err(SpecError(
+                        "asynchronous halving needs at least one rung".into(),
+                    ));
+                }
+                check_keep("asynchronous halving", *keep_fraction)
+            }
+            BudgetPolicy::Hyperband { brackets } => {
+                if budget.is_none() {
+                    return Err(SpecError(
+                        "hyperband needs a global budget to split over brackets".into(),
+                    ));
+                }
+                if brackets.is_empty() {
+                    return Err(SpecError("hyperband needs at least one bracket".into()));
+                }
+                for (i, b) in brackets.iter().enumerate() {
+                    if b.rounds == 0 {
+                        return Err(SpecError(format!(
+                            "hyperband bracket {i} needs at least one round"
+                        )));
+                    }
+                    check_keep(&format!("hyperband bracket {i}"), b.keep_fraction)?;
                 }
                 Ok(())
             }
@@ -263,14 +358,30 @@ impl BudgetPolicy {
     }
 
     /// Parses the CLI shorthand shared by `repro run --policy` and
-    /// `bench_sweep --policy`: `uniform`, `weighted:S1,S2,…` or
-    /// `halving:ROUNDS,KEEP_FRACTION`.
+    /// `bench_sweep --policy`: `uniform`, `weighted:S1,S2,…`,
+    /// `halving:ROUNDS,KEEP_FRACTION`, `asha:RUNGS,KEEP_FRACTION` or
+    /// `hyperband:R1,K1;R2,K2;…` (one `ROUNDS,KEEP` pair per bracket,
+    /// semicolon-separated).
     ///
     /// # Errors
     ///
     /// Returns a human-readable message on malformed input (shape checks
     /// like share counts happen later, in [`BudgetPolicy::check`]).
     pub fn parse_cli(text: &str) -> Result<Self, String> {
+        fn parse_pair(what: &str, rest: &str) -> Result<(u32, f64), String> {
+            let (rounds, keep) = rest
+                .split_once(',')
+                .ok_or_else(|| format!("{what} policy needs `{what}:ROUNDS,KEEP`"))?;
+            Ok((
+                rounds
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("bad {what} rounds `{rounds}`: {e}"))?,
+                keep.trim()
+                    .parse()
+                    .map_err(|e| format!("bad {what} keep fraction `{keep}`: {e}"))?,
+            ))
+        }
         if text == "uniform" {
             return Ok(BudgetPolicy::Uniform);
         }
@@ -286,23 +397,32 @@ impl BudgetPolicy {
             return Ok(BudgetPolicy::Weighted(shares));
         }
         if let Some(rest) = text.strip_prefix("halving:") {
-            let (rounds, keep) = rest
-                .split_once(',')
-                .ok_or_else(|| "halving policy needs `halving:ROUNDS,KEEP`".to_string())?;
+            let (rounds, keep_fraction) = parse_pair("halving", rest)?;
             return Ok(BudgetPolicy::SuccessiveHalving {
-                rounds: rounds
-                    .trim()
-                    .parse()
-                    .map_err(|e| format!("bad halving rounds `{rounds}`: {e}"))?,
-                keep_fraction: keep
-                    .trim()
-                    .parse()
-                    .map_err(|e| format!("bad halving keep fraction `{keep}`: {e}"))?,
+                rounds,
+                keep_fraction,
             });
         }
+        if let Some(rest) = text.strip_prefix("asha:") {
+            let (rungs, keep_fraction) = parse_pair("asha", rest)?;
+            return Ok(BudgetPolicy::AsyncHalving {
+                rungs,
+                keep_fraction,
+            });
+        }
+        if let Some(rest) = text.strip_prefix("hyperband:") {
+            let brackets = rest
+                .split(';')
+                .map(|pair| {
+                    parse_pair("hyperband", pair.trim())
+                        .map(|(rounds, keep_fraction)| HalvingBracket::new(rounds, keep_fraction))
+                })
+                .collect::<Result<Vec<HalvingBracket>, String>>()?;
+            return Ok(BudgetPolicy::Hyperband { brackets });
+        }
         Err(format!(
-            "unknown budget policy `{text}` (expected `uniform`, `weighted:S1,S2,…` \
-             or `halving:ROUNDS,KEEP`)"
+            "unknown budget policy `{text}` (expected `uniform`, `weighted:S1,S2,…`, \
+             `halving:ROUNDS,KEEP`, `asha:RUNGS,KEEP` or `hyperband:R1,K1;R2,K2;…`)"
         ))
     }
 
@@ -323,6 +443,33 @@ impl BudgetPolicy {
                     ("keep_fraction", Json::f64(*keep_fraction)),
                 ]),
             )]),
+            BudgetPolicy::AsyncHalving {
+                rungs,
+                keep_fraction,
+            } => Json::obj(vec![(
+                "asha",
+                Json::obj(vec![
+                    ("rungs", Json::u64(u64::from(*rungs))),
+                    ("keep_fraction", Json::f64(*keep_fraction)),
+                ]),
+            )]),
+            BudgetPolicy::Hyperband { brackets } => Json::obj(vec![(
+                "hyperband",
+                Json::obj(vec![(
+                    "brackets",
+                    Json::Arr(
+                        brackets
+                            .iter()
+                            .map(|b| {
+                                Json::obj(vec![
+                                    ("rounds", Json::u64(u64::from(b.rounds))),
+                                    ("keep_fraction", Json::f64(b.keep_fraction)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                )]),
+            )]),
         }
     }
 
@@ -338,29 +485,65 @@ impl BudgetPolicy {
                     )?;
                     return Ok(BudgetPolicy::Weighted(shares));
                 }
-                if let Some(h) = v.get("successive-halving") {
-                    let rounds = h
-                        .get("rounds")
-                        .ok_or_else(|| JsonError("successive-halving needs `rounds`".into()))?
+                fn rounds_and_keep(
+                    what: &str,
+                    rounds_key: &str,
+                    v: &Json,
+                ) -> Result<(u32, f64), JsonError> {
+                    let rounds = v
+                        .get(rounds_key)
+                        .ok_or_else(|| JsonError(format!("{what} needs `{rounds_key}`")))?
                         .as_u64()?;
-                    return Ok(BudgetPolicy::SuccessiveHalving {
-                        rounds: u32::try_from(rounds)
-                            .map_err(|_| JsonError(format!("rounds {rounds} overflows u32")))?,
-                        keep_fraction: h
-                            .get("keep_fraction")
-                            .ok_or_else(|| {
-                                JsonError("successive-halving needs `keep_fraction`".into())
-                            })?
+                    Ok((
+                        u32::try_from(rounds).map_err(|_| {
+                            JsonError(format!("{rounds_key} {rounds} overflows u32"))
+                        })?,
+                        v.get("keep_fraction")
+                            .ok_or_else(|| JsonError(format!("{what} needs `keep_fraction`")))?
                             .as_f64()?,
+                    ))
+                }
+                if let Some(h) = v.get("successive-halving") {
+                    let (rounds, keep_fraction) =
+                        rounds_and_keep("successive-halving", "rounds", h)?;
+                    return Ok(BudgetPolicy::SuccessiveHalving {
+                        rounds,
+                        keep_fraction,
                     });
                 }
+                if let Some(a) = v.get("asha") {
+                    let (rungs, keep_fraction) = rounds_and_keep("asha", "rungs", a)?;
+                    return Ok(BudgetPolicy::AsyncHalving {
+                        rungs,
+                        keep_fraction,
+                    });
+                }
+                if let Some(h) = v.get("hyperband") {
+                    let brackets = h
+                        .get("brackets")
+                        .ok_or_else(|| JsonError("hyperband needs a `brackets` array".into()))?
+                        .as_arr()?
+                        .iter()
+                        .map(|b| {
+                            rounds_and_keep("hyperband bracket", "rounds", b).map(
+                                |(rounds, keep_fraction)| {
+                                    HalvingBracket::new(rounds, keep_fraction)
+                                },
+                            )
+                        })
+                        .collect::<Result<Vec<HalvingBracket>, JsonError>>()?;
+                    return Ok(BudgetPolicy::Hyperband { brackets });
+                }
                 Err(JsonError(
-                    "policy object must carry `weighted` or `successive-halving`".into(),
+                    "policy object must carry `weighted`, `successive-halving`, `asha` \
+                     or `hyperband`"
+                        .into(),
                 ))
             }
             other => Err(JsonError(format!(
-                "policy must be \"uniform\", {{\"weighted\": …}} or \
-                 {{\"successive-halving\": …}}, got {other:?}"
+                "policy must be \"uniform\", {{\"weighted\": …}}, \
+                 {{\"successive-halving\": …}}, {{\"asha\": …}} or \
+                 {{\"hyperband\": …}}, got {other:?}"
             ))),
         }
     }
@@ -965,6 +1148,13 @@ mod tests {
                 rounds: 3,
                 keep_fraction: 0.5,
             },
+            BudgetPolicy::AsyncHalving {
+                rungs: 4,
+                keep_fraction: 0.25,
+            },
+            BudgetPolicy::Hyperband {
+                brackets: vec![HalvingBracket::new(3, 0.5), HalvingBracket::new(1, 0.75)],
+            },
         ] {
             let spec = base().policy(policy.clone());
             let back = ExperimentSpec::from_json_str(&spec.to_json_string()).unwrap();
@@ -1041,6 +1231,83 @@ mod tests {
     }
 
     #[test]
+    fn validation_rejects_degenerate_rung_and_bracket_configs() {
+        let base = || {
+            ExperimentSpec::new("rungs")
+                .benchmark(BenchmarkSpec::MatMul(4))
+                .agent(AgentKind::QLearning)
+                .agent(AgentKind::Sarsa)
+                .budget(500)
+        };
+        // Valid configurations pass.
+        base()
+            .policy(BudgetPolicy::AsyncHalving {
+                rungs: 3,
+                keep_fraction: 0.5,
+            })
+            .validate()
+            .unwrap();
+        base()
+            .policy(BudgetPolicy::Hyperband {
+                brackets: vec![HalvingBracket::new(2, 0.5), HalvingBracket::new(1, 0.5)],
+            })
+            .validate()
+            .unwrap();
+        // Zero rungs / rounds are the divide-by-zero hazards.
+        let err = base()
+            .policy(BudgetPolicy::AsyncHalving {
+                rungs: 0,
+                keep_fraction: 0.5,
+            })
+            .validate()
+            .unwrap_err();
+        assert!(err.0.contains("rung"), "{err}");
+        let err = base()
+            .policy(BudgetPolicy::Hyperband {
+                brackets: vec![HalvingBracket::new(0, 0.5)],
+            })
+            .validate()
+            .unwrap_err();
+        assert!(err.0.contains("round"), "{err}");
+        // An empty bracket list has nothing to sweep.
+        let err = base()
+            .policy(BudgetPolicy::Hyperband { brackets: vec![] })
+            .validate()
+            .unwrap_err();
+        assert!(err.0.contains("bracket"), "{err}");
+        // Keep fractions must lie strictly inside (0, 1) everywhere.
+        for keep in [0.0, 1.0, f64::INFINITY] {
+            assert!(base()
+                .policy(BudgetPolicy::AsyncHalving {
+                    rungs: 2,
+                    keep_fraction: keep,
+                })
+                .validate()
+                .is_err());
+            assert!(base()
+                .policy(BudgetPolicy::Hyperband {
+                    brackets: vec![HalvingBracket::new(2, keep)],
+                })
+                .validate()
+                .is_err());
+        }
+        // Both need a budget to split.
+        for policy in [
+            BudgetPolicy::AsyncHalving {
+                rungs: 2,
+                keep_fraction: 0.5,
+            },
+            BudgetPolicy::Hyperband {
+                brackets: vec![HalvingBracket::new(2, 0.5)],
+            },
+        ] {
+            let mut no_budget = base().policy(policy);
+            no_budget.budget = None;
+            assert!(no_budget.validate().unwrap_err().0.contains("budget"));
+        }
+    }
+
+    #[test]
     fn validation_explains_empty_seed_and_budget_errors() {
         let zero_seeds = ExperimentSpec::new("x")
             .benchmark(BenchmarkSpec::MatMul(4))
@@ -1079,9 +1346,28 @@ mod tests {
                 keep_fraction: 0.5
             }
         );
+        assert_eq!(
+            BudgetPolicy::parse_cli("asha:4,0.25").unwrap(),
+            BudgetPolicy::AsyncHalving {
+                rungs: 4,
+                keep_fraction: 0.25
+            }
+        );
+        assert_eq!(
+            BudgetPolicy::parse_cli("hyperband:3,0.5;2,0.5;1,0.75").unwrap(),
+            BudgetPolicy::Hyperband {
+                brackets: vec![
+                    HalvingBracket::new(3, 0.5),
+                    HalvingBracket::new(2, 0.5),
+                    HalvingBracket::new(1, 0.75),
+                ]
+            }
+        );
         assert!(BudgetPolicy::parse_cli("nope").is_err());
         assert!(BudgetPolicy::parse_cli("halving:3").is_err());
         assert!(BudgetPolicy::parse_cli("weighted:one").is_err());
+        assert!(BudgetPolicy::parse_cli("asha:2").is_err());
+        assert!(BudgetPolicy::parse_cli("hyperband:3,0.5;x").is_err());
     }
 
     #[test]

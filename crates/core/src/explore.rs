@@ -334,13 +334,15 @@ fn build_agent(
 /// so the run can stop at a step boundary and continue later with all
 /// learned state intact.
 ///
-/// This is the primitive round-based budget schedulers (successive
-/// halving) are built on: each campaign round resumes the surviving runs
-/// against their replenished budgets, and eliminated runs are simply never
-/// resumed again. A single `start` + `resume` + `finish` is bit-identical
-/// to [`explore_backend_with_stop`]; splitting the same exploration over
-/// several resumes changes nothing but where it pauses (see
-/// [`ax_agents::train::TrainSession`]).
+/// This is the primitive every budget scheduler is built on — the
+/// synchronous round loop (successive halving, Hyperband brackets) and
+/// the asynchronous rung queue (ASHA) alike: each pass resumes the
+/// surviving runs against their replenished budgets, and eliminated or
+/// parked runs are simply not resumed. A single `start` + `resume` +
+/// `finish` is bit-identical to [`explore_backend_with_stop`]; splitting
+/// the same exploration over several resumes — at round boundaries, rung
+/// boundaries, or anywhere else — changes nothing but where it pauses
+/// (see [`ax_agents::train::TrainSession`]).
 pub struct ResumableExploration<B: EvalBackend> {
     env: DseEnv<B>,
     agent: Box<dyn TabularAgent<DseState> + Send>,

@@ -207,6 +207,42 @@ mod tests {
     }
 
     #[test]
+    fn tiered_campaign_runs_under_asha_and_hyperband() {
+        use ax_dse::campaign::{BudgetPolicy, HalvingBracket};
+        let lib = OperatorLibrary::evoapprox();
+        // ASHA: one allocation report per rung, promotions thinned the
+        // grid, the cap held, and tier usage still flows through.
+        let asha = quick_spec(BackendSpec::Tiered(SurrogateSettings::default()))
+            .budget(200)
+            .policy(BudgetPolicy::AsyncHalving {
+                rungs: 2,
+                keep_fraction: 0.5,
+            });
+        let report = run_spec(&lib, &asha, None, &NullObserver).unwrap();
+        assert_eq!(report.allocations.len(), 2);
+        assert_eq!(report.allocations[0].survivors(), 2);
+        assert!(report.budget.spent <= 200);
+        assert!(report.tier.is_some(), "tier usage survives the scheduler");
+        // Hyperband: bracket-tagged reports, cap held.
+        let hyperband = quick_spec(BackendSpec::Tiered(SurrogateSettings::default()))
+            .budget(200)
+            .policy(BudgetPolicy::Hyperband {
+                brackets: vec![HalvingBracket::new(2, 0.5), HalvingBracket::new(1, 0.5)],
+            });
+        let report = run_spec(&lib, &hyperband, None, &NullObserver).unwrap();
+        assert_eq!(
+            report
+                .allocations
+                .iter()
+                .map(|a| (a.bracket, a.round))
+                .collect::<Vec<_>>(),
+            vec![(0, 0), (0, 1), (1, 0)]
+        );
+        assert!(report.budget.spent <= 200);
+        assert!(report.tier.is_some());
+    }
+
+    #[test]
     fn invalid_spec_is_rejected_before_running() {
         let lib = OperatorLibrary::evoapprox();
         let spec = ExperimentSpec::new("empty");

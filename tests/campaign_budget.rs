@@ -1,8 +1,12 @@
 //! Budget-share scheduler contracts: uniform shares degrade to the plain
 //! campaign, successive halving respects the global cap and still finds
-//! the good designs at a fraction of the evaluation spend.
+//! the good designs at a fraction of the evaluation spend, asynchronous
+//! halving matches it with no round barrier, and Hyperband's bracket
+//! sweep stays under the cap.
 
-use axdse_suite::ax_dse::campaign::{BudgetPolicy, Campaign, CampaignReport, SeedRange};
+use axdse_suite::ax_dse::campaign::{
+    BudgetPolicy, Campaign, CampaignReport, HalvingBracket, SeedRange,
+};
 use axdse_suite::ax_dse::explore::{AgentKind, ExploreOptions};
 use axdse_suite::ax_operators::OperatorLibrary;
 use axdse_suite::ax_workloads::fir::Fir;
@@ -121,6 +125,123 @@ fn halving_matches_exhaustive_reward_at_a_fraction_of_the_evals() {
     assert_eq!(halved.allocations.len(), 2, "both rounds recorded");
 }
 
+/// The ISSUE 5 acceptance scenario: on the same MatMul×FIR grid and the
+/// same ≈55 % budget, ASHA must still reach the exhaustive run's best
+/// score while spending no more evaluations than synchronous successive
+/// halving does — the round barrier buys nothing. The same comparison is
+/// recorded in `BENCH_sweep.json` by `bench_sweep --policy asha:2,0.5`.
+#[test]
+fn asha_reaches_the_exhaustive_best_within_the_sync_halving_evals() {
+    let l = lib();
+    let (matmul, fir) = (MatMul::new(6), Fir::new(40));
+    let agents = [AgentKind::QLearning, AgentKind::Sarsa];
+    let campaign = |budget: Option<u64>, policy: Option<BudgetPolicy>| {
+        let mut c = Campaign::new("asha-acceptance", &l)
+            .benchmark(&matmul)
+            .benchmark(&fir)
+            .agents(&agents)
+            .seeds(SeedRange::new(0, 2))
+            .options(opts(600));
+        if let Some(b) = budget {
+            c = c.budget(b);
+        }
+        if let Some(p) = policy {
+            c = c.policy(p);
+        }
+        c.run().unwrap()
+    };
+
+    let exhaustive = campaign(None, None);
+    let full_evals = exhaustive.budget.spent;
+    let full_best = best_score(&exhaustive);
+    assert!(full_evals > 0 && full_best.is_finite());
+
+    let budget = full_evals * 55 / 100;
+    let sync = campaign(
+        Some(budget),
+        Some(BudgetPolicy::SuccessiveHalving {
+            rounds: 2,
+            keep_fraction: 0.5,
+        }),
+    );
+    let asha = campaign(
+        Some(budget),
+        Some(BudgetPolicy::AsyncHalving {
+            rungs: 2,
+            keep_fraction: 0.5,
+        }),
+    );
+    let (sync_evals, asha_evals) = (sync.budget.charged(), asha.budget.charged());
+    assert!(
+        asha_evals <= sync_evals,
+        "asha spent {asha_evals} evaluations, more than sync halving's {sync_evals}"
+    );
+    let asha_best = best_score(&asha);
+    assert!(
+        full_best - asha_best <= 0.01 * full_best.abs(),
+        "asha best reward {asha_best} trails the exhaustive {full_best} by more than 1%"
+    );
+    assert_eq!(asha.allocations.len(), 2, "one report per rung");
+}
+
+/// Pinned-seed degeneration: with a single rung there is nothing to
+/// promote, so ASHA's rung-0 admission (one even split of the whole cap)
+/// and single resume pass are exactly the Uniform policy's — the reports
+/// must be byte-identical.
+#[test]
+fn asha_with_a_single_rung_degenerates_to_the_uniform_path_byte_identically() {
+    let l = lib();
+    let (matmul, fir) = (MatMul::new(4), Fir::new(40));
+    let agents = [AgentKind::QLearning, AgentKind::Sarsa];
+    let run = |policy: BudgetPolicy| {
+        Campaign::new("asha-degenerate", &l)
+            .benchmark(&matmul)
+            .benchmark(&fir)
+            .agents(&agents)
+            .seeds(SeedRange::new(0, 2))
+            .options(opts(400))
+            .budget(200)
+            .policy(policy)
+            .sequential(true)
+            .run()
+            .unwrap()
+    };
+    let uniform = run(BudgetPolicy::Uniform);
+    let asha = run(BudgetPolicy::AsyncHalving {
+        rungs: 1,
+        keep_fraction: 0.5,
+    });
+    assert_eq!(uniform.cells.len(), asha.cells.len());
+    for (a, b) in uniform.cells.iter().zip(&asha.cells) {
+        assert_eq!(a.summary, b.summary, "{}/{}", a.benchmark, a.agent.name());
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.best_score, b.best_score);
+        assert_eq!(a.stopped_runs, b.stopped_runs);
+    }
+    for (pa, pb) in uniform.portfolios.iter().zip(&asha.portfolios) {
+        assert_eq!(pa.best, pb.best);
+        for (ea, eb) in pa.entries.iter().zip(&pb.entries) {
+            assert_eq!(ea.score, eb.score);
+            assert_eq!(ea.summary, eb.summary);
+            assert_eq!(ea.stop_reason, eb.stop_reason);
+        }
+    }
+    assert_eq!(uniform.budget.spent, asha.budget.spent);
+    assert_eq!(uniform.budget.overshoot, asha.budget.overshoot);
+    // Both record one allocation round with identical grants.
+    assert_eq!(uniform.allocations.len(), 1);
+    assert_eq!(asha.allocations.len(), 1);
+    for (ca, cb) in uniform.allocations[0]
+        .cells
+        .iter()
+        .zip(&asha.allocations[0].cells)
+    {
+        assert_eq!(ca.granted, cb.granted);
+        assert_eq!(ca.spent, cb.spent);
+        assert_eq!(ca.survived, cb.survived);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -158,5 +279,76 @@ proptest! {
             report.budget.overshoot
         );
         prop_assert!(report.allocations.len() == rounds as usize);
+    }
+
+    /// Whatever the cap, rung count or keep fraction, the asynchronous
+    /// scheduler's promotions never grant past the global budget: the
+    /// clamped spend stays at or under the cap and the raw overshoot
+    /// stays within one step per run.
+    #[test]
+    fn asha_never_spends_more_than_the_global_cap(
+        budget in 8u64..120,
+        rungs in 1u32..5,
+        keep_pct in 25u32..80,
+    ) {
+        let l = lib();
+        let (matmul, fir) = (MatMul::new(4), Fir::new(40));
+        let agents = [AgentKind::QLearning, AgentKind::Sarsa];
+        let report = Campaign::new("asha-cap", &l)
+            .benchmark(&matmul)
+            .benchmark(&fir)
+            .agents(&agents)
+            .options(opts(2_000))
+            .budget(budget)
+            .policy(BudgetPolicy::AsyncHalving {
+                rungs,
+                keep_fraction: f64::from(keep_pct) / 100.0,
+            })
+            .run()
+            .unwrap();
+        prop_assert!(report.budget.spent <= budget);
+        prop_assert!(
+            report.budget.overshoot <= 4,
+            "overshoot {} exceeds one step per run",
+            report.budget.overshoot
+        );
+        prop_assert!(report.allocations.len() == rungs as usize);
+    }
+
+    /// Hyperband's bracket sweep obeys the same hard ceiling, however the
+    /// brackets are shaped, and records one allocation report per round of
+    /// every bracket.
+    #[test]
+    fn hyperband_never_spends_more_than_the_global_cap(
+        budget in 8u64..120,
+        rounds_a in 1u32..4,
+        rounds_b in 1u32..3,
+        keep_pct in 25u32..80,
+    ) {
+        let l = lib();
+        let (matmul, fir) = (MatMul::new(4), Fir::new(40));
+        let agents = [AgentKind::QLearning, AgentKind::Sarsa];
+        let keep = f64::from(keep_pct) / 100.0;
+        let report = Campaign::new("hyperband-cap", &l)
+            .benchmark(&matmul)
+            .benchmark(&fir)
+            .agents(&agents)
+            .options(opts(2_000))
+            .budget(budget)
+            .policy(BudgetPolicy::Hyperband {
+                brackets: vec![
+                    HalvingBracket::new(rounds_a, keep),
+                    HalvingBracket::new(rounds_b, keep),
+                ],
+            })
+            .run()
+            .unwrap();
+        prop_assert!(report.budget.spent <= budget);
+        prop_assert!(
+            report.budget.overshoot <= 4,
+            "overshoot {} exceeds one step per run",
+            report.budget.overshoot
+        );
+        prop_assert!(report.allocations.len() == (rounds_a + rounds_b) as usize);
     }
 }
