@@ -27,7 +27,7 @@ fn bench_workload_execution(c: &mut Criterion) {
         let approx = Binding::new(&lib, &prepared.program, AdderId(4), MulId(4)).unwrap();
         let none = VarMask::none(&prepared.program);
         let all = VarMask::all(&prepared.program);
-        let executor = prepared.executor().unwrap();
+        let mut executor = prepared.executor().unwrap();
 
         group.bench_function(format!("{label}/precise"), |b| {
             b.iter(|| black_box(executor.run(&precise, &none).unwrap()))

@@ -3,6 +3,7 @@
 //! ```text
 //! bench_sweep [--out FILE] [--seeds N] [--steps N] [--reps N]
 //!             [--spec FILE] [--emit-spec FILE] [--policy P]
+//!             [--exec-compare]
 //! ```
 //!
 //! "Cold" fans a multi-seed sweep out with rayon over a fresh shared
@@ -15,6 +16,15 @@
 //! campaign [`ExperimentSpec`] instead of the defaults; `--emit-spec
 //! FILE` writes the spec equivalent to whatever this invocation measured,
 //! ready for `repro run`.
+//!
+//! `--exec-compare` replaces the sweep with a head-to-head of the two
+//! exact execution engines: the full enumerated design space of the
+//! benchmark (every adder × multiplier × variable mask, ordered
+//! mask-major — the sweep hot path) is evaluated cold through the
+//! threaded-code compiler and through the interpreter reference, the
+//! outcomes are asserted bit-identical, and the wall-clock comparison is
+//! appended. Exits nonzero if the compiled engine fails to beat the
+//! interpreter — the regression this record exists to catch.
 //!
 //! `--policy P` (e.g. `halving:3,0.5` or `asha:2,0.5`) additionally races
 //! a MatMul×FIR campaign grid under that budget policy at 55 % of the
@@ -30,6 +40,8 @@ use ax_dse::campaign::{BenchmarkSpec, BudgetPolicy, Campaign, ExperimentSpec, Se
 use ax_dse::evaluator::{EvalContext, SharedCache};
 use ax_dse::explore::{AgentKind, ExploreOptions};
 use ax_dse::json::Json;
+use ax_operators::{AdderId, MulId};
+use ax_workloads::workload::Workload;
 use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
@@ -42,6 +54,7 @@ struct Config {
     spec: Option<String>,
     emit_spec: Option<String>,
     policy: Option<String>,
+    exec_compare: bool,
 }
 
 fn parse() -> Result<Config, String> {
@@ -53,6 +66,7 @@ fn parse() -> Result<Config, String> {
         spec: None,
         emit_spec: None,
         policy: None,
+        exec_compare: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -81,6 +95,7 @@ fn parse() -> Result<Config, String> {
             "--spec" => cfg.spec = Some(take("--spec")?),
             "--emit-spec" => cfg.emit_spec = Some(take("--emit-spec")?),
             "--policy" => cfg.policy = Some(take("--policy")?),
+            "--exec-compare" => cfg.exec_compare = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -94,7 +109,7 @@ fn main() {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: bench_sweep [--out FILE] [--seeds N] [--steps N] [--reps N] \
-                 [--spec FILE] [--emit-spec FILE] [--policy P]"
+                 [--spec FILE] [--emit-spec FILE] [--policy P] [--exec-compare]"
             );
             std::process::exit(1);
         }
@@ -123,6 +138,12 @@ fn main() {
     let wl = bench_spec.build();
 
     let lib = ax_operators::OperatorLibrary::evoapprox();
+
+    if cfg.exec_compare {
+        append_exec_compare_record(&cfg.out, wl.as_ref(), &lib, cfg.reps);
+        return;
+    }
+
     let opts = |seed| ExploreOptions {
         max_steps: steps,
         seed,
@@ -300,4 +321,106 @@ fn append_policy_record(
     print!("{}", record.pretty());
     append_bench_record(out, record).expect("append policy record");
     eprintln!("appended policy record to {out}");
+}
+
+/// Evaluates the benchmark's full enumerated design space — every
+/// (adder, multiplier) pair at every variable mask, ordered mask-major so
+/// the compiled engine's rewrite-skipping path is exercised the way a real
+/// sweep exercises it — cold through both exact engines, best-of-`reps`,
+/// and appends the wall-clock comparison. The two outcome vectors are
+/// asserted bit-identical first; timing a divergent engine would be
+/// meaningless.
+///
+/// Exits nonzero if the compiled engine is not faster than the
+/// interpreter.
+fn append_exec_compare_record(
+    out: &str,
+    wl: &dyn Workload,
+    lib: &ax_operators::OperatorLibrary,
+    reps: u32,
+) {
+    let prepared = wl.prepare(0).expect("prepare workload");
+    let adders = lib.adders(prepared.program.add_width()).len();
+    let muls = lib.multipliers(prepared.program.mul_width()).len();
+    // Full mask space over the approximable variables, capped so huge
+    // kernels stay enumerable.
+    let mask_vars = prepared.program.approximable_vars().len().min(4) as u32;
+    let mut configs = Vec::new();
+    for bits in 0..(1u64 << mask_vars) {
+        for a in 0..adders {
+            for m in 0..muls {
+                configs.push((AdderId(a), MulId(m), bits));
+            }
+        }
+    }
+
+    let compiled_out = prepared.run_batch(lib, &configs).expect("compiled batch");
+    let interpreted_out = prepared
+        .run_batch_interpreted(lib, &configs)
+        .expect("interpreted batch");
+    assert_eq!(
+        compiled_out, interpreted_out,
+        "compiled and interpreted engines diverged"
+    );
+
+    let time_best = |f: &dyn Fn()| {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let t = Instant::now();
+            f();
+            best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        }
+        best
+    };
+    let compiled_ms = time_best(&|| {
+        prepared.run_batch(lib, &configs).expect("compiled batch");
+    });
+    // The batched reference interpreter: shared memory image, reused
+    // scratch, instruction flags recomputed only on mask changes.
+    let interpreted_batched_ms = time_best(&|| {
+        prepared
+            .run_batch_interpreted(lib, &configs)
+            .expect("interpreted batch");
+    });
+    // The per-design interpreter baseline: what a sweep paid before the
+    // batch APIs — a fresh executor, scratch allocation and instruction
+    // flag computation for every single design.
+    let interpreted_ms = time_best(&|| {
+        for &(a, m, bits) in &configs {
+            let binding = ax_vm::exec::Binding::new(lib, &prepared.program, a, m).expect("binding");
+            let mask = ax_vm::instrument::VarMask::with_bits(&prepared.program, bits);
+            prepared.run(&binding, &mask).expect("interpreted run");
+        }
+    });
+
+    let speedup = interpreted_ms / compiled_ms;
+    let record = Json::obj(vec![
+        ("benchmark", Json::str(wl.name())),
+        ("kind", Json::str("exec-compare")),
+        ("configs", Json::u64(configs.len() as u64)),
+        ("mask_vars", Json::u64(u64::from(mask_vars))),
+        ("reps", Json::u64(u64::from(reps.max(1)))),
+        ("compiled_ms", Json::Num(format!("{compiled_ms:.3}"))),
+        ("interpreted_ms", Json::Num(format!("{interpreted_ms:.3}"))),
+        (
+            "interpreted_batched_ms",
+            Json::Num(format!("{interpreted_batched_ms:.3}")),
+        ),
+        ("speedup", Json::Num(format!("{speedup:.2}"))),
+        (
+            "speedup_vs_batched",
+            Json::Num(format!("{:.2}", interpreted_batched_ms / compiled_ms)),
+        ),
+    ]);
+    print!("{}", record.pretty());
+    append_bench_record(out, record).expect("append exec-compare record");
+    eprintln!("appended exec-compare record to {out}");
+
+    if compiled_ms >= interpreted_ms {
+        eprintln!(
+            "error: compiled engine ({compiled_ms:.3} ms) did not beat the \
+             interpreter ({interpreted_ms:.3} ms)"
+        );
+        std::process::exit(1);
+    }
 }

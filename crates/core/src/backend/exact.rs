@@ -5,12 +5,29 @@ use super::{EvalBackend, EvalMetrics};
 use crate::config::{AxConfig, SpaceDims};
 use ax_operators::metrics::{mae, signed_mean_error};
 use ax_operators::OperatorLibrary;
+use ax_vm::compile::{CompiledProgram, CompiledSkeleton};
 use ax_vm::exec::{run_from_image, Binding, ExecScratch};
 use ax_vm::instrument::VarMask;
 use ax_vm::VmError;
 use ax_workloads::{PreparedWorkload, Workload};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Which execution engine [`Evaluator`]s spawned from an [`EvalContext`]
+/// run cache-missing designs on. Both engines are bit-identical in outputs
+/// and profiles; they differ only in speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecEngine {
+    /// The threaded-code engine ([`ax_vm::compile`]): designs are
+    /// specialised from a shared offset-resolved skeleton and run without
+    /// per-instruction flag or cost-table lookups. The default.
+    #[default]
+    Compiled,
+    /// The instrumented interpreter ([`ax_vm::exec::run_from_image`]) —
+    /// kept as the reference implementation (`"exact-interpreted"` in
+    /// campaign specs) for differential testing and perf baselines.
+    Interpreter,
+}
 
 /// A cheap-to-clone, `Send + Sync` handle for spawning evaluators of one
 /// prepared benchmark.
@@ -32,6 +49,10 @@ pub struct EvalContext {
     /// once per context: each design evaluation replays it with a memcpy
     /// instead of re-binding (and re-cloning) every input vector.
     base_image: Arc<Vec<i64>>,
+    /// The program's offset-resolved threaded-code skeleton, built once per
+    /// context and shared by every spawned evaluator's compiled engine.
+    skeleton: Arc<CompiledSkeleton>,
+    engine: ExecEngine,
     precise_outputs: Arc<Vec<f64>>,
     precise_power: f64,
     precise_time: f64,
@@ -92,6 +113,7 @@ impl EvalContext {
             });
         }
         let n_vars = VarMask::none(&prepared.program).len();
+        let skeleton = Arc::new(CompiledSkeleton::new(&prepared.program));
         let base_image = prepared.executor()?.initial_memory()?;
         let reference = prepared.run_precise(&lib)?;
         let precise_outputs: Vec<f64> = reference.outputs.iter().map(|&v| v as f64).collect();
@@ -110,6 +132,8 @@ impl EvalContext {
                 n_vars,
             },
             base_image: Arc::new(base_image),
+            skeleton,
+            engine: ExecEngine::default(),
             precise_outputs: Arc::new(precise_outputs),
             precise_power: reference.profile.power_mw,
             precise_time: reference.profile.time_ns,
@@ -121,6 +145,7 @@ impl EvalContext {
     pub fn evaluator(&self) -> Evaluator {
         Evaluator {
             mask: VarMask::none(&self.prepared.program),
+            compiled: None,
             ctx: self.clone(),
             cache: HashMap::new(),
             hits: 0,
@@ -128,6 +153,20 @@ impl EvalContext {
             executions: 0,
             scratch: ExecScratch::new(),
         }
+    }
+
+    /// This context with a different execution engine; evaluators spawned
+    /// afterwards run cache-missing designs on it. The default is
+    /// [`ExecEngine::Compiled`].
+    #[must_use]
+    pub fn with_engine(mut self, engine: ExecEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The execution engine spawned evaluators use.
+    pub fn engine(&self) -> ExecEngine {
+        self.engine
     }
 
     /// The benchmark's name.
@@ -178,6 +217,11 @@ pub struct Evaluator {
     /// Reused selection mask — rebuilding the variable table per design
     /// would be an allocation on the hot path.
     mask: VarMask,
+    /// The compiled engine's specialised program, lazily built from the
+    /// context's shared skeleton and re-specialised in place per design
+    /// (operator swaps are O(1); mask changes rewrite the opcodes without
+    /// allocating). `None` until the first compiled execution.
+    compiled: Option<CompiledProgram>,
 }
 
 impl Evaluator {
@@ -229,14 +273,28 @@ impl Evaluator {
     fn execute(&mut self, config: &AxConfig) -> Result<EvalMetrics, VmError> {
         let ctx = &self.ctx;
         let binding = Binding::new(&ctx.lib, &ctx.prepared.program, config.adder, config.mul)?;
-        self.mask.set_raw_bits(config.vars);
-        let outcome = run_from_image(
-            &ctx.prepared.program,
-            &ctx.base_image,
-            &binding,
-            &self.mask,
-            &mut self.scratch,
-        )?;
+        let outcome = match ctx.engine {
+            ExecEngine::Compiled => {
+                let compiled = match &mut self.compiled {
+                    Some(c) => {
+                        c.specialize(&binding, config.vars);
+                        c
+                    }
+                    none => none.insert(ctx.skeleton.compile(&binding, config.vars)),
+                };
+                compiled.run(&ctx.base_image, &mut self.scratch)?
+            }
+            ExecEngine::Interpreter => {
+                self.mask.set_raw_bits(config.vars);
+                run_from_image(
+                    &ctx.prepared.program,
+                    &ctx.base_image,
+                    &binding,
+                    &self.mask,
+                    &mut self.scratch,
+                )?
+            }
+        };
         self.executions += 1;
         Ok(self.ctx.metrics_from(&outcome))
     }

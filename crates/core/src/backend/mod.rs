@@ -28,7 +28,7 @@ pub mod cache;
 pub mod exact;
 
 pub use cache::{CacheScope, SharedCache};
-pub use exact::{EvalContext, Evaluator};
+pub use exact::{EvalContext, Evaluator, ExecEngine};
 
 use crate::config::{AxConfig, SpaceDims};
 use ax_vm::VmError;

@@ -136,8 +136,9 @@ pub trait BackendProvider: Sync {
     }
 }
 
-/// The exact interpreter-backed provider: every run gets a plain
-/// [`Evaluator`] spawned from the benchmark's shared-cache context.
+/// The exact provider: every run gets a plain [`Evaluator`] spawned from
+/// the benchmark's shared-cache context, on the context's execution engine
+/// (the threaded-code compiler by default).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExactProvider;
 
@@ -149,6 +150,26 @@ impl BackendProvider for ExactProvider {
 
     fn spawn(&self, _shared: &Self::Shared, ctx: &EvalContext) -> Self::Backend {
         ctx.evaluator()
+    }
+}
+
+/// The exact provider pinned to the interpreter reference engine
+/// ([`crate::backend::ExecEngine::Interpreter`]): bit-identical results to
+/// [`ExactProvider`], without the threaded-code compilation — the
+/// `"exact-interpreted"` spec backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InterpretedProvider;
+
+impl BackendProvider for InterpretedProvider {
+    type Backend = Evaluator;
+    type Shared = ();
+
+    fn prepare(&self, _ctx: &EvalContext) -> Self::Shared {}
+
+    fn spawn(&self, _shared: &Self::Shared, ctx: &EvalContext) -> Self::Backend {
+        ctx.clone()
+            .with_engine(crate::backend::ExecEngine::Interpreter)
+            .evaluator()
     }
 }
 
@@ -656,6 +677,10 @@ impl<'a> Campaign<'a> {
 
     /// Runs the campaign with exact evaluation.
     ///
+    /// `"exact"` specs (and spec-less campaigns) use the threaded-code
+    /// compiled engine; `"exact-interpreted"` specs run the interpreter
+    /// reference path — same results bit for bit.
+    ///
     /// # Errors
     ///
     /// Fails if a benchmark cannot be prepared.
@@ -669,16 +694,16 @@ impl<'a> Campaign<'a> {
     /// and silently downgrading it to exact evaluation would misreport
     /// the experiment.
     pub fn run(&self) -> Result<CampaignReport, VmError> {
-        assert!(
-            matches!(
-                self.spec_backend,
-                None | Some(crate::campaign::spec::BackendSpec::Exact)
+        use crate::campaign::spec::BackendSpec;
+        match self.spec_backend {
+            None | Some(BackendSpec::Exact) => self.run_with(&ExactProvider),
+            Some(BackendSpec::ExactInterpreted) => self.run_with(&InterpretedProvider),
+            Some(BackendSpec::Tiered(_)) => panic!(
+                "this campaign's spec names a non-exact backend; run it through \
+                 `ax_surrogate::run_spec` (or `run_with` with a matching provider) \
+                 instead of `run`"
             ),
-            "this campaign's spec names a non-exact backend; run it through \
-             `ax_surrogate::run_spec` (or `run_with` with a matching provider) \
-             instead of `run`"
-        );
-        self.run_with(&ExactProvider)
+        }
     }
 
     /// Runs the campaign through an arbitrary [`BackendProvider`].

@@ -35,7 +35,8 @@ pub mod spec;
 pub use budget::{CellLedger, EvalBudget, MeteredBackend, RungLedger};
 pub use driver::{
     explore, AllocationReport, BackendProvider, BudgetReport, Campaign, CampaignReport,
-    CellAllocation, CellReport, ExactProvider, NullObserver, Observer, TieredStats, WrapProvider,
+    CellAllocation, CellReport, ExactProvider, InterpretedProvider, NullObserver, Observer,
+    TieredStats, WrapProvider,
 };
 pub use spec::{
     BackendSpec, BenchmarkSpec, BudgetPolicy, ExperimentSpec, HalvingBracket, SeedRange, SpecError,

@@ -136,9 +136,14 @@ impl BenchmarkSpec {
 /// The evaluation backend a campaign scores designs with.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum BackendSpec {
-    /// The exact interpreter-backed [`crate::backend::Evaluator`].
+    /// The exact [`crate::backend::Evaluator`] on its default threaded-code
+    /// engine ([`crate::backend::ExecEngine::Compiled`]).
     #[default]
     Exact,
+    /// The exact [`crate::backend::Evaluator`] forced onto the interpreter
+    /// reference engine — bit-identical results to [`BackendSpec::Exact`],
+    /// slower; exists for differential testing and perf baselines.
+    ExactInterpreted,
     /// The `ax-surrogate` crate's two-tier backend (surrogate prefilter +
     /// exact confirmation) with the given policy.
     Tiered(SurrogateSettings),
@@ -148,6 +153,7 @@ impl BackendSpec {
     fn to_json(self) -> Json {
         match self {
             BackendSpec::Exact => Json::str("exact"),
+            BackendSpec::ExactInterpreted => Json::str("exact-interpreted"),
             BackendSpec::Tiered(s) => Json::obj(vec![("tiered", surrogate_settings_to_json(s))]),
         }
     }
@@ -155,6 +161,7 @@ impl BackendSpec {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
         match v {
             Json::Str(s) if s == "exact" => Ok(BackendSpec::Exact),
+            Json::Str(s) if s == "exact-interpreted" => Ok(BackendSpec::ExactInterpreted),
             Json::Obj(_) => {
                 let inner = v
                     .get("tiered")
@@ -162,7 +169,7 @@ impl BackendSpec {
                 Ok(BackendSpec::Tiered(surrogate_settings_from_json(inner)?))
             }
             other => Err(JsonError(format!(
-                "backend must be \"exact\" or {{\"tiered\": …}}, got {other:?}"
+                "backend must be \"exact\", \"exact-interpreted\" or {{\"tiered\": …}}, got {other:?}"
             ))),
         }
     }

@@ -7,5 +7,5 @@
 //! concurrent design cache ([`crate::backend::cache`]).
 
 pub use crate::backend::{
-    CacheScope, EvalBackend, EvalContext, EvalMetrics, Evaluator, SharedCache,
+    CacheScope, EvalBackend, EvalContext, EvalMetrics, Evaluator, ExecEngine, SharedCache,
 };

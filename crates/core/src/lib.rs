@@ -66,7 +66,7 @@ pub mod search_adapter;
 pub mod sweep;
 pub mod thresholds;
 
-pub use backend::{EvalBackend, EvalContext, EvalMetrics, Evaluator, SharedCache};
+pub use backend::{EvalBackend, EvalContext, EvalMetrics, Evaluator, ExecEngine, SharedCache};
 pub use campaign::{
     BackendSpec, BenchmarkSpec, BudgetPolicy, Campaign, CampaignReport, ExperimentSpec, Observer,
     SeedRange, SurrogateSettings,

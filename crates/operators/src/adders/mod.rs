@@ -37,6 +37,7 @@ use std::fmt;
 /// ```
 /// assert_eq!(ax_operators::adders::precise(250, 10, ax_operators::BitWidth::W8), 260);
 /// ```
+#[inline]
 pub fn precise(a: u64, b: u64, width: BitWidth) -> u64 {
     debug_assert!(width.contains(a) && width.contains(b));
     a + b
@@ -147,16 +148,19 @@ impl AdderModel {
     }
 
     /// The family configuration.
+    #[inline]
     pub fn kind(&self) -> AdderKind {
         self.kind
     }
 
     /// The operand width.
+    #[inline]
     pub fn width(&self) -> BitWidth {
         self.width
     }
 
     /// `true` if this model never deviates from the exact sum.
+    #[inline]
     pub fn is_exact(&self) -> bool {
         matches!(self.kind, AdderKind::Precise)
     }
@@ -167,6 +171,7 @@ impl AdderModel {
     /// # Panics
     ///
     /// In debug builds, panics if an operand does not fit the width.
+    #[inline]
     pub fn add(&self, a: u64, b: u64) -> u64 {
         debug_assert!(
             self.width.contains(a) && self.width.contains(b),

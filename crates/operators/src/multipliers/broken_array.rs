@@ -10,6 +10,7 @@ use crate::width::BitWidth;
 
 /// Array multiplier with the `r` least-significant partial-product rows
 /// omitted.
+#[inline]
 pub fn broken_array(a: u64, b: u64, width: BitWidth, r: u32) -> u64 {
     debug_assert!(r >= 1 && r < width.bits());
     let kept = b & !((1u64 << r) - 1);

@@ -32,6 +32,7 @@ fn window(x: u64, k: u32) -> (u64, u32) {
 }
 
 /// DRUM multiplication with `k`-bit significant windows.
+#[inline]
 pub fn drum(a: u64, b: u64, width: BitWidth, k: u32) -> u64 {
     debug_assert!(k >= 2 && k < width.bits());
     if a == 0 || b == 0 {

@@ -22,6 +22,7 @@ fn floor_log2(x: u64) -> u32 {
 }
 
 /// Mitchell's logarithmic multiplier.
+#[inline]
 pub fn mitchell(a: u64, b: u64, width: BitWidth) -> u64 {
     let _ = width;
     if a == 0 || b == 0 {
@@ -44,6 +45,7 @@ pub fn mitchell(a: u64, b: u64, width: BitWidth) -> u64 {
 }
 
 /// Iterative logarithmic multiplier with `n ≥ 1` correction terms.
+#[inline]
 pub fn log_iter(a: u64, b: u64, width: BitWidth, n: u32) -> u64 {
     let _ = width;
     debug_assert!(n >= 1);
@@ -52,6 +54,7 @@ pub fn log_iter(a: u64, b: u64, width: BitWidth, n: u32) -> u64 {
 
 /// `a·b ≈ 2^(ka+kb) + ra·2^kb + rb·2^ka [+ approx(ra·rb)]`, recursing
 /// `corrections` times into the residual product.
+#[inline]
 fn ilm(a: u64, b: u64, corrections: u32) -> u64 {
     if a == 0 || b == 0 {
         return 0;

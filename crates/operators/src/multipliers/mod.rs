@@ -45,6 +45,7 @@ use std::fmt;
 /// ```
 /// assert_eq!(ax_operators::multipliers::precise(200, 200, ax_operators::BitWidth::W8), 40_000);
 /// ```
+#[inline]
 pub fn precise(a: u64, b: u64, width: BitWidth) -> u64 {
     debug_assert!(width.contains(a) && width.contains(b));
     a.wrapping_mul(b)
@@ -163,16 +164,19 @@ impl MulModel {
     }
 
     /// The family configuration.
+    #[inline]
     pub fn kind(&self) -> MulKind {
         self.kind
     }
 
     /// The operand width.
+    #[inline]
     pub fn width(&self) -> BitWidth {
         self.width
     }
 
     /// `true` if this model never deviates from the exact product.
+    #[inline]
     pub fn is_exact(&self) -> bool {
         matches!(self.kind, MulKind::Precise)
     }
@@ -183,6 +187,7 @@ impl MulModel {
     /// # Panics
     ///
     /// In debug builds, panics if an operand does not fit the width.
+    #[inline]
     pub fn mul(&self, a: u64, b: u64) -> u64 {
         debug_assert!(
             self.width.contains(a) && self.width.contains(b),

@@ -36,6 +36,7 @@ fn round_nearest(x: u64) -> u32 {
 }
 
 /// Product with both operands floored to powers of two.
+#[inline]
 pub fn po2_floor(a: u64, b: u64, width: BitWidth) -> u64 {
     let _ = width;
     if a == 0 || b == 0 {
@@ -48,6 +49,7 @@ pub fn po2_floor(a: u64, b: u64, width: BitWidth) -> u64 {
 ///
 /// Each operand's exponent saturates at `width - 1` (the operand register
 /// cannot represent `2^width`), keeping the product within `2·width` bits.
+#[inline]
 pub fn po2_nearest(a: u64, b: u64, width: BitWidth) -> u64 {
     if a == 0 || b == 0 {
         return 0;
@@ -67,6 +69,7 @@ pub fn po2_nearest(a: u64, b: u64, width: BitWidth) -> u64 {
 /// Evolved minimal-area EvoApproxLib multipliers (the paper's `17MJ`,
 /// 53.17 % MRED at 0.0041 mW) show this low-bias behaviour, which is what
 /// lets their errors cancel along accumulation chains.
+#[inline]
 pub fn po2_compensated(a: u64, b: u64, width: BitWidth) -> u64 {
     let _ = width;
     if a == 0 || b == 0 {

@@ -15,6 +15,7 @@
 use crate::width::BitWidth;
 
 /// Exact product with the `c` low bits zeroed.
+#[inline]
 pub fn trunc_result(a: u64, b: u64, width: BitWidth, c: u32) -> u64 {
     debug_assert!(c >= 1 && c < 2 * width.bits());
     let p = a.wrapping_mul(b);
@@ -24,6 +25,7 @@ pub fn trunc_result(a: u64, b: u64, width: BitWidth, c: u32) -> u64 {
 /// Array multiplier with all partial-product columns below `c` dropped.
 ///
 /// Partial product bit `(i, j)` (weight `2^(i+j)`) is kept iff `i + j >= c`.
+#[inline]
 pub fn trunc_pp(a: u64, b: u64, width: BitWidth, c: u32) -> u64 {
     debug_assert!(c >= 1 && c < 2 * width.bits());
     let bits = width.bits();

@@ -42,6 +42,7 @@ pub fn sign_extend(raw: u64, bits: u32) -> i64 {
 /// assert_eq!(add_wrapping_i64(&exact, -100, 40), -60);
 /// assert_eq!(add_wrapping_i64(&exact, 32_000, 1_000), -32_536); // wraps
 /// ```
+#[inline]
 pub fn add_wrapping_i64(adder: &AdderModel, a: i64, b: i64) -> i64 {
     let width = adder.width();
     let mask = width.mask();
@@ -64,6 +65,7 @@ pub fn add_wrapping_i64(adder: &AdderModel, a: i64, b: i64) -> i64 {
 /// assert_eq!(mul_signed(&exact, -3, 7), -21);
 /// assert_eq!(mul_signed(&exact, -3, -7), 21);
 /// ```
+#[inline]
 pub fn mul_signed(mul: &MulModel, a: i64, b: i64) -> i64 {
     let mag = mul.mul(a.unsigned_abs(), b.unsigned_abs());
     debug_assert!(mag <= i64::MAX as u64, "magnitude product overflows i64");

@@ -28,6 +28,7 @@ pub enum BitWidth {
 
 impl BitWidth {
     /// Number of bits of an operand at this width.
+    #[inline]
     pub const fn bits(self) -> u32 {
         match self {
             BitWidth::W8 => 8,
@@ -37,6 +38,7 @@ impl BitWidth {
     }
 
     /// Bit mask selecting exactly the operand bits (`2^bits - 1`).
+    #[inline]
     pub const fn mask(self) -> u64 {
         match self {
             BitWidth::W8 => 0xFF,
@@ -51,6 +53,7 @@ impl BitWidth {
     }
 
     /// `true` if `value` fits in this width.
+    #[inline]
     pub const fn contains(self, value: u64) -> bool {
         value <= self.mask()
     }

@@ -105,8 +105,10 @@ impl From<VmError> for RunSpecError {
 }
 
 /// Executes a whole [`ExperimentSpec`], dispatching on its backend choice:
-/// [`BackendSpec::Exact`] runs the campaign with plain evaluators,
-/// [`BackendSpec::Tiered`] through [`TieredProvider`]. An optional
+/// [`BackendSpec::Exact`] runs the campaign with plain (threaded-code
+/// compiled) evaluators, [`BackendSpec::ExactInterpreted`] pins the
+/// interpreter reference engine, and [`BackendSpec::Tiered`] runs through
+/// [`TieredProvider`]. An optional
 /// pre-loaded design cache ([`SharedCache::load`]) lets repeated runs of
 /// the same spec skip re-evaluation across processes; `observer` streams
 /// progress.
@@ -127,7 +129,7 @@ pub fn run_spec(
         campaign = campaign.shared_cache(cache);
     }
     let report = match spec.backend {
-        BackendSpec::Exact => campaign.run()?,
+        BackendSpec::Exact | BackendSpec::ExactInterpreted => campaign.run()?,
         BackendSpec::Tiered(settings) => campaign.run_with(&TieredProvider::new(settings))?,
     };
     Ok(report)

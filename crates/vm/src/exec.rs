@@ -16,12 +16,25 @@ use ax_operators::{AdderEntry, AdderId, BitWidth, MulEntry, MulId, OperatorLibra
 
 /// The operator pair a configuration binds to a program, plus the precise
 /// reference operators of the same width classes.
+///
+/// The per-operation cost constants of all four operators are captured into
+/// `[precise, approximate]` pairs at construction, so neither execution
+/// engine touches an operator spec on its hot path.
 #[derive(Debug, Clone)]
 pub struct Binding<'lib> {
     adder: &'lib AdderEntry,
     mul: &'lib MulEntry,
     precise_adder: &'lib AdderEntry,
     precise_mul: &'lib MulEntry,
+    add_costs: [OpCost; 2],
+    mul_costs: [OpCost; 2],
+}
+
+fn cost_of(spec: &ax_operators::OperatorSpec) -> OpCost {
+    OpCost {
+        power_mw: spec.power_mw(),
+        time_ns: spec.time_ns(),
+    }
 }
 
 impl<'lib> Binding<'lib> {
@@ -42,25 +55,51 @@ impl<'lib> Binding<'lib> {
         adder: AdderId,
         mul: MulId,
     ) -> Result<Self, VmError> {
-        let adders = lib.adders(program.add_width());
+        Self::for_widths(lib, program.add_width(), program.mul_width(), adder, mul)
+    }
+
+    /// Binds by width class directly, without a program in hand — the entry
+    /// point batch engines use when only the widths of a compiled skeleton
+    /// are known.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::UnsupportedWidth`] if the library carries no
+    /// operators at the given widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of range for its (non-empty) width class.
+    pub fn for_widths(
+        lib: &'lib OperatorLibrary,
+        add_width: BitWidth,
+        mul_width: BitWidth,
+        adder: AdderId,
+        mul: MulId,
+    ) -> Result<Self, VmError> {
+        let adders = lib.adders(add_width);
         if adders.is_empty() {
             return Err(VmError::UnsupportedWidth {
                 what: "adder",
-                width_bits: program.add_width().bits(),
+                width_bits: add_width.bits(),
             });
         }
-        let muls = lib.multipliers(program.mul_width());
+        let muls = lib.multipliers(mul_width);
         if muls.is_empty() {
             return Err(VmError::UnsupportedWidth {
                 what: "multiplier",
-                width_bits: program.mul_width().bits(),
+                width_bits: mul_width.bits(),
             });
         }
+        let (adder, mul) = (&adders[adder.0], &muls[mul.0]);
+        let (precise_adder, precise_mul) = (&adders[0], &muls[0]);
         Ok(Self {
-            adder: &adders[adder.0],
-            mul: &muls[mul.0],
-            precise_adder: &adders[0],
-            precise_mul: &muls[0],
+            adder,
+            mul,
+            precise_adder,
+            precise_mul,
+            add_costs: [cost_of(&precise_adder.spec), cost_of(&adder.spec)],
+            mul_costs: [cost_of(&precise_mul.spec), cost_of(&mul.spec)],
         })
     }
 
@@ -85,28 +124,16 @@ impl<'lib> Binding<'lib> {
         self.mul
     }
 
-    fn adder_cost(&self, approximate: bool) -> OpCost {
-        let spec = if approximate {
-            &self.adder.spec
-        } else {
-            &self.precise_adder.spec
-        };
-        OpCost {
-            power_mw: spec.power_mw(),
-            time_ns: spec.time_ns(),
-        }
+    /// The `[precise, approximate]` per-addition cost pair, captured once
+    /// at construction.
+    pub fn add_costs(&self) -> &[OpCost; 2] {
+        &self.add_costs
     }
 
-    fn mul_cost(&self, approximate: bool) -> OpCost {
-        let spec = if approximate {
-            &self.mul.spec
-        } else {
-            &self.precise_mul.spec
-        };
-        OpCost {
-            power_mw: spec.power_mw(),
-            time_ns: spec.time_ns(),
-        }
+    /// The `[precise, approximate]` per-multiplication cost pair, captured
+    /// once at construction.
+    pub fn mul_costs(&self) -> &[OpCost; 2] {
+        &self.mul_costs
     }
 }
 
@@ -121,15 +148,15 @@ pub struct ExecOutcome {
 
 /// Reusable execution buffers.
 ///
-/// One [`Executor::run`] allocates the memory image and the instruction
-/// flags afresh; evaluating thousands of designs against the same program
-/// (a DSE sweep) pays that allocation per design. The batch hot path —
-/// [`Executor::initial_memory`] once, then [`run_from_image`] per design —
-/// clears and refills one scratch instead, so the buffers are allocated
-/// once per thread and amortised across the batch.
+/// Evaluating thousands of designs against the same program (a DSE sweep)
+/// would pay a memory-image and instruction-flag allocation per design if
+/// each run allocated afresh. The batch hot path — [`Executor::initial_memory`]
+/// once, then [`run_from_image`] per design — clears and refills one scratch
+/// instead, so the buffers are allocated once per thread and amortised
+/// across the batch. [`Executor`] owns one internally for the same reason.
 #[derive(Debug, Clone, Default)]
 pub struct ExecScratch {
-    mem: Vec<i64>,
+    pub(crate) mem: Vec<i64>,
     flags: Vec<bool>,
 }
 
@@ -138,6 +165,14 @@ impl ExecScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Computes the per-instruction approximation flags for `mask` into
+    /// this scratch. Callers stepping through designs that share one mask
+    /// call this once and then [`run_from_image_prepared`] per design,
+    /// skipping the per-design flag recomputation.
+    pub fn prepare_flags(&mut self, program: &Program, mask: &VarMask) {
+        instruction_flags_into(program, mask, &mut self.flags);
+    }
 }
 
 /// Prepares inputs for and runs a program.
@@ -145,6 +180,9 @@ impl ExecScratch {
 pub struct Executor<'p> {
     program: &'p Program,
     inputs: Vec<Option<Vec<i64>>>,
+    /// Reused across [`Executor::run`] calls: repeated runs of one executor
+    /// (tests, reference sweeps) pay the buffer allocation once.
+    scratch: ExecScratch,
 }
 
 impl<'p> Executor<'p> {
@@ -153,6 +191,7 @@ impl<'p> Executor<'p> {
         Self {
             program,
             inputs: vec![None; program.vars().len()],
+            scratch: ExecScratch::new(),
         }
     }
 
@@ -190,9 +229,9 @@ impl<'p> Executor<'p> {
     /// Returns [`VmError::MissingInput`] if an input variable has no data
     /// bound, or [`VmError::OperandOverflow`] if a multiplication operand's
     /// magnitude exceeds the multiplier width.
-    pub fn run(&self, binding: &Binding<'_>, mask: &VarMask) -> Result<ExecOutcome, VmError> {
+    pub fn run(&mut self, binding: &Binding<'_>, mask: &VarMask) -> Result<ExecOutcome, VmError> {
         let image = self.initial_memory()?;
-        run_from_image(self.program, &image, binding, mask, &mut ExecScratch::new())
+        run_from_image(self.program, &image, binding, mask, &mut self.scratch)
     }
 
     /// Resolves and validates the initial memory image once: inputs bound
@@ -244,17 +283,45 @@ pub fn run_from_image(
     mask: &VarMask,
     scratch: &mut ExecScratch,
 ) -> Result<ExecOutcome, VmError> {
+    scratch.prepare_flags(program, mask);
+    run_from_image_prepared(program, image, binding, scratch)
+}
+
+/// Like [`run_from_image`], but reuses the instruction flags already in
+/// `scratch` (from a previous [`ExecScratch::prepare_flags`] over the same
+/// program) instead of recomputing them — the batch path for consecutive
+/// designs that share one variable selection.
+///
+/// # Errors
+///
+/// Returns [`VmError::OperandOverflow`] if a multiplication operand's
+/// magnitude exceeds the multiplier width.
+///
+/// # Panics
+///
+/// Panics if `image` does not match the program's cell count or the scratch
+/// flags were prepared for a different program.
+pub fn run_from_image_prepared(
+    program: &Program,
+    image: &[i64],
+    binding: &Binding<'_>,
+    scratch: &mut ExecScratch,
+) -> Result<ExecOutcome, VmError> {
     assert_eq!(
         image.len(),
         program.total_cells() as usize,
         "memory image size does not match the program"
+    );
+    assert_eq!(
+        scratch.flags.len(),
+        program.instrs().len(),
+        "instruction flags not prepared for this program"
     );
     {
         let mem = &mut scratch.mem;
         mem.clear();
         mem.extend_from_slice(image);
 
-        instruction_flags_into(program, mask, &mut scratch.flags);
         let flags = &scratch.flags;
         let mut meter = CostMeter::new();
         let add_width = program.add_width();
@@ -278,7 +345,7 @@ pub fn run_from_image(
                     let x = mem[program.offset(a)];
                     let y = mem[program.offset(b)];
                     mem[program.offset(dst)] = sliced_add(model, x, y, add_width);
-                    meter.record_add(binding.adder_cost(approx), approx);
+                    meter.record_add(approx);
                 }
                 Instr::Mul { dst, a, b, shift } => {
                     let approx = flags[pc];
@@ -300,7 +367,7 @@ pub fn run_from_image(
                     }
                     let p = mul_signed(model, x, y);
                     mem[program.offset(dst)] = p >> shift;
-                    meter.record_mul(binding.mul_cost(approx), approx);
+                    meter.record_mul(approx);
                 }
             }
         }
@@ -313,7 +380,7 @@ pub fn run_from_image(
         }
         Ok(ExecOutcome {
             outputs,
-            profile: meter.finish(),
+            profile: meter.finish(binding.add_costs(), binding.mul_costs()),
         })
     }
 }
@@ -321,7 +388,7 @@ pub fn run_from_image(
 /// Adds two `i64` registers with the low `width` bits computed by the adder
 /// slice and the upper bits added exactly with the slice's carry-out — the
 /// "approximate low-part ALU" embedding (see the crate docs).
-fn sliced_add(model: &ax_operators::AdderModel, a: i64, b: i64, width: BitWidth) -> i64 {
+pub(crate) fn sliced_add(model: &ax_operators::AdderModel, a: i64, b: i64, width: BitWidth) -> i64 {
     let bits = width.bits();
     let mask = width.mask();
     let low = model.add((a as u64) & mask, (b as u64) & mask);
@@ -570,7 +637,7 @@ mod tests {
         let prog = pb.build().unwrap();
         let lib = lib();
         let binding = Binding::precise(&lib, &prog).unwrap();
-        let ex = Executor::new(&prog);
+        let mut ex = Executor::new(&prog);
         for _ in 0..2 {
             let out = ex.run(&binding, &VarMask::none(&prog)).unwrap();
             assert_eq!(out.outputs, vec![0]);

@@ -18,7 +18,13 @@
 //!   through the bound approximate models while accumulating power and time
 //!   ([`cost::ArithProfile`]);
 //! * [`cost`] — per-run cost accounting, with power/time computed from the
-//!   pre-characterised per-operation constants exactly as in the paper.
+//!   pre-characterised per-operation constants exactly as in the paper;
+//! * [`compile`] — the threaded-code compiler: specialises a
+//!   `(Program, Binding, VarMask)` triple into a pre-resolved
+//!   [`compile::CompiledProgram`] (offsets resolved, approximate/precise
+//!   choice baked per instruction, profile computed analytically at compile
+//!   time) — bit-identical to the interpreter, several times faster on DSE
+//!   sweeps, with a batch API over shared skeletons.
 //!
 //! # Arithmetic semantics
 //!
@@ -62,12 +68,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod compile;
 pub mod cost;
 pub mod error;
 pub mod exec;
 pub mod instrument;
 pub mod ir;
 
+pub use compile::{CompiledProgram, CompiledSkeleton};
 pub use cost::ArithProfile;
 pub use error::VmError;
 pub use exec::{Binding, ExecOutcome, Executor};

@@ -209,7 +209,7 @@ proptest! {
         let precise = Binding::precise(&lib, &program).unwrap();
         let approx = Binding::new(&lib, &program, AdderId(adder), MulId(mul)).unwrap();
         let none = VarMask::none(&program);
-        let ex = Executor::new(&program).with_input("x", &spec.inputs).unwrap();
+        let mut ex = Executor::new(&program).with_input("x", &spec.inputs).unwrap();
         let (a, b) = (ex.run(&precise, &none), ex.run(&approx, &none));
         match (a, b) {
             (Ok(a), Ok(b)) => {

@@ -1,0 +1,196 @@
+//! Compiled-vs-interpreter differential tests across the whole stack.
+//!
+//! The threaded-code engine (`CompiledProgram`, the default
+//! `ExecEngine::Compiled`) is a performance substrate only: every result
+//! it produces must be bit-identical to the interpreter reference, from
+//! raw workload batches up through backend metrics and whole campaigns.
+//! These tests pin that contract at each layer.
+
+use axdse_suite::ax_dse::config::AxConfig;
+use axdse_suite::ax_dse::{EvalContext, ExecEngine};
+use axdse_suite::ax_operators::{AdderId, MulId, OperatorLibrary};
+use axdse_suite::ax_vm::VarMask;
+use axdse_suite::ax_workloads::conv2d::Conv2d;
+use axdse_suite::ax_workloads::dct::Dct8;
+use axdse_suite::ax_workloads::dot::DotProduct;
+use axdse_suite::ax_workloads::fir::Fir;
+use axdse_suite::ax_workloads::matmul::MatMul;
+use axdse_suite::ax_workloads::sobel::Sobel;
+use axdse_suite::ax_workloads::Workload;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One small instance of every workload in the suite.
+fn workload_for(ix: usize) -> Box<dyn Workload> {
+    match ix {
+        0 => Box::new(MatMul::new(3)),
+        1 => Box::new(Fir::new(16)),
+        2 => Box::new(DotProduct::new(8)),
+        3 => Box::new(Conv2d::new(4)),
+        4 => Box::new(Sobel::new(4)),
+        _ => Box::new(Dct8::new(1)),
+    }
+}
+
+const N_WORKLOADS: usize = 6;
+
+#[test]
+fn batched_engine_matches_interpreter_on_every_workload() {
+    let lib = OperatorLibrary::evoapprox();
+    for ix in 0..N_WORKLOADS {
+        let wl = workload_for(ix);
+        let prepared = wl.prepare(7).unwrap();
+        let n_vars = VarMask::none(&prepared.program).len();
+        let full = (1u64 << n_vars.min(63)) - 1;
+        let n_add = lib.adders(prepared.program.add_width()).len();
+        let n_mul = lib.multipliers(prepared.program.mul_width()).len();
+        let bit_patterns = [0, 1 & full, full / 2 + 1, full];
+
+        // Mask-major order: long runs of equal selection bits, so the
+        // batcher forms large groups and its dedup/factoring paths fire.
+        let mut mask_major = Vec::new();
+        for bits in bit_patterns {
+            for a in 0..n_add {
+                for m in 0..n_mul {
+                    mask_major.push((AdderId(a), MulId(m), bits));
+                }
+            }
+        }
+        // Operator-major order: selection bits alternate, so every group
+        // degenerates to a singleton and the batcher must regroup.
+        let mut op_major = Vec::new();
+        for a in 0..n_add {
+            for m in 0..n_mul {
+                for bits in bit_patterns {
+                    op_major.push((AdderId(a), MulId(m), bits));
+                }
+            }
+        }
+        for configs in [&mask_major, &op_major] {
+            let compiled = prepared.run_batch(&lib, configs).unwrap();
+            let interpreted = prepared.run_batch_interpreted(&lib, configs).unwrap();
+            assert_eq!(compiled, interpreted, "workload {}", wl.name());
+        }
+    }
+}
+
+#[test]
+fn backend_engines_agree_on_metrics() {
+    // The same designs through `Evaluator` on both engines: per-design
+    // `evaluate` and neighbourhood `evaluate_batch` must return the same
+    // metrics bit for bit (they feed reward shaping, so an ULP of drift
+    // would fork agent trajectories).
+    let lib = Arc::new(OperatorLibrary::evoapprox());
+    let wl = MatMul::new(4);
+    let ctx = EvalContext::new(&wl, Arc::clone(&lib), 3).unwrap();
+    let ctx_int = ctx.clone().with_engine(ExecEngine::Interpreter);
+    assert_eq!(
+        ctx.engine(),
+        ExecEngine::Compiled,
+        "compiled is the default"
+    );
+    let mut compiled = ctx.evaluator();
+    let mut interpreted = ctx_int.evaluator();
+    let dims = compiled.dims();
+    let full = (1u64 << dims.n_vars.min(63)) - 1;
+
+    let mut configs = Vec::new();
+    for a in 0..dims.n_add {
+        for m in 0..dims.n_mul {
+            for vars in [0, full / 3, full] {
+                configs.push(AxConfig {
+                    adder: AdderId(a),
+                    mul: MulId(m),
+                    vars,
+                });
+            }
+        }
+    }
+    for config in &configs {
+        let c = compiled.evaluate(config).unwrap();
+        let i = interpreted.evaluate(config).unwrap();
+        assert_eq!(c, i, "{config}");
+    }
+    // Fresh evaluators, batch path: nothing answered from the per-design
+    // caches above.
+    let mut compiled = ctx.evaluator();
+    let mut interpreted = ctx_int.evaluator();
+    assert_eq!(
+        compiled.evaluate_batch(&configs).unwrap(),
+        interpreted.evaluate_batch(&configs).unwrap()
+    );
+}
+
+#[test]
+fn exact_and_interpreted_campaigns_agree() {
+    // Whole-campaign determinism: a spec pinned to the interpreter
+    // reference (`"exact-interpreted"`) must reproduce the compiled
+    // engine's sweep exactly — same trajectories, same summaries.
+    use axdse_suite::ax_dse::campaign::{
+        BackendSpec, BenchmarkSpec, ExperimentSpec, NullObserver, SeedRange,
+    };
+    use axdse_suite::ax_dse::explore::{AgentKind, ExploreOptions};
+    use axdse_suite::ax_surrogate::run_spec;
+
+    let lib = OperatorLibrary::evoapprox();
+    let mk = |backend| {
+        ExperimentSpec::new("engine-equivalence")
+            .benchmark(BenchmarkSpec::MatMul(4))
+            .benchmark(BenchmarkSpec::Dot(8))
+            .agent(AgentKind::QLearning)
+            .agent(AgentKind::Sarsa)
+            .seeds(SeedRange::new(0, 2))
+            .explore(ExploreOptions {
+                max_steps: 150,
+                ..Default::default()
+            })
+            .backend(backend)
+    };
+    let compiled = run_spec(&lib, &mk(BackendSpec::Exact), None, &NullObserver).unwrap();
+    let interpreted = run_spec(
+        &lib,
+        &mk(BackendSpec::ExactInterpreted),
+        None,
+        &NullObserver,
+    )
+    .unwrap();
+    assert_eq!(compiled.cells.len(), interpreted.cells.len());
+    for (c, i) in compiled.cells.iter().zip(&interpreted.cells) {
+        assert_eq!(c.benchmark, i.benchmark);
+        assert_eq!(c.summary, i.summary, "{}", c.benchmark);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary config slices through `run_batch` and
+    /// `run_batch_interpreted` are byte-identical on every workload —
+    /// outputs and arithmetic profiles both.
+    #[test]
+    fn compiled_batches_match_interpreter(
+        wl_ix in 0usize..N_WORKLOADS,
+        input_seed in 0u64..4,
+        raw in prop::collection::vec((0usize..16, 0usize..16, 0u64..u64::MAX), 1..12),
+    ) {
+        let lib = OperatorLibrary::evoapprox();
+        let wl = workload_for(wl_ix);
+        let prepared = wl.prepare(input_seed).unwrap();
+        let n_vars = VarMask::none(&prepared.program).len();
+        let n_add = lib.adders(prepared.program.add_width()).len();
+        let n_mul = lib.multipliers(prepared.program.mul_width()).len();
+        let configs: Vec<_> = raw
+            .iter()
+            .map(|&(a, m, bits)| {
+                (
+                    AdderId(a % n_add),
+                    MulId(m % n_mul),
+                    bits & ((1u64 << n_vars.min(63)) - 1),
+                )
+            })
+            .collect();
+        let compiled = prepared.run_batch(&lib, &configs).unwrap();
+        let interpreted = prepared.run_batch_interpreted(&lib, &configs).unwrap();
+        prop_assert_eq!(compiled, interpreted, "workload {}", wl.name());
+    }
+}
