@@ -27,6 +27,13 @@ use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// One tier's share of every answered query, as a JSON number.
+fn tier_mix(tier: u64, stats: &ax_dse::campaign::TieredStats) -> Json {
+    let total =
+        stats.memo_hits + stats.class_hits + stats.surrogate_answers + stats.exact_confirmations;
+    Json::Num(format!("{:.4}", tier as f64 / total.max(1) as f64))
+}
+
 struct Config {
     out: String,
     seeds: Option<u64>,
@@ -198,9 +205,22 @@ fn main() {
             "speedup",
             Json::Num(format!("{:.2}", exact_ms / surrogate_ms)),
         ),
+        ("memo_hits", Json::u64(stats.memo_hits)),
         ("class_hits", Json::u64(stats.class_hits)),
         ("surrogate_answers", Json::u64(stats.surrogate_answers)),
         ("exact_confirmations", Json::u64(stats.exact_confirmations)),
+        // Tier mix: the fraction of all answered queries each tier served
+        // (memo, execution-equivalence class, model, exact confirm).
+        ("tier_mix_memo", tier_mix(stats.memo_hits, &stats)),
+        ("tier_mix_class", tier_mix(stats.class_hits, &stats)),
+        (
+            "tier_mix_surrogate",
+            tier_mix(stats.surrogate_answers, &stats),
+        ),
+        (
+            "tier_mix_exact",
+            tier_mix(stats.exact_confirmations, &stats),
+        ),
         (
             "surrogate_hit_rate",
             Json::Num(format!("{:.4}", stats.surrogate_hit_rate())),

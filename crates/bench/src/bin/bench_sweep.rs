@@ -204,6 +204,14 @@ fn main() {
         ("speedup", Json::Num(format!("{:.2}", cold_ms / warm_ms))),
         ("distinct_designs", Json::u64(cache.len() as u64)),
         ("cache_hits", Json::u64(cache.hits())),
+        ("cache_misses", Json::u64(cache.misses())),
+        (
+            "cache_hit_rate",
+            Json::Num(format!(
+                "{:.4}",
+                cache.hits() as f64 / (cache.hits() + cache.misses()).max(1) as f64
+            )),
+        ),
     ]);
     print!("{}", record.pretty());
     append_bench_record(&cfg.out, record).expect("append BENCH_sweep.json");
@@ -354,7 +362,9 @@ fn append_exec_compare_record(
         }
     }
 
-    let compiled_out = prepared.run_batch(lib, &configs).expect("compiled batch");
+    let (compiled_out, batch_stats) = prepared
+        .run_batch_stats(lib, &configs)
+        .expect("compiled batch");
     let interpreted_out = prepared
         .run_batch_interpreted(lib, &configs)
         .expect("interpreted batch");
@@ -410,6 +420,19 @@ fn append_exec_compare_record(
         (
             "speedup_vs_batched",
             Json::Num(format!("{:.2}", interpreted_batched_ms / compiled_ms)),
+        ),
+        // Telemetry-derived batch shape: how far the group cache and
+        // in-group dedup collapsed the nominal design count.
+        ("batch_groups", Json::u64(batch_stats.groups)),
+        ("signature_hits", Json::u64(batch_stats.signature_hits)),
+        ("dedup_hits", Json::u64(batch_stats.dedup_hits)),
+        ("kernel_designs", Json::u64(batch_stats.kernel_designs)),
+        (
+            "collapse_factor",
+            match batch_stats.collapse_factor() {
+                Some(f) => Json::Num(format!("{f:.2}")),
+                None => Json::Null,
+            },
         ),
     ]);
     print!("{}", record.pretty());

@@ -24,21 +24,25 @@
 //!                         file; --policy P / --budget N override the spec's
 //!                         budget policy: uniform | weighted:S1,S2,… |
 //!                         halving:ROUNDS,KEEP | asha:RUNGS,KEEP |
-//!                         hyperband:R1,K1;R2,K2;… — and --report-json FILE
-//!                         writes the machine-readable CampaignReport)
+//!                         hyperband:R1,K1;R2,K2;… — --report-json FILE
+//!                         writes the machine-readable CampaignReport;
+//!                         --trace FILE streams structured events as JSONL
+//!                         and --metrics FILE writes the final metrics
+//!                         snapshot as JSON)
 //!   all                   everything above
 //! ```
 
 use ax_bench::{ablations, figures, tables, OutputDir};
 use ax_dse::backend::SharedCache;
 use ax_dse::campaign::{
-    BudgetPolicy, Campaign, CampaignReport, ExperimentSpec, Observer, SeedRange, TieredStats,
+    BudgetPolicy, Campaign, CampaignReport, ExperimentSpec, JsonlSink, Observer, SeedRange,
+    Telemetry, TieredStats,
 };
 use ax_dse::explore::AgentKind;
 use ax_dse::explore::ExploreOptions;
 use ax_dse::report::ascii_table;
 use ax_operators::OperatorLibrary;
-use ax_surrogate::{run_spec, sweep_in_context_surrogate, SurrogateSettings};
+use ax_surrogate::{run_spec_traced, sweep_in_context_surrogate, SurrogateSettings};
 use ax_workloads::fir::Fir;
 use ax_workloads::matmul::MatMul;
 use ax_workloads::sobel::Sobel;
@@ -59,6 +63,8 @@ struct Args {
     policy: Option<BudgetPolicy>,
     budget: Option<u64>,
     report_json: Option<String>,
+    trace: Option<String>,
+    metrics: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -73,6 +79,8 @@ fn parse_args() -> Result<Args, String> {
     let mut policy = None;
     let mut budget = None;
     let mut report_json = None;
+    let mut trace = None;
+    let mut metrics = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -128,6 +136,8 @@ fn parse_args() -> Result<Args, String> {
             "--report-json" => {
                 report_json = Some(it.next().ok_or("--report-json needs a file")?);
             }
+            "--trace" => trace = Some(it.next().ok_or("--trace needs a file")?),
+            "--metrics" => metrics = Some(it.next().ok_or("--metrics needs a file")?),
             "--help" | "-h" => return Err("help".into()),
             // Only `run` takes a second positional (its spec file); a stray
             // bare word after any other command is a mistake, not a spec.
@@ -160,6 +170,8 @@ fn parse_args() -> Result<Args, String> {
         policy,
         budget,
         report_json,
+        trace,
+        metrics,
     })
 }
 
@@ -361,9 +373,35 @@ fn run_spec_file(args: &Args) {
         }
     });
     let lib = OperatorLibrary::evoapprox();
-    let report = run_spec(&lib, &spec, cache.clone(), &PrintObserver)
+    // --trace/--metrics turn telemetry on; otherwise the campaign runs
+    // with the zero-overhead disabled handle.
+    let telemetry = if args.trace.is_some() || args.metrics.is_some() {
+        let t = Telemetry::new();
+        if let Some(path) = &args.trace {
+            let sink = JsonlSink::create(path)
+                .unwrap_or_else(|e| panic!("cannot create trace file {path}: {e}"));
+            t.add_sink(Box::new(sink));
+        }
+        t
+    } else {
+        Telemetry::disabled()
+    };
+    let report = run_spec_traced(&lib, &spec, cache.clone(), &PrintObserver, &telemetry)
         .unwrap_or_else(|e| panic!("campaign failed: {e}"));
     print_campaign_report(&report, &args.out);
+    telemetry.flush();
+    if let Some(path) = &args.trace {
+        eprintln!(
+            "wrote {} structured events to {path}",
+            telemetry.events_emitted()
+        );
+    }
+    if let Some(path) = &args.metrics {
+        let snapshot = telemetry.snapshot().expect("telemetry is enabled");
+        std::fs::write(path, snapshot.to_json_string())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote metrics snapshot to {path}");
+    }
     if let Some(path) = &args.report_json {
         std::fs::write(path, report.to_json_string())
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
@@ -410,7 +448,8 @@ fn main() -> ExitCode {
                 "usage: repro [--out DIR | --no-out] [--steps N] [--seed S] <command>\n       \
                  repro run <spec.json> [--smoke] [--cache FILE] [--cache-cap N]\n               \
                  [--policy uniform|weighted:S1,S2,..|halving:R,K|asha:R,K|\n                \
-                 hyperband:R1,K1;R2,K2;..] [--budget N] [--report-json FILE]"
+                 hyperband:R1,K1;R2,K2;..] [--budget N] [--report-json FILE]\n               \
+                 [--trace EVENTS.jsonl] [--metrics METRICS.json]"
             );
             eprintln!(
                 "commands: table1 table2 table3 fig2 fig3 fig4 ablation-explorers \

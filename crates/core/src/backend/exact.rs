@@ -5,6 +5,7 @@ use super::{EvalBackend, EvalMetrics};
 use crate::config::{AxConfig, SpaceDims};
 use ax_operators::metrics::{mae, signed_mean_error};
 use ax_operators::OperatorLibrary;
+use ax_telemetry::Telemetry;
 use ax_vm::compile::{CompiledProgram, CompiledSkeleton};
 use ax_vm::exec::{run_from_image, Binding, ExecScratch};
 use ax_vm::instrument::VarMask;
@@ -57,6 +58,9 @@ pub struct EvalContext {
     precise_power: f64,
     precise_time: f64,
     shared: Option<(Arc<SharedCache>, CacheScope)>,
+    /// Telemetry handle spawned evaluators report through. Disabled by
+    /// default: the hot path then pays exactly one branch per execution.
+    telemetry: Telemetry,
 }
 
 impl EvalContext {
@@ -138,6 +142,7 @@ impl EvalContext {
             precise_power: reference.profile.power_mw,
             precise_time: reference.profile.time_ns,
             shared,
+            telemetry: Telemetry::disabled(),
         })
     }
 
@@ -167,6 +172,21 @@ impl EvalContext {
     /// The execution engine spawned evaluators use.
     pub fn engine(&self) -> ExecEngine {
         self.engine
+    }
+
+    /// This context reporting through `telemetry` (a cheap shared handle):
+    /// evaluators spawned afterwards record per-execution latency in the
+    /// `exec.latency_ns` histogram. The default is
+    /// [`Telemetry::disabled`], which costs one branch per execution.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
+        self
+    }
+
+    /// The telemetry handle spawned evaluators report through.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The benchmark's name.
@@ -271,6 +291,8 @@ impl Evaluator {
     }
 
     fn execute(&mut self, config: &AxConfig) -> Result<EvalMetrics, VmError> {
+        // One branch when telemetry is disabled — the hot path stays free.
+        let started = self.ctx.telemetry.enabled().then(std::time::Instant::now);
         let ctx = &self.ctx;
         let binding = Binding::new(&ctx.lib, &ctx.prepared.program, config.adder, config.mul)?;
         let outcome = match ctx.engine {
@@ -296,6 +318,11 @@ impl Evaluator {
             }
         };
         self.executions += 1;
+        if let Some(t0) = started {
+            self.ctx
+                .telemetry
+                .observe("exec.latency_ns", t0.elapsed().as_nanos() as u64);
+        }
         Ok(self.ctx.metrics_from(&outcome))
     }
 }
@@ -328,6 +355,35 @@ impl EvalBackend for Evaluator {
 
     fn distinct_evaluations(&self) -> u64 {
         self.cache.len() as u64
+    }
+
+    fn telemetry_counters(&self) -> Vec<(&'static str, u64)> {
+        let mut counters = vec![
+            ("backend.local_hits", self.hits),
+            ("backend.shared_hits", self.shared_hits),
+            ("backend.executions", self.executions),
+        ];
+        match self.ctx.engine {
+            ExecEngine::Compiled => counters.push(("engine.compiled_runs", self.executions)),
+            ExecEngine::Interpreter => counters.push(("engine.interpreted_runs", self.executions)),
+        }
+        if let Some(compiled) = &self.compiled {
+            let batch = compiled.batch_stats();
+            if batch.designs > 0 {
+                counters.extend([
+                    ("engine.batch.designs", batch.designs),
+                    ("engine.batch.groups", batch.groups),
+                    ("engine.batch.signature_hits", batch.signature_hits),
+                    ("engine.batch.dedup_hits", batch.dedup_hits),
+                    ("engine.batch.kernel_designs", batch.kernel_designs),
+                    ("engine.batch.sequential_designs", batch.sequential_designs),
+                    ("engine.batch.kernel_invocations", batch.kernel_invocations),
+                    ("engine.batch.stage1_ns", batch.stage1_ns),
+                    ("engine.batch.stage2_ns", batch.stage2_ns),
+                ]);
+            }
+        }
+        counters
     }
 
     /// Evaluates a configuration (cached: local memo table first, then the

@@ -103,4 +103,16 @@ pub trait EvalBackend {
     fn distinct_evaluations(&self) -> u64 {
         0
     }
+
+    /// The backend's internal counters as `(metric name, value)` pairs,
+    /// harvested into the campaign's telemetry registry at run end.
+    ///
+    /// Names follow `docs/telemetry_reference.md` (`backend.*`,
+    /// `engine.*`, `tier.*`); values are cumulative since construction.
+    /// Wrapper backends (metering, tiering) forward to their inner backend
+    /// and append their own counters. The default is empty — backends
+    /// without instrumentation stay silent rather than reporting zeros.
+    fn telemetry_counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }

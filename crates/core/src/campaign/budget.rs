@@ -167,6 +167,18 @@ impl CellLedger {
             .map(|cap| cap.saturating_sub(self.global.spent()))
     }
 
+    /// Sum of the per-cell raw spends.
+    ///
+    /// Every campaign charge goes to exactly one cell budget *and* the
+    /// global budget (one [`MeteredBackend`] charging both with the same
+    /// delta), so this always equals the global's raw
+    /// [`EvalBudget::spent`] — equivalently, `spent_clamped() +
+    /// overshoot()`. The telemetry snapshot checks this invariant at
+    /// campaign end; see `budget_invariant_ok` in the campaign report.
+    pub fn cells_spent_total(&self) -> u64 {
+        self.cells.iter().map(|c| c.spent()).sum()
+    }
+
     /// Splits `total` into `n` near-equal integer grants; the first
     /// `total % n` grants take the remainder, one unit each.
     ///
@@ -413,6 +425,10 @@ impl<B: EvalBackend> EvalBackend for MeteredBackend<B> {
         self.inner.distinct_evaluations()
     }
 
+    fn telemetry_counters(&self) -> Vec<(&'static str, u64)> {
+        self.inner.telemetry_counters()
+    }
+
     fn evaluate(&mut self, config: &AxConfig) -> Result<EvalMetrics, VmError> {
         let before = self.inner.distinct_evaluations();
         let result = self.inner.evaluate(config);
@@ -560,6 +576,40 @@ mod tests {
         );
         assert_eq!(budget.spent_clamped(), CAP);
         assert_eq!(budget.overshoot(), raw - CAP);
+    }
+
+    #[test]
+    fn threaded_cell_sums_agree_with_the_global_ledger() {
+        // The report invariant behind `budget_invariant_ok`: when every
+        // worker charges its own cell *and* the global budget with the
+        // same delta (the `MeteredBackend::with_budgets` contract), the
+        // per-cell raw sums reconstruct the global's raw spend exactly —
+        // `spent_clamped() + overshoot()` — even under the cooperative
+        // <= 1-step-per-worker overshoot race.
+        const WORKERS: usize = 8;
+        const STEP_COST: u64 = 3;
+        const CAP: u64 = 1_000;
+        let global = EvalBudget::new(Some(CAP));
+        let ledger = CellLedger::new(Arc::clone(&global), WORKERS);
+        std::thread::scope(|s| {
+            for i in 0..WORKERS {
+                let cell = Arc::clone(ledger.cell(i));
+                let global = Arc::clone(&global);
+                s.spawn(move || {
+                    while !global.exhausted() {
+                        cell.charge(STEP_COST);
+                        global.charge(STEP_COST);
+                    }
+                });
+            }
+        });
+        let raw = global.spent();
+        assert!(raw >= CAP && raw <= CAP + WORKERS as u64 * STEP_COST);
+        assert_eq!(ledger.cells_spent_total(), raw);
+        assert_eq!(
+            ledger.cells_spent_total(),
+            global.spent_clamped() + global.overshoot()
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::json::Json;
 use crate::sweep::{summarize_outcomes, PortfolioEntry, PortfolioOutcome, SweepSummary};
 use ax_agents::train::StopReason;
 use ax_operators::OperatorLibrary;
+use ax_telemetry::{Event, EventKind, MetricsSnapshot, Telemetry, SOURCE_COORDINATOR};
 use ax_vm::VmError;
 use ax_workloads::Workload;
 use rayon::prelude::*;
@@ -101,6 +102,22 @@ pub trait Observer: Sync {
 
     /// The campaign finished and its report is final.
     fn on_campaign_complete(&self, _report: &CampaignReport) {}
+
+    /// A typed scheduler or run transition (see [`EventKind`]): budget
+    /// grants, rung records, promotions, parks, eliminations, bracket
+    /// revivals, run pauses — every transition the coarse-grained hooks
+    /// above cannot express. Fires for every event the campaign's
+    /// [`Telemetry`] handle records, and (when
+    /// [`Observer::wants_events`] opts in) even with telemetry disabled.
+    fn on_event(&self, _event: &Event) {}
+
+    /// Opt-in for [`Observer::on_event`] when the campaign runs without an
+    /// enabled [`Telemetry`] handle. The default `false` keeps the
+    /// disabled-telemetry fast path allocation-free: no event is even
+    /// constructed.
+    fn wants_events(&self) -> bool {
+        false
+    }
 }
 
 /// The do-nothing [`Observer`].
@@ -297,6 +314,23 @@ impl AllocationReport {
     }
 }
 
+/// The campaign's telemetry roll-up, present when the campaign ran with
+/// an enabled [`Telemetry`] handle.
+#[derive(Debug, Clone)]
+pub struct TelemetrySummary {
+    /// Total typed events the campaign emitted.
+    pub events_emitted: u64,
+    /// `true` when the ledger's per-cell spends reconcile with the global
+    /// budget: `Σ cell.spent() == global.spent() == spent_clamped() +
+    /// overshoot()`. Always expected to hold — every charge goes to
+    /// exactly one cell and the global budget with the same delta; a
+    /// `false` here means the accounting itself is broken.
+    pub budget_invariant_ok: bool,
+    /// Every registered metric at campaign end: cache, budget, scheduler,
+    /// backend and engine counters, plus latency histograms.
+    pub metrics: MetricsSnapshot,
+}
+
 /// Everything a finished [`Campaign`] reports.
 #[derive(Debug, Clone)]
 pub struct CampaignReport {
@@ -314,6 +348,9 @@ pub struct CampaignReport {
     pub allocations: Vec<AllocationReport>,
     /// Tier usage summed across every run (`None` for exact campaigns).
     pub tier: Option<TieredStats>,
+    /// Telemetry roll-up (`None` when the campaign ran without an enabled
+    /// [`Telemetry`] handle — the default).
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl CampaignReport {
@@ -386,6 +423,50 @@ impl CampaignReport {
                     ("exact_confirmations", Json::u64(t.exact_confirmations)),
                 ]),
             }
+        }
+        fn metrics_json(m: &MetricsSnapshot) -> Json {
+            let counters = m
+                .counters
+                .iter()
+                .map(|(n, v)| (n.as_str(), Json::u64(*v)))
+                .collect();
+            let gauges = m
+                .gauges
+                .iter()
+                .map(|(n, v)| (n.as_str(), Json::f64(*v)))
+                .collect();
+            let histograms = m
+                .histograms
+                .iter()
+                .map(|(n, h)| {
+                    (
+                        n.as_str(),
+                        Json::obj(vec![
+                            ("count", Json::u64(h.count)),
+                            ("sum", Json::u64(h.sum)),
+                            (
+                                "buckets",
+                                Json::Arr(
+                                    h.buckets
+                                        .iter()
+                                        .map(|&(bits, n)| {
+                                            Json::Arr(vec![
+                                                Json::u64(u64::from(bits)),
+                                                Json::u64(n),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ]),
+                    )
+                })
+                .collect();
+            Json::obj(vec![
+                ("counters", Json::obj(counters)),
+                ("gauges", Json::obj(gauges)),
+                ("histograms", Json::obj(histograms)),
+            ])
         }
         let cells = self
             .cells
@@ -482,6 +563,17 @@ impl CampaignReport {
             ),
             ("allocations", Json::Arr(allocations)),
             ("tier", tier(&self.tier)),
+            (
+                "telemetry",
+                match &self.telemetry {
+                    None => Json::Null,
+                    Some(t) => Json::obj(vec![
+                        ("events_emitted", Json::u64(t.events_emitted)),
+                        ("budget_invariant_ok", Json::Bool(t.budget_invariant_ok)),
+                        ("metrics", metrics_json(&t.metrics)),
+                    ]),
+                },
+            ),
         ])
     }
 
@@ -544,6 +636,7 @@ pub struct Campaign<'a> {
     sequential: bool,
     cache: Option<Arc<SharedCache>>,
     observer: &'a dyn Observer,
+    telemetry: Telemetry,
     /// The backend a spec asked for, when built via [`Campaign::from_spec`]
     /// — [`Campaign::run`] refuses to silently downgrade a non-exact
     /// choice to the exact provider.
@@ -566,6 +659,7 @@ impl<'a> Campaign<'a> {
             sequential: false,
             cache: None,
             observer: &NullObserver,
+            telemetry: Telemetry::disabled(),
             spec_backend: None,
         }
     }
@@ -675,6 +769,28 @@ impl<'a> Campaign<'a> {
         self
     }
 
+    /// Records metrics and typed events into `telemetry` (a cheap shared
+    /// handle — clone it to read events and snapshots afterwards). The
+    /// default is [`Telemetry::disabled`]: no event is constructed, no
+    /// metric registered, and the run's outputs are byte-identical to a
+    /// campaign without telemetry.
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
+        self
+    }
+
+    /// Emits a typed event to the telemetry handle and the observer.
+    /// `kind` is a closure so the disabled default pays one branch and
+    /// never constructs the event — the NullObserver path stays
+    /// byte-identical to a campaign without telemetry.
+    fn emit(&self, source: u32, kind: impl FnOnce() -> EventKind) {
+        if self.telemetry.enabled() || self.observer.wants_events() {
+            let event = self.telemetry.emit(source, kind());
+            self.observer.on_event(&event);
+        }
+    }
+
     /// Runs the campaign with exact evaluation.
     ///
     /// `"exact"` specs (and spec-less campaigns) use the threaded-code
@@ -753,6 +869,10 @@ impl<'a> Campaign<'a> {
 
         let total_runs = n_cells as u64 * self.seeds.count;
         self.observer.on_campaign_start(&self.name, total_runs);
+        self.emit(SOURCE_COORDINATOR, || EventKind::CampaignStart {
+            name: self.name.clone(),
+            total_runs,
+        });
 
         let global = EvalBudget::new(self.budget);
         let lib = Arc::new(self.lib.clone());
@@ -765,8 +885,12 @@ impl<'a> Campaign<'a> {
                 Arc::clone(&lib),
                 self.opts.input_seed,
                 Arc::clone(&cache),
-            )?;
+            )?
+            .with_telemetry(&self.telemetry);
             self.observer.on_benchmark_ready(ctx.benchmark());
+            self.emit(SOURCE_COORDINATOR, || EventKind::BenchmarkReady {
+                benchmark: ctx.benchmark().to_owned(),
+            });
             contexts.push(ctx);
         }
         let shared: Vec<P::Shared> = contexts.iter().map(|c| provider.prepare(c)).collect();
@@ -789,6 +913,7 @@ impl<'a> Campaign<'a> {
                     );
                     slots.push(RunSlot {
                         cell,
+                        index: slots.len(),
                         kind,
                         seed,
                         run: ResumableExploration::start(backend, ctx.benchmark(), &run_opts, kind),
@@ -818,10 +943,22 @@ impl<'a> Campaign<'a> {
             ),
             BudgetPolicy::Hyperband { brackets } => {
                 for (b, bracket) in brackets.iter().enumerate() {
+                    self.telemetry.counter_add("sched.brackets", 1);
+                    self.emit(SOURCE_COORDINATOR, || EventKind::BracketStart {
+                        bracket: b as u64,
+                    });
                     // Every bracket re-opens the whole grid: cells
                     // eliminated under an earlier bracket's schedule get
                     // another chance under this one.
-                    alive.iter_mut().for_each(|a| *a = true);
+                    for (c, a) in alive.iter_mut().enumerate() {
+                        if !*a {
+                            self.emit(SOURCE_COORDINATOR, || EventKind::CellRevived {
+                                cell: c as u64,
+                                bracket: b as u64,
+                            });
+                        }
+                        *a = true;
+                    }
                     let future_rounds: u32 = brackets[b + 1..].iter().map(|br| br.rounds).sum();
                     self.run_rounds(
                         &mut slots,
@@ -864,7 +1001,7 @@ impl<'a> Campaign<'a> {
 
         // Close out runs the scheduler never finished (budget-stopped,
         // eliminated or parked): every run notifies exactly once.
-        for slot in &mut slots {
+        for (i, slot) in slots.iter_mut().enumerate() {
             if !slot.notified {
                 slot.notified = true;
                 self.observer.on_run_complete(
@@ -874,6 +1011,13 @@ impl<'a> Campaign<'a> {
                     slot.run.stop_reason(),
                     slot.run.steps_taken(),
                 );
+                self.emit(i as u32 + 1, || EventKind::RunComplete {
+                    benchmark: slot.run.benchmark().to_owned(),
+                    agent: slot.kind.name().to_owned(),
+                    seed: slot.seed,
+                    stop: format!("{:?}", slot.run.stop_reason()),
+                    steps: slot.run.steps_taken(),
+                });
             }
         }
         let outcomes: Vec<ExplorationOutcome<MeteredBackend<P::Backend>>> =
@@ -899,6 +1043,11 @@ impl<'a> Campaign<'a> {
                     evaluations += outcome.evaluator.charged();
                     if outcome.stop_reason == StopReason::Stopped {
                         stopped += 1;
+                    }
+                    if self.telemetry.enabled() {
+                        for (name, value) in outcome.evaluator.telemetry_counters() {
+                            self.telemetry.counter_add(name, value);
+                        }
                     }
                     if let Some(usage) = provider.usage(outcome.evaluator.inner()) {
                         tier.get_or_insert_with(TieredStats::default).merge(&usage);
@@ -937,6 +1086,47 @@ impl<'a> Campaign<'a> {
             });
         }
 
+        self.emit(SOURCE_COORDINATOR, || EventKind::CampaignComplete {
+            spent: global.spent_clamped(),
+            overshoot: global.overshoot(),
+        });
+
+        // Harvest the campaign-wide metrics into the registry and freeze
+        // the summary. Everything here reads counters the layers below
+        // already maintain — the hot paths were never instrumented with
+        // per-evaluation telemetry calls.
+        let telemetry = self.telemetry.enabled().then(|| {
+            self.telemetry.counter_add("campaign.runs", total_runs);
+            self.telemetry.counter_add("campaign.cells", n_cells as u64);
+            self.telemetry.counter_add("cache.hits", cache.hits());
+            self.telemetry.counter_add("cache.misses", cache.misses());
+            self.telemetry
+                .counter_add("cache.evictions", cache.evictions());
+            self.telemetry
+                .gauge_set("cache.entries", cache.len() as f64);
+            if let Some(cap) = global.cap() {
+                self.telemetry.counter_add("budget.cap", cap);
+            }
+            self.telemetry
+                .counter_add("budget.spent", global.spent_clamped());
+            self.telemetry
+                .counter_add("budget.overshoot", global.overshoot());
+            self.telemetry
+                .counter_add("budget.stopped_runs", total_stopped);
+            self.telemetry
+                .counter_add("budget.cells_spent", ledger.cells_spent_total());
+            // `tier.*` is NOT harvested from `tier_total` here: tiered
+            // backends report those counters through
+            // `EvalBackend::telemetry_counters`, already aggregated above.
+            let budget_invariant_ok = ledger.cells_spent_total() == global.spent()
+                && global.spent() == global.spent_clamped() + global.overshoot();
+            TelemetrySummary {
+                events_emitted: self.telemetry.events_emitted(),
+                budget_invariant_ok,
+                metrics: self.telemetry.snapshot().unwrap_or_default(),
+            }
+        });
+
         let report = CampaignReport {
             name: self.name.clone(),
             cells,
@@ -949,6 +1139,7 @@ impl<'a> Campaign<'a> {
             },
             allocations,
             tier: tier_total,
+            telemetry,
         };
         self.observer.on_campaign_complete(&report);
         Ok(report)
@@ -968,18 +1159,42 @@ impl<'a> Campaign<'a> {
         runnable: &(dyn Fn(usize) -> bool + Sync),
     ) {
         let observer = self.observer;
+        let telemetry = &self.telemetry;
+        telemetry.counter_add("campaign.resume_passes", 1);
+        // `self` holds non-`Sync` workload references, so the parallel
+        // closure captures only the pieces it needs.
+        let wants_events = telemetry.enabled() || observer.wants_events();
+        let emit = |source: u32, kind: EventKind| {
+            let event = telemetry.emit(source, kind);
+            observer.on_event(&event);
+        };
         let resume_one = |slot: &mut RunSlot<B>| {
+            // The event `source` is the run's grid index + 1 — a
+            // schedule-independent logical id (never a thread id).
+            let source = slot.index as u32 + 1;
             if !runnable(slot.cell) || slot.run.is_complete() {
                 return;
             }
             let cell_budget = ledger.cell(slot.cell);
             let fresh = slot.run.steps_taken() == 0;
             if fresh || !(cell_budget.exhausted() || global.exhausted()) {
+                telemetry.counter_add("campaign.run_resumes", 1);
                 slot.run
                     .resume(|| cell_budget.exhausted() || global.exhausted());
             }
             if global.trip() {
                 observer.on_budget_exhausted(global.spent());
+                if wants_events {
+                    emit(
+                        SOURCE_COORDINATOR,
+                        EventKind::BudgetExhausted {
+                            // The clamped value: schedule-independent, unlike
+                            // the raw overshooting counter the observer hook
+                            // reports.
+                            cap: global.cap().unwrap_or(0),
+                        },
+                    );
+                }
             }
             if slot.run.is_complete() && !slot.notified {
                 slot.notified = true;
@@ -989,6 +1204,28 @@ impl<'a> Campaign<'a> {
                     slot.seed,
                     slot.run.stop_reason(),
                     slot.run.steps_taken(),
+                );
+                if wants_events {
+                    emit(
+                        source,
+                        EventKind::RunComplete {
+                            benchmark: slot.run.benchmark().to_owned(),
+                            agent: slot.kind.name().to_owned(),
+                            seed: slot.seed,
+                            stop: format!("{:?}", slot.run.stop_reason()),
+                            steps: slot.run.steps_taken(),
+                        },
+                    );
+                }
+            } else if !slot.run.is_complete() && wants_events {
+                emit(
+                    source,
+                    EventKind::RunPaused {
+                        benchmark: slot.run.benchmark().to_owned(),
+                        agent: slot.kind.name().to_owned(),
+                        seed: slot.seed,
+                        steps: slot.run.steps_taken(),
+                    },
                 );
             }
         };
@@ -1024,6 +1261,7 @@ impl<'a> Campaign<'a> {
     ) {
         let n_cells = ledger.len();
         for round in 0..rounds {
+            self.telemetry.counter_add("sched.rounds", 1);
             // Grant this round's allocations (bounded campaigns only).
             // Successive halving draws each round from what the previous
             // rounds left unspent, and grants only to surviving cells that
@@ -1061,6 +1299,13 @@ impl<'a> Campaign<'a> {
                     for (&cell, &units) in targets.iter().zip(&grants) {
                         ledger.grant(cell, units);
                         granted[cell] = units;
+                        self.telemetry.counter_add("sched.grants", 1);
+                        self.emit(SOURCE_COORDINATOR, || EventKind::BudgetGrant {
+                            cell: cell as u64,
+                            round: round as u64,
+                            bracket: u64::from(bracket),
+                            units,
+                        });
                     }
                 }
             }
@@ -1086,6 +1331,12 @@ impl<'a> Campaign<'a> {
                     ((ranked.len() as f64 * keep_fraction).ceil() as usize).clamp(1, ranked.len());
                 for &cell in &ranked[keep..] {
                     alive[cell] = false;
+                    self.telemetry.counter_add("sched.eliminations", 1);
+                    self.emit(SOURCE_COORDINATOR, || EventKind::CellEliminated {
+                        cell: cell as u64,
+                        round: round as u64,
+                        bracket: u64::from(bracket),
+                    });
                 }
             }
 
@@ -1163,6 +1414,13 @@ impl<'a> Campaign<'a> {
         {
             ledger.grant(c, units);
             granted[c][0] = units;
+            self.telemetry.counter_add("sched.grants", 1);
+            self.emit(SOURCE_COORDINATOR, || EventKind::BudgetGrant {
+                cell: c as u64,
+                round: 0,
+                bracket: 0,
+                units,
+            });
         }
         // Promotion quanta assume the keep fraction thins each rung
         // geometrically (the classic ASHA shape); the global cap stays the
@@ -1201,6 +1459,12 @@ impl<'a> Campaign<'a> {
                     continue;
                 }
                 rung_ledger.record(rung[c], c, cell_best[c]);
+                self.telemetry.counter_add("rung.records", 1);
+                self.emit(SOURCE_COORDINATOR, || EventKind::RungRecorded {
+                    cell: c as u64,
+                    rung: rung[c] as u64,
+                    score: cell_best[c],
+                });
                 spent_at[c][rung[c]] = Some(ledger.cell(c).spent());
                 score_at[c][rung[c]] = Some(cell_best[c]);
                 if cell_done[c] {
@@ -1209,6 +1473,11 @@ impl<'a> Campaign<'a> {
                     phase[c] = Phase::Done;
                 } else {
                     phase[c] = Phase::Parked;
+                    self.telemetry.counter_add("rung.parks", 1);
+                    self.emit(SOURCE_COORDINATOR, || EventKind::CellParked {
+                        cell: c as u64,
+                        rung: rung[c] as u64,
+                    });
                 }
             }
             // Asynchronous promotions: every rung but the last promotes
@@ -1248,6 +1517,12 @@ impl<'a> Campaign<'a> {
                         ledger.grant(c, units);
                         granted[c][r + 1] += units;
                         phase[c] = Phase::Running;
+                        self.telemetry.counter_add("rung.promotions", 1);
+                        self.emit(SOURCE_COORDINATOR, || EventKind::RungPromoted {
+                            cell: c as u64,
+                            rung: (r + 1) as u64,
+                            units,
+                        });
                     }
                 }
             }
@@ -1267,6 +1542,14 @@ impl<'a> Campaign<'a> {
                 survived[c][rungs - 1] = true;
             }
             alive[c] = !(phase[c] == Phase::Parked && rung[c] + 1 < rungs);
+            if !alive[c] {
+                self.telemetry.counter_add("sched.eliminations", 1);
+                self.emit(SOURCE_COORDINATOR, || EventKind::CellEliminated {
+                    cell: c as u64,
+                    round: rung[c] as u64,
+                    bracket: 0,
+                });
+            }
         }
         for r in 0..rungs {
             allocations.push(AllocationReport {
@@ -1291,6 +1574,9 @@ impl<'a> Campaign<'a> {
 /// identity, and the pausable exploration itself.
 struct RunSlot<B: EvalBackend + Send> {
     cell: usize,
+    /// Grid index (benchmark-major), fixed at construction: the run's
+    /// telemetry event source is `index + 1`.
+    index: usize,
     kind: AgentKind,
     seed: u64,
     run: ResumableExploration<MeteredBackend<B>>,

@@ -36,7 +36,13 @@ pub use budget::{CellLedger, EvalBudget, MeteredBackend, RungLedger};
 pub use driver::{
     explore, AllocationReport, BackendProvider, BudgetReport, Campaign, CampaignReport,
     CellAllocation, CellReport, ExactProvider, InterpretedProvider, NullObserver, Observer,
-    TieredStats, WrapProvider,
+    TelemetrySummary, TieredStats, WrapProvider,
+};
+// The telemetry vocabulary campaign observers speak, re-exported so
+// downstream crates need no direct `ax-telemetry` dependency.
+pub use ax_telemetry::{
+    Event, EventKind, EventSink, JsonlSink, MetricsSnapshot, RingBuffer, Telemetry,
+    SOURCE_COORDINATOR,
 };
 pub use spec::{
     BackendSpec, BenchmarkSpec, BudgetPolicy, ExperimentSpec, HalvingBracket, SeedRange, SpecError,

@@ -68,8 +68,8 @@ pub mod thresholds;
 
 pub use backend::{EvalBackend, EvalContext, EvalMetrics, Evaluator, ExecEngine, SharedCache};
 pub use campaign::{
-    BackendSpec, BenchmarkSpec, BudgetPolicy, Campaign, CampaignReport, ExperimentSpec, Observer,
-    SeedRange, SurrogateSettings,
+    BackendSpec, BenchmarkSpec, BudgetPolicy, Campaign, CampaignReport, Event, EventKind,
+    ExperimentSpec, MetricsSnapshot, Observer, SeedRange, SurrogateSettings, Telemetry,
 };
 pub use config::AxConfig;
 pub use env::{DseEnv, DseState, StepTrace};

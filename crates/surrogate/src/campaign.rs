@@ -13,7 +13,7 @@ use crate::tiered::{
 use ax_dse::backend::{EvalContext, Evaluator, SharedCache};
 use ax_dse::campaign::{
     BackendProvider, BackendSpec, Campaign, CampaignReport, ExperimentSpec, Observer, SpecError,
-    TieredStats,
+    Telemetry, TieredStats,
 };
 use ax_operators::OperatorLibrary;
 use ax_vm::VmError;
@@ -122,9 +122,30 @@ pub fn run_spec(
     cache: Option<Arc<SharedCache>>,
     observer: &dyn Observer,
 ) -> Result<CampaignReport, RunSpecError> {
+    run_spec_traced(lib, spec, cache, observer, &Telemetry::disabled())
+}
+
+/// [`run_spec`] with a telemetry handle: when `telemetry` is enabled the
+/// campaign streams structured events to its sinks and the returned
+/// report carries a `telemetry` section (metrics snapshot, event count,
+/// budget-invariant check). A disabled handle is byte-identical to
+/// [`run_spec`] — the engine behind `repro run --trace/--metrics`.
+///
+/// # Errors
+///
+/// Fails on an unrunnable spec or a benchmark that cannot be prepared.
+pub fn run_spec_traced(
+    lib: &OperatorLibrary,
+    spec: &ExperimentSpec,
+    cache: Option<Arc<SharedCache>>,
+    observer: &dyn Observer,
+    telemetry: &Telemetry,
+) -> Result<CampaignReport, RunSpecError> {
     spec.validate()?;
     let workloads = spec.build_workloads();
-    let mut campaign = Campaign::from_spec(lib, spec, &workloads).observe(observer);
+    let mut campaign = Campaign::from_spec(lib, spec, &workloads)
+        .observe(observer)
+        .telemetry(telemetry);
     if let Some(cache) = cache {
         campaign = campaign.shared_cache(cache);
     }

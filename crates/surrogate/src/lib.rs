@@ -50,7 +50,7 @@ pub mod model;
 pub mod sweep;
 pub mod tiered;
 
-pub use campaign::{run_spec, RunSpecError, TieredProvider};
+pub use campaign::{run_spec, run_spec_traced, RunSpecError, TieredProvider};
 pub use features::FeatureExtractor;
 pub use model::{RelErrors, SurrogateModel};
 #[allow(deprecated)] // compatibility re-exports of the legacy wrappers

@@ -300,6 +300,16 @@ impl<B: EvalBackend> EvalBackend for TieredBackend<B> {
         self.memo.len() as u64
     }
 
+    /// The inner backend's counters plus this wrapper's `tier.*` tallies.
+    fn telemetry_counters(&self) -> Vec<(&'static str, u64)> {
+        let mut counters = self.inner.telemetry_counters();
+        counters.push(("tier.memo_hits", self.stats.memo_hits));
+        counters.push(("tier.class_hits", self.stats.class_hits));
+        counters.push(("tier.surrogate_answers", self.stats.surrogate_answers));
+        counters.push(("tier.exact_confirmations", self.stats.exact_confirmations));
+        counters
+    }
+
     /// Evaluates one configuration: memo table, then the surrogate tier
     /// (when trusted and not audit-due), then the exact backend with
     /// online refinement.

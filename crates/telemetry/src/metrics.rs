@@ -1,0 +1,403 @@
+//! The lock-free metrics registry: counters, gauges and log-scale
+//! histograms.
+//!
+//! Registration (name → metric) takes a lock once per *name*; after that,
+//! every update is a single atomic operation on an `Arc`'d cell, so hot
+//! paths can hold on to a [`Counter`]/[`Histogram`] handle and update it
+//! without synchronisation. [`MetricsRegistry::snapshot`] freezes the
+//! whole registry into a [`MetricsSnapshot`] with stable (sorted)
+//! ordering, which serialises to plain JSON text.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins atomic gauge holding an `f64`.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of log₂ buckets a [`Histogram`] keeps: bucket `i` counts values
+/// `v` with `i` significant bits (`2^(i-1) ≤ v < 2^i`; bucket 0 counts
+/// zero), so the full `u64` range is covered.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A lock-free log-scale histogram for latency-like values (nanoseconds,
+/// sizes): one atomic bucket per power of two, plus count and sum.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [(); HISTOGRAM_BUCKETS].map(|()| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket index of `value`: its number of significant bits.
+    fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Freezes the histogram into its sparse snapshot form.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i as u32, n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets,
+        }
+    }
+}
+
+/// One metric slot of the registry.
+#[derive(Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A name → metric registry. Lookup/registration locks briefly; updates on
+/// the returned handles are lock-free atomics.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut metrics = self.metrics.lock().expect("metrics lock");
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric `{name}` is not a counter"),
+        }
+    }
+
+    /// The gauge registered under `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut metrics = self.metrics.lock().expect("metrics lock");
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric `{name}` is not a gauge"),
+        }
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut metrics = self.metrics.lock().expect("metrics lock");
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric `{name}` is not a histogram"),
+        }
+    }
+
+    /// Freezes every registered metric, names sorted.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.metrics.lock().expect("metrics lock");
+        let mut snap = MetricsSnapshot::default();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Metric::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        snap
+    }
+}
+
+/// A frozen [`Histogram`]: total count/sum plus the sparse non-empty
+/// log₂ buckets as `(significant bits, observations)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Non-empty buckets, ascending: bucket `i` holds values with `i`
+    /// significant bits (`2^(i-1) ≤ v < 2^i`; bucket 0 is exactly zero).
+    pub buckets: Vec<(u32, u64)>,
+}
+
+/// A frozen [`MetricsRegistry`]: every metric with its name, sorted by
+/// name within each kind — the stable order the JSON form and the
+/// determinism tests rely on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name, sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name, sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram snapshots by name, sorted.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// The named counter's value, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The named gauge's value, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The named histogram, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// The snapshot as a JSON document:
+    ///
+    /// ```json
+    /// {
+    ///   "counters": {"cache.hits": 12, ...},
+    ///   "gauges": {"cache.entries": 34.0, ...},
+    ///   "histograms": {"exec.latency_ns": {"count": 2, "sum": 900,
+    ///                  "buckets": {"9": 1, "10": 1}}, ...}
+    /// }
+    /// ```
+    ///
+    /// Written by hand (this crate is dependency-free); metric names are
+    /// escaped, so arbitrary names stay valid JSON.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        push_entries(&mut out, &self.counters, |out, v| {
+            out.push_str(&v.to_string());
+        });
+        out.push_str("},\n  \"gauges\": {");
+        push_entries(&mut out, &self.gauges, |out, v| push_f64(out, *v));
+        out.push_str("},\n  \"histograms\": {");
+        push_entries(&mut out, &self.histograms, |out, h| {
+            out.push_str(&format!(
+                "{{\"count\": {}, \"sum\": {}, \"buckets\": {{",
+                h.count, h.sum
+            ));
+            for (i, (bucket, n)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{bucket}\": {n}"));
+            }
+            out.push_str("}}");
+        });
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+fn push_entries<V>(
+    out: &mut String,
+    entries: &[(String, V)],
+    mut value: impl FnMut(&mut String, &V),
+) {
+    for (i, (name, v)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        push_json_string(out, name);
+        out.push_str(": ");
+        value(out, v);
+    }
+    if !entries.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+/// Appends `value` as a JSON number (`null` for non-finite values, which
+/// JSON cannot represent).
+pub(crate) fn push_f64(out: &mut String, value: f64) {
+    if value.is_finite() {
+        out.push_str(&format!("{value}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends `value` as a JSON string literal with escaping.
+pub(crate) fn push_json_string(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.b").add(2);
+        reg.counter("a.b").inc();
+        reg.gauge("g").set(1.5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a.b"), Some(3));
+        assert_eq!(snap.gauge("g"), Some(1.5));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log_scale() {
+        let h = Histogram::default();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1
+        h.record(2); // bucket 2
+        h.record(3); // bucket 2
+        h.record(1024); // bucket 11
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 1030);
+        assert_eq!(snap.buckets, vec![(0, 1), (1, 1), (2, 2), (11, 1)]);
+    }
+
+    #[test]
+    fn snapshot_names_are_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z");
+        reg.counter("a");
+        reg.counter("m");
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("x");
+        reg.counter("x");
+    }
+
+    #[test]
+    fn json_form_contains_every_section() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").add(7);
+        reg.gauge("g").set(0.25);
+        reg.histogram("h").record(5);
+        let text = reg.snapshot().to_json_string();
+        assert!(text.contains("\"c\": 7"));
+        assert!(text.contains("\"g\": 0.25"));
+        assert!(text.contains("\"count\": 1"));
+        assert!(
+            text.contains("\"3\": 1"),
+            "5 has 3 significant bits: {text}"
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Event sinks: where stamped [`Event`]s go.
+//!
+//! The [`Telemetry`](crate::Telemetry) handle always records into an
+//! in-memory [`RingBuffer`]; extra [`EventSink`]s (like the JSONL file
+//! writer [`JsonlSink`]) can be attached for streaming consumers.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::event::Event;
+
+/// A destination for stamped events. Implementations must tolerate
+/// concurrent `emit` calls.
+pub trait EventSink: Send + Sync {
+    /// Records one event.
+    fn emit(&self, event: &Event);
+    /// Flushes any buffered output. Default: nothing to flush.
+    fn flush(&self) {}
+}
+
+/// Appends one [`Event::to_json_line`] per event to a file — the
+/// `repro run --trace events.jsonl` format.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(Self {
+            writer: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let mut writer = self.writer.lock().expect("jsonl lock");
+        let _ = writer.write_all(event.to_json_line().as_bytes());
+        let _ = writer.write_all(b"\n");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl lock").flush();
+    }
+}
+
+/// A bounded in-memory event buffer that keeps the most recent
+/// `capacity` events and counts everything ever pushed.
+pub struct RingBuffer {
+    events: Mutex<VecDeque<Event>>,
+    capacity: usize,
+    emitted: AtomicU64,
+}
+
+impl RingBuffer {
+    /// Default retention: plenty for any test or smoke campaign, bounded
+    /// for long-lived daemons.
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// A ring retaining at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            events: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            emitted: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends an event, evicting the oldest past capacity.
+    pub fn push(&self, event: Event) {
+        let mut events = self.events.lock().expect("ring lock");
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(event);
+        self.emitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A copy of the retained events in arrival order (the ring itself is
+    /// left untouched).
+    pub fn drain_copy(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .expect("ring lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Total events ever pushed, including evicted ones.
+    pub fn emitted(&self) -> u64 {
+        self.emitted.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn event(seq: u64) -> Event {
+        Event {
+            source: 0,
+            seq,
+            kind: EventKind::BracketStart { bracket: seq },
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_events() {
+        let ring = RingBuffer::new(2);
+        for seq in 0..5 {
+            ring.push(event(seq));
+        }
+        let kept: Vec<u64> = ring.drain_copy().iter().map(|e| e.seq).collect();
+        assert_eq!(kept, vec![3, 4]);
+        assert_eq!(ring.emitted(), 5);
+        // Non-consuming: a second read sees the same events.
+        assert_eq!(ring.drain_copy().len(), 2);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let dir = std::env::temp_dir().join(format!(
+            "ax-telemetry-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.emit(&event(0));
+        sink.emit(&event(1));
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"source\": 0, \"seq\": 0,"));
+        assert!(lines[1].contains("\"bracket\": 1"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

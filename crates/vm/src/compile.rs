@@ -335,6 +335,62 @@ macro_rules! with_add_kernel {
     }};
 }
 
+/// Counters describing what the batch kernel did across
+/// [`CompiledProgram::run_batch`] calls: how many designs were answered by
+/// the cross-group signature cache, collapsed by model-equivalence dedup,
+/// executed through the factored kernel vs the sequential fallback, and
+/// how long the two kernel stages ran.
+///
+/// The count fields are schedule-deterministic (they depend only on the
+/// batch contents); the `*_ns` timing fields are wall-clock and must be
+/// excluded from determinism comparisons.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Designs submitted across all batches.
+    pub designs: u64,
+    /// Mask-sharing groups the batches split into.
+    pub groups: u64,
+    /// Designs answered by the cross-group `(signature, adder, mul)` cache
+    /// (including within-group duplicates).
+    pub signature_hits: u64,
+    /// Designs collapsed onto a model-equivalent representative inside the
+    /// factored kernel.
+    pub dedup_hits: u64,
+    /// Distinct designs actually executed by the factored kernel.
+    pub kernel_designs: u64,
+    /// Designs executed through the sequential (rebind + run) fallback.
+    pub sequential_designs: u64,
+    /// Stage-2 kernel invocations (one per adder-homogeneous lane batch).
+    pub kernel_invocations: u64,
+    /// Wall-clock nanoseconds spent in stage 1 (adder-independent work).
+    pub stage1_ns: u64,
+    /// Wall-clock nanoseconds spent in stage 2 (per-design lanes).
+    pub stage2_ns: u64,
+}
+
+impl BatchStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.designs += other.designs;
+        self.groups += other.groups;
+        self.signature_hits += other.signature_hits;
+        self.dedup_hits += other.dedup_hits;
+        self.kernel_designs += other.kernel_designs;
+        self.sequential_designs += other.sequential_designs;
+        self.kernel_invocations += other.kernel_invocations;
+        self.stage1_ns += other.stage1_ns;
+        self.stage2_ns += other.stage2_ns;
+    }
+
+    /// How many submitted designs each *executed* design answered for:
+    /// `designs / (kernel_designs + sequential_designs)`. 1.0 means no
+    /// collapse; `None` before any design executed.
+    pub fn collapse_factor(&self) -> Option<f64> {
+        let executed = self.kernel_designs + self.sequential_designs;
+        (executed > 0).then(|| self.designs as f64 / executed as f64)
+    }
+}
+
 /// A `(Program, Binding, VarMask)` triple compiled to threaded code, ready
 /// to run against any input image of the program.
 ///
@@ -356,6 +412,7 @@ pub struct CompiledProgram {
     mul_width_bits: u32,
     counts: ArithCounts,
     profile: ArithProfile,
+    batch: BatchStats,
 }
 
 impl CompiledProgram {
@@ -381,6 +438,7 @@ impl CompiledProgram {
             mul_width_bits: skeleton.mul_width.bits(),
             counts: ArithCounts::default(),
             profile: ArithProfile::default(),
+            batch: BatchStats::default(),
         };
         compiled.select_impl(mask_bits, true);
         compiled
@@ -634,6 +692,10 @@ impl CompiledProgram {
     ) -> Result<Vec<ExecOutcome>, VmError> {
         let mut scratch = ExecScratch::new();
         let mut outcomes = Vec::with_capacity(configs.len());
+        let mut stats = BatchStats {
+            designs: configs.len() as u64,
+            ..BatchStats::default()
+        };
         // Cross-group equivalence cache: a `(flag signature, adder, mul)`
         // triple fully determines a design's outcome, so selections that
         // flag the program identically share evaluations outright.
@@ -666,10 +728,19 @@ impl CompiledProgram {
                     missing.push((adder, mul, bits));
                 }
             }
+            stats.groups += 1;
+            stats.signature_hits += (group.len() - missing.len()) as u64;
             if !missing.is_empty() {
                 self.select(bits);
                 let factored = if missing.len() >= MIN_FACTORED_GROUP {
-                    self.run_group(lib, image, &missing).ok()
+                    let mut group_stats = BatchStats::default();
+                    match self.run_group(lib, image, &missing, &mut group_stats) {
+                        Ok(outs) => {
+                            stats.merge(&group_stats);
+                            Some(outs)
+                        }
+                        Err(_) => None,
+                    }
                 } else {
                     None
                 };
@@ -681,6 +752,7 @@ impl CompiledProgram {
                     // (equivalent designs fail identically, so a class
                     // representative's error *is* the first duplicate's).
                     None => {
+                        stats.sequential_designs += missing.len() as u64;
                         let mut outs = Vec::with_capacity(missing.len());
                         for &(adder, mul, _) in &missing {
                             let binding = Binding::for_widths(
@@ -711,7 +783,20 @@ impl CompiledProgram {
             }
             start = end;
         }
+        self.batch.merge(&stats);
         Ok(outcomes)
+    }
+
+    /// Cumulative [`BatchStats`] over every `run_batch` call on this
+    /// program since construction (or the last
+    /// [`CompiledProgram::reset_batch_stats`]).
+    pub fn batch_stats(&self) -> BatchStats {
+        self.batch
+    }
+
+    /// Zeroes the cumulative [`BatchStats`].
+    pub fn reset_batch_stats(&mut self) {
+        self.batch = BatchStats::default();
     }
 
     /// Factored execution of one mask-sharing group of designs — the
@@ -747,6 +832,7 @@ impl CompiledProgram {
         lib: &OperatorLibrary,
         image: &[i64],
         group: &[(AdderId, MulId, u64)],
+        stats: &mut BatchStats,
     ) -> Result<Vec<ExecOutcome>, VmError> {
         const ADDER_DEP: u8 = 1;
         const MUL_DEP: u8 = 2;
@@ -973,8 +1059,12 @@ impl CompiledProgram {
             ));
         }
 
+        stats.kernel_designs += uniq.len() as u64;
+        stats.dedup_hits += (group.len() - uniq.len()) as u64;
+
         // --- Stage 1: once per distinct multiplier (just once when no
         // approximate multiplication lands in the stage).
+        let stage1_started = std::time::Instant::now();
         let mut base_mem: Vec<i64> = Vec::with_capacity(n_shared);
         base_mem.extend_from_slice(image);
         base_mem.resize(n_shared, 0);
@@ -993,10 +1083,12 @@ impl CompiledProgram {
             };
             mem_of.push(idx);
         }
+        stats.stage1_ns += stage1_started.elapsed().as_nanos() as u64;
 
         // --- Stage 2: lanes batched by adder (one monomorphised kernel
         // per batch), executed op-by-op across the batch so independent
         // designs' dependency chains overlap instead of serialising.
+        let stage2_started = std::time::Instant::now();
         let mut order: Vec<usize> = (0..uniq.len()).collect();
         order.sort_unstable_by_key(|&i| uniq[i].0);
         let mut outputs_per_lane: Vec<Vec<i64>> = vec![Vec::new(); uniq.len()];
@@ -1017,6 +1109,7 @@ impl CompiledProgram {
             let mul_models: Vec<MulModel> = lanes.iter().map(|&i| lane_mul[i]).collect();
             privs.clear();
             privs.resize(priv_count * k, 0);
+            stats.kernel_invocations += 1;
             self.exec_batch(
                 &stage2,
                 &shareds,
@@ -1038,6 +1131,7 @@ impl CompiledProgram {
             }
             start = end;
         }
+        stats.stage2_ns += stage2_started.elapsed().as_nanos() as u64;
 
         // --- Assemble in `group` order; duplicates clone their class
         // representative's outcome.

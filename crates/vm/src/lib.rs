@@ -75,7 +75,7 @@ pub mod exec;
 pub mod instrument;
 pub mod ir;
 
-pub use compile::{CompiledProgram, CompiledSkeleton};
+pub use compile::{BatchStats, CompiledProgram, CompiledSkeleton};
 pub use cost::ArithProfile;
 pub use error::VmError;
 pub use exec::{Binding, ExecOutcome, Executor};

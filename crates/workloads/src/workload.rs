@@ -1,7 +1,7 @@
 //! The workload contract shared by all benchmarks.
 
 use ax_operators::{AdderId, MulId, OperatorLibrary};
-use ax_vm::compile::CompiledSkeleton;
+use ax_vm::compile::{BatchStats, CompiledSkeleton};
 use ax_vm::exec::{run_from_image_prepared, Binding, ExecOutcome, ExecScratch, Executor};
 use ax_vm::instrument::VarMask;
 use ax_vm::ir::Program;
@@ -111,6 +111,30 @@ impl PreparedWorkload {
         let binding = Binding::new(lib, &self.program, adder, mul)?;
         let mut compiled = skeleton.compile(&binding, bits);
         compiled.run_batch(lib, &image, configs)
+    }
+
+    /// [`PreparedWorkload::run_batch`], additionally reporting the batch
+    /// kernel's [`BatchStats`] (signature-cache hits, dedup collapses,
+    /// kernel invocations, stage timings) for telemetry consumers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates binding and execution errors; evaluation stops at the
+    /// first failing configuration.
+    pub fn run_batch_stats(
+        &self,
+        lib: &OperatorLibrary,
+        configs: &[(AdderId, MulId, u64)],
+    ) -> Result<(Vec<ExecOutcome>, BatchStats), VmError> {
+        let image = self.executor()?.initial_memory()?;
+        let skeleton = Arc::new(CompiledSkeleton::new(&self.program));
+        let Some(&(adder, mul, bits)) = configs.first() else {
+            return Ok((Vec::new(), BatchStats::default()));
+        };
+        let binding = Binding::new(lib, &self.program, adder, mul)?;
+        let mut compiled = skeleton.compile(&binding, bits);
+        let outcomes = compiled.run_batch(lib, &image, configs)?;
+        Ok((outcomes, compiled.batch_stats()))
     }
 
     /// The interpreter reference implementation of

@@ -10,5 +10,6 @@ pub use ax_dse;
 pub use ax_gym;
 pub use ax_operators;
 pub use ax_surrogate;
+pub use ax_telemetry;
 pub use ax_vm;
 pub use ax_workloads;
