@@ -1,10 +1,8 @@
 //! End-to-end DSE throughput: environment steps and short explorations.
 
-// The legacy free functions stay exercised here until removal: these
-// suites pin the deprecated wrappers to the campaign path's behaviour.
-#![allow(deprecated)]
-
-use ax_dse::explore::{explore_qlearning, ExploreOptions};
+use ax_dse::backend::EvalContext;
+use ax_dse::campaign::explore;
+use ax_dse::explore::{AgentKind, ExploreOptions};
 use ax_dse::reward::RewardParams;
 use ax_dse::thresholds::ThresholdRule;
 use ax_dse::{DseEnv, Evaluator};
@@ -55,7 +53,15 @@ fn bench_exploration(c: &mut Criterion) {
             max_steps: 500,
             ..Default::default()
         };
-        b.iter(|| black_box(explore_qlearning(&DotProduct::new(8), &lib, &opts).unwrap()))
+        b.iter(|| {
+            let ctx = EvalContext::new(
+                &DotProduct::new(8),
+                std::sync::Arc::new(lib.clone()),
+                opts.input_seed,
+            )
+            .unwrap();
+            black_box(explore(&ctx, &opts, AgentKind::QLearning))
+        })
     });
     group.finish();
 }

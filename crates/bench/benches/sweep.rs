@@ -7,13 +7,9 @@
 //! `BENCH_sweep.json` (written by the `bench_sweep` binary) records the
 //! same cold/warm pair for the perf trajectory across PRs.
 
-// The legacy free functions stay exercised here until removal: these
-// suites pin the deprecated wrappers to the campaign path's behaviour.
-#![allow(deprecated)]
-
+use ax_dse::campaign::{explore, Campaign, SeedRange};
 use ax_dse::evaluator::{EvalContext, SharedCache};
-use ax_dse::explore::{explore_in_context, AgentKind, ExploreOptions};
-use ax_dse::sweep::sweep_seeds_parallel;
+use ax_dse::explore::{AgentKind, ExploreOptions};
 use ax_operators::OperatorLibrary;
 use ax_workloads::matmul::MatMul;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
@@ -41,14 +37,13 @@ fn bench_sweeps(c: &mut Criterion) {
     group.bench_function("cold/matmul-10x8seeds", |b| {
         b.iter(|| {
             black_box(
-                sweep_seeds_parallel(
-                    &MatMul::new(10),
-                    &lib,
-                    &opts(0),
-                    AgentKind::QLearning,
-                    SEEDS,
-                )
-                .unwrap(),
+                Campaign::new("bench-sweep", &lib)
+                    .benchmark(&MatMul::new(10))
+                    .agent(AgentKind::QLearning)
+                    .seeds(SeedRange::new(0, SEEDS))
+                    .options(opts(0))
+                    .run()
+                    .unwrap(),
             )
         })
     });
@@ -64,11 +59,11 @@ fn bench_sweeps(c: &mut Criterion) {
         )
         .unwrap();
         for seed in 0..SEEDS {
-            explore_in_context(&ctx, &opts(seed), AgentKind::QLearning).unwrap();
+            explore(&ctx, &opts(seed), AgentKind::QLearning);
         }
         b.iter(|| {
             for seed in 0..SEEDS {
-                black_box(explore_in_context(&ctx, &opts(seed), AgentKind::QLearning).unwrap());
+                black_box(explore(&ctx, &opts(seed), AgentKind::QLearning));
             }
         })
     });

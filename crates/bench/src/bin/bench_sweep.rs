@@ -34,6 +34,14 @@
 //! synchronous `halving` counterpart with the same shape, so the file
 //! carries the sync-vs-async evaluations-to-best-score comparison
 //! directly.
+//!
+//! `--serve` replaces the sweep with a daemon-throughput measurement:
+//! the `ax-serve` campaign daemon is booted in-process on an ephemeral
+//! port, a batch of identical campaigns is pushed through the real HTTP
+//! path from concurrent client threads, and the appended record carries
+//! jobs/sec plus the shared cache's hit rate (every job replays the same
+//! `(benchmark, input_seed)` scope, so the serve figure isolates
+//! dispatch + cache-sharing overhead rather than raw evaluation).
 
 use ax_bench::append_bench_record;
 use ax_dse::campaign::{BenchmarkSpec, BudgetPolicy, Campaign, ExperimentSpec, SeedRange};
@@ -55,6 +63,7 @@ struct Config {
     emit_spec: Option<String>,
     policy: Option<String>,
     exec_compare: bool,
+    serve: bool,
 }
 
 fn parse() -> Result<Config, String> {
@@ -67,6 +76,7 @@ fn parse() -> Result<Config, String> {
         emit_spec: None,
         policy: None,
         exec_compare: false,
+        serve: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -96,6 +106,7 @@ fn parse() -> Result<Config, String> {
             "--emit-spec" => cfg.emit_spec = Some(take("--emit-spec")?),
             "--policy" => cfg.policy = Some(take("--policy")?),
             "--exec-compare" => cfg.exec_compare = true,
+            "--serve" => cfg.serve = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -109,7 +120,7 @@ fn main() {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: bench_sweep [--out FILE] [--seeds N] [--steps N] [--reps N] \
-                 [--spec FILE] [--emit-spec FILE] [--policy P] [--exec-compare]"
+                 [--spec FILE] [--emit-spec FILE] [--policy P] [--exec-compare] [--serve]"
             );
             std::process::exit(1);
         }
@@ -141,6 +152,11 @@ fn main() {
 
     if cfg.exec_compare {
         append_exec_compare_record(&cfg.out, wl.as_ref(), &lib, cfg.reps);
+        return;
+    }
+
+    if cfg.serve {
+        append_serve_record(&cfg.out, bench_spec, &wl.name(), seeds, steps);
         return;
     }
 
@@ -224,6 +240,152 @@ fn main() {
         });
         append_policy_record(&cfg.out, policy_text, policy, &lib, steps, seeds);
     }
+}
+
+/// Boots the `ax-serve` daemon in-process on an ephemeral port, pushes a
+/// batch of identical campaigns through the real HTTP path from
+/// concurrent client threads, and appends a serve-throughput record:
+/// jobs/sec end-to-end (submit → last report ready) plus the shared
+/// cache's hit rate. Every job replays the same `(benchmark, input_seed)`
+/// scope, so after the first wave fills the cache the figure measures the
+/// daemon's dispatch and cache-sharing overhead, not raw evaluation.
+fn append_serve_record(out: &str, bench: BenchmarkSpec, bench_name: &str, seeds: u64, steps: u64) {
+    use std::io::{Read, Write};
+    use std::net::{SocketAddr, TcpStream};
+    use std::time::Duration;
+
+    const JOBS: usize = 6;
+    const WORKERS: usize = 3;
+
+    fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect to daemon");
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("write request");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read response");
+        let (head, body) = raw.split_once("\r\n\r\n").expect("response has headers");
+        let status = head
+            .split_whitespace()
+            .nth(1)
+            .expect("status line")
+            .parse()
+            .expect("numeric status");
+        (status, body.to_owned())
+    }
+
+    let server = ax_serve::Server::bind(ax_serve::ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: WORKERS,
+        ..Default::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("bound address");
+    let server_thread = std::thread::spawn(move || server.run().expect("serve loop"));
+
+    let bodies: Vec<String> = (0..JOBS)
+        .map(|i| {
+            ExperimentSpec::new(format!("serve-bench-{i}"))
+                .benchmark(bench)
+                .agent(AgentKind::QLearning)
+                .seeds(SeedRange::new(0, seeds))
+                .explore(ExploreOptions {
+                    max_steps: steps,
+                    ..Default::default()
+                })
+                .to_json_string()
+        })
+        .collect();
+
+    let t = Instant::now();
+    let ids: Vec<u64> = std::thread::scope(|scope| {
+        let submits: Vec<_> = bodies
+            .iter()
+            .map(|body| {
+                scope.spawn(move || {
+                    let (status, reply) = http(addr, "POST", "/campaigns", body);
+                    assert_eq!(status, 200, "submit failed: {reply}");
+                    Json::parse(&reply)
+                        .expect("submit reply is JSON")
+                        .get("id")
+                        .expect("submit reply has an id")
+                        .as_u64()
+                        .expect("id is numeric")
+                })
+            })
+            .collect();
+        submits
+            .into_iter()
+            .map(|s| s.join().expect("submit thread"))
+            .collect()
+    });
+    for &id in &ids {
+        let deadline = Instant::now() + Duration::from_secs(600);
+        loop {
+            let (status, body) = http(addr, "GET", &format!("/campaigns/{id}"), "");
+            assert_eq!(status, 200, "status poll failed: {body}");
+            let doc = Json::parse(&body).expect("status is JSON");
+            let state = doc
+                .get("state")
+                .expect("status has a state")
+                .as_str()
+                .expect("state is a string")
+                .to_owned();
+            match state.as_str() {
+                "completed" => break,
+                "failed" | "cancelled" => panic!("job {id} ended `{state}`: {body}"),
+                _ => {}
+            }
+            assert!(Instant::now() < deadline, "job {id} stuck in `{state}`");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    let elapsed_s = t.elapsed().as_secs_f64();
+
+    let (status, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200, "metrics failed: {metrics}");
+    let metrics = Json::parse(&metrics).expect("metrics is JSON");
+    let cache_stat = |name: &str| {
+        metrics
+            .get("cache")
+            .and_then(|c| c.get(name))
+            .expect("metrics has cache stats")
+            .as_u64()
+            .expect("cache stat is numeric")
+    };
+    let (hits, misses) = (cache_stat("hits"), cache_stat("misses"));
+
+    let (status, _) = http(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    server_thread.join().expect("server thread exits cleanly");
+
+    let record = Json::obj(vec![
+        ("serve_jobs", Json::u64(JOBS as u64)),
+        ("workers", Json::u64(WORKERS as u64)),
+        ("benchmark", Json::str(bench_name)),
+        ("seeds", Json::u64(seeds)),
+        ("max_steps", Json::u64(steps)),
+        ("elapsed_ms", Json::Num(format!("{:.3}", elapsed_s * 1e3))),
+        (
+            "jobs_per_sec",
+            Json::Num(format!("{:.3}", JOBS as f64 / elapsed_s)),
+        ),
+        ("cache_hits", Json::u64(hits)),
+        ("cache_misses", Json::u64(misses)),
+        (
+            "cache_hit_rate",
+            Json::Num(format!(
+                "{:.4}",
+                hits as f64 / (hits + misses).max(1) as f64
+            )),
+        ),
+    ]);
+    print!("{}", record.pretty());
+    append_bench_record(out, record).expect("append serve record");
+    eprintln!("appended serve record to {out}");
 }
 
 /// Races the MatMul×FIR campaign grid under `policy` at 55 % of the

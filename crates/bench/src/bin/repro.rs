@@ -17,6 +17,17 @@
 //!   sweep                 multi-seed robustness of the explorations (rayon + shared cache)
 //!   portfolio             race every agent kind per benchmark over one shared cache
 //!   surrogate             two-tier (surrogate prefilter + exact confirm) vs pure-exact sweep
+//!   serve                 long-lived campaign daemon: POST specs to
+//!                         /campaigns over HTTP, GET byte-identical reports
+//!                         back (--addr HOST:PORT binds elsewhere; --workers N
+//!                         sets concurrent job slots; --cache FILE persists the
+//!                         shared design cache; --server-budget N caps
+//!                         evaluations across ALL jobs; --max-job-budget N
+//!                         clamps each job; --cache-scopes N prunes the oldest
+//!                         cache scopes past N; --reuse-models shares trained
+//!                         surrogates across jobs, trading report
+//!                         byte-reproducibility for throughput; --smoke
+//!                         shrinks every submitted spec for CI)
 //!   run SPEC.json         execute a checked-in campaign spec end-to-end
 //!                         (--smoke shrinks it for CI; --cache FILE persists the
 //!                         design cache across processes — concurrent writers
@@ -65,6 +76,12 @@ struct Args {
     report_json: Option<String>,
     trace: Option<String>,
     metrics: Option<String>,
+    addr: String,
+    workers: usize,
+    server_budget: Option<u64>,
+    max_job_budget: Option<u64>,
+    cache_scopes: Option<usize>,
+    reuse_models: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -81,6 +98,12 @@ fn parse_args() -> Result<Args, String> {
     let mut report_json = None;
     let mut trace = None;
     let mut metrics = None;
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut workers = 2usize;
+    let mut server_budget = None;
+    let mut max_job_budget = None;
+    let mut cache_scopes = None;
+    let mut reuse_models = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -138,6 +161,42 @@ fn parse_args() -> Result<Args, String> {
             }
             "--trace" => trace = Some(it.next().ok_or("--trace needs a file")?),
             "--metrics" => metrics = Some(it.next().ok_or("--metrics needs a file")?),
+            "--addr" => addr = it.next().ok_or("--addr needs HOST:PORT")?,
+            "--workers" => {
+                workers = it
+                    .next()
+                    .ok_or("--workers needs a number")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+                if workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--server-budget" => {
+                server_budget = Some(
+                    it.next()
+                        .ok_or("--server-budget needs a number")?
+                        .parse()
+                        .map_err(|e| format!("bad --server-budget: {e}"))?,
+                );
+            }
+            "--max-job-budget" => {
+                max_job_budget = Some(
+                    it.next()
+                        .ok_or("--max-job-budget needs a number")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-job-budget: {e}"))?,
+                );
+            }
+            "--cache-scopes" => {
+                cache_scopes = Some(
+                    it.next()
+                        .ok_or("--cache-scopes needs a scope count")?
+                        .parse()
+                        .map_err(|e| format!("bad --cache-scopes: {e}"))?,
+                );
+            }
+            "--reuse-models" => reuse_models = true,
             "--help" | "-h" => return Err("help".into()),
             // Only `run` takes a second positional (its spec file); a stray
             // bare word after any other command is a mistake, not a spec.
@@ -172,6 +231,12 @@ fn parse_args() -> Result<Args, String> {
         report_json,
         trace,
         metrics,
+        addr,
+        workers,
+        server_budget,
+        max_job_budget,
+        cache_scopes,
+        reuse_models,
     })
 }
 
@@ -408,22 +473,16 @@ fn run_spec_file(args: &Args) {
         eprintln!("wrote machine-readable report to {path}");
     }
     if let (Some(path), Some(cache)) = (&args.cache, &cache) {
-        // Concurrent `repro run --cache` processes race on the file: merge
-        // whatever landed on disk since we loaded, so nobody's designs are
-        // silently dropped, then write the union.
-        if std::path::Path::new(path).exists() {
-            match cache.merge_from(path) {
-                Ok(n) => {
-                    if n > 0 {
-                        eprintln!("re-merged {n} on-disk designs from {path} before saving");
-                    }
-                }
-                Err(e) => eprintln!("warning: cannot merge {path} before saving: {e}"),
-            }
-        }
-        cache
-            .save(path)
+        // Concurrent `repro run --cache` processes race on the file:
+        // `save_merged` re-merges whatever landed on disk since we loaded
+        // and writes the union under one advisory lock (atomic
+        // temp-file + rename), so nobody's designs are silently dropped.
+        let merged = cache
+            .save_merged(path)
             .unwrap_or_else(|e| panic!("cannot save {path}: {e}"));
+        if merged > 0 {
+            eprintln!("re-merged {merged} on-disk designs from {path} before saving");
+        }
         eprintln!("saved {} cached designs to {path}", cache.len());
     }
 }
@@ -449,12 +508,15 @@ fn main() -> ExitCode {
                  repro run <spec.json> [--smoke] [--cache FILE] [--cache-cap N]\n               \
                  [--policy uniform|weighted:S1,S2,..|halving:R,K|asha:R,K|\n                \
                  hyperband:R1,K1;R2,K2;..] [--budget N] [--report-json FILE]\n               \
-                 [--trace EVENTS.jsonl] [--metrics METRICS.json]"
+                 [--trace EVENTS.jsonl] [--metrics METRICS.json]\n       \
+                 repro serve [--addr HOST:PORT] [--workers N] [--cache FILE]\n               \
+                 [--server-budget N] [--max-job-budget N] [--cache-scopes N]\n               \
+                 [--reuse-models] [--smoke]"
             );
             eprintln!(
                 "commands: table1 table2 table3 fig2 fig3 fig4 ablation-explorers \
                  ablation-agents ablation-epsilon ablation-thresholds sweep portfolio \
-                 surrogate run all"
+                 surrogate run serve all"
             );
             return if msg == "help" {
                 ExitCode::SUCCESS
@@ -498,6 +560,27 @@ fn main() -> ExitCode {
             }
             "run" => {
                 run_spec_file(&args);
+            }
+            "serve" => {
+                let config = ax_serve::ServeConfig {
+                    addr: args.addr.clone(),
+                    workers: args.workers,
+                    cache_path: args.cache.clone(),
+                    server_budget: args.server_budget,
+                    max_job_budget: args.max_job_budget,
+                    cache_max_scopes: args.cache_scopes,
+                    smoke: args.smoke,
+                    reuse_models: args.reuse_models,
+                    ..Default::default()
+                };
+                let server =
+                    ax_serve::Server::bind(config).unwrap_or_else(|e| panic!("cannot bind: {e}"));
+                let addr = server.local_addr().expect("bound listener has an address");
+                // Both streams: stderr for humans, stdout for scripts that
+                // parse the ephemeral port.
+                eprintln!("serving campaigns on http://{addr} (POST /shutdown to stop)");
+                println!("listening http://{addr}");
+                server.run().unwrap_or_else(|e| panic!("serve failed: {e}"));
             }
             "sweep" => {
                 let lib = OperatorLibrary::evoapprox();

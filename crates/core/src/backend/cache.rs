@@ -44,6 +44,15 @@ pub struct SharedCache {
     /// Per-shard entry bound; `None` = unbounded.
     shard_capacity: Option<usize>,
     scopes: RwLock<HashMap<(String, u64), CacheScope>>,
+    /// Monotonic scope-id source — never reused, so a scope re-interned
+    /// after [`SharedCache::prune_oldest`] cannot collide with a survivor.
+    next_scope: AtomicU64,
+    /// Logical last-use stamp per scope id (intern or insert), driving
+    /// oldest-first scope pruning. Purely relative — no wall clock. Slots
+    /// are atomics so a stamp costs a read lock, not a write lock; only
+    /// interning a brand-new scope grows the table.
+    touches: RwLock<Vec<AtomicU64>>,
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -91,6 +100,9 @@ impl SharedCache {
             shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
             shard_capacity,
             scopes: RwLock::new(HashMap::new()),
+            next_scope: AtomicU64::new(0),
+            touches: RwLock::new(Vec::new()),
+            clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -103,15 +115,39 @@ impl SharedCache {
     }
 
     /// Interns a `(benchmark, input_seed)` pair, returning its scope id.
-    /// The same pair always maps to the same scope for the cache lifetime.
+    /// The same pair always maps to the same scope until the scope is
+    /// dropped by [`SharedCache::prune_oldest`] (re-interning after a
+    /// prune yields a fresh, never-reused id). Interning counts as a use
+    /// for pruning recency.
     pub fn scope(&self, benchmark: &str, input_seed: u64) -> CacheScope {
         let key = (benchmark.to_owned(), input_seed);
         if let Some(&s) = self.scopes.read().expect("scope table poisoned").get(&key) {
+            self.touch(s);
             return s;
         }
         let mut scopes = self.scopes.write().expect("scope table poisoned");
-        let next = CacheScope(scopes.len() as u32);
-        *scopes.entry(key).or_insert(next)
+        let scope = *scopes
+            .entry(key)
+            .or_insert_with(|| CacheScope(self.next_scope.fetch_add(1, Ordering::Relaxed) as u32));
+        drop(scopes);
+        {
+            let mut touches = self.touches.write().expect("touch table poisoned");
+            while touches.len() <= scope.0 as usize {
+                touches.push(AtomicU64::new(0));
+            }
+        }
+        self.touch(scope);
+        scope
+    }
+
+    /// Stamps `scope` as just-used for [`SharedCache::prune_oldest`]'s
+    /// oldest-first ordering.
+    fn touch(&self, scope: CacheScope) {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let touches = self.touches.read().expect("touch table poisoned");
+        if let Some(slot) = touches.get(scope.0 as usize) {
+            slot.store(stamp, Ordering::Relaxed);
+        }
     }
 
     fn shard(&self, key: &ScopedConfig) -> &RwLock<Shard> {
@@ -150,6 +186,7 @@ impl SharedCache {
     /// Racing inserts of the same key are benign: evaluation is
     /// deterministic, so both writers carry identical metrics.
     pub fn insert(&self, scope: CacheScope, config: AxConfig, metrics: EvalMetrics) {
+        self.touch(scope);
         let key = ScopedConfig { scope, config };
         let mut shard = self.shard(&key).write().expect("cache shard poisoned");
         if let Some(slot) = shard.map.get_mut(&key) {
@@ -238,9 +275,82 @@ impl SharedCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Entries evicted to respect the capacity bound since construction.
+    /// Entries evicted to respect the capacity bound (or dropped by
+    /// [`SharedCache::prune_oldest`]) since construction.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Number of interned `(benchmark, input_seed)` scopes.
+    pub fn scope_count(&self) -> usize {
+        self.scopes.read().expect("scope table poisoned").len()
+    }
+
+    /// Age/size-based scope pruning for long-lived caches (the `ax-serve`
+    /// daemon's periodic housekeeping): drops whole least-recently-used
+    /// scopes — recency being the last intern or insert, a logical clock,
+    /// never wall time — until at most `max_scopes` scopes remain **and**
+    /// the total entry count is within `max_entries` (when given).
+    /// Returns the number of entries dropped; dropped entries count as
+    /// [`SharedCache::evictions`]. Pruning costs recomputation only,
+    /// never correctness.
+    ///
+    /// A pruned scope's id is retired, not recycled: re-interning the same
+    /// `(benchmark, input_seed)` later yields a fresh empty scope.
+    pub fn prune_oldest(&self, max_scopes: usize, max_entries: Option<usize>) -> usize {
+        // Lock order everywhere: scopes before touches before shards.
+        let mut scopes = self.scopes.write().expect("scope table poisoned");
+        let mut ranked: Vec<((String, u64), CacheScope, u64)> = {
+            let touches = self.touches.read().expect("touch table poisoned");
+            scopes
+                .iter()
+                .map(|(k, &s)| {
+                    let stamp = touches
+                        .get(s.0 as usize)
+                        .map_or(0, |t| t.load(Ordering::Relaxed));
+                    (k.clone(), s, stamp)
+                })
+                .collect()
+        };
+        // Oldest stamp first; ties resolve to the lower (earlier) scope id.
+        ranked.sort_by_key(|&(_, s, stamp)| (stamp, s.0));
+        let mut sizes: Vec<usize> = Vec::with_capacity(ranked.len());
+        for (_, scope, _) in &ranked {
+            let count: usize = self
+                .shards
+                .iter()
+                .map(|sh| {
+                    sh.read()
+                        .expect("cache shard poisoned")
+                        .map
+                        .keys()
+                        .filter(|k| k.scope == *scope)
+                        .count()
+                })
+                .sum();
+            sizes.push(count);
+        }
+        let mut remaining_scopes = ranked.len();
+        let mut remaining_entries: usize = sizes.iter().sum();
+        let mut removed = 0usize;
+        for ((key, scope, _), size) in ranked.into_iter().zip(sizes) {
+            let over_scopes = remaining_scopes > max_scopes;
+            let over_entries = max_entries.is_some_and(|m| remaining_entries > m);
+            if !(over_scopes || over_entries) {
+                break;
+            }
+            scopes.remove(&key);
+            for sh in &self.shards {
+                let mut sh = sh.write().expect("cache shard poisoned");
+                sh.map.retain(|k, _| k.scope != scope);
+                sh.order.retain(|k| k.scope != scope);
+            }
+            remaining_scopes -= 1;
+            remaining_entries -= size;
+            removed += size;
+        }
+        self.evictions.fetch_add(removed as u64, Ordering::Relaxed);
+        removed
     }
 
     /// Serialises the whole memo table (every scope, every design) as JSON
@@ -249,10 +359,52 @@ impl SharedCache {
     /// deterministic: scopes sort by `(benchmark, input_seed)`, entries by
     /// configuration.
     ///
+    /// Safe against simultaneous writers: the write goes to a temp file in
+    /// the same directory, followed by an atomic rename, with a `.lock`
+    /// sibling file serialising writers across processes — a reader or a
+    /// concurrent saver never observes a half-written file. A lock left
+    /// behind by a crashed process is stolen after
+    /// [`SharedCache::LOCK_STALE_SECS`].
+    ///
     /// # Errors
     ///
-    /// Propagates filesystem errors.
+    /// Propagates filesystem errors; waiting longer than ~30s for the lock
+    /// fails with [`std::io::ErrorKind::TimedOut`].
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        let _lock = SaveLock::acquire(path)?;
+        self.save_locked(path)
+    }
+
+    /// [`SharedCache::merge_from`] + [`SharedCache::save`] under **one**
+    /// file lock: merges whatever is on disk into this cache, then writes
+    /// the union back atomically. This closes the merge-then-save race two
+    /// plain `save` callers still have (each save is atomic, but a write
+    /// landing between another writer's merge and save would be lost) —
+    /// the daemon's persistence path.
+    ///
+    /// Returns the number of entries merged in from disk (0 when the file
+    /// did not exist yet).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors, including malformed on-disk caches
+    /// ([`std::io::ErrorKind::InvalidData`]).
+    pub fn save_merged(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<usize> {
+        let path = path.as_ref();
+        let _lock = SaveLock::acquire(path)?;
+        let merged = if path.exists() {
+            self.merge_from(path)?
+        } else {
+            0
+        };
+        self.save_locked(path)?;
+        Ok(merged)
+    }
+
+    /// The body of [`SharedCache::save`], called with the lock held: build
+    /// the deterministic document, write it next to `path`, rename over.
+    fn save_locked(&self, path: &std::path::Path) -> std::io::Result<()> {
         use crate::json::Json;
         let mut scopes: Vec<((String, u64), CacheScope)> = self
             .scopes
@@ -289,7 +441,20 @@ impl SharedCache {
             ]));
         }
         let doc = Json::obj(vec![("scopes", Json::Arr(scope_nodes))]);
-        std::fs::write(path, doc.pretty())
+        let tmp = path.with_file_name(format!(
+            "{}.tmp.{}",
+            path.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "cache".into()),
+            std::process::id()
+        ));
+        if let Err(e) =
+            std::fs::write(&tmp, doc.pretty()).and_then(|()| std::fs::rename(&tmp, path))
+        {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        Ok(())
     }
 
     /// Loads a cache previously written by [`SharedCache::save`] into a
@@ -406,6 +571,78 @@ impl SharedCache {
             }
         }
         Ok(merged)
+    }
+}
+
+impl SharedCache {
+    /// Age after which a writer assumes a `.lock` file was left behind by
+    /// a crashed process and steals it.
+    pub const LOCK_STALE_SECS: u64 = 10;
+}
+
+/// An exclusive advisory lock on a cache file, held for the duration of a
+/// save: a `<file>.lock` sibling created with `create_new` (atomic on
+/// every platform), removed on drop. Contending writers poll; stale locks
+/// (older than [`SharedCache::LOCK_STALE_SECS`]) are stolen.
+#[derive(Debug)]
+struct SaveLock {
+    path: std::path::PathBuf,
+}
+
+impl SaveLock {
+    const POLL: std::time::Duration = std::time::Duration::from_millis(5);
+    const TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+
+    fn acquire(target: &std::path::Path) -> std::io::Result<Self> {
+        use std::io::Write;
+        let path = target.with_file_name(format!(
+            "{}.lock",
+            target
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "cache".into())
+        ));
+        let start = std::time::Instant::now();
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    // Owner pid, for a human untangling a stuck daemon.
+                    let _ = write!(file, "{}", std::process::id());
+                    return Ok(Self { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let stale = std::fs::metadata(&path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|m| m.elapsed().ok())
+                        .is_some_and(|age| {
+                            age > std::time::Duration::from_secs(SharedCache::LOCK_STALE_SECS)
+                        });
+                    if stale {
+                        let _ = std::fs::remove_file(&path);
+                        continue;
+                    }
+                    if start.elapsed() > Self::TIMEOUT {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            format!("timed out waiting for cache lock {}", path.display()),
+                        ));
+                    }
+                    std::thread::sleep(Self::POLL);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Drop for SaveLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
     }
 }
 
@@ -627,6 +864,134 @@ mod tests {
         let err = SharedCache::load(&path).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn prune_oldest_drops_least_recently_used_scopes() {
+        let cache = SharedCache::new();
+        let a = cache.scope("bench-a", 0);
+        let b = cache.scope("bench-b", 0);
+        let c = cache.scope("bench-c", 0);
+        for i in 0..4u64 {
+            cache.insert(a, config(i), metrics(1.0));
+        }
+        for i in 0..3u64 {
+            cache.insert(b, config(i), metrics(2.0));
+        }
+        for i in 0..2u64 {
+            cache.insert(c, config(i), metrics(3.0));
+        }
+        // Touch the oldest-inserted scope again: recency, not creation
+        // order, decides survival.
+        let _ = cache.scope("bench-a", 0);
+        let removed = cache.prune_oldest(2, None);
+        assert_eq!(removed, 3, "bench-b (LRU) is dropped whole");
+        assert_eq!(cache.scope_count(), 2);
+        assert_eq!(cache.scope_len("bench-a", 0), 4);
+        assert_eq!(cache.scope_len("bench-b", 0), 0);
+        assert_eq!(cache.scope_len("bench-c", 0), 2);
+        assert_eq!(cache.evictions(), 3, "prunes count as evictions");
+        // A pruned scope re-interns as a fresh id with no entries, and
+        // never collides with a survivor's id.
+        let b2 = cache.scope("bench-b", 0);
+        assert_ne!(b2, a);
+        assert_ne!(b2, c);
+        assert_ne!(b2, b);
+        assert!(cache.get(b2, &config(0)).is_none());
+    }
+
+    #[test]
+    fn prune_oldest_also_respects_an_entry_bound() {
+        let cache = SharedCache::new();
+        for s in 0..5u64 {
+            let scope = cache.scope(&format!("bench-{s}"), 0);
+            for i in 0..10u64 {
+                cache.insert(scope, config(i), metrics(s as f64));
+            }
+        }
+        assert_eq!(cache.len(), 50);
+        // The scope bound alone is satisfied; the entry bound forces two
+        // more oldest scopes out.
+        let removed = cache.prune_oldest(5, Some(30));
+        assert_eq!(removed, 20);
+        assert_eq!(cache.len(), 30);
+        assert_eq!(cache.scope_count(), 3);
+        assert_eq!(cache.scope_len("bench-0", 0), 0, "oldest dropped first");
+        assert_eq!(cache.scope_len("bench-4", 0), 10, "newest kept");
+        // Already within bounds: a second prune is a no-op.
+        assert_eq!(cache.prune_oldest(5, Some(30)), 0);
+    }
+
+    #[test]
+    fn save_waits_for_a_held_lock() {
+        let dir = std::env::temp_dir().join(format!("ax_dse_cache_lock_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        let lock_path = dir.join("cache.json.lock");
+        std::fs::write(&lock_path, "held").unwrap();
+        let cache = SharedCache::new();
+        let scope = cache.scope("bench", 0);
+        cache.insert(scope, config(1), metrics(1.0));
+        let saver = {
+            let cache = Arc::clone(&cache);
+            let path = path.clone();
+            std::thread::spawn(move || cache.save(&path))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(!saver.is_finished(), "save must block on a fresh lock");
+        std::fs::remove_file(&lock_path).unwrap();
+        saver.join().unwrap().unwrap();
+        assert_eq!(SharedCache::load(&path).unwrap().len(), 1);
+        assert!(!lock_path.exists(), "the lock is released after saving");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_saves_never_corrupt_the_file() {
+        let dir =
+            std::env::temp_dir().join(format!("ax_dse_cache_concurrent_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        std::thread::scope(|s| {
+            for w in 0..8u64 {
+                let path = path.clone();
+                s.spawn(move || {
+                    let cache = SharedCache::new();
+                    let scope = cache.scope(&format!("bench-{w}"), w);
+                    for i in 0..20u64 {
+                        cache.insert(scope, config(i), metrics(w as f64));
+                    }
+                    cache.save_merged(&path).unwrap();
+                });
+            }
+        });
+        // Every writer merged under the lock before saving, so the final
+        // file holds the full union and parses cleanly.
+        let merged = SharedCache::load(&path).unwrap();
+        assert_eq!(merged.len(), 8 * 20);
+        for w in 0..8u64 {
+            assert_eq!(merged.scope_len(&format!("bench-{w}"), w), 20);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_merged_unions_with_the_on_disk_state() {
+        let dir =
+            std::env::temp_dir().join(format!("ax_dse_cache_save_merged_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        let first = SharedCache::new();
+        let fs_scope = first.scope("bench-a", 0);
+        first.insert(fs_scope, config(1), metrics(1.0));
+        assert_eq!(first.save_merged(&path).unwrap(), 0, "no file to merge");
+        let second = SharedCache::new();
+        let sc = second.scope("bench-b", 0);
+        second.insert(sc, config(2), metrics(2.0));
+        assert_eq!(second.save_merged(&path).unwrap(), 1, "merged A's entry");
+        let union = SharedCache::load(&path).unwrap();
+        assert_eq!(union.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::backend::{EvalBackend, EvalContext, Evaluator, SharedCache};
 use crate::campaign::budget::{CellLedger, EvalBudget, MeteredBackend, RungLedger};
+use crate::campaign::control::CampaignControl;
 use crate::campaign::spec::{BudgetPolicy, ExperimentSpec, SeedRange};
 use crate::explore::{
     explore_backend, AgentKind, ExplorationOutcome, ExploreOptions, ResumableExploration,
@@ -641,6 +642,8 @@ pub struct Campaign<'a> {
     /// — [`Campaign::run`] refuses to silently downgrade a non-exact
     /// choice to the exact provider.
     spec_backend: Option<crate::campaign::spec::BackendSpec>,
+    control: Option<CampaignControl>,
+    extra_budgets: Vec<Arc<EvalBudget>>,
 }
 
 impl<'a> Campaign<'a> {
@@ -661,6 +664,8 @@ impl<'a> Campaign<'a> {
             observer: &NullObserver,
             telemetry: Telemetry::disabled(),
             spec_backend: None,
+            control: None,
+            extra_budgets: Vec::new(),
         }
     }
 
@@ -778,6 +783,35 @@ impl<'a> Campaign<'a> {
     pub fn telemetry(mut self, telemetry: &Telemetry) -> Self {
         self.telemetry = telemetry.clone();
         self
+    }
+
+    /// Supervises the campaign through `control`: runs poll the handle at
+    /// the same step boundaries as budget exhaustion, so a cancel stops
+    /// every run cooperatively (with [`StopReason::Stopped`], at most one
+    /// step of overshoot per run) and a pause parks the campaign until
+    /// resumed. The default is an always-running handle.
+    #[must_use]
+    pub fn control(mut self, control: &CampaignControl) -> Self {
+        self.control = Some(control.clone());
+        self
+    }
+
+    /// Stacks an additional budget every run charges alongside its cell's
+    /// sub-budget and the campaign's own global budget — the hook a
+    /// [`crate::campaign::GlobalScheduler`] uses to enforce one
+    /// server-wide cap across many concurrent campaigns. Exhaustion of an
+    /// extra budget pauses runs exactly like global-budget exhaustion.
+    #[must_use]
+    pub fn extra_budget(mut self, budget: Arc<EvalBudget>) -> Self {
+        self.extra_budgets.push(budget);
+        self
+    }
+
+    /// `true` once the campaign should stop scheduling further work: its
+    /// control was cancelled, or a stacked extra budget ran dry.
+    fn interrupted(&self) -> bool {
+        self.control.as_ref().is_some_and(|c| c.is_cancelled())
+            || self.extra_budgets.iter().any(|b| b.exhausted())
     }
 
     /// Emits a typed event to the telemetry handle and the observer.
@@ -907,10 +941,10 @@ impl<'a> Campaign<'a> {
                 let cell = b * self.agents.len() + a;
                 for seed in self.seeds.iter() {
                     let run_opts = ExploreOptions { seed, ..self.opts };
-                    let backend = MeteredBackend::with_budgets(
-                        provider.spawn(&shared[b], ctx),
-                        vec![Arc::clone(ledger.cell(cell)), Arc::clone(&global)],
-                    );
+                    let mut budgets = vec![Arc::clone(ledger.cell(cell)), Arc::clone(&global)];
+                    budgets.extend(self.extra_budgets.iter().cloned());
+                    let backend =
+                        MeteredBackend::with_budgets(provider.spawn(&shared[b], ctx), budgets);
                     slots.push(RunSlot {
                         cell,
                         index: slots.len(),
@@ -943,6 +977,9 @@ impl<'a> Campaign<'a> {
             ),
             BudgetPolicy::Hyperband { brackets } => {
                 for (b, bracket) in brackets.iter().enumerate() {
+                    if self.interrupted() {
+                        break;
+                    }
                     self.telemetry.counter_add("sched.brackets", 1);
                     self.emit(SOURCE_COORDINATOR, || EventKind::BracketStart {
                         bracket: b as u64,
@@ -1160,6 +1197,8 @@ impl<'a> Campaign<'a> {
     ) {
         let observer = self.observer;
         let telemetry = &self.telemetry;
+        let control = self.control.as_ref();
+        let extras = &self.extra_budgets;
         telemetry.counter_add("campaign.resume_passes", 1);
         // `self` holds non-`Sync` workload references, so the parallel
         // closure captures only the pieces it needs.
@@ -1176,11 +1215,20 @@ impl<'a> Campaign<'a> {
                 return;
             }
             let cell_budget = ledger.cell(slot.cell);
+            // The full step-boundary stop test: pause/cancel checkpoint,
+            // then every budget this run charges. `checkpoint` blocks
+            // while the campaign is paused, so a parked run costs its
+            // thread but no evaluations.
+            let halted = || {
+                control.map(CampaignControl::checkpoint).unwrap_or(false)
+                    || cell_budget.exhausted()
+                    || global.exhausted()
+                    || extras.iter().any(|b| b.exhausted())
+            };
             let fresh = slot.run.steps_taken() == 0;
-            if fresh || !(cell_budget.exhausted() || global.exhausted()) {
+            if fresh || !halted() {
                 telemetry.counter_add("campaign.run_resumes", 1);
-                slot.run
-                    .resume(|| cell_budget.exhausted() || global.exhausted());
+                slot.run.resume(halted);
             }
             if global.trip() {
                 observer.on_budget_exhausted(global.spent());
@@ -1358,6 +1406,13 @@ impl<'a> Campaign<'a> {
                         .collect(),
                 });
             }
+
+            // A cancel or an exhausted server-wide budget ends the
+            // schedule here: later rounds would only grant budget no run
+            // can spend.
+            if self.interrupted() {
+                break;
+            }
         }
     }
 
@@ -1526,7 +1581,7 @@ impl<'a> Campaign<'a> {
                     }
                 }
             }
-            if global.exhausted() {
+            if global.exhausted() || self.interrupted() {
                 break;
             }
         }

@@ -21,23 +21,32 @@
 //! [`AllocationReport`]s). See `docs/spec_reference.md` for the complete
 //! JSON schema of every spec field and policy form.
 //!
-//! The legacy free functions (`explore_qlearning`, `sweep_seeds*`,
-//! `race_portfolio*`) are deprecated thin wrappers over this driver — a
-//! 1×1×N campaign is a seed sweep, a 1×M×1 campaign is a portfolio race —
-//! and specs checked in as JSON run end-to-end via `repro run <spec.json>`.
+//! Every exploration entry point routes through this driver — a 1×1×N
+//! campaign is a seed sweep, a 1×M×1 campaign is a portfolio race — and
+//! specs checked in as JSON run end-to-end via `repro run <spec.json>`.
+//! Long-lived supervision rides the same machinery: a [`CampaignControl`]
+//! cancels or pauses a campaign cooperatively at step boundaries, extra
+//! stacked budgets ([`Campaign::extra_budget`]) let a [`GlobalScheduler`]
+//! arbitrate one server-wide budget across many concurrent campaigns (the
+//! `ax-serve` daemon), and [`ExperimentSpec`]s submitted there produce
+//! reports byte-identical to a local `repro run`.
 
 #![warn(missing_docs)]
 
 pub mod budget;
+pub mod control;
 pub mod driver;
+pub mod global;
 pub mod spec;
 
 pub use budget::{CellLedger, EvalBudget, MeteredBackend, RungLedger};
+pub use control::{CampaignControl, ControlState};
 pub use driver::{
     explore, AllocationReport, BackendProvider, BudgetReport, Campaign, CampaignReport,
     CellAllocation, CellReport, ExactProvider, InterpretedProvider, NullObserver, Observer,
     TelemetrySummary, TieredStats, WrapProvider,
 };
+pub use global::{GlobalScheduler, JobPhase, JobTicket};
 // The telemetry vocabulary campaign observers speak, re-exported so
 // downstream crates need no direct `ax-telemetry` dependency.
 pub use ax_telemetry::{

@@ -433,6 +433,70 @@ impl BudgetPolicy {
         ))
     }
 
+    /// Synthesises a classic Hyperband bracket ladder from the single
+    /// aggressiveness knob `eta` and the campaign's cell count.
+    ///
+    /// Every bracket keeps `1/eta` of its cells per round, and the ladder
+    /// runs brackets of `s_max + 1, s_max, …, 1` rounds where
+    /// `s_max = floor(log_eta(n_cells))` — the most aggressive bracket can
+    /// halve (well, eta-th) the full grid down to one survivor, and the
+    /// final single-round bracket is the uniform control arm. This is the
+    /// `{"hyperband": {"eta": N}}` spec shorthand; the synthesised policy
+    /// serialises back out as explicit brackets.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `eta < 2` (each round must actually eliminate cells) or
+    /// when the grid is empty.
+    pub fn hyperband_from_eta(eta: u32, n_cells: usize) -> Result<Self, SpecError> {
+        if eta < 2 {
+            return Err(SpecError(format!(
+                "hyperband eta must be at least 2 (each round keeps 1/eta of the \
+                 surviving cells), got {eta}"
+            )));
+        }
+        if n_cells == 0 {
+            return Err(SpecError(
+                "hyperband eta synthesis needs at least one (benchmark, agent) cell".into(),
+            ));
+        }
+        let keep_fraction = 1.0 / f64::from(eta);
+        // s_max = floor(log_eta(n_cells)) by repeated integer division, so
+        // exact powers of eta never land on the wrong side of a float log.
+        let mut s_max: u32 = 0;
+        let mut pool = n_cells;
+        while pool >= eta as usize {
+            pool /= eta as usize;
+            s_max += 1;
+        }
+        let brackets = (1..=s_max + 1)
+            .rev()
+            .map(|rounds| HalvingBracket::new(rounds, keep_fraction))
+            .collect();
+        Ok(BudgetPolicy::Hyperband { brackets })
+    }
+
+    /// [`BudgetPolicy::from_json`] plus the grid-aware
+    /// `{"hyperband": {"eta": N}}` shorthand, which needs the campaign's
+    /// cell count to synthesise its bracket ladder (see
+    /// [`BudgetPolicy::hyperband_from_eta`]).
+    fn from_json_for_grid(v: &Json, n_cells: usize) -> Result<Self, SpecError> {
+        if let Some(h) = v.get("hyperband") {
+            if let Some(eta) = h.get("eta") {
+                if h.get("brackets").is_some() {
+                    return Err(SpecError(
+                        "hyperband takes either `eta` or `brackets`, not both".into(),
+                    ));
+                }
+                let eta = eta.as_u64()?;
+                let eta = u32::try_from(eta)
+                    .map_err(|_| SpecError(format!("hyperband eta {eta} overflows u32")))?;
+                return Self::hyperband_from_eta(eta, n_cells);
+            }
+        }
+        Ok(Self::from_json(v)?)
+    }
+
     fn to_json(&self) -> Json {
         match self {
             BudgetPolicy::Uniform => Json::str("uniform"),
@@ -821,7 +885,10 @@ impl ExperimentSpec {
             spec.budget = Some(budget.as_u64()?);
         }
         if let Some(policy) = v.get("policy") {
-            spec.policy = BudgetPolicy::from_json(policy)?;
+            // Grid-aware: benchmarks and agents are already parsed, so the
+            // `{"hyperband": {"eta": N}}` shorthand can see the cell count.
+            let n_cells = spec.benchmarks.len() * spec.agents.len();
+            spec.policy = BudgetPolicy::from_json_for_grid(policy, n_cells)?;
         }
         if let Some(parallelism) = v.get("parallelism") {
             spec.parallelism = Some(parallelism.as_usize()?);
@@ -1175,6 +1242,81 @@ mod tests {
                 .policy,
             BudgetPolicy::Uniform
         );
+    }
+
+    #[test]
+    fn hyperband_eta_synthesises_a_bracket_ladder() {
+        // 9 cells at eta 3: s_max = 2, so brackets of 3, 2, 1 rounds all
+        // keeping a third per round.
+        let policy = BudgetPolicy::hyperband_from_eta(3, 9).unwrap();
+        let third = 1.0 / 3.0;
+        assert_eq!(
+            policy,
+            BudgetPolicy::Hyperband {
+                brackets: vec![
+                    HalvingBracket::new(3, third),
+                    HalvingBracket::new(2, third),
+                    HalvingBracket::new(1, third),
+                ],
+            }
+        );
+        // Non-powers floor: 8 cells at eta 3 still give s_max = 1.
+        assert_eq!(
+            BudgetPolicy::hyperband_from_eta(3, 8).unwrap(),
+            BudgetPolicy::Hyperband {
+                brackets: vec![HalvingBracket::new(2, third), HalvingBracket::new(1, third)],
+            }
+        );
+        // A single cell degenerates to one single-round bracket.
+        assert_eq!(
+            BudgetPolicy::hyperband_from_eta(2, 1).unwrap(),
+            BudgetPolicy::Hyperband {
+                brackets: vec![HalvingBracket::new(1, 0.5)],
+            }
+        );
+        // eta must actually eliminate cells; the grid must be non-empty.
+        assert!(BudgetPolicy::hyperband_from_eta(1, 9)
+            .unwrap_err()
+            .0
+            .contains("eta"));
+        assert!(BudgetPolicy::hyperband_from_eta(0, 9).is_err());
+        assert!(BudgetPolicy::hyperband_from_eta(3, 0).is_err());
+    }
+
+    #[test]
+    fn hyperband_eta_shorthand_parses_grid_aware_and_round_trips_explicit() {
+        // 1 benchmark × 2 agents = 2 cells at eta 2: brackets 2,1 @ 0.5.
+        let text = r#"{
+            "name": "hb",
+            "benchmarks": [{"kind": "matmul", "size": 4}],
+            "agents": ["q-learning", "sarsa"],
+            "budget": 500,
+            "policy": {"hyperband": {"eta": 2}}
+        }"#;
+        let spec = ExperimentSpec::from_json_str(text).unwrap();
+        let expected = BudgetPolicy::Hyperband {
+            brackets: vec![HalvingBracket::new(2, 0.5), HalvingBracket::new(1, 0.5)],
+        };
+        assert_eq!(spec.policy, expected);
+        // Serialising emits explicit brackets, and those parse back to the
+        // same policy without needing the grid.
+        let back = ExperimentSpec::from_json_str(&spec.to_json_string()).unwrap();
+        assert_eq!(back.policy, expected);
+        assert!(spec.to_json_string().contains("brackets"));
+        assert!(!spec.to_json_string().contains("eta"));
+        // Degenerate eta values are rejected at parse time.
+        for (eta, msg) in [("1", "eta"), ("0", "eta")] {
+            let bad = text.replace("\"eta\": 2", &format!("\"eta\": {eta}"));
+            let err = ExperimentSpec::from_json_str(&bad).unwrap_err();
+            assert!(err.0.contains(msg), "{err}");
+        }
+        // eta and explicit brackets are mutually exclusive.
+        let both = text.replace(
+            "{\"eta\": 2}",
+            "{\"eta\": 2, \"brackets\": [{\"rounds\": 1, \"keep_fraction\": 0.5}]}",
+        );
+        let err = ExperimentSpec::from_json_str(&both).unwrap_err();
+        assert!(err.0.contains("not both"), "{err}");
     }
 
     #[test]

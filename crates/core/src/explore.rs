@@ -5,14 +5,13 @@
 //! the paper's stop rules (terminate flag, cumulative-reward target `R`,
 //! 10 000 step cap, plus an optional cooperative stop signal — see
 //! [`explore_backend_with_stop`]) and post-processes the trace into an
-//! [`ExplorationSummary`]. The preferred entry points are the
-//! [`crate::campaign`] layer's [`crate::campaign::Campaign`] driver and
-//! its single-run [`crate::campaign::explore`]; the free functions
-//! [`explore_qlearning`] / [`explore_with_agent`] / [`explore_in_context`]
-//! are deprecated wrappers kept for compatibility.
+//! [`ExplorationSummary`]. The entry points are the [`crate::campaign`]
+//! layer's [`crate::campaign::Campaign`] driver and its single-run
+//! [`crate::campaign::explore`]; the legacy free-function wrappers
+//! (`explore_qlearning` and friends) were removed in 0.2.
 
 use crate::analysis::{FigureSeries, MetricSummary};
-use crate::backend::{EvalBackend, EvalContext, Evaluator};
+use crate::backend::{EvalBackend, Evaluator};
 use crate::env::{DseEnv, DseState, StepTrace};
 use crate::reward::RewardParams;
 use crate::thresholds::{ThresholdRule, Thresholds};
@@ -25,8 +24,6 @@ use ax_agents::sarsa::{ExpectedSarsaAgent, SarsaAgent};
 use ax_agents::schedule::Schedule;
 use ax_agents::train::{StopReason, TrainLog, TrainOptions, TrainSession};
 use ax_operators::OperatorLibrary;
-use ax_vm::VmError;
-use ax_workloads::Workload;
 use serde::{Deserialize, Serialize};
 
 /// Options of one exploration run.
@@ -114,9 +111,9 @@ pub struct ExplorationSummary {
 /// Everything produced by one exploration.
 ///
 /// Generic over the [`EvalBackend`] that scored the designs; the default is
-/// the exact [`Evaluator`] (what [`explore_qlearning`] and
-/// [`explore_in_context`] return), while [`explore_backend`] threads any
-/// backend — e.g. the `ax-surrogate` tiered estimator — through unchanged.
+/// the exact [`Evaluator`] (what [`crate::campaign::explore`] returns),
+/// while [`explore_backend`] threads any backend — e.g. the `ax-surrogate`
+/// tiered estimator — through unchanged.
 #[derive(Debug)]
 pub struct ExplorationOutcome<B: EvalBackend = Evaluator> {
     /// Per-step environment trace (configuration, Δs, reward).
@@ -176,80 +173,10 @@ impl AgentKind {
     }
 }
 
-/// Runs the paper's Q-learning exploration on one benchmark.
-///
-/// # Errors
-///
-/// Fails if the benchmark cannot be built or the operator library lacks the
-/// benchmark's operand widths.
-///
-/// # Panics
-///
-/// Panics if the exploration takes no steps (`max_steps == 0`).
-#[deprecated(
-    since = "0.2.0",
-    note = "build an `EvalContext` and call `campaign::explore` (or run a `Campaign`)"
-)]
-pub fn explore_qlearning(
-    workload: &dyn Workload,
-    lib: &OperatorLibrary,
-    opts: &ExploreOptions,
-) -> Result<ExplorationOutcome, VmError> {
-    let ctx = EvalContext::new(workload, std::sync::Arc::new(lib.clone()), opts.input_seed)?;
-    Ok(crate::campaign::explore(&ctx, opts, AgentKind::QLearning))
-}
-
-/// Runs an exploration with any of the supported learning algorithms.
-///
-/// # Errors
-///
-/// Fails if the benchmark cannot be built or the operator library lacks the
-/// benchmark's operand widths.
-///
-/// # Panics
-///
-/// Panics if the exploration takes no steps (`max_steps == 0`).
-#[deprecated(
-    since = "0.2.0",
-    note = "build an `EvalContext` and call `campaign::explore` (or run a `Campaign`)"
-)]
-pub fn explore_with_agent(
-    workload: &dyn Workload,
-    lib: &OperatorLibrary,
-    opts: &ExploreOptions,
-    kind: AgentKind,
-) -> Result<ExplorationOutcome, VmError> {
-    let ctx = EvalContext::new(workload, std::sync::Arc::new(lib.clone()), opts.input_seed)?;
-    Ok(crate::campaign::explore(&ctx, opts, kind))
-}
-
-/// Runs an exploration against a prepared [`EvalContext`].
-///
-/// This was the fan-out entry point before the campaign layer landed; it
-/// is now a thin wrapper over [`crate::campaign::explore`], the campaign
-/// driver's single-run primitive (same contract: shared preparation and
-/// design cache, per-run agent RNG, bit-identical traces).
-///
-/// # Errors
-///
-/// Never fails; the `Result` is kept for signature compatibility.
-///
-/// # Panics
-///
-/// Panics if the exploration takes no steps (`max_steps == 0`).
-#[deprecated(since = "0.2.0", note = "call `campaign::explore` directly")]
-pub fn explore_in_context(
-    ctx: &EvalContext,
-    opts: &ExploreOptions,
-    kind: AgentKind,
-) -> Result<ExplorationOutcome, VmError> {
-    Ok(crate::campaign::explore(ctx, opts, kind))
-}
-
 /// Runs an exploration through an arbitrary [`EvalBackend`].
 ///
 /// This is the backend-polymorphic core of every exploration entry point:
-/// [`explore_in_context`] passes the exact [`Evaluator`]; the
+/// [`crate::campaign::explore`] passes the exact [`Evaluator`]; the
 /// `ax-surrogate` crate passes its tiered surrogate backend. `lib` and
 /// `benchmark` supply the operator names and benchmark label for the
 /// summary (a backend only knows dimensions and metrics).
@@ -511,11 +438,12 @@ impl<B: EvalBackend> ResumableExploration<B> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy wrappers stay covered until removal
 mod tests {
     use super::*;
+    use crate::backend::EvalContext;
     use ax_workloads::dot::DotProduct;
     use ax_workloads::matmul::MatMul;
+    use ax_workloads::Workload;
 
     fn lib() -> OperatorLibrary {
         OperatorLibrary::evoapprox()
@@ -528,9 +456,27 @@ mod tests {
         }
     }
 
+    /// One exact-backend exploration through the campaign primitive — what
+    /// the removed `explore_qlearning`/`explore_with_agent` wrappers did.
+    fn explore_exact(
+        workload: &dyn Workload,
+        lib: &OperatorLibrary,
+        opts: &ExploreOptions,
+        kind: AgentKind,
+    ) -> ExplorationOutcome {
+        let ctx = EvalContext::new(workload, std::sync::Arc::new(lib.clone()), opts.input_seed)
+            .expect("benchmark builds against the library");
+        crate::campaign::explore(&ctx, opts, kind)
+    }
+
     #[test]
     fn exploration_produces_consistent_outputs() {
-        let outcome = explore_qlearning(&MatMul::new(4), &lib(), &quick_opts(400)).unwrap();
+        let outcome = explore_exact(
+            &MatMul::new(4),
+            &lib(),
+            &quick_opts(400),
+            AgentKind::QLearning,
+        );
         assert_eq!(outcome.trace.len(), outcome.log.len());
         assert_eq!(outcome.summary.steps, outcome.trace.len() as u64);
         assert!(outcome.summary.power.min <= outcome.summary.power.solution);
@@ -543,8 +489,18 @@ mod tests {
 
     #[test]
     fn exploration_is_seed_reproducible() {
-        let a = explore_qlearning(&DotProduct::new(8), &lib(), &quick_opts(300)).unwrap();
-        let b = explore_qlearning(&DotProduct::new(8), &lib(), &quick_opts(300)).unwrap();
+        let a = explore_exact(
+            &DotProduct::new(8),
+            &lib(),
+            &quick_opts(300),
+            AgentKind::QLearning,
+        );
+        let b = explore_exact(
+            &DotProduct::new(8),
+            &lib(),
+            &quick_opts(300),
+            AgentKind::QLearning,
+        );
         assert_eq!(a.trace, b.trace);
         assert_eq!(a.summary, b.summary);
     }
@@ -555,14 +511,19 @@ mod tests {
         o1.seed = 1;
         let mut o2 = quick_opts(300);
         o2.seed = 2;
-        let a = explore_qlearning(&DotProduct::new(8), &lib(), &o1).unwrap();
-        let b = explore_qlearning(&DotProduct::new(8), &lib(), &o2).unwrap();
+        let a = explore_exact(&DotProduct::new(8), &lib(), &o1, AgentKind::QLearning);
+        let b = explore_exact(&DotProduct::new(8), &lib(), &o2, AgentKind::QLearning);
         assert_ne!(a.trace, b.trace);
     }
 
     #[test]
     fn cache_bounds_distinct_configs() {
-        let outcome = explore_qlearning(&MatMul::new(4), &lib(), &quick_opts(500)).unwrap();
+        let outcome = explore_exact(
+            &MatMul::new(4),
+            &lib(),
+            &quick_opts(500),
+            AgentKind::QLearning,
+        );
         let dims_card = 6 * 6 * 16;
         assert!(outcome.distinct_configs <= dims_card);
         // With 500 steps the agent revisits configurations: far fewer
@@ -580,14 +541,19 @@ mod tests {
             time_frac: 0.05,
             acc_frac: 10.0,
         };
-        let outcome = explore_qlearning(&DotProduct::new(8), &lib(), &opts).unwrap();
+        let outcome = explore_exact(&DotProduct::new(8), &lib(), &opts, AgentKind::QLearning);
         assert_eq!(outcome.stop_reason, StopReason::RewardTarget);
         assert!(outcome.trace.len() < 5_000);
     }
 
     #[test]
     fn figure_series_lengths_match_trace() {
-        let outcome = explore_qlearning(&DotProduct::new(8), &lib(), &quick_opts(200)).unwrap();
+        let outcome = explore_exact(
+            &DotProduct::new(8),
+            &lib(),
+            &quick_opts(200),
+            AgentKind::QLearning,
+        );
         let series = outcome.figure_series();
         assert_eq!(series.power.len(), outcome.trace.len());
         assert_eq!(series.accuracy.len(), outcome.trace.len());
@@ -595,7 +561,6 @@ mod tests {
 
     #[test]
     fn fragmented_resumes_match_one_shot_exploration() {
-        use crate::backend::EvalContext;
         let l = lib();
         let wl = DotProduct::new(8);
         let opts = quick_opts(200);
@@ -641,8 +606,7 @@ mod tests {
             AgentKind::DoubleQ,
             AgentKind::QLambda { lambda: 0.7 },
         ] {
-            let o = explore_with_agent(&DotProduct::new(8), &l, &quick_opts(120), kind)
-                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            let o = explore_exact(&DotProduct::new(8), &l, &quick_opts(120), kind);
             assert!(!o.trace.is_empty(), "{}", kind.name());
             assert_eq!(o.trace.len(), o.log.len(), "{}", kind.name());
         }
@@ -652,15 +616,13 @@ mod tests {
     fn agent_kinds_differ_in_behaviour() {
         use crate::explore::AgentKind;
         let l = lib();
-        let ql = explore_with_agent(
+        let ql = explore_exact(
             &DotProduct::new(8),
             &l,
             &quick_opts(300),
             AgentKind::QLearning,
-        )
-        .unwrap();
-        let sarsa = explore_with_agent(&DotProduct::new(8), &l, &quick_opts(300), AgentKind::Sarsa)
-            .unwrap();
+        );
+        let sarsa = explore_exact(&DotProduct::new(8), &l, &quick_opts(300), AgentKind::Sarsa);
         assert_ne!(ql.trace, sarsa.trace);
     }
 

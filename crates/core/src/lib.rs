@@ -26,8 +26,8 @@
 //! post-processes traces (min/solution/max summaries, trend lines, reward
 //! bins, Pareto fronts, hypervolume) and [`search_adapter`] exposes the same
 //! problem to the classic baselines in [`ax_agents::search`]. The old free
-//! functions (`explore_qlearning`, `sweep_seeds*`, `race_portfolio*`) are
-//! deprecated wrappers over the campaign driver.
+//! functions (`explore_qlearning`, `sweep_seeds*`, `race_portfolio*`) were
+//! removed in 0.2 — every entry point routes through the campaign driver.
 //!
 //! ```
 //! use ax_dse::campaign::{Campaign, SeedRange};
@@ -77,10 +77,6 @@ pub use explore::{
     explore_backend, explore_backend_with_stop, ExplorationOutcome, ExplorationSummary,
     ExploreOptions, ResumableExploration,
 };
-#[allow(deprecated)] // compatibility re-exports of the legacy wrappers
-pub use explore::{explore_in_context, explore_qlearning};
 pub use reward::RewardParams;
-#[allow(deprecated)] // compatibility re-exports of the legacy wrappers
-pub use sweep::{race_portfolio, race_portfolio_with, sweep_seeds, sweep_seeds_parallel};
 pub use sweep::{summarize_outcomes, PortfolioEntry, PortfolioOutcome, SweepStat, SweepSummary};
 pub use thresholds::{ThresholdRule, Thresholds};

@@ -10,25 +10,19 @@
 //! agent RNG, so per-seed traces are bit-identical to a sequential run —
 //! cache sharing changes only the cost (designs another seed already
 //! executed come back for a hash lookup instead of an interpreter run).
-//! [`race_portfolio`] applies the same machinery across *agents* instead of
-//! seeds, racing every [`AgentKind`] on one benchmark concurrently.
 //!
-//! Since the campaign layer landed, every entry point here is a thin
-//! **deprecated** wrapper over [`crate::campaign::Campaign`] — a
-//! 1-benchmark × 1-agent × N-seed campaign is a seed sweep, a 1 × M × 1
-//! campaign is a portfolio race — kept because their outputs are
-//! test-verified identical to the campaign path. The aggregation types
-//! ([`SweepStat`], [`SweepSummary`], [`PortfolioEntry`],
-//! [`PortfolioOutcome`]) and [`summarize_outcomes`] remain the canonical
-//! report vocabulary and are what campaigns themselves return.
+//! Since the campaign layer landed, the sweeps themselves live in
+//! [`crate::campaign::Campaign`] — a 1-benchmark × 1-agent × N-seed
+//! campaign is a seed sweep, a 1 × M × 1 campaign is a portfolio race;
+//! the legacy free-function wrappers (`sweep_seeds*`, `race_portfolio*`)
+//! were removed in 0.2. What remains here is the canonical report
+//! vocabulary — the aggregation types ([`SweepStat`], [`SweepSummary`],
+//! [`PortfolioEntry`], [`PortfolioOutcome`]) and [`summarize_outcomes`] —
+//! which is what campaigns themselves return.
 
-use crate::backend::{EvalBackend, Evaluator};
-use crate::campaign::{Campaign, SeedRange, WrapProvider};
-use crate::explore::{AgentKind, ExplorationOutcome, ExplorationSummary, ExploreOptions};
+use crate::backend::EvalBackend;
+use crate::explore::{AgentKind, ExplorationOutcome, ExplorationSummary};
 use ax_agents::train::StopReason;
-use ax_operators::OperatorLibrary;
-use ax_vm::VmError;
-use ax_workloads::Workload;
 use serde::{Deserialize, Serialize};
 
 /// Mean / standard deviation / extremes of one sweep statistic.
@@ -138,75 +132,6 @@ pub fn summarize_outcomes<B: EvalBackend>(
     }
 }
 
-/// Runs `seeds` explorations with agent seeds `0..seeds` sequentially and
-/// aggregates. The reference implementation: [`sweep_seeds_parallel`]
-/// produces a byte-identical summary, only faster.
-///
-/// # Errors
-///
-/// Propagates the first exploration error.
-///
-/// # Panics
-///
-/// Panics if `seeds` is zero.
-#[deprecated(
-    since = "0.2.0",
-    note = "run a 1-benchmark, 1-agent `campaign::Campaign` with `.sequential(true)`"
-)]
-pub fn sweep_seeds(
-    workload: &dyn Workload,
-    lib: &OperatorLibrary,
-    opts: &ExploreOptions,
-    kind: AgentKind,
-    seeds: u64,
-) -> Result<SweepSummary, VmError> {
-    assert!(seeds > 0, "need at least one seed");
-    let report = Campaign::new("legacy-sweep", lib)
-        .benchmark(workload)
-        .agent(kind)
-        .seeds(SeedRange::new(0, seeds))
-        .options(*opts)
-        .sequential(true)
-        .run()?;
-    Ok(report.cells.into_iter().next().expect("one cell").summary)
-}
-
-/// Runs `seeds` explorations with agent seeds `0..seeds` fanned out through
-/// rayon over clones of one shared-cache [`crate::backend::EvalContext`].
-///
-/// Each seed owns its agent RNG, so every run is bit-identical to its
-/// sequential counterpart and the summary equals [`sweep_seeds`] exactly;
-/// the shared cache means a design evaluated by any seed is free for all
-/// others.
-///
-/// # Errors
-///
-/// Propagates a context-preparation error.
-///
-/// # Panics
-///
-/// Panics if `seeds` is zero.
-#[deprecated(
-    since = "0.2.0",
-    note = "run a 1-benchmark, 1-agent `campaign::Campaign` instead"
-)]
-pub fn sweep_seeds_parallel(
-    workload: &dyn Workload,
-    lib: &OperatorLibrary,
-    opts: &ExploreOptions,
-    kind: AgentKind,
-    seeds: u64,
-) -> Result<SweepSummary, VmError> {
-    assert!(seeds > 0, "need at least one seed");
-    let report = Campaign::new("legacy-sweep", lib)
-        .benchmark(workload)
-        .agent(kind)
-        .seeds(SeedRange::new(0, seeds))
-        .options(*opts)
-        .run()?;
-    Ok(report.cells.into_iter().next().expect("one cell").summary)
-}
-
 /// One run's result within a portfolio race.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PortfolioEntry {
@@ -250,88 +175,16 @@ impl PortfolioOutcome {
     }
 }
 
-/// Races every given agent kind on one benchmark concurrently, sharing one
-/// design cache, and ranks them by solution quality.
-///
-/// All agents see identical thresholds and input data; each owns its RNG,
-/// so individual outcomes equal stand-alone explorations with the same
-/// options. The shared cache makes the race cheaper than the sum of its
-/// runs: configurations visited by several agents execute once.
-///
-/// # Errors
-///
-/// Propagates a context-preparation error.
-///
-/// # Panics
-///
-/// Panics if `kinds` is empty.
-#[deprecated(
-    since = "0.2.0",
-    note = "run a 1-benchmark, multi-agent `campaign::Campaign` instead"
-)]
-pub fn race_portfolio(
-    workload: &dyn Workload,
-    lib: &OperatorLibrary,
-    opts: &ExploreOptions,
-    kinds: &[AgentKind],
-) -> Result<PortfolioOutcome, VmError> {
-    assert!(!kinds.is_empty(), "portfolio needs at least one agent");
-    let report = Campaign::new("legacy-portfolio", lib)
-        .benchmark(workload)
-        .agents(kinds)
-        .seeds(SeedRange::single(opts.seed))
-        .options(*opts)
-        .run()?;
-    Ok(report.portfolios.into_iter().next().expect("one benchmark"))
-}
-
-/// [`race_portfolio`] through an arbitrary [`EvalBackend`]: `wrap` turns
-/// each racing agent's exact [`Evaluator`] (spawned from the shared-cache
-/// context) into the backend the race actually scores designs with.
-///
-/// `wrap` runs once per agent, on the racing worker threads — exactly the
-/// [`crate::campaign::WrapProvider`] seam, which is what this wrapper now
-/// delegates to.
-///
-/// # Errors
-///
-/// Propagates a context-preparation error.
-///
-/// # Panics
-///
-/// Panics if `kinds` is empty.
-#[deprecated(
-    since = "0.2.0",
-    note = "run a `campaign::Campaign` with `campaign::WrapProvider` (or a custom `BackendProvider`)"
-)]
-pub fn race_portfolio_with<B, F>(
-    workload: &dyn Workload,
-    lib: &OperatorLibrary,
-    opts: &ExploreOptions,
-    kinds: &[AgentKind],
-    wrap: F,
-) -> Result<PortfolioOutcome, VmError>
-where
-    B: EvalBackend + Send,
-    F: Fn(Evaluator) -> B + Sync,
-{
-    assert!(!kinds.is_empty(), "portfolio needs at least one agent");
-    let report = Campaign::new("legacy-portfolio", lib)
-        .benchmark(workload)
-        .agents(kinds)
-        .seeds(SeedRange::single(opts.seed))
-        .options(*opts)
-        .run_with(&WrapProvider::new(wrap))?;
-    Ok(report.portfolios.into_iter().next().expect("one benchmark"))
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // the legacy wrappers stay covered until removal
 mod tests {
     use super::*;
     use crate::backend::{EvalContext, SharedCache};
-    use crate::explore::{explore_in_context, explore_with_agent};
+    use crate::campaign::{Campaign, SeedRange};
+    use crate::explore::ExploreOptions;
+    use ax_operators::OperatorLibrary;
+    use ax_vm::VmError;
     use ax_workloads::dot::DotProduct;
+    use ax_workloads::Workload;
     use std::sync::Arc;
 
     fn shared_context(
@@ -345,6 +198,45 @@ mod tests {
             opts.input_seed,
             SharedCache::new(),
         )
+    }
+
+    /// A 1-benchmark × 1-agent × N-seed campaign — the canonical seed
+    /// sweep the removed `sweep_seeds*` wrappers delegated to.
+    fn sweep(
+        workload: &dyn Workload,
+        lib: &OperatorLibrary,
+        opts: &ExploreOptions,
+        kind: AgentKind,
+        seeds: u64,
+        sequential: bool,
+    ) -> SweepSummary {
+        let report = Campaign::new("sweep", lib)
+            .benchmark(workload)
+            .agent(kind)
+            .seeds(SeedRange::new(0, seeds))
+            .options(*opts)
+            .sequential(sequential)
+            .run()
+            .expect("sweep campaign runs");
+        report.cells.into_iter().next().expect("one cell").summary
+    }
+
+    /// A 1-benchmark × M-agent × 1-seed campaign — the canonical
+    /// portfolio race the removed `race_portfolio*` wrappers delegated to.
+    fn race(
+        workload: &dyn Workload,
+        lib: &OperatorLibrary,
+        opts: &ExploreOptions,
+        kinds: &[AgentKind],
+    ) -> PortfolioOutcome {
+        let report = Campaign::new("portfolio", lib)
+            .benchmark(workload)
+            .agents(kinds)
+            .seeds(SeedRange::single(opts.seed))
+            .options(*opts)
+            .run()
+            .expect("portfolio campaign runs");
+        report.portfolios.into_iter().next().expect("one benchmark")
     }
 
     #[test]
@@ -370,7 +262,14 @@ mod tests {
             max_steps: 150,
             ..Default::default()
         };
-        let s = sweep_seeds(&DotProduct::new(8), &lib, &opts, AgentKind::QLearning, 4).unwrap();
+        let s = sweep(
+            &DotProduct::new(8),
+            &lib,
+            &opts,
+            AgentKind::QLearning,
+            4,
+            true,
+        );
         assert_eq!(s.seeds, 4);
         assert!(s.stop_step.mean > 0.0 && s.stop_step.mean <= 150.0);
         assert!(s.stop_step.min <= s.stop_step.max);
@@ -385,8 +284,22 @@ mod tests {
             max_steps: 100,
             ..Default::default()
         };
-        let a = sweep_seeds(&DotProduct::new(8), &lib, &opts, AgentKind::QLearning, 3).unwrap();
-        let b = sweep_seeds(&DotProduct::new(8), &lib, &opts, AgentKind::QLearning, 3).unwrap();
+        let a = sweep(
+            &DotProduct::new(8),
+            &lib,
+            &opts,
+            AgentKind::QLearning,
+            3,
+            true,
+        );
+        let b = sweep(
+            &DotProduct::new(8),
+            &lib,
+            &opts,
+            AgentKind::QLearning,
+            3,
+            true,
+        );
         assert_eq!(a, b);
     }
 
@@ -398,8 +311,8 @@ mod tests {
             ..Default::default()
         };
         let wl = DotProduct::new(8);
-        let seq = sweep_seeds(&wl, &lib, &opts, AgentKind::QLearning, 8).unwrap();
-        let par = sweep_seeds_parallel(&wl, &lib, &opts, AgentKind::QLearning, 8).unwrap();
+        let seq = sweep(&wl, &lib, &opts, AgentKind::QLearning, 8, true);
+        let par = sweep(&wl, &lib, &opts, AgentKind::QLearning, 8, false);
         assert_eq!(
             seq, par,
             "cache sharing/parallelism must not change results"
@@ -421,19 +334,11 @@ mod tests {
         let ctx = shared_context(&DotProduct::new(8), &lib, &opts).unwrap();
         for seed in 0..3 {
             let run_opts = ExploreOptions { seed, ..opts };
-            explore_in_context(&ctx, &run_opts, AgentKind::QLearning).unwrap();
+            crate::campaign::explore(&ctx, &run_opts, AgentKind::QLearning);
         }
         let cache = ctx.shared_cache().unwrap();
         assert!(!cache.is_empty());
         assert!(cache.hits() > 0, "later seeds must reuse earlier designs");
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one seed")]
-    fn sweep_rejects_zero_seeds() {
-        let lib = OperatorLibrary::evoapprox();
-        let opts = ExploreOptions::default();
-        let _ = sweep_seeds(&DotProduct::new(8), &lib, &opts, AgentKind::QLearning, 0);
     }
 
     #[test]
@@ -450,7 +355,7 @@ mod tests {
             AgentKind::DoubleQ,
             AgentKind::QLambda { lambda: 0.7 },
         ];
-        let p = race_portfolio(&DotProduct::new(8), &lib, &opts, &kinds).unwrap();
+        let p = race(&DotProduct::new(8), &lib, &opts, &kinds);
         assert_eq!(p.entries.len(), kinds.len());
         assert!(p.best < p.entries.len());
         let best_score = p.winner().score;
@@ -474,9 +379,11 @@ mod tests {
             ..Default::default()
         };
         let kinds = [AgentKind::QLearning, AgentKind::Sarsa];
-        let p = race_portfolio(&DotProduct::new(8), &lib, &opts, &kinds).unwrap();
+        let p = race(&DotProduct::new(8), &lib, &opts, &kinds);
         for (kind, entry) in kinds.iter().zip(&p.entries) {
-            let solo = explore_with_agent(&DotProduct::new(8), &lib, &opts, *kind).unwrap();
+            let ctx = EvalContext::new(&DotProduct::new(8), Arc::new(lib.clone()), opts.input_seed)
+                .unwrap();
+            let solo = crate::campaign::explore(&ctx, &opts, *kind);
             assert_eq!(entry.summary, solo.summary, "{}", kind.name());
         }
     }

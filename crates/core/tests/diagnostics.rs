@@ -1,10 +1,6 @@
 //! Diagnostic sweeps over the full configuration space (ignored by default;
 //! run with `cargo test -p ax-dse --release -- --ignored --nocapture`).
 
-// The legacy free functions stay exercised here until removal: these
-// suites pin the deprecated wrappers to the campaign path's behaviour.
-#![allow(deprecated)]
-
 use ax_dse::config::AxConfig;
 use ax_dse::reward::{reward, RewardParams};
 use ax_dse::thresholds::ThresholdRule;
@@ -62,7 +58,9 @@ fn reward_landscape() {
 #[ignore = "diagnostic: prints stop step per hyper-parameter combination"]
 fn stop_steps_by_hyperparams() {
     use ax_agents::schedule::Schedule;
-    use ax_dse::explore::{explore_qlearning, ExploreOptions};
+    use ax_dse::backend::EvalContext;
+    use ax_dse::explore::{AgentKind, ExploreOptions};
+    use std::sync::Arc;
 
     let lib = OperatorLibrary::evoapprox();
     let combos: Vec<(&str, Schedule, Schedule, f64)> = vec![
@@ -124,7 +122,8 @@ fn stop_steps_by_hyperparams() {
                 alpha: *alpha,
                 ..Default::default()
             };
-            let o = explore_qlearning(wl, &lib, &opts).unwrap();
+            let ctx = EvalContext::new(wl, Arc::new(lib.clone()), opts.input_seed).unwrap();
+            let o = ax_dse::campaign::explore(&ctx, &opts, AgentKind::QLearning);
             println!(
                 "{:<14} {:<16} stop {:?} at {} steps, cum {:.0}, solution {} + {}",
                 wl.name(),

@@ -7,13 +7,14 @@
 //! executes a whole serialised [`ExperimentSpec`] end-to-end, dispatching
 //! on its [`BackendSpec`] — the engine behind `repro run <spec.json>`.
 
+use crate::pool::{ModelPool, PooledProvider};
 use crate::tiered::{
     shared_model_for, warm_start, SharedClassMemo, SharedModel, SurrogateSettings, TieredBackend,
 };
 use ax_dse::backend::{EvalContext, Evaluator, SharedCache};
 use ax_dse::campaign::{
-    BackendProvider, BackendSpec, Campaign, CampaignReport, ExperimentSpec, Observer, SpecError,
-    Telemetry, TieredStats,
+    BackendProvider, BackendSpec, Campaign, CampaignControl, CampaignReport, EvalBudget,
+    ExperimentSpec, Observer, SpecError, Telemetry, TieredStats,
 };
 use ax_operators::OperatorLibrary;
 use ax_vm::VmError;
@@ -141,17 +142,85 @@ pub fn run_spec_traced(
     observer: &dyn Observer,
     telemetry: &Telemetry,
 ) -> Result<CampaignReport, RunSpecError> {
+    run_spec_with(
+        lib,
+        spec,
+        RunSpecOptions {
+            cache,
+            observer: Some(observer),
+            telemetry: Some(telemetry.clone()),
+            ..Default::default()
+        },
+    )
+}
+
+/// Everything [`run_spec_with`] accepts beyond the spec itself — the full
+/// supervision surface a long-lived daemon needs, all optional so plain
+/// [`run_spec`] stays a two-default wrapper.
+#[derive(Default)]
+pub struct RunSpecOptions<'a> {
+    /// Pre-loaded design cache shared across runs (and, in a daemon,
+    /// across jobs — each `(benchmark, input_seed)` pair is its own
+    /// scope).
+    pub cache: Option<Arc<SharedCache>>,
+    /// Progress observer; defaults to no observation.
+    pub observer: Option<&'a dyn Observer>,
+    /// Telemetry handle; defaults to [`Telemetry::disabled`], which is
+    /// byte-identical to no telemetry at all.
+    pub telemetry: Option<Telemetry>,
+    /// Cooperative cancel/pause handle (see
+    /// [`Campaign::control`]).
+    pub control: Option<CampaignControl>,
+    /// Budgets stacked on top of the spec's own (see
+    /// [`Campaign::extra_budget`]) — e.g. a
+    /// [`GlobalScheduler`](ax_dse::campaign::GlobalScheduler) per-job
+    /// ticket and its server-wide cap.
+    pub extra_budgets: Vec<Arc<EvalBudget>>,
+    /// Surrogate model pool for tiered campaigns: models built here are
+    /// always deposited; `reuse_models` additionally starts campaigns from
+    /// pooled models (trading byte-replayability for throughput). Ignored
+    /// by exact backends.
+    pub model_pool: Option<Arc<ModelPool>>,
+    /// Start tiered campaigns from pooled models when the pool has one.
+    pub reuse_models: bool,
+}
+
+/// [`run_spec_traced`] plus daemon supervision: an optional cooperative
+/// [`CampaignControl`], extra stacked [`EvalBudget`]s, and a surrogate
+/// [`ModelPool`]. With everything defaulted this is exactly [`run_spec`].
+///
+/// # Errors
+///
+/// Fails on an unrunnable spec or a benchmark that cannot be prepared.
+pub fn run_spec_with(
+    lib: &OperatorLibrary,
+    spec: &ExperimentSpec,
+    opts: RunSpecOptions<'_>,
+) -> Result<CampaignReport, RunSpecError> {
     spec.validate()?;
     let workloads = spec.build_workloads();
-    let mut campaign = Campaign::from_spec(lib, spec, &workloads)
-        .observe(observer)
-        .telemetry(telemetry);
-    if let Some(cache) = cache {
+    let telemetry = opts.telemetry.unwrap_or_else(Telemetry::disabled);
+    let mut campaign = Campaign::from_spec(lib, spec, &workloads).telemetry(&telemetry);
+    if let Some(observer) = opts.observer {
+        campaign = campaign.observe(observer);
+    }
+    if let Some(cache) = opts.cache {
         campaign = campaign.shared_cache(cache);
+    }
+    if let Some(control) = &opts.control {
+        campaign = campaign.control(control);
+    }
+    for budget in &opts.extra_budgets {
+        campaign = campaign.extra_budget(Arc::clone(budget));
     }
     let report = match spec.backend {
         BackendSpec::Exact | BackendSpec::ExactInterpreted => campaign.run()?,
-        BackendSpec::Tiered(settings) => campaign.run_with(&TieredProvider::new(settings))?,
+        BackendSpec::Tiered(settings) => match opts.model_pool {
+            Some(pool) => {
+                campaign.run_with(&PooledProvider::new(settings, pool, opts.reuse_models))?
+            }
+            None => campaign.run_with(&TieredProvider::new(settings))?,
+        },
     };
     Ok(report)
 }

@@ -47,14 +47,16 @@
 pub mod campaign;
 pub mod features;
 pub mod model;
+pub mod pool;
 pub mod sweep;
 pub mod tiered;
 
-pub use campaign::{run_spec, run_spec_traced, RunSpecError, TieredProvider};
+pub use campaign::{
+    run_spec, run_spec_traced, run_spec_with, RunSpecError, RunSpecOptions, TieredProvider,
+};
 pub use features::FeatureExtractor;
 pub use model::{RelErrors, SurrogateModel};
-#[allow(deprecated)] // compatibility re-exports of the legacy wrappers
-pub use sweep::{race_portfolio_surrogate, sweep_seeds_surrogate};
+pub use pool::{ModelPool, PooledProvider};
 pub use sweep::{sweep_in_context_surrogate, SurrogateSweepOutcome};
 pub use tiered::{
     shared_model_for, warm_start, SharedClassMemo, SharedModel, SurrogateSettings, TieredBackend,

@@ -1,0 +1,268 @@
+//! A server-wide surrogate model pool.
+//!
+//! A long-lived daemon (`ax-serve`) runs many campaigns over the same
+//! benchmarks; each tiered campaign normally builds its per-benchmark
+//! [`SharedModel`] from scratch. A [`ModelPool`] keeps those models alive
+//! across jobs, keyed by `(benchmark, input_seed, settings)` — the triple
+//! that fixes a model's feature space, normalisation and trust policy.
+//!
+//! Pooling is split into two halves with different determinism budgets:
+//!
+//! * **storing** is always on — it only records what a job built, and can
+//!   never change that job's results;
+//! * **reuse** is opt-in ([`PooledProvider`] with `reuse = true`), because
+//!   starting from a trained model changes the surrogate's trust
+//!   trajectory and therefore the exploration path. A daemon that promises
+//!   byte-identical reports to `repro run` keeps reuse off; one that
+//!   favours throughput over replayability turns it on.
+//!
+//! Execution-equivalence class memos are deliberately **never** pooled:
+//! they would leak exact confirmations across jobs and silently change
+//! trust trajectories even with reuse off.
+
+use crate::campaign::TieredProvider;
+use crate::tiered::{SharedClassMemo, SharedModel, SurrogateSettings, TieredBackend};
+use ax_dse::backend::{EvalContext, Evaluator};
+use ax_dse::campaign::{BackendProvider, TieredStats};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Pool entries under one `(benchmark, input seed)` key: settings carry
+/// floats, so lookups scan this short list by `PartialEq`.
+type ScopeModels = Vec<(SurrogateSettings, SharedModel)>;
+
+/// The pool: live [`SharedModel`]s keyed by benchmark, input seed and
+/// surrogate settings, plus hit/miss counters for `/metrics`.
+///
+/// Settings carry floats, so entries under one `(benchmark, seed)` key are
+/// matched by a linear [`PartialEq`] scan — the list is as long as the
+/// number of *distinct* settings ever used, i.e. tiny.
+#[derive(Debug, Default)]
+pub struct ModelPool {
+    entries: Mutex<HashMap<(String, u64), ScopeModels>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ModelPool {
+    /// A fresh pool, ready to share via `Arc`.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Looks up a pooled model, counting the hit or miss.
+    pub fn lookup(
+        &self,
+        benchmark: &str,
+        input_seed: u64,
+        settings: SurrogateSettings,
+    ) -> Option<SharedModel> {
+        let entries = self.entries.lock().expect("model pool poisoned");
+        let found = entries
+            .get(&(benchmark.to_owned(), input_seed))
+            .and_then(|models| {
+                models
+                    .iter()
+                    .find(|(s, _)| *s == settings)
+                    .map(|(_, m)| Arc::clone(m))
+            });
+        match found {
+            Some(model) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(model)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Records a model under its key, replacing any previous entry with
+    /// the same settings (the newer model has seen at least as much
+    /// truth).
+    pub fn store(
+        &self,
+        benchmark: &str,
+        input_seed: u64,
+        settings: SurrogateSettings,
+        model: &SharedModel,
+    ) {
+        let mut entries = self.entries.lock().expect("model pool poisoned");
+        let models = entries
+            .entry((benchmark.to_owned(), input_seed))
+            .or_default();
+        match models.iter_mut().find(|(s, _)| *s == settings) {
+            Some((_, slot)) => *slot = Arc::clone(model),
+            None => models.push((settings, Arc::clone(model))),
+        }
+    }
+
+    /// Number of pooled models across all keys.
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .expect("model pool poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// `true` when nothing has been pooled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Successful lookups so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Failed lookups so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`TieredProvider`] that reads and feeds a [`ModelPool`].
+///
+/// With `reuse` off (the default for a determinism-preserving daemon) it
+/// behaves exactly like [`TieredProvider`] — fresh model per campaign,
+/// warm-started only from the campaign's own design cache — and merely
+/// deposits the model it built. With `reuse` on, a pooled model for the
+/// same `(benchmark, input_seed, settings)` is picked up instead, carrying
+/// its training and trust state across jobs.
+#[derive(Debug, Clone)]
+pub struct PooledProvider {
+    inner: TieredProvider,
+    pool: Arc<ModelPool>,
+    reuse: bool,
+}
+
+impl PooledProvider {
+    /// A provider over `pool` with the given policy and reuse choice.
+    pub fn new(settings: SurrogateSettings, pool: Arc<ModelPool>, reuse: bool) -> Self {
+        Self {
+            inner: TieredProvider::new(settings),
+            pool,
+            reuse,
+        }
+    }
+
+    /// The pool this provider reads and feeds.
+    pub fn pool(&self) -> &Arc<ModelPool> {
+        &self.pool
+    }
+}
+
+impl BackendProvider for PooledProvider {
+    type Backend = TieredBackend<Evaluator>;
+    type Shared = (SharedModel, Arc<SharedClassMemo>);
+
+    fn prepare(&self, ctx: &EvalContext) -> Self::Shared {
+        let settings = self.inner.settings();
+        let pooled = if self.reuse {
+            self.pool
+                .lookup(ctx.benchmark(), ctx.input_seed(), settings)
+        } else {
+            None
+        };
+        let (model, classes) = match pooled {
+            // The class memo is always fresh: pooling it would leak exact
+            // confirmations across jobs (see the module docs).
+            Some(model) => (model, SharedClassMemo::new()),
+            None => self.inner.prepare(ctx),
+        };
+        self.pool
+            .store(ctx.benchmark(), ctx.input_seed(), settings, &model);
+        (model, classes)
+    }
+
+    fn spawn(&self, shared: &Self::Shared, ctx: &EvalContext) -> Self::Backend {
+        self.inner.spawn(shared, ctx)
+    }
+
+    fn usage(&self, backend: &Self::Backend) -> Option<TieredStats> {
+        self.inner.usage(backend)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiered::shared_model_for;
+    use ax_dse::Evaluator;
+    use ax_operators::OperatorLibrary;
+    use ax_workloads::matmul::MatMul;
+
+    fn model() -> SharedModel {
+        let lib = OperatorLibrary::evoapprox();
+        let exact = Evaluator::new(&MatMul::new(4), &lib, 0).unwrap();
+        shared_model_for(&lib, &exact, SurrogateSettings::default())
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses_and_keys_on_settings() {
+        let pool = ModelPool::new();
+        let defaults = SurrogateSettings::default();
+        assert!(pool.lookup("matmul", 0, defaults).is_none());
+        let m = model();
+        pool.store("matmul", 0, defaults, &m);
+        assert_eq!(pool.len(), 1);
+        let got = pool.lookup("matmul", 0, defaults).unwrap();
+        assert!(Arc::ptr_eq(&got, &m));
+        // A different seed, benchmark or policy is a different model.
+        assert!(pool.lookup("matmul", 1, defaults).is_none());
+        assert!(pool.lookup("dot", 0, defaults).is_none());
+        assert!(pool
+            .lookup("matmul", 0, SurrogateSettings::always_fallback())
+            .is_none());
+        assert_eq!((pool.hits(), pool.misses()), (1, 4));
+    }
+
+    #[test]
+    fn store_replaces_an_entry_with_matching_settings() {
+        let pool = ModelPool::new();
+        let defaults = SurrogateSettings::default();
+        let (first, second) = (model(), model());
+        pool.store("matmul", 0, defaults, &first);
+        pool.store("matmul", 0, defaults, &second);
+        assert_eq!(pool.len(), 1);
+        let got = pool.lookup("matmul", 0, defaults).unwrap();
+        assert!(Arc::ptr_eq(&got, &second));
+        // Distinct settings coexist under the same (benchmark, seed) key.
+        pool.store("matmul", 0, SurrogateSettings::always_fallback(), &first);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn provider_without_reuse_deposits_but_never_reads() {
+        let lib = OperatorLibrary::evoapprox();
+        let pool = ModelPool::new();
+        let defaults = SurrogateSettings::default();
+        let provider = PooledProvider::new(defaults, Arc::clone(&pool), false);
+        let ctx = EvalContext::new(&MatMul::new(4), Arc::new(lib), 0).unwrap();
+        let (first, _) = provider.prepare(&ctx);
+        let (second, _) = provider.prepare(&ctx);
+        // Fresh model per campaign — byte-identical to TieredProvider —
+        // while the pool fills up for whoever opts into reuse.
+        assert!(!Arc::ptr_eq(&first, &second));
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.hits(), 0);
+    }
+
+    #[test]
+    fn provider_with_reuse_carries_the_model_across_prepares() {
+        let lib = OperatorLibrary::evoapprox();
+        let pool = ModelPool::new();
+        let provider = PooledProvider::new(SurrogateSettings::default(), Arc::clone(&pool), true);
+        let ctx = EvalContext::new(&MatMul::new(4), Arc::new(lib), 0).unwrap();
+        let (first, classes_a) = provider.prepare(&ctx);
+        let (second, classes_b) = provider.prepare(&ctx);
+        assert!(Arc::ptr_eq(&first, &second));
+        // Class memos stay per-campaign even under reuse.
+        assert!(!Arc::ptr_eq(&classes_a, &classes_b));
+        assert_eq!((pool.hits(), pool.misses()), (1, 1));
+    }
+}

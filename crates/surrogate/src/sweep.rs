@@ -1,25 +1,21 @@
 //! Surrogate-assisted sweeps and portfolio races.
 //!
-//! The exact machinery lives in [`ax_dse::sweep`]; this module reruns it
-//! through [`TieredBackend`]s sharing one [`crate::tiered::SharedModel`]
+//! The exact aggregation vocabulary lives in [`ax_dse::sweep`]; this
+//! module reruns the same fan-out through [`TieredBackend`]s sharing one
+//! [`crate::tiered::SharedModel`]
 //! and one [`SharedClassMemo`] (and, through the inner evaluators, one
 //! `SharedCache`): the first designs any seed confirms exactly train the
 //! estimator — and answer whole equivalence classes — for every other
 //! seed.
 
-use crate::campaign::TieredProvider;
 use crate::model::RelErrors;
 use crate::tiered::TieredStats;
 use crate::tiered::{
     shared_model_for, warm_start, SharedClassMemo, SurrogateSettings, TieredBackend,
 };
-use ax_dse::backend::{EvalContext, Evaluator, SharedCache};
-use ax_dse::campaign::{Campaign, SeedRange};
+use ax_dse::backend::{EvalContext, Evaluator};
 use ax_dse::explore::{explore_backend, AgentKind, ExplorationOutcome, ExploreOptions};
-use ax_dse::sweep::{summarize_outcomes, PortfolioOutcome, SweepSummary};
-use ax_operators::OperatorLibrary;
-use ax_vm::VmError;
-use ax_workloads::Workload;
+use ax_dse::sweep::{summarize_outcomes, SweepSummary};
 use rayon::prelude::*;
 use std::sync::Arc;
 
@@ -46,50 +42,15 @@ pub struct SurrogateSweepOutcome {
 }
 
 /// Runs `seeds` explorations with agent seeds `0..seeds` through tiered
-/// backends sharing one surrogate model and one design cache.
+/// backends sharing one surrogate model and one design cache, against a
+/// prepared context. Designs already in the context's shared cache
+/// warm-start the model before any seed runs — repeated sweeps of one
+/// context start from confirmed truth.
 ///
-/// The analogue of [`ax_dse::sweep::sweep_seeds_parallel`] — same fan-out,
-/// same aggregation — with the surrogate prefilter in front of every
-/// evaluation. Note the weaker determinism contract: each *backend*
-/// answers consistently, but the shared model refines concurrently, so
-/// with more than one worker thread the summary may vary across runs
-/// (exactly like any online-refined estimator).
-///
-/// # Errors
-///
-/// Propagates the first exploration error.
-///
-/// # Panics
-///
-/// Panics if `seeds` is zero.
-#[deprecated(
-    since = "0.2.0",
-    note = "run an `ExperimentSpec` with a tiered backend through `campaign::run_spec` \
-            (or a `Campaign` with `TieredProvider`)"
-)]
-pub fn sweep_seeds_surrogate(
-    workload: &dyn Workload,
-    lib: &OperatorLibrary,
-    opts: &ExploreOptions,
-    kind: AgentKind,
-    seeds: u64,
-    settings: SurrogateSettings,
-) -> Result<SurrogateSweepOutcome, VmError> {
-    assert!(seeds > 0, "need at least one seed");
-    let ctx = EvalContext::with_cache(
-        workload,
-        Arc::new(lib.clone()),
-        opts.input_seed,
-        SharedCache::new(),
-    )?;
-    Ok(sweep_in_context_surrogate(
-        &ctx, opts, kind, seeds, settings,
-    ))
-}
-
-/// [`sweep_seeds_surrogate`] against a prepared context. Designs already
-/// in the context's shared cache warm-start the model before any seed
-/// runs — repeated sweeps of one context start from confirmed truth.
+/// Note the weaker determinism contract: each *backend* answers
+/// consistently, but the shared model refines concurrently, so with more
+/// than one worker thread the summary may vary across runs (exactly like
+/// any online-refined estimator).
 ///
 /// # Panics
 ///
@@ -147,45 +108,16 @@ pub fn sweep_in_context_surrogate(
     }
 }
 
-/// Races every given agent kind through tiered backends sharing one model
-/// and one class memo (the surrogate-assisted
-/// [`ax_dse::sweep::race_portfolio`]): exact confirmations from any agent
-/// sharpen the prefilter for all.
-///
-/// # Errors
-///
-/// Propagates a context-preparation error.
-///
-/// # Panics
-///
-/// Panics if `kinds` is empty.
-#[deprecated(
-    since = "0.2.0",
-    note = "run a multi-agent `Campaign` with `campaign::TieredProvider` instead"
-)]
-pub fn race_portfolio_surrogate(
-    workload: &dyn Workload,
-    lib: &OperatorLibrary,
-    opts: &ExploreOptions,
-    kinds: &[AgentKind],
-    settings: SurrogateSettings,
-) -> Result<PortfolioOutcome, VmError> {
-    assert!(!kinds.is_empty(), "portfolio needs at least one agent");
-    let report = Campaign::new("legacy-surrogate-portfolio", lib)
-        .benchmark(workload)
-        .agents(kinds)
-        .seeds(SeedRange::single(opts.seed))
-        .options(*opts)
-        .run_with(&TieredProvider::new(settings))?;
-    Ok(report.portfolios.into_iter().next().expect("one benchmark"))
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // the legacy wrappers stay covered until removal
 mod tests {
     use super::*;
+    use crate::campaign::TieredProvider;
+    use ax_dse::backend::SharedCache;
+    use ax_dse::campaign::{Campaign, SeedRange};
+    use ax_operators::OperatorLibrary;
     use ax_workloads::dot::DotProduct;
     use ax_workloads::matmul::MatMul;
+    use ax_workloads::Workload;
 
     fn quick_opts(steps: u64) -> ExploreOptions {
         ExploreOptions {
@@ -194,18 +126,37 @@ mod tests {
         }
     }
 
+    /// A fresh shared-cache context plus [`sweep_in_context_surrogate`] —
+    /// what the removed `sweep_seeds_surrogate` wrapper did.
+    fn sweep_surrogate(
+        workload: &dyn Workload,
+        lib: &OperatorLibrary,
+        opts: &ExploreOptions,
+        kind: AgentKind,
+        seeds: u64,
+        settings: SurrogateSettings,
+    ) -> SurrogateSweepOutcome {
+        let ctx = EvalContext::with_cache(
+            workload,
+            Arc::new(lib.clone()),
+            opts.input_seed,
+            SharedCache::new(),
+        )
+        .expect("benchmark builds against the library");
+        sweep_in_context_surrogate(&ctx, opts, kind, seeds, settings)
+    }
+
     #[test]
     fn surrogate_sweep_produces_consistent_summary() {
         let lib = OperatorLibrary::evoapprox();
-        let out = sweep_seeds_surrogate(
+        let out = sweep_surrogate(
             &MatMul::new(4),
             &lib,
             &quick_opts(200),
             AgentKind::QLearning,
             4,
             SurrogateSettings::default(),
-        )
-        .unwrap();
+        );
         assert_eq!(out.summary.seeds, 4);
         assert!(out.summary.stop_step.mean > 0.0);
         assert!((0.0..=1.0).contains(&out.summary.feasible_solutions));
@@ -221,17 +172,26 @@ mod tests {
         let lib = OperatorLibrary::evoapprox();
         let opts = quick_opts(150);
         let wl = DotProduct::new(8);
-        let exact =
-            ax_dse::sweep::sweep_seeds_parallel(&wl, &lib, &opts, AgentKind::QLearning, 4).unwrap();
-        let tiered = sweep_seeds_surrogate(
+        let exact = Campaign::new("exact-sweep", &lib)
+            .benchmark(&wl)
+            .agent(AgentKind::QLearning)
+            .seeds(SeedRange::new(0, 4))
+            .options(opts)
+            .run()
+            .unwrap()
+            .cells
+            .into_iter()
+            .next()
+            .expect("one cell")
+            .summary;
+        let tiered = sweep_surrogate(
             &wl,
             &lib,
             &opts,
             AgentKind::QLearning,
             4,
             SurrogateSettings::always_fallback(),
-        )
-        .unwrap();
+        );
         assert_eq!(exact, tiered.summary);
         assert_eq!(tiered.stats.surrogate_answers, 0);
     }
@@ -275,14 +235,18 @@ mod tests {
         let lib = OperatorLibrary::evoapprox();
         let opts = quick_opts(120);
         let kinds = [AgentKind::QLearning, AgentKind::Sarsa];
-        let p = race_portfolio_surrogate(
-            &DotProduct::new(8),
-            &lib,
-            &opts,
-            &kinds,
-            SurrogateSettings::always_fallback(),
-        )
-        .unwrap();
+        let wl = DotProduct::new(8);
+        let p = Campaign::new("surrogate-portfolio", &lib)
+            .benchmark(&wl)
+            .agents(&kinds)
+            .seeds(SeedRange::single(opts.seed))
+            .options(opts)
+            .run_with(&TieredProvider::new(SurrogateSettings::always_fallback()))
+            .unwrap()
+            .portfolios
+            .into_iter()
+            .next()
+            .expect("one benchmark");
         assert_eq!(p.entries.len(), 2);
         assert!(p.best < 2);
         assert!(p.shared_distinct > 0);

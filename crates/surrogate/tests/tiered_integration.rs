@@ -3,14 +3,10 @@
 //! behind every existing `EvalBackend` seam (`DseEnv`, `DseSearchSpace`,
 //! `ThresholdRule::calibrate`) with no consumer-side special-casing.
 
-// The legacy free functions stay exercised here until removal: these
-// suites pin the deprecated wrappers to the campaign path's behaviour.
-#![allow(deprecated)]
-
-use ax_dse::backend::{EvalBackend, Evaluator};
+use ax_dse::backend::{EvalBackend, EvalContext, Evaluator};
 use ax_dse::config::AxConfig;
 use ax_dse::env::DseEnv;
-use ax_dse::explore::{explore_backend, explore_qlearning, AgentKind, ExploreOptions};
+use ax_dse::explore::{explore_backend, AgentKind, ExploreOptions};
 use ax_dse::reward::RewardParams;
 use ax_dse::search_adapter::DseSearchSpace;
 use ax_dse::thresholds::ThresholdRule;
@@ -116,7 +112,8 @@ fn dse_env_runs_on_tiered_backend_without_special_casing() {
         ..Default::default()
     };
     let lib = OperatorLibrary::evoapprox();
-    let exact_outcome = explore_qlearning(&wl, &lib, &opts).unwrap();
+    let ctx = EvalContext::new(&wl, std::sync::Arc::new(lib.clone()), opts.input_seed).unwrap();
+    let exact_outcome = ax_dse::campaign::explore(&ctx, &opts, AgentKind::QLearning);
     let tiered_outcome = explore_backend(
         tiered_fallback(&wl, opts.input_seed),
         &lib,

@@ -95,6 +95,20 @@ impl Telemetry {
         }
     }
 
+    /// An enabled handle whose ring buffer keeps at most `capacity`
+    /// events (oldest evicted first) — what a long-lived daemon uses to
+    /// bound each job's event memory. Capacity is clamped to at least one.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                registry: MetricsRegistry::new(),
+                ring: RingBuffer::new(capacity),
+                sinks: Mutex::new(Vec::new()),
+                seqs: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
     /// The disabled handle — every reporting method is a no-op.
     pub fn disabled() -> Self {
         Self { inner: None }
@@ -238,6 +252,17 @@ mod tests {
         // Canonical order groups by source, then seq.
         let order: Vec<(u32, u64)> = t.events().iter().map(|e| (e.source, e.seq)).collect();
         assert_eq!(order, vec![(0, 0), (0, 1), (7, 0)]);
+    }
+
+    #[test]
+    fn with_capacity_bounds_the_ring_but_counts_everything() {
+        let t = Telemetry::with_capacity(2);
+        for bracket in 0..5 {
+            t.emit(0, EventKind::BracketStart { bracket });
+        }
+        let kept = t.events();
+        assert_eq!(kept.len(), 2, "ring keeps only the newest events");
+        assert_eq!(t.events_emitted(), 5, "the emitted count is unbounded");
     }
 
     #[test]

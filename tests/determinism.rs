@@ -4,14 +4,11 @@
 //! seeds must give bit-identical results at every layer, or the paper's
 //! experiments would not be reproducible run to run.
 
-// The legacy free functions stay exercised here until removal: these
-// suites pin the deprecated wrappers to the campaign path's behaviour.
-#![allow(deprecated)]
-
+use axdse_suite::ax_dse::campaign::{Campaign, SeedRange};
 use axdse_suite::ax_dse::evaluator::{EvalContext, SharedCache};
 use axdse_suite::ax_dse::explore::AgentKind;
-use axdse_suite::ax_dse::explore::{explore_in_context, explore_qlearning, ExploreOptions};
-use axdse_suite::ax_dse::sweep::{sweep_seeds, sweep_seeds_parallel};
+use axdse_suite::ax_dse::explore::{ExplorationOutcome, ExploreOptions};
+use axdse_suite::ax_dse::sweep::SweepSummary;
 use axdse_suite::ax_operators::{
     characterize_multiplier, BitWidth, CharacterizeMode, MulKind, MulModel, OperatorLibrary,
 };
@@ -19,6 +16,43 @@ use axdse_suite::ax_workloads::fir::Fir;
 use axdse_suite::ax_workloads::matmul::MatMul;
 use axdse_suite::ax_workloads::Workload;
 use std::sync::Arc;
+
+/// One exact exploration through the campaign primitive (the removed
+/// `explore_qlearning`/`explore_with_agent` wrappers, inlined).
+fn explore_exact(
+    workload: &dyn Workload,
+    lib: &OperatorLibrary,
+    opts: &ExploreOptions,
+    kind: AgentKind,
+) -> ExplorationOutcome {
+    let ctx = EvalContext::new(workload, Arc::new(lib.clone()), opts.input_seed).unwrap();
+    axdse_suite::ax_dse::campaign::explore(&ctx, opts, kind)
+}
+
+/// A 1-benchmark × 1-agent × N-seed campaign summary (the removed
+/// `sweep_seeds`/`sweep_seeds_parallel` wrappers, inlined).
+fn sweep(
+    workload: &dyn Workload,
+    lib: &OperatorLibrary,
+    opts: &ExploreOptions,
+    kind: AgentKind,
+    seeds: u64,
+    sequential: bool,
+) -> SweepSummary {
+    Campaign::new("determinism-sweep", lib)
+        .benchmark(workload)
+        .agent(kind)
+        .seeds(SeedRange::new(0, seeds))
+        .options(*opts)
+        .sequential(sequential)
+        .run()
+        .unwrap()
+        .cells
+        .into_iter()
+        .next()
+        .expect("one cell")
+        .summary
+}
 
 #[test]
 fn workload_inputs_are_seed_deterministic() {
@@ -60,8 +94,8 @@ fn neighborhood_batching_preserves_trajectories() {
         ..plain
     };
     for wl in [MatMul::new(4), MatMul::new(6)] {
-        let a = explore_qlearning(&wl, &lib, &plain).unwrap();
-        let b = explore_qlearning(&wl, &lib, &batched).unwrap();
+        let a = explore_exact(&wl, &lib, &plain, AgentKind::QLearning);
+        let b = explore_exact(&wl, &lib, &batched, AgentKind::QLearning);
         assert_eq!(a.trace, b.trace, "{}", wl.name());
         assert_eq!(a.log, b.log, "{}", wl.name());
         assert_eq!(a.summary, b.summary, "{}", wl.name());
@@ -73,23 +107,28 @@ fn neighborhood_batching_preserves_trajectories() {
 
 #[test]
 fn surrogate_always_fallback_sweep_matches_exact_sweep() {
-    use axdse_suite::ax_surrogate::{sweep_seeds_surrogate, SurrogateSettings};
+    use axdse_suite::ax_surrogate::{sweep_in_context_surrogate, SurrogateSettings};
     let lib = OperatorLibrary::evoapprox();
     let opts = ExploreOptions {
         max_steps: 150,
         ..Default::default()
     };
     let wl = MatMul::new(4);
-    let exact = sweep_seeds(&wl, &lib, &opts, AgentKind::QLearning, 3).unwrap();
-    let tiered = sweep_seeds_surrogate(
+    let exact = sweep(&wl, &lib, &opts, AgentKind::QLearning, 3, true);
+    let ctx = EvalContext::with_cache(
         &wl,
-        &lib,
+        Arc::new(lib.clone()),
+        opts.input_seed,
+        SharedCache::new(),
+    )
+    .unwrap();
+    let tiered = sweep_in_context_surrogate(
+        &ctx,
         &opts,
         AgentKind::QLearning,
         3,
         SurrogateSettings::always_fallback(),
-    )
-    .unwrap();
+    );
     assert_eq!(exact, tiered.summary);
 }
 
@@ -100,8 +139,8 @@ fn full_exploration_is_deterministic() {
         max_steps: 400,
         ..Default::default()
     };
-    let a = explore_qlearning(&MatMul::new(4), &lib, &opts).unwrap();
-    let b = explore_qlearning(&MatMul::new(4), &lib, &opts).unwrap();
+    let a = explore_exact(&MatMul::new(4), &lib, &opts, AgentKind::QLearning);
+    let b = explore_exact(&MatMul::new(4), &lib, &opts, AgentKind::QLearning);
     assert_eq!(a.trace, b.trace);
     assert_eq!(a.log, b.log);
     assert_eq!(a.summary, b.summary);
@@ -116,8 +155,8 @@ fn agent_seed_changes_trajectory_but_not_environment_truth() {
         seed,
         ..Default::default()
     };
-    let a = explore_qlearning(&MatMul::new(4), &lib, &mk(1)).unwrap();
-    let b = explore_qlearning(&MatMul::new(4), &lib, &mk(2)).unwrap();
+    let a = explore_exact(&MatMul::new(4), &lib, &mk(1), AgentKind::QLearning);
+    let b = explore_exact(&MatMul::new(4), &lib, &mk(2), AgentKind::QLearning);
     assert_ne!(
         a.trace, b.trace,
         "different agent seeds must explore differently"
@@ -143,8 +182,8 @@ fn rayon_sweep_is_byte_identical_to_sequential() {
         ..Default::default()
     };
     let wl = MatMul::new(4);
-    let seq = sweep_seeds(&wl, &lib, &opts, AgentKind::QLearning, 8).unwrap();
-    let par = sweep_seeds_parallel(&wl, &lib, &opts, AgentKind::QLearning, 8).unwrap();
+    let seq = sweep(&wl, &lib, &opts, AgentKind::QLearning, 8, true);
+    let par = sweep(&wl, &lib, &opts, AgentKind::QLearning, 8, false);
     assert_eq!(seq, par);
 }
 
@@ -158,7 +197,7 @@ fn shared_cache_does_not_change_exploration_results() {
         max_steps: 300,
         ..Default::default()
     };
-    let solo = explore_qlearning(&MatMul::new(4), &lib, &opts).unwrap();
+    let solo = explore_exact(&MatMul::new(4), &lib, &opts, AgentKind::QLearning);
 
     let cache = SharedCache::new();
     let ctx = EvalContext::with_cache(
@@ -170,8 +209,8 @@ fn shared_cache_does_not_change_exploration_results() {
     .unwrap();
     // Warm the cache with a different-seed run, then replay the original.
     let warm_opts = ExploreOptions { seed: 99, ..opts };
-    explore_in_context(&ctx, &warm_opts, AgentKind::QLearning).unwrap();
-    let cached = explore_in_context(&ctx, &opts, AgentKind::QLearning).unwrap();
+    axdse_suite::ax_dse::campaign::explore(&ctx, &warm_opts, AgentKind::QLearning);
+    let cached = axdse_suite::ax_dse::campaign::explore(&ctx, &opts, AgentKind::QLearning);
 
     assert_eq!(solo.trace, cached.trace);
     assert_eq!(solo.summary, cached.summary);
@@ -189,8 +228,8 @@ fn input_seed_changes_reference_outputs() {
         input_seed,
         ..Default::default()
     };
-    let a = explore_qlearning(&MatMul::new(4), &lib, &mk(1)).unwrap();
-    let b = explore_qlearning(&MatMul::new(4), &lib, &mk(2)).unwrap();
+    let a = explore_exact(&MatMul::new(4), &lib, &mk(1), AgentKind::QLearning);
+    let b = explore_exact(&MatMul::new(4), &lib, &mk(2), AgentKind::QLearning);
     // Different matrices -> different precise power is identical (op count
     // fixed) but accuracy thresholds differ.
     assert_ne!(a.thresholds.acc_th, b.thresholds.acc_th);
@@ -198,14 +237,13 @@ fn input_seed_changes_reference_outputs() {
 }
 
 // ---------------------------------------------------------------------------
-// Campaign-vs-legacy equivalence: every deprecated entry point must produce
-// output identical to the `Campaign` path it wraps — and both must match a
-// hand-rolled reimplementation of the original pre-campaign code path.
+// Campaign equivalence: the `Campaign` driver must match a hand-rolled
+// reimplementation of the original pre-campaign code path (what the removed
+// legacy wrappers pinned before 0.2).
 // ---------------------------------------------------------------------------
 
 #[test]
 fn campaign_exact_sweep_is_byte_identical_to_legacy() {
-    use axdse_suite::ax_dse::campaign::{Campaign, SeedRange};
     use axdse_suite::ax_dse::sweep::summarize_outcomes;
 
     let lib = OperatorLibrary::evoapprox();
@@ -243,18 +281,15 @@ fn campaign_exact_sweep_is_byte_identical_to_legacy() {
         .unwrap();
     assert_eq!(report.cells[0].summary, reference);
 
-    // And both deprecated wrappers.
-    let seq = sweep_seeds(&wl, &lib, &opts, AgentKind::QLearning, seeds).unwrap();
-    let par = sweep_seeds_parallel(&wl, &lib, &opts, AgentKind::QLearning, seeds).unwrap();
+    // And both execution modes of the campaign itself.
+    let seq = sweep(&wl, &lib, &opts, AgentKind::QLearning, seeds, true);
+    let par = sweep(&wl, &lib, &opts, AgentKind::QLearning, seeds, false);
     assert_eq!(seq, reference);
     assert_eq!(par, reference);
 }
 
 #[test]
 fn campaign_portfolio_is_byte_identical_to_legacy_race() {
-    use axdse_suite::ax_dse::campaign::{Campaign, SeedRange};
-    use axdse_suite::ax_dse::sweep::race_portfolio;
-
     let lib = OperatorLibrary::evoapprox();
     let opts = ExploreOptions {
         max_steps: 150,
@@ -264,7 +299,20 @@ fn campaign_portfolio_is_byte_identical_to_legacy_race() {
     let wl = MatMul::new(4);
     let kinds = [AgentKind::QLearning, AgentKind::Sarsa, AgentKind::DoubleQ];
 
-    let legacy = race_portfolio(&wl, &lib, &opts, &kinds).unwrap();
+    // Sequential race as the hand-rolled reference; the parallel fan-out
+    // must agree entry for entry (bit-exact scores included).
+    let legacy = Campaign::new("race", &lib)
+        .benchmark(&wl)
+        .agents(&kinds)
+        .seeds(SeedRange::single(opts.seed))
+        .options(opts)
+        .sequential(true)
+        .run()
+        .unwrap()
+        .portfolios
+        .into_iter()
+        .next()
+        .expect("one benchmark");
     let report = Campaign::new("race", &lib)
         .benchmark(&wl)
         .agents(&kinds)
@@ -297,19 +345,22 @@ fn campaign_portfolio_is_byte_identical_to_legacy_race() {
 }
 
 #[test]
-fn explore_in_context_wrapper_matches_campaign_explore() {
+fn campaign_explore_is_context_independent() {
+    // `campaign::explore` depends only on the context's inputs (workload,
+    // library, input seed) and the options — never on context identity.
     let lib = OperatorLibrary::evoapprox();
     let opts = ExploreOptions {
         max_steps: 200,
         ..Default::default()
     };
     let ctx = EvalContext::new(&MatMul::new(4), Arc::new(lib.clone()), opts.input_seed).unwrap();
-    let wrapped = explore_in_context(&ctx, &opts, AgentKind::QLearning).unwrap();
-    let direct = axdse_suite::ax_dse::campaign::explore(&ctx, &opts, AgentKind::QLearning);
-    assert_eq!(wrapped.trace, direct.trace);
-    assert_eq!(wrapped.log, direct.log);
-    assert_eq!(wrapped.summary, direct.summary);
-    assert_eq!(wrapped.distinct_configs, direct.distinct_configs);
+    let a = axdse_suite::ax_dse::campaign::explore(&ctx, &opts, AgentKind::QLearning);
+    let ctx2 = EvalContext::new(&MatMul::new(4), Arc::new(lib.clone()), opts.input_seed).unwrap();
+    let b = axdse_suite::ax_dse::campaign::explore(&ctx2, &opts, AgentKind::QLearning);
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.log, b.log);
+    assert_eq!(a.summary, b.summary);
+    assert_eq!(a.distinct_configs, b.distinct_configs);
 }
 
 #[test]

@@ -1,19 +1,28 @@
 //! Cross-crate end-to-end tests: operator library → instrumented execution →
 //! evaluation → exploration, on the paper's benchmarks.
 
-// The legacy free functions stay exercised here until removal: these
-// suites pin the deprecated wrappers to the campaign path's behaviour.
-#![allow(deprecated)]
-
+use axdse_suite::ax_dse::backend::EvalContext;
 use axdse_suite::ax_dse::config::AxConfig;
-use axdse_suite::ax_dse::explore::{explore_qlearning, ExploreOptions};
+use axdse_suite::ax_dse::explore::{AgentKind, ExplorationOutcome, ExploreOptions};
 use axdse_suite::ax_dse::Evaluator;
 use axdse_suite::ax_operators::{AdderId, BitWidth, MulId, OperatorLibrary};
 use axdse_suite::ax_workloads::fir::{Fir, DEFAULT_TAPS};
 use axdse_suite::ax_workloads::matmul::MatMul;
+use axdse_suite::ax_workloads::Workload;
 
 fn lib() -> OperatorLibrary {
     OperatorLibrary::evoapprox()
+}
+
+/// The paper's Q-learning exploration through the campaign primitive.
+fn explore_qlearning(
+    workload: &dyn Workload,
+    lib: &OperatorLibrary,
+    opts: &ExploreOptions,
+) -> ExplorationOutcome {
+    let ctx = EvalContext::new(workload, std::sync::Arc::new(lib.clone()), opts.input_seed)
+        .expect("benchmark builds against the library");
+    axdse_suite::ax_dse::campaign::explore(&ctx, opts, AgentKind::QLearning)
 }
 
 /// The paper's Table III MatMul 10×10 extremes are op-count × per-operator
@@ -110,7 +119,7 @@ fn paper_benchmark_explorations_are_consistent() {
         if wl.name().contains("50") {
             continue;
         }
-        let o = explore_qlearning(wl.as_ref(), &l, &opts).unwrap();
+        let o = explore_qlearning(wl.as_ref(), &l, &opts);
         let s = &o.summary;
         for (label, m) in [("power", s.power), ("time", s.time), ("acc", s.accuracy)] {
             assert!(

@@ -6,14 +6,11 @@
 //! Figures 2–4. They run on the default (seeded) configuration, so they are
 //! deterministic.
 
-// The legacy free functions stay exercised here until removal: these
-// suites pin the deprecated wrappers to the campaign path's behaviour.
-#![allow(deprecated)]
-
 use axdse_suite::ax_agents::train::StopReason;
 use axdse_suite::ax_dse::analysis::{linear_trend, reward_curve};
+use axdse_suite::ax_dse::backend::EvalContext;
 use axdse_suite::ax_dse::config::AxConfig;
-use axdse_suite::ax_dse::explore::{explore_qlearning, ExploreOptions};
+use axdse_suite::ax_dse::explore::{AgentKind, ExplorationOutcome, ExploreOptions};
 use axdse_suite::ax_dse::reward::{reward, RewardParams};
 use axdse_suite::ax_dse::thresholds::ThresholdRule;
 use axdse_suite::ax_dse::Evaluator;
@@ -24,6 +21,17 @@ use axdse_suite::ax_workloads::Workload;
 
 fn lib() -> OperatorLibrary {
     OperatorLibrary::evoapprox()
+}
+
+/// The paper's Q-learning exploration through the campaign primitive.
+fn explore_qlearning(
+    workload: &dyn Workload,
+    lib: &OperatorLibrary,
+    opts: &ExploreOptions,
+) -> ExplorationOutcome {
+    let ctx = EvalContext::new(workload, std::sync::Arc::new(lib.clone()), opts.input_seed)
+        .expect("benchmark builds against the library");
+    axdse_suite::ax_dse::campaign::explore(&ctx, opts, AgentKind::QLearning)
 }
 
 /// Classify every configuration of a benchmark by Algorithm 1 branch.
@@ -81,7 +89,7 @@ fn fir_landscape_is_harder_than_matmul() {
 /// threshold on its own).
 #[test]
 fn matmul10_exploration_matches_paper_shape() {
-    let o = explore_qlearning(&MatMul::new(10), &lib(), &ExploreOptions::default()).unwrap();
+    let o = explore_qlearning(&MatMul::new(10), &lib(), &ExploreOptions::default());
     assert_eq!(
         o.stop_reason,
         StopReason::RewardTarget,
@@ -109,7 +117,7 @@ fn matmul10_exploration_matches_paper_shape() {
 /// reward is positive, and the final bin beats the first.
 #[test]
 fn matmul10_reward_curve_improves() {
-    let o = explore_qlearning(&MatMul::new(10), &lib(), &ExploreOptions::default()).unwrap();
+    let o = explore_qlearning(&MatMul::new(10), &lib(), &ExploreOptions::default());
     let bins = reward_curve(&o.trace, 100);
     assert!(bins.len() >= 3, "need at least 3 bins, got {}", bins.len());
     let (slope, _) = linear_trend(&bins);
@@ -130,7 +138,7 @@ fn fir100_struggles_within_short_budget() {
         max_steps: 3_000,
         ..Default::default()
     };
-    let o = explore_qlearning(&Fir::new(100), &lib(), &opts).unwrap();
+    let o = explore_qlearning(&Fir::new(100), &lib(), &opts);
     assert_eq!(o.stop_reason, StopReason::MaxSteps);
     assert!(o.log.total_reward() < 100.0);
 }
@@ -145,7 +153,7 @@ fn fir100_solution_avoids_catastrophic_adders() {
         max_steps: 3_000,
         ..Default::default()
     };
-    let o = explore_qlearning(&Fir::new(100), &lib(), &opts).unwrap();
+    let o = explore_qlearning(&Fir::new(100), &lib(), &opts);
     let last = o.trace.last().unwrap();
     assert!(
         last.config.adder.0 <= 3,

@@ -1,5 +1,6 @@
 //! Cross-crate property-based tests.
 
+use axdse_suite::ax_dse::campaign::GlobalScheduler;
 use axdse_suite::ax_dse::config::{AxConfig, SpaceDims};
 use axdse_suite::ax_dse::reward::{reward, RewardParams};
 use axdse_suite::ax_dse::thresholds::Thresholds;
@@ -101,6 +102,70 @@ proptest! {
         prop_assert!((m.delta_time - (ev.precise_time() - m.time_ns)).abs() < 1e-9);
         prop_assert!(m.delta_acc >= m.signed_error.abs() - 1e-9);
         prop_assert!(m.delta_acc >= 0.0);
+    }
+
+    /// The server-wide budget stack of the campaign daemon: jobs with
+    /// arbitrary priorities, per-job caps and demands, drained through a
+    /// [`GlobalScheduler`], never push the aggregate spend past the
+    /// server cap or any job past its own cap — and the per-job ledger
+    /// reconstructs the server's spend exactly.
+    #[test]
+    fn global_scheduler_budget_stack_never_exceeds_any_cap(
+        server_cap_raw in 0u64..150,
+        max_job_budget_raw in 0u64..60,
+        jobs_raw in prop::collection::vec((0u8..4, 0u64..50, 0u64..70), 1..8),
+    ) {
+        // The shim has no Option strategy: 0 encodes "unbounded".
+        let server_cap = (server_cap_raw > 0).then_some(server_cap_raw);
+        let max_job_budget = (max_job_budget_raw > 0).then_some(max_job_budget_raw);
+        let jobs: Vec<(u8, Option<u64>, u64)> = jobs_raw
+            .into_iter()
+            .map(|(p, r, d)| (p, (r > 0).then_some(r), d))
+            .collect();
+        let sched = GlobalScheduler::new(server_cap, 2, max_job_budget);
+        let tickets: Vec<_> = jobs
+            .iter()
+            .map(|&(priority, requested, _)| sched.submit(priority, requested))
+            .collect();
+        // Drain in admission order (priority desc, id asc) so a single
+        // thread mirrors what the daemon's worker pool converges to. Each
+        // "evaluation" checks both stacked budgets before charging them
+        // with the same delta — exactly the campaign driver's contract.
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(jobs[i].0), i));
+        let mut expected_total = 0u64;
+        for &i in &order {
+            prop_assert!(sched.acquire(&tickets[i]));
+            for _ in 0..jobs[i].2 {
+                if tickets[i].budget().exhausted() || sched.server().exhausted() {
+                    break;
+                }
+                tickets[i].budget().charge(1);
+                sched.server().charge(1);
+            }
+            sched.finish(&tickets[i]);
+            // Sequentially, each job gets min(demand, own cap, what the
+            // server has left).
+            let own_cap = match (jobs[i].1, max_job_budget) {
+                (Some(r), Some(m)) => Some(r.min(m)),
+                (r, m) => r.or(m),
+            };
+            let mut want = jobs[i].2;
+            if let Some(cap) = own_cap {
+                want = want.min(cap);
+            }
+            if let Some(cap) = server_cap {
+                want = want.min(cap - expected_total);
+            }
+            prop_assert_eq!(tickets[i].budget().spent(), want);
+            expected_total += want;
+        }
+        if let Some(cap) = server_cap {
+            prop_assert!(sched.server().spent() <= cap);
+        }
+        prop_assert_eq!(sched.server().spent(), expected_total);
+        prop_assert_eq!(sched.jobs_spent_total(), sched.server().spent());
+        prop_assert_eq!(sched.counts(), (0, 0, 0, jobs.len()));
     }
 
     /// The precise adder/multiplier pair with any variable selection is

@@ -4,11 +4,8 @@
 //! recorded metrics and the calibrated thresholds — the environment must
 //! agree with the paper's pseudocode at every step.
 
-// The legacy free functions stay exercised here until removal: these
-// suites pin the deprecated wrappers to the campaign path's behaviour.
-#![allow(deprecated)]
-
-use axdse_suite::ax_dse::explore::{explore_qlearning, ExploreOptions};
+use axdse_suite::ax_dse::backend::EvalContext;
+use axdse_suite::ax_dse::explore::{AgentKind, ExplorationOutcome, ExploreOptions};
 use axdse_suite::ax_dse::reward::{reward, RewardParams};
 use axdse_suite::ax_dse::thresholds::ThresholdRule;
 use axdse_suite::ax_dse::Evaluator;
@@ -17,13 +14,24 @@ use axdse_suite::ax_workloads::dot::DotProduct;
 use axdse_suite::ax_workloads::matmul::MatMul;
 use axdse_suite::ax_workloads::Workload;
 
+/// The paper's Q-learning exploration through the campaign primitive.
+fn explore_qlearning(
+    workload: &dyn Workload,
+    lib: &OperatorLibrary,
+    opts: &ExploreOptions,
+) -> ExplorationOutcome {
+    let ctx = EvalContext::new(workload, std::sync::Arc::new(lib.clone()), opts.input_seed)
+        .expect("benchmark builds against the library");
+    axdse_suite::ax_dse::campaign::explore(&ctx, opts, AgentKind::QLearning)
+}
+
 fn replay_and_check(workload: &dyn Workload, steps: u64) {
     let lib = OperatorLibrary::evoapprox();
     let opts = ExploreOptions {
         max_steps: steps,
         ..Default::default()
     };
-    let outcome = explore_qlearning(workload, &lib, &opts).unwrap();
+    let outcome = explore_qlearning(workload, &lib, &opts);
 
     let ev = Evaluator::new(workload, &lib, opts.input_seed).unwrap();
     let dims = ev.dims();
@@ -101,7 +109,7 @@ fn reward_target_stop_is_tight() {
         },
         ..Default::default()
     };
-    let o = explore_qlearning(&DotProduct::new(6), &lib, &opts).unwrap();
+    let o = explore_qlearning(&DotProduct::new(6), &lib, &opts);
     if o.stop_reason == axdse_suite::ax_agents::train::StopReason::RewardTarget {
         let total = o.log.total_reward();
         assert!(
