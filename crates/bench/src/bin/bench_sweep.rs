@@ -35,6 +35,14 @@
 //! carries the sync-vs-async evaluations-to-best-score comparison
 //! directly.
 //!
+//! `--pareto` races the same MatMul×FIR grid multi-objectively: an
+//! exhaustive (unbounded) scalarised run fixes the reference front over
+//! (QoR error, op cost), then a Pareto-ranked successive-halving run at
+//! 70 % of the exhaustive evaluation spend must recover it. The appended
+//! record carries both hypervolumes (against the same reference point),
+//! both evaluation counts and the recovered-front fraction — the
+//! hypervolume-vs-evals trajectory of the multi-objective scheduler.
+//!
 //! `--serve` replaces the sweep with a daemon-throughput measurement:
 //! the `ax-serve` campaign daemon is booted in-process on an ephemeral
 //! port, a batch of identical campaigns is pushed through the real HTTP
@@ -64,6 +72,7 @@ struct Config {
     policy: Option<String>,
     exec_compare: bool,
     serve: bool,
+    pareto: bool,
 }
 
 fn parse() -> Result<Config, String> {
@@ -77,6 +86,7 @@ fn parse() -> Result<Config, String> {
         policy: None,
         exec_compare: false,
         serve: false,
+        pareto: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -107,6 +117,7 @@ fn parse() -> Result<Config, String> {
             "--policy" => cfg.policy = Some(take("--policy")?),
             "--exec-compare" => cfg.exec_compare = true,
             "--serve" => cfg.serve = true,
+            "--pareto" => cfg.pareto = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -120,7 +131,8 @@ fn main() {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: bench_sweep [--out FILE] [--seeds N] [--steps N] [--reps N] \
-                 [--spec FILE] [--emit-spec FILE] [--policy P] [--exec-compare] [--serve]"
+                 [--spec FILE] [--emit-spec FILE] [--policy P] [--exec-compare] [--serve] \
+                 [--pareto]"
             );
             std::process::exit(1);
         }
@@ -157,6 +169,11 @@ fn main() {
 
     if cfg.serve {
         append_serve_record(&cfg.out, bench_spec, &wl.name(), seeds, steps);
+        return;
+    }
+
+    if cfg.pareto {
+        append_pareto_record(&cfg.out, steps, seeds);
         return;
     }
 
@@ -386,6 +403,151 @@ fn append_serve_record(out: &str, bench: BenchmarkSpec, bench_name: &str, seeds:
     print!("{}", record.pretty());
     append_bench_record(out, record).expect("append serve record");
     eprintln!("appended serve record to {out}");
+}
+
+/// Races the MatMul×FIR grid multi-objectively: an exhaustive scalarised
+/// run fixes the reference Pareto front over (QoR error, op cost) on the
+/// widened operator library, then a Pareto-ranked successive-halving run
+/// at 70 % of the exhaustive evaluation spend must recover it. Appends
+/// the hypervolume-vs-evals comparison (both hypervolumes are measured
+/// against the exhaustive run's resolved reference point, so they are
+/// directly comparable).
+fn append_pareto_record(out: &str, steps: u64, seeds: u64) {
+    use ax_dse::campaign::{Objective, ObjectiveDecl, Ranking};
+    use ax_dse::pareto::hypervolume;
+
+    // The widened library: two extra variants per operator family keep
+    // the MatMul×FIR fronts from degenerating to two points.
+    let lib = ax_operators::OperatorLibrary::evoapprox_extended();
+    let (matmul, fir) = (
+        ax_workloads::matmul::MatMul::new(10),
+        ax_workloads::fir::Fir::new(100),
+    );
+    // Four agent kinds per benchmark: enough cell diversity for a
+    // non-degenerate (>2-point) front over the widened library.
+    let agents = [
+        AgentKind::QLearning,
+        AgentKind::Sarsa,
+        AgentKind::ExpectedSarsa,
+        AgentKind::DoubleQ,
+    ];
+    let opts = ExploreOptions {
+        max_steps: steps,
+        ..Default::default()
+    };
+    let objectives = vec![
+        ObjectiveDecl::new(Objective::QorError),
+        ObjectiveDecl::new(Objective::OpCost),
+    ];
+    let campaign = |budget: Option<u64>, policy: Option<BudgetPolicy>, ranking: Ranking| {
+        let mut c = Campaign::new("bench-pareto", &lib)
+            .benchmark(&matmul)
+            .benchmark(&fir)
+            .agents(&agents)
+            .seeds(SeedRange::new(0, seeds.min(2)))
+            .options(opts)
+            .objectives(objectives.clone())
+            .ranking(ranking);
+        if let Some(b) = budget {
+            c = c.budget(b);
+        }
+        if let Some(p) = policy {
+            c = c.policy(p);
+        }
+        c.run().expect("pareto campaign must run")
+    };
+
+    let exhaustive = campaign(None, None, Ranking::Scalarised);
+    let exhaustive_evals = exhaustive.budget.spent;
+    let budget = (exhaustive_evals * 70 / 100).max(1);
+    let policed = campaign(
+        Some(budget),
+        Some(BudgetPolicy::SuccessiveHalving {
+            rounds: 2,
+            keep_fraction: 0.5,
+        }),
+        Ranking::Pareto,
+    );
+    let pareto_evals = policed.budget.charged();
+
+    // Recovery: every exhaustive front point must reappear on the
+    // budgeted run's front — same cell, same objective vector.
+    let recovered = exhaustive
+        .pareto
+        .front
+        .iter()
+        .filter(|p| {
+            policed
+                .pareto
+                .front
+                .iter()
+                .any(|q| q.cell == p.cell && q.values == p.values)
+        })
+        .count();
+    let front_points = |report: &ax_dse::campaign::CampaignReport| -> Vec<Vec<f64>> {
+        report
+            .pareto
+            .front
+            .iter()
+            .map(|p| p.values.clone())
+            .collect()
+    };
+    let reference = exhaustive.pareto.reference.clone();
+    let hv_exhaustive = hypervolume(&front_points(&exhaustive), &reference);
+    let hv_pareto = hypervolume(&front_points(&policed), &reference);
+
+    let record = Json::obj(vec![
+        ("benchmark", Json::str("matmul-10x10 x fir-100")),
+        ("kind", Json::str("pareto")),
+        ("library", Json::str("evoapprox-extended")),
+        ("policy", Json::str("halving:2,0.5")),
+        ("objectives", Json::str("qor-error,op-cost")),
+        ("seeds", Json::u64(seeds.min(2))),
+        ("max_steps", Json::u64(steps)),
+        ("threads", Json::u64(rayon::current_num_threads() as u64)),
+        ("exhaustive_evals", Json::u64(exhaustive_evals)),
+        ("pareto_budget", Json::u64(budget)),
+        ("pareto_evals", Json::u64(pareto_evals)),
+        (
+            "evals_fraction",
+            Json::Num(format!(
+                "{:.3}",
+                pareto_evals as f64 / exhaustive_evals.max(1) as f64
+            )),
+        ),
+        (
+            "front_size_exhaustive",
+            Json::u64(exhaustive.pareto.front.len() as u64),
+        ),
+        (
+            "front_size_pareto",
+            Json::u64(policed.pareto.front.len() as u64),
+        ),
+        ("front_recovered", Json::u64(recovered as u64)),
+        (
+            "front_recovered_fraction",
+            Json::Num(format!(
+                "{:.3}",
+                recovered as f64 / exhaustive.pareto.front.len().max(1) as f64
+            )),
+        ),
+        (
+            "hypervolume_exhaustive",
+            Json::Num(format!("{hv_exhaustive:.6}")),
+        ),
+        ("hypervolume_pareto", Json::Num(format!("{hv_pareto:.6}"))),
+    ]);
+    print!("{}", record.pretty());
+    append_bench_record(out, record).expect("append pareto record");
+    eprintln!("appended pareto record to {out}");
+
+    if recovered < exhaustive.pareto.front.len() {
+        eprintln!(
+            "error: budgeted Pareto run recovered {recovered} of {} exhaustive front points",
+            exhaustive.pareto.front.len()
+        );
+        std::process::exit(1);
+    }
 }
 
 /// Races the MatMul×FIR campaign grid under `policy` at 55 % of the

@@ -37,9 +37,12 @@
 //!                         halving:ROUNDS,KEEP | asha:RUNGS,KEEP |
 //!                         hyperband:R1,K1;R2,K2;… — --report-json FILE
 //!                         writes the machine-readable CampaignReport;
-//!                         --trace FILE streams structured events as JSONL
-//!                         and --metrics FILE writes the final metrics
-//!                         snapshot as JSON)
+//!                         --front-json FILE writes the report's Pareto
+//!                         section (front membership, hypervolume,
+//!                         per-objective bests) and fails on an empty
+//!                         front; --trace FILE streams structured events
+//!                         as JSONL and --metrics FILE writes the final
+//!                         metrics snapshot as JSON)
 //!   all                   everything above
 //! ```
 
@@ -74,6 +77,7 @@ struct Args {
     policy: Option<BudgetPolicy>,
     budget: Option<u64>,
     report_json: Option<String>,
+    front_json: Option<String>,
     trace: Option<String>,
     metrics: Option<String>,
     addr: String,
@@ -96,6 +100,7 @@ fn parse_args() -> Result<Args, String> {
     let mut policy = None;
     let mut budget = None;
     let mut report_json = None;
+    let mut front_json = None;
     let mut trace = None;
     let mut metrics = None;
     let mut addr = "127.0.0.1:7878".to_owned();
@@ -158,6 +163,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--report-json" => {
                 report_json = Some(it.next().ok_or("--report-json needs a file")?);
+            }
+            "--front-json" => {
+                front_json = Some(it.next().ok_or("--front-json needs a file")?);
             }
             "--trace" => trace = Some(it.next().ok_or("--trace needs a file")?),
             "--metrics" => metrics = Some(it.next().ok_or("--metrics needs a file")?),
@@ -229,6 +237,7 @@ fn parse_args() -> Result<Args, String> {
         policy,
         budget,
         report_json,
+        front_json,
         trace,
         metrics,
         addr,
@@ -437,7 +446,9 @@ fn run_spec_file(args: &Args) {
             }
         }
     });
-    let lib = OperatorLibrary::evoapprox();
+    // Build the operator library the spec names (defaults to the
+    // six-per-class EvoApprox selection; `evoapprox-extended` widens it).
+    let lib = spec.library.build();
     // --trace/--metrics turn telemetry on; otherwise the campaign runs
     // with the zero-overhead disabled handle.
     let telemetry = if args.trace.is_some() || args.metrics.is_some() {
@@ -471,6 +482,22 @@ fn run_spec_file(args: &Args) {
         std::fs::write(path, report.to_json_string())
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("wrote machine-readable report to {path}");
+    }
+    if let Some(path) = &args.front_json {
+        assert!(
+            !report.pareto.front.is_empty(),
+            "campaign finished with an empty Pareto front"
+        );
+        let doc = report.to_json();
+        let front = doc
+            .get("pareto")
+            .expect("reports always carry a pareto section");
+        std::fs::write(path, front.pretty()).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!(
+            "wrote Pareto front ({} member(s), hypervolume {:.4}) to {path}",
+            report.pareto.front.len(),
+            report.pareto.hypervolume
+        );
     }
     if let (Some(path), Some(cache)) = (&args.cache, &cache) {
         // Concurrent `repro run --cache` processes race on the file:
@@ -508,7 +535,8 @@ fn main() -> ExitCode {
                  repro run <spec.json> [--smoke] [--cache FILE] [--cache-cap N]\n               \
                  [--policy uniform|weighted:S1,S2,..|halving:R,K|asha:R,K|\n                \
                  hyperband:R1,K1;R2,K2;..] [--budget N] [--report-json FILE]\n               \
-                 [--trace EVENTS.jsonl] [--metrics METRICS.json]\n       \
+                 [--front-json FRONT.json] [--trace EVENTS.jsonl]\n               \
+                 [--metrics METRICS.json]\n       \
                  repro serve [--addr HOST:PORT] [--workers N] [--cache FILE]\n               \
                  [--server-budget N] [--max-job-budget N] [--cache-scopes N]\n               \
                  [--reuse-models] [--smoke]"

@@ -243,7 +243,9 @@ impl CellLedger {
 ///
 /// Ranking is deterministic: scores sort descending and ties resolve to
 /// the earlier-recorded cell, so the async schedule replays identically
-/// run to run.
+/// run to run. Cells recorded with [`RungLedger::record_vector`] rank by
+/// non-dominated order over their objective vectors instead (see
+/// [`crate::pareto::rank_order`]) — the Pareto campaign path.
 #[derive(Debug)]
 pub struct RungLedger {
     keep_fraction: f64,
@@ -251,10 +253,12 @@ pub struct RungLedger {
 }
 
 /// One rung's arrivals: `(cell, score)` in record order plus a parallel
-/// promoted flag.
+/// promoted flag and (for Pareto campaigns) the objective vector — empty
+/// for scalar records.
 #[derive(Debug, Default, Clone)]
 struct RungRecords {
     records: Vec<(usize, f64)>,
+    points: Vec<Vec<f64>>,
     promoted: Vec<bool>,
 }
 
@@ -289,12 +293,26 @@ impl RungLedger {
     /// Panics on an out-of-range rung or a cell already recorded there —
     /// a cell passes each rung once.
     pub fn record(&mut self, rung: usize, cell: usize, score: f64) {
+        self.record_vector(rung, cell, score, Vec::new());
+    }
+
+    /// Records `cell` finishing `rung` with an objective vector (and the
+    /// legacy scalar, kept for reports). Once a rung holds vector records
+    /// its promotion ranking switches from scalar-descending to
+    /// non-dominated order with crowding tie-breaks; a campaign uses one
+    /// form consistently, never mixed within a rung.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range rung or a cell already recorded there.
+    pub fn record_vector(&mut self, rung: usize, cell: usize, score: f64, point: Vec<f64>) {
         let r = &mut self.rungs[rung];
         assert!(
             r.records.iter().all(|&(c, _)| c != cell),
             "cell {cell} already recorded on rung {rung}"
         );
         r.records.push((cell, score));
+        r.points.push(point);
         r.promoted.push(false);
     }
 
@@ -324,10 +342,17 @@ impl RungLedger {
             return Vec::new();
         }
         let keep = ((n as f64 * self.keep_fraction).ceil() as usize).clamp(1, n);
-        // Rank record indices by score descending; the stable sort keeps
-        // earlier arrivals ahead on ties.
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| r.records[b].1.total_cmp(&r.records[a].1));
+        // Rank record indices best-first. Scalar rungs sort by score
+        // descending (the stable sort keeps earlier arrivals ahead on
+        // ties); vector rungs use non-dominated order with the same
+        // arrival-index tie-break baked into `rank_order`.
+        let order: Vec<usize> = if r.points.iter().all(|p| !p.is_empty()) {
+            crate::pareto::rank_order(&r.points)
+        } else {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| r.records[b].1.total_cmp(&r.records[a].1));
+            order
+        };
         let mut fresh = Vec::new();
         for &i in order.iter().take(keep) {
             if !r.promoted[i] {
@@ -706,6 +731,32 @@ mod tests {
         ledger.record(0, 3, 1.0);
         // keep = 1: the earlier-recorded cell wins the tie.
         assert_eq!(ledger.newly_promotable(0), vec![7]);
+    }
+
+    #[test]
+    fn rung_ledger_vector_records_promote_the_front_first() {
+        let mut ledger = RungLedger::new(1, 0.5);
+        // A dominated cell arrives first and promotes optimistically.
+        ledger.record_vector(0, 0, 9.0, vec![5.0, 5.0]);
+        assert_eq!(ledger.newly_promotable(0), vec![0]);
+        // Two non-dominated cells and one worse cell arrive; keep grows
+        // to ceil(0.5 * 4) = 2 and the *front* cells surface — despite
+        // cell 0 and cell 3 carrying the higher scalar scores.
+        ledger.record_vector(0, 1, 0.5, vec![1.0, 4.0]);
+        ledger.record_vector(0, 2, 0.4, vec![4.0, 1.0]);
+        ledger.record_vector(0, 3, 8.0, vec![6.0, 6.0]);
+        assert_eq!(ledger.newly_promotable(0), vec![1, 2]);
+        // The scalar accessor still reports the recorded score.
+        assert_eq!(ledger.score(0, 3), Some(8.0));
+    }
+
+    #[test]
+    fn rung_ledger_vector_ties_break_by_arrival_order() {
+        let mut ledger = RungLedger::new(1, 0.5);
+        ledger.record_vector(0, 4, 1.0, vec![2.0, 2.0]);
+        ledger.record_vector(0, 1, 1.0, vec![2.0, 2.0]);
+        // keep = 1: identical vectors, the earlier record wins.
+        assert_eq!(ledger.newly_promotable(0), vec![4]);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use crate::explore::{
     explore_backend, AgentKind, ExplorationOutcome, ExploreOptions, ResumableExploration,
 };
 use crate::json::Json;
+use crate::pareto::{self, DesignObjectives, Objective, ObjectiveDecl, Ranking};
 use crate::sweep::{summarize_outcomes, PortfolioEntry, PortfolioOutcome, SweepSummary};
 use ax_agents::train::StopReason;
 use ax_operators::OperatorLibrary;
@@ -226,6 +227,10 @@ where
 pub struct CellReport {
     /// Benchmark name.
     pub benchmark: String,
+    /// The benchmark input seed of this cell, when the campaign swept an
+    /// explicit `input_seeds` axis (`None` for the implicit default seed,
+    /// keeping single-seed reports byte-identical).
+    pub input_seed: Option<u64>,
     /// The learning algorithm.
     pub agent: AgentKind,
     /// Aggregated sweep summary over the cell's seeds.
@@ -277,6 +282,9 @@ impl BudgetReport {
 pub struct CellAllocation {
     /// Benchmark name.
     pub benchmark: String,
+    /// The cell's benchmark input seed when an explicit `input_seeds`
+    /// axis was swept (`None` otherwise).
+    pub input_seed: Option<u64>,
     /// The learning algorithm.
     pub agent: AgentKind,
     /// Budget units granted to this cell *this round* (0 for eliminated
@@ -315,6 +323,49 @@ impl AllocationReport {
     }
 }
 
+/// One cell on the campaign's final non-dominated front.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// Grid cell index (benchmark-major).
+    pub cell: usize,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// The cell's benchmark input seed when an explicit `input_seeds`
+    /// axis was swept (`None` otherwise).
+    pub input_seed: Option<u64>,
+    /// The learning algorithm.
+    pub agent: AgentKind,
+    /// The cell's objective vector, one value per declared objective in
+    /// declaration order (all minimised).
+    pub values: Vec<f64>,
+    /// The legacy scalar solution score of the same best design.
+    pub score: f64,
+}
+
+/// The campaign's multi-objective summary: the final non-dominated front
+/// over the grid cells' objective vectors, its hypervolume against the
+/// resolved reference point, and the per-objective bests.
+///
+/// Always computed — scalarised campaigns report it too (the ranking
+/// field records which ordering actually drove survival decisions), so
+/// every report exposes the front without re-running the campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParetoReport {
+    /// The ranking that drove scheduler survival decisions.
+    pub ranking: Ranking,
+    /// The declared objectives, in vector order.
+    pub objectives: Vec<ObjectiveDecl>,
+    /// The resolved hypervolume reference point (declared coordinates
+    /// verbatim, derived ones from the worst observed values).
+    pub reference: Vec<f64>,
+    /// Cells on the non-dominated front (rank 0), in cell order.
+    pub front: Vec<ParetoPoint>,
+    /// Hypervolume of the front against `reference` (minimisation).
+    pub hypervolume: f64,
+    /// The best (smallest) observed value of each objective.
+    pub best: Vec<f64>,
+}
+
 /// The campaign's telemetry roll-up, present when the campaign ran with
 /// an enabled [`Telemetry`] handle.
 #[derive(Debug, Clone)]
@@ -349,6 +400,9 @@ pub struct CampaignReport {
     pub allocations: Vec<AllocationReport>,
     /// Tier usage summed across every run (`None` for exact campaigns).
     pub tier: Option<TieredStats>,
+    /// The multi-objective summary: final front, hypervolume and
+    /// per-objective bests (always computed, whatever the ranking).
+    pub pareto: ParetoReport,
     /// Telemetry roll-up (`None` when the campaign ran without an enabled
     /// [`Telemetry`] handle — the default).
     pub telemetry: Option<TelemetrySummary>,
@@ -474,8 +528,11 @@ impl CampaignReport {
             .iter()
             .map(|c| {
                 let s = &c.summary;
-                Json::obj(vec![
-                    ("benchmark", Json::str(&c.benchmark)),
+                let mut fields = vec![("benchmark", Json::str(&c.benchmark))];
+                if let Some(iseed) = c.input_seed {
+                    fields.push(("input_seed", Json::u64(iseed)));
+                }
+                fields.extend(vec![
                     ("agent", Json::str(c.agent.name())),
                     ("seeds", Json::u64(s.seeds)),
                     ("reached_target", Json::u64(s.reached_target)),
@@ -488,15 +545,19 @@ impl CampaignReport {
                     ("stopped_runs", Json::u64(c.stopped_runs)),
                     ("best_score", Json::f64(c.best_score)),
                     ("tier", tier(&c.tier)),
-                ])
+                ]);
+                Json::obj(fields)
             })
             .collect();
         let portfolios = self
             .portfolios
             .iter()
             .map(|p| {
-                Json::obj(vec![
-                    ("benchmark", Json::str(&p.benchmark)),
+                let mut fields = vec![("benchmark", Json::str(&p.benchmark))];
+                if let Some(iseed) = p.input_seed {
+                    fields.push(("input_seed", Json::u64(iseed)));
+                }
+                fields.extend(vec![
                     ("best", Json::u64(p.best as u64)),
                     ("shared_distinct", Json::u64(p.shared_distinct)),
                     (
@@ -509,6 +570,8 @@ impl CampaignReport {
                                         ("agent", Json::str(e.kind.name())),
                                         ("seed", Json::u64(e.seed)),
                                         ("score", Json::f64(e.score)),
+                                        ("qor_error", Json::f64(e.qor_error)),
+                                        ("op_cost", Json::f64(e.op_cost)),
                                         ("feasible", Json::Bool(e.feasible)),
                                         ("stop_reason", Json::str(format!("{:?}", e.stop_reason))),
                                         ("steps", Json::u64(e.summary.steps)),
@@ -518,7 +581,8 @@ impl CampaignReport {
                                 .collect(),
                         ),
                     ),
-                ])
+                ]);
+                Json::obj(fields)
             })
             .collect();
         let allocations = self
@@ -534,14 +598,18 @@ impl CampaignReport {
                             a.cells
                                 .iter()
                                 .map(|c| {
-                                    Json::obj(vec![
-                                        ("benchmark", Json::str(&c.benchmark)),
+                                    let mut fields = vec![("benchmark", Json::str(&c.benchmark))];
+                                    if let Some(iseed) = c.input_seed {
+                                        fields.push(("input_seed", Json::u64(iseed)));
+                                    }
+                                    fields.extend(vec![
                                         ("agent", Json::str(c.agent.name())),
                                         ("granted", Json::u64(c.granted)),
                                         ("spent", Json::u64(c.spent)),
                                         ("best_score", Json::f64(c.best_score)),
                                         ("survived", Json::Bool(c.survived)),
-                                    ])
+                                    ]);
+                                    Json::obj(fields)
                                 })
                                 .collect(),
                         ),
@@ -549,7 +617,63 @@ impl CampaignReport {
                 ])
             })
             .collect();
+        let front = self
+            .pareto
+            .front
+            .iter()
+            .map(|p| {
+                let mut fields = vec![
+                    ("cell", Json::u64(p.cell as u64)),
+                    ("benchmark", Json::str(&p.benchmark)),
+                ];
+                if let Some(iseed) = p.input_seed {
+                    fields.push(("input_seed", Json::u64(iseed)));
+                }
+                fields.extend(vec![
+                    ("agent", Json::str(p.agent.name())),
+                    (
+                        "values",
+                        Json::Arr(p.values.iter().map(|&v| Json::f64(v)).collect()),
+                    ),
+                    ("score", Json::f64(p.score)),
+                ]);
+                Json::obj(fields)
+            })
+            .collect();
+        let pareto = Json::obj(vec![
+            ("ranking", Json::str(self.pareto.ranking.name())),
+            (
+                "objectives",
+                Json::Arr(
+                    self.pareto
+                        .objectives
+                        .iter()
+                        .map(|&o| crate::campaign::spec::objective_to_json(o))
+                        .collect(),
+                ),
+            ),
+            (
+                "reference",
+                Json::Arr(
+                    self.pareto
+                        .reference
+                        .iter()
+                        .map(|&v| Json::f64(v))
+                        .collect(),
+                ),
+            ),
+            ("front", Json::Arr(front)),
+            ("hypervolume", Json::f64(self.pareto.hypervolume)),
+            (
+                "best",
+                Json::Arr(self.pareto.best.iter().map(|&v| Json::f64(v)).collect()),
+            ),
+        ]);
         Json::obj(vec![
+            // Schema tag: lets byte-parity checks (serve vs. local repro)
+            // distinguish deliberate schema growth from drift. Bump when
+            // the document shape changes.
+            ("report_version", Json::u64(2)),
             ("name", Json::str(&self.name)),
             ("cells", Json::Arr(cells)),
             ("portfolios", Json::Arr(portfolios)),
@@ -564,6 +688,7 @@ impl CampaignReport {
             ),
             ("allocations", Json::Arr(allocations)),
             ("tier", tier(&self.tier)),
+            ("pareto", pareto),
             (
                 "telemetry",
                 match &self.telemetry {
@@ -631,9 +756,15 @@ pub struct Campaign<'a> {
     benchmarks: Vec<&'a dyn Workload>,
     agents: Vec<AgentKind>,
     seeds: SeedRange,
+    /// Explicit benchmark input seeds — a grid axis like benchmarks and
+    /// agents. Empty means the single implicit seed from
+    /// `opts.input_seed` (the pre-multi-seed behaviour, byte-identical).
+    input_seeds: Vec<u64>,
     opts: ExploreOptions,
     budget: Option<u64>,
     policy: BudgetPolicy,
+    objectives: Vec<ObjectiveDecl>,
+    ranking: Ranking,
     sequential: bool,
     cache: Option<Arc<SharedCache>>,
     observer: &'a dyn Observer,
@@ -656,9 +787,12 @@ impl<'a> Campaign<'a> {
             benchmarks: Vec::new(),
             agents: Vec::new(),
             seeds: SeedRange::default(),
+            input_seeds: Vec::new(),
             opts: ExploreOptions::default(),
             budget: None,
             policy: BudgetPolicy::Uniform,
+            objectives: ObjectiveDecl::default_set(),
+            ranking: Ranking::Scalarised,
             sequential: false,
             cache: None,
             observer: &NullObserver,
@@ -692,7 +826,10 @@ impl<'a> Campaign<'a> {
         campaign = campaign
             .options(spec.explore)
             .policy(spec.policy.clone())
+            .objectives(spec.objectives.clone())
+            .ranking(spec.ranking)
             .sequential(spec.parallelism == Some(1));
+        campaign.input_seeds = spec.input_seeds.clone();
         campaign.budget = spec.budget;
         for wl in workloads {
             campaign = campaign.benchmark(wl.as_ref());
@@ -725,6 +862,35 @@ impl<'a> Campaign<'a> {
     #[must_use]
     pub fn seeds(mut self, seeds: SeedRange) -> Self {
         self.seeds = seeds;
+        self
+    }
+
+    /// Adds an explicit benchmark input seed — a grid axis like
+    /// benchmarks and agents, so each added seed multiplies the cell
+    /// count. With no explicit seed the campaign uses the single
+    /// implicit `opts.input_seed` (byte-identical to pre-axis
+    /// campaigns) and reports omit the `input_seed` labels.
+    #[must_use]
+    pub fn input_seed(mut self, input_seed: u64) -> Self {
+        self.input_seeds.push(input_seed);
+        self
+    }
+
+    /// Sets the objective vector survival rankings and reports use
+    /// (default: QoR error, op cost, evaluation count).
+    #[must_use]
+    pub fn objectives(mut self, objectives: Vec<ObjectiveDecl>) -> Self {
+        self.objectives = objectives;
+        self
+    }
+
+    /// Sets how schedulers order cells for survival (default:
+    /// [`Ranking::Scalarised`] — byte-identical to pre-multi-objective
+    /// campaigns; [`Ranking::Pareto`] switches halving/ASHA/Hyperband
+    /// eliminations to non-dominated sorting with crowding tie-breaks).
+    #[must_use]
+    pub fn ranking(mut self, ranking: Ranking) -> Self {
+        self.ranking = ranking;
         self
     }
 
@@ -896,7 +1062,20 @@ impl<'a> Campaign<'a> {
             "portfolio needs at least one agent"
         );
         assert!(self.seeds.count > 0, "need at least one seed");
-        let n_cells = self.benchmarks.len() * self.agents.len();
+        assert!(
+            !self.objectives.is_empty(),
+            "campaign needs at least one objective"
+        );
+        // The input-seed axis: explicit seeds multiply the grid; the
+        // empty default collapses to the single implicit seed, keeping
+        // every pre-axis campaign byte-identical.
+        let input_seeds: Vec<u64> = if self.input_seeds.is_empty() {
+            vec![self.opts.input_seed]
+        } else {
+            self.input_seeds.clone()
+        };
+        let explicit_seeds = !self.input_seeds.is_empty();
+        let n_cells = self.benchmarks.len() * input_seeds.len() * self.agents.len();
         self.policy
             .check(n_cells, self.budget)
             .unwrap_or_else(|e| panic!("{e}"));
@@ -912,20 +1091,25 @@ impl<'a> Campaign<'a> {
         let lib = Arc::new(self.lib.clone());
         let cache = self.cache.clone().unwrap_or_else(SharedCache::new);
 
-        let mut contexts = Vec::with_capacity(self.benchmarks.len());
+        // One context per (benchmark, input seed) pair, benchmark-major —
+        // with the implicit single-seed default this is exactly the old
+        // one-context-per-benchmark loop.
+        let mut contexts = Vec::with_capacity(self.benchmarks.len() * input_seeds.len());
         for workload in &self.benchmarks {
-            let ctx = EvalContext::with_cache(
-                *workload,
-                Arc::clone(&lib),
-                self.opts.input_seed,
-                Arc::clone(&cache),
-            )?
-            .with_telemetry(&self.telemetry);
-            self.observer.on_benchmark_ready(ctx.benchmark());
-            self.emit(SOURCE_COORDINATOR, || EventKind::BenchmarkReady {
-                benchmark: ctx.benchmark().to_owned(),
-            });
-            contexts.push(ctx);
+            for &iseed in &input_seeds {
+                let ctx = EvalContext::with_cache(
+                    *workload,
+                    Arc::clone(&lib),
+                    iseed,
+                    Arc::clone(&cache),
+                )?
+                .with_telemetry(&self.telemetry);
+                self.observer.on_benchmark_ready(ctx.benchmark());
+                self.emit(SOURCE_COORDINATOR, || EventKind::BenchmarkReady {
+                    benchmark: ctx.benchmark().to_owned(),
+                });
+                contexts.push(ctx);
+            }
         }
         let shared: Vec<P::Shared> = contexts.iter().map(|c| provider.prepare(c)).collect();
 
@@ -940,7 +1124,11 @@ impl<'a> Campaign<'a> {
             for (a, &kind) in self.agents.iter().enumerate() {
                 let cell = b * self.agents.len() + a;
                 for seed in self.seeds.iter() {
-                    let run_opts = ExploreOptions { seed, ..self.opts };
+                    let run_opts = ExploreOptions {
+                        seed,
+                        input_seed: ctx.input_seed(),
+                        ..self.opts
+                    };
                     let mut budgets = vec![Arc::clone(ledger.cell(cell)), Arc::clone(&global)];
                     budgets.extend(self.extra_budgets.iter().cloned());
                     let backend =
@@ -958,7 +1146,7 @@ impl<'a> Campaign<'a> {
         }
 
         let mut alive = vec![true; n_cells];
-        let mut cell_best = vec![f64::NEG_INFINITY; n_cells];
+        let mut cell_best = vec![DesignObjectives::none(); n_cells];
         let mut allocations: Vec<AllocationReport> = Vec::new();
         match &self.policy {
             BudgetPolicy::AsyncHalving {
@@ -1060,16 +1248,17 @@ impl<'a> Campaign<'a> {
         let outcomes: Vec<ExplorationOutcome<MeteredBackend<P::Backend>>> =
             slots.into_iter().map(|s| s.run.finish(self.lib)).collect();
 
-        // Aggregate the grid back into cells and per-benchmark portfolios.
+        // Aggregate the grid back into cells and per-context (benchmark ×
+        // input seed) portfolios.
         let seeds_per_cell = self.seeds.count as usize;
-        let runs_per_bench = self.agents.len() * seeds_per_cell;
+        let runs_per_ctx = self.agents.len() * seeds_per_cell;
         let mut cells = Vec::with_capacity(n_cells);
-        let mut portfolios = Vec::with_capacity(self.benchmarks.len());
+        let mut portfolios = Vec::with_capacity(contexts.len());
         let mut tier_total: Option<TieredStats> = None;
         let mut total_stopped = 0u64;
         for (b, ctx) in contexts.iter().enumerate() {
-            let bench_outcomes = &outcomes[b * runs_per_bench..(b + 1) * runs_per_bench];
-            let mut entries = Vec::with_capacity(runs_per_bench);
+            let bench_outcomes = &outcomes[b * runs_per_ctx..(b + 1) * runs_per_ctx];
+            let mut entries = Vec::with_capacity(runs_per_ctx);
             for (a, &kind) in self.agents.iter().enumerate() {
                 let cell = &bench_outcomes[a * seeds_per_cell..(a + 1) * seeds_per_cell];
                 let summary = summarize_outcomes(ctx.benchmark().to_owned(), cell);
@@ -1099,6 +1288,7 @@ impl<'a> Campaign<'a> {
                 }
                 cells.push(CellReport {
                     benchmark: ctx.benchmark().to_owned(),
+                    input_seed: explicit_seeds.then(|| ctx.input_seed()),
                     agent: kind,
                     summary,
                     tier,
@@ -1106,7 +1296,7 @@ impl<'a> Campaign<'a> {
                     stopped_runs: stopped,
                     // The rounds loop accumulated the lifetime maximum; no
                     // run advances after its last resume.
-                    best_score: cell_best[b * self.agents.len() + a],
+                    best_score: cell_best[b * self.agents.len() + a].score,
                 });
             }
             let mut best = 0;
@@ -1117,11 +1307,53 @@ impl<'a> Campaign<'a> {
             }
             portfolios.push(PortfolioOutcome {
                 benchmark: ctx.benchmark().to_owned(),
+                input_seed: explicit_seeds.then(|| ctx.input_seed()),
                 entries,
                 best,
                 shared_distinct: cache.scope_len(ctx.benchmark(), ctx.input_seed()) as u64,
             });
         }
+
+        // The multi-objective summary over the final per-cell bests —
+        // computed for every ranking, so scalarised reports expose the
+        // front too.
+        let points: Vec<Vec<f64>> = (0..n_cells)
+            .map(|c| self.objective_point(&cell_best[c], ledger.cell(c).spent()))
+            .collect();
+        let ranks = pareto::non_dominated_ranks(&points);
+        let reference = self.resolve_references(&points);
+        let hypervolume = pareto::hypervolume(&points, &reference);
+        let front: Vec<ParetoPoint> = (0..n_cells)
+            .filter(|&c| ranks[c] == 0)
+            .map(|c| {
+                let ctx = &contexts[c / self.agents.len()];
+                ParetoPoint {
+                    cell: c,
+                    benchmark: ctx.benchmark().to_owned(),
+                    input_seed: explicit_seeds.then(|| ctx.input_seed()),
+                    agent: self.agents[c % self.agents.len()],
+                    values: points[c].clone(),
+                    score: cell_best[c].score,
+                }
+            })
+            .collect();
+        let best_coords: Vec<f64> = (0..self.objectives.len())
+            .map(|m| points.iter().map(|p| p[m]).fold(f64::INFINITY, f64::min))
+            .collect();
+        if self.ranking == Ranking::Pareto {
+            self.emit(SOURCE_COORDINATOR, || EventKind::ParetoFront {
+                front_size: front.len() as u64,
+                hypervolume,
+            });
+        }
+        let pareto_summary = ParetoReport {
+            ranking: self.ranking,
+            objectives: self.objectives.clone(),
+            reference,
+            front,
+            hypervolume,
+            best: best_coords,
+        };
 
         self.emit(SOURCE_COORDINATOR, || EventKind::CampaignComplete {
             spent: global.spent_clamped(),
@@ -1176,10 +1408,36 @@ impl<'a> Campaign<'a> {
             },
             allocations,
             tier: tier_total,
+            pareto: pareto_summary,
             telemetry,
         };
         self.observer.on_campaign_complete(&report);
         Ok(report)
+    }
+
+    /// The objective vector of one cell, in declaration order (all
+    /// minimised): per-design coordinates from the cell's best design,
+    /// the evaluation count from the cell's budget ledger.
+    fn objective_point(&self, best: &DesignObjectives, evals: u64) -> Vec<f64> {
+        self.objectives
+            .iter()
+            .map(|o| match o.kind {
+                Objective::QorError => best.qor_error,
+                Objective::OpCost => best.op_cost,
+                Objective::Evals => evals as f64,
+            })
+            .collect()
+    }
+
+    /// Resolves the hypervolume reference point: declared coordinates
+    /// verbatim, the rest derived from the worst observed values (see
+    /// [`pareto::resolve_reference`]).
+    fn resolve_references(&self, points: &[Vec<f64>]) -> Vec<f64> {
+        self.objectives
+            .iter()
+            .enumerate()
+            .map(|(m, o)| pareto::resolve_reference(o.reference, points.iter().map(|p| p[m])))
+            .collect()
     }
 
     /// One resume pass over every incomplete run of a `runnable` cell:
@@ -1304,7 +1562,7 @@ impl<'a> Campaign<'a> {
         bracket: u32,
         future_rounds: u32,
         alive: &mut [bool],
-        cell_best: &mut [f64],
+        cell_best: &mut [DesignObjectives],
         allocations: &mut Vec<AllocationReport>,
     ) {
         let n_cells = ledger.len();
@@ -1363,18 +1621,45 @@ impl<'a> Campaign<'a> {
                 self.resume_runnable(slots, ledger, global, &|c| alive_ref[c]);
             }
 
-            // Rank the surviving cells by their best design's solution
-            // score and keep the top `keep_fraction` (never after the
-            // final round; at least one cell always survives). The
-            // campaign-lifetime maxima accumulate across rounds and feed
-            // the final cell reports too.
+            // Rank the surviving cells — by their best design's solution
+            // score (scalarised) or by non-dominated order over their
+            // objective vectors (Pareto) — and keep the top
+            // `keep_fraction` (never after the final round; at least one
+            // cell always survives). The campaign-lifetime bests
+            // accumulate across rounds and feed the final cell reports
+            // too.
             for slot in slots.iter_mut() {
-                cell_best[slot.cell] = cell_best[slot.cell].max(slot.run.best_score());
+                cell_best[slot.cell].fold(slot.run.best_objectives());
             }
             if round + 1 < rounds {
                 let mut ranked = alive_cells.clone();
-                // Stable sort: ties keep the earlier (lower-index) cell.
-                ranked.sort_by(|&a, &b| cell_best[b].total_cmp(&cell_best[a]));
+                match self.ranking {
+                    Ranking::Scalarised => {
+                        // Stable sort: ties keep the earlier (lower-index)
+                        // cell.
+                        ranked.sort_by(|&a, &b| cell_best[b].score.total_cmp(&cell_best[a].score));
+                    }
+                    Ranking::Pareto => {
+                        let points: Vec<Vec<f64>> = alive_cells
+                            .iter()
+                            .map(|&c| self.objective_point(&cell_best[c], ledger.cell(c).spent()))
+                            .collect();
+                        ranked = pareto::rank_order(&points)
+                            .into_iter()
+                            .map(|i| alive_cells[i])
+                            .collect();
+                        self.emit(SOURCE_COORDINATOR, || {
+                            let fronts = pareto::non_dominated_ranks(&points);
+                            EventKind::ParetoFront {
+                                front_size: fronts.iter().filter(|&&r| r == 0).count() as u64,
+                                hypervolume: pareto::hypervolume(
+                                    &points,
+                                    &self.resolve_references(&points),
+                                ),
+                            }
+                        });
+                    }
+                }
                 let keep =
                     ((ranked.len() as f64 * keep_fraction).ceil() as usize).clamp(1, ranked.len());
                 for &cell in &ranked[keep..] {
@@ -1395,13 +1680,18 @@ impl<'a> Campaign<'a> {
                     round: round as u32,
                     bracket,
                     cells: (0..n_cells)
-                        .map(|c| CellAllocation {
-                            benchmark: contexts[c / self.agents.len()].benchmark().to_owned(),
-                            agent: self.agents[c % self.agents.len()],
-                            granted: granted[c],
-                            spent: ledger.cell(c).spent(),
-                            best_score: cell_best[c],
-                            survived: alive[c],
+                        .map(|c| {
+                            let ctx = &contexts[c / self.agents.len()];
+                            CellAllocation {
+                                benchmark: ctx.benchmark().to_owned(),
+                                input_seed: (!self.input_seeds.is_empty())
+                                    .then(|| ctx.input_seed()),
+                                agent: self.agents[c % self.agents.len()],
+                                granted: granted[c],
+                                spent: ledger.cell(c).spent(),
+                                best_score: cell_best[c].score,
+                                survived: alive[c],
+                            }
                         })
                         .collect(),
                 });
@@ -1437,7 +1727,7 @@ impl<'a> Campaign<'a> {
         rungs: usize,
         keep_fraction: f64,
         alive: &mut [bool],
-        cell_best: &mut [f64],
+        cell_best: &mut [DesignObjectives],
         allocations: &mut Vec<AllocationReport>,
     ) {
         #[derive(Clone, Copy, PartialEq, Eq)]
@@ -1498,7 +1788,7 @@ impl<'a> Campaign<'a> {
                 self.resume_runnable(slots, ledger, global, &|c| phase_ref[c] == Phase::Running);
             }
             for slot in slots.iter_mut() {
-                cell_best[slot.cell] = cell_best[slot.cell].max(slot.run.best_score());
+                cell_best[slot.cell].fold(slot.run.best_objectives());
             }
             // After a resume pass every incomplete run of a running cell
             // is budget-paused, so each running cell sits at its rung
@@ -1513,15 +1803,25 @@ impl<'a> Campaign<'a> {
                 if phase[c] != Phase::Running {
                     continue;
                 }
-                rung_ledger.record(rung[c], c, cell_best[c]);
+                match self.ranking {
+                    // The scalar path records through the original entry
+                    // point, so scalarised ASHA stays byte-identical.
+                    Ranking::Scalarised => rung_ledger.record(rung[c], c, cell_best[c].score),
+                    Ranking::Pareto => rung_ledger.record_vector(
+                        rung[c],
+                        c,
+                        cell_best[c].score,
+                        self.objective_point(&cell_best[c], ledger.cell(c).spent()),
+                    ),
+                }
                 self.telemetry.counter_add("rung.records", 1);
                 self.emit(SOURCE_COORDINATOR, || EventKind::RungRecorded {
                     cell: c as u64,
                     rung: rung[c] as u64,
-                    score: cell_best[c],
+                    score: cell_best[c].score,
                 });
                 spent_at[c][rung[c]] = Some(ledger.cell(c).spent());
-                score_at[c][rung[c]] = Some(cell_best[c]);
+                score_at[c][rung[c]] = Some(cell_best[c].score);
                 if cell_done[c] {
                     // Finishing all runs naturally clears the rung.
                     survived[c][rung[c]] = true;
@@ -1611,13 +1911,17 @@ impl<'a> Campaign<'a> {
                 round: r as u32,
                 bracket: 0,
                 cells: (0..n_cells)
-                    .map(|c| CellAllocation {
-                        benchmark: contexts[c / self.agents.len()].benchmark().to_owned(),
-                        agent: self.agents[c % self.agents.len()],
-                        granted: granted[c][r],
-                        spent: spent_at[c][r].unwrap_or_else(|| ledger.cell(c).spent()),
-                        best_score: score_at[c][r].unwrap_or(cell_best[c]),
-                        survived: survived[c][r],
+                    .map(|c| {
+                        let ctx = &contexts[c / self.agents.len()];
+                        CellAllocation {
+                            benchmark: ctx.benchmark().to_owned(),
+                            input_seed: (!self.input_seeds.is_empty()).then(|| ctx.input_seed()),
+                            agent: self.agents[c % self.agents.len()],
+                            granted: granted[c][r],
+                            spent: spent_at[c][r].unwrap_or_else(|| ledger.cell(c).spent()),
+                            best_score: score_at[c][r].unwrap_or(cell_best[c].score),
+                            survived: survived[c][r],
+                        }
                     })
                     .collect(),
             });
@@ -1663,6 +1967,8 @@ fn portfolio_entry<B: EvalBackend>(
         distinct_configs: outcome.distinct_configs,
         feasible,
         score,
+        qor_error: m.delta_acc,
+        op_cost: m.power,
     }
 }
 
@@ -2211,6 +2517,145 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(from_spec.cells[0].summary, by_hand.cells[0].summary);
+    }
+
+    #[test]
+    fn input_seeds_axis_expands_the_grid_and_labels_reports() {
+        let l = lib();
+        let wl = DotProduct::new(8);
+        let report = Campaign::new("iseeds", &l)
+            .benchmark(&wl)
+            .agent(AgentKind::QLearning)
+            .input_seed(42)
+            .input_seed(43)
+            .options(quick_opts(100))
+            .run()
+            .unwrap();
+        assert_eq!(report.cells.len(), 2, "one cell per input seed");
+        assert_eq!(report.portfolios.len(), 2);
+        assert_eq!(report.cells[0].input_seed, Some(42));
+        assert_eq!(report.cells[1].input_seed, Some(43));
+        assert_eq!(report.portfolios[1].input_seed, Some(43));
+        // The implicit default path carries no label — and the explicit
+        // cell for the default seed (42) reproduces it bit for bit.
+        let default = Campaign::new("iseeds-default", &l)
+            .benchmark(&wl)
+            .agent(AgentKind::QLearning)
+            .options(quick_opts(100))
+            .run()
+            .unwrap();
+        assert_eq!(default.cells[0].input_seed, None);
+        assert_eq!(default.portfolios[0].input_seed, None);
+        assert_eq!(report.cells[0].summary, default.cells[0].summary);
+    }
+
+    #[test]
+    fn every_report_carries_the_pareto_section() {
+        let l = lib();
+        let wl = DotProduct::new(8);
+        let report = Campaign::new("front", &l)
+            .benchmark(&wl)
+            .agents(&[AgentKind::QLearning, AgentKind::Sarsa])
+            .options(quick_opts(120))
+            .run()
+            .unwrap();
+        let p = &report.pareto;
+        assert_eq!(p.ranking, Ranking::Scalarised, "the default ranking");
+        assert_eq!(p.objectives, ObjectiveDecl::default_set());
+        assert!(!p.front.is_empty(), "a finished grid always has a front");
+        assert!(p.hypervolume.is_finite() && p.hypervolume >= 0.0);
+        assert_eq!(p.reference.len(), p.objectives.len());
+        for a in &p.front {
+            assert_eq!(a.values.len(), p.objectives.len());
+            for b in &p.front {
+                assert!(
+                    !pareto::dominates(&a.values, &b.values),
+                    "front members must not dominate each other"
+                );
+            }
+        }
+        let doc = report.to_json();
+        assert_eq!(doc.get("report_version").unwrap().as_u64().unwrap(), 2);
+        let front = doc
+            .get("pareto")
+            .unwrap()
+            .get("front")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(front.len(), p.front.len());
+        assert!(doc.get("pareto").unwrap().get("hypervolume").is_some());
+    }
+
+    #[test]
+    fn pareto_ranked_halving_survives_by_front_membership() {
+        let l = lib();
+        let (wa, wb) = (MatMul::new(4), DotProduct::new(8));
+        let run = || {
+            Campaign::new("pareto-halving", &l)
+                .benchmark(&wa)
+                .benchmark(&wb)
+                .agents(&[AgentKind::QLearning, AgentKind::Sarsa])
+                .options(quick_opts(5_000))
+                .budget(120)
+                .policy(BudgetPolicy::SuccessiveHalving {
+                    rounds: 2,
+                    keep_fraction: 0.5,
+                })
+                .ranking(Ranking::Pareto)
+                .objectives(vec![
+                    ObjectiveDecl::new(Objective::QorError),
+                    ObjectiveDecl::new(Objective::OpCost),
+                ])
+                .run()
+                .unwrap()
+        };
+        let report = run();
+        assert_eq!(report.pareto.ranking, Ranking::Pareto);
+        assert_eq!(report.pareto.reference.len(), 2);
+        assert_eq!(report.allocations.len(), 2);
+        assert_eq!(
+            report.allocations[0].survivors(),
+            2,
+            "keep 0.5 halves four cells under the Pareto order too"
+        );
+        assert!(!report.pareto.front.is_empty());
+        // The Pareto schedule replays deterministically.
+        let again = run();
+        for (ra, rb) in report.allocations.iter().zip(&again.allocations) {
+            for (ca, cb) in ra.cells.iter().zip(&rb.cells) {
+                assert_eq!(ca.survived, cb.survived);
+                assert_eq!(ca.granted, cb.granted);
+            }
+        }
+        assert_eq!(report.pareto.front.len(), again.pareto.front.len());
+    }
+
+    #[test]
+    fn pareto_ranked_asha_promotes_front_cells() {
+        let l = lib();
+        let (wa, wb) = (MatMul::new(4), DotProduct::new(8));
+        let report = Campaign::new("pareto-asha", &l)
+            .benchmark(&wa)
+            .benchmark(&wb)
+            .agents(&[AgentKind::QLearning, AgentKind::Sarsa])
+            .options(quick_opts(5_000))
+            .budget(120)
+            .policy(BudgetPolicy::AsyncHalving {
+                rungs: 2,
+                keep_fraction: 0.5,
+            })
+            .ranking(Ranking::Pareto)
+            .objectives(vec![
+                ObjectiveDecl::new(Objective::QorError),
+                ObjectiveDecl::new(Objective::OpCost),
+            ])
+            .run()
+            .unwrap();
+        assert_eq!(report.allocations.len(), 2);
+        assert!(report.allocations[0].survivors() >= 1);
+        assert!(!report.pareto.front.is_empty());
+        assert!(report.budget.spent <= 120);
     }
 
     #[test]

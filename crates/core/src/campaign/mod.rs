@@ -44,7 +44,7 @@ pub use control::{CampaignControl, ControlState};
 pub use driver::{
     explore, AllocationReport, BackendProvider, BudgetReport, Campaign, CampaignReport,
     CellAllocation, CellReport, ExactProvider, InterpretedProvider, NullObserver, Observer,
-    TelemetrySummary, TieredStats, WrapProvider,
+    ParetoPoint, ParetoReport, TelemetrySummary, TieredStats, WrapProvider,
 };
 pub use global::{GlobalScheduler, JobPhase, JobTicket};
 // The telemetry vocabulary campaign observers speak, re-exported so
@@ -54,8 +54,11 @@ pub use ax_telemetry::{
     SOURCE_COORDINATOR,
 };
 pub use spec::{
-    BackendSpec, BenchmarkSpec, BudgetPolicy, ExperimentSpec, HalvingBracket, SeedRange, SpecError,
+    BackendSpec, BenchmarkSpec, BudgetPolicy, ExperimentSpec, HalvingBracket, LibrarySpec,
+    SeedRange, SpecError,
 };
+// The multi-objective vocabulary campaign ranking and reports speak.
+pub use crate::pareto::{DesignObjectives, Objective, ObjectiveDecl, Ranking};
 
 use serde::{Deserialize, Serialize};
 

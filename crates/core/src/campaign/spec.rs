@@ -11,8 +11,10 @@
 use crate::campaign::SurrogateSettings;
 use crate::explore::{AgentKind, ExploreOptions};
 use crate::json::{Json, JsonError};
+use crate::pareto::{Objective, ObjectiveDecl, Ranking};
 use crate::thresholds::ThresholdRule;
 use ax_agents::schedule::Schedule;
+use ax_operators::OperatorLibrary;
 use ax_workloads::{conv2d::Conv2d, dct::Dct8, dot::DotProduct, fir::Fir, matmul::MatMul};
 use ax_workloads::{sobel::Sobel, Workload};
 use serde::{Deserialize, Serialize};
@@ -171,6 +173,46 @@ impl BackendSpec {
             other => Err(JsonError(format!(
                 "backend must be \"exact\", \"exact-interpreted\" or {{\"tiered\": …}}, got {other:?}"
             ))),
+        }
+    }
+}
+
+/// The pre-characterised operator library a campaign scores designs
+/// against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum LibrarySpec {
+    /// The six-per-class EvoApprox selection (the paper's library).
+    #[default]
+    EvoApprox,
+    /// [`LibrarySpec::EvoApprox`] widened with two extra variants per
+    /// operator family, for fronts with more than two non-degenerate
+    /// points (see [`OperatorLibrary::evoapprox_extended`]).
+    EvoApproxExtended,
+}
+
+impl LibrarySpec {
+    /// The spec's library name as written in JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            LibrarySpec::EvoApprox => "evoapprox",
+            LibrarySpec::EvoApproxExtended => "evoapprox-extended",
+        }
+    }
+
+    /// Parses a spec library name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "evoapprox" => Some(LibrarySpec::EvoApprox),
+            "evoapprox-extended" => Some(LibrarySpec::EvoApproxExtended),
+            _ => None,
+        }
+    }
+
+    /// Instantiates the named library.
+    pub fn build(self) -> OperatorLibrary {
+        match self {
+            LibrarySpec::EvoApprox => OperatorLibrary::evoapprox(),
+            LibrarySpec::EvoApproxExtended => OperatorLibrary::evoapprox_extended(),
         }
     }
 }
@@ -669,8 +711,24 @@ pub struct ExperimentSpec {
     /// Base exploration options (`seed` is overridden per run from
     /// [`ExperimentSpec::seeds`]).
     pub explore: ExploreOptions,
+    /// Benchmark input seeds: a non-empty list expands the context axis
+    /// to benchmarks × input seeds, each pair becoming its own column of
+    /// cells (exactly like benchmarks × agents × seeds do). Empty = one
+    /// context per benchmark at `explore.input_seed` — the historical
+    /// shape, byte-identical.
+    pub input_seeds: Vec<u64>,
     /// Evaluation backend choice.
     pub backend: BackendSpec,
+    /// Operator library the campaign draws designs from.
+    pub library: LibrarySpec,
+    /// Campaign objectives: the minimised coordinates cells are ranked
+    /// and reported on, with optional explicit hypervolume reference
+    /// coordinates. Defaults to QoR error × op cost × evaluations.
+    pub objectives: Vec<ObjectiveDecl>,
+    /// How schedulers order cells for survival: the legacy scalar score
+    /// ([`Ranking::Scalarised`], byte-identical default) or non-dominated
+    /// sorting over [`ExperimentSpec::objectives`] ([`Ranking::Pareto`]).
+    pub ranking: Ranking,
     /// Global evaluation budget: distinct designs resolved across **all**
     /// runs of the campaign; `None` = unbounded. Enforcement is
     /// cooperative — see [`crate::campaign::EvalBudget`].
@@ -693,7 +751,11 @@ impl ExperimentSpec {
             agents: Vec::new(),
             seeds: SeedRange::default(),
             explore: ExploreOptions::default(),
+            input_seeds: Vec::new(),
             backend: BackendSpec::Exact,
+            library: LibrarySpec::EvoApprox,
+            objectives: ObjectiveDecl::default_set(),
+            ranking: Ranking::Scalarised,
             budget: None,
             policy: BudgetPolicy::Uniform,
             parallelism: None,
@@ -728,10 +790,38 @@ impl ExperimentSpec {
         self
     }
 
+    /// Adds a benchmark input seed to the context axis.
+    #[must_use]
+    pub fn input_seed(mut self, seed: u64) -> Self {
+        self.input_seeds.push(seed);
+        self
+    }
+
     /// Sets the backend choice.
     #[must_use]
     pub fn backend(mut self, backend: BackendSpec) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Sets the operator library.
+    #[must_use]
+    pub fn library(mut self, library: LibrarySpec) -> Self {
+        self.library = library;
+        self
+    }
+
+    /// Sets the declared objectives.
+    #[must_use]
+    pub fn objectives(mut self, objectives: Vec<ObjectiveDecl>) -> Self {
+        self.objectives = objectives;
+        self
+    }
+
+    /// Sets the survival ranking.
+    #[must_use]
+    pub fn ranking(mut self, ranking: Ranking) -> Self {
+        self.ranking = ranking;
         self
     }
 
@@ -758,7 +848,16 @@ impl ExperimentSpec {
 
     /// Total runs of the campaign grid.
     pub fn total_runs(&self) -> u64 {
-        self.benchmarks.len() as u64 * self.agents.len() as u64 * self.seeds.count
+        self.benchmarks.len() as u64
+            * self.input_seeds.len().max(1) as u64
+            * self.agents.len() as u64
+            * self.seeds.count
+    }
+
+    /// The campaign's (context, agent) cell count: benchmarks ×
+    /// input-seed axis × agents.
+    pub fn n_cells(&self) -> usize {
+        self.benchmarks.len() * self.input_seeds.len().max(1) * self.agents.len()
     }
 
     /// Checks the spec is runnable.
@@ -797,8 +896,38 @@ impl ExperimentSpec {
         if self.parallelism == Some(0) {
             return Err(SpecError("parallelism must be at least one thread".into()));
         }
-        self.policy
-            .check(self.benchmarks.len() * self.agents.len(), self.budget)
+        for (i, s) in self.input_seeds.iter().enumerate() {
+            if self.input_seeds[..i].contains(s) {
+                return Err(SpecError(format!(
+                    "input_seeds repeats seed {s}: each input seed is one context \
+                     column and duplicates would race identical cells"
+                )));
+            }
+        }
+        if self.objectives.is_empty() {
+            return Err(SpecError(
+                "need at least one objective: an empty objective vector leaves \
+                 Pareto ranking and the report's front with no coordinates"
+                    .into(),
+            ));
+        }
+        for (i, o) in self.objectives.iter().enumerate() {
+            if self.objectives[..i].iter().any(|p| p.kind == o.kind) {
+                return Err(SpecError(format!(
+                    "objective `{}` is declared twice",
+                    o.kind.name()
+                )));
+            }
+            if let Some(r) = o.reference {
+                if !r.is_finite() {
+                    return Err(SpecError(format!(
+                        "objective `{}` has a non-finite reference coordinate {r}",
+                        o.kind.name()
+                    )));
+                }
+            }
+        }
+        self.policy.check(self.n_cells(), self.budget)
     }
 
     /// Instantiates every benchmark of the spec, in order.
@@ -828,6 +957,32 @@ impl ExperimentSpec {
             ("explore", explore_options_to_json(&self.explore)),
             ("backend", self.backend.to_json()),
         ];
+        // The multi-objective / library keys are omitted at their
+        // defaults, like `policy`, so pre-existing specs stay
+        // byte-identical through a round trip.
+        if !self.input_seeds.is_empty() {
+            pairs.push((
+                "input_seeds",
+                Json::Arr(self.input_seeds.iter().map(|s| Json::u64(*s)).collect()),
+            ));
+        }
+        if self.library != LibrarySpec::EvoApprox {
+            pairs.push(("library", Json::str(self.library.name())));
+        }
+        if self.objectives != ObjectiveDecl::default_set() {
+            pairs.push((
+                "objectives",
+                Json::Arr(
+                    self.objectives
+                        .iter()
+                        .map(|o| objective_to_json(*o))
+                        .collect(),
+                ),
+            ));
+        }
+        if self.ranking != Ranking::Scalarised {
+            pairs.push(("ranking", Json::str(self.ranking.name())));
+        }
         if let Some(b) = self.budget {
             pairs.push(("budget", Json::u64(b)));
         }
@@ -881,14 +1036,51 @@ impl ExperimentSpec {
         if let Some(backend) = v.get("backend") {
             spec.backend = BackendSpec::from_json(backend)?;
         }
+        if let Some(seeds) = v.get("input_seeds") {
+            let arr = seeds.as_arr()?;
+            if arr.is_empty() {
+                return Err(SpecError(
+                    "input_seeds must name at least one benchmark input seed \
+                     (omit the key to use the explore default)"
+                        .into(),
+                ));
+            }
+            for s in arr {
+                spec.input_seeds.push(s.as_u64()?);
+            }
+        }
+        if let Some(library) = v.get("library") {
+            let name = library.as_str()?;
+            spec.library = LibrarySpec::from_name(name).ok_or_else(|| {
+                SpecError(format!(
+                    "unknown library `{name}` (expected \"evoapprox\" or \
+                     \"evoapprox-extended\")"
+                ))
+            })?;
+        }
+        if let Some(objectives) = v.get("objectives") {
+            spec.objectives = objectives
+                .as_arr()?
+                .iter()
+                .map(objective_from_json)
+                .collect::<Result<Vec<ObjectiveDecl>, SpecError>>()?;
+        }
+        if let Some(ranking) = v.get("ranking") {
+            let name = ranking.as_str()?;
+            spec.ranking = Ranking::from_name(name).ok_or_else(|| {
+                SpecError(format!(
+                    "unknown ranking `{name}` (expected \"scalarised\" or \"pareto\")"
+                ))
+            })?;
+        }
         if let Some(budget) = v.get("budget") {
             spec.budget = Some(budget.as_u64()?);
         }
         if let Some(policy) = v.get("policy") {
-            // Grid-aware: benchmarks and agents are already parsed, so the
-            // `{"hyperband": {"eta": N}}` shorthand can see the cell count.
-            let n_cells = spec.benchmarks.len() * spec.agents.len();
-            spec.policy = BudgetPolicy::from_json_for_grid(policy, n_cells)?;
+            // Grid-aware: benchmarks, input seeds and agents are already
+            // parsed, so the `{"hyperband": {"eta": N}}` shorthand can
+            // see the cell count.
+            spec.policy = BudgetPolicy::from_json_for_grid(policy, spec.n_cells())?;
         }
         if let Some(parallelism) = v.get("parallelism") {
             spec.parallelism = Some(parallelism.as_usize()?);
@@ -904,6 +1096,46 @@ impl ExperimentSpec {
     /// Fails on malformed JSON, schema violations or an unrunnable spec.
     pub fn from_json_str(text: &str) -> Result<Self, SpecError> {
         Self::from_json(&Json::parse(text)?)
+    }
+}
+
+pub(crate) fn objective_to_json(o: ObjectiveDecl) -> Json {
+    match o.reference {
+        None => Json::str(o.kind.name()),
+        Some(r) => Json::obj(vec![
+            ("kind", Json::str(o.kind.name())),
+            ("reference", Json::f64(r)),
+        ]),
+    }
+}
+
+fn objective_from_json(v: &Json) -> Result<ObjectiveDecl, SpecError> {
+    let parse_kind = |name: &str| {
+        Objective::from_name(name).ok_or_else(|| {
+            SpecError(format!(
+                "unknown objective `{name}` (expected \"qor-error\", \"op-cost\" \
+                 or \"evals\")"
+            ))
+        })
+    };
+    match v {
+        Json::Str(name) => Ok(ObjectiveDecl::new(parse_kind(name)?)),
+        Json::Obj(_) => {
+            let kind = parse_kind(
+                v.get("kind")
+                    .ok_or_else(|| SpecError("objective object needs a `kind`".into()))?
+                    .as_str()?,
+            )?;
+            let reference = match v.get("reference") {
+                Some(r) => Some(r.as_f64()?),
+                None => None,
+            };
+            Ok(ObjectiveDecl { kind, reference })
+        }
+        other => Err(SpecError(format!(
+            "objective must be a name string or {{\"kind\": …, \"reference\": …}}, \
+             got {other:?}"
+        ))),
     }
 }
 
@@ -1185,6 +1417,119 @@ mod tests {
         assert_eq!(spec.backend, BackendSpec::Exact);
         assert_eq!(spec.budget, None);
         assert_eq!(spec.total_runs(), 1);
+    }
+
+    #[test]
+    fn multi_objective_keys_round_trip_and_default_to_omitted() {
+        let spec = full_spec()
+            .input_seed(7)
+            .input_seed(11)
+            .library(LibrarySpec::EvoApproxExtended)
+            .objectives(vec![
+                ObjectiveDecl {
+                    kind: Objective::QorError,
+                    reference: Some(40.0),
+                },
+                ObjectiveDecl::new(Objective::OpCost),
+            ])
+            .ranking(Ranking::Pareto);
+        let back = ExperimentSpec::from_json_str(&spec.to_json_string()).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.input_seeds, vec![7, 11]);
+        assert_eq!(back.ranking, Ranking::Pareto);
+        assert_eq!(back.objectives[0].reference, Some(40.0));
+        // Defaults serialise with no multi-objective keys at all, so
+        // pre-existing spec files stay byte-identical.
+        let text = full_spec().to_json_string();
+        for key in ["input_seeds", "library", "objectives", "ranking"] {
+            assert!(!text.contains(key), "default spec must omit `{key}`");
+        }
+        let sparse = ExperimentSpec::from_json_str(&text).unwrap();
+        assert_eq!(sparse.objectives, ObjectiveDecl::default_set());
+        assert_eq!(sparse.ranking, Ranking::Scalarised);
+        assert_eq!(sparse.library, LibrarySpec::EvoApprox);
+        assert!(sparse.input_seeds.is_empty());
+    }
+
+    #[test]
+    fn multi_objective_validation_rejects_bad_shapes() {
+        let base = || {
+            ExperimentSpec::new("mo")
+                .benchmark(BenchmarkSpec::MatMul(4))
+                .agent(AgentKind::QLearning)
+        };
+        // input_seeds: explicit-but-empty and duplicates are rejected.
+        let empty = r#"{
+            "name": "x",
+            "benchmarks": [{"kind": "matmul", "size": 4}],
+            "agents": ["q-learning"],
+            "input_seeds": []
+        }"#;
+        assert!(ExperimentSpec::from_json_str(empty)
+            .unwrap_err()
+            .0
+            .contains("input_seeds"));
+        let dup = base().input_seed(3).input_seed(3);
+        assert!(dup.validate().unwrap_err().0.contains("repeats"));
+        // Objectives: empty, duplicated or non-finite references fail.
+        assert!(base()
+            .objectives(vec![])
+            .validate()
+            .unwrap_err()
+            .0
+            .contains("objective"));
+        let twice = base().objectives(vec![
+            ObjectiveDecl::new(Objective::Evals),
+            ObjectiveDecl::new(Objective::Evals),
+        ]);
+        assert!(twice.validate().unwrap_err().0.contains("twice"));
+        let bad_ref = base().objectives(vec![ObjectiveDecl {
+            kind: Objective::OpCost,
+            reference: Some(f64::NAN),
+        }]);
+        assert!(bad_ref.validate().unwrap_err().0.contains("reference"));
+        // Unknown names are parse errors.
+        for (key, value) in [
+            ("ranking", "\"nope\""),
+            ("library", "\"nope\""),
+            ("objectives", "[\"nope\"]"),
+        ] {
+            let text = format!(
+                r#"{{
+                    "name": "x",
+                    "benchmarks": [{{"kind": "matmul", "size": 4}}],
+                    "agents": ["q-learning"],
+                    "{key}": {value}
+                }}"#
+            );
+            assert!(
+                ExperimentSpec::from_json_str(&text).is_err(),
+                "{key}={value} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn input_seeds_expand_the_grid_for_shape_checks() {
+        let spec = ExperimentSpec::new("grid")
+            .benchmark(BenchmarkSpec::MatMul(4))
+            .agent(AgentKind::QLearning)
+            .agent(AgentKind::Sarsa)
+            .seeds(SeedRange::new(0, 3))
+            .input_seed(1)
+            .input_seed(2);
+        assert_eq!(spec.n_cells(), 4);
+        assert_eq!(spec.total_runs(), 12);
+        // A weighted policy must match the *expanded* cell count.
+        let short = spec
+            .clone()
+            .budget(400)
+            .policy(BudgetPolicy::Weighted(vec![1.0, 1.0]));
+        assert!(short.validate().unwrap_err().0.contains("4"));
+        spec.budget(400)
+            .policy(BudgetPolicy::Weighted(vec![1.0, 1.0, 1.0, 1.0]))
+            .validate()
+            .unwrap();
     }
 
     #[test]

@@ -277,10 +277,11 @@ pub struct ResumableExploration<B: EvalBackend> {
     train_opts: TrainOptions,
     thresholds: Thresholds,
     benchmark: String,
-    /// Trace entries already folded into `best_score` (scoring cursor).
+    /// Trace entries already folded into `best` (scoring cursor).
     scored_steps: usize,
-    /// Running best solution score over `trace[..scored_steps]`.
-    best_score: f64,
+    /// Running best design over `trace[..scored_steps]`: the legacy
+    /// scalar score plus the per-objective coordinates of that design.
+    best: crate::pareto::DesignObjectives,
 }
 
 impl<B: EvalBackend> ResumableExploration<B> {
@@ -306,7 +307,7 @@ impl<B: EvalBackend> ResumableExploration<B> {
             thresholds,
             benchmark: benchmark.to_owned(),
             scored_steps: 0,
-            best_score: f64::NEG_INFINITY,
+            best: crate::pareto::DesignObjectives::none(),
         }
     }
 
@@ -352,21 +353,42 @@ impl<B: EvalBackend> ResumableExploration<B> {
     /// since the previous call, so round-based schedulers pay
     /// O(total steps) over a run's whole lifetime, not per round.
     pub fn best_score(&mut self) -> f64 {
+        self.fold_scores();
+        self.best.score
+    }
+
+    /// The per-objective coordinates of the same best design
+    /// [`Self::best_score`] tracks: its Δaccuracy (QoR error) and
+    /// absolute power draw (op cost), alongside the scalar. Updated only
+    /// when the scalar strictly improves, so the scalar fold — and with
+    /// it every scalarised campaign — is bit-identical to the
+    /// pre-objective-vector behaviour.
+    pub fn best_objectives(&mut self) -> crate::pareto::DesignObjectives {
+        self.fold_scores();
+        self.best
+    }
+
+    fn fold_scores(&mut self) {
         let (power, time) = (
             self.env.evaluator().precise_power(),
             self.env.evaluator().precise_time(),
         );
         let trace = self.env.trace();
         for t in &trace[self.scored_steps..] {
-            self.best_score = self.best_score.max(crate::search_adapter::solution_score(
-                &t.metrics,
-                &self.thresholds,
-                power,
-                time,
-            ));
+            let score =
+                crate::search_adapter::solution_score(&t.metrics, &self.thresholds, power, time);
+            // `if score > best` matches the old `f64::max` fold exactly
+            // for every non-NaN score (and NaN scores never displace a
+            // finite best under either formulation).
+            if score > self.best.score {
+                self.best = crate::pareto::DesignObjectives {
+                    score,
+                    qor_error: t.metrics.delta_acc,
+                    op_cost: t.metrics.power,
+                };
+            }
         }
         self.scored_steps = trace.len();
-        self.best_score
     }
 
     /// The benchmark label.
@@ -593,6 +615,36 @@ mod tests {
         assert_eq!(out.log, reference.log);
         assert_eq!(out.summary, reference.summary);
         assert_eq!(out.stop_reason, reference.stop_reason);
+    }
+
+    #[test]
+    fn best_objectives_track_the_best_scalar_design() {
+        let l = lib();
+        let wl = DotProduct::new(8);
+        let opts = quick_opts(200);
+        let ctx = EvalContext::new(&wl, std::sync::Arc::new(l.clone()), opts.input_seed).unwrap();
+        let mut run = ResumableExploration::start(
+            ctx.evaluator(),
+            ctx.benchmark(),
+            &opts,
+            AgentKind::QLearning,
+        );
+        while !run.is_complete() {
+            run.resume(|| false);
+        }
+        let best = run.best_objectives();
+        assert_eq!(best.score, run.best_score());
+        // The tracked coordinates belong to an actually visited design.
+        let (power, time) = (run.backend().precise_power(), run.backend().precise_time());
+        let thresholds = run.thresholds();
+        let out = run.finish(&l);
+        let hit = out.trace.iter().any(|t| {
+            t.metrics.delta_acc == best.qor_error
+                && t.metrics.power == best.op_cost
+                && crate::search_adapter::solution_score(&t.metrics, &thresholds, power, time)
+                    == best.score
+        });
+        assert!(hit, "best objectives must come from one trace entry");
     }
 
     #[test]

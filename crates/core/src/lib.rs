@@ -60,6 +60,7 @@ pub mod env;
 pub mod evaluator;
 pub mod explore;
 pub mod json;
+pub mod pareto;
 pub mod report;
 pub mod reward;
 pub mod search_adapter;
@@ -77,6 +78,7 @@ pub use explore::{
     explore_backend, explore_backend_with_stop, ExplorationOutcome, ExplorationSummary,
     ExploreOptions, ResumableExploration,
 };
+pub use pareto::{DesignObjectives, Objective, ObjectiveDecl, Ranking};
 pub use reward::RewardParams;
 pub use sweep::{summarize_outcomes, PortfolioEntry, PortfolioOutcome, SweepStat, SweepSummary};
 pub use thresholds::{ThresholdRule, Thresholds};

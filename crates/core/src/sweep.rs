@@ -151,6 +151,11 @@ pub struct PortfolioEntry {
     /// feasible, negative accuracy violation otherwise (the
     /// [`crate::search_adapter`] scalarisation).
     pub score: f64,
+    /// Accuracy degradation of the final configuration — the QoR-error
+    /// objective, kept un-collapsed for multi-objective reports.
+    pub qor_error: f64,
+    /// Power draw of the final configuration — the op-cost objective.
+    pub op_cost: f64,
 }
 
 /// Result of racing several agents on one benchmark.
@@ -158,6 +163,10 @@ pub struct PortfolioEntry {
 pub struct PortfolioOutcome {
     /// Benchmark name.
     pub benchmark: String,
+    /// The benchmark input seed this portfolio ran with, when the
+    /// campaign swept an explicit `input_seeds` axis (`None` for the
+    /// implicit default seed).
+    pub input_seed: Option<u64>,
     /// One entry per raced run, agent-major in input order (seed-minor for
     /// multi-seed campaigns).
     pub entries: Vec<PortfolioEntry>,

@@ -168,6 +168,63 @@ impl OperatorLibrary {
         lib
     }
 
+    /// [`OperatorLibrary::evoapprox`] widened with two extra variants per
+    /// operator family: zero-mean midpoint and speculative-carry adders,
+    /// iterative-logarithmic and partial-product-pruned multipliers, each
+    /// slotted into a gap of the published MRED ladder with an
+    /// intermediate power/time point. The denser accuracy/cost trade-off
+    /// gives multi-objective campaigns fronts with more than two
+    /// non-degenerate members; the paper's six-per-class selection stays
+    /// untouched (and the default everywhere).
+    pub fn evoapprox_extended() -> Self {
+        let base = Self::evoapprox();
+        let mut builder = Self::builder();
+        for width in [BitWidth::W8, BitWidth::W16] {
+            for e in base.adders(width) {
+                builder = builder.adder(e.spec.clone(), e.model);
+            }
+        }
+        for width in [BitWidth::W8, BitWidth::W32] {
+            for e in base.multipliers(width) {
+                builder = builder.multiplier(e.spec.clone(), e.model);
+            }
+        }
+        builder
+            .adder(
+                OperatorSpec::new("MID4", BitWidth::W8, 1.4, 0.018, 0.39),
+                AdderModel::new(AdderKind::SetMid { cut_bits: 4 }, BitWidth::W8),
+            )
+            .adder(
+                OperatorSpec::new("CC52", BitWidth::W8, 9.8, 0.0072, 0.21),
+                AdderModel::new(AdderKind::CarryCut { cut: 5, window: 2 }, BitWidth::W8),
+            )
+            .adder(
+                OperatorSpec::new("MID6", BitWidth::W16, 0.05, 0.046, 0.84),
+                AdderModel::new(AdderKind::SetMid { cut_bits: 6 }, BitWidth::W16),
+            )
+            .adder(
+                OperatorSpec::new("CCA3", BitWidth::W16, 2.4, 0.021, 0.45),
+                AdderModel::new(AdderKind::CarryCut { cut: 10, window: 3 }, BitWidth::W16),
+            )
+            .multiplier(
+                OperatorSpec::new("ILM2", BitWidth::W8, 0.9, 0.29, 1.35),
+                MulModel::new(MulKind::LogIter { iterations: 2 }, BitWidth::W8),
+            )
+            .multiplier(
+                OperatorSpec::new("BAM3", BitWidth::W8, 2.6, 0.24, 1.25),
+                MulModel::new(MulKind::BrokenArray { rows: 3 }, BitWidth::W8),
+            )
+            .multiplier(
+                OperatorSpec::new("PP12", BitWidth::W32, 0.004, 7.9, 4.1),
+                MulModel::new(MulKind::TruncPp { cut_columns: 12 }, BitWidth::W32),
+            )
+            .multiplier(
+                OperatorSpec::new("ILM1", BitWidth::W32, 4.1, 1.35, 2.2),
+                MulModel::new(MulKind::LogIter { iterations: 1 }, BitWidth::W32),
+            )
+            .build()
+    }
+
     /// Starts building a custom operator library.
     pub fn builder() -> OperatorLibraryBuilder {
         OperatorLibraryBuilder::default()
@@ -403,6 +460,44 @@ mod tests {
         assert_eq!(lib.multipliers(BitWidth::W32).len(), 6);
         assert!(lib.adders(BitWidth::W32).is_empty());
         assert!(lib.multipliers(BitWidth::W16).is_empty());
+    }
+
+    #[test]
+    fn evoapprox_extended_adds_two_variants_per_family() {
+        let base = OperatorLibrary::evoapprox();
+        let lib = OperatorLibrary::evoapprox_extended();
+        for w in [BitWidth::W8, BitWidth::W16] {
+            assert_eq!(lib.adders(w).len(), 8, "{w} adders");
+            for e in base.adders(w) {
+                assert!(
+                    lib.adder_by_name(w, e.spec.name()).is_some(),
+                    "{w} adder {} must survive the extension",
+                    e.spec.name()
+                );
+            }
+            let mreds: Vec<f64> = lib.adders(w).iter().map(|e| e.spec.mred_pct()).collect();
+            for pair in mreds.windows(2) {
+                assert!(pair[0] <= pair[1], "{w} adders not sorted: {mreds:?}");
+            }
+            assert!(lib.adders(w)[0].model.is_exact());
+        }
+        for w in [BitWidth::W8, BitWidth::W32] {
+            assert_eq!(lib.multipliers(w).len(), 8, "{w} muls");
+            for e in base.multipliers(w) {
+                assert!(
+                    lib.multiplier_by_name(w, e.spec.name()).is_some(),
+                    "{w} multiplier {} must survive the extension",
+                    e.spec.name()
+                );
+            }
+            assert!(lib.multipliers(w)[0].model.is_exact());
+        }
+        // The new variants occupy interior trade-off points, not the ends
+        // of the ladder.
+        let (id, _) = lib.adder_by_name(BitWidth::W8, "MID4").unwrap();
+        assert!(id.0 > 0 && id.0 < 7);
+        let (mid, _) = lib.multiplier_by_name(BitWidth::W32, "ILM1").unwrap();
+        assert!(mid.0 > 0 && mid.0 < 7);
     }
 
     #[test]

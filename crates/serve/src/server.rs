@@ -15,7 +15,6 @@ use crate::job::{Job, JobState};
 use ax_dse::backend::SharedCache;
 use ax_dse::campaign::{ExperimentSpec, GlobalScheduler, Telemetry};
 use ax_dse::json::Json;
-use ax_operators::OperatorLibrary;
 use ax_surrogate::pool::ModelPool;
 use ax_surrogate::{run_spec_with, RunSpecOptions};
 use std::collections::HashMap;
@@ -71,7 +70,6 @@ impl Default for ServeConfig {
 
 struct ServerState {
     config: ServeConfig,
-    lib: OperatorLibrary,
     scheduler: GlobalScheduler,
     cache: Arc<SharedCache>,
     pool: Arc<ModelPool>,
@@ -101,7 +99,6 @@ impl Server {
             _ => SharedCache::new(),
         };
         let state = Arc::new(ServerState {
-            lib: OperatorLibrary::evoapprox(),
             scheduler: GlobalScheduler::new(
                 config.server_budget,
                 config.workers.max(1),
@@ -330,7 +327,10 @@ fn run_job(state: &Arc<ServerState>, job: &Arc<Job>) {
         model_pool: Some(Arc::clone(&state.pool)),
         reuse_models: state.config.reuse_models,
     };
-    match run_spec_with(&state.lib, job.spec(), opts) {
+    // Build the operator library the spec names (byte parity with a
+    // local `repro run` of the same spec, which does the same).
+    let lib = job.spec().library.build();
+    match run_spec_with(&lib, job.spec(), opts) {
         Ok(mut report) => {
             // Strip the telemetry roll-up before serialising: its
             // wall-clock histograms are the one nondeterministic section,

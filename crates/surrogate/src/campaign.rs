@@ -335,6 +335,47 @@ mod tests {
     }
 
     #[test]
+    fn tiered_pareto_campaign_reports_a_front() {
+        use ax_dse::campaign::{BudgetPolicy, Objective, ObjectiveDecl, Ranking};
+        let lib = OperatorLibrary::evoapprox();
+        let spec = quick_spec(BackendSpec::Tiered(SurrogateSettings::default()))
+            .budget(200)
+            .policy(BudgetPolicy::SuccessiveHalving {
+                rounds: 2,
+                keep_fraction: 0.5,
+            })
+            .objectives(vec![
+                ObjectiveDecl::new(Objective::QorError),
+                ObjectiveDecl::new(Objective::OpCost),
+            ])
+            .ranking(Ranking::Pareto);
+        let report = run_spec(&lib, &spec, None, &NullObserver).unwrap();
+        assert_eq!(report.pareto.ranking, Ranking::Pareto);
+        assert!(!report.pareto.front.is_empty());
+        assert_eq!(report.pareto.reference.len(), 2);
+        assert!(report.tier.is_some(), "tier usage survives Pareto ranking");
+    }
+
+    #[test]
+    fn spec_input_seeds_expand_the_tiered_grid() {
+        let lib = OperatorLibrary::evoapprox();
+        let spec = ExperimentSpec::new("seed-axis")
+            .benchmark(BenchmarkSpec::MatMul(4))
+            .agent(AgentKind::QLearning)
+            .input_seed(42)
+            .input_seed(43)
+            .explore(ExploreOptions {
+                max_steps: 100,
+                ..Default::default()
+            })
+            .backend(BackendSpec::Tiered(SurrogateSettings::default()));
+        let report = run_spec(&lib, &spec, None, &NullObserver).unwrap();
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.cells[0].input_seed, Some(42));
+        assert_eq!(report.cells[1].input_seed, Some(43));
+    }
+
+    #[test]
     fn invalid_spec_is_rejected_before_running() {
         let lib = OperatorLibrary::evoapprox();
         let spec = ExperimentSpec::new("empty");

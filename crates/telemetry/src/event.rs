@@ -126,6 +126,16 @@ pub enum EventKind {
         /// Budget units granted for the new rung.
         units: u64,
     },
+    /// A Pareto-ranked scheduler measured the current non-dominated
+    /// front over the live cells' objective vectors. Emitted only when
+    /// a campaign runs with the `pareto` ranking, so scalarised event
+    /// streams stay byte-identical to pre-multi-objective campaigns.
+    ParetoFront {
+        /// Cells on the non-dominated front (rank 0).
+        front_size: u64,
+        /// Hypervolume of the front against the resolved reference point.
+        hypervolume: f64,
+    },
     /// The campaign finished; final clamped spend and overshoot.
     CampaignComplete {
         /// Units spent, clamped to the cap.
@@ -152,6 +162,7 @@ impl EventKind {
             EventKind::RungRecorded { .. } => "rung_recorded",
             EventKind::CellParked { .. } => "cell_parked",
             EventKind::RungPromoted { .. } => "rung_promoted",
+            EventKind::ParetoFront { .. } => "pareto_front",
             EventKind::CampaignComplete { .. } => "campaign_complete",
         }
     }
@@ -265,6 +276,14 @@ impl Event {
                 field_u64(&mut out, "rung", *rung);
                 field_u64(&mut out, "units", *units);
             }
+            EventKind::ParetoFront {
+                front_size,
+                hypervolume,
+            } => {
+                field_u64(&mut out, "front_size", *front_size);
+                out.push_str(", \"hypervolume\": ");
+                push_f64(&mut out, *hypervolume);
+            }
             EventKind::CampaignComplete { spent, overshoot } => {
                 field_u64(&mut out, "spent", *spent);
                 field_u64(&mut out, "overshoot", *overshoot);
@@ -310,6 +329,23 @@ mod tests {
             e.to_json_line(),
             "{\"source\": 0, \"seq\": 0, \"kind\": \"benchmark_ready\", \
              \"benchmark\": \"odd\\\"name\\n\"}"
+        );
+    }
+
+    #[test]
+    fn pareto_front_events_carry_size_and_hypervolume() {
+        let e = Event {
+            source: 0,
+            seq: 2,
+            kind: EventKind::ParetoFront {
+                front_size: 3,
+                hypervolume: 12.25,
+            },
+        };
+        assert_eq!(
+            e.to_json_line(),
+            "{\"source\": 0, \"seq\": 2, \"kind\": \"pareto_front\", \
+             \"front_size\": 3, \"hypervolume\": 12.25}"
         );
     }
 

@@ -402,6 +402,55 @@ fn experiment_specs_round_trip_through_json() {
 }
 
 #[test]
+fn scalarised_campaign_reports_are_byte_identical_run_to_run() {
+    use axdse_suite::ax_dse::campaign::Ranking;
+    // The pre-multi-objective pin: a scalar campaign serialises to the
+    // same bytes run after run — and spelling out today's default
+    // `Ranking::Scalarised` explicitly changes nothing.
+    let lib = OperatorLibrary::evoapprox();
+    let opts = ExploreOptions {
+        max_steps: 150,
+        ..Default::default()
+    };
+    let wl = MatMul::new(4);
+    let run = |explicit_ranking: bool| {
+        let mut c = Campaign::new("scalar-pin", &lib)
+            .benchmark(&wl)
+            .agent(AgentKind::QLearning)
+            .agent(AgentKind::Sarsa)
+            .seeds(SeedRange::new(0, 2))
+            .options(opts);
+        if explicit_ranking {
+            c = c.ranking(Ranking::Scalarised);
+        }
+        c.run().unwrap().to_json_string()
+    };
+    let a = run(false);
+    assert_eq!(a, run(false), "same campaign twice, same bytes");
+    assert_eq!(a, run(true), "explicit scalarised ranking is the default");
+    // Schema growth is tagged, not silent: consumers can tell a schema
+    // change from byte drift.
+    assert!(a.contains("\"report_version\": 2"));
+    assert!(a.contains("\"pareto\""));
+}
+
+#[test]
+fn pareto_example_spec_parses_validates_and_round_trips() {
+    use axdse_suite::ax_dse::campaign::{ExperimentSpec, LibrarySpec, Ranking};
+    let text = std::fs::read_to_string("examples/campaign_pareto.json").unwrap();
+    let spec = ExperimentSpec::from_json_str(&text).unwrap();
+    assert_eq!(spec.ranking, Ranking::Pareto);
+    assert_eq!(spec.library, LibrarySpec::EvoApproxExtended);
+    assert_eq!(spec.objectives.len(), 2);
+    assert_eq!(spec.input_seeds, vec![42, 43]);
+    assert!(spec.benchmarks.len() >= 2, "multi-benchmark front");
+    assert_eq!(
+        ExperimentSpec::from_json_str(&spec.to_json_string()).unwrap(),
+        spec
+    );
+}
+
+#[test]
 fn shared_cache_persistence_round_trips_through_disk() {
     // Fill a cache through a real exploration, save it, load it in a
     // "second process" and verify a replay answers from the loaded cache

@@ -2,6 +2,7 @@
 
 use axdse_suite::ax_dse::campaign::GlobalScheduler;
 use axdse_suite::ax_dse::config::{AxConfig, SpaceDims};
+use axdse_suite::ax_dse::pareto::{dominates, hypervolume, non_dominated_ranks, rank_order};
 use axdse_suite::ax_dse::reward::{reward, RewardParams};
 use axdse_suite::ax_dse::thresholds::Thresholds;
 use axdse_suite::ax_dse::EvalMetrics;
@@ -22,6 +23,11 @@ fn arb_config() -> impl Strategy<Value = AxConfig> {
         mul: MulId(m),
         vars: v,
     })
+}
+
+fn arb_points() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..12)
+        .prop_map(|ps| ps.into_iter().map(|(a, b)| vec![a, b]).collect())
 }
 
 fn arb_metrics() -> impl Strategy<Value = EvalMetrics> {
@@ -166,6 +172,53 @@ proptest! {
         prop_assert_eq!(sched.server().spent(), expected_total);
         prop_assert_eq!(sched.jobs_spent_total(), sched.server().spent());
         prop_assert_eq!(sched.counts(), (0, 0, 0, jobs.len()));
+    }
+
+    /// Non-dominated sorting is sound: no rank-0 point is dominated by
+    /// anything, and the survival order leads with exactly the front.
+    #[test]
+    fn no_front_member_is_dominated(points in arb_points()) {
+        let ranks = non_dominated_ranks(&points);
+        for (i, &r) in ranks.iter().enumerate() {
+            if r == 0 {
+                for p in &points {
+                    prop_assert!(
+                        !dominates(p, &points[i]),
+                        "{p:?} dominates front member {:?}",
+                        points[i]
+                    );
+                }
+            }
+        }
+        let order = rank_order(&points);
+        let front = ranks.iter().filter(|&&r| r == 0).count();
+        prop_assert!(front >= 1);
+        for &i in &order[..front] {
+            prop_assert_eq!(ranks[i], 0, "survival order must lead with the front");
+        }
+    }
+
+    /// Hypervolume is monotone: adding a point that dominates an existing
+    /// one (or any point at all) never shrinks the dominated volume.
+    #[test]
+    fn hypervolume_monotone_under_adding_a_dominating_point(
+        points in arb_points(),
+        frac in 0.0f64..0.99,
+    ) {
+        let reference = [10.0, 10.0];
+        let base = hypervolume(&points, &reference);
+        prop_assert!(base >= 0.0);
+        let mut more = points.clone();
+        // Scale the first point toward the ideal corner: componentwise
+        // no worse, so it dominates (or equals) its parent.
+        more.push(vec![points[0][0] * frac, points[0][1] * frac]);
+        let grown = hypervolume(&more, &reference);
+        prop_assert!(
+            grown >= base - 1e-12,
+            "hypervolume shrank: {base} -> {grown}"
+        );
+        // And the union never exceeds the reference box itself.
+        prop_assert!(grown <= 10.0 * 10.0 + 1e-9);
     }
 
     /// The precise adder/multiplier pair with any variable selection is
